@@ -1,0 +1,172 @@
+//! Binary buddy allocator.
+
+use std::collections::BTreeSet;
+
+use crate::{AllocError, PlacementStrategy};
+
+/// A binary buddy allocator.
+///
+/// Blocks are powers of two; a request is rounded up to the next power of
+/// two, larger free blocks are split recursively, and on free a block is
+/// merged with its *buddy* (the sibling block at `base ^ size`) whenever
+/// the buddy is also free. Buddy systems produce yet another distinct
+/// raw-address layout for the same allocation sequence — rounder
+/// addresses, different reuse order — which is exactly the run-to-run
+/// variability the object-relative representation is designed to factor
+/// out.
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    base: u64,
+    /// log2 of the arena size.
+    max_order: u32,
+    /// log2 of the smallest block handed out.
+    min_order: u32,
+    /// Free blocks per order, stored as offsets from `base`.
+    free: Vec<BTreeSet<u64>>,
+}
+
+impl BuddyAllocator {
+    /// Creates a buddy allocator over `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two or is smaller than the
+    /// minimum block size (16 bytes).
+    #[must_use]
+    pub fn new(base: u64, size: u64) -> Self {
+        assert!(
+            size.is_power_of_two(),
+            "buddy arena size must be a power of two"
+        );
+        let max_order = size.trailing_zeros();
+        let min_order = 4; // 16-byte minimum block
+        assert!(max_order >= min_order, "buddy arena too small");
+        let mut free = vec![BTreeSet::new(); (max_order + 1) as usize];
+        free[max_order as usize].insert(0);
+        BuddyAllocator {
+            base,
+            max_order,
+            min_order,
+            free,
+        }
+    }
+
+    fn order_for(&self, size: u64) -> u32 {
+        size.next_power_of_two()
+            .trailing_zeros()
+            .max(self.min_order)
+    }
+
+    /// Total free bytes (may be fragmented across orders).
+    #[must_use]
+    pub fn free_bytes(&self) -> u64 {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(o, s)| (s.len() as u64) << o)
+            .sum()
+    }
+}
+
+impl PlacementStrategy for BuddyAllocator {
+    fn place(&mut self, size: u64) -> Result<u64, AllocError> {
+        let want = self.order_for(size);
+        if want > self.max_order {
+            return Err(AllocError::OutOfMemory { requested: size });
+        }
+        // Find the smallest order >= want with a free block.
+        let from = (want..=self.max_order)
+            .find(|&o| !self.free[o as usize].is_empty())
+            .ok_or(AllocError::OutOfMemory { requested: size })?;
+        let mut offset = *self.free[from as usize]
+            .iter()
+            .next()
+            .expect("non-empty order");
+        self.free[from as usize].remove(&offset);
+        // Split down to the wanted order, freeing the upper halves.
+        let mut order = from;
+        while order > want {
+            order -= 1;
+            let buddy = offset + (1u64 << order);
+            self.free[order as usize].insert(buddy);
+        }
+        let _ = &mut offset;
+        Ok(self.base + offset)
+    }
+
+    fn unplace(&mut self, base: u64, size: u64) {
+        let mut order = self.order_for(size);
+        let mut offset = base - self.base;
+        // Merge with the buddy while it is free.
+        while order < self.max_order {
+            let buddy = offset ^ (1u64 << order);
+            if !self.free[order as usize].remove(&buddy) {
+                break;
+            }
+            offset = offset.min(buddy);
+            order += 1;
+        }
+        self.free[order as usize].insert(offset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_round_to_powers_of_two() {
+        let mut a = BuddyAllocator::new(0, 1 << 12);
+        let b0 = a.place(24).unwrap(); // rounds to 32
+        let b1 = a.place(24).unwrap();
+        assert_eq!(b1 - b0, 32);
+    }
+
+    #[test]
+    fn split_and_merge_restores_full_arena() {
+        let mut a = BuddyAllocator::new(0x8000, 1 << 10);
+        let blocks: Vec<u64> = (0..8).map(|_| a.place(64).unwrap()).collect();
+        assert_eq!(a.free_bytes(), (1 << 10) - 8 * 64);
+        for b in blocks {
+            a.unplace(b, 64);
+        }
+        assert_eq!(a.free_bytes(), 1 << 10);
+        // After full merge a max-size allocation succeeds.
+        assert_eq!(a.place(1 << 10).unwrap(), 0x8000);
+    }
+
+    #[test]
+    fn buddies_merge_only_with_their_sibling() {
+        let mut a = BuddyAllocator::new(0, 1 << 8);
+        let b0 = a.place(16).unwrap(); // offset 0
+        let b1 = a.place(16).unwrap(); // offset 16 (buddy of b0)
+        let b2 = a.place(16).unwrap(); // offset 32
+        a.unplace(b1, 16);
+        a.unplace(b2, 16);
+        // b1 and b2 are not buddies, so no 32-byte block at offset 16 forms.
+        let b = a.place(32).unwrap();
+        assert_ne!(b, 16);
+        a.unplace(b0, 16);
+        a.unplace(b, 32);
+    }
+
+    #[test]
+    fn minimum_block_is_sixteen_bytes() {
+        let mut a = BuddyAllocator::new(0, 1 << 8);
+        let b0 = a.place(1).unwrap();
+        let b1 = a.place(1).unwrap();
+        assert_eq!(b1 - b0, 16);
+    }
+
+    #[test]
+    fn oversize_request_errors() {
+        let mut a = BuddyAllocator::new(0, 1 << 8);
+        assert!(a.place(1 << 9).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_arena_panics() {
+        let _ = BuddyAllocator::new(0, 1000);
+    }
+}

@@ -1,0 +1,78 @@
+//! Bump allocator: monotonically increasing placement, no reuse.
+
+use crate::{AllocError, PlacementStrategy};
+
+/// The simplest placement strategy: hand out consecutive addresses and
+/// never reuse freed space.
+///
+/// Bump allocation makes raw addresses *look* maximally regular for
+/// allocation-ordered traversals — which is exactly the fragile regularity
+/// the paper warns about, since it evaporates under any other allocator.
+#[derive(Debug, Clone)]
+pub struct BumpAllocator {
+    base: u64,
+    limit: u64,
+    next: u64,
+}
+
+impl BumpAllocator {
+    /// Creates a bump allocator over `[base, base + size)`.
+    #[must_use]
+    pub fn new(base: u64, size: u64) -> Self {
+        BumpAllocator {
+            base,
+            limit: base + size,
+            next: base,
+        }
+    }
+
+    /// Bytes handed out so far (freed space is never reclaimed).
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.next - self.base
+    }
+}
+
+impl PlacementStrategy for BumpAllocator {
+    fn place(&mut self, size: u64) -> Result<u64, AllocError> {
+        if self.next + size > self.limit {
+            return Err(AllocError::OutOfMemory { requested: size });
+        }
+        let addr = self.next;
+        self.next += size;
+        Ok(addr)
+    }
+
+    fn unplace(&mut self, _base: u64, _size: u64) {
+        // Bump allocators never reuse space.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placements_are_consecutive() {
+        let mut a = BumpAllocator::new(0x1000, 0x1000);
+        assert_eq!(a.place(16).unwrap(), 0x1000);
+        assert_eq!(a.place(32).unwrap(), 0x1010);
+        assert_eq!(a.place(16).unwrap(), 0x1030);
+        assert_eq!(a.used(), 0x40);
+    }
+
+    #[test]
+    fn free_does_not_enable_reuse() {
+        let mut a = BumpAllocator::new(0, 0x100);
+        let b0 = a.place(16).unwrap();
+        a.unplace(b0, 16);
+        assert_ne!(a.place(16).unwrap(), b0);
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let mut a = BumpAllocator::new(0, 32);
+        a.place(32).unwrap();
+        assert_eq!(a.place(1), Err(AllocError::OutOfMemory { requested: 1 }));
+    }
+}

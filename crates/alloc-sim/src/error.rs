@@ -1,0 +1,51 @@
+//! Allocation error type.
+
+/// Errors produced by the simulated heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The allocator could not place a block of the requested size.
+    OutOfMemory {
+        /// The (aligned) size that could not be placed.
+        requested: u64,
+    },
+    /// `free` was called on an address that is not the base of a live
+    /// block (double free or wild pointer).
+    InvalidFree {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "simulated heap exhausted placing {requested} bytes")
+            }
+            AllocError::InvalidFree { addr } => {
+                write!(f, "free of {addr:#x} which is not a live block base")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let oom = AllocError::OutOfMemory { requested: 64 };
+        assert!(oom.to_string().contains("64"));
+        let bad = AllocError::InvalidFree { addr: 0x40 };
+        assert!(bad.to_string().contains("0x40"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AllocError>();
+    }
+}

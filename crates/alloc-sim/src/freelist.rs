@@ -1,0 +1,144 @@
+//! First-fit free-list allocator with coalescing.
+
+use std::collections::BTreeMap;
+
+use crate::{AllocError, PlacementStrategy};
+
+/// A classic first-fit free-list allocator.
+///
+/// Free space is kept as a sorted map of `base -> length`; allocation
+/// scans from the lowest address and carves the first hole large enough,
+/// and deallocation coalesces with both neighbors. This mimics the
+/// placement behavior of simple `malloc` implementations: reuse of freed
+/// addresses is immediate, which is what makes raw addresses *alias*
+/// across object lifetimes (one of the artifacts object-relativity
+/// removes).
+#[derive(Debug, Clone)]
+pub struct FreeListAllocator {
+    /// Free holes, keyed by base address.
+    holes: BTreeMap<u64, u64>,
+}
+
+impl FreeListAllocator {
+    /// Creates a free-list allocator over `[base, base + size)`.
+    #[must_use]
+    pub fn new(base: u64, size: u64) -> Self {
+        let mut holes = BTreeMap::new();
+        holes.insert(base, size);
+        FreeListAllocator { holes }
+    }
+
+    /// Number of distinct free holes (a fragmentation indicator).
+    #[must_use]
+    pub fn hole_count(&self) -> usize {
+        self.holes.len()
+    }
+
+    /// Total free bytes.
+    #[must_use]
+    pub fn free_bytes(&self) -> u64 {
+        self.holes.values().sum()
+    }
+}
+
+impl PlacementStrategy for FreeListAllocator {
+    fn place(&mut self, size: u64) -> Result<u64, AllocError> {
+        let hole = self
+            .holes
+            .iter()
+            .find(|&(_, &len)| len >= size)
+            .map(|(&base, &len)| (base, len))
+            .ok_or(AllocError::OutOfMemory { requested: size })?;
+        let (base, len) = hole;
+        self.holes.remove(&base);
+        if len > size {
+            self.holes.insert(base + size, len - size);
+        }
+        Ok(base)
+    }
+
+    fn unplace(&mut self, base: u64, size: u64) {
+        let mut new_base = base;
+        let mut new_len = size;
+        // Coalesce with the predecessor hole if adjacent.
+        if let Some((&prev_base, &prev_len)) = self.holes.range(..base).next_back() {
+            if prev_base + prev_len == base {
+                self.holes.remove(&prev_base);
+                new_base = prev_base;
+                new_len += prev_len;
+            }
+        }
+        // Coalesce with the successor hole if adjacent.
+        if let Some(&next_len) = self.holes.get(&(base + size)) {
+            self.holes.remove(&(base + size));
+            new_len += next_len;
+        }
+        self.holes.insert(new_base, new_len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_prefers_lowest_address() {
+        let mut a = FreeListAllocator::new(0x1000, 0x1000);
+        let b0 = a.place(0x100).unwrap();
+        let b1 = a.place(0x100).unwrap();
+        assert_eq!(b0, 0x1000);
+        assert_eq!(b1, 0x1100);
+        a.unplace(b0, 0x100);
+        // The freed low block is reused first.
+        assert_eq!(a.place(0x80).unwrap(), 0x1000);
+    }
+
+    #[test]
+    fn coalesces_with_both_neighbors() {
+        let mut a = FreeListAllocator::new(0, 0x300);
+        let b0 = a.place(0x100).unwrap();
+        let b1 = a.place(0x100).unwrap();
+        let b2 = a.place(0x100).unwrap();
+        assert_eq!(a.hole_count(), 0);
+        a.unplace(b0, 0x100);
+        a.unplace(b2, 0x100);
+        assert_eq!(a.hole_count(), 2);
+        a.unplace(b1, 0x100);
+        assert_eq!(
+            a.hole_count(),
+            1,
+            "freeing the middle block merges all three"
+        );
+        assert_eq!(a.free_bytes(), 0x300);
+    }
+
+    #[test]
+    fn splitting_leaves_remainder_hole() {
+        let mut a = FreeListAllocator::new(0, 0x100);
+        a.place(0x40).unwrap();
+        assert_eq!(a.free_bytes(), 0xC0);
+        assert_eq!(a.hole_count(), 1);
+    }
+
+    #[test]
+    fn exhaustion_errors_but_state_survives() {
+        let mut a = FreeListAllocator::new(0, 0x40);
+        a.place(0x40).unwrap();
+        assert!(a.place(0x10).is_err());
+        a.unplace(0, 0x40);
+        assert_eq!(a.place(0x40).unwrap(), 0);
+    }
+
+    #[test]
+    fn fragmentation_prevents_large_allocation() {
+        let mut a = FreeListAllocator::new(0, 0x300);
+        let b0 = a.place(0x100).unwrap();
+        let _b1 = a.place(0x100).unwrap();
+        let b2 = a.place(0x100).unwrap();
+        a.unplace(b0, 0x100);
+        a.unplace(b2, 0x100);
+        // 0x200 bytes free but split in two 0x100 holes.
+        assert_eq!(a.free_bytes(), 0x200);
+        assert!(a.place(0x180).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! The simulated heap façade over the placement strategies.
+
+use std::collections::HashMap;
+
+use crate::{
+    align_up, AllocError, BuddyAllocator, BumpAllocator, FreeListAllocator, PlacementStrategy,
+    RandomizingAllocator, HEAP_BASE, HEAP_SIZE,
+};
+
+/// Which placement strategy a [`SimHeap`] uses.
+///
+/// Running the *same* workload under different kinds (and different
+/// seeds) produces different raw-address traces but identical
+/// object-relative profiles — the paper's central claim, and this
+/// repository's most important integration test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocatorKind {
+    /// Monotone bump allocation, no reuse.
+    Bump,
+    /// First-fit free list with coalescing (default `malloc`-like).
+    FreeList,
+    /// Binary buddy system.
+    Buddy,
+    /// Seeded random placement (address-space-randomization-like).
+    Randomizing,
+}
+
+impl AllocatorKind {
+    /// All strategies, for sweeps in tests and benches.
+    pub const ALL: [AllocatorKind; 4] = [
+        AllocatorKind::Bump,
+        AllocatorKind::FreeList,
+        AllocatorKind::Buddy,
+        AllocatorKind::Randomizing,
+    ];
+}
+
+impl std::fmt::Display for AllocatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            AllocatorKind::Bump => "bump",
+            AllocatorKind::FreeList => "free-list",
+            AllocatorKind::Buddy => "buddy",
+            AllocatorKind::Randomizing => "randomizing",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Usage statistics for a [`SimHeap`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Allocations performed.
+    pub allocs: u64,
+    /// Deallocations performed.
+    pub frees: u64,
+    /// Bytes currently live.
+    pub live_bytes: u64,
+    /// Maximum of `live_bytes` over the run.
+    pub peak_live_bytes: u64,
+}
+
+/// A simulated heap: a placement strategy plus live-block bookkeeping.
+///
+/// The heap validates frees (detecting double frees and wild pointers)
+/// and remembers each live block's size so workloads only have to carry
+/// base addresses around, like real programs do.
+#[derive(Debug)]
+pub struct SimHeap {
+    kind: AllocatorKind,
+    strategy: Box<dyn PlacementStrategy + Send>,
+    live: HashMap<u64, u64>,
+    stats: HeapStats,
+}
+
+impl SimHeap {
+    /// Creates a heap over the standard simulated heap segment.
+    ///
+    /// `seed` only affects [`AllocatorKind::Randomizing`]; deterministic
+    /// strategies ignore it, so a `(kind, seed)` pair fully determines
+    /// the layout a workload observes.
+    #[must_use]
+    pub fn new(kind: AllocatorKind, seed: u64) -> Self {
+        Self::with_arena(kind, seed, HEAP_BASE, HEAP_SIZE)
+    }
+
+    /// Creates a heap over a caller-chosen arena `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two (required by the buddy
+    /// strategy; the other strategies accept any size, but a uniform
+    /// requirement keeps `(kind, seed)` sweeps comparable).
+    #[must_use]
+    pub fn with_arena(kind: AllocatorKind, seed: u64, base: u64, size: u64) -> Self {
+        let strategy: Box<dyn PlacementStrategy + Send> = match kind {
+            AllocatorKind::Bump => Box::new(BumpAllocator::new(base, size)),
+            AllocatorKind::FreeList => Box::new(FreeListAllocator::new(base, size)),
+            AllocatorKind::Buddy => Box::new(BuddyAllocator::new(base, size)),
+            AllocatorKind::Randomizing => Box::new(RandomizingAllocator::new(base, size, seed)),
+        };
+        SimHeap {
+            kind,
+            strategy,
+            live: HashMap::new(),
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The strategy this heap was built with.
+    #[must_use]
+    pub fn kind(&self) -> AllocatorKind {
+        self.kind
+    }
+
+    /// Allocates `size` bytes (rounded up to the minimum alignment) and
+    /// returns the block's base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfMemory`] when the arena is exhausted.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, AllocError> {
+        let size = align_up(size);
+        let base = self.strategy.place(size)?;
+        debug_assert!(
+            !self.live.contains_key(&base),
+            "strategy returned a live base"
+        );
+        self.live.insert(base, size);
+        self.stats.allocs += 1;
+        self.stats.live_bytes += size;
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        Ok(base)
+    }
+
+    /// Frees the block based at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidFree`] when `base` is not the base
+    /// address of a live block.
+    pub fn free(&mut self, base: u64) -> Result<(), AllocError> {
+        let size = self
+            .live
+            .remove(&base)
+            .ok_or(AllocError::InvalidFree { addr: base })?;
+        self.strategy.unplace(base, size);
+        self.stats.frees += 1;
+        self.stats.live_bytes -= size;
+        Ok(())
+    }
+
+    /// Size of the live block based at `base`, if any.
+    #[must_use]
+    pub fn block_size(&self, base: u64) -> Option<u64> {
+        self.live.get(&base).copied()
+    }
+
+    /// Number of live blocks.
+    #[must_use]
+    pub fn live_blocks(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Usage statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_allocate_and_free() {
+        for kind in AllocatorKind::ALL {
+            let mut heap = SimHeap::new(kind, 11);
+            let a = heap.alloc(40).unwrap();
+            let b = heap.alloc(40).unwrap();
+            assert_ne!(a, b, "{kind}");
+            assert_eq!(heap.block_size(a), Some(48), "{kind}: 40 aligns to 48");
+            heap.free(a).unwrap();
+            heap.free(b).unwrap();
+            assert_eq!(heap.live_blocks(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let mut heap = SimHeap::new(AllocatorKind::FreeList, 0);
+        let a = heap.alloc(16).unwrap();
+        heap.free(a).unwrap();
+        assert_eq!(heap.free(a), Err(AllocError::InvalidFree { addr: a }));
+    }
+
+    #[test]
+    fn wild_free_is_detected() {
+        let mut heap = SimHeap::new(AllocatorKind::Bump, 0);
+        assert!(matches!(
+            heap.free(0xdead_beef),
+            Err(AllocError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_track_peak() {
+        let mut heap = SimHeap::new(AllocatorKind::FreeList, 0);
+        let a = heap.alloc(16).unwrap();
+        let b = heap.alloc(16).unwrap();
+        heap.free(a).unwrap();
+        let stats = heap.stats();
+        assert_eq!(stats.allocs, 2);
+        assert_eq!(stats.frees, 1);
+        assert_eq!(stats.live_bytes, 16);
+        assert_eq!(stats.peak_live_bytes, 32);
+        heap.free(b).unwrap();
+    }
+
+    #[test]
+    fn layouts_differ_across_kinds_for_reuse_history() {
+        // Allocate three blocks, free the middle one, allocate a smaller
+        // block: strategies disagree on where it lands.
+        let place = |kind| {
+            let mut heap = SimHeap::with_arena(kind, 5, 0x10000, 1 << 16);
+            let blocks: Vec<u64> = (0..3).map(|_| heap.alloc(64).unwrap()).collect();
+            heap.free(blocks[1]).unwrap();
+            heap.alloc(32).unwrap()
+        };
+        let bump = place(AllocatorKind::Bump);
+        let freelist = place(AllocatorKind::FreeList);
+        assert_ne!(bump, freelist, "bump never reuses, free-list does");
+    }
+
+    #[test]
+    fn heap_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SimHeap>();
+    }
+}

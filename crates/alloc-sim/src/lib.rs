@@ -1,0 +1,108 @@
+//! Simulated address space, heap allocators and linker layout.
+//!
+//! The CGO 2004 paper's whole motivation is that raw-address profiles are
+//! polluted by *confounding artifacts* from three sources:
+//!
+//! 1. the heap allocator's placement decisions (which differ between
+//!    allocator libraries and depend on the allocation history),
+//! 2. the linker's layout of statically allocated data (which shifts when
+//!    probes change the code segment size),
+//! 3. OS memory management (base addresses differing run to run, e.g.
+//!    address space randomization).
+//!
+//! This crate reproduces all three artifact sources in a deterministic,
+//! seedable simulation so the rest of the workspace can demonstrate —
+//! and test — that object-relative profiles are *invariant* under them
+//! while raw-address profiles are not.
+//!
+//! * [`SimHeap`] is a simulated heap with four interchangeable placement
+//!   strategies ([`AllocatorKind`]): a bump allocator, a first-fit free
+//!   list with coalescing, a binary buddy allocator, and a placement-
+//!   randomizing allocator (artifact source 1 and, via the seed, 3).
+//! * [`LinkerLayout`] lays out static objects sequentially from a base
+//!   address that can be shifted to model probe-induced code-segment
+//!   growth (artifact source 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use orp_allocsim::{AllocatorKind, SimHeap};
+//!
+//! # fn main() -> Result<(), orp_allocsim::AllocError> {
+//! let mut heap = SimHeap::new(AllocatorKind::FreeList, 1);
+//! let a = heap.alloc(24)?;
+//! let b = heap.alloc(24)?;
+//! assert_ne!(a, b);
+//! heap.free(a)?;
+//! // First-fit reuses the freed block for an equal-size request.
+//! assert_eq!(heap.alloc(24)?, a);
+//! # Ok(())
+//! # }
+//! ```
+
+mod buddy;
+mod bump;
+mod error;
+mod freelist;
+mod heap;
+mod linker;
+mod random;
+
+pub use buddy::BuddyAllocator;
+pub use bump::BumpAllocator;
+pub use error::AllocError;
+pub use freelist::FreeListAllocator;
+pub use heap::{AllocatorKind, HeapStats, SimHeap};
+pub use linker::{LinkerLayout, StaticObject};
+pub use random::RandomizingAllocator;
+
+/// Base virtual address of the simulated heap segment.
+pub const HEAP_BASE: u64 = 0x6000_0000_0000;
+
+/// Size in bytes of the simulated heap segment.
+pub const HEAP_SIZE: u64 = 1 << 32;
+
+/// Base virtual address of the simulated static-data segment.
+pub const STATIC_BASE: u64 = 0x1000_0000;
+
+/// Minimum alignment (in bytes) of every simulated allocation.
+pub const MIN_ALIGN: u64 = 16;
+
+/// Rounds `size` up to the allocator's minimum alignment.
+///
+/// A zero-size request still occupies one aligned unit, matching the
+/// behavior of real `malloc` implementations where `malloc(0)` returns a
+/// unique pointer.
+///
+/// ```
+/// use orp_allocsim::{align_up, MIN_ALIGN};
+/// assert_eq!(align_up(1), MIN_ALIGN);
+/// assert_eq!(align_up(16), 16);
+/// assert_eq!(align_up(17), 32);
+/// ```
+#[must_use]
+pub fn align_up(size: u64) -> u64 {
+    let size = size.max(1);
+    size.div_ceil(MIN_ALIGN) * MIN_ALIGN
+}
+
+/// The placement-strategy interface shared by all simulated allocators.
+///
+/// Implementations only decide *where* blocks go; the surrounding
+/// [`SimHeap`] tracks live blocks, sizes and statistics.
+pub trait PlacementStrategy: std::fmt::Debug {
+    /// Chooses a base address for a block of `size` bytes
+    /// (already aligned by the caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfMemory`] when the strategy cannot place
+    /// the block.
+    fn place(&mut self, size: u64) -> Result<u64, AllocError>;
+
+    /// Returns a block previously handed out by [`PlacementStrategy::place`].
+    ///
+    /// `base` and `size` are guaranteed by the caller to describe a live
+    /// block.
+    fn unplace(&mut self, base: u64, size: u64);
+}

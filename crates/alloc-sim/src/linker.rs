@@ -1,0 +1,131 @@
+//! Linker layout simulation for statically allocated objects.
+
+use crate::{align_up, STATIC_BASE};
+
+/// One statically allocated object as placed by the simulated linker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticObject {
+    /// Symbol name (the paper reads these from gcc's exported symbol
+    /// table).
+    pub name: String,
+    /// Placed base address.
+    pub base: u64,
+    /// Object size in bytes.
+    pub size: u64,
+}
+
+/// A simulated linker data layout.
+///
+/// Static objects are laid out sequentially from the static segment base
+/// plus a `shift`. The shift models the paper's third artifact: inserting
+/// probes grows the code segment, which moves the data segment and with
+/// it every static object's address — between an instrumented and an
+/// uninstrumented build, or between two instrumentation schemes, all
+/// static raw addresses change while the objects themselves do not.
+///
+/// # Examples
+///
+/// ```
+/// use orp_allocsim::LinkerLayout;
+///
+/// let mut plain = LinkerLayout::new(0);
+/// let mut probed = LinkerLayout::new(0x2400); // probes grew .text
+/// let a = plain.place("table", 4096);
+/// let b = probed.place("table", 4096);
+/// assert_eq!(b.base - a.base, 0x2400);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkerLayout {
+    next: u64,
+    objects: Vec<StaticObject>,
+}
+
+impl LinkerLayout {
+    /// Creates a layout whose data segment starts `shift` bytes beyond
+    /// the nominal static base.
+    #[must_use]
+    pub fn new(shift: u64) -> Self {
+        LinkerLayout {
+            next: STATIC_BASE + shift,
+            objects: Vec::new(),
+        }
+    }
+
+    /// Places a static object of `size` bytes and returns its record.
+    ///
+    /// Objects are placed in call order, each aligned to the minimum
+    /// alignment — the deterministic-but-arbitrary behavior of a real
+    /// linker processing symbols in definition order.
+    pub fn place(&mut self, name: &str, size: u64) -> StaticObject {
+        let size = align_up(size);
+        let obj = StaticObject {
+            name: name.to_owned(),
+            base: self.next,
+            size,
+        };
+        self.next += size;
+        self.objects.push(obj.clone());
+        obj
+    }
+
+    /// All placed objects, in placement order.
+    #[must_use]
+    pub fn objects(&self) -> &[StaticObject] {
+        &self.objects
+    }
+
+    /// Finds a placed object by symbol name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<&StaticObject> {
+        self.objects.iter().find(|o| o.name == name)
+    }
+
+    /// Total bytes of static data placed.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.next - self.objects.first().map_or(self.next, |o| o.base)
+    }
+}
+
+impl Default for LinkerLayout {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_are_sequential_and_aligned() {
+        let mut layout = LinkerLayout::new(0);
+        let a = layout.place("a", 10);
+        let b = layout.place("b", 20);
+        assert_eq!(a.base, STATIC_BASE);
+        assert_eq!(a.size, 16);
+        assert_eq!(b.base, STATIC_BASE + 16);
+        assert_eq!(layout.total_bytes(), 48);
+    }
+
+    #[test]
+    fn shift_moves_every_object_uniformly() {
+        let mut plain = LinkerLayout::new(0);
+        let mut shifted = LinkerLayout::new(0x1000);
+        for name in ["x", "y", "z"] {
+            let p = plain.place(name, 100);
+            let s = shifted.place(name, 100);
+            assert_eq!(s.base - p.base, 0x1000);
+            assert_eq!(s.size, p.size);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut layout = LinkerLayout::default();
+        layout.place("heap_meta", 64);
+        let found = layout.lookup("heap_meta").unwrap();
+        assert_eq!(found.size, 64);
+        assert!(layout.lookup("missing").is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Placement-randomizing allocator.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{AllocError, PlacementStrategy};
+
+/// An allocator that scatters blocks pseudo-randomly across the arena.
+///
+/// This is the adversarial end of the artifact spectrum: with a different
+/// seed every run — modelling address-space randomization plus a
+/// hardening allocator — raw addresses carry *no* run-to-run structure at
+/// all, while the object-relative profile is untouched. Placement is
+/// rejection-sampled against the live-block map, falling back to
+/// first-fit when the arena gets crowded.
+#[derive(Debug, Clone)]
+pub struct RandomizingAllocator {
+    base: u64,
+    size: u64,
+    rng: StdRng,
+    /// Live blocks, keyed by base offset, value = length.
+    live: BTreeMap<u64, u64>,
+    /// Rejection-sampling attempts before falling back to first-fit.
+    attempts: u32,
+}
+
+impl RandomizingAllocator {
+    /// Creates a randomizing allocator over `[base, base + size)` seeded
+    /// with `seed`.
+    #[must_use]
+    pub fn new(base: u64, size: u64, seed: u64) -> Self {
+        RandomizingAllocator {
+            base,
+            size,
+            rng: StdRng::seed_from_u64(seed),
+            live: BTreeMap::new(),
+            attempts: 64,
+        }
+    }
+
+    /// `true` when `[off, off+len)` overlaps no live block.
+    fn fits(&self, off: u64, len: u64) -> bool {
+        if off + len > self.size {
+            return false;
+        }
+        // Predecessor block must end at or before `off`.
+        if let Some((&b, &l)) = self.live.range(..=off).next_back() {
+            if b + l > off {
+                return false;
+            }
+        }
+        // Successor block must start at or after `off + len`.
+        if let Some((&b, _)) = self.live.range(off..).next() {
+            if b < off + len {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// First-fit fallback scan over the gaps between live blocks.
+    fn first_fit(&self, len: u64) -> Option<u64> {
+        let mut cursor = 0u64;
+        for (&b, &l) in &self.live {
+            if b >= cursor && b - cursor >= len {
+                return Some(cursor);
+            }
+            cursor = cursor.max(b + l);
+        }
+        if self.size >= cursor && self.size - cursor >= len {
+            return Some(cursor);
+        }
+        None
+    }
+}
+
+impl PlacementStrategy for RandomizingAllocator {
+    fn place(&mut self, size: u64) -> Result<u64, AllocError> {
+        let span = self.size.saturating_sub(size);
+        for _ in 0..self.attempts {
+            // Sample a 16-byte-aligned offset.
+            let off = (self.rng.random_range(0..=span) / 16) * 16;
+            if self.fits(off, size) {
+                self.live.insert(off, size);
+                return Ok(self.base + off);
+            }
+        }
+        let off = self
+            .first_fit(size)
+            .ok_or(AllocError::OutOfMemory { requested: size })?;
+        self.live.insert(off, size);
+        Ok(self.base + off)
+    }
+
+    fn unplace(&mut self, base: u64, _size: u64) {
+        self.live.remove(&(base - self.base));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_never_overlap() {
+        let mut a = RandomizingAllocator::new(0, 1 << 16, 42);
+        let mut blocks: Vec<(u64, u64)> = Vec::new();
+        for i in 0..200 {
+            let len = 16 * (1 + (i % 7));
+            let b = a.place(len).unwrap();
+            for &(ob, ol) in &blocks {
+                assert!(b + len <= ob || ob + ol <= b, "overlap at {b:#x}");
+            }
+            blocks.push((b, len));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_layouts() {
+        let mut a = RandomizingAllocator::new(0, 1 << 20, 1);
+        let mut b = RandomizingAllocator::new(0, 1 << 20, 2);
+        let pa: Vec<u64> = (0..32).map(|_| a.place(64).unwrap()).collect();
+        let pb: Vec<u64> = (0..32).map(|_| b.place(64).unwrap()).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let mut a = RandomizingAllocator::new(0, 1 << 20, 7);
+        let mut b = RandomizingAllocator::new(0, 1 << 20, 7);
+        for _ in 0..32 {
+            assert_eq!(a.place(48).unwrap(), b.place(48).unwrap());
+        }
+    }
+
+    #[test]
+    fn falls_back_to_first_fit_when_crowded() {
+        // Arena of exactly 4 blocks: random placement will collide often,
+        // but every allocation must still succeed until truly full.
+        let mut a = RandomizingAllocator::new(0, 64, 3);
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            got.push(a.place(16).unwrap());
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 16, 32, 48]);
+        assert!(a.place(16).is_err());
+    }
+
+    #[test]
+    fn free_makes_space_reusable() {
+        let mut a = RandomizingAllocator::new(0, 64, 9);
+        let blocks: Vec<u64> = (0..4).map(|_| a.place(16).unwrap()).collect();
+        a.unplace(blocks[2], 16);
+        assert_eq!(a.place(16).unwrap(), blocks[2]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: every allocator strategy hands out disjoint blocks,
+//! survives arbitrary alloc/free interleavings, and reclaims memory
+//! (except bump, which by design does not).
+
+use orp_allocsim::{AllocatorKind, SimHeap};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Alloc {
+        size: u64,
+    },
+    /// Frees the `idx % live`-th live block, when any.
+    Free {
+        idx: usize,
+    },
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u64..512).prop_map(|size| Action::Alloc { size }),
+        (0usize..64).prop_map(|idx| Action::Free { idx }),
+    ]
+}
+
+fn check_kind(kind: AllocatorKind, seed: u64, script: &[Action]) {
+    let mut heap = SimHeap::with_arena(kind, seed, 0x10000, 1 << 20);
+    // (base, size) of live blocks per the model.
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    for action in script {
+        match action {
+            Action::Alloc { size } => {
+                if let Ok(base) = heap.alloc(*size) {
+                    let len = heap.block_size(base).expect("just allocated");
+                    assert!(len >= *size, "{kind}: block smaller than requested");
+                    for &(ob, ol) in &live {
+                        assert!(
+                            base + len <= ob || ob + ol <= base,
+                            "{kind}: block [{base:#x};{len}) overlaps [{ob:#x};{ol})"
+                        );
+                    }
+                    live.push((base, len));
+                }
+            }
+            Action::Free { idx } => {
+                if !live.is_empty() {
+                    let (base, _) = live.swap_remove(idx % live.len());
+                    heap.free(base).expect("live block frees cleanly");
+                }
+            }
+        }
+    }
+    assert_eq!(heap.live_blocks(), live.len());
+    let stats = heap.stats();
+    assert_eq!(stats.allocs - stats.frees, live.len() as u64);
+    assert_eq!(stats.live_bytes, live.iter().map(|&(_, l)| l).sum::<u64>());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_strategies_maintain_disjointness(
+        script in proptest::collection::vec(arb_action(), 0..300),
+        seed in 0u64..8,
+    ) {
+        for kind in AllocatorKind::ALL {
+            check_kind(kind, seed, &script);
+        }
+    }
+
+    #[test]
+    fn reusing_strategies_survive_full_churn(
+        sizes in proptest::collection::vec(1u64..256, 1..64),
+    ) {
+        // Allocate everything, free everything, repeat: reusing
+        // allocators must never run out in a 1 MiB arena for < 16 KiB
+        // of live data.
+        for kind in [AllocatorKind::FreeList, AllocatorKind::Buddy, AllocatorKind::Randomizing] {
+            let mut heap = SimHeap::with_arena(kind, 3, 0, 1 << 20);
+            for _round in 0..4 {
+                let blocks: Vec<u64> =
+                    sizes.iter().map(|&s| heap.alloc(s).expect("fits")).collect();
+                for b in blocks {
+                    heap.free(b).expect("free succeeds");
+                }
+                assert_eq!(heap.live_blocks(), 0, "{kind}");
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Criterion benchmarks for the profiling substrates and pipelines.
+//!
+//! * `sequitur`: push throughput on repetitive vs incompressible input;
+//! * `lmad`: linear-compressor push throughput;
+//! * `omc`: address translation throughput against a populated table;
+//! * `collection`: end-to-end profile collection for WHOMP (OMSG),
+//!   RASG, and LEAP over the gzip workload — the §3.2 claim that OMSG
+//!   collection time is in the same ballpark as RASG's, and the Table 1
+//!   dilation ingredient for LEAP.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use orp_core::{Cdc, Omc, Timestamp};
+use orp_leap::LeapProfiler;
+use orp_lmad::LinearCompressor;
+use orp_sequitur::Sequitur;
+use orp_trace::{AllocSiteId, NullSink, ProbeSink};
+use orp_whomp::{RasgProfiler, WhompProfiler};
+use orp_workloads::{spec, RunConfig, Tracer, Workload};
+
+fn bench_sequitur(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequitur");
+    let n = 50_000u64;
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("repetitive", |b| {
+        let input: Vec<u64> = (0..n).map(|i| i % 16).collect();
+        b.iter(|| {
+            let mut seq = Sequitur::new();
+            seq.extend(input.iter().copied());
+            black_box(seq.size())
+        });
+    });
+    group.bench_function("incompressible", |b| {
+        let input: Vec<u64> = (0..n)
+            .map(|i| {
+                let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                x ^= x >> 31;
+                x
+            })
+            .collect();
+        b.iter(|| {
+            let mut seq = Sequitur::new();
+            seq.extend(input.iter().copied());
+            black_box(seq.size())
+        });
+    });
+    group.finish();
+}
+
+fn bench_lmad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lmad");
+    let n = 100_000i64;
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("linear_stream", |b| {
+        b.iter(|| {
+            let mut comp = LinearCompressor::new(3, 30);
+            for k in 0..n {
+                comp.push(black_box(&[k, 8 * k, 2 * k]));
+            }
+            black_box(comp.captured())
+        });
+    });
+    group.bench_function("wild_stream_overflowed", |b| {
+        let points: Vec<[i64; 3]> = (0..n)
+            .map(|k| {
+                let mut x = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                x ^= x >> 29;
+                [(x % 4096) as i64, ((x >> 12) % 4096) as i64, k]
+            })
+            .collect();
+        b.iter(|| {
+            let mut comp = LinearCompressor::new(3, 30);
+            for p in &points {
+                comp.push(black_box(p));
+            }
+            black_box(comp.captured())
+        });
+    });
+    group.finish();
+}
+
+fn bench_omc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omc");
+    // A populated object table: 10k live objects of 64 bytes.
+    let mut omc = Omc::new();
+    for k in 0..10_000u64 {
+        omc.on_alloc(
+            AllocSiteId((k % 16) as u32),
+            0x10_0000 + k * 64,
+            48,
+            Timestamp(k),
+        )
+        .expect("disjoint");
+    }
+    let queries: Vec<u64> = (0..10_000u64)
+        .map(|k| 0x10_0000 + ((k * 7919) % 10_000) * 64 + (k % 48))
+        .collect();
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("translate", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &addr in &queries {
+                if omc.translate(black_box(addr)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+fn bench_collection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collection");
+    group.sample_size(10);
+    let cfg = RunConfig::default();
+    let workload = spec::Gzip::new(1);
+
+    fn drive(workload: &dyn Workload, cfg: &RunConfig, sink: &mut dyn ProbeSink) {
+        let mut tracer = Tracer::new(cfg, sink);
+        workload.run(&mut tracer);
+        tracer.finish();
+    }
+
+    group.bench_function("native_null_sink", |b| {
+        b.iter_batched(
+            NullSink::new,
+            |mut sink| drive(&workload, &cfg, &mut sink),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("rasg", |b| {
+        b.iter_batched(
+            RasgProfiler::new,
+            |mut profiler| {
+                drive(&workload, &cfg, &mut profiler);
+                black_box(profiler.total_size());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("whomp_omsg", |b| {
+        b.iter_batched(
+            || Cdc::new(Omc::new(), WhompProfiler::new()),
+            |mut cdc| {
+                drive(&workload, &cfg, &mut cdc);
+                black_box(cdc.sink().total_size());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("leap", |b| {
+        b.iter_batched(
+            || Cdc::new(Omc::new(), LeapProfiler::new()),
+            |mut cdc| {
+                drive(&workload, &cfg, &mut cdc);
+                black_box(cdc.sink().stream_count());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequitur,
+    bench_lmad,
+    bench_omc,
+    bench_collection
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: the Connors history-window size. Bigger windows catch
+//! longer-range dependences at linearly growing memory cost; even huge
+//! windows keep the underestimation-only error shape.
+
+use orp_bench::{collect_connors, collect_lossless_dependences, dependence_errors, scale_from_env};
+use orp_report::Table;
+use orp_workloads::{spec_suite, RunConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = RunConfig::default();
+    println!("== Ablation: Connors window sweep (scale {scale}) ==\n");
+
+    let suite = spec_suite(scale);
+    let truths: Vec<_> = suite
+        .iter()
+        .map(|w| collect_lossless_dependences(w.as_ref(), &cfg))
+        .collect();
+
+    let mut table = Table::new([
+        "window",
+        "within ±10%",
+        "dependent pairs seen",
+        "window memory",
+    ]);
+    for window in [64usize, 256, 1024, 4096, 8192, 16384, 65536, 262144] {
+        let mut hist = orp_report::ErrorHistogram::new();
+        let mut reported = 0usize;
+        for (w, truth) in suite.iter().zip(&truths) {
+            let est = collect_connors(w.as_ref(), &cfg, window);
+            reported += est.pairs().len();
+            hist.merge(&dependence_errors(&est, truth));
+        }
+        table.row_vec(vec![
+            window.to_string(),
+            format!("{:.1}%", hist.fraction_within(10.0) * 100.0),
+            reported.to_string(),
+            format!("{} KiB", window * 24 / 1024),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("\n-- CSV --\n{}", table.to_csv());
+}

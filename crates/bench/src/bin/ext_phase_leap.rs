@@ -1,0 +1,73 @@
+//! Extension experiment (the paper's future work): phase-cognizant
+//! LEAP profiling.
+//!
+//! A program with distinct execution phases muddles a single
+//! whole-run LEAP profile: each `(instruction, group)` stream mixes
+//! per-phase behaviors and exhausts its LMAD budget on the seams.
+//! Routing intervals to per-phase LEAP profiles (detected online with
+//! interval signatures) recovers capture quality.
+
+use orp_bench::{run, scale_from_env};
+use orp_core::{Cdc, Omc};
+use orp_leap::{LeapProfiler, DEFAULT_LMAD_BUDGET};
+use orp_phase::{PhaseDetector, PhasedProfiler};
+use orp_report::Table;
+use orp_workloads::{spec_suite, RunConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = RunConfig::default();
+    println!("== Extension: phase-cognizant LEAP (scale {scale}) ==\n");
+
+    let mut table = Table::new([
+        "benchmark",
+        "phases",
+        "monolithic capture",
+        "per-phase capture",
+        "per-phase bytes",
+    ]);
+    for workload in spec_suite(scale) {
+        // Monolithic LEAP.
+        let mut mono = Cdc::new(Omc::new(), LeapProfiler::new());
+        run(workload.as_ref(), &cfg, &mut mono);
+        let mono_profile = mono.into_parts().1.into_profile();
+        let mono_capture = mono_profile.sample_quality().accesses_captured;
+
+        // Phase-cognizant LEAP: same per-stream budget inside each
+        // phase.
+        let detector = PhaseDetector::new(10_000, 0.5);
+        let phased =
+            PhasedProfiler::new(detector, |_| LeapProfiler::with_budget(DEFAULT_LMAD_BUDGET));
+        let mut cdc = Cdc::new(Omc::new(), phased);
+        run(workload.as_ref(), &cfg, &mut cdc);
+        let (phases, detector) = cdc.into_parts().1.into_parts();
+
+        let (mut seen, mut captured, mut bytes) = (0u64, 0u64, 0u64);
+        for profiler in phases.into_values() {
+            let profile = profiler.into_profile();
+            for stream in profile.streams().values() {
+                seen += stream.loc.seen();
+                captured += stream.loc.captured();
+            }
+            bytes += profile.encoded_bytes();
+        }
+        let phase_capture = if seen == 0 {
+            0.0
+        } else {
+            captured as f64 / seen as f64
+        };
+
+        table.row_vec(vec![
+            workload.name().to_owned(),
+            detector.phase_count().to_string(),
+            format!("{:.1}%", mono_capture * 100.0),
+            format!("{:.1}%", phase_capture * 100.0),
+            bytes.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Phase-cognizant profiles spend a fresh LMAD budget per phase, so");
+    println!("capture rises on phase-structured programs at a proportional");
+    println!("profile-size cost.");
+    println!("\n-- CSV --\n{}", table.to_csv());
+}

@@ -1,0 +1,49 @@
+//! Figure 5: compression of the OMSG over the conventional raw-address
+//! Sequitur grammar, per benchmark, with the paper's ~22% average gain
+//! as the reference shape. Also reports the §3.2 observation that OMSG
+//! collection time is comparable to RASG collection time.
+
+use orp_bench::{compression_run, scale_from_env};
+use orp_report::{BarChart, Table};
+use orp_workloads::{spec_suite, RunConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = RunConfig::default();
+    println!("== Figure 5: OMSG compression over RASG (scale {scale}) ==\n");
+
+    let mut table = Table::new([
+        "benchmark",
+        "accesses",
+        "omsg bytes",
+        "rasg bytes",
+        "gain",
+        "sym gain",
+        "time ratio",
+    ]);
+    let mut chart = BarChart::new("%");
+    let mut gains = Vec::new();
+
+    for workload in spec_suite(scale) {
+        let run = compression_run(workload.as_ref(), &cfg);
+        let time_ratio = run.omsg_time.as_secs_f64() / run.rasg_time.as_secs_f64().max(1e-9);
+        table.row_vec(vec![
+            run.name.to_owned(),
+            run.accesses.to_string(),
+            run.omsg_bytes.to_string(),
+            run.rasg_bytes.to_string(),
+            format!("{:.1}%", run.gain_percent),
+            format!("{:.1}%", run.symbol_gain_percent),
+            format!("{time_ratio:.2}"),
+        ]);
+        chart.bar(run.name, run.gain_percent);
+        gains.push(run.gain_percent);
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    chart.bar("average", avg);
+
+    println!("{}", table.render());
+    println!("{}", chart.render(40));
+    println!("average OMSG gain over RASG: {avg:.1}%  (paper: 22% on SPEC)");
+    println!("\n-- CSV --\n{}", table.to_csv());
+}

@@ -1,0 +1,39 @@
+//! Figure 6: the error distribution of LEAP's memory-dependence
+//! frequencies relative to the lossless ground truth, over all
+//! benchmarks. The paper's headline: ~75% of dependent pairs are
+//! exactly right or off by at most 10%.
+
+use orp_bench::{collect_leap, collect_lossless_dependences, dependence_errors, scale_from_env};
+use orp_leap::{mdf, DEFAULT_LMAD_BUDGET};
+use orp_report::{ErrorHistogram, Table};
+use orp_workloads::{spec_suite, RunConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = RunConfig::default();
+    println!("== Figure 6: LEAP memory-dependence error distribution (scale {scale}) ==\n");
+
+    let mut combined = ErrorHistogram::new();
+    let mut table = Table::new(["benchmark", "dependent pairs", "within ±10%"]);
+    for workload in spec_suite(scale) {
+        let (profile, _) = collect_leap(workload.as_ref(), &cfg, DEFAULT_LMAD_BUDGET);
+        let estimate = mdf::dependence_frequencies(&profile);
+        let truth = collect_lossless_dependences(workload.as_ref(), &cfg);
+        let hist = dependence_errors(&estimate, &truth);
+        table.row_vec(vec![
+            workload.name().to_owned(),
+            hist.total().to_string(),
+            format!("{:.1}%", hist.fraction_within(10.0) * 100.0),
+        ]);
+        combined.merge(&hist);
+    }
+
+    println!("{}", table.render());
+    println!("error distribution over all benchmarks (percent of pairs per bin):\n");
+    println!("{}", combined.render(40));
+    println!(
+        "pairs correct or within ±10%: {:.1}%  (paper: ~75%)",
+        combined.fraction_within(10.0) * 100.0
+    );
+    println!("\n-- CSV --\n{}", table.to_csv());
+}

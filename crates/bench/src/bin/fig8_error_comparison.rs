@@ -1,0 +1,54 @@
+//! Figure 8: average error distributions of LEAP and Connors side by
+//! side. The paper's headline: LEAP characterizes 56% more pairs
+//! correctly (within ±10%) than Connors.
+
+use orp_bench::{
+    collect_connors, collect_leap, collect_lossless_dependences, dependence_errors, scale_from_env,
+};
+use orp_leap::connors::DEFAULT_WINDOW;
+use orp_leap::{mdf, DEFAULT_LMAD_BUDGET};
+use orp_report::{ErrorHistogram, Table};
+use orp_workloads::{spec_suite, RunConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = RunConfig::default();
+    println!("== Figure 8: LEAP vs Connors average error distribution (scale {scale}) ==\n");
+
+    let mut leap_hist = ErrorHistogram::new();
+    let mut connors_hist = ErrorHistogram::new();
+    for workload in spec_suite(scale) {
+        let truth = collect_lossless_dependences(workload.as_ref(), &cfg);
+        let (profile, _) = collect_leap(workload.as_ref(), &cfg, DEFAULT_LMAD_BUDGET);
+        leap_hist.merge(&dependence_errors(
+            &mdf::dependence_frequencies(&profile),
+            &truth,
+        ));
+        let connors = collect_connors(workload.as_ref(), &cfg, DEFAULT_WINDOW);
+        connors_hist.merge(&dependence_errors(&connors, &truth));
+    }
+
+    let mut table = Table::new(["error bin", "LEAP %", "Connors %"]);
+    let leap_pct = leap_hist.percentages();
+    let connors_pct = connors_hist.percentages();
+    for (i, label) in ErrorHistogram::labels().iter().enumerate() {
+        table.row_vec(vec![
+            (*label).to_owned(),
+            format!("{:.1}", leap_pct[i]),
+            format!("{:.1}", connors_pct[i]),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let leap_good = leap_hist.fraction_within(10.0) * 100.0;
+    let connors_good = connors_hist.fraction_within(10.0) * 100.0;
+    println!("LEAP within ±10%:    {leap_good:.1}%");
+    println!("Connors within ±10%: {connors_good:.1}%");
+    if connors_good > 0.0 {
+        println!(
+            "improvement: {:.0}% more pairs characterized correctly (paper: 56%)",
+            (leap_good - connors_good) / connors_good * 100.0
+        );
+    }
+    println!("\n-- CSV --\n{}", table.to_csv());
+}

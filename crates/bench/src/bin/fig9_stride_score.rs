@@ -1,0 +1,57 @@
+//! Figure 9: the stride score — the percentage of truly
+//! strongly-strided instructions (per the lossless stride profiler)
+//! that LEAP's LMAD post-process also identifies. Paper average: 88%.
+
+use orp_bench::{collect_leap, collect_lossless_strides, scale_from_env};
+use orp_leap::strides::{stride_score, stride_stats, STRONG_STRIDE_THRESHOLD};
+use orp_leap::DEFAULT_LMAD_BUDGET;
+use orp_report::{BarChart, Table};
+use orp_workloads::{spec_suite, RunConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = RunConfig::default();
+    println!(
+        "== Figure 9: stride score (threshold {:.0}%, scale {scale}) ==\n",
+        STRONG_STRIDE_THRESHOLD * 100.0
+    );
+
+    let mut table = Table::new([
+        "benchmark",
+        "real strongly-strided",
+        "found by LEAP",
+        "score",
+    ]);
+    let mut chart = BarChart::new("%");
+    let mut scores = Vec::new();
+    for workload in spec_suite(scale) {
+        let truth = collect_lossless_strides(workload.as_ref(), &cfg);
+        let (profile, _) = collect_leap(workload.as_ref(), &cfg, DEFAULT_LMAD_BUDGET);
+        let leap = stride_stats(&profile);
+
+        let real = truth.strongly_strided(STRONG_STRIDE_THRESHOLD);
+        let found: std::collections::BTreeSet<_> = leap
+            .strongly_strided(STRONG_STRIDE_THRESHOLD)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let hits = real.iter().filter(|(i, _)| found.contains(i)).count();
+        let score = stride_score(&leap, &truth).unwrap_or(1.0) * 100.0;
+
+        table.row_vec(vec![
+            workload.name().to_owned(),
+            real.len().to_string(),
+            hits.to_string(),
+            format!("{score:.0}%"),
+        ]);
+        chart.bar(workload.name(), score);
+        scores.push(score);
+    }
+    let avg = scores.iter().sum::<f64>() / scores.len() as f64;
+    chart.bar("average", avg);
+
+    println!("{}", table.render());
+    println!("{}", chart.render(40));
+    println!("average stride score: {avg:.0}%  (paper: 88%)");
+    println!("\n-- CSV --\n{}", table.to_csv());
+}

@@ -1,0 +1,63 @@
+//! Table 1: LEAP profile size (compression ratio over the raw trace),
+//! time dilation over native, and sample quality (accesses and
+//! instructions captured), per benchmark with averages.
+//!
+//! Paper averages: 3539× compression, 11.5× dilation, 46.5% accesses
+//! captured, 40.5% instructions captured.
+
+use orp_bench::{collect_leap, native_time, scale_from_env};
+use orp_leap::DEFAULT_LMAD_BUDGET;
+use orp_report::{fmt_percent, fmt_ratio, Table};
+use orp_workloads::{spec_suite, RunConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = RunConfig::default();
+    println!("== Table 1: LEAP profile size, speed, and sample quality (scale {scale}) ==\n");
+
+    let mut table = Table::new([
+        "benchmark",
+        "compression ratio",
+        "dilation factor",
+        "accesses captured",
+        "instrs captured",
+    ]);
+    let (mut sum_ratio, mut sum_dilation, mut sum_acc, mut sum_instr) = (0.0, 0.0, 0.0, 0.0);
+    let mut n = 0.0;
+
+    for workload in spec_suite(scale) {
+        // Warm-up native run (allocator init, page faults), then the
+        // measured pair.
+        let _ = native_time(workload.as_ref(), &cfg);
+        let native = native_time(workload.as_ref(), &cfg);
+        let (profile, instrumented) = collect_leap(workload.as_ref(), &cfg, DEFAULT_LMAD_BUDGET);
+
+        let ratio = profile.compression_ratio();
+        let dilation = instrumented.as_secs_f64() / native.as_secs_f64().max(1e-9);
+        let quality = profile.sample_quality();
+
+        table.row_vec(vec![
+            workload.name().to_owned(),
+            fmt_ratio(ratio),
+            format!("{dilation:.1}"),
+            fmt_percent(quality.accesses_captured * 100.0),
+            fmt_percent(quality.instructions_captured * 100.0),
+        ]);
+        sum_ratio += ratio;
+        sum_dilation += dilation;
+        sum_acc += quality.accesses_captured;
+        sum_instr += quality.instructions_captured;
+        n += 1.0;
+    }
+    table.row_vec(vec![
+        "Average".to_owned(),
+        fmt_ratio(sum_ratio / n),
+        format!("{:.1}", sum_dilation / n),
+        fmt_percent(sum_acc / n * 100.0),
+        fmt_percent(sum_instr / n * 100.0),
+    ]);
+
+    println!("{}", table.render());
+    println!("(paper averages: 3539x, 11.5, 46.5%, 40.5%)");
+    println!("\n-- CSV --\n{}", table.to_csv());
+}

@@ -1,0 +1,239 @@
+//! Shared experiment harness code behind the per-figure/table binaries.
+//!
+//! Each binary in `src/bin/` reproduces one figure or table of the CGO
+//! 2004 paper (see `DESIGN.md` for the index); the heavy lifting —
+//! running a workload through a profiler configuration and collecting
+//! the metrics — lives here so binaries stay declarative and the logic
+//! is unit-testable.
+
+use std::time::{Duration, Instant};
+
+use orp_core::{Cdc, Omc};
+use orp_trace::{CountingSink, NullSink, ProbeSink, TeeSink};
+use orp_whomp::{Omsg, Rasg, RasgProfiler, WhompProfiler};
+use orp_workloads::{RunConfig, Workload};
+
+/// Default workload scale for the harnesses (paper runs used SPEC
+/// training inputs; scale 2 gives a few hundred thousand accesses per
+/// benchmark, enough for stable profile shapes).
+pub const DEFAULT_SCALE: u32 = 2;
+
+/// Reads a scale override from the `ORP_SCALE` environment variable.
+#[must_use]
+pub fn scale_from_env() -> u32 {
+    std::env::var("ORP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// The outcome of one WHOMP-vs-RASG run (Figure 5's per-benchmark data
+/// point).
+#[derive(Debug, Clone)]
+pub struct CompressionRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Accesses in the trace.
+    pub accesses: u64,
+    /// OMSG total grammar size (symbols).
+    pub omsg_size: u64,
+    /// RASG total grammar size (symbols).
+    pub rasg_size: u64,
+    /// OMSG serialized size in bytes.
+    pub omsg_bytes: u64,
+    /// RASG serialized size in bytes.
+    pub rasg_bytes: u64,
+    /// Percent by which the OMSG profile is smaller on disk (positive =
+    /// OMSG wins) — the Figure 5 number.
+    pub gain_percent: f64,
+    /// The structure-only (symbol count) gain.
+    pub symbol_gain_percent: f64,
+    /// Wall-clock time collecting the OMSG.
+    pub omsg_time: Duration,
+    /// Wall-clock time collecting the RASG.
+    pub rasg_time: Duration,
+}
+
+/// Runs `workload` once, collecting the OMSG and RASG profiles in two
+/// separate (timed) passes over identical traces.
+#[must_use]
+pub fn compression_run(workload: &dyn Workload, cfg: &RunConfig) -> CompressionRun {
+    let t0 = Instant::now();
+    let omsg = collect_omsg(workload, cfg);
+    let omsg_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let rasg = collect_rasg(workload, cfg);
+    let rasg_time = t1.elapsed();
+
+    assert_eq!(
+        omsg.tuples(),
+        rasg.accesses(),
+        "{}: OMSG and RASG must see identical traces",
+        workload.name()
+    );
+    CompressionRun {
+        name: workload.name(),
+        accesses: rasg.accesses(),
+        omsg_size: omsg.total_size(),
+        rasg_size: rasg.total_size(),
+        omsg_bytes: omsg.encoded_bytes(),
+        rasg_bytes: rasg.encoded_bytes(),
+        gain_percent: orp_whomp::compression_gain_percent(&omsg, &rasg),
+        symbol_gain_percent: orp_whomp::symbol_gain_percent(&omsg, &rasg),
+        omsg_time,
+        rasg_time,
+    }
+}
+
+/// Collects a WHOMP profile (OMSG) for one workload run.
+#[must_use]
+pub fn collect_omsg(workload: &dyn Workload, cfg: &RunConfig) -> Omsg {
+    let mut cdc = Cdc::new(Omc::new(), WhompProfiler::new());
+    run(workload, cfg, &mut cdc);
+    cdc.into_parts().1.into_omsg()
+}
+
+/// Collects a raw-address profile (RASG) for one workload run.
+#[must_use]
+pub fn collect_rasg(workload: &dyn Workload, cfg: &RunConfig) -> Rasg {
+    let mut profiler = RasgProfiler::new();
+    run(workload, cfg, &mut profiler);
+    profiler.into_rasg()
+}
+
+/// Runs a workload against an arbitrary probe sink under `cfg`.
+pub fn run(workload: &dyn Workload, cfg: &RunConfig, sink: &mut dyn ProbeSink) {
+    let mut tracer = orp_workloads::Tracer::new(cfg, sink);
+    workload.run(&mut tracer);
+    tracer.finish();
+}
+
+/// Times a "native" run (events discarded) — the denominator of the
+/// paper's dilation factor.
+#[must_use]
+pub fn native_time(workload: &dyn Workload, cfg: &RunConfig) -> Duration {
+    let mut sink = NullSink::new();
+    let t0 = Instant::now();
+    run(workload, cfg, &mut sink);
+    t0.elapsed()
+}
+
+/// Counts a workload's trace statistics without profiling.
+#[must_use]
+pub fn trace_stats(workload: &dyn Workload, cfg: &RunConfig) -> orp_trace::TraceStats {
+    let mut sink = CountingSink::new();
+    run(workload, cfg, &mut sink);
+    sink.into_stats()
+}
+
+/// Runs a workload against `sink` while also counting trace statistics.
+#[must_use]
+pub fn run_with_stats<S: ProbeSink>(
+    workload: &dyn Workload,
+    cfg: &RunConfig,
+    sink: S,
+) -> (S, orp_trace::TraceStats) {
+    let mut tee = TeeSink::new(sink, CountingSink::new());
+    run(workload, cfg, &mut tee);
+    let (sink, counter) = tee.into_inner();
+    (sink, counter.into_stats())
+}
+
+// ---------------------------------------------------------------------
+// LEAP-side harness helpers
+// ---------------------------------------------------------------------
+
+/// Collects a LEAP profile (with the given LMAD budget) for one
+/// workload run, timing the instrumented execution.
+#[must_use]
+pub fn collect_leap(
+    workload: &dyn Workload,
+    cfg: &RunConfig,
+    budget: usize,
+) -> (orp_leap::LeapProfile, Duration) {
+    let mut cdc = Cdc::new(Omc::new(), orp_leap::LeapProfiler::with_budget(budget));
+    let t0 = Instant::now();
+    run(workload, cfg, &mut cdc);
+    let elapsed = t0.elapsed();
+    (cdc.into_parts().1.into_profile(), elapsed)
+}
+
+/// Collects the lossless ground-truth dependence profile.
+#[must_use]
+pub fn collect_lossless_dependences(
+    workload: &dyn Workload,
+    cfg: &RunConfig,
+) -> orp_leap::DependenceProfile {
+    let mut cdc = Cdc::new(
+        Omc::new(),
+        orp_leap::lossless::LosslessDependenceProfiler::new(),
+    );
+    run(workload, cfg, &mut cdc);
+    cdc.into_parts().1.into_profile()
+}
+
+/// Collects a Connors window-profiler dependence profile.
+#[must_use]
+pub fn collect_connors(
+    workload: &dyn Workload,
+    cfg: &RunConfig,
+    window: usize,
+) -> orp_leap::DependenceProfile {
+    let mut profiler = orp_leap::connors::ConnorsProfiler::with_window(window);
+    run(workload, cfg, &mut profiler);
+    profiler.into_profile()
+}
+
+/// Collects the lossless ground-truth stride statistics.
+#[must_use]
+pub fn collect_lossless_strides(
+    workload: &dyn Workload,
+    cfg: &RunConfig,
+) -> orp_leap::lossless::StrideStats {
+    let mut cdc = Cdc::new(
+        Omc::new(),
+        orp_leap::lossless::LosslessStrideProfiler::new(),
+    );
+    run(workload, cfg, &mut cdc);
+    cdc.into_parts().1.into_profile()
+}
+
+/// Builds the paper's error histogram for one workload under one
+/// estimator, scored against the lossless ground truth.
+#[must_use]
+pub fn dependence_errors(
+    estimate: &orp_leap::DependenceProfile,
+    truth: &orp_leap::DependenceProfile,
+) -> orp_report::ErrorHistogram {
+    let mut hist = orp_report::ErrorHistogram::new();
+    for pair in orp_leap::errors::score_pairs(estimate, truth) {
+        hist.record(pair.error_percent());
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_workloads::micro;
+
+    #[test]
+    fn compression_run_is_consistent() {
+        let w = micro::LinkedList::new(64, 6);
+        let run = compression_run(&w, &RunConfig::default());
+        assert!(run.accesses > 0);
+        assert!(run.omsg_size > 0 && run.rasg_size > 0);
+        let recomputed = (1.0 - run.omsg_bytes as f64 / run.rasg_bytes as f64) * 100.0;
+        assert!((run.gain_percent - recomputed).abs() < 1e-9);
+        let recomputed_sym = (1.0 - run.omsg_size as f64 / run.rasg_size as f64) * 100.0;
+        assert!((run.symbol_gain_percent - recomputed_sym).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_with_stats_counts_accesses() {
+        let w = micro::Matrix::new(16, 2);
+        let (_, stats) = run_with_stats(&w, &RunConfig::default(), NullSink::new());
+        assert!(stats.accesses() > 0);
+    }
+}

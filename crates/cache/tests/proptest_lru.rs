@@ -1,0 +1,90 @@
+//! Property test: the set-associative cache agrees with a naive
+//! reference model (per-set recency lists) on arbitrary access
+//! sequences and geometries.
+
+use orp_cache::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// Reference model: exact LRU per set, implemented independently.
+struct Model {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_bytes: u64,
+}
+
+impl Model {
+    fn new(cfg: CacheConfig) -> Self {
+        Model {
+            sets: vec![Vec::new(); cfg.sets],
+            ways: cfg.ways,
+            line_bytes: cfg.line_bytes,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let n_sets = self.sets.len();
+        let set = &mut self.sets[(line as usize) % n_sets];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.insert(0, line);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_model(
+        addrs in proptest::collection::vec(0u64..4096, 0..500),
+        sets_log in 0u32..4,
+        ways in 1usize..5,
+        line_log in 4u32..7,
+    ) {
+        let cfg = CacheConfig {
+            sets: 1 << sets_log,
+            ways,
+            line_bytes: 1 << line_log,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut model = Model::new(cfg);
+        let mut hits = 0u64;
+        for &addr in &addrs {
+            let got = cache.access(addr);
+            let want = model.access(addr);
+            prop_assert_eq!(got, want, "divergence at {:#x}", addr);
+            hits += u64::from(got);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses, addrs.len() as u64);
+        prop_assert_eq!(stats.misses, addrs.len() as u64 - hits);
+    }
+
+    #[test]
+    fn small_working_sets_eventually_always_hit(
+        lines in proptest::collection::vec(0u64..8, 1..8),
+        rounds in 2usize..6,
+    ) {
+        // Any working set that fits entirely in the cache must stop
+        // missing after the first round.
+        let mut cache = Cache::new(CacheConfig { sets: 4, ways: 8, line_bytes: 64 });
+        let distinct: std::collections::BTreeSet<u64> = lines.iter().copied().collect();
+        for round in 0..rounds {
+            for &line in &lines {
+                let hit = cache.access_line(line);
+                if round > 0 {
+                    prop_assert!(hit, "line {line} missed after warm-up");
+                }
+            }
+        }
+        prop_assert_eq!(cache.stats().misses, distinct.len() as u64);
+    }
+}

@@ -1,0 +1,261 @@
+//! Horizontal and vertical decomposition of object-relative streams.
+//!
+//! The paper's two manipulations for separating regular from irregular
+//! behavior:
+//!
+//! * [`horizontal`] splits one stream of tuples into one stream *per
+//!   dimension* (instruction, group, object, offset) — each dimension
+//!   tends to be individually simple and compresses well (WHOMP feeds
+//!   each to its own Sequitur compressor);
+//! * [`vertical_by_instr`] / [`vertical_by_instr_group`] partition the
+//!   stream by shared values of one or two dimensions — LEAP compresses
+//!   each per-`(instruction, group)` sub-stream of
+//!   `(object, offset, time)` triples with LMADs.
+//!
+//! Vertical decomposition destroys the global time order across
+//! sub-streams, which is why the tuples carry the time-stamp dimension:
+//! any element of any sub-stream remains uniquely placed in time.
+
+use std::collections::BTreeMap;
+
+use orp_trace::InstrId;
+
+use crate::{GroupId, OrTuple};
+
+/// The four dimension streams produced by horizontal decomposition.
+///
+/// All four vectors have the same length (one entry per tuple, in
+/// collection order), encoded as `u64` symbols ready for a stream
+/// compressor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Horizontal {
+    /// The instruction-id dimension.
+    pub instrs: Vec<u64>,
+    /// The group dimension.
+    pub groups: Vec<u64>,
+    /// The object-serial dimension.
+    pub objects: Vec<u64>,
+    /// The offset dimension.
+    pub offsets: Vec<u64>,
+}
+
+impl Horizontal {
+    /// Number of tuples decomposed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when no tuples were decomposed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Folds one tuple into the four streams (streaming construction).
+    pub fn push(&mut self, t: &OrTuple) {
+        self.instrs.push(u64::from(t.instr.0));
+        self.groups.push(u64::from(t.group.0));
+        self.objects.push(t.object.0);
+        self.offsets.push(t.offset);
+    }
+
+    /// The four streams as `(name, stream)` pairs, in dimension order.
+    #[must_use]
+    pub fn streams(&self) -> [(&'static str, &[u64]); 4] {
+        [
+            ("instruction", &self.instrs),
+            ("group", &self.groups),
+            ("object", &self.objects),
+            ("offset", &self.offsets),
+        ]
+    }
+}
+
+/// Horizontally decomposes a materialized tuple stream.
+#[must_use]
+pub fn horizontal(tuples: &[OrTuple]) -> Horizontal {
+    let mut h = Horizontal::default();
+    for t in tuples {
+        h.push(t);
+    }
+    h
+}
+
+/// Vertically decomposes by instruction: one sub-stream per static
+/// instruction, each in collection order.
+#[must_use]
+pub fn vertical_by_instr(tuples: &[OrTuple]) -> BTreeMap<InstrId, Vec<OrTuple>> {
+    let mut map: BTreeMap<InstrId, Vec<OrTuple>> = BTreeMap::new();
+    for t in tuples {
+        map.entry(t.instr).or_default().push(*t);
+    }
+    map
+}
+
+/// One element of a per-`(instruction, group)` sub-stream: the
+/// remaining `(object, offset, time)` dimensions, as the signed points
+/// LEAP's linear compressor consumes.
+pub type Oot = [i64; 3];
+
+/// Vertically decomposes by instruction and then by group, yielding the
+/// `(object, offset, time)` sub-streams LEAP compresses.
+///
+/// # Panics
+///
+/// Panics if an object serial, offset or time-stamp exceeds `i64::MAX`
+/// (unreachable for realistic traces).
+#[must_use]
+pub fn vertical_by_instr_group(tuples: &[OrTuple]) -> BTreeMap<(InstrId, GroupId), Vec<Oot>> {
+    let mut map: BTreeMap<(InstrId, GroupId), Vec<Oot>> = BTreeMap::new();
+    for t in tuples {
+        map.entry((t.instr, t.group)).or_default().push(oot(t));
+    }
+    map
+}
+
+/// Projects a tuple onto its `(object, offset, time)` coordinates.
+///
+/// # Panics
+///
+/// Panics if a coordinate exceeds `i64::MAX`.
+#[must_use]
+pub fn oot(t: &OrTuple) -> Oot {
+    [
+        i64::try_from(t.object.0).expect("object serial fits i64"),
+        i64::try_from(t.offset).expect("offset fits i64"),
+        i64::try_from(t.time.0).expect("time fits i64"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObjectSerial, Timestamp};
+    use orp_trace::AccessKind;
+
+    fn t(instr: u32, group: u32, object: u64, offset: u64, time: u64) -> OrTuple {
+        OrTuple {
+            instr: InstrId(instr),
+            kind: AccessKind::Load,
+            group: GroupId(group),
+            object: ObjectSerial(object),
+            offset,
+            time: Timestamp(time),
+            size: 8,
+        }
+    }
+
+    /// The paper's Figure 3 linked-list stream: two instructions
+    /// alternating over objects 0..3 of group 0, at offsets 8 (next
+    /// pointer) and 0 (data).
+    fn figure3() -> Vec<OrTuple> {
+        let mut v = Vec::new();
+        let mut time = 0;
+        for obj in 0..4 {
+            v.push(t(1, 0, obj, 0, time));
+            time += 1;
+            v.push(t(2, 0, obj, 8, time));
+            time += 1;
+        }
+        v
+    }
+
+    #[test]
+    fn horizontal_splits_into_four_aligned_streams() {
+        let h = horizontal(&figure3());
+        assert_eq!(h.len(), 8);
+        assert_eq!(h.instrs, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+        assert_eq!(h.groups, vec![0; 8]);
+        assert_eq!(h.objects, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(h.offsets, vec![0, 8, 0, 8, 0, 8, 0, 8]);
+        assert_eq!(h.streams()[3].0, "offset");
+    }
+
+    #[test]
+    fn vertical_by_instr_splits_into_simple_substreams() {
+        let map = vertical_by_instr(&figure3());
+        assert_eq!(map.len(), 2);
+        let i1 = &map[&InstrId(1)];
+        assert!(
+            i1.iter().all(|t| t.offset == 0),
+            "instr 1 always reads the data field"
+        );
+        let i2 = &map[&InstrId(2)];
+        assert!(
+            i2.iter().all(|t| t.offset == 8),
+            "instr 2 always reads the next field"
+        );
+        // Time-stamps keep sub-streams globally ordered.
+        assert!(i1.windows(2).all(|w| w[0].time < w[1].time));
+    }
+
+    #[test]
+    fn vertical_by_instr_group_yields_linear_oot_streams() {
+        let map = vertical_by_instr_group(&figure3());
+        let s = &map[&(InstrId(1), GroupId(0))];
+        assert_eq!(s.len(), 4);
+        // Objects advance by 1, offset constant, time by 2: a single
+        // LMAD-friendly linear pattern.
+        for (k, point) in s.iter().enumerate() {
+            assert_eq!(*point, [k as i64, 0, 2 * k as i64]);
+        }
+    }
+
+    #[test]
+    fn empty_stream_decomposes_to_empty() {
+        let h = horizontal(&[]);
+        assert!(h.is_empty());
+        assert!(vertical_by_instr(&[]).is_empty());
+        assert!(vertical_by_instr_group(&[]).is_empty());
+    }
+
+    #[test]
+    fn streaming_push_matches_batch() {
+        let tuples = figure3();
+        let mut h = Horizontal::default();
+        for tu in &tuples {
+            h.push(tu);
+        }
+        assert_eq!(h, horizontal(&tuples));
+    }
+}
+
+/// Vertically decomposes by group: one sub-stream per group, each in
+/// collection order (the paper's other vertical axis — used by
+/// optimizations that care about one data structure at a time).
+#[must_use]
+pub fn vertical_by_group(tuples: &[OrTuple]) -> BTreeMap<GroupId, Vec<OrTuple>> {
+    let mut map: BTreeMap<GroupId, Vec<OrTuple>> = BTreeMap::new();
+    for t in tuples {
+        map.entry(t.group).or_default().push(*t);
+    }
+    map
+}
+
+#[cfg(test)]
+mod group_tests {
+    use super::*;
+    use crate::{ObjectSerial, Timestamp};
+    use orp_trace::AccessKind;
+
+    #[test]
+    fn vertical_by_group_partitions_the_stream() {
+        let mk = |group: u32, time: u64| OrTuple {
+            instr: InstrId(0),
+            kind: AccessKind::Load,
+            group: GroupId(group),
+            object: ObjectSerial(0),
+            offset: 0,
+            time: Timestamp(time),
+            size: 8,
+        };
+        let tuples = vec![mk(0, 0), mk(1, 1), mk(0, 2), mk(2, 3)];
+        let map = vertical_by_group(&tuples);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map[&GroupId(0)].len(), 2);
+        assert!(map[&GroupId(0)].windows(2).all(|w| w[0].time < w[1].time));
+        let total: usize = map.values().map(Vec::len).sum();
+        assert_eq!(total, tuples.len());
+    }
+}

@@ -1,0 +1,461 @@
+//! The object management component (OMC).
+
+use std::collections::{BTreeMap, HashMap};
+
+use orp_trace::AllocSiteId;
+
+use crate::{GroupId, ObjectSerial, Timestamp};
+
+/// Everything the OMC knows about one object.
+///
+/// Records for freed objects are retained (the paper keeps object
+/// lifetime information as auxiliary, run-dependent output; it powers
+/// e.g. field reordering and cross-object stride extensions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectRecord {
+    /// The object's group.
+    pub group: GroupId,
+    /// The object's serial number within its group.
+    pub serial: ObjectSerial,
+    /// Base raw address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Time-stamp at allocation (program start for static objects).
+    pub alloc_time: Timestamp,
+    /// Time-stamp at deallocation; `None` while live (and forever for
+    /// static objects).
+    pub free_time: Option<Timestamp>,
+}
+
+/// Errors reported by the OMC on malformed object-probe streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OmcError {
+    /// A new object overlaps a live one — the instrumented allocator
+    /// and the probes disagree.
+    Overlap {
+        /// Base of the new object.
+        base: u64,
+        /// Base of the live object it overlaps.
+        conflicting_base: u64,
+    },
+    /// A free-probe fired for an address that is not a live object base.
+    UnknownFree {
+        /// The offending address.
+        addr: u64,
+    },
+    /// [`Omc::alias_sites`] was called for a site that already owns
+    /// objects under a different group.
+    SiteAlreadyGrouped {
+        /// The offending site.
+        site: AllocSiteId,
+    },
+}
+
+impl std::fmt::Display for OmcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OmcError::Overlap {
+                base,
+                conflicting_base,
+            } => write!(
+                f,
+                "object at {base:#x} overlaps live object at {conflicting_base:#x}"
+            ),
+            OmcError::UnknownFree { addr } => {
+                write!(
+                    f,
+                    "free probe for {addr:#x} which is not a live object base"
+                )
+            }
+            OmcError::SiteAlreadyGrouped { site } => {
+                write!(f, "site {site} already owns objects in another group")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OmcError {}
+
+#[derive(Debug, Clone)]
+struct LiveEntry {
+    size: u64,
+    group: GroupId,
+    serial: ObjectSerial,
+    alloc_time: Timestamp,
+}
+
+#[derive(Debug, Clone)]
+struct GroupState {
+    site: AllocSiteId,
+    next_serial: u64,
+}
+
+/// The object management component: the live-object interval map plus
+/// the group registry and the lifetime archive.
+///
+/// Lookup uses an ordered map over base addresses (the paper's
+/// "auxiliary B-tree-like data structure which stores the range of
+/// addresses that each object takes up"); translation of an address is
+/// a predecessor query plus a bounds check.
+#[derive(Debug, Clone, Default)]
+pub struct Omc {
+    /// Live objects keyed by base address. Invariant: ranges are
+    /// disjoint, so the predecessor of an address is the only candidate
+    /// containing it.
+    live: BTreeMap<u64, LiveEntry>,
+    /// Site → group mapping (one group per allocation site).
+    groups_by_site: HashMap<AllocSiteId, GroupId>,
+    /// Per-group state, indexed by `GroupId`.
+    groups: Vec<GroupState>,
+    /// Records of freed objects, in free order.
+    archive: Vec<ObjectRecord>,
+    /// Total objects ever registered.
+    registered: u64,
+}
+
+impl Omc {
+    /// Creates an empty OMC.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The group for `site`, creating it on first use.
+    pub fn group_for_site(&mut self, site: AllocSiteId) -> GroupId {
+        if let Some(&g) = self.groups_by_site.get(&site) {
+            return g;
+        }
+        let g = GroupId(u32::try_from(self.groups.len()).expect("more than u32::MAX groups"));
+        self.groups.push(GroupState {
+            site,
+            next_serial: 0,
+        });
+        self.groups_by_site.insert(site, g);
+        g
+    }
+
+    /// Declares that `alias` allocates the same object type as
+    /// `canonical`, merging their groups — the paper's compiler-provided
+    /// type refinement ("the compiler can provide type information to
+    /// further refine this strategy"): objects from both sites share
+    /// one group and one serial sequence.
+    ///
+    /// Must be called before `alias` has allocated anything (the
+    /// instrumentation knows types up front).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmcError::SiteAlreadyGrouped`] when `alias` already
+    /// has objects of its own.
+    pub fn alias_sites(
+        &mut self,
+        canonical: AllocSiteId,
+        alias: AllocSiteId,
+    ) -> Result<GroupId, OmcError> {
+        let group = self.group_for_site(canonical);
+        match self.groups_by_site.get(&alias) {
+            Some(&g) if g == group => Ok(group),
+            Some(&g) if self.groups[g.0 as usize].next_serial == 0 => {
+                // Re-point an empty group; its slot stays allocated but
+                // unused.
+                self.groups_by_site.insert(alias, group);
+                Ok(group)
+            }
+            Some(_) => Err(OmcError::SiteAlreadyGrouped { site: alias }),
+            None => {
+                self.groups_by_site.insert(alias, group);
+                Ok(group)
+            }
+        }
+    }
+
+    /// The allocation site backing `group`, if the group exists.
+    #[must_use]
+    pub fn site_of_group(&self, group: GroupId) -> Option<AllocSiteId> {
+        self.groups.get(group.0 as usize).map(|g| g.site)
+    }
+
+    /// Registers a new object allocated at `site` covering
+    /// `[base, base + size)` at time `now`.
+    ///
+    /// Returns the object's `(group, serial)` identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmcError::Overlap`] when the range overlaps a live
+    /// object; the OMC is left unchanged.
+    pub fn on_alloc(
+        &mut self,
+        site: AllocSiteId,
+        base: u64,
+        size: u64,
+        now: Timestamp,
+    ) -> Result<(GroupId, ObjectSerial), OmcError> {
+        let size = size.max(1);
+        // Predecessor must end at or before `base`.
+        if let Some((&b, e)) = self.live.range(..=base).next_back() {
+            if b + e.size > base {
+                return Err(OmcError::Overlap {
+                    base,
+                    conflicting_base: b,
+                });
+            }
+        }
+        // Successor must start at or after `base + size`.
+        if let Some((&b, _)) = self.live.range(base..).next() {
+            if b < base + size {
+                return Err(OmcError::Overlap {
+                    base,
+                    conflicting_base: b,
+                });
+            }
+        }
+        let group = self.group_for_site(site);
+        let state = &mut self.groups[group.0 as usize];
+        let serial = ObjectSerial(state.next_serial);
+        state.next_serial += 1;
+        self.live.insert(
+            base,
+            LiveEntry {
+                size,
+                group,
+                serial,
+                alloc_time: now,
+            },
+        );
+        self.registered += 1;
+        Ok((group, serial))
+    }
+
+    /// Unregisters the live object based at `base`, archiving its
+    /// lifetime record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmcError::UnknownFree`] when `base` is not a live
+    /// object base.
+    pub fn on_free(&mut self, base: u64, now: Timestamp) -> Result<ObjectRecord, OmcError> {
+        let entry = self
+            .live
+            .remove(&base)
+            .ok_or(OmcError::UnknownFree { addr: base })?;
+        let record = ObjectRecord {
+            group: entry.group,
+            serial: entry.serial,
+            base,
+            size: entry.size,
+            alloc_time: entry.alloc_time,
+            free_time: Some(now),
+        };
+        self.archive.push(record.clone());
+        Ok(record)
+    }
+
+    /// Translates a raw address into `(group, object, offset)`, the
+    /// core object-relative mapping.
+    ///
+    /// Returns `None` for addresses outside every live object (e.g.
+    /// stack accesses, which the paper deliberately does not profile).
+    #[must_use]
+    pub fn translate(&self, addr: u64) -> Option<(GroupId, ObjectSerial, u64)> {
+        let (&base, entry) = self.live.range(..=addr).next_back()?;
+        if addr < base + entry.size {
+            Some((entry.group, entry.serial, addr - base))
+        } else {
+            None
+        }
+    }
+
+    /// Number of live objects.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of groups created so far.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Objects allocated so far in `group` (= the next serial number).
+    #[must_use]
+    pub fn objects_in_group(&self, group: GroupId) -> u64 {
+        self.groups
+            .get(group.0 as usize)
+            .map_or(0, |g| g.next_serial)
+    }
+
+    /// Total objects ever registered (live + freed).
+    #[must_use]
+    pub fn registered_count(&self) -> u64 {
+        self.registered
+    }
+
+    /// Lifetime records of freed objects, in free order.
+    #[must_use]
+    pub fn archive(&self) -> &[ObjectRecord] {
+        &self.archive
+    }
+
+    /// Snapshots the live objects as records (with `free_time: None`),
+    /// in base-address order.
+    #[must_use]
+    pub fn live_records(&self) -> Vec<ObjectRecord> {
+        self.live
+            .iter()
+            .map(|(&base, e)| ObjectRecord {
+                group: e.group,
+                serial: e.serial,
+                base,
+                size: e.size,
+                alloc_time: e.alloc_time,
+                free_time: None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: Timestamp = Timestamp(0);
+
+    #[test]
+    fn translate_hits_interior_and_misses_outside() {
+        let mut omc = Omc::new();
+        let (g, s) = omc.on_alloc(AllocSiteId(0), 0x100, 32, T0).unwrap();
+        assert_eq!(omc.translate(0x100), Some((g, s, 0)));
+        assert_eq!(omc.translate(0x11F), Some((g, s, 31)));
+        assert_eq!(omc.translate(0x120), None);
+        assert_eq!(omc.translate(0xFF), None);
+    }
+
+    #[test]
+    fn serials_count_per_group() {
+        let mut omc = Omc::new();
+        let (g0, s0) = omc.on_alloc(AllocSiteId(0), 0x100, 16, T0).unwrap();
+        let (g1, s1) = omc.on_alloc(AllocSiteId(1), 0x200, 16, T0).unwrap();
+        let (g2, s2) = omc.on_alloc(AllocSiteId(0), 0x300, 16, T0).unwrap();
+        assert_eq!(g0, g2);
+        assert_ne!(g0, g1);
+        assert_eq!(
+            (s0, s1, s2),
+            (ObjectSerial(0), ObjectSerial(0), ObjectSerial(1))
+        );
+        assert_eq!(omc.objects_in_group(g0), 2);
+        assert_eq!(omc.group_count(), 2);
+    }
+
+    #[test]
+    fn address_reuse_gets_fresh_serial() {
+        // The same raw address hosting two objects in sequence — the
+        // false-aliasing artifact object-relativity removes.
+        let mut omc = Omc::new();
+        let (_, s0) = omc
+            .on_alloc(AllocSiteId(0), 0x100, 16, Timestamp(0))
+            .unwrap();
+        omc.on_free(0x100, Timestamp(5)).unwrap();
+        let (_, s1) = omc
+            .on_alloc(AllocSiteId(0), 0x100, 16, Timestamp(6))
+            .unwrap();
+        assert_ne!(s0, s1);
+        assert_eq!(omc.archive().len(), 1);
+        assert_eq!(omc.archive()[0].free_time, Some(Timestamp(5)));
+    }
+
+    #[test]
+    fn overlap_detection_both_sides() {
+        let mut omc = Omc::new();
+        omc.on_alloc(AllocSiteId(0), 0x100, 32, T0).unwrap();
+        // New object starting inside the live one.
+        assert!(matches!(
+            omc.on_alloc(AllocSiteId(0), 0x110, 16, T0),
+            Err(OmcError::Overlap {
+                conflicting_base: 0x100,
+                ..
+            })
+        ));
+        // New object spanning over the live one from below.
+        assert!(matches!(
+            omc.on_alloc(AllocSiteId(0), 0xF0, 0x20, T0),
+            Err(OmcError::Overlap {
+                conflicting_base: 0x100,
+                ..
+            })
+        ));
+        // Adjacent on both sides is fine.
+        omc.on_alloc(AllocSiteId(0), 0xF0, 0x10, T0).unwrap();
+        omc.on_alloc(AllocSiteId(0), 0x120, 0x10, T0).unwrap();
+    }
+
+    #[test]
+    fn unknown_free_is_an_error() {
+        let mut omc = Omc::new();
+        assert_eq!(
+            omc.on_free(0x500, T0),
+            Err(OmcError::UnknownFree { addr: 0x500 })
+        );
+    }
+
+    #[test]
+    fn zero_size_objects_occupy_one_byte() {
+        let mut omc = Omc::new();
+        let (g, s) = omc.on_alloc(AllocSiteId(0), 0x100, 0, T0).unwrap();
+        assert_eq!(omc.translate(0x100), Some((g, s, 0)));
+    }
+
+    #[test]
+    fn live_records_sorted_by_base() {
+        let mut omc = Omc::new();
+        omc.on_alloc(AllocSiteId(0), 0x300, 8, T0).unwrap();
+        omc.on_alloc(AllocSiteId(0), 0x100, 8, T0).unwrap();
+        let recs = omc.live_records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].base < recs[1].base);
+        assert_eq!(omc.live_count(), 2);
+        assert_eq!(omc.registered_count(), 2);
+    }
+
+    #[test]
+    fn aliased_sites_share_group_and_serials() {
+        let mut omc = Omc::new();
+        let canonical = AllocSiteId(0);
+        let alias = AllocSiteId(1);
+        let g = omc.alias_sites(canonical, alias).unwrap();
+        let (g0, s0) = omc.on_alloc(canonical, 0x100, 16, T0).unwrap();
+        let (g1, s1) = omc.on_alloc(alias, 0x200, 16, T0).unwrap();
+        assert_eq!(g0, g);
+        assert_eq!(g1, g, "aliased site allocates into the canonical group");
+        assert_eq!(
+            (s0, s1),
+            (ObjectSerial(0), ObjectSerial(1)),
+            "one serial sequence"
+        );
+    }
+
+    #[test]
+    fn aliasing_a_populated_site_fails() {
+        let mut omc = Omc::new();
+        omc.on_alloc(AllocSiteId(1), 0x100, 16, T0).unwrap();
+        assert_eq!(
+            omc.alias_sites(AllocSiteId(0), AllocSiteId(1)),
+            Err(OmcError::SiteAlreadyGrouped {
+                site: AllocSiteId(1)
+            })
+        );
+        // Aliasing is idempotent for already-merged sites.
+        let g = omc.alias_sites(AllocSiteId(0), AllocSiteId(2)).unwrap();
+        assert_eq!(omc.alias_sites(AllocSiteId(0), AllocSiteId(2)), Ok(g));
+    }
+
+    #[test]
+    fn site_group_round_trip() {
+        let mut omc = Omc::new();
+        let g = omc.group_for_site(AllocSiteId(9));
+        assert_eq!(omc.site_of_group(g), Some(AllocSiteId(9)));
+        assert_eq!(omc.site_of_group(GroupId(99)), None);
+    }
+}

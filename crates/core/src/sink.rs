@@ -1,0 +1,151 @@
+//! Sinks for object-relative tuples: what profilers implement.
+
+use crate::OrTuple;
+
+/// A consumer of object-relative tuples — the interface between the
+/// [`Cdc`](crate::Cdc) and a profiler (WHOMP's separation-and-compression
+/// component, LEAP's per-instruction compressors, …).
+pub trait OrSink {
+    /// Receives the next tuple in collection order.
+    fn tuple(&mut self, t: &OrTuple);
+
+    /// Called once when the traced program terminates. The default does
+    /// nothing.
+    fn finish(&mut self) {}
+}
+
+/// A sink that materializes every tuple, for tests, examples and the
+/// lossless baselines.
+#[derive(Debug, Clone, Default)]
+pub struct VecOrSink {
+    tuples: Vec<OrTuple>,
+}
+
+impl VecOrSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected tuples in collection order.
+    #[must_use]
+    pub fn tuples(&self) -> &[OrTuple] {
+        &self.tuples
+    }
+
+    /// Consumes the sink, returning the tuples.
+    #[must_use]
+    pub fn into_tuples(self) -> Vec<OrTuple> {
+        self.tuples
+    }
+
+    /// Number of collected tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when no tuples were collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+impl OrSink for VecOrSink {
+    fn tuple(&mut self, t: &OrTuple) {
+        self.tuples.push(*t);
+    }
+}
+
+/// A sink that discards everything (for measuring translation overhead
+/// in isolation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullOrSink;
+
+impl NullOrSink {
+    /// Creates a null sink.
+    #[must_use]
+    pub fn new() -> Self {
+        NullOrSink
+    }
+}
+
+impl OrSink for NullOrSink {
+    fn tuple(&mut self, _t: &OrTuple) {}
+}
+
+impl<S: OrSink + ?Sized> OrSink for &mut S {
+    fn tuple(&mut self, t: &OrTuple) {
+        (**self).tuple(t);
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+}
+
+impl<S: OrSink + ?Sized> OrSink for Box<S> {
+    fn tuple(&mut self, t: &OrTuple) {
+        (**self).tuple(t);
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GroupId, ObjectSerial, Timestamp};
+    use orp_trace::{AccessKind, InstrId};
+
+    fn tuple(i: u32) -> OrTuple {
+        OrTuple {
+            instr: InstrId(i),
+            kind: AccessKind::Load,
+            group: GroupId(0),
+            object: ObjectSerial(0),
+            offset: 0,
+            time: Timestamp(u64::from(i)),
+            size: 8,
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecOrSink::new();
+        sink.tuple(&tuple(0));
+        sink.tuple(&tuple(1));
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        assert_eq!(sink.tuples()[1].instr, InstrId(1));
+        assert_eq!(sink.into_tuples().len(), 2);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut sink = NullOrSink::new();
+        sink.tuple(&tuple(0));
+        sink.finish();
+    }
+
+    #[test]
+    fn mut_ref_and_box_forward() {
+        let mut inner = VecOrSink::new();
+        {
+            fn use_generic<S: OrSink>(mut s: S) {
+                s.tuple(&tuple(3));
+                s.finish();
+            }
+            use_generic(&mut inner);
+        }
+        assert_eq!(inner.len(), 1);
+
+        let mut boxed: Box<dyn OrSink> = Box::new(VecOrSink::new());
+        boxed.tuple(&tuple(4));
+        boxed.finish();
+    }
+}

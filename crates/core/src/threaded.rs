@@ -1,0 +1,205 @@
+//! Threaded profile collection.
+//!
+//! The paper's implementation note (§3.1): "Interactions between the
+//! instrumented program and the CDC/OMC components take place via
+//! thread-to-thread communication … Thread synchronization added
+//! profiling overhead, but this was done for ease of implementation."
+//!
+//! [`ThreadedCdc`] reproduces that architecture: the probe side is a
+//! cheap [`ProbeSink`] that batches events into a bounded channel; a
+//! worker thread owns the [`Cdc`] (OMC translation plus the downstream
+//! profiler) and drains the channel. The profiled program never blocks
+//! on translation or compression except when the channel back-pressures
+//! — the same trade the paper describes.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use orp_trace::{AccessEvent, AllocEvent, FreeEvent, ProbeEvent, ProbeSink};
+
+use crate::{Cdc, OrSink};
+
+/// Events per batch message (amortizes channel synchronization, the
+/// overhead source the paper calls out).
+const BATCH: usize = 1024;
+
+/// Bounded queue depth in batches.
+const QUEUE_BATCHES: usize = 64;
+
+/// A probe sink that ships events to a worker thread running the
+/// CDC/OMC and the profiler.
+///
+/// Call [`ThreadedCdc::join`] to flush, stop the worker, and get the
+/// finished [`Cdc`] back.
+///
+/// # Examples
+///
+/// ```
+/// use orp_core::threaded::ThreadedCdc;
+/// use orp_core::{Omc, VecOrSink};
+/// use orp_trace::{AccessEvent, AllocEvent, AllocSiteId, InstrId, ProbeSink, RawAddress};
+///
+/// let mut probe = ThreadedCdc::spawn(Omc::new(), VecOrSink::new());
+/// probe.alloc(AllocEvent { site: AllocSiteId(0), base: RawAddress(0x100), size: 16 });
+/// probe.access(AccessEvent::load(InstrId(0), RawAddress(0x108), 8));
+/// let cdc = probe.join();
+/// assert_eq!(cdc.sink().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ThreadedCdc<S: OrSink + Send + 'static> {
+    sender: Option<mpsc::SyncSender<Vec<ProbeEvent>>>,
+    batch: Vec<ProbeEvent>,
+    worker: Option<JoinHandle<Cdc<S>>>,
+}
+
+impl<S: OrSink + Send + 'static> ThreadedCdc<S> {
+    /// Spawns the collection thread around a fresh [`Cdc`].
+    #[must_use]
+    pub fn spawn(omc: crate::Omc, sink: S) -> Self {
+        let (sender, receiver) = mpsc::sync_channel::<Vec<ProbeEvent>>(QUEUE_BATCHES);
+        let worker = std::thread::Builder::new()
+            .name("orp-cdc".to_owned())
+            .spawn(move || {
+                let mut cdc = Cdc::new(omc, sink);
+                while let Ok(batch) = receiver.recv() {
+                    for ev in batch {
+                        cdc.event(ev);
+                    }
+                }
+                cdc
+            })
+            .expect("spawn collection thread");
+        ThreadedCdc {
+            sender: Some(sender),
+            batch: Vec::with_capacity(BATCH),
+            worker: Some(worker),
+        }
+    }
+
+    fn push(&mut self, ev: ProbeEvent) {
+        self.batch.push(ev);
+        if self.batch.len() == BATCH {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH));
+        if let Some(sender) = &self.sender {
+            sender.send(batch).expect("collection thread alive");
+        }
+    }
+
+    /// Flushes pending events, stops the worker and returns the
+    /// finished [`Cdc`] (its sink has already seen `finish`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collection thread panicked.
+    #[must_use]
+    pub fn join(mut self) -> Cdc<S> {
+        self.flush();
+        drop(self.sender.take());
+        let mut cdc = self
+            .worker
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("collection thread must not panic");
+        use orp_trace::ProbeSink as _;
+        cdc.finish();
+        cdc
+    }
+}
+
+impl<S: OrSink + Send + 'static> ProbeSink for ThreadedCdc<S> {
+    fn access(&mut self, ev: AccessEvent) {
+        self.push(ProbeEvent::Access(ev));
+    }
+
+    fn alloc(&mut self, ev: AllocEvent) {
+        self.push(ProbeEvent::Alloc(ev));
+    }
+
+    fn free(&mut self, ev: FreeEvent) {
+        self.push(ProbeEvent::Free(ev));
+    }
+
+    fn finish(&mut self) {
+        self.flush();
+    }
+}
+
+impl<S: OrSink + Send + 'static> Drop for ThreadedCdc<S> {
+    fn drop(&mut self) {
+        // Unblock and detach the worker if `join` was never called.
+        drop(self.sender.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Omc, VecOrSink};
+    use orp_trace::{AllocSiteId, InstrId, RawAddress};
+
+    fn sample_run(sink: &mut dyn ProbeSink) {
+        sink.alloc(AllocEvent {
+            site: AllocSiteId(0),
+            base: RawAddress(0x1000),
+            size: 256,
+        });
+        for k in 0..5000u64 {
+            sink.access(AccessEvent::load(
+                InstrId((k % 4) as u32),
+                RawAddress(0x1000 + k % 256),
+                1,
+            ));
+        }
+        sink.free(FreeEvent {
+            base: RawAddress(0x1000),
+        });
+        sink.finish();
+    }
+
+    #[test]
+    fn threaded_collection_matches_inline_collection() {
+        let mut inline = Cdc::new(Omc::new(), VecOrSink::new());
+        sample_run(&mut inline);
+
+        let mut threaded = ThreadedCdc::spawn(Omc::new(), VecOrSink::new());
+        sample_run(&mut threaded);
+        let from_thread = threaded.join();
+
+        assert_eq!(from_thread.sink().tuples(), inline.sink().tuples());
+        assert_eq!(from_thread.untracked(), inline.untracked());
+        assert_eq!(from_thread.time(), inline.time());
+    }
+
+    #[test]
+    fn join_flushes_partial_batches() {
+        let mut threaded = ThreadedCdc::spawn(Omc::new(), VecOrSink::new());
+        threaded.alloc(AllocEvent {
+            site: AllocSiteId(0),
+            base: RawAddress(0x100),
+            size: 64,
+        });
+        // Far fewer events than one batch.
+        threaded.access(AccessEvent::load(InstrId(0), RawAddress(0x110), 8));
+        let cdc = threaded.join();
+        assert_eq!(cdc.sink().len(), 1);
+    }
+
+    #[test]
+    fn drop_without_join_does_not_hang() {
+        let mut threaded = ThreadedCdc::spawn(Omc::new(), VecOrSink::new());
+        threaded.access(AccessEvent::load(InstrId(0), RawAddress(0x100), 8));
+        drop(threaded); // must terminate the worker cleanly
+    }
+}

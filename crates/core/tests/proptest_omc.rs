@@ -1,0 +1,120 @@
+//! Property tests for the object management component: translation
+//! consistency under arbitrary disjoint allocations, frees, and
+//! re-allocations.
+
+use orp_core::{Omc, Timestamp};
+use orp_trace::AllocSiteId;
+use proptest::prelude::*;
+
+/// A simple reference model: a list of live (base, size, group, serial).
+#[derive(Default)]
+struct Model {
+    live: Vec<(u64, u64, u32, u64)>,
+}
+
+/// A script of allocator actions over a fixed set of slots.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Allocate slot `i` (base = 0x1000 + i * 256) with `size` from
+    /// `site`.
+    Alloc { slot: u8, size: u8, site: u8 },
+    /// Free slot `i` if live.
+    Free { slot: u8 },
+    /// Translate an address inside slot `i` at `delta`.
+    Probe { slot: u8, delta: u8 },
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..16, 1u8..=255, 0u8..4).prop_map(|(slot, size, site)| Action::Alloc {
+            slot,
+            size,
+            site
+        }),
+        (0u8..16).prop_map(|slot| Action::Free { slot }),
+        (0u8..16, 0u8..=255).prop_map(|(slot, delta)| Action::Probe { slot, delta }),
+    ]
+}
+
+fn slot_base(slot: u8) -> u64 {
+    0x1000 + u64::from(slot) * 256
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn omc_translation_matches_reference_model(
+        script in proptest::collection::vec(arb_action(), 0..200)
+    ) {
+        let mut omc = Omc::new();
+        let mut model = Model::default();
+        let mut serials = std::collections::HashMap::<u8, u64>::new();
+        let mut time = 0u64;
+
+        for action in script {
+            match action {
+                Action::Alloc { slot, size, site } => {
+                    let base = slot_base(slot);
+                    let live = model.live.iter().any(|&(b, ..)| b == base);
+                    let result =
+                        omc.on_alloc(AllocSiteId(u32::from(site)), base, u64::from(size), Timestamp(time));
+                    if live {
+                        prop_assert!(result.is_err(), "overlap must be rejected");
+                    } else {
+                        let (group, serial) = result.expect("disjoint alloc succeeds");
+                        let expected = serials.entry(site).or_insert(0);
+                        prop_assert_eq!(serial.0, *expected, "serials are dense per group");
+                        *expected += 1;
+                        model.live.push((base, u64::from(size), group.0, serial.0));
+                    }
+                    time += 1;
+                }
+                Action::Free { slot } => {
+                    let base = slot_base(slot);
+                    let idx = model.live.iter().position(|&(b, ..)| b == base);
+                    let result = omc.on_free(base, Timestamp(time));
+                    match idx {
+                        Some(i) => {
+                            prop_assert!(result.is_ok());
+                            model.live.swap_remove(i);
+                        }
+                        None => prop_assert!(result.is_err(), "unknown free must error"),
+                    }
+                    time += 1;
+                }
+                Action::Probe { slot, delta } => {
+                    let addr = slot_base(slot) + u64::from(delta);
+                    let expected = model.live.iter().find_map(|&(b, s, g, ser)| {
+                        (addr >= b && addr < b + s).then(|| (g, ser, addr - b))
+                    });
+                    let got = omc
+                        .translate(addr)
+                        .map(|(g, ser, off)| (g.0, ser.0, off));
+                    prop_assert_eq!(got, expected, "translate({:#x})", addr);
+                }
+            }
+        }
+        prop_assert_eq!(omc.live_count(), model.live.len());
+    }
+
+    #[test]
+    fn archive_grows_monotonically_with_frees(
+        n in 1usize..40
+    ) {
+        let mut omc = Omc::new();
+        for k in 0..n {
+            let base = 0x1000 + (k as u64) * 64;
+            omc.on_alloc(AllocSiteId(0), base, 32, Timestamp(k as u64)).unwrap();
+        }
+        for k in 0..n {
+            let base = 0x1000 + (k as u64) * 64;
+            let record = omc.on_free(base, Timestamp((n + k) as u64)).unwrap();
+            prop_assert_eq!(record.alloc_time, Timestamp(k as u64));
+            prop_assert_eq!(record.free_time, Some(Timestamp((n + k) as u64)));
+            prop_assert_eq!(omc.archive().len(), k + 1);
+        }
+        prop_assert_eq!(omc.live_count(), 0);
+        prop_assert_eq!(omc.registered_count(), n as u64);
+    }
+}

@@ -1,0 +1,207 @@
+//! Re-implementation of Connors' window-based memory dependence
+//! profiler (the paper's Figure 7 comparison point).
+//!
+//! Connors' profiler works on raw addresses and keeps only a small
+//! history window of recent stores; a load is checked against the
+//! window and a dependence is recorded when its address matches a
+//! windowed store. It therefore *never overestimates* a dependence
+//! frequency, but misses any dependence whose store has already slid
+//! out of the window — the systematic error the paper contrasts with
+//! LEAP.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use orp_trace::{AccessEvent, InstrId, ProbeSink};
+
+use crate::DependenceProfile;
+
+/// Default window size (stores remembered); chosen, like the paper's,
+/// so the running time and memory footprint are comparable to LEAP's.
+pub const DEFAULT_WINDOW: usize = 8192;
+
+/// The window-based dependence profiler. Implements [`ProbeSink`]:
+/// it consumes raw `(instruction, address)` events directly, with no
+/// object translation.
+///
+/// # Examples
+///
+/// ```
+/// use orp_leap::connors::ConnorsProfiler;
+/// use orp_trace::{AccessEvent, InstrId, ProbeSink, RawAddress};
+///
+/// let mut p = ConnorsProfiler::with_window(8);
+/// p.access(AccessEvent::store(InstrId(1), RawAddress(0x100), 8));
+/// p.access(AccessEvent::load(InstrId(0), RawAddress(0x100), 8));
+/// let deps = p.into_profile();
+/// assert_eq!(deps.frequency(InstrId(1), InstrId(0)), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnorsProfiler {
+    window: usize,
+    /// FIFO of (address, sequence) for eviction.
+    ring: VecDeque<(u64, u64)>,
+    /// Address → (store instr, sequence) for the most recent windowed
+    /// store to that address.
+    recent: HashMap<u64, (InstrId, u64)>,
+    seq: u64,
+    conflicts: BTreeMap<(InstrId, InstrId), u64>,
+    load_execs: BTreeMap<InstrId, u64>,
+}
+
+impl ConnorsProfiler {
+    /// Creates a profiler with the default window.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_window(DEFAULT_WINDOW)
+    }
+
+    /// Creates a profiler remembering the last `window` stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_window(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        ConnorsProfiler {
+            window,
+            ring: VecDeque::with_capacity(window),
+            recent: HashMap::new(),
+            seq: 0,
+            conflicts: BTreeMap::new(),
+            load_execs: BTreeMap::new(),
+        }
+    }
+
+    /// The configured window size.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Finalizes into a [`DependenceProfile`].
+    #[must_use]
+    pub fn into_profile(self) -> DependenceProfile {
+        let mut out = DependenceProfile::new();
+        for ((st, ld), count) in self.conflicts {
+            let execs = self.load_execs.get(&ld).copied().unwrap_or(0);
+            if execs > 0 {
+                out.record(st, ld, count as f64 / execs as f64);
+            }
+        }
+        for (ld, execs) in self.load_execs {
+            out.set_load_execs(ld, execs);
+        }
+        out
+    }
+}
+
+impl Default for ConnorsProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbeSink for ConnorsProfiler {
+    fn access(&mut self, ev: AccessEvent) {
+        if ev.kind.is_store() {
+            self.seq += 1;
+            self.ring.push_back((ev.addr.0, self.seq));
+            self.recent.insert(ev.addr.0, (ev.instr, self.seq));
+            if self.ring.len() > self.window {
+                let (addr, seq) = self.ring.pop_front().expect("non-empty ring");
+                if self.recent.get(&addr).is_some_and(|&(_, s)| s == seq) {
+                    self.recent.remove(&addr);
+                }
+            }
+        } else {
+            *self.load_execs.entry(ev.instr).or_default() += 1;
+            if let Some(&(st, _)) = self.recent.get(&ev.addr.0) {
+                *self.conflicts.entry((st, ev.instr)).or_default() += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_trace::RawAddress;
+
+    fn store(instr: u32, addr: u64) -> AccessEvent {
+        AccessEvent::store(InstrId(instr), RawAddress(addr), 8)
+    }
+
+    fn load(instr: u32, addr: u64) -> AccessEvent {
+        AccessEvent::load(InstrId(instr), RawAddress(addr), 8)
+    }
+
+    #[test]
+    fn immediate_dependence_is_caught() {
+        let mut p = ConnorsProfiler::with_window(8);
+        for k in 0..100 {
+            p.access(store(1, 0x1000 + 8 * k));
+            p.access(load(0, 0x1000 + 8 * k));
+        }
+        let deps = p.into_profile();
+        assert!((deps.frequency(InstrId(1), InstrId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependences_beyond_the_window_are_missed() {
+        let mut p = ConnorsProfiler::with_window(8);
+        // 100 stores first; by load time only the last 8 remain.
+        for k in 0..100 {
+            p.access(store(1, 0x1000 + 8 * k));
+        }
+        for k in 0..100 {
+            p.access(load(0, 0x1000 + 8 * k));
+        }
+        let deps = p.into_profile();
+        let f = deps.frequency(InstrId(1), InstrId(0));
+        assert!(
+            (f - 0.08).abs() < 1e-9,
+            "only 8 of 100 stores windowed, got {f}"
+        );
+    }
+
+    #[test]
+    fn never_overestimates() {
+        // Loads to addresses never stored report nothing.
+        let mut p = ConnorsProfiler::with_window(8);
+        p.access(store(1, 0x100));
+        for k in 0..10 {
+            p.access(load(0, 0x2000 + k * 8));
+        }
+        let deps = p.into_profile();
+        assert!(deps.pairs().is_empty());
+        assert_eq!(deps.load_execs(InstrId(0)), Some(10));
+    }
+
+    #[test]
+    fn eviction_keeps_latest_writer_per_address() {
+        let mut p = ConnorsProfiler::with_window(2);
+        p.access(store(1, 0x100));
+        p.access(store(2, 0x100)); // supersedes instr 1 at 0x100
+        p.access(load(0, 0x100));
+        let deps = p.into_profile();
+        assert_eq!(deps.frequency(InstrId(1), InstrId(0)), 0.0);
+        assert!((deps.frequency(InstrId(2), InstrId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_map_entries_are_purged() {
+        let mut p = ConnorsProfiler::with_window(1);
+        p.access(store(1, 0x100));
+        p.access(store(2, 0x200)); // evicts 0x100
+        p.access(load(0, 0x100));
+        let deps = p.into_profile();
+        assert_eq!(deps.frequency(InstrId(1), InstrId(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = ConnorsProfiler::with_window(0);
+    }
+}

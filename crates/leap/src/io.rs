@@ -1,0 +1,201 @@
+//! Binary serialization for LEAP profiles.
+//!
+//! Format (fixed-width little-endian, magic-tagged):
+//!
+//! ```text
+//! "ORPL" version:u32
+//! instr_count:u64 { instr:u32 kind:u8 execs:u64 }*
+//! stream_count:u64 { instr:u32 group:u32 full:LinearCompressor loc:LinearCompressor }*
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+use orp_core::GroupId;
+use orp_lmad::LinearCompressor;
+use orp_trace::{AccessKind, InstrId};
+
+use crate::{LeapProfile, LeapStream};
+
+const MAGIC: &[u8; 4] = b"ORPL";
+const VERSION: u32 = 1;
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl LeapProfile {
+    /// Serializes the profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+
+        w.write_all(&(self.instructions().len() as u64).to_le_bytes())?;
+        for (&instr, &kind) in self.instructions() {
+            w.write_all(&instr.0.to_le_bytes())?;
+            w.write_all(&[if kind.is_store() { 1u8 } else { 0 }])?;
+            w.write_all(&self.execs(instr).to_le_bytes())?;
+        }
+
+        w.write_all(&(self.streams().len() as u64).to_le_bytes())?;
+        for ((instr, group), stream) in self.streams() {
+            w.write_all(&instr.0.to_le_bytes())?;
+            w.write_all(&group.0.to_le_bytes())?;
+            stream.full.write_to(w)?;
+            stream.loc.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a profile written by [`LeapProfile::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects bad magic, unknown versions,
+    /// and streams referencing unknown instructions.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad_data("not a LEAP profile (bad magic)"));
+        }
+        let mut version = [0u8; 4];
+        r.read_exact(&mut version)?;
+        if u32::from_le_bytes(version) != VERSION {
+            return Err(bad_data("unsupported LEAP profile version"));
+        }
+
+        let mut count8 = [0u8; 8];
+        r.read_exact(&mut count8)?;
+        let instr_count = u64::from_le_bytes(count8);
+        let mut execs = BTreeMap::new();
+        let mut kinds = BTreeMap::new();
+        for _ in 0..instr_count {
+            let mut id4 = [0u8; 4];
+            r.read_exact(&mut id4)?;
+            let instr = InstrId(u32::from_le_bytes(id4));
+            let mut kind1 = [0u8; 1];
+            r.read_exact(&mut kind1)?;
+            let kind = match kind1[0] {
+                0 => AccessKind::Load,
+                1 => AccessKind::Store,
+                _ => return Err(bad_data("bad access kind")),
+            };
+            let mut e8 = [0u8; 8];
+            r.read_exact(&mut e8)?;
+            kinds.insert(instr, kind);
+            execs.insert(instr, u64::from_le_bytes(e8));
+        }
+
+        r.read_exact(&mut count8)?;
+        let stream_count = u64::from_le_bytes(count8);
+        let mut streams = BTreeMap::new();
+        for _ in 0..stream_count {
+            let mut id4 = [0u8; 4];
+            r.read_exact(&mut id4)?;
+            let instr = InstrId(u32::from_le_bytes(id4));
+            r.read_exact(&mut id4)?;
+            let group = GroupId(u32::from_le_bytes(id4));
+            if !kinds.contains_key(&instr) {
+                return Err(bad_data("stream references unknown instruction"));
+            }
+            let full = LinearCompressor::read_from(r)?;
+            let loc = LinearCompressor::read_from(r)?;
+            if full.dims() != 3 || loc.dims() != 2 {
+                return Err(bad_data("stream compressors have wrong dimensionality"));
+            }
+            streams.insert((instr, group), LeapStream { full, loc });
+        }
+        Ok(LeapProfile::from_parts(streams, execs, kinds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LeapProfiler;
+    use orp_core::{ObjectSerial, OrSink, OrTuple, Timestamp};
+
+    fn sample_profile() -> LeapProfile {
+        let mut p = LeapProfiler::with_budget(4);
+        for k in 0..200u64 {
+            p.tuple(&OrTuple {
+                instr: InstrId((k % 3) as u32),
+                kind: if k % 3 == 2 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
+                group: GroupId((k % 2) as u32),
+                object: ObjectSerial(k / 7),
+                offset: (k * 13) % 512,
+                time: Timestamp(k),
+                size: 8,
+            });
+        }
+        p.into_profile()
+    }
+
+    #[test]
+    fn profile_roundtrip_preserves_everything() {
+        let profile = sample_profile();
+        let mut buf = Vec::new();
+        profile.write_to(&mut buf).unwrap();
+        let back = LeapProfile::read_from(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(back.instructions(), profile.instructions());
+        assert_eq!(back.total_accesses(), profile.total_accesses());
+        assert_eq!(back.streams().len(), profile.streams().len());
+        for (key, stream) in profile.streams() {
+            let other = &back.streams()[key];
+            assert_eq!(other.full, stream.full);
+            assert_eq!(other.loc, stream.loc);
+        }
+        // Derived metrics survive the trip.
+        let (a, b) = (profile.sample_quality(), back.sample_quality());
+        assert_eq!(a.accesses_captured, b.accesses_captured);
+        assert_eq!(profile.encoded_bytes(), back.encoded_bytes());
+        // Post-processing gives identical answers.
+        let d1 = crate::mdf::dependence_frequencies(&profile);
+        let d2 = crate::mdf::dependence_frequencies(&back);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        sample_profile().write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(LeapProfile::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        sample_profile().write_to(&mut buf).unwrap();
+        buf[4] = 99;
+        assert!(LeapProfile::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let mut buf = Vec::new();
+        sample_profile().write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(LeapProfile::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_profile_roundtrips() {
+        let profile = LeapProfiler::new().into_profile();
+        let mut buf = Vec::new();
+        profile.write_to(&mut buf).unwrap();
+        let back = LeapProfile::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.total_accesses(), 0);
+        assert!(back.streams().is_empty());
+    }
+}

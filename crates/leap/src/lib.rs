@@ -1,0 +1,133 @@
+//! LEAP: the loss-enhanced access profiler, with its post-processors
+//! and the baselines it is evaluated against.
+//!
+//! LEAP (paper Section 4) trades completeness for compactness: the
+//! object-relative stream is vertically decomposed by
+//! `(instruction, group)`, and each resulting `(object, offset, time)`
+//! sub-stream is compressed into a *bounded* set of LMADs (30 per
+//! stream, as in the paper). Streams that outgrow the budget lose their
+//! tail — quantified as *sample quality* — yet the captured linear
+//! skeleton suffices for the two target optimizations:
+//!
+//! * **memory dependence frequency** ([`mdf`]): how often each load
+//!   reads a location previously written by each store, computed from
+//!   LMAD pairs with exact integer ("omega-test-like") intersection —
+//!   input to speculative load reordering;
+//! * **strongly-strided instructions** ([`strides`]): instructions
+//!   dominated by a single within-object stride — input to
+//!   stride-based prefetching.
+//!
+//! Both post-processors are evaluated against lossless ground truth
+//! ([`lossless`]) and, for dependences, against a re-implementation of
+//! Connors' window-based profiler ([`connors`]), reproducing the
+//! paper's Figures 6–9 and Table 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use orp_core::{Cdc, Omc};
+//! use orp_leap::{mdf, LeapProfiler};
+//! use orp_workloads::{micro, RunConfig, Workload};
+//!
+//! let mut cdc = Cdc::new(Omc::new(), LeapProfiler::new());
+//! micro::HashChurn::new(64, 4).run_with(&RunConfig::default(), &mut cdc);
+//! let profile = cdc.into_parts().1.into_profile();
+//! let deps = mdf::dependence_frequencies(&profile);
+//! // The hash table is read-after-write heavy: dependences exist.
+//! assert!(!deps.pairs().is_empty());
+//! ```
+
+pub mod connors;
+pub mod errors;
+pub mod lossless;
+pub mod mdf;
+pub mod strides;
+
+mod io;
+mod profile;
+mod profiler;
+
+pub use profile::{LeapProfile, LeapStream, SampleQuality};
+pub use profiler::LeapProfiler;
+
+use std::collections::BTreeMap;
+
+use orp_trace::InstrId;
+
+/// The LMAD budget per `(instruction, group)` stream — the paper's
+/// choice of 30.
+pub const DEFAULT_LMAD_BUDGET: usize = 30;
+
+/// A dependence-frequency profile: for each `(store, load)` instruction
+/// pair, the fraction of the load's executions that conflict with the
+/// store (read-after-write), plus per-load execution counts.
+///
+/// Produced by all three dependence analyses (LEAP, lossless ground
+/// truth, Connors), which makes them directly comparable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DependenceProfile {
+    pairs: BTreeMap<(InstrId, InstrId), f64>,
+    load_execs: BTreeMap<InstrId, u64>,
+}
+
+impl DependenceProfile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the frequency for a `(store, load)` pair (dropping
+    /// zero-frequency pairs).
+    pub fn record(&mut self, store: InstrId, load: InstrId, frequency: f64) {
+        debug_assert!(
+            (0.0..=1.0 + 1e-9).contains(&frequency),
+            "frequency out of range"
+        );
+        if frequency > 0.0 {
+            self.pairs.insert((store, load), frequency);
+        }
+    }
+
+    /// Sets the execution count of a load instruction.
+    pub fn set_load_execs(&mut self, load: InstrId, execs: u64) {
+        self.load_execs.insert(load, execs);
+    }
+
+    /// The dependence frequency for a pair, or 0 when not dependent.
+    #[must_use]
+    pub fn frequency(&self, store: InstrId, load: InstrId) -> f64 {
+        self.pairs.get(&(store, load)).copied().unwrap_or(0.0)
+    }
+
+    /// All dependent pairs with their frequencies, in id order.
+    #[must_use]
+    pub fn pairs(&self) -> &BTreeMap<(InstrId, InstrId), f64> {
+        &self.pairs
+    }
+
+    /// Execution count of a load instruction, if known.
+    #[must_use]
+    pub fn load_execs(&self, load: InstrId) -> Option<u64> {
+        self.load_execs.get(&load).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependence_profile_roundtrip() {
+        let mut p = DependenceProfile::new();
+        p.record(InstrId(2), InstrId(1), 0.1);
+        p.record(InstrId(3), InstrId(1), 0.9);
+        p.record(InstrId(4), InstrId(1), 0.0); // dropped
+        p.set_load_execs(InstrId(1), 100);
+        assert_eq!(p.frequency(InstrId(3), InstrId(1)), 0.9);
+        assert_eq!(p.frequency(InstrId(4), InstrId(1)), 0.0);
+        assert_eq!(p.pairs().len(), 2);
+        assert_eq!(p.load_execs(InstrId(1)), Some(100));
+        assert_eq!(p.load_execs(InstrId(9)), None);
+    }
+}

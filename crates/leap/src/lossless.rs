@@ -1,0 +1,290 @@
+//! Lossless ground-truth profilers (the paper's "extremely slow, huge
+//! profile" baselines used to score LEAP).
+
+use std::collections::{BTreeMap, HashMap};
+
+use orp_core::{GroupId, ObjectSerial, OrSink, OrTuple};
+use orp_trace::InstrId;
+
+use crate::DependenceProfile;
+
+/// One profiled memory location at access-start granularity.
+type Loc = (GroupId, ObjectSerial, u64);
+
+/// The lossless dependence profiler: records, for every location, the
+/// set of store instructions that have written it, and counts for every
+/// load execution one conflict per such store — the exact semantics the
+/// paper defines ("the st accesses location A at time t₁ while the ld
+/// accesses A at a later time t₂").
+///
+/// Memory grows with the number of distinct locations touched; this is
+/// precisely why it is a calibration baseline and not a practical
+/// profiler.
+#[derive(Debug, Clone, Default)]
+pub struct LosslessDependenceProfiler {
+    /// Location → store instructions that wrote it so far.
+    writers: HashMap<Loc, Vec<InstrId>>,
+    /// (store, load) → conflicting load executions.
+    conflicts: BTreeMap<(InstrId, InstrId), u64>,
+    /// Load execution counts.
+    load_execs: BTreeMap<InstrId, u64>,
+}
+
+impl LosslessDependenceProfiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finalizes into a [`DependenceProfile`].
+    #[must_use]
+    pub fn into_profile(self) -> DependenceProfile {
+        let mut out = DependenceProfile::new();
+        for ((st, ld), count) in self.conflicts {
+            let execs = self.load_execs.get(&ld).copied().unwrap_or(0);
+            if execs > 0 {
+                out.record(st, ld, count as f64 / execs as f64);
+            }
+        }
+        for (ld, execs) in self.load_execs {
+            out.set_load_execs(ld, execs);
+        }
+        out
+    }
+}
+
+impl OrSink for LosslessDependenceProfiler {
+    fn tuple(&mut self, t: &OrTuple) {
+        let loc: Loc = (t.group, t.object, t.offset);
+        if t.kind.is_store() {
+            let writers = self.writers.entry(loc).or_default();
+            if !writers.contains(&t.instr) {
+                writers.push(t.instr);
+            }
+        } else {
+            *self.load_execs.entry(t.instr).or_default() += 1;
+            if let Some(writers) = self.writers.get(&loc) {
+                for &st in writers {
+                    *self.conflicts.entry((st, t.instr)).or_default() += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The lossless stride profiler: tracks, per instruction, the exact
+/// histogram of consecutive within-object offset deltas — the paper's
+/// "setting to make [the stride profiler of Wu, PLDI'02] lossless and
+/// track all the strides for a given instruction".
+#[derive(Debug, Clone, Default)]
+pub struct LosslessStrideProfiler {
+    /// Per instruction: last (group, object, offset) accessed.
+    last: HashMap<InstrId, (GroupId, ObjectSerial, u64)>,
+    /// Per instruction: stride → occurrences.
+    histograms: BTreeMap<InstrId, HashMap<i64, u64>>,
+    /// Per instruction: execution count.
+    execs: BTreeMap<InstrId, u64>,
+}
+
+impl LosslessStrideProfiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finalizes into per-instruction stride statistics.
+    #[must_use]
+    pub fn into_profile(self) -> StrideStats {
+        StrideStats {
+            histograms: self.histograms,
+            execs: self.execs,
+        }
+    }
+}
+
+impl OrSink for LosslessStrideProfiler {
+    fn tuple(&mut self, t: &OrTuple) {
+        *self.execs.entry(t.instr).or_default() += 1;
+        let cur = (t.group, t.object, t.offset);
+        if let Some(prev) = self.last.insert(t.instr, cur) {
+            // Strides are defined within one object only.
+            if prev.0 == t.group && prev.1 == t.object {
+                let delta = t.offset as i64 - prev.2 as i64;
+                *self
+                    .histograms
+                    .entry(t.instr)
+                    .or_default()
+                    .entry(delta)
+                    .or_default() += 1;
+            }
+        }
+    }
+}
+
+/// Per-instruction stride histograms plus execution counts — the common
+/// output shape of the lossless and the LEAP-derived stride analyses.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StrideStats {
+    pub(crate) histograms: BTreeMap<InstrId, HashMap<i64, u64>>,
+    pub(crate) execs: BTreeMap<InstrId, u64>,
+}
+
+impl StrideStats {
+    /// Builds stats from raw parts (used by the LEAP-side analysis).
+    #[must_use]
+    pub fn from_parts(
+        histograms: BTreeMap<InstrId, HashMap<i64, u64>>,
+        execs: BTreeMap<InstrId, u64>,
+    ) -> Self {
+        StrideStats { histograms, execs }
+    }
+
+    /// The stride histogram of one instruction.
+    #[must_use]
+    pub fn histogram(&self, instr: InstrId) -> Option<&HashMap<i64, u64>> {
+        self.histograms.get(&instr)
+    }
+
+    /// The dominant stride of an instruction and its occurrence count.
+    #[must_use]
+    pub fn dominant_stride(&self, instr: InstrId) -> Option<(i64, u64)> {
+        let h = self.histograms.get(&instr)?;
+        h.iter()
+            .map(|(&s, &c)| (s, c))
+            .max_by_key(|&(s, c)| (c, std::cmp::Reverse(s)))
+    }
+
+    /// Instructions for which a single stride accounts for at least
+    /// `threshold` (e.g. 0.7) of their executions — the paper's
+    /// *strongly strided* set.
+    #[must_use]
+    pub fn strongly_strided(&self, threshold: f64) -> Vec<(InstrId, i64)> {
+        let mut out = Vec::new();
+        for &instr in self.histograms.keys() {
+            let execs = self.execs.get(&instr).copied().unwrap_or(0);
+            if execs == 0 {
+                continue;
+            }
+            if let Some((stride, count)) = self.dominant_stride(instr) {
+                if count as f64 >= threshold * execs as f64 {
+                    out.push((instr, stride));
+                }
+            }
+        }
+        out
+    }
+
+    /// Execution count of an instruction.
+    #[must_use]
+    pub fn execs(&self, instr: InstrId) -> u64 {
+        self.execs.get(&instr).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_core::Timestamp;
+    use orp_trace::AccessKind;
+
+    fn tuple(instr: u32, kind: AccessKind, obj: u64, off: u64, time: u64) -> OrTuple {
+        OrTuple {
+            instr: InstrId(instr),
+            kind,
+            group: GroupId(0),
+            object: ObjectSerial(obj),
+            offset: off,
+            time: Timestamp(time),
+            size: 8,
+        }
+    }
+
+    #[test]
+    fn dependence_counts_any_earlier_writer() {
+        let mut p = LosslessDependenceProfiler::new();
+        // Two different stores write the same location, then 4 loads.
+        p.tuple(&tuple(1, AccessKind::Store, 0, 0, 0));
+        p.tuple(&tuple(2, AccessKind::Store, 0, 0, 1));
+        for t in 2..6 {
+            p.tuple(&tuple(0, AccessKind::Load, 0, 0, t));
+        }
+        let deps = p.into_profile();
+        assert!((deps.frequency(InstrId(1), InstrId(0)) - 1.0).abs() < 1e-9);
+        assert!((deps.frequency(InstrId(2), InstrId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loads_without_prior_store_do_not_conflict() {
+        let mut p = LosslessDependenceProfiler::new();
+        p.tuple(&tuple(0, AccessKind::Load, 0, 0, 0));
+        p.tuple(&tuple(1, AccessKind::Store, 0, 0, 1));
+        p.tuple(&tuple(0, AccessKind::Load, 0, 0, 2));
+        let deps = p.into_profile();
+        assert!((deps.frequency(InstrId(1), InstrId(0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_locations_are_independent() {
+        let mut p = LosslessDependenceProfiler::new();
+        p.tuple(&tuple(1, AccessKind::Store, 0, 0, 0));
+        p.tuple(&tuple(0, AccessKind::Load, 0, 8, 1)); // other offset
+        p.tuple(&tuple(0, AccessKind::Load, 1, 0, 2)); // other object
+        let deps = p.into_profile();
+        assert!(deps.pairs().is_empty());
+    }
+
+    #[test]
+    fn stride_profiler_detects_constant_stride() {
+        let mut p = LosslessStrideProfiler::new();
+        for k in 0..100u64 {
+            p.tuple(&tuple(0, AccessKind::Load, 0, 8 * k, k));
+        }
+        let stats = p.into_profile();
+        assert_eq!(stats.dominant_stride(InstrId(0)), Some((8, 99)));
+        assert_eq!(stats.strongly_strided(0.7), vec![(InstrId(0), 8)]);
+    }
+
+    #[test]
+    fn stride_resets_across_objects() {
+        let mut p = LosslessStrideProfiler::new();
+        // Alternating objects: no within-object consecutive pair exists.
+        for k in 0..100u64 {
+            p.tuple(&tuple(0, AccessKind::Load, k % 2, 8 * k, k));
+        }
+        let stats = p.into_profile();
+        assert!(stats.histogram(InstrId(0)).is_none());
+        assert!(stats.strongly_strided(0.7).is_empty());
+    }
+
+    #[test]
+    fn weakly_strided_instruction_is_excluded() {
+        let mut p = LosslessStrideProfiler::new();
+        // Half the deltas are 8, half are pseudo-random.
+        let mut off = 0u64;
+        for k in 0..100u64 {
+            off = if k % 2 == 0 {
+                off + 8
+            } else {
+                (off * 2654435761) % 4096
+            };
+            p.tuple(&tuple(0, AccessKind::Load, 0, off, k));
+        }
+        let stats = p.into_profile();
+        assert!(stats.strongly_strided(0.7).is_empty());
+    }
+
+    #[test]
+    fn stride_stats_parts_round_trip() {
+        let mut h = BTreeMap::new();
+        h.insert(InstrId(0), HashMap::from([(8i64, 90u64), (0, 5)]));
+        let mut e = BTreeMap::new();
+        e.insert(InstrId(0), 100u64);
+        let stats = StrideStats::from_parts(h, e);
+        assert_eq!(stats.execs(InstrId(0)), 100);
+        assert_eq!(stats.dominant_stride(InstrId(0)), Some((8, 90)));
+        assert_eq!(stats.strongly_strided(0.9), vec![(InstrId(0), 8)]);
+        assert!(stats.strongly_strided(0.95).is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Memory dependence frequency from LMADs (paper Section 4.2.1).
+//!
+//! A `(store, load)` pair *conflicts* on a load execution when the load
+//! reads a location some execution of the store wrote earlier (read
+//! after write). The memory dependence frequency is
+//!
+//! ```text
+//! MDF(st, ld) = #load executions of ld conflicting with st / #executions of ld
+//! ```
+//!
+//! With LMAD-compressed streams this reduces to integer intersection of
+//! descriptor pairs: for a store descriptor and a load descriptor of
+//! the same group, the conflicting load elements are those equal in the
+//! `(object, offset)` dimensions with a time-earlier store element —
+//! solved exactly by [`orp_lmad::solver::conflicting_k2`], the
+//! "omega-test-like" step of the paper. Distinct load executions are
+//! unioned per load descriptor with a bitset, so overlapping store
+//! descriptors never double-count.
+//!
+//! Conflicts use access-start granularity (two accesses conflict when
+//! they start at the same offset of the same object); the lossless and
+//! Connors baselines use the same granularity, so the comparison is
+//! apples to apples.
+
+use orp_core::GroupId;
+use orp_lmad::solver::conflicting_k2;
+use orp_lmad::Lmad;
+use orp_trace::InstrId;
+
+use crate::{DependenceProfile, LeapProfile};
+
+/// Dimension indices of a LEAP `full` stream.
+const DIM_OBJECT: usize = 0;
+const DIM_OFFSET: usize = 1;
+const DIM_TIME: usize = 2;
+
+/// A growable bitset over load-element indices.
+#[derive(Debug)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(len: u64) -> Self {
+        BitSet {
+            words: vec![0; usize::try_from(len.div_ceil(64)).expect("bitset fits memory")],
+        }
+    }
+
+    fn set(&mut self, idx: u64) {
+        self.words[(idx / 64) as usize] |= 1 << (idx % 64);
+    }
+
+    fn count(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+}
+
+/// Computes dependence frequencies for every `(store, load)` pair in
+/// the profile.
+///
+/// Pairs with zero observed conflicts are omitted. Frequencies are
+/// relative to the load's *captured* execution count: the LMADs are "a
+/// sample of the initial part of the original data stream" (paper
+/// Section 4.1), so the conflict rate within the sample is the
+/// estimator. Behavior the sample genuinely missed (stores whose
+/// descriptors overflowed) still surfaces as underestimation — the
+/// lossy profile's characteristic error (Figure 6).
+///
+/// # Examples
+///
+/// ```
+/// use orp_core::{GroupId, ObjectSerial, OrSink, OrTuple, Timestamp};
+/// use orp_leap::{mdf, LeapProfiler};
+/// use orp_trace::{AccessKind, InstrId};
+///
+/// let mut p = LeapProfiler::new();
+/// // Store I1 writes object k, load I0 reads it right after.
+/// for k in 0..50u64 {
+///     for (instr, kind, t) in [(1, AccessKind::Store, 2 * k), (0, AccessKind::Load, 2 * k + 1)] {
+///         p.tuple(&OrTuple {
+///             instr: InstrId(instr),
+///             kind,
+///             group: GroupId(0),
+///             object: ObjectSerial(k),
+///             offset: 0,
+///             time: Timestamp(t),
+///             size: 8,
+///         });
+///     }
+/// }
+/// let deps = mdf::dependence_frequencies(&p.into_profile());
+/// assert_eq!(deps.frequency(InstrId(1), InstrId(0)), 1.0);
+/// ```
+#[must_use]
+pub fn dependence_frequencies(profile: &LeapProfile) -> DependenceProfile {
+    let mut out = DependenceProfile::new();
+
+    // Captured load executions per instruction (the sample sizes).
+    let mut captured_execs: std::collections::BTreeMap<InstrId, u64> =
+        std::collections::BTreeMap::new();
+    for ((instr, _), stream) in profile.streams() {
+        *captured_execs.entry(*instr).or_default() += stream.full.captured();
+    }
+
+    // Group the streams by group id, split into stores and loads.
+    use std::collections::BTreeMap;
+    type InstrLmads<'a> = Vec<(InstrId, &'a [Lmad])>;
+    let mut by_group: BTreeMap<GroupId, (InstrLmads<'_>, InstrLmads<'_>)> = BTreeMap::new();
+    for ((instr, group), stream) in profile.streams() {
+        let kind = profile.kind(*instr).expect("stream instr has a kind");
+        let entry = by_group.entry(*group).or_default();
+        if kind.is_store() {
+            entry.0.push((*instr, stream.full.lmads()));
+        } else {
+            entry.1.push((*instr, stream.full.lmads()));
+        }
+    }
+
+    // Accumulate conflict counts per (store, load) pair across groups.
+    let mut conflicts: BTreeMap<(InstrId, InstrId), u64> = BTreeMap::new();
+    for (stores, loads) in by_group.values() {
+        for &(ld, ld_lmads) in loads {
+            for &(st, st_lmads) in stores {
+                let mut total = 0u64;
+                for ld_lmad in ld_lmads {
+                    let mut hit = BitSet::new(ld_lmad.count);
+                    for st_lmad in st_lmads {
+                        let set =
+                            conflicting_k2(st_lmad, ld_lmad, &[DIM_OBJECT, DIM_OFFSET], DIM_TIME);
+                        for k2 in set.iter() {
+                            hit.set(k2);
+                        }
+                    }
+                    total += hit.count();
+                }
+                if total > 0 {
+                    *conflicts.entry((st, ld)).or_default() += total;
+                }
+            }
+        }
+    }
+
+    for ((st, ld), count) in conflicts {
+        let execs = captured_execs.get(&ld).copied().unwrap_or(0);
+        if execs > 0 {
+            // Descriptor endpoints can make the union marginally exceed
+            // the sample on pathological inputs; clamp to a frequency.
+            out.record(st, ld, (count as f64 / execs as f64).min(1.0));
+        }
+    }
+    for (&instr, kind) in profile.instructions() {
+        if kind.is_load() {
+            out.set_load_execs(instr, profile.execs(instr));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LeapProfiler;
+    use orp_core::{ObjectSerial, OrSink, OrTuple, Timestamp};
+    use orp_trace::AccessKind;
+
+    fn feed(p: &mut LeapProfiler, instr: u32, kind: AccessKind, obj: u64, off: u64, time: u64) {
+        p.tuple(&OrTuple {
+            instr: InstrId(instr),
+            kind,
+            group: GroupId(0),
+            object: ObjectSerial(obj),
+            offset: off,
+            time: Timestamp(time),
+            size: 8,
+        });
+    }
+
+    #[test]
+    fn perfect_producer_consumer_is_full_frequency() {
+        // Store writes object k at offset 0, load reads it right after.
+        let mut p = LeapProfiler::new();
+        for k in 0..100 {
+            feed(&mut p, 1, AccessKind::Store, k, 0, 2 * k);
+            feed(&mut p, 0, AccessKind::Load, k, 0, 2 * k + 1);
+        }
+        let deps = dependence_frequencies(&p.into_profile());
+        assert!((deps.frequency(InstrId(1), InstrId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loads_before_stores_do_not_conflict() {
+        let mut p = LeapProfiler::new();
+        for k in 0..50 {
+            feed(&mut p, 0, AccessKind::Load, k, 0, k);
+        }
+        for k in 0..50 {
+            feed(&mut p, 1, AccessKind::Store, k, 0, 100 + k);
+        }
+        let deps = dependence_frequencies(&p.into_profile());
+        assert!(deps.pairs().is_empty());
+    }
+
+    #[test]
+    fn partial_overlap_gives_partial_frequency() {
+        // Store covers objects 0..50; load reads objects 0..100 after.
+        let mut p = LeapProfiler::new();
+        for k in 0..50 {
+            feed(&mut p, 1, AccessKind::Store, k, 8, k);
+        }
+        for k in 0..100 {
+            feed(&mut p, 0, AccessKind::Load, k, 8, 100 + k);
+        }
+        let deps = dependence_frequencies(&p.into_profile());
+        assert!((deps.frequency(InstrId(1), InstrId(0)) - 0.5).abs() < 1e-9);
+        assert_eq!(deps.load_execs(InstrId(0)), Some(100));
+    }
+
+    #[test]
+    fn different_offsets_do_not_conflict() {
+        let mut p = LeapProfiler::new();
+        for k in 0..50 {
+            feed(&mut p, 1, AccessKind::Store, k, 0, k);
+            feed(&mut p, 0, AccessKind::Load, k, 8, 100 + k);
+        }
+        let deps = dependence_frequencies(&p.into_profile());
+        assert_eq!(deps.frequency(InstrId(1), InstrId(0)), 0.0);
+    }
+
+    #[test]
+    fn overlapping_store_descriptors_do_not_double_count() {
+        // Two passes of the same store instruction write the same
+        // locations (two LMADs), then one load pass reads them: each
+        // load execution must count once.
+        let mut p = LeapProfiler::new();
+        let mut t = 0;
+        for _ in 0..2 {
+            for k in 0..50 {
+                feed(&mut p, 1, AccessKind::Store, k, 0, t);
+                t += 1;
+            }
+        }
+        for k in 0..50 {
+            feed(&mut p, 0, AccessKind::Load, k, 0, t);
+            t += 1;
+        }
+        let deps = dependence_frequencies(&p.into_profile());
+        assert!((deps.frequency(InstrId(1), InstrId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_stores_to_one_load_report_separately() {
+        // Store 1 writes even objects, store 2 writes odd objects; the
+        // load reads everything.
+        let mut p = LeapProfiler::new();
+        let mut t = 0;
+        for k in 0..50 {
+            feed(&mut p, 1, AccessKind::Store, 2 * k, 0, t);
+            t += 1;
+            feed(&mut p, 2, AccessKind::Store, 2 * k + 1, 0, t);
+            t += 1;
+        }
+        for k in 0..100 {
+            feed(&mut p, 0, AccessKind::Load, k, 0, t);
+            t += 1;
+        }
+        let deps = dependence_frequencies(&p.into_profile());
+        assert!((deps.frequency(InstrId(1), InstrId(0)) - 0.5).abs() < 1e-9);
+        assert!((deps.frequency(InstrId(2), InstrId(0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_overflow_underestimates() {
+        // The store stream starts wild (exhausting the budget), and the
+        // stores that actually feed the loads all sit in the discarded
+        // tail: the conflicts are invisible to the sample, so the lossy
+        // estimate undershoots the truth of 1.0. Missed — never
+        // invented.
+        let mut p = LeapProfiler::with_budget(2);
+        let mut t = 0;
+        for k in 0..100u64 {
+            let mut x = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            x ^= x << 13;
+            x ^= x >> 7;
+            feed(&mut p, 1, AccessKind::Store, 10_000 + x % 5000, 0, t);
+            t += 1;
+        }
+        for k in 0..100u64 {
+            feed(&mut p, 1, AccessKind::Store, k, 0, t);
+            t += 1;
+        }
+        for k in 0..100u64 {
+            feed(&mut p, 0, AccessKind::Load, k, 0, t);
+            t += 1;
+        }
+        let deps = dependence_frequencies(&p.into_profile());
+        let f = deps.frequency(InstrId(1), InstrId(0));
+        assert!(
+            f < 0.5,
+            "conflicts in the discarded tail must be missed, got {f}"
+        );
+    }
+
+    #[test]
+    fn frequency_is_relative_to_the_captured_sample() {
+        // Store writes every object once (one descriptor, fully
+        // captured). The load's object sequence is wild: only its first
+        // few executions are captured, but within that sample every
+        // load conflicts — the estimate is 1.0, matching the truth,
+        // instead of being diluted by the uncaptured tail.
+        let mut p = LeapProfiler::with_budget(2);
+        let mut t = 0;
+        for k in 0..500u64 {
+            feed(&mut p, 1, AccessKind::Store, k, 0, t);
+            t += 1;
+        }
+        for k in 0..500u64 {
+            let mut x = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            x ^= x << 13;
+            x ^= x >> 7;
+            feed(&mut p, 0, AccessKind::Load, x % 500, 0, t);
+            t += 1;
+        }
+        let deps = dependence_frequencies(&p.into_profile());
+        assert!((deps.frequency(InstrId(1), InstrId(0)) - 1.0).abs() < 1e-9);
+        // Exact execution counts are still reported for consumers.
+        assert_eq!(deps.load_execs(InstrId(0)), Some(500));
+    }
+}

@@ -1,0 +1,159 @@
+//! The online LEAP profiler: vertical decomposition into bounded
+//! linear compressors.
+
+use std::collections::BTreeMap;
+
+use orp_core::{GroupId, OrSink, OrTuple};
+use orp_trace::{AccessKind, InstrId};
+
+use crate::{LeapProfile, LeapStream, DEFAULT_LMAD_BUDGET};
+
+/// The LEAP profiler: an [`OrSink`] that demultiplexes the
+/// object-relative stream by `(instruction, group)` and feeds each
+/// sub-stream's `(object, offset, time)` points to bounded linear
+/// compressors.
+#[derive(Debug, Clone)]
+pub struct LeapProfiler {
+    budget: usize,
+    streams: BTreeMap<(InstrId, GroupId), LeapStream>,
+    execs: BTreeMap<InstrId, u64>,
+    kinds: BTreeMap<InstrId, AccessKind>,
+}
+
+impl LeapProfiler {
+    /// Creates a profiler with the paper's LMAD budget
+    /// ([`DEFAULT_LMAD_BUDGET`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_budget(DEFAULT_LMAD_BUDGET)
+    }
+
+    /// Creates a profiler with a custom per-stream LMAD budget (used by
+    /// the budget-sweep ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    #[must_use]
+    pub fn with_budget(budget: usize) -> Self {
+        assert!(budget > 0, "LMAD budget must be positive");
+        LeapProfiler {
+            budget,
+            streams: BTreeMap::new(),
+            execs: BTreeMap::new(),
+            kinds: BTreeMap::new(),
+        }
+    }
+
+    /// The configured per-stream budget.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of `(instruction, group)` streams opened so far.
+    #[must_use]
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Finalizes into an immutable [`LeapProfile`].
+    #[must_use]
+    pub fn into_profile(self) -> LeapProfile {
+        LeapProfile::from_parts(self.streams, self.execs, self.kinds)
+    }
+}
+
+impl Default for LeapProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OrSink for LeapProfiler {
+    fn tuple(&mut self, t: &OrTuple) {
+        *self.execs.entry(t.instr).or_default() += 1;
+        self.kinds.entry(t.instr).or_insert(t.kind);
+        let stream = self
+            .streams
+            .entry((t.instr, t.group))
+            .or_insert_with(|| LeapStream::new(self.budget));
+        stream.push(
+            i64::try_from(t.object.0).expect("object serial fits i64"),
+            i64::try_from(t.offset).expect("offset fits i64"),
+            i64::try_from(t.time.0).expect("time fits i64"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_core::{ObjectSerial, Timestamp};
+
+    fn tuple(instr: u32, group: u32, object: u64, offset: u64, time: u64) -> OrTuple {
+        OrTuple {
+            instr: InstrId(instr),
+            kind: if instr.is_multiple_of(2) {
+                AccessKind::Load
+            } else {
+                AccessKind::Store
+            },
+            group: GroupId(group),
+            object: ObjectSerial(object),
+            offset,
+            time: Timestamp(time),
+            size: 8,
+        }
+    }
+
+    #[test]
+    fn streams_split_by_instruction_and_group() {
+        let mut p = LeapProfiler::new();
+        p.tuple(&tuple(0, 0, 0, 0, 0));
+        p.tuple(&tuple(0, 1, 0, 0, 1));
+        p.tuple(&tuple(1, 0, 0, 0, 2));
+        assert_eq!(p.stream_count(), 3);
+        let profile = p.into_profile();
+        assert_eq!(profile.execs(InstrId(0)), 2);
+        assert_eq!(profile.execs(InstrId(1)), 1);
+        assert_eq!(profile.kind(InstrId(0)), Some(AccessKind::Load));
+        assert_eq!(profile.kind(InstrId(1)), Some(AccessKind::Store));
+    }
+
+    #[test]
+    fn linear_stream_stays_within_one_lmad() {
+        let mut p = LeapProfiler::new();
+        for k in 0..1000u64 {
+            p.tuple(&tuple(0, 0, k, 8, 3 * k));
+        }
+        let profile = p.into_profile();
+        let stream = &profile.streams()[&(InstrId(0), GroupId(0))];
+        assert_eq!(stream.full.lmads().len(), 1);
+        assert_eq!(stream.full.lmads()[0].count, 1000);
+        assert_eq!(stream.full.lmads()[0].stride, vec![1, 0, 3]);
+        assert!(stream.loc.fully_captured());
+    }
+
+    #[test]
+    fn custom_budget_is_respected() {
+        let mut p = LeapProfiler::with_budget(2);
+        assert_eq!(p.budget(), 2);
+        for k in 0..20u64 {
+            // Alternating wild offsets exhaust a budget of 2.
+            p.tuple(&tuple(0, 0, 0, (k * 7919) % 997, k));
+        }
+        let profile = p.into_profile();
+        let stream = &profile.streams()[&(InstrId(0), GroupId(0))];
+        assert!(stream.full.lmads().len() <= 2);
+        assert!(!stream.full.fully_captured());
+        // Execution counts stay exact even though the stream overflowed.
+        assert_eq!(profile.execs(InstrId(0)), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_panics() {
+        let _ = LeapProfiler::with_budget(0);
+    }
+}

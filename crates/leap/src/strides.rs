@@ -1,0 +1,352 @@
+//! Stride extraction from LEAP's LMADs (paper Section 4.2.2).
+//!
+//! "With the collected LMADs, identifying strongly strided instructions
+//! requires a trivial post-process which examines all offset strides
+//! captured for a given instruction" — a descriptor whose object
+//! dimension is constant describes `count` consecutive same-object
+//! accesses, i.e. `count − 1` occurrences of its offset stride. Strides
+//! across objects are excluded, as in the paper ("we choose to consider
+//! only those strongly strided instructions within objects").
+
+use std::collections::{BTreeMap, HashMap};
+
+use orp_trace::InstrId;
+
+use crate::lossless::StrideStats;
+use crate::LeapProfile;
+
+/// The paper's strongly-strided threshold: one stride must account for
+/// at least 70% of an instruction's accesses.
+pub const STRONG_STRIDE_THRESHOLD: f64 = 0.7;
+
+/// Extracts per-instruction stride statistics from the profile's
+/// location-level (`loc`) LMADs.
+///
+/// The result has the same shape as the lossless profiler's, so the two
+/// can be scored against each other (Figure 9).
+///
+/// # Examples
+///
+/// ```
+/// use orp_core::{GroupId, ObjectSerial, OrSink, OrTuple, Timestamp};
+/// use orp_leap::{strides, LeapProfiler};
+/// use orp_trace::{AccessKind, InstrId};
+///
+/// let mut p = LeapProfiler::new();
+/// for k in 0..100u64 {
+///     p.tuple(&OrTuple {
+///         instr: InstrId(0),
+///         kind: AccessKind::Load,
+///         group: GroupId(0),
+///         object: ObjectSerial(0),
+///         offset: 8 * k,
+///         time: Timestamp(k),
+///         size: 8,
+///     });
+/// }
+/// let stats = strides::stride_stats(&p.into_profile());
+/// assert_eq!(stats.strongly_strided(0.7), vec![(InstrId(0), 8)]);
+/// ```
+#[must_use]
+pub fn stride_stats(profile: &LeapProfile) -> StrideStats {
+    let mut histograms: BTreeMap<InstrId, HashMap<i64, u64>> = BTreeMap::new();
+    let mut execs: BTreeMap<InstrId, u64> = BTreeMap::new();
+
+    for &instr in profile.instructions().keys() {
+        execs.insert(instr, profile.execs(instr));
+    }
+    for ((instr, _group), stream) in profile.streams() {
+        for lmad in stream.loc.lmads() {
+            // Within-object descriptors only: constant object dimension.
+            if lmad.count >= 2 && lmad.stride[0] == 0 {
+                let stride = lmad.stride[1];
+                *histograms
+                    .entry(*instr)
+                    .or_default()
+                    .entry(stride)
+                    .or_default() += lmad.count - 1;
+            }
+        }
+    }
+    StrideStats::from_parts(histograms, execs)
+}
+
+/// The paper's Figure 9 *stride score*: the fraction of truly
+/// strongly-strided instructions (per the lossless reference) that the
+/// LEAP-derived analysis also identifies.
+///
+/// Returns `None` when the reference set is empty (nothing to score).
+#[must_use]
+pub fn stride_score(leap: &StrideStats, reference: &StrideStats) -> Option<f64> {
+    let real: Vec<InstrId> = reference
+        .strongly_strided(STRONG_STRIDE_THRESHOLD)
+        .iter()
+        .map(|&(i, _)| i)
+        .collect();
+    if real.is_empty() {
+        return None;
+    }
+    let found: std::collections::BTreeSet<InstrId> = leap
+        .strongly_strided(STRONG_STRIDE_THRESHOLD)
+        .iter()
+        .map(|&(i, _)| i)
+        .collect();
+    let hit = real.iter().filter(|i| found.contains(i)).count();
+    Some(hit as f64 / real.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LeapProfiler;
+    use orp_core::{GroupId, ObjectSerial, OrSink, OrTuple, Timestamp};
+    use orp_trace::AccessKind;
+
+    fn feed(p: &mut LeapProfiler, instr: u32, obj: u64, off: u64, time: u64) {
+        p.tuple(&OrTuple {
+            instr: InstrId(instr),
+            kind: AccessKind::Load,
+            group: GroupId(0),
+            object: ObjectSerial(obj),
+            offset: off,
+            time: Timestamp(time),
+            size: 8,
+        });
+    }
+
+    #[test]
+    fn array_scan_is_strongly_strided() {
+        let mut p = LeapProfiler::new();
+        for k in 0..1000u64 {
+            feed(&mut p, 0, 0, 8 * k, k);
+        }
+        let stats = stride_stats(&p.into_profile());
+        assert_eq!(stats.dominant_stride(InstrId(0)), Some((8, 999)));
+        assert_eq!(stats.strongly_strided(0.7), vec![(InstrId(0), 8)]);
+    }
+
+    #[test]
+    fn cross_object_descriptors_are_excluded() {
+        // One access per object: object stride 1, never within-object.
+        let mut p = LeapProfiler::new();
+        for k in 0..1000u64 {
+            feed(&mut p, 0, k, 8, k);
+        }
+        let stats = stride_stats(&p.into_profile());
+        assert!(stats.histogram(InstrId(0)).is_none());
+    }
+
+    #[test]
+    fn restarting_scans_accumulate_per_descriptor() {
+        // Ten row scans of 100 elements each: ten descriptors of stride
+        // 8, 99 deltas each.
+        let mut p = LeapProfiler::new();
+        let mut t = 0;
+        for _ in 0..10 {
+            for k in 0..100u64 {
+                feed(&mut p, 0, 0, 8 * k, t);
+                t += 1;
+            }
+        }
+        let stats = stride_stats(&p.into_profile());
+        let h = stats.histogram(InstrId(0)).unwrap();
+        // 10 descriptors x 99 in-descriptor deltas... but consecutive
+        // scans share boundaries handled as new descriptors, and the
+        // restart jump (-792) may form its own small descriptors. The
+        // stride 8 mass must dominate.
+        assert!(*h.get(&8).unwrap() >= 980);
+        assert_eq!(stats.strongly_strided(0.7)[0].0, InstrId(0));
+    }
+
+    #[test]
+    fn score_compares_against_reference() {
+        use crate::lossless::LosslessStrideProfiler;
+        let mut leap = LeapProfiler::with_budget(2);
+        let mut truth = LosslessStrideProfiler::new();
+        // Instr 0: strided; instr 1: wild (captured by neither).
+        let mut t = 0u64;
+        for k in 0..500u64 {
+            let tup = |instr: u32, off: u64, time: u64| OrTuple {
+                instr: InstrId(instr),
+                kind: AccessKind::Load,
+                group: GroupId(0),
+                object: ObjectSerial(0),
+                offset: off,
+                time: Timestamp(time),
+                size: 8,
+            };
+            leap.tuple(&tup(0, 8 * k, t));
+            truth.tuple(&tup(0, 8 * k, t));
+            t += 1;
+            // xorshift: genuinely wild offsets, no dominant delta.
+            let mut x = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let wild = x % 4096;
+            leap.tuple(&tup(1, wild, t));
+            truth.tuple(&tup(1, wild, t));
+            t += 1;
+        }
+        let leap_stats = stride_stats(&leap.into_profile());
+        let truth_stats = truth.into_profile();
+        let score = stride_score(&leap_stats, &truth_stats).unwrap();
+        assert!(
+            (score - 1.0).abs() < 1e-9,
+            "the one real strided instr is found"
+        );
+    }
+
+    #[test]
+    fn empty_reference_scores_none() {
+        let empty = StrideStats::default();
+        assert_eq!(stride_score(&empty, &empty), None);
+    }
+}
+
+/// The paper's deferred extension: strongly-strided behavior *across*
+/// objects, recovered "by using the auxiliary object lifetime
+/// information" — the per-object base addresses the OMC archives.
+///
+/// A location-level descriptor whose object dimension strides (one
+/// access per object, consecutive serials) describes a regular walk
+/// over sibling objects; whether the *addresses* stride depends on
+/// where the allocator put those objects, so the result is explicitly
+/// run/alloc-dependent. For each such descriptor, this checks whether
+/// the raw address deltas between the consecutive elements are
+/// constant, and if so credits that byte stride.
+///
+/// `objects` is the OMC's object table (live and archived records).
+#[must_use]
+pub fn cross_object_strides(
+    profile: &LeapProfile,
+    objects: &[orp_core::ObjectRecord],
+) -> StrideStats {
+    use std::collections::BTreeMap;
+
+    // (group, serial) -> base address.
+    let bases: std::collections::HashMap<(orp_core::GroupId, u64), u64> = objects
+        .iter()
+        .map(|o| ((o.group, o.serial.0), o.base))
+        .collect();
+
+    let mut histograms: BTreeMap<InstrId, HashMap<i64, u64>> = BTreeMap::new();
+    let mut execs: BTreeMap<InstrId, u64> = BTreeMap::new();
+    for &instr in profile.instructions().keys() {
+        execs.insert(instr, profile.execs(instr));
+    }
+
+    for ((instr, group), stream) in profile.streams() {
+        for lmad in stream.loc.lmads() {
+            let (d_obj, d_off) = (lmad.stride[0], lmad.stride[1]);
+            if lmad.count < 3 || d_obj == 0 {
+                continue;
+            }
+            // Raw address of element k = base(object_k) + offset_k.
+            let addr = |k: u64| -> Option<i64> {
+                let obj = lmad.value_at(0, k);
+                let off = lmad.value_at(1, k);
+                let base = bases.get(&(*group, u64::try_from(obj).ok()?))?;
+                Some(i64::try_from(*base).ok()? + off)
+            };
+            let Some(first) = addr(0) else { continue };
+            let Some(second) = addr(1) else { continue };
+            let byte_stride = second - first;
+            let consistent = (2..lmad.count).all(
+                |k| matches!((addr(k - 1), addr(k)), (Some(a), Some(b)) if b - a == byte_stride),
+            );
+            if consistent {
+                let _ = d_off;
+                *histograms
+                    .entry(*instr)
+                    .or_default()
+                    .entry(byte_stride)
+                    .or_default() += lmad.count - 1;
+            }
+        }
+    }
+    StrideStats::from_parts(histograms, execs)
+}
+
+#[cfg(test)]
+mod cross_object_tests {
+    use super::*;
+    use crate::LeapProfiler;
+    use orp_core::{GroupId, ObjectRecord, ObjectSerial, OrSink, OrTuple, Timestamp};
+    use orp_trace::AccessKind;
+
+    fn record(group: u32, serial: u64, base: u64) -> ObjectRecord {
+        ObjectRecord {
+            group: GroupId(group),
+            serial: ObjectSerial(serial),
+            base,
+            size: 32,
+            alloc_time: Timestamp(0),
+            free_time: None,
+        }
+    }
+
+    fn feed(p: &mut LeapProfiler, obj: u64, off: u64, time: u64) {
+        p.tuple(&OrTuple {
+            instr: InstrId(0),
+            kind: AccessKind::Load,
+            group: GroupId(0),
+            object: ObjectSerial(obj),
+            offset: off,
+            time: Timestamp(time),
+            size: 8,
+        });
+    }
+
+    #[test]
+    fn contiguous_objects_yield_a_byte_stride() {
+        // One access per object at offset 8; objects bump-allocated 48
+        // bytes apart: raw stride 48.
+        let mut p = LeapProfiler::new();
+        for k in 0..100u64 {
+            feed(&mut p, k, 8, k);
+        }
+        let objects: Vec<ObjectRecord> = (0..100).map(|k| record(0, k, 0x1000 + k * 48)).collect();
+        let stats = cross_object_strides(&p.into_profile(), &objects);
+        assert_eq!(stats.dominant_stride(InstrId(0)), Some((48, 99)));
+        assert_eq!(stats.strongly_strided(0.7), vec![(InstrId(0), 48)]);
+    }
+
+    #[test]
+    fn scattered_objects_yield_nothing() {
+        let mut p = LeapProfiler::new();
+        for k in 0..100u64 {
+            feed(&mut p, k, 8, k);
+        }
+        // Irregular placement: deltas vary.
+        let objects: Vec<ObjectRecord> = (0..100)
+            .map(|k| record(0, k, 0x1000 + k * 48 + (k % 3) * 16))
+            .collect();
+        let stats = cross_object_strides(&p.into_profile(), &objects);
+        assert!(stats.histogram(InstrId(0)).is_none());
+    }
+
+    #[test]
+    fn within_object_descriptors_are_ignored_here() {
+        let mut p = LeapProfiler::new();
+        for k in 0..100u64 {
+            feed(&mut p, 0, 8 * k, k);
+        }
+        let stats = cross_object_strides(&p.into_profile(), &[record(0, 0, 0x1000)]);
+        assert!(
+            stats.histogram(InstrId(0)).is_none(),
+            "object stride is zero"
+        );
+    }
+
+    #[test]
+    fn unknown_objects_are_skipped_gracefully() {
+        let mut p = LeapProfiler::new();
+        for k in 0..50u64 {
+            feed(&mut p, k, 0, k);
+        }
+        // Object table is empty: nothing to resolve, nothing to panic.
+        let stats = cross_object_strides(&p.into_profile(), &[]);
+        assert!(stats.histogram(InstrId(0)).is_none());
+    }
+}

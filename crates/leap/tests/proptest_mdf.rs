@@ -1,0 +1,122 @@
+//! Property tests for the dependence post-processor.
+//!
+//! The pivotal invariant: when nothing overflows (generous LMAD
+//! budget), LEAP's LMAD-based dependence frequencies are *exactly* the
+//! lossless ground truth — the omega-test-like solver and the bitset
+//! union lose nothing that the compressor kept. And with any budget,
+//! LEAP never invents a pair the ground truth lacks.
+
+use orp_core::{GroupId, ObjectSerial, OrSink, OrTuple, Timestamp};
+use orp_leap::lossless::LosslessDependenceProfiler;
+use orp_leap::{mdf, LeapProfiler};
+use orp_trace::{AccessKind, InstrId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Access {
+    instr: u8,
+    is_store: bool,
+    group: u8,
+    object: u8,
+    offset: u8,
+}
+
+fn arb_access() -> impl Strategy<Value = Access> {
+    (0u8..6, any::<bool>(), 0u8..2, 0u8..6, 0u8..4).prop_map(
+        |(instr, is_store, group, object, offset)| Access {
+            instr,
+            is_store,
+            group,
+            object,
+            offset,
+        },
+    )
+}
+
+fn tuples(accesses: &[Access]) -> Vec<OrTuple> {
+    accesses
+        .iter()
+        .enumerate()
+        .map(|(t, a)| OrTuple {
+            // Loads and stores get disjoint instruction ids so one
+            // instruction has one kind.
+            instr: InstrId(u32::from(a.instr) * 2 + u32::from(a.is_store)),
+            kind: if a.is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            },
+            group: GroupId(u32::from(a.group)),
+            object: ObjectSerial(u64::from(a.object)),
+            offset: u64::from(a.offset) * 8,
+            time: Timestamp(t as u64),
+            size: 8,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fully_captured_leap_equals_lossless_truth(
+        accesses in proptest::collection::vec(arb_access(), 0..150)
+    ) {
+        let stream = tuples(&accesses);
+
+        // A budget larger than the stream cannot overflow.
+        let mut leap = LeapProfiler::with_budget(stream.len().max(1));
+        let mut truth = LosslessDependenceProfiler::new();
+        for t in &stream {
+            leap.tuple(t);
+            truth.tuple(t);
+        }
+        let profile = leap.into_profile();
+        prop_assert!((profile.sample_quality().accesses_captured - 1.0).abs() < 1e-12
+            || stream.is_empty());
+
+        let est = mdf::dependence_frequencies(&profile);
+        let reference = truth.into_profile();
+
+        prop_assert_eq!(
+            est.pairs().len(),
+            reference.pairs().len(),
+            "pair sets differ: est {:?} vs truth {:?}",
+            est.pairs(),
+            reference.pairs()
+        );
+        for (&(st, ld), &f) in reference.pairs() {
+            prop_assert!(
+                (est.frequency(st, ld) - f).abs() < 1e-9,
+                "({st}, {ld}): est {} truth {f}",
+                est.frequency(st, ld)
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_leap_never_invents_pairs(
+        accesses in proptest::collection::vec(arb_access(), 0..200),
+        budget in 1usize..6,
+    ) {
+        let stream = tuples(&accesses);
+        let mut leap = LeapProfiler::with_budget(budget);
+        let mut truth = LosslessDependenceProfiler::new();
+        for t in &stream {
+            leap.tuple(t);
+            truth.tuple(t);
+        }
+        let est = mdf::dependence_frequencies(&leap.into_profile());
+        let reference = truth.into_profile();
+        for (st, ld) in est.pairs().keys() {
+            prop_assert!(
+                reference.frequency(*st, *ld) > 0.0,
+                "invented pair ({st}, {ld})"
+            );
+        }
+        // Frequencies are always valid probabilities.
+        for &f in est.pairs().values() {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

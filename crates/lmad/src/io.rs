@@ -1,0 +1,252 @@
+//! Binary serialization for descriptors and compressor state.
+//!
+//! Fixed-width little-endian encoding, matching the crate's byte-size
+//! cost model exactly: an [`Lmad`] occupies `16 · dims + 8` bytes, an
+//! [`OverflowSummary`] `24 · dims + 8`.
+
+use std::io::{self, Read, Write};
+
+use crate::{LinearCompressor, Lmad, OverflowSummary};
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_i64(r: &mut impl Read) -> io::Result<i64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(i64::from_le_bytes(buf))
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl Lmad {
+    /// Writes the descriptor (the caller is responsible for framing the
+    /// dimension count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        for &s in &self.start {
+            write_i64(w, s)?;
+        }
+        for &d in &self.stride {
+            write_i64(w, d)?;
+        }
+        write_u64(w, self.count)
+    }
+
+    /// Reads a descriptor of `dims` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects a zero count.
+    pub fn read_from(r: &mut impl Read, dims: usize) -> io::Result<Self> {
+        let start = (0..dims)
+            .map(|_| read_i64(r))
+            .collect::<io::Result<Vec<_>>>()?;
+        let stride = (0..dims)
+            .map(|_| read_i64(r))
+            .collect::<io::Result<Vec<_>>>()?;
+        let count = read_u64(r)?;
+        if count == 0 {
+            return Err(bad_data("LMAD count must be positive"));
+        }
+        Ok(Lmad {
+            start,
+            stride,
+            count,
+        })
+    }
+}
+
+impl OverflowSummary {
+    /// Writes the summary (dimension count framed by the caller).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        for &v in &self.min {
+            write_i64(w, v)?;
+        }
+        for &v in &self.max {
+            write_i64(w, v)?;
+        }
+        for &v in &self.granularity {
+            write_u64(w, v)?;
+        }
+        write_u64(w, self.discarded)
+    }
+
+    /// Reads a summary of `dims` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors.
+    pub fn read_from(r: &mut impl Read, dims: usize) -> io::Result<Self> {
+        let min = (0..dims)
+            .map(|_| read_i64(r))
+            .collect::<io::Result<Vec<_>>>()?;
+        let max = (0..dims)
+            .map(|_| read_i64(r))
+            .collect::<io::Result<Vec<_>>>()?;
+        let granularity = (0..dims)
+            .map(|_| read_u64(r))
+            .collect::<io::Result<Vec<_>>>()?;
+        let discarded = read_u64(r)?;
+        Ok(OverflowSummary {
+            discarded,
+            min,
+            max,
+            granularity,
+        })
+    }
+}
+
+impl LinearCompressor {
+    /// Writes the full compressor state (dimensions, budget, seen
+    /// count, descriptors, optional overflow summary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write_u64(w, self.dims() as u64)?;
+        write_u64(w, self.budget() as u64)?;
+        write_u64(w, self.seen())?;
+        write_u64(w, self.lmads().len() as u64)?;
+        for lmad in self.lmads() {
+            lmad.write_to(w)?;
+        }
+        match self.overflow() {
+            Some(summary) => {
+                write_u64(w, 1)?;
+                summary.write_to(w)
+            }
+            None => write_u64(w, 0),
+        }
+    }
+
+    /// Reads compressor state written by [`LinearCompressor::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects inconsistent state (more
+    /// descriptors than budget, capture counts that disagree with
+    /// `seen`).
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let dims = usize::try_from(read_u64(r)?).map_err(|_| bad_data("dims"))?;
+        let budget = usize::try_from(read_u64(r)?).map_err(|_| bad_data("budget"))?;
+        if dims == 0 || budget == 0 {
+            return Err(bad_data("dims and budget must be positive"));
+        }
+        let seen = read_u64(r)?;
+        let n = usize::try_from(read_u64(r)?).map_err(|_| bad_data("lmad count"))?;
+        if n > budget {
+            return Err(bad_data("more descriptors than budget"));
+        }
+        let mut lmads = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let lmad = Lmad::read_from(r, dims)?;
+            if lmad.dims() != dims {
+                return Err(bad_data("descriptor dimension mismatch"));
+            }
+            lmads.push(lmad);
+        }
+        let overflow = match read_u64(r)? {
+            0 => None,
+            1 => Some(OverflowSummary::read_from(r, dims)?),
+            _ => return Err(bad_data("overflow flag")),
+        };
+        let described: u64 = lmads.iter().map(|l| l.count).sum::<u64>()
+            + overflow.as_ref().map_or(0, |s| s.discarded);
+        if described != seen {
+            return Err(bad_data("seen count disagrees with descriptors"));
+        }
+        Ok(Self::from_parts(dims, budget, lmads, overflow, seen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lmad_roundtrip_matches_cost_model() {
+        let lmad = Lmad {
+            start: vec![5, -3, 0],
+            stride: vec![1, 0, 2],
+            count: 42,
+        };
+        let mut buf = Vec::new();
+        lmad.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len() as u64, lmad.encoded_bytes());
+        let back = Lmad::read_from(&mut buf.as_slice(), 3).unwrap();
+        assert_eq!(back, lmad);
+    }
+
+    #[test]
+    fn compressor_roundtrip_with_overflow() {
+        let mut c = LinearCompressor::new(2, 2);
+        for k in 0i64..10 {
+            c.push(&[k, 2 * k]);
+        }
+        for k in 0i64..10 {
+            c.push(&[(k * 7919) % 97, (k * 104729) % 89]);
+        }
+        assert!(!c.fully_captured());
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let back = LinearCompressor::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn compressor_roundtrip_without_overflow() {
+        let mut c = LinearCompressor::new(1, 30);
+        for k in 0i64..100 {
+            c.push(&[3 * k]);
+        }
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let back = LinearCompressor::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.reconstruct(), c.reconstruct());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut c = LinearCompressor::new(1, 4);
+        c.push(&[1]);
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(LinearCompressor::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupted_counts_are_rejected() {
+        let mut c = LinearCompressor::new(1, 4);
+        c.push(&[1]);
+        c.push(&[2]);
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        // Corrupt the `seen` field (third u64).
+        buf[16] ^= 0xFF;
+        assert!(LinearCompressor::read_from(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Linear memory access descriptors (LMADs).
+//!
+//! The LEAP profiler of the CGO 2004 paper compresses each vertically
+//! decomposed `(object, offset, time)` sub-stream with a bounded set of
+//! **linear memory access descriptors** — the `[start, stride, count]`
+//! triples of Paek and Hoeflinger's array-access analysis, generalized
+//! to vector-valued `start`/`stride` for multi-dimensional streams.
+//!
+//! This crate provides the three pieces LEAP needs:
+//!
+//! * [`Lmad`] — the descriptor itself (`start + stride * k` for
+//!   `k = 0..count`),
+//! * [`LinearCompressor`] — the incremental, budget-bounded compressor:
+//!   points that extend the current descriptor are absorbed; points that
+//!   don't start a new descriptor; once the budget (the paper uses 30
+//!   per `(instruction, group)` pair) is exhausted the remaining stream
+//!   is *discarded* except for an [`OverflowSummary`] (min/max/
+//!   granularity), which is what makes LEAP lossy and defines its
+//!   *sample quality*,
+//! * [`solver`] — exact integer ("omega-test-like") intersection of two
+//!   descriptors: which elements coincide in chosen dimensions, and
+//!   which elements of one descriptor are preceded in time by elements
+//!   of the other. This powers the memory-dependence-frequency
+//!   post-processor.
+//!
+//! # Examples
+//!
+//! The paper's own example: the offset stream
+//! `2, 5, 8, 11, 14, 15, 16, 17, 18` becomes two descriptors
+//! `[2, 3, 5]` and `[15, 1, 4]`.
+//!
+//! ```
+//! use orp_lmad::LinearCompressor;
+//!
+//! let mut c = LinearCompressor::new(1, 30);
+//! for x in [2i64, 5, 8, 11, 14, 15, 16, 17, 18] {
+//!     c.push(&[x]);
+//! }
+//! let lmads = c.lmads();
+//! assert_eq!(lmads.len(), 2);
+//! assert_eq!((lmads[0].start[0], lmads[0].stride[0], lmads[0].count), (2, 3, 5));
+//! assert_eq!((lmads[1].start[0], lmads[1].stride[0], lmads[1].count), (15, 1, 4));
+//! ```
+
+mod compressor;
+mod descriptor;
+mod io;
+pub mod solver;
+
+pub use compressor::{LinearCompressor, OverflowSummary};
+pub use descriptor::Lmad;

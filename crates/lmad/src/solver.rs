@@ -1,0 +1,621 @@
+//! Exact integer intersection of LMAD pairs.
+//!
+//! The memory-dependence post-processor of the paper detects conflicts
+//! between a store descriptor and a load descriptor by solving
+//!
+//! ```text
+//! start₁ + stride₁·k₁ = start₂ + stride₂·k₂ ,  0 ≤ k₁ < count₁ ,  0 ≤ k₂ < count₂
+//! ```
+//!
+//! per dimension — an *omega-test-like* linear-programming step. This
+//! module implements that exactly over ℤ: the solution set of a system
+//! of such equations in two unknowns is an affine lattice of rank 0, 1
+//! or 2, represented by [`PairSet`], built one dimension at a time with
+//! extended-gcd arithmetic and then clamped to the index ranges.
+//!
+//! On top of the raw solver sit the two queries LEAP needs:
+//!
+//! * [`count_conflicting_pairs`] — how many `(k₁, k₂)` pairs coincide
+//!   (used for validation against brute force), and
+//! * [`conflicting_k2`] — which *elements of the second descriptor*
+//!   have at least one coinciding, **time-earlier** element of the
+//!   first: exactly "load executions that read a location previously
+//!   written by this store".
+
+use crate::Lmad;
+
+/// Extended gcd: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`,
+/// `g ≥ 0`.
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        if a < 0 {
+            (-a, -1, 0)
+        } else {
+            (a, 1, 0)
+        }
+    } else {
+        let (g, x, y) = egcd(b, a.rem_euclid(b));
+        let q = a.div_euclid(b);
+        (g, y, x - q * y)
+    }
+}
+
+/// Floor division for i128, correct for divisors of either sign
+/// (`div_euclid` rounds toward a non-negative remainder, which is floor
+/// only for positive divisors).
+fn div_floor(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division for i128, correct for divisors of either sign.
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// The set of `(k₁, k₂)` index pairs satisfying the equations imposed so
+/// far.
+///
+/// Invariants: in `Line`, `(k1, k2) = (p + u·t, q + v·t)` for integer
+/// `t`, with `(u, v) ≠ (0, 0)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairSet {
+    /// No solutions.
+    Empty,
+    /// Every pair (no constraining equation yet, or all equations were
+    /// `0 = 0`).
+    All,
+    /// Exactly one solution.
+    Point {
+        /// The `k₁` coordinate.
+        k1: i128,
+        /// The `k₂` coordinate.
+        k2: i128,
+    },
+    /// A one-parameter family `(p + u·t, q + v·t)`, `t ∈ ℤ`.
+    Line {
+        /// `k₁` intercept.
+        p: i128,
+        /// `k₁` slope in `t`.
+        u: i128,
+        /// `k₂` intercept.
+        q: i128,
+        /// `k₂` slope in `t`.
+        v: i128,
+    },
+}
+
+impl PairSet {
+    /// Imposes the equation `a·k₁ - b·k₂ = c` on the current set.
+    #[must_use]
+    fn constrain(self, a: i128, b: i128, c: i128) -> PairSet {
+        match self {
+            PairSet::Empty => PairSet::Empty,
+            PairSet::Point { k1, k2 } => {
+                if a * k1 - b * k2 == c {
+                    PairSet::Point { k1, k2 }
+                } else {
+                    PairSet::Empty
+                }
+            }
+            PairSet::All => {
+                match (a == 0, b == 0) {
+                    (true, true) => {
+                        if c == 0 {
+                            PairSet::All
+                        } else {
+                            PairSet::Empty
+                        }
+                    }
+                    (true, false) => {
+                        // -b·k₂ = c  ⇒  k₂ fixed, k₁ free.
+                        if c % b == 0 {
+                            PairSet::Line {
+                                p: 0,
+                                u: 1,
+                                q: -c / b,
+                                v: 0,
+                            }
+                        } else {
+                            PairSet::Empty
+                        }
+                    }
+                    (false, true) => {
+                        // a·k₁ = c  ⇒  k₁ fixed, k₂ free.
+                        if c % a == 0 {
+                            PairSet::Line {
+                                p: c / a,
+                                u: 0,
+                                q: 0,
+                                v: 1,
+                            }
+                        } else {
+                            PairSet::Empty
+                        }
+                    }
+                    (false, false) => {
+                        // General two-variable linear Diophantine equation.
+                        let (g, x, y) = egcd(a, -b);
+                        if c % g != 0 {
+                            return PairSet::Empty;
+                        }
+                        let scale = c / g;
+                        let (p, q) = (x * scale, y * scale);
+                        // Homogeneous solutions: a·u = b·v.
+                        let (u, v) = (b / g, a / g);
+                        PairSet::Line { p, u, q, v }
+                    }
+                }
+            }
+            PairSet::Line { p, u, q, v } => {
+                // Substitute the parameterization into the new equation:
+                // (a·u - b·v)·t = c - a·p + b·q.
+                let m = a * u - b * v;
+                let rhs = c - a * p + b * q;
+                if m == 0 {
+                    if rhs == 0 {
+                        PairSet::Line { p, u, q, v }
+                    } else {
+                        PairSet::Empty
+                    }
+                } else if rhs % m == 0 {
+                    let t = rhs / m;
+                    PairSet::Point {
+                        k1: p + u * t,
+                        k2: q + v * t,
+                    }
+                } else {
+                    PairSet::Empty
+                }
+            }
+        }
+    }
+}
+
+/// A set of `k₂` indices of the second descriptor, reported by
+/// [`conflicting_k2`].
+///
+/// Always a (possibly empty) arithmetic progression — a consequence of
+/// the solution lattice being affine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct K2Set {
+    /// Smallest index in the set.
+    pub first: u64,
+    /// Step between consecutive indices (≥ 1; irrelevant when
+    /// `count ≤ 1`).
+    pub step: u64,
+    /// Number of indices.
+    pub count: u64,
+}
+
+impl K2Set {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        K2Set {
+            first: 0,
+            step: 1,
+            count: 0,
+        }
+    }
+
+    /// Iterates over the indices.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count).map(move |i| self.first + i * self.step)
+    }
+}
+
+/// Builds the solution set for "element `k₁` of `a` and element `k₂` of
+/// `b` coincide in every dimension listed in `eq_dims`".
+fn location_solutions(a: &Lmad, b: &Lmad, eq_dims: &[usize]) -> PairSet {
+    let mut set = PairSet::All;
+    for &d in eq_dims {
+        let (sa, da) = (i128::from(a.start[d]), i128::from(a.stride[d]));
+        let (sb, db) = (i128::from(b.start[d]), i128::from(b.stride[d]));
+        // sa + da·k₁ = sb + db·k₂  ⇔  da·k₁ - db·k₂ = sb - sa.
+        set = set.constrain(da, db, sb - sa);
+        if set == PairSet::Empty {
+            break;
+        }
+    }
+    set
+}
+
+/// Intersection of a `Line` parameter with the box
+/// `0 ≤ p+u·t < c1  ∧  0 ≤ q+v·t < c2`; returns the inclusive `t` range,
+/// or `None` when it is empty or unbounded on the constrained side.
+fn line_t_range(p: i128, u: i128, q: i128, v: i128, c1: i128, c2: i128) -> Option<(i128, i128)> {
+    let mut lo = i128::MIN / 4;
+    let mut hi = i128::MAX / 4;
+    for (intercept, slope, count) in [(p, u, c1), (q, v, c2)] {
+        // 0 ≤ intercept + slope·t ≤ count - 1
+        if slope == 0 {
+            if intercept < 0 || intercept >= count {
+                return None;
+            }
+        } else if slope > 0 {
+            lo = lo.max(div_ceil(-intercept, slope));
+            hi = hi.min(div_floor(count - 1 - intercept, slope));
+        } else {
+            lo = lo.max(div_ceil(count - 1 - intercept, slope));
+            hi = hi.min(div_floor(-intercept, slope));
+        }
+    }
+    if lo > hi {
+        None
+    } else {
+        Some((lo, hi))
+    }
+}
+
+/// Counts the index pairs `(k₁, k₂)` for which element `k₁` of `a`
+/// equals element `k₂` of `b` in every dimension of `eq_dims`.
+///
+/// Exact for every descriptor pair; used to validate the lattice algebra
+/// against brute-force enumeration, and as a building block for
+/// dependence-pair statistics.
+#[must_use]
+pub fn count_conflicting_pairs(a: &Lmad, b: &Lmad, eq_dims: &[usize]) -> u128 {
+    let (c1, c2) = (i128::from(a.count), i128::from(b.count));
+    match location_solutions(a, b, eq_dims) {
+        PairSet::Empty => 0,
+        PairSet::All => (c1 as u128) * (c2 as u128),
+        PairSet::Point { k1, k2 } => u128::from(k1 >= 0 && k1 < c1 && k2 >= 0 && k2 < c2),
+        PairSet::Line { p, u, q, v } => match line_t_range(p, u, q, v, c1, c2) {
+            None => 0,
+            Some((lo, hi)) => (hi - lo + 1) as u128,
+        },
+    }
+}
+
+/// The elements of `b` that coincide (in `eq_dims`) with at least one
+/// element of `a` whose time is strictly earlier.
+///
+/// `time_dim` names the dimension holding timestamps; both descriptors
+/// must have a non-negative time stride (streams are recorded in
+/// program order, so timestamps never decrease along a descriptor).
+///
+/// For the dependence-frequency application, `a` is a store descriptor,
+/// `b` a load descriptor, and the result is the set of load executions
+/// that observe a previously stored location (read-after-write).
+///
+/// # Panics
+///
+/// Panics if either descriptor has a negative time stride.
+#[must_use]
+pub fn conflicting_k2(a: &Lmad, b: &Lmad, eq_dims: &[usize], time_dim: usize) -> K2Set {
+    assert!(
+        a.stride[time_dim] >= 0 && b.stride[time_dim] >= 0,
+        "time must be non-decreasing along a descriptor"
+    );
+    let (c1, c2) = (i128::from(a.count), i128::from(b.count));
+    let (ta0, dta) = (
+        i128::from(a.start[time_dim]),
+        i128::from(a.stride[time_dim]),
+    );
+    let (tb0, dtb) = (
+        i128::from(b.start[time_dim]),
+        i128::from(b.stride[time_dim]),
+    );
+
+    match location_solutions(a, b, eq_dims) {
+        PairSet::Empty => K2Set::empty(),
+        PairSet::Point { k1, k2 } => {
+            if k1 >= 0 && k1 < c1 && k2 >= 0 && k2 < c2 && ta0 + dta * k1 < tb0 + dtb * k2 {
+                K2Set {
+                    first: k2 as u64,
+                    step: 1,
+                    count: 1,
+                }
+            } else {
+                K2Set::empty()
+            }
+        }
+        PairSet::All => {
+            // Location always coincides. k₂ conflicts iff the earliest
+            // element of `a` (k₁ = 0, time ta0) precedes it:
+            // ta0 < tb0 + dtb·k₂.
+            let lo = if dtb == 0 {
+                if ta0 < tb0 {
+                    0
+                } else {
+                    return K2Set::empty();
+                }
+            } else {
+                div_floor(ta0 - tb0, dtb) + 1
+            };
+            let lo = lo.max(0);
+            if lo >= c2 {
+                K2Set::empty()
+            } else {
+                K2Set {
+                    first: lo as u64,
+                    step: 1,
+                    count: (c2 - lo) as u64,
+                }
+            }
+        }
+        PairSet::Line { p, u, q, v } => {
+            let Some((mut lo, mut hi)) = line_t_range(p, u, q, v, c1, c2) else {
+                return K2Set::empty();
+            };
+            // Time order along the line: ta0 + dta·(p + u·t) < tb0 + dtb·(q + v·t)
+            //  ⇔ (dta·u - dtb·v)·t < tb0 + dtb·q - ta0 - dta·p.
+            let m = dta * u - dtb * v;
+            let rhs = tb0 + dtb * q - ta0 - dta * p;
+            if m == 0 {
+                if rhs <= 0 {
+                    return K2Set::empty();
+                }
+            } else if m > 0 {
+                // t < rhs / m  ⇔  t ≤ ceil(rhs/m) - 1.
+                hi = hi.min(div_ceil(rhs, m) - 1);
+            } else {
+                // t > rhs / m  ⇔  t ≥ floor(rhs/m) + 1.
+                lo = lo.max(div_floor(rhs, m) + 1);
+            }
+            if lo > hi {
+                return K2Set::empty();
+            }
+            if v == 0 {
+                // All t map to the same k₂.
+                K2Set {
+                    first: q as u64,
+                    step: 1,
+                    count: 1,
+                }
+            } else if v > 0 {
+                K2Set {
+                    first: (q + v * lo) as u64,
+                    step: v as u64,
+                    count: (hi - lo + 1) as u64,
+                }
+            } else {
+                K2Set {
+                    first: (q + v * hi) as u64,
+                    step: (-v) as u64,
+                    count: (hi - lo + 1) as u64,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lmad(start: &[i64], stride: &[i64], count: u64) -> Lmad {
+        Lmad {
+            start: start.to_vec(),
+            stride: stride.to_vec(),
+            count,
+        }
+    }
+
+    /// Brute-force pair count for validation.
+    fn brute_pairs(a: &Lmad, b: &Lmad, eq_dims: &[usize]) -> u128 {
+        let mut n = 0u128;
+        for k1 in 0..a.count {
+            for k2 in 0..b.count {
+                if eq_dims
+                    .iter()
+                    .all(|&d| a.value_at(d, k1) == b.value_at(d, k2))
+                {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Brute-force conflicting-k2 set for validation.
+    fn brute_k2(a: &Lmad, b: &Lmad, eq_dims: &[usize], time_dim: usize) -> Vec<u64> {
+        (0..b.count)
+            .filter(|&k2| {
+                (0..a.count).any(|k1| {
+                    eq_dims
+                        .iter()
+                        .all(|&d| a.value_at(d, k1) == b.value_at(d, k2))
+                        && a.value_at(time_dim, k1) < b.value_at(time_dim, k2)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn egcd_identity() {
+        for (a, b) in [(12, 18), (-12, 18), (7, 0), (0, 5), (-9, -6), (1, 1)] {
+            let (g, x, y) = egcd(a, b);
+            assert_eq!(a * x + b * y, g, "egcd({a},{b})");
+            assert!(g >= 0);
+            assert_eq!(g, {
+                let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+                while b != 0 {
+                    (a, b) = (b, a % b);
+                }
+                a as i128
+            });
+        }
+    }
+
+    #[test]
+    fn disjoint_strided_ranges_do_not_conflict() {
+        // a covers 0,8,16..72; b covers 100,108...
+        let a = lmad(&[0], &[8], 10);
+        let b = lmad(&[100], &[8], 10);
+        assert_eq!(count_conflicting_pairs(&a, &b, &[0]), 0);
+    }
+
+    #[test]
+    fn identical_ranges_conflict_elementwise() {
+        let a = lmad(&[0], &[8], 10);
+        let b = lmad(&[0], &[8], 10);
+        assert_eq!(count_conflicting_pairs(&a, &b, &[0]), 10);
+    }
+
+    #[test]
+    fn coprime_strides_meet_at_multiples_of_lcm() {
+        // 3k₁ = 5k₂ meets at 0, 15, 30, 45 within range.
+        let a = lmad(&[0], &[3], 20); // 0..57
+        let b = lmad(&[0], &[5], 12); // 0..55
+        assert_eq!(count_conflicting_pairs(&a, &b, &[0]), 4);
+        assert_eq!(brute_pairs(&a, &b, &[0]), 4);
+    }
+
+    #[test]
+    fn point_solution_single_dim() {
+        // a constant at 40; b hits 40 once.
+        let a = lmad(&[40], &[0], 7);
+        let b = lmad(&[0], &[8], 10);
+        assert_eq!(count_conflicting_pairs(&a, &b, &[0]), 7);
+        assert_eq!(brute_pairs(&a, &b, &[0]), 7);
+    }
+
+    #[test]
+    fn all_case_both_constant() {
+        let a = lmad(&[40], &[0], 7);
+        let b = lmad(&[40], &[0], 5);
+        assert_eq!(count_conflicting_pairs(&a, &b, &[0]), 35);
+        let b2 = lmad(&[48], &[0], 5);
+        assert_eq!(count_conflicting_pairs(&a, &b2, &[0]), 0);
+    }
+
+    #[test]
+    fn two_dims_constrain_jointly() {
+        // dim0: object index; dim1: offset. a walks objects 0..10 at
+        // offset 8; b walks objects 0..10 at offset 8 too.
+        let a = lmad(&[0, 8], &[1, 0], 10);
+        let b = lmad(&[5, 8], &[1, 0], 10);
+        // Objects 5..9 coincide.
+        assert_eq!(count_conflicting_pairs(&a, &b, &[0, 1]), 5);
+        assert_eq!(brute_pairs(&a, &b, &[0, 1]), 5);
+        // Different offsets: no conflicts.
+        let b2 = lmad(&[5, 16], &[1, 0], 10);
+        assert_eq!(count_conflicting_pairs(&a, &b2, &[0, 1]), 0);
+    }
+
+    #[test]
+    fn negative_strides() {
+        // a descends 72..0, b ascends 0..72.
+        let a = lmad(&[72], &[-8], 10);
+        let b = lmad(&[0], &[8], 10);
+        assert_eq!(
+            count_conflicting_pairs(&a, &b, &[0]),
+            brute_pairs(&a, &b, &[0])
+        );
+        assert_eq!(count_conflicting_pairs(&a, &b, &[0]), 10);
+    }
+
+    #[test]
+    fn exhaustive_small_lattices_match_brute_force() {
+        // Systematic sweep over small 1-D descriptor pairs.
+        let params = [-3i64, -1, 0, 1, 2, 5];
+        for &sa in &[-4i64, 0, 3] {
+            for &da in &params {
+                for &sb in &[-4i64, 0, 3] {
+                    for &db in &params {
+                        let a = lmad(&[sa], &[da], 6);
+                        let b = lmad(&[sb], &[db], 7);
+                        assert_eq!(
+                            count_conflicting_pairs(&a, &b, &[0]),
+                            brute_pairs(&a, &b, &[0]),
+                            "a=({sa},{da}) b=({sb},{db})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k2_simple_raw_dependence() {
+        // Store writes offsets 0,8,...,72 at times 0,2,...,18.
+        // Load reads offsets 0,8,...,72 at times 1,3,...,19: every load
+        // follows its matching store.
+        let st = lmad(&[0, 0], &[8, 2], 10); // (offset, time)
+        let ld = lmad(&[0, 1], &[8, 2], 10);
+        let set = conflicting_k2(&st, &ld, &[0], 1);
+        assert_eq!(set.iter().collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k2_load_before_store_does_not_conflict() {
+        // Loads all happen before any store.
+        let st = lmad(&[0, 100], &[8, 1], 10);
+        let ld = lmad(&[0, 0], &[8, 1], 10);
+        assert_eq!(conflicting_k2(&st, &ld, &[0], 1), K2Set::empty());
+    }
+
+    #[test]
+    fn k2_constant_location_tail_conflicts() {
+        // Store hits location 40 once at t=10; load reads location 40 at
+        // t = 0..19: loads after t=10 conflict.
+        let st = lmad(&[40, 10], &[0, 0], 1);
+        let ld = lmad(&[40, 0], &[0, 1], 20);
+        let set = conflicting_k2(&st, &ld, &[0], 1);
+        assert_eq!(set.iter().collect::<Vec<_>>(), (11..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k2_matches_brute_force_on_sweep() {
+        let strides = [-2i64, 0, 1, 3];
+        let mut checked = 0u32;
+        for &da in &strides {
+            for &db in &strides {
+                for &sa in &[0i64, 4] {
+                    for &sb in &[0i64, 4] {
+                        for &toff in &[-5i64, 0, 5] {
+                            let a = lmad(&[sa, 0], &[da, 3], 8);
+                            let b = lmad(&[sb, toff], &[db, 2], 9);
+                            let got: Vec<u64> = conflicting_k2(&a, &b, &[0], 1).iter().collect();
+                            let want = brute_k2(&a, &b, &[0], 1);
+                            assert_eq!(got, want, "a=({sa},{da}) b=({sb},{db}) toff={toff}");
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(checked, 192);
+    }
+
+    #[test]
+    fn k2_is_sorted_progression() {
+        let a = lmad(&[0, 0], &[4, 1], 50);
+        let b = lmad(&[0, 25], &[8, 1], 25);
+        let set = conflicting_k2(&a, &b, &[0], 1);
+        let ks: Vec<u64> = set.iter().collect();
+        let mut sorted = ks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ks, sorted, "progression must be sorted and duplicate-free");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn negative_time_stride_panics() {
+        let a = lmad(&[0, 10], &[0, -1], 5);
+        let b = lmad(&[0, 0], &[0, 1], 5);
+        let _ = conflicting_k2(&a, &b, &[0], 1);
+    }
+
+    #[test]
+    fn huge_counts_do_not_overflow() {
+        let a = lmad(&[0, 0], &[8, 1], 1 << 40);
+        let b = lmad(&[4, 0], &[8, 1], 1 << 40);
+        // Offsets interleave (0,8,16.. vs 4,12,20..): never equal.
+        assert_eq!(count_conflicting_pairs(&a, &b, &[0]), 0);
+        let c = lmad(&[0, 0], &[8, 1], 1 << 40);
+        assert_eq!(count_conflicting_pairs(&a, &c, &[0]), 1 << 40);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests: the lattice solver agrees with brute-force
+//! enumeration, and the compressor's captured prefix reconstructs
+//! exactly.
+
+use orp_lmad::solver::{conflicting_k2, count_conflicting_pairs};
+use orp_lmad::{LinearCompressor, Lmad};
+use proptest::prelude::*;
+
+fn arb_lmad(dims: usize, max_count: u64) -> impl Strategy<Value = Lmad> {
+    (
+        proptest::collection::vec(-50i64..50, dims),
+        proptest::collection::vec(-8i64..8, dims),
+        1..=max_count,
+    )
+        .prop_map(|(start, stride, count)| Lmad {
+            start,
+            stride,
+            count,
+        })
+}
+
+/// An LMAD whose last dimension is a valid (non-decreasing) time axis.
+fn arb_timed_lmad(loc_dims: usize, max_count: u64) -> impl Strategy<Value = Lmad> {
+    (arb_lmad(loc_dims, max_count), -100i64..100, 0i64..6).prop_map(|(mut l, t0, dt)| {
+        l.start.push(t0);
+        l.stride.push(dt);
+        l
+    })
+}
+
+fn brute_pairs(a: &Lmad, b: &Lmad, eq_dims: &[usize]) -> u128 {
+    let mut n = 0u128;
+    for k1 in 0..a.count {
+        for k2 in 0..b.count {
+            if eq_dims
+                .iter()
+                .all(|&d| a.value_at(d, k1) == b.value_at(d, k2))
+            {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+fn brute_k2(a: &Lmad, b: &Lmad, eq_dims: &[usize], time_dim: usize) -> Vec<u64> {
+    (0..b.count)
+        .filter(|&k2| {
+            (0..a.count).any(|k1| {
+                eq_dims
+                    .iter()
+                    .all(|&d| a.value_at(d, k1) == b.value_at(d, k2))
+                    && a.value_at(time_dim, k1) < b.value_at(time_dim, k2)
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pair_count_matches_brute_force_1d(
+        a in arb_lmad(1, 40),
+        b in arb_lmad(1, 40),
+    ) {
+        prop_assert_eq!(count_conflicting_pairs(&a, &b, &[0]), brute_pairs(&a, &b, &[0]));
+    }
+
+    #[test]
+    fn pair_count_matches_brute_force_2d(
+        a in arb_lmad(2, 30),
+        b in arb_lmad(2, 30),
+    ) {
+        prop_assert_eq!(
+            count_conflicting_pairs(&a, &b, &[0, 1]),
+            brute_pairs(&a, &b, &[0, 1])
+        );
+    }
+
+    #[test]
+    fn pair_count_matches_brute_force_3d(
+        a in arb_lmad(3, 20),
+        b in arb_lmad(3, 20),
+    ) {
+        prop_assert_eq!(
+            count_conflicting_pairs(&a, &b, &[0, 1, 2]),
+            brute_pairs(&a, &b, &[0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn k2_matches_brute_force(
+        a in arb_timed_lmad(2, 25),
+        b in arb_timed_lmad(2, 25),
+    ) {
+        let got: Vec<u64> = conflicting_k2(&a, &b, &[0, 1], 2).iter().collect();
+        prop_assert_eq!(got, brute_k2(&a, &b, &[0, 1], 2));
+    }
+
+    #[test]
+    fn compressor_reconstructs_captured_prefix(
+        pts in proptest::collection::vec(
+            proptest::collection::vec(-100i64..100, 2..=2), 0..200),
+        budget in 1usize..16,
+    ) {
+        let mut c = LinearCompressor::new(2, budget);
+        for p in &pts {
+            c.push(p);
+        }
+        let captured = c.captured() as usize;
+        let mut got = c.reconstruct();
+        got.sort_unstable();
+        let mut want = pts[..captured].to_vec();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(c.seen(), pts.len() as u64);
+        if c.fully_captured() {
+            prop_assert_eq!(captured, pts.len());
+        }
+    }
+
+    #[test]
+    fn compressor_with_generous_budget_is_lossless_on_piecewise_linear(
+        segments in proptest::collection::vec(
+            (-100i64..100, -10i64..10, 2u64..30), 1..8),
+    ) {
+        // Piecewise-linear input with S segments always fits in S + 1
+        // descriptors (a segment boundary can consume an extra one when
+        // the next segment's first two points align with the tail).
+        let mut pts = Vec::new();
+        for &(start, stride, n) in &segments {
+            for k in 0..n {
+                pts.push(vec![start + stride * k as i64]);
+            }
+        }
+        let mut c = LinearCompressor::new(1, 2 * segments.len() + 1);
+        for p in &pts {
+            c.push(p);
+        }
+        prop_assert!(c.fully_captured());
+        // Multi-descriptor extension may regroup points across
+        // descriptors, so compare as multisets.
+        let mut got = c.reconstruct();
+        got.sort_unstable();
+        let mut want = pts.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,212 @@
+//! Object-clustering analysis: which objects of a group are used
+//! together?
+//!
+//! The object dimension of the object-relative stream directly shows
+//! which objects are touched consecutively; objects with high temporal
+//! affinity should be co-allocated (cache-conscious clustering, the
+//! paper's "object clustering or global variable re-mapping" use case
+//! for the object-level grammar).
+
+use std::collections::{BTreeMap, HashMap};
+
+use orp_core::{GroupId, ObjectSerial, OrSink, OrTuple};
+
+/// Per-group object-affinity counts and co-allocation suggestions.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterAnalysis {
+    /// (group, lo serial, hi serial) → transition count.
+    affinity: BTreeMap<(GroupId, u64, u64), u64>,
+    /// Last object accessed per group.
+    last: HashMap<GroupId, ObjectSerial>,
+    /// Access counts per (group, object).
+    heat: BTreeMap<(GroupId, u64), u64>,
+}
+
+impl ClusterAnalysis {
+    /// Creates an empty analysis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Transition count between two objects of a group (order
+    /// insensitive).
+    #[must_use]
+    pub fn affinity(&self, group: GroupId, a: ObjectSerial, b: ObjectSerial) -> u64 {
+        let (lo, hi) = (a.0.min(b.0), a.0.max(b.0));
+        self.affinity.get(&(group, lo, hi)).copied().unwrap_or(0)
+    }
+
+    /// Total accesses to one object.
+    #[must_use]
+    pub fn heat(&self, group: GroupId, object: ObjectSerial) -> u64 {
+        self.heat.get(&(group, object.0)).copied().unwrap_or(0)
+    }
+
+    /// The strongest `k` co-allocation pairs of a group, hottest first.
+    ///
+    /// Each entry is `(object a, object b, transitions)` — a candidate
+    /// for placing `a` and `b` on the same cache line / page.
+    #[must_use]
+    pub fn top_pairs(&self, group: GroupId, k: usize) -> Vec<(ObjectSerial, ObjectSerial, u64)> {
+        let mut pairs: Vec<(ObjectSerial, ObjectSerial, u64)> = self
+            .affinity
+            .range((group, 0, 0)..=(group, u64::MAX, u64::MAX))
+            .map(|(&(_, a, b), &w)| (ObjectSerial(a), ObjectSerial(b), w))
+            .collect();
+        pairs.sort_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Greedily partitions a group's objects into clusters of at most
+    /// `cluster_size`, merging along the strongest affinities first —
+    /// the allocation-order hint a cache-conscious allocator would
+    /// consume.
+    #[must_use]
+    pub fn suggest_clusters(&self, group: GroupId, cluster_size: usize) -> Vec<Vec<ObjectSerial>> {
+        assert!(cluster_size >= 1, "clusters must hold at least one object");
+        // Union-find with size caps.
+        let mut parent: HashMap<u64, u64> = HashMap::new();
+        let mut size: HashMap<u64, usize> = HashMap::new();
+        fn find(parent: &mut HashMap<u64, u64>, x: u64) -> u64 {
+            let p = *parent.entry(x).or_insert(x);
+            if p == x {
+                x
+            } else {
+                let root = find(parent, p);
+                parent.insert(x, root);
+                root
+            }
+        }
+        for (a, b, _) in self.top_pairs(group, usize::MAX) {
+            let (ra, rb) = (find(&mut parent, a.0), find(&mut parent, b.0));
+            if ra == rb {
+                continue;
+            }
+            let (sa, sb) = (
+                size.get(&ra).copied().unwrap_or(1),
+                size.get(&rb).copied().unwrap_or(1),
+            );
+            if sa + sb > cluster_size {
+                continue;
+            }
+            parent.insert(ra, rb);
+            size.insert(rb, sa + sb);
+        }
+        let mut clusters: BTreeMap<u64, Vec<ObjectSerial>> = BTreeMap::new();
+        let members: Vec<u64> = parent.keys().copied().collect();
+        for m in members {
+            let root = find(&mut parent, m);
+            clusters.entry(root).or_default().push(ObjectSerial(m));
+        }
+        let mut out: Vec<Vec<ObjectSerial>> = clusters.into_values().collect();
+        for c in &mut out {
+            c.sort_unstable();
+        }
+        out.sort();
+        out
+    }
+}
+
+impl OrSink for ClusterAnalysis {
+    fn tuple(&mut self, t: &OrTuple) {
+        *self.heat.entry((t.group, t.object.0)).or_default() += 1;
+        if let Some(prev) = self.last.insert(t.group, t.object) {
+            if prev != t.object {
+                let (lo, hi) = (prev.0.min(t.object.0), prev.0.max(t.object.0));
+                *self.affinity.entry((t.group, lo, hi)).or_default() += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_core::Timestamp;
+    use orp_trace::{AccessKind, InstrId};
+
+    fn t(group: u32, object: u64, time: u64) -> OrTuple {
+        OrTuple {
+            instr: InstrId(0),
+            kind: AccessKind::Load,
+            group: GroupId(group),
+            object: ObjectSerial(object),
+            offset: 0,
+            time: Timestamp(time),
+            size: 8,
+        }
+    }
+
+    #[test]
+    fn alternating_objects_have_high_affinity() {
+        let mut a = ClusterAnalysis::new();
+        let mut time = 0;
+        for _ in 0..100 {
+            a.tuple(&t(0, 3, time));
+            a.tuple(&t(0, 7, time + 1));
+            time += 2;
+        }
+        assert_eq!(
+            a.affinity(GroupId(0), ObjectSerial(3), ObjectSerial(7)),
+            199
+        );
+        assert_eq!(a.heat(GroupId(0), ObjectSerial(3)), 100);
+        let top = a.top_pairs(GroupId(0), 1);
+        assert_eq!((top[0].0, top[0].1), (ObjectSerial(3), ObjectSerial(7)));
+    }
+
+    #[test]
+    fn clusters_respect_size_cap() {
+        // Chain 0-1-2-3 with decreasing strength; cap 2 pairs (0,1) and
+        // (2,3).
+        let mut a = ClusterAnalysis::new();
+        let mut time = 0;
+        let mut weave = |x: u64, y: u64, reps: usize, time: &mut u64| {
+            for _ in 0..reps {
+                a.tuple(&t(0, x, *time));
+                a.tuple(&t(0, y, *time + 1));
+                *time += 2;
+            }
+        };
+        weave(0, 1, 100, &mut time);
+        weave(2, 3, 90, &mut time);
+        weave(1, 2, 50, &mut time);
+        let clusters = a.suggest_clusters(GroupId(0), 2);
+        assert!(
+            clusters.contains(&vec![ObjectSerial(0), ObjectSerial(1)]),
+            "{clusters:?}"
+        );
+        assert!(
+            clusters.contains(&vec![ObjectSerial(2), ObjectSerial(3)]),
+            "{clusters:?}"
+        );
+    }
+
+    #[test]
+    fn groups_do_not_mix() {
+        let mut a = ClusterAnalysis::new();
+        a.tuple(&t(0, 1, 0));
+        a.tuple(&t(1, 2, 1));
+        a.tuple(&t(0, 3, 2));
+        assert_eq!(a.affinity(GroupId(0), ObjectSerial(1), ObjectSerial(3)), 1);
+        assert_eq!(a.affinity(GroupId(1), ObjectSerial(1), ObjectSerial(3)), 0);
+    }
+
+    #[test]
+    fn self_transitions_do_not_count() {
+        let mut a = ClusterAnalysis::new();
+        a.tuple(&t(0, 5, 0));
+        a.tuple(&t(0, 5, 1));
+        assert_eq!(a.affinity(GroupId(0), ObjectSerial(5), ObjectSerial(5)), 0);
+        assert_eq!(a.heat(GroupId(0), ObjectSerial(5)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn zero_cluster_size_panics() {
+        let a = ClusterAnalysis::new();
+        let _ = a.suggest_clusters(GroupId(0), 0);
+    }
+}

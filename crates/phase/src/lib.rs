@@ -1,0 +1,492 @@
+//! Phase detection and phase-cognizant profiling.
+//!
+//! The paper's future work: "make use of recent results on phase
+//! detection and prediction to profile references in a phase cognizant
+//! manner". This crate implements that extension:
+//!
+//! * [`PhaseDetector`] — Sherwood-style interval signatures: execution
+//!   is cut into fixed-length intervals, each summarized by its
+//!   instruction-frequency vector; an interval whose normalized
+//!   Manhattan distance to every known phase exceeds a threshold opens
+//!   a new phase, otherwise it joins the nearest one;
+//! * [`PhasedProfiler`] — an [`OrSink`] adapter that buffers one
+//!   interval of object-relative tuples, classifies it, and forwards it
+//!   to a per-phase downstream profiler. Wrapping LEAP this way yields
+//!   per-phase LMAD profiles: a program whose phases have different
+//!   linear behavior gets a clean profile per phase instead of one
+//!   muddled whole-run profile.
+//!
+//! # Examples
+//!
+//! ```
+//! use orp_phase::PhaseDetector;
+//!
+//! let mut det = PhaseDetector::new(4, 0.5);
+//! // Two intervals of instruction 1, then two of instruction 2.
+//! for instr in [1u32, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2] {
+//!     det.observe(orp_trace::InstrId(instr));
+//! }
+//! assert_eq!(det.phase_count(), 2);
+//! assert_eq!(det.history(), &[orp_phase::PhaseId(0), orp_phase::PhaseId(0),
+//!                             orp_phase::PhaseId(1), orp_phase::PhaseId(1)]);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+
+use orp_core::{OrSink, OrTuple};
+use orp_trace::InstrId;
+
+/// Identifier of a detected phase, in order of first appearance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhaseId(pub u32);
+
+impl std::fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A sparse, normalized instruction-frequency signature of one
+/// interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Signature {
+    counts: HashMap<u32, f64>,
+}
+
+impl Signature {
+    fn from_counts(counts: &HashMap<u32, u64>) -> Self {
+        let total: u64 = counts.values().sum();
+        let total = total.max(1) as f64;
+        Signature {
+            counts: counts
+                .iter()
+                .map(|(&i, &c)| (i, c as f64 / total))
+                .collect(),
+        }
+    }
+
+    /// Normalized Manhattan distance in [0, 2].
+    fn distance(&self, other: &Signature) -> f64 {
+        let mut d = 0.0;
+        for (i, &a) in &self.counts {
+            d += (a - other.counts.get(i).copied().unwrap_or(0.0)).abs();
+        }
+        for (i, &b) in &other.counts {
+            if !self.counts.contains_key(i) {
+                d += b;
+            }
+        }
+        d
+    }
+
+    /// Exponentially blends another signature in (keeps representatives
+    /// stable but adaptive).
+    fn blend(&mut self, other: &Signature) {
+        const ALPHA: f64 = 0.25;
+        for v in self.counts.values_mut() {
+            *v *= 1.0 - ALPHA;
+        }
+        for (&i, &b) in &other.counts {
+            *self.counts.entry(i).or_insert(0.0) += ALPHA * b;
+        }
+    }
+}
+
+/// Online interval-signature phase detector.
+#[derive(Debug, Clone)]
+pub struct PhaseDetector {
+    interval: usize,
+    threshold: f64,
+    current: HashMap<u32, u64>,
+    filled: usize,
+    representatives: Vec<Signature>,
+    history: Vec<PhaseId>,
+}
+
+impl PhaseDetector {
+    /// Creates a detector cutting execution into intervals of
+    /// `interval` accesses, opening a new phase when the nearest known
+    /// phase is farther than `threshold` (normalized Manhattan
+    /// distance, 0..=2; ~0.5 works well).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `threshold` is not in `(0, 2]`.
+    #[must_use]
+    pub fn new(interval: usize, threshold: f64) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        assert!(
+            threshold > 0.0 && threshold <= 2.0,
+            "threshold must be in (0, 2]"
+        );
+        PhaseDetector {
+            interval,
+            threshold,
+            current: HashMap::new(),
+            filled: 0,
+            representatives: Vec::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// The configured interval length (accesses per interval).
+    #[must_use]
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Feeds one access; returns the classified phase when this access
+    /// completes an interval.
+    pub fn observe(&mut self, instr: InstrId) -> Option<PhaseId> {
+        *self.current.entry(instr.0).or_default() += 1;
+        self.filled += 1;
+        if self.filled < self.interval {
+            return None;
+        }
+        let sig = Signature::from_counts(&self.current);
+        self.current.clear();
+        self.filled = 0;
+        let phase = self.classify(&sig);
+        self.history.push(phase);
+        Some(phase)
+    }
+
+    /// Classifies a completed-interval signature, creating a new phase
+    /// if nothing known is close enough.
+    fn classify(&mut self, sig: &Signature) -> PhaseId {
+        let nearest = self
+            .representatives
+            .iter()
+            .enumerate()
+            .map(|(i, rep)| (i, rep.distance(sig)))
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        match nearest {
+            Some((i, d)) if d <= self.threshold => {
+                self.representatives[i].blend(sig);
+                PhaseId(i as u32)
+            }
+            _ => {
+                self.representatives.push(sig.clone());
+                PhaseId((self.representatives.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Classifies the current partial interval without consuming it
+    /// (used at end of program for the tail).
+    #[must_use]
+    pub fn classify_partial(&mut self) -> Option<PhaseId> {
+        if self.filled == 0 {
+            return None;
+        }
+        let sig = Signature::from_counts(&self.current);
+        Some(self.classify(&sig))
+    }
+
+    /// Number of distinct phases seen so far.
+    #[must_use]
+    pub fn phase_count(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The phase of every completed interval, in order.
+    #[must_use]
+    pub fn history(&self) -> &[PhaseId] {
+        &self.history
+    }
+}
+
+/// A phase-cognizant profiler adapter: buffers one interval of tuples,
+/// classifies it with the embedded [`PhaseDetector`], and forwards the
+/// whole interval to that phase's downstream profiler (created on
+/// demand by the factory).
+pub struct PhasedProfiler<S, F> {
+    detector: PhaseDetector,
+    factory: F,
+    buffer: Vec<OrTuple>,
+    sinks: BTreeMap<PhaseId, S>,
+}
+
+impl<S: OrSink, F: FnMut(PhaseId) -> S> PhasedProfiler<S, F> {
+    /// Creates a phased profiler; `factory` builds the per-phase
+    /// downstream profiler.
+    #[must_use]
+    pub fn new(detector: PhaseDetector, factory: F) -> Self {
+        PhasedProfiler {
+            detector,
+            factory,
+            buffer: Vec::new(),
+            sinks: BTreeMap::new(),
+        }
+    }
+
+    /// The embedded detector (phase history, counts).
+    #[must_use]
+    pub fn detector(&self) -> &PhaseDetector {
+        &self.detector
+    }
+
+    /// The per-phase profilers accumulated so far.
+    #[must_use]
+    pub fn phases(&self) -> &BTreeMap<PhaseId, S> {
+        &self.sinks
+    }
+
+    /// Finalizes: flushes any partial interval and returns the
+    /// per-phase profilers plus the detector.
+    #[must_use]
+    pub fn into_parts(mut self) -> (BTreeMap<PhaseId, S>, PhaseDetector) {
+        if let Some(phase) = self.detector.classify_partial() {
+            Self::flush_to(&mut self.sinks, &mut self.factory, phase, &self.buffer);
+        }
+        for sink in self.sinks.values_mut() {
+            sink.finish();
+        }
+        (self.sinks, self.detector)
+    }
+
+    fn flush_to(
+        sinks: &mut BTreeMap<PhaseId, S>,
+        factory: &mut F,
+        phase: PhaseId,
+        tuples: &[OrTuple],
+    ) {
+        let sink = sinks.entry(phase).or_insert_with(|| factory(phase));
+        for t in tuples {
+            sink.tuple(t);
+        }
+    }
+}
+
+impl<S: OrSink, F: FnMut(PhaseId) -> S> OrSink for PhasedProfiler<S, F> {
+    fn tuple(&mut self, t: &OrTuple) {
+        self.buffer.push(*t);
+        if let Some(phase) = self.detector.observe(t.instr) {
+            Self::flush_to(&mut self.sinks, &mut self.factory, phase, &self.buffer);
+            self.buffer.clear();
+        }
+    }
+}
+
+impl<S: std::fmt::Debug, F> std::fmt::Debug for PhasedProfiler<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhasedProfiler")
+            .field("detector", &self.detector)
+            .field("buffered", &self.buffer.len())
+            .field("phases", &self.sinks)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_core::{GroupId, ObjectSerial, Timestamp, VecOrSink};
+    use orp_trace::AccessKind;
+
+    fn tuple(instr: u32, time: u64) -> OrTuple {
+        OrTuple {
+            instr: InstrId(instr),
+            kind: AccessKind::Load,
+            group: GroupId(0),
+            object: ObjectSerial(0),
+            offset: 0,
+            time: Timestamp(time),
+            size: 8,
+        }
+    }
+
+    #[test]
+    fn two_disjoint_behaviors_form_two_phases() {
+        let mut det = PhaseDetector::new(10, 0.5);
+        for t in 0..100 {
+            det.observe(InstrId(if t < 50 { 1 } else { 2 }));
+        }
+        assert_eq!(det.phase_count(), 2);
+        assert_eq!(det.history().len(), 10);
+        assert!(det.history()[..5].iter().all(|&p| p == PhaseId(0)));
+        assert!(det.history()[5..].iter().all(|&p| p == PhaseId(1)));
+    }
+
+    #[test]
+    fn recurring_phase_is_recognized_not_duplicated() {
+        let mut det = PhaseDetector::new(10, 0.5);
+        // A B A B pattern of intervals.
+        for block in 0..4 {
+            let instr = if block % 2 == 0 { 1 } else { 2 };
+            for _ in 0..10 {
+                det.observe(InstrId(instr));
+            }
+        }
+        assert_eq!(det.phase_count(), 2, "phases recur, they do not multiply");
+        assert_eq!(
+            det.history(),
+            &[PhaseId(0), PhaseId(1), PhaseId(0), PhaseId(1)]
+        );
+    }
+
+    #[test]
+    fn similar_intervals_stay_in_one_phase() {
+        let mut det = PhaseDetector::new(100, 0.5);
+        // Minor jitter in the mix must not open new phases.
+        for t in 0..1000u32 {
+            det.observe(InstrId(if t % 10 < 7 { 1 } else { 2 + (t % 3) }));
+        }
+        assert_eq!(det.phase_count(), 1);
+    }
+
+    #[test]
+    fn phased_profiler_routes_intervals() {
+        let detector = PhaseDetector::new(10, 0.5);
+        let mut prof = PhasedProfiler::new(detector, |_| VecOrSink::new());
+        for t in 0..60 {
+            prof.tuple(&tuple(if t < 30 { 1 } else { 2 }, t));
+        }
+        let (phases, det) = prof.into_parts();
+        assert_eq!(det.phase_count(), 2);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[&PhaseId(0)].len(), 30);
+        assert_eq!(phases[&PhaseId(1)].len(), 30);
+        assert!(phases[&PhaseId(0)]
+            .tuples()
+            .iter()
+            .all(|t| t.instr == InstrId(1)));
+    }
+
+    #[test]
+    fn partial_tail_interval_is_flushed() {
+        let detector = PhaseDetector::new(10, 0.5);
+        let mut prof = PhasedProfiler::new(detector, |_| VecOrSink::new());
+        for t in 0..25 {
+            prof.tuple(&tuple(1, t));
+        }
+        let (phases, _) = prof.into_parts();
+        let total: usize = phases.values().map(VecOrSink::len).sum();
+        assert_eq!(total, 25, "no tuple may be lost at program end");
+    }
+
+    #[test]
+    fn signature_distance_is_symmetric_and_bounded() {
+        let a = Signature::from_counts(&HashMap::from([(1, 10u64)]));
+        let b = Signature::from_counts(&HashMap::from([(2, 10u64)]));
+        assert!(
+            (a.distance(&b) - 2.0).abs() < 1e-9,
+            "disjoint mixes are maximally far"
+        );
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert!(a.distance(&a) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let _ = PhaseDetector::new(0, 0.5);
+    }
+}
+
+/// A Markov next-phase predictor trained on the detector's interval
+/// history (the "prediction" half of the phase work the paper cites).
+///
+/// # Examples
+///
+/// ```
+/// use orp_phase::{PhaseId, PhasePredictor};
+///
+/// let mut pred = PhasePredictor::new();
+/// // Alternating history: after P0 comes P1 and vice versa.
+/// for w in [0u32, 1, 0, 1, 0, 1].windows(2) {
+///     pred.train(PhaseId(w[0]), PhaseId(w[1]));
+/// }
+/// assert_eq!(pred.predict(PhaseId(0)), Some(PhaseId(1)));
+/// assert_eq!(pred.predict(PhaseId(1)), Some(PhaseId(0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhasePredictor {
+    /// (from, to) → observed transitions.
+    transitions: BTreeMap<(PhaseId, PhaseId), u64>,
+}
+
+impl PhasePredictor {
+    /// Creates an empty predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trains the predictor from a full phase history.
+    #[must_use]
+    pub fn from_history(history: &[PhaseId]) -> Self {
+        let mut p = Self::new();
+        for w in history.windows(2) {
+            p.train(w[0], w[1]);
+        }
+        p
+    }
+
+    /// Records one observed transition.
+    pub fn train(&mut self, from: PhaseId, to: PhaseId) {
+        *self.transitions.entry((from, to)).or_default() += 1;
+    }
+
+    /// The most likely next phase after `from`, or `None` when `from`
+    /// was never seen.
+    #[must_use]
+    pub fn predict(&self, from: PhaseId) -> Option<PhaseId> {
+        self.transitions
+            .range((from, PhaseId(0))..=(from, PhaseId(u32::MAX)))
+            .max_by_key(|(&(_, to), &c)| (c, std::cmp::Reverse(to.0)))
+            .map(|(&(_, to), _)| to)
+    }
+
+    /// Fraction of transitions in `history` this predictor gets right
+    /// when predicting each step from the previous one (self-scoring on
+    /// training data measures how phase-regular the program is).
+    #[must_use]
+    pub fn accuracy_on(&self, history: &[PhaseId]) -> f64 {
+        if history.len() < 2 {
+            return 0.0;
+        }
+        let hits = history
+            .windows(2)
+            .filter(|w| self.predict(w[0]) == Some(w[1]))
+            .count();
+        hits as f64 / (history.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod predictor_tests {
+    use super::*;
+
+    #[test]
+    fn predicts_the_majority_successor() {
+        let mut p = PhasePredictor::new();
+        p.train(PhaseId(0), PhaseId(1));
+        p.train(PhaseId(0), PhaseId(1));
+        p.train(PhaseId(0), PhaseId(2));
+        assert_eq!(p.predict(PhaseId(0)), Some(PhaseId(1)));
+        assert_eq!(p.predict(PhaseId(9)), None);
+    }
+
+    #[test]
+    fn periodic_history_scores_perfectly() {
+        let history: Vec<PhaseId> = (0..40).map(|i| PhaseId(i % 4)).collect();
+        let p = PhasePredictor::from_history(&history);
+        assert!((p.accuracy_on(&history) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_history_scores_below_one() {
+        let history = [0u32, 1, 0, 2, 0, 1, 0, 2, 0, 1].map(PhaseId).to_vec();
+        let p = PhasePredictor::from_history(&history);
+        let acc = p.accuracy_on(&history);
+        assert!(acc > 0.0 && acc < 1.0, "got {acc}");
+    }
+
+    #[test]
+    fn short_histories_are_safe() {
+        let p = PhasePredictor::from_history(&[]);
+        assert_eq!(p.accuracy_on(&[]), 0.0);
+        assert_eq!(p.accuracy_on(&[PhaseId(0)]), 0.0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Plain-text tables, histograms and CSV output for the experiment
+//! harnesses.
+//!
+//! Every figure and table reproduction in `orp-bench` prints its result
+//! through this crate, so the harness binaries share one look: an ASCII
+//! table for the paper's tables, a bar rendering for its figures, and a
+//! machine-readable CSV block for downstream plotting.
+//!
+//! # Examples
+//!
+//! ```
+//! use orp_report::Table;
+//!
+//! let mut t = Table::new(["benchmark", "ratio"]);
+//! t.row(["164.gzip", "1169x"]);
+//! t.row(["175.vpr", "3935x"]);
+//! let text = t.render();
+//! assert!(text.contains("164.gzip"));
+//! ```
+
+/// A simple aligned ASCII table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<const N: usize>(header: [&str; N]) -> Self {
+        Table {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<const N: usize>(&mut self, cells: [&str; N]) {
+        assert_eq!(N, self.header.len(), "row width must match header");
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends a row from owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row_vec(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                if i + 1 < cols {
+                    line.push_str(&" ".repeat(widths[i] - cell.len()));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows, comma-separated; cells
+    /// containing commas or quotes are quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An ASCII bar chart over labeled values (the figures' rendering).
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    entries: Vec<(String, f64)>,
+    unit: String,
+}
+
+impl BarChart {
+    /// Creates an empty chart whose values carry `unit` (e.g. `"%"`).
+    #[must_use]
+    pub fn new(unit: &str) -> Self {
+        BarChart {
+            entries: Vec::new(),
+            unit: unit.to_owned(),
+        }
+    }
+
+    /// Appends a labeled value.
+    pub fn bar(&mut self, label: &str, value: f64) {
+        self.entries.push((label.to_owned(), value));
+    }
+
+    /// Number of bars.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the chart has no bars.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders bars scaled to at most `width` characters. Negative
+    /// values render with a leading `-` run.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let max = self
+            .entries
+            .iter()
+            .map(|(_, v)| v.abs())
+            .fold(0.0f64, f64::max);
+        let label_w = self.entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (label, value) in &self.entries {
+            let bar_len = if max > 0.0 {
+                ((value.abs() / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            let bar: String = if *value < 0.0 {
+                format!("-{}", "#".repeat(bar_len))
+            } else {
+                "#".repeat(bar_len)
+            };
+            out.push_str(&format!(
+                "{label:<label_w$}  {bar:<bar_w$}  {value:.1}{unit}\n",
+                bar_w = width + 1,
+                unit = self.unit
+            ));
+        }
+        out
+    }
+}
+
+/// A symmetric percentage-error histogram (the paper's Figures 6–8:
+/// 10%-wide bins from −100% to +100%, with the exact-zero point split
+/// out).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorHistogram {
+    /// Counts for bins `[-100,-90), …, [-10,0)`, then exact 0, then
+    /// `(0,10], …, (90,100]` — 21 bins.
+    bins: [u64; 21],
+    total: u64,
+}
+
+impl ErrorHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        ErrorHistogram {
+            bins: [0; 21],
+            total: 0,
+        }
+    }
+
+    /// Records one error value in percent, clamped to ±100.
+    pub fn record(&mut self, error_percent: f64) {
+        let e = error_percent.clamp(-100.0, 100.0);
+        let idx = if e == 0.0 {
+            10
+        } else if e < 0.0 {
+            // [-100,-90) -> 0 … [-10,0) -> 9
+            ((e + 100.0) / 10.0).floor().min(9.0) as usize
+        } else {
+            // (0,10] -> 11 … (90,100] -> 20
+            10 + (e / 10.0).ceil().clamp(1.0, 10.0) as usize
+        };
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ErrorHistogram) {
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Total recorded values.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The fraction (0..=1) of values within `±percent` (inclusive).
+    #[must_use]
+    pub fn fraction_within(&self, percent: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let k = (percent / 10.0).round() as usize;
+        let lo = 10usize.saturating_sub(k);
+        let hi = (10 + k).min(20);
+        let sum: u64 = self.bins[lo..=hi].iter().sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Per-bin percentages, from −100% to +100%.
+    #[must_use]
+    pub fn percentages(&self) -> [f64; 21] {
+        let mut out = [0.0; 21];
+        if self.total > 0 {
+            for (o, b) in out.iter_mut().zip(&self.bins) {
+                *o = *b as f64 * 100.0 / self.total as f64;
+            }
+        }
+        out
+    }
+
+    /// Bin labels aligned with [`ErrorHistogram::percentages`].
+    #[must_use]
+    pub fn labels() -> [&'static str; 21] {
+        [
+            "-100..-90",
+            "-90..-80",
+            "-80..-70",
+            "-70..-60",
+            "-60..-50",
+            "-50..-40",
+            "-40..-30",
+            "-30..-20",
+            "-20..-10",
+            "-10..0",
+            "0",
+            "0..10",
+            "10..20",
+            "20..30",
+            "30..40",
+            "40..50",
+            "50..60",
+            "60..70",
+            "70..80",
+            "80..90",
+            "90..100",
+        ]
+    }
+
+    /// Renders the distribution as a vertical list of labeled bars.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let mut chart = BarChart::new("%");
+        for (label, pct) in Self::labels().iter().zip(self.percentages()) {
+            chart.bar(label, pct);
+        }
+        chart.render(width)
+    }
+}
+
+impl Default for ErrorHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Formats a ratio like the paper's Table 1 (`3539x`).
+#[must_use]
+pub fn fmt_ratio(ratio: f64) -> String {
+    format!("{ratio:.0}x")
+}
+
+/// Formats a percentage with one decimal (`46.5%`).
+#[must_use]
+pub fn fmt_percent(p: f64) -> String {
+    format!("{p:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn table_csv_escapes() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row_vec(vec!["only-one".to_owned()]);
+    }
+
+    #[test]
+    fn histogram_bins_edges() {
+        let mut h = ErrorHistogram::new();
+        h.record(0.0); // exact center
+        h.record(-5.0); // [-10, 0)
+        h.record(5.0); // (0, 10]
+        h.record(10.0); // (0, 10]
+        h.record(10.1); // (10, 20]
+        h.record(-100.0); // lowest bin
+        h.record(250.0); // clamped to highest bin
+        let p = h.percentages();
+        assert_eq!(h.total(), 7);
+        assert!(p[10] > 0.0);
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_within_ten_percent() {
+        let mut h = ErrorHistogram::new();
+        for _ in 0..75 {
+            h.record(0.0);
+        }
+        for _ in 0..25 {
+            h.record(50.0);
+        }
+        assert!((h.fraction_within(10.0) - 0.75).abs() < 1e-9);
+        assert!((h.fraction_within(100.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = ErrorHistogram::new();
+        a.record(0.0);
+        let mut b = ErrorHistogram::new();
+        b.record(42.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = ErrorHistogram::new();
+        assert_eq!(h.fraction_within(10.0), 0.0);
+        assert_eq!(h.percentages(), [0.0; 21]);
+    }
+
+    #[test]
+    fn barchart_renders_negative_and_scales() {
+        let mut c = BarChart::new("%");
+        c.bar("win", 30.0);
+        c.bar("loss", -15.0);
+        let s = c.render(20);
+        assert!(s.contains("win"));
+        assert!(s.contains("-#"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(3539.4), "3539x");
+        assert_eq!(fmt_percent(46.52), "46.5%");
+    }
+}

@@ -1,0 +1,194 @@
+//! Binary serialization for grammars.
+//!
+//! Varint (LEB128) encoding, matching [`Grammar::encoded_bytes`]
+//! exactly: a grammar file is `varint(rule_count)` followed by, per
+//! rule, `varint(body_len)` and one tagged varint per symbol
+//! (`2·value + 1` for terminals, `2·rule_id` for rule references).
+
+use std::io::{self, Read, Write};
+
+use crate::{varint_len, Grammar, GrammarSymbol, RuleId};
+
+/// Writes a LEB128 varint.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_varint(w: &mut impl Write, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads a LEB128 varint.
+///
+/// # Errors
+///
+/// Propagates reader errors; rejects encodings longer than 10 bytes.
+pub fn read_varint(r: &mut impl Read) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint too long",
+            ));
+        }
+        v |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+impl Grammar {
+    /// Serializes the grammar.
+    ///
+    /// The payload after the `varint(rule_count)` header is exactly
+    /// [`Grammar::encoded_bytes`] bytes long.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.rule_count() as u64)?;
+        for (_, body) in self.iter() {
+            write_varint(w, body.len() as u64)?;
+            for sym in body {
+                match sym {
+                    GrammarSymbol::Terminal(t) => {
+                        let tagged = t.checked_shl(1).ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidInput,
+                                "terminal exceeds the tagged-varint space",
+                            )
+                        })? | 1;
+                        write_varint(w, tagged)?;
+                    }
+                    GrammarSymbol::Rule(RuleId(r)) => write_varint(w, u64::from(*r) << 1)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a grammar written by [`Grammar::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects empty grammars and dangling
+    /// rule references.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let rule_count = read_varint(r)?;
+        if rule_count == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "grammar has no rules",
+            ));
+        }
+        let mut rules = Vec::with_capacity(usize::try_from(rule_count).unwrap_or(0).min(1 << 20));
+        for _ in 0..rule_count {
+            let len = read_varint(r)?;
+            let mut body = Vec::with_capacity(usize::try_from(len).unwrap_or(0).min(1 << 20));
+            for _ in 0..len {
+                let tagged = read_varint(r)?;
+                body.push(if tagged & 1 == 1 {
+                    GrammarSymbol::Terminal(tagged >> 1)
+                } else {
+                    let id = tagged >> 1;
+                    if id >= rule_count {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "rule reference out of range",
+                        ));
+                    }
+                    GrammarSymbol::Rule(RuleId(id as u32))
+                });
+            }
+            rules.push(body);
+        }
+        Ok(Grammar::from_rules(rules))
+    }
+
+    /// The exact on-disk size: payload ([`Grammar::encoded_bytes`]) plus
+    /// the rule-count header.
+    #[must_use]
+    pub fn serialized_len(&self) -> u64 {
+        varint_len(self.rule_count() as u64) + self.encoded_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sequitur;
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX / 2, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(buf.len() as u64, varint_len(v), "length model for {v}");
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn grammar_roundtrip_preserves_expansion() {
+        let mut seq = Sequitur::new();
+        seq.extend(
+            "the quick brown fox the quick brown fox jumps"
+                .bytes()
+                .map(u64::from),
+        );
+        let grammar = seq.grammar();
+        let mut buf = Vec::new();
+        grammar.write_to(&mut buf).unwrap();
+        assert_eq!(
+            buf.len() as u64,
+            grammar.serialized_len(),
+            "size model is exact"
+        );
+        let back = Grammar::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, grammar);
+        assert_eq!(back.expand(), grammar.expand());
+    }
+
+    #[test]
+    fn empty_start_rule_roundtrips() {
+        let grammar = Sequitur::new().grammar();
+        let mut buf = Vec::new();
+        grammar.write_to(&mut buf).unwrap();
+        let back = Grammar::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.expand(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn dangling_rule_reference_is_rejected() {
+        // Hand-craft: 1 rule whose body references rule 5.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1).unwrap(); // rule count
+        write_varint(&mut buf, 1).unwrap(); // body length
+        write_varint(&mut buf, 5 << 1).unwrap(); // rule ref 5
+        assert!(Grammar::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_grammar_is_rejected() {
+        let mut seq = Sequitur::new();
+        seq.extend([1, 2, 1, 2, 1, 2]);
+        let mut buf = Vec::new();
+        seq.grammar().write_to(&mut buf).unwrap();
+        buf.pop();
+        assert!(Grammar::read_from(&mut buf.as_slice()).is_err());
+    }
+}

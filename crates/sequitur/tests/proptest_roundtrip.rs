@@ -1,0 +1,78 @@
+//! Property tests: Sequitur is lossless and maintains its invariants on
+//! arbitrary inputs, with small alphabets chosen to stress repeated
+//! digrams, runs of equal symbols, and rule reuse.
+
+use orp_sequitur::Sequitur;
+use proptest::prelude::*;
+
+fn check_input(input: &[u64]) {
+    let mut seq = Sequitur::new();
+    seq.extend(input.iter().copied());
+    seq.assert_invariants();
+    let g = seq.grammar();
+    assert_eq!(g.expand(), input.to_vec());
+    assert_eq!(g.expanded_len(), input.len() as u64);
+    assert!(
+        g.size() <= input.len() as u64 + 2,
+        "grammar larger than input plus slack"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_binary_alphabet(input in proptest::collection::vec(0u64..2, 0..400)) {
+        check_input(&input);
+    }
+
+    #[test]
+    fn roundtrip_small_alphabet(input in proptest::collection::vec(0u64..5, 0..400)) {
+        check_input(&input);
+    }
+
+    #[test]
+    fn roundtrip_mixed_alphabet(input in proptest::collection::vec(0u64..64, 0..600)) {
+        check_input(&input);
+    }
+
+    #[test]
+    fn roundtrip_runs(
+        runs in proptest::collection::vec((0u64..3, 1usize..12), 0..40)
+    ) {
+        let input: Vec<u64> = runs
+            .iter()
+            .flat_map(|&(sym, len)| std::iter::repeat_n(sym, len))
+            .collect();
+        check_input(&input);
+    }
+
+    #[test]
+    fn roundtrip_repeated_block(
+        block in proptest::collection::vec(0u64..8, 1..20),
+        reps in 1usize..20,
+        suffix in proptest::collection::vec(0u64..8, 0..10)
+    ) {
+        let mut input: Vec<u64> = Vec::new();
+        for _ in 0..reps {
+            input.extend_from_slice(&block);
+        }
+        input.extend_from_slice(&suffix);
+        check_input(&input);
+    }
+
+    #[test]
+    fn repeated_block_compresses(
+        block in proptest::collection::vec(0u64..16, 4..16),
+    ) {
+        // 64 repetitions of any block must compress below half the input.
+        let mut input = Vec::new();
+        for _ in 0..64 {
+            input.extend_from_slice(&block);
+        }
+        let mut seq = Sequitur::new();
+        seq.extend(input.iter().copied());
+        prop_assert!(seq.size() <= input.len() as u64 / 2);
+        prop_assert_eq!(seq.grammar().expand(), input);
+    }
+}

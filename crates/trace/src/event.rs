@@ -1,0 +1,201 @@
+//! Probe event types: what instrumented programs emit.
+
+use crate::{InstrId, RawAddress};
+
+/// A static allocation site identifier.
+///
+/// All objects allocated at the same program point share a site id; the
+/// object management component maps sites to *groups* — the paper's
+/// "objects created at the same program point belong to the same group".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AllocSiteId(pub u32);
+
+impl std::fmt::Display for AllocSiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// A read (load instruction).
+    Load,
+    /// A write (store instruction).
+    Store,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Load`].
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+
+    /// `true` for [`AccessKind::Store`].
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessKind::Load => f.write_str("ld"),
+            AccessKind::Store => f.write_str("st"),
+        }
+    }
+}
+
+/// One dynamic memory access, as reported by an instruction probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessEvent {
+    /// The static load/store instruction performing the access.
+    pub instr: InstrId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The raw virtual address accessed.
+    pub addr: RawAddress,
+    /// Access width in bytes (1, 2, 4 or 8 for scalar accesses).
+    pub size: u8,
+}
+
+impl AccessEvent {
+    /// Convenience constructor for a load event.
+    #[must_use]
+    pub fn load(instr: InstrId, addr: RawAddress, size: u8) -> Self {
+        AccessEvent {
+            instr,
+            kind: AccessKind::Load,
+            addr,
+            size,
+        }
+    }
+
+    /// Convenience constructor for a store event.
+    #[must_use]
+    pub fn store(instr: InstrId, addr: RawAddress, size: u8) -> Self {
+        AccessEvent {
+            instr,
+            kind: AccessKind::Store,
+            addr,
+            size,
+        }
+    }
+
+    /// The half-open byte range `[addr, addr + size)` touched by the access.
+    #[must_use]
+    pub fn byte_range(&self) -> std::ops::Range<u64> {
+        self.addr.0..self.addr.0 + u64::from(self.size)
+    }
+}
+
+/// An object creation, as reported by an object probe at an allocation
+/// point (or at program start for statically allocated objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocEvent {
+    /// The static allocation site (determines the group).
+    pub site: AllocSiteId,
+    /// Base address of the new object.
+    pub base: RawAddress,
+    /// Object size in bytes. Must be non-zero.
+    pub size: u64,
+}
+
+/// An object destruction, as reported by an object probe at a
+/// deallocation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FreeEvent {
+    /// Base address of the object being freed.
+    pub base: RawAddress,
+}
+
+/// Any event an instrumented program can emit.
+///
+/// The three variants correspond exactly to the paper's probe kinds:
+/// instruction probes produce [`ProbeEvent::Access`], object probes
+/// produce [`ProbeEvent::Alloc`] and [`ProbeEvent::Free`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeEvent {
+    /// A dynamic memory access.
+    Access(AccessEvent),
+    /// An object creation.
+    Alloc(AllocEvent),
+    /// An object destruction.
+    Free(FreeEvent),
+}
+
+impl From<AccessEvent> for ProbeEvent {
+    fn from(ev: AccessEvent) -> Self {
+        ProbeEvent::Access(ev)
+    }
+}
+
+impl From<AllocEvent> for ProbeEvent {
+    fn from(ev: AllocEvent) -> Self {
+        ProbeEvent::Alloc(ev)
+    }
+}
+
+impl From<FreeEvent> for ProbeEvent {
+    fn from(ev: FreeEvent) -> Self {
+        ProbeEvent::Free(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Load.is_load());
+        assert!(!AccessKind::Load.is_store());
+        assert!(AccessKind::Store.is_store());
+        assert!(!AccessKind::Store.is_load());
+    }
+
+    #[test]
+    fn byte_range_covers_size() {
+        let ev = AccessEvent::load(InstrId(1), RawAddress(100), 8);
+        assert_eq!(ev.byte_range(), 100..108);
+    }
+
+    #[test]
+    fn load_store_constructors_set_kind() {
+        assert_eq!(
+            AccessEvent::load(InstrId(0), RawAddress(0), 4).kind,
+            AccessKind::Load
+        );
+        assert_eq!(
+            AccessEvent::store(InstrId(0), RawAddress(0), 4).kind,
+            AccessKind::Store
+        );
+    }
+
+    #[test]
+    fn probe_event_from_conversions() {
+        let a = AccessEvent::load(InstrId(3), RawAddress(16), 4);
+        assert_eq!(ProbeEvent::from(a), ProbeEvent::Access(a));
+        let al = AllocEvent {
+            site: AllocSiteId(1),
+            base: RawAddress(64),
+            size: 32,
+        };
+        assert_eq!(ProbeEvent::from(al), ProbeEvent::Alloc(al));
+        let fr = FreeEvent {
+            base: RawAddress(64),
+        };
+        assert_eq!(ProbeEvent::from(fr), ProbeEvent::Free(fr));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(InstrId(4).to_string(), "I4");
+        assert_eq!(AllocSiteId(2).to_string(), "S2");
+        assert_eq!(RawAddress(0x10).to_string(), "0x10");
+        assert_eq!(AccessKind::Load.to_string(), "ld");
+        assert_eq!(AccessKind::Store.to_string(), "st");
+    }
+}

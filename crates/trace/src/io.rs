@@ -1,0 +1,264 @@
+//! Trace files: recording and replaying probe-event streams.
+//!
+//! The raw traces that pre-object-relative profilers collect (and that
+//! the paper's compression ratios are measured against) are streams of
+//! probe events. This module gives them a concrete on-disk form so a
+//! trace can be recorded once and profiled offline many times —
+//! `orprof-cli` uses it for its record/replay commands.
+//!
+//! Format (little-endian): the magic `ORPT`, a `u32` version, then one
+//! record per event:
+//!
+//! ```text
+//! 0x01 instr:u32 kind:u8 size:u8 addr:u64      (access)
+//! 0x02 site:u32 base:u64 size:u64              (alloc)
+//! 0x03 base:u64                                (free)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::{
+    AccessEvent, AccessKind, AllocEvent, AllocSiteId, FreeEvent, InstrId, ProbeEvent, ProbeSink,
+    RawAddress,
+};
+
+const MAGIC: &[u8; 4] = b"ORPT";
+const VERSION: u32 = 1;
+
+const TAG_ACCESS: u8 = 1;
+const TAG_ALLOC: u8 = 2;
+const TAG_FREE: u8 = 3;
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// A [`ProbeSink`] that writes every event to a trace file.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    writer: W,
+    events: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer, emitting the header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn new(mut writer: W) -> io::Result<Self> {
+        writer.write_all(MAGIC)?;
+        writer.write_all(&VERSION.to_le_bytes())?;
+        Ok(TraceWriter { writer, events: 0 })
+    }
+
+    /// Number of events written.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Finishes writing and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final flush's errors.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        // ProbeSink methods are infallible; surface I/O failure loudly
+        // rather than silently truncating a trace.
+        self.writer.write_all(bytes).expect("trace write failed");
+        self.events += 1;
+    }
+}
+
+impl<W: Write> ProbeSink for TraceWriter<W> {
+    fn access(&mut self, ev: AccessEvent) {
+        let mut rec = [0u8; 15];
+        rec[0] = TAG_ACCESS;
+        rec[1..5].copy_from_slice(&ev.instr.0.to_le_bytes());
+        rec[5] = if ev.kind.is_store() { 1 } else { 0 };
+        rec[6] = ev.size;
+        rec[7..15].copy_from_slice(&ev.addr.0.to_le_bytes());
+        self.emit(&rec);
+    }
+
+    fn alloc(&mut self, ev: AllocEvent) {
+        let mut rec = [0u8; 21];
+        rec[0] = TAG_ALLOC;
+        rec[1..5].copy_from_slice(&ev.site.0.to_le_bytes());
+        rec[5..13].copy_from_slice(&ev.base.0.to_le_bytes());
+        rec[13..21].copy_from_slice(&ev.size.to_le_bytes());
+        self.emit(&rec);
+    }
+
+    fn free(&mut self, ev: FreeEvent) {
+        let mut rec = [0u8; 9];
+        rec[0] = TAG_FREE;
+        rec[1..9].copy_from_slice(&ev.base.0.to_le_bytes());
+        self.emit(&rec);
+    }
+
+    fn finish(&mut self) {
+        self.writer.flush().expect("trace flush failed");
+    }
+}
+
+/// Replays a trace file into any probe sink, returning the number of
+/// events replayed.
+///
+/// # Errors
+///
+/// Propagates reader errors; rejects bad magic, unknown versions, and
+/// unknown record tags.
+pub fn replay(r: &mut impl Read, sink: &mut dyn ProbeSink) -> io::Result<u64> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad_data("not a trace file (bad magic)"));
+    }
+    let mut version = [0u8; 4];
+    r.read_exact(&mut version)?;
+    if u32::from_le_bytes(version) != VERSION {
+        return Err(bad_data("unsupported trace version"));
+    }
+
+    let mut events = 0u64;
+    let mut tag = [0u8; 1];
+    loop {
+        match r.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        match tag[0] {
+            TAG_ACCESS => {
+                let mut rec = [0u8; 14];
+                r.read_exact(&mut rec)?;
+                let instr = InstrId(u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes")));
+                let kind = match rec[4] {
+                    0 => AccessKind::Load,
+                    1 => AccessKind::Store,
+                    _ => return Err(bad_data("bad access kind")),
+                };
+                let size = rec[5];
+                let addr = RawAddress(u64::from_le_bytes(rec[6..14].try_into().expect("8 bytes")));
+                sink.access(AccessEvent {
+                    instr,
+                    kind,
+                    addr,
+                    size,
+                });
+            }
+            TAG_ALLOC => {
+                let mut rec = [0u8; 20];
+                r.read_exact(&mut rec)?;
+                sink.alloc(AllocEvent {
+                    site: AllocSiteId(u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"))),
+                    base: RawAddress(u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"))),
+                    size: u64::from_le_bytes(rec[12..20].try_into().expect("8 bytes")),
+                });
+            }
+            TAG_FREE => {
+                let mut rec = [0u8; 8];
+                r.read_exact(&mut rec)?;
+                sink.free(FreeEvent {
+                    base: RawAddress(u64::from_le_bytes(rec)),
+                });
+            }
+            _ => return Err(bad_data("unknown trace record tag")),
+        }
+        events += 1;
+    }
+    sink.finish();
+    Ok(events)
+}
+
+/// Serializes a slice of probe events to a byte vector (convenience
+/// wrapper over [`TraceWriter`]).
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn to_bytes(events: &[ProbeEvent]) -> io::Result<Vec<u8>> {
+    let mut writer = TraceWriter::new(Vec::new())?;
+    for &ev in events {
+        writer.event(ev);
+    }
+    writer.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VecSink;
+
+    fn sample_events() -> Vec<ProbeEvent> {
+        vec![
+            ProbeEvent::Alloc(AllocEvent {
+                site: AllocSiteId(2),
+                base: RawAddress(0x100),
+                size: 64,
+            }),
+            ProbeEvent::Access(AccessEvent::load(InstrId(7), RawAddress(0x108), 8)),
+            ProbeEvent::Access(AccessEvent::store(InstrId(8), RawAddress(0x110), 4)),
+            ProbeEvent::Free(FreeEvent {
+                base: RawAddress(0x100),
+            }),
+        ]
+    }
+
+    #[test]
+    fn record_replay_roundtrip() {
+        let bytes = to_bytes(&sample_events()).unwrap();
+        let mut sink = VecSink::new();
+        let n = replay(&mut bytes.as_slice(), &mut sink).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(sink.events(), sample_events().as_slice());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let bytes = to_bytes(&[]).unwrap();
+        let mut sink = VecSink::new();
+        assert_eq!(replay(&mut bytes.as_slice(), &mut sink).unwrap(), 0);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = to_bytes(&sample_events()).unwrap();
+        bytes[0] = b'X';
+        let mut sink = VecSink::new();
+        assert!(replay(&mut bytes.as_slice(), &mut sink).is_err());
+    }
+
+    #[test]
+    fn truncated_record_is_rejected() {
+        let mut bytes = to_bytes(&sample_events()).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        let mut sink = VecSink::new();
+        assert!(replay(&mut bytes.as_slice(), &mut sink).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut bytes = to_bytes(&[]).unwrap();
+        bytes.push(0x7F);
+        let mut sink = VecSink::new();
+        assert!(replay(&mut bytes.as_slice(), &mut sink).is_err());
+    }
+
+    #[test]
+    fn writer_counts_events() {
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        for ev in sample_events() {
+            w.event(ev);
+        }
+        assert_eq!(w.events(), 4);
+    }
+}

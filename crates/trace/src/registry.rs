@@ -1,0 +1,249 @@
+//! Registries mapping instruction and allocation-site ids to
+//! human-readable metadata.
+//!
+//! The paper's instrumentation assigns ids at probe-insertion time; these
+//! registries play that role for the synthetic workloads and let the
+//! experiment harnesses print `gzip::lz_window.load` instead of `I17`.
+
+use std::collections::HashMap;
+
+use crate::{AccessKind, AllocSiteId, InstrId};
+
+/// Metadata about one static load/store instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrInfo {
+    /// Qualified name of the program point, e.g. `"list_walk.next"`.
+    pub name: String,
+    /// Whether the instruction loads or stores.
+    pub kind: AccessKind,
+}
+
+/// Assigns dense [`InstrId`]s and remembers their metadata.
+///
+/// # Examples
+///
+/// ```
+/// use orp_trace::{AccessKind, InstrRegistry};
+///
+/// let mut reg = InstrRegistry::new();
+/// let ld = reg.register("walk.data", AccessKind::Load);
+/// assert_eq!(reg.info(ld).unwrap().name, "walk.data");
+/// assert_eq!(reg.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InstrRegistry {
+    infos: Vec<InstrInfo>,
+    by_name: HashMap<String, InstrId>,
+}
+
+impl InstrRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an instruction and returns its id.
+    ///
+    /// Registering the same `name` twice returns the original id (the
+    /// probe for a static instruction is inserted once); the kind of the
+    /// first registration wins.
+    pub fn register(&mut self, name: &str, kind: AccessKind) -> InstrId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = InstrId(u32::try_from(self.infos.len()).expect("more than u32::MAX instructions"));
+        self.infos.push(InstrInfo {
+            name: name.to_owned(),
+            kind,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the metadata for `id`, if registered.
+    #[must_use]
+    pub fn info(&self, id: InstrId) -> Option<&InstrInfo> {
+        self.infos.get(id.0 as usize)
+    }
+
+    /// The name for `id`, or `"I<n>"` when unknown.
+    #[must_use]
+    pub fn name(&self, id: InstrId) -> String {
+        self.info(id)
+            .map_or_else(|| id.to_string(), |i| i.name.clone())
+    }
+
+    /// Finds an id by name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<InstrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// `true` when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Iterates over `(id, info)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstrId, &InstrInfo)> {
+        self.infos
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (InstrId(i as u32), info))
+    }
+}
+
+/// Metadata about one static allocation site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteInfo {
+    /// Qualified name of the allocation point, e.g. `"parser.dict_node"`.
+    pub name: String,
+    /// Element type name if known (compiler-provided type information in
+    /// the paper; used to refine grouping).
+    pub type_name: Option<String>,
+}
+
+/// Assigns dense [`AllocSiteId`]s and remembers their metadata.
+///
+/// # Examples
+///
+/// ```
+/// use orp_trace::SiteRegistry;
+///
+/// let mut reg = SiteRegistry::new();
+/// let site = reg.register("mcf.arc", Some("Arc"));
+/// assert_eq!(reg.info(site).unwrap().type_name.as_deref(), Some("Arc"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SiteRegistry {
+    infos: Vec<SiteInfo>,
+    by_name: HashMap<String, AllocSiteId>,
+}
+
+impl SiteRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an allocation site and returns its id.
+    ///
+    /// Registering the same `name` twice returns the original id.
+    pub fn register(&mut self, name: &str, type_name: Option<&str>) -> AllocSiteId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id =
+            AllocSiteId(u32::try_from(self.infos.len()).expect("more than u32::MAX alloc sites"));
+        self.infos.push(SiteInfo {
+            name: name.to_owned(),
+            type_name: type_name.map(str::to_owned),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the metadata for `id`, if registered.
+    #[must_use]
+    pub fn info(&self, id: AllocSiteId) -> Option<&SiteInfo> {
+        self.infos.get(id.0 as usize)
+    }
+
+    /// The name for `id`, or `"S<n>"` when unknown.
+    #[must_use]
+    pub fn name(&self, id: AllocSiteId) -> String {
+        self.info(id)
+            .map_or_else(|| id.to_string(), |i| i.name.clone())
+    }
+
+    /// Finds an id by name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<AllocSiteId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// `true` when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Iterates over `(id, info)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AllocSiteId, &SiteInfo)> {
+        self.infos
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (AllocSiteId(i as u32), info))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_ids_are_dense_and_stable() {
+        let mut reg = InstrRegistry::new();
+        let a = reg.register("a", AccessKind::Load);
+        let b = reg.register("b", AccessKind::Store);
+        assert_eq!(a, InstrId(0));
+        assert_eq!(b, InstrId(1));
+        assert_eq!(
+            reg.register("a", AccessKind::Store),
+            a,
+            "re-registration returns same id"
+        );
+        assert_eq!(
+            reg.info(a).unwrap().kind,
+            AccessKind::Load,
+            "first registration wins"
+        );
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn instr_lookup_and_fallback_name() {
+        let mut reg = InstrRegistry::new();
+        let a = reg.register("hot.load", AccessKind::Load);
+        assert_eq!(reg.lookup("hot.load"), Some(a));
+        assert_eq!(reg.lookup("cold.load"), None);
+        assert_eq!(reg.name(a), "hot.load");
+        assert_eq!(reg.name(InstrId(99)), "I99");
+    }
+
+    #[test]
+    fn site_registry_roundtrip() {
+        let mut reg = SiteRegistry::new();
+        let s = reg.register("list.node", Some("Node"));
+        assert_eq!(reg.lookup("list.node"), Some(s));
+        assert_eq!(reg.name(s), "list.node");
+        assert_eq!(reg.info(s).unwrap().type_name.as_deref(), Some("Node"));
+        assert_eq!(reg.register("list.node", None), s);
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut reg = InstrRegistry::new();
+        reg.register("x", AccessKind::Load);
+        reg.register("y", AccessKind::Store);
+        let names: Vec<_> = reg.iter().map(|(id, i)| (id.0, i.name.as_str())).collect();
+        assert_eq!(names, vec![(0, "x"), (1, "y")]);
+    }
+}

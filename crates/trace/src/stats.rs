@@ -1,0 +1,155 @@
+//! Aggregate statistics over a probe event stream.
+
+use std::collections::HashSet;
+
+use crate::event::{AccessEvent, AllocEvent};
+use crate::raw_trace_bytes;
+
+/// Counters describing a trace, cheap enough to maintain online.
+///
+/// `TraceStats` backs [`CountingSink`](crate::CountingSink) and provides
+/// the raw-trace size baseline for the paper's compression ratios.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of load accesses.
+    pub loads: u64,
+    /// Number of store accesses.
+    pub stores: u64,
+    /// Number of object allocations.
+    pub allocs: u64,
+    /// Number of object deallocations.
+    pub frees: u64,
+    /// Total bytes allocated over the run.
+    pub bytes_allocated: u64,
+    /// Distinct static instructions observed.
+    distinct_instrs: HashSet<u32>,
+    /// Distinct raw addresses touched (first byte of each access).
+    distinct_addrs: HashSet<u64>,
+}
+
+impl TraceStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one access event into the counters.
+    pub fn record_access(&mut self, ev: &AccessEvent) {
+        if ev.kind.is_load() {
+            self.loads += 1;
+        } else {
+            self.stores += 1;
+        }
+        self.distinct_instrs.insert(ev.instr.0);
+        self.distinct_addrs.insert(ev.addr.0);
+    }
+
+    /// Folds one allocation event into the counters.
+    pub fn record_alloc(&mut self, ev: &AllocEvent) {
+        self.allocs += 1;
+        self.bytes_allocated += ev.size;
+    }
+
+    /// Total number of memory accesses (loads + stores).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Number of distinct static instructions observed.
+    #[must_use]
+    pub fn distinct_instructions(&self) -> usize {
+        self.distinct_instrs.len()
+    }
+
+    /// Number of distinct raw addresses touched.
+    #[must_use]
+    pub fn distinct_addresses(&self) -> usize {
+        self.distinct_addrs.len()
+    }
+
+    /// Size in bytes of the equivalent raw `(instruction, address)` trace.
+    ///
+    /// This is the numerator of the paper's Table 1 compression ratios.
+    #[must_use]
+    pub fn raw_trace_bytes(&self) -> u64 {
+        raw_trace_bytes(self.accesses())
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} ld / {} st), {} allocs ({} B), {} frees, {} instrs, {} addrs",
+            self.accesses(),
+            self.loads,
+            self.stores,
+            self.allocs,
+            self.bytes_allocated,
+            self.frees,
+            self.distinct_instructions(),
+            self.distinct_addresses(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllocSiteId, InstrId, RawAddress};
+
+    #[test]
+    fn counts_loads_and_stores_separately() {
+        let mut stats = TraceStats::new();
+        stats.record_access(&AccessEvent::load(InstrId(0), RawAddress(0), 8));
+        stats.record_access(&AccessEvent::store(InstrId(1), RawAddress(8), 8));
+        stats.record_access(&AccessEvent::store(InstrId(1), RawAddress(8), 8));
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.stores, 2);
+        assert_eq!(stats.accesses(), 3);
+    }
+
+    #[test]
+    fn distinct_sets_deduplicate() {
+        let mut stats = TraceStats::new();
+        for _ in 0..5 {
+            stats.record_access(&AccessEvent::load(InstrId(3), RawAddress(0x40), 4));
+        }
+        assert_eq!(stats.distinct_instructions(), 1);
+        assert_eq!(stats.distinct_addresses(), 1);
+    }
+
+    #[test]
+    fn raw_trace_bytes_is_twelve_per_access() {
+        let mut stats = TraceStats::new();
+        for i in 0..10 {
+            stats.record_access(&AccessEvent::load(InstrId(0), RawAddress(i * 8), 8));
+        }
+        assert_eq!(stats.raw_trace_bytes(), 120);
+    }
+
+    #[test]
+    fn alloc_accounting() {
+        let mut stats = TraceStats::new();
+        stats.record_alloc(&AllocEvent {
+            site: AllocSiteId(0),
+            base: RawAddress(64),
+            size: 24,
+        });
+        stats.record_alloc(&AllocEvent {
+            site: AllocSiteId(1),
+            base: RawAddress(128),
+            size: 40,
+        });
+        assert_eq!(stats.allocs, 2);
+        assert_eq!(stats.bytes_allocated, 64);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let stats = TraceStats::new();
+        assert!(!stats.to_string().is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Binary serialization for WHOMP (OMSG) and RASG profiles.
+//!
+//! ```text
+//! "ORPW" version:varint tuples:varint  grammar{instr} grammar{group}
+//!                                      grammar{object} grammar{offset}
+//! "ORPR" version:varint accesses:varint grammar{records}
+//! ```
+
+use std::io::{self, Read, Write};
+
+use orp_sequitur::{read_varint, write_varint, Grammar};
+
+use crate::{Omsg, Rasg};
+
+const OMSG_MAGIC: &[u8; 4] = b"ORPW";
+const RASG_MAGIC: &[u8; 4] = b"ORPR";
+const VERSION: u64 = 1;
+
+fn check_header(r: &mut impl Read, magic: &[u8; 4]) -> io::Result<()> {
+    let mut got = [0u8; 4];
+    r.read_exact(&mut got)?;
+    if &got != magic {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad profile magic",
+        ));
+    }
+    if read_varint(r)? != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported profile version",
+        ));
+    }
+    Ok(())
+}
+
+impl Omsg {
+    /// Serializes the four-dimensional grammar profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(OMSG_MAGIC)?;
+        write_varint(w, VERSION)?;
+        write_varint(w, self.tuples())?;
+        for (_, grammar) in self.dimensions() {
+            grammar.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a profile written by [`Omsg::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects profiles whose dimension
+    /// streams expand to different lengths.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        check_header(r, OMSG_MAGIC)?;
+        let tuples = read_varint(r)?;
+        let instr = Grammar::read_from(r)?;
+        let group = Grammar::read_from(r)?;
+        let object = Grammar::read_from(r)?;
+        let offset = Grammar::read_from(r)?;
+        for g in [&instr, &group, &object, &offset] {
+            if g.expanded_len() != tuples {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "dimension stream length disagrees with tuple count",
+                ));
+            }
+        }
+        Ok(Omsg::from_parts(instr, group, object, offset, tuples))
+    }
+}
+
+impl Rasg {
+    /// Serializes the raw-record grammar profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(RASG_MAGIC)?;
+        write_varint(w, VERSION)?;
+        write_varint(w, self.accesses())?;
+        self.records.write_to(w)
+    }
+
+    /// Deserializes a profile written by [`Rasg::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects profiles whose record stream
+    /// expands to the wrong length.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        check_header(r, RASG_MAGIC)?;
+        let accesses = read_varint(r)?;
+        let records = Grammar::read_from(r)?;
+        if records.expanded_len() != accesses {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "record stream length disagrees with access count",
+            ));
+        }
+        Ok(Rasg::from_parts(records, accesses))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RasgProfiler, WhompProfiler};
+    use orp_core::OrSink;
+    use orp_trace::{AccessEvent, InstrId, ProbeSink, RawAddress};
+
+    fn sample_omsg() -> Omsg {
+        let mut p = WhompProfiler::new();
+        for k in 0..200u64 {
+            p.tuple(&orp_core::OrTuple {
+                instr: InstrId((k % 4) as u32),
+                kind: orp_trace::AccessKind::Load,
+                group: orp_core::GroupId((k % 2) as u32),
+                object: orp_core::ObjectSerial(k / 8),
+                offset: (k % 8) * 8,
+                time: orp_core::Timestamp(k),
+                size: 8,
+            });
+        }
+        p.into_omsg()
+    }
+
+    #[test]
+    fn omsg_roundtrip() {
+        let omsg = sample_omsg();
+        let mut buf = Vec::new();
+        omsg.write_to(&mut buf).unwrap();
+        let back = Omsg::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.tuples(), omsg.tuples());
+        assert_eq!(back.expand(), omsg.expand());
+        assert_eq!(back.total_size(), omsg.total_size());
+    }
+
+    #[test]
+    fn rasg_roundtrip() {
+        let mut p = RasgProfiler::new();
+        for k in 0..100u64 {
+            p.access(AccessEvent::load(
+                InstrId((k % 3) as u32),
+                RawAddress(0x1000 + k * 8),
+                8,
+            ));
+        }
+        let rasg = p.into_rasg();
+        let mut buf = Vec::new();
+        rasg.write_to(&mut buf).unwrap();
+        let back = Rasg::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.accesses(), rasg.accesses());
+        assert_eq!(back.total_size(), rasg.total_size());
+    }
+
+    #[test]
+    fn cross_format_confusion_is_rejected() {
+        let omsg = sample_omsg();
+        let mut buf = Vec::new();
+        omsg.write_to(&mut buf).unwrap();
+        assert!(
+            Rasg::read_from(&mut buf.as_slice()).is_err(),
+            "OMSG is not a RASG"
+        );
+    }
+
+    #[test]
+    fn inconsistent_tuple_count_is_rejected() {
+        let omsg = sample_omsg();
+        let mut buf = Vec::new();
+        omsg.write_to(&mut buf).unwrap();
+        // The tuple count is the varint right after the 4-byte magic and
+        // 1-byte version; 200 encodes as [0xC8, 0x01]. Corrupt it.
+        assert_eq!(buf[5], 0xC8);
+        buf[5] = 0xC9;
+        assert!(Omsg::read_from(&mut buf.as_slice()).is_err());
+    }
+}

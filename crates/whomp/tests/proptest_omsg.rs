@@ -1,0 +1,100 @@
+//! Property tests: WHOMP's OMSG is lossless on arbitrary tuple streams
+//! and survives serialization, and the hybrid profiler's merged
+//! expansion reproduces global order.
+
+use orp_core::{GroupId, ObjectSerial, OrSink, OrTuple, Timestamp};
+use orp_trace::{AccessKind, InstrId};
+use orp_whomp::{HybridProfiler, Omsg, WhompProfiler};
+use proptest::prelude::*;
+
+fn arb_tuple_parts() -> impl Strategy<Value = (u8, u8, u8, u8)> {
+    (0u8..8, 0u8..3, 0u8..10, 0u8..6)
+}
+
+fn stream(parts: &[(u8, u8, u8, u8)]) -> Vec<OrTuple> {
+    parts
+        .iter()
+        .enumerate()
+        .map(|(t, &(instr, group, object, offset))| OrTuple {
+            instr: InstrId(u32::from(instr)),
+            kind: AccessKind::Load,
+            group: GroupId(u32::from(group)),
+            object: ObjectSerial(u64::from(object)),
+            offset: u64::from(offset) * 4,
+            time: Timestamp(t as u64),
+            size: 4,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn omsg_expand_is_lossless(
+        parts in proptest::collection::vec(arb_tuple_parts(), 0..300)
+    ) {
+        let tuples = stream(&parts);
+        let mut profiler = WhompProfiler::new();
+        for t in &tuples {
+            profiler.tuple(t);
+        }
+        let omsg = profiler.into_omsg();
+        let expanded = omsg.expand();
+        prop_assert_eq!(expanded.len(), tuples.len());
+        for (got, want) in expanded.iter().zip(&tuples) {
+            prop_assert_eq!(
+                *got,
+                (
+                    u64::from(want.instr.0),
+                    u64::from(want.group.0),
+                    want.object.0,
+                    want.offset
+                )
+            );
+        }
+    }
+
+    #[test]
+    fn omsg_serialization_roundtrips(
+        parts in proptest::collection::vec(arb_tuple_parts(), 0..200)
+    ) {
+        let tuples = stream(&parts);
+        let mut profiler = WhompProfiler::new();
+        for t in &tuples {
+            profiler.tuple(t);
+        }
+        let omsg = profiler.into_omsg();
+        let mut buf = Vec::new();
+        omsg.write_to(&mut buf).unwrap();
+        let back = Omsg::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back.expand(), omsg.expand());
+        prop_assert_eq!(back.total_size(), omsg.total_size());
+        prop_assert_eq!(back.encoded_bytes(), omsg.encoded_bytes());
+    }
+
+    #[test]
+    fn hybrid_merged_expansion_is_the_original_stream(
+        parts in proptest::collection::vec(arb_tuple_parts(), 0..300)
+    ) {
+        let tuples = stream(&parts);
+        let mut profiler = HybridProfiler::new();
+        for t in &tuples {
+            profiler.tuple(t);
+        }
+        let merged = profiler.into_profile().expand_merged();
+        prop_assert_eq!(merged.len(), tuples.len());
+        for (got, want) in merged.iter().zip(&tuples) {
+            prop_assert_eq!(
+                *got,
+                (
+                    u64::from(want.instr.0),
+                    u64::from(want.group.0),
+                    want.object.0,
+                    want.offset,
+                    want.time.0
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Synthetic, instrumented workloads standing in for the paper's
+//! SPEC2000 benchmarks.
+//!
+//! The CGO 2004 paper evaluates its profilers on seven SPEC programs
+//! (gzip, vpr, mcf, crafty, parser, bzip2, twolf) instrumented at the
+//! assembly level. We cannot ship SPEC, so this crate provides seven
+//! deterministic synthetic programs, one per benchmark, each emulating
+//! the data structures and access mix that characterize the original
+//! (LZ windows, net-lists, network-simplex graphs, bitboards and hash
+//! tables, dictionary linked lists, block sorting, cell placement),
+//! plus three micro-workloads used in documentation and tests.
+//!
+//! A workload is ordinary Rust code driven through a [`Tracer`], which
+//! plays the role of the inserted probes: every simulated load/store is
+//! reported to a [`ProbeSink`], every allocation goes through the
+//! simulated heap (so raw addresses carry realistic allocator
+//! artifacts) and is announced by an object probe. Crucially, a
+//! workload's *logical* behavior never depends on the raw addresses it
+//! is handed — re-running under a different allocator or seed changes
+//! the raw trace but not the object-relative one, which is the paper's
+//! core invariance (and one of this repository's integration tests).
+//!
+//! # Examples
+//!
+//! ```
+//! use orp_trace::{CountingSink, ProbeSink};
+//! use orp_workloads::{micro, RunConfig, Workload};
+//!
+//! let workload = micro::LinkedList::new(64, 10);
+//! let mut sink = CountingSink::new();
+//! workload.run_with(&RunConfig::default(), &mut sink);
+//! assert!(sink.stats().accesses() > 0);
+//! ```
+
+pub mod micro;
+pub mod spec;
+mod tracer;
+
+pub use tracer::Tracer;
+
+use orp_allocsim::AllocatorKind;
+use orp_trace::ProbeSink;
+
+/// How a workload run is wired to the simulated machine: which allocator
+/// lays out the heap, with which seed, and how far probe insertion
+/// shifted the static data segment.
+///
+/// Everything that makes raw addresses *differ between runs* lives here;
+/// the workload itself is deterministic given its own parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Heap placement strategy.
+    pub allocator: AllocatorKind,
+    /// Seed for the randomizing allocator (ignored by the others).
+    pub heap_seed: u64,
+    /// Static-segment shift in bytes (probe-induced code growth).
+    pub linker_shift: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            allocator: AllocatorKind::FreeList,
+            heap_seed: 0,
+            linker_shift: 0,
+        }
+    }
+}
+
+/// An instrumented synthetic program.
+pub trait Workload {
+    /// The benchmark name (e.g. `"181.mcf"`).
+    fn name(&self) -> &'static str;
+
+    /// Executes the program, reporting every access and object event
+    /// through `tracer`.
+    fn run(&self, tracer: &mut Tracer<'_>);
+
+    /// Convenience: builds a [`Tracer`] for `cfg` over `sink`, runs the
+    /// workload, and finishes the sink.
+    fn run_with(&self, cfg: &RunConfig, sink: &mut dyn ProbeSink)
+    where
+        Self: Sized,
+    {
+        let mut tracer = Tracer::new(cfg, sink);
+        self.run(&mut tracer);
+        tracer.finish();
+    }
+}
+
+/// The seven SPEC2000-like workloads at the given scale, in the paper's
+/// benchmark order.
+///
+/// `scale = 1` yields roughly 10⁵–10⁶ accesses per workload (the paper
+/// used SPEC training inputs, which run orders of magnitude longer; the
+/// access *mix* is what matters for profile shape).
+#[must_use]
+pub fn spec_suite(scale: u32) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(spec::Gzip::new(scale)),
+        Box::new(spec::Vpr::new(scale)),
+        Box::new(spec::Mcf::new(scale)),
+        Box::new(spec::Crafty::new(scale)),
+        Box::new(spec::Parser::new(scale)),
+        Box::new(spec::Bzip2::new(scale)),
+        Box::new(spec::Twolf::new(scale)),
+    ]
+}
+
+/// The micro-workloads used by examples and tests.
+#[must_use]
+pub fn micro_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(micro::LinkedList::new(256, 20)),
+        Box::new(micro::Matrix::new(64, 8)),
+        Box::new(micro::HashChurn::new(512, 16)),
+        Box::new(micro::Btree::new(512, 2000)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_trace::CountingSink;
+
+    #[test]
+    fn suites_are_complete_and_named() {
+        let suite = spec_suite(1);
+        let names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "164.gzip",
+                "175.vpr",
+                "181.mcf",
+                "186.crafty",
+                "197.parser",
+                "256.bzip2",
+                "300.twolf"
+            ]
+        );
+        assert_eq!(micro_suite().len(), 4);
+    }
+
+    #[test]
+    fn every_spec_workload_produces_a_nontrivial_trace() {
+        for w in spec_suite(1) {
+            let mut sink = CountingSink::new();
+            let mut tracer = Tracer::new(&RunConfig::default(), &mut sink);
+            w.run(&mut tracer);
+            tracer.finish();
+            let stats = sink.into_stats();
+            assert!(
+                stats.accesses() > 10_000,
+                "{} produced only {} accesses",
+                w.name(),
+                stats.accesses()
+            );
+            assert!(
+                stats.loads > 0 && stats.stores > 0,
+                "{} lacks a kind",
+                w.name()
+            );
+            assert!(
+                stats.distinct_instructions() >= 4,
+                "{} too few instrs",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_config() {
+        use orp_trace::VecSink;
+        for w in micro_suite() {
+            let cfg = RunConfig::default();
+            let mut a = VecSink::new();
+            let mut b = VecSink::new();
+            let mut ta = Tracer::new(&cfg, &mut a);
+            w.run(&mut ta);
+            ta.finish();
+            let mut tb = Tracer::new(&cfg, &mut b);
+            w.run(&mut tb);
+            tb.finish();
+            assert_eq!(a.events(), b.events(), "{} not deterministic", w.name());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Binary-search-tree workload: logarithmic pointer chasing.
+//!
+//! The pattern between the linked list (linear chase) and the hash
+//! table (single hop): every lookup walks a root-to-leaf path of
+//! data-dependent nodes. Raw addresses make each path look random;
+//! object-relatively the whole workload is one group with three fixed
+//! field offsets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Tracer, Workload};
+
+const NODE_SIZE: u64 = 32;
+const OFF_KEY: u64 = 0;
+const OFF_LEFT: u64 = 8;
+const OFF_RIGHT: u64 = 16;
+
+/// Builds a BST by random insertion, then performs random lookups.
+#[derive(Debug, Clone)]
+pub struct Btree {
+    nodes: usize,
+    lookups: usize,
+}
+
+impl Btree {
+    /// A tree of `nodes` keys probed with `lookups` searches.
+    #[must_use]
+    pub fn new(nodes: usize, lookups: usize) -> Self {
+        Btree { nodes, lookups }
+    }
+}
+
+/// Logical tree node: key plus child indices.
+struct Node {
+    key: u64,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl Workload for Btree {
+    fn name(&self) -> &'static str {
+        "micro.btree"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let site = tr.site("btree.node", Some("TreeNode"));
+        let st_key = tr.store_instr("btree.insert.store_key");
+        let st_link = tr.store_instr("btree.insert.store_link");
+        let ld_key = tr.load_instr("btree.search.load_key");
+        let ld_left = tr.load_instr("btree.search.load_left");
+        let ld_right = tr.load_instr("btree.search.load_right");
+
+        let mut rng = StdRng::seed_from_u64(0xB7EE);
+        let mut nodes: Vec<Node> = Vec::with_capacity(self.nodes);
+        let mut addrs: Vec<u64> = Vec::with_capacity(self.nodes);
+
+        // Insert random keys; walk the tree to the insertion point,
+        // touching the same fields a real insert would.
+        for _ in 0..self.nodes {
+            let key = rng.random_range(0..1 << 30);
+            let addr = tr.alloc(site, NODE_SIZE);
+            tr.store(st_key, addr + OFF_KEY, 8);
+            let idx = nodes.len();
+            nodes.push(Node {
+                key,
+                left: None,
+                right: None,
+            });
+            addrs.push(addr);
+            if idx == 0 {
+                continue;
+            }
+            let mut cur = 0usize;
+            loop {
+                tr.load(ld_key, addrs[cur] + OFF_KEY, 8);
+                if key < nodes[cur].key {
+                    tr.load(ld_left, addrs[cur] + OFF_LEFT, 8);
+                    match nodes[cur].left {
+                        Some(next) => cur = next,
+                        None => {
+                            nodes[cur].left = Some(idx);
+                            tr.store(st_link, addrs[cur] + OFF_LEFT, 8);
+                            break;
+                        }
+                    }
+                } else {
+                    tr.load(ld_right, addrs[cur] + OFF_RIGHT, 8);
+                    match nodes[cur].right {
+                        Some(next) => cur = next,
+                        None => {
+                            nodes[cur].right = Some(idx);
+                            tr.store(st_link, addrs[cur] + OFF_RIGHT, 8);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Random lookups.
+        for _ in 0..self.lookups {
+            let key = rng.random_range(0..1 << 30);
+            let mut cur = Some(0usize);
+            while let Some(i) = cur {
+                tr.load(ld_key, addrs[i] + OFF_KEY, 8);
+                if key < nodes[i].key {
+                    tr.load(ld_left, addrs[i] + OFF_LEFT, 8);
+                    cur = nodes[i].left;
+                } else if key > nodes[i].key {
+                    tr.load(ld_right, addrs[i] + OFF_RIGHT, 8);
+                    cur = nodes[i].right;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        for addr in addrs {
+            tr.free(addr);
+        }
+    }
+}

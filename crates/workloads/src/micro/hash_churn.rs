@@ -1,0 +1,88 @@
+//! Allocation churn over a hash table: address reuse on purpose.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Tracer, Workload};
+
+const ENTRY_SIZE: u64 = 32;
+const OFF_KEY: u64 = 0;
+const OFF_VAL: u64 = 8;
+
+/// Inserts and deletes entries against a fixed-size bucket array,
+/// churning the allocator so raw addresses are heavily reused across
+/// object lifetimes — the *false aliasing* artifact: one raw address,
+/// many logical objects.
+#[derive(Debug, Clone)]
+pub struct HashChurn {
+    buckets: u64,
+    ops: usize,
+}
+
+impl HashChurn {
+    /// A table of `buckets` buckets exercised with `ops * buckets`
+    /// insert/lookup/delete operations.
+    #[must_use]
+    pub fn new(buckets: u64, ops: usize) -> Self {
+        HashChurn { buckets, ops }
+    }
+}
+
+impl Workload for HashChurn {
+    fn name(&self) -> &'static str {
+        "micro.hash_churn"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let table_site = tr.site("hash.table", None);
+        let entry_site = tr.site("hash.entry", Some("Entry"));
+        let st_bucket = tr.store_instr("hash.insert.store_bucket");
+        let st_key = tr.store_instr("hash.insert.store_key");
+        let ld_bucket = tr.load_instr("hash.lookup.load_bucket");
+        let ld_key = tr.load_instr("hash.lookup.load_key");
+        let ld_val = tr.load_instr("hash.lookup.load_val");
+
+        let table = tr.alloc(table_site, self.buckets * 8);
+        let mut rng = StdRng::seed_from_u64(0xA5A5);
+        // Logical model: bucket -> live entry base (at most one per
+        // bucket; collisions evict, i.e. free + realloc).
+        let mut entries: Vec<Option<u64>> = vec![None; self.buckets as usize];
+
+        for _ in 0..self.ops * self.buckets as usize {
+            let b = rng.random_range(0..self.buckets);
+            let slot = table + b * 8;
+            match rng.random_range(0..3) {
+                0 => {
+                    // Insert (evicting any previous occupant).
+                    if let Some(old) = entries[b as usize].take() {
+                        tr.free(old);
+                    }
+                    let e = tr.alloc(entry_site, ENTRY_SIZE);
+                    tr.store(st_key, e + OFF_KEY, 8);
+                    tr.store(st_bucket, slot, 8);
+                    entries[b as usize] = Some(e);
+                }
+                1 => {
+                    // Lookup.
+                    tr.load(ld_bucket, slot, 8);
+                    if let Some(e) = entries[b as usize] {
+                        tr.load(ld_key, e + OFF_KEY, 8);
+                        tr.load(ld_val, e + OFF_VAL, 8);
+                    }
+                }
+                _ => {
+                    // Delete.
+                    tr.load(ld_bucket, slot, 8);
+                    if let Some(e) = entries[b as usize].take() {
+                        tr.free(e);
+                        tr.store(st_bucket, slot, 8);
+                    }
+                }
+            }
+        }
+        for e in entries.into_iter().flatten() {
+            tr.free(e);
+        }
+        tr.free(table);
+    }
+}

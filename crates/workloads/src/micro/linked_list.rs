@@ -1,0 +1,128 @@
+//! The paper's Figure 1/Figure 3 scenario: linked-list traversal and
+//! update.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Tracer, Workload};
+
+/// Node layout: `data` at offset 0, `next` pointer at offset 8.
+const NODE_SIZE: u64 = 16;
+const OFF_DATA: u64 = 0;
+const OFF_NEXT: u64 = 8;
+
+/// Builds a linked list whose nodes are deliberately scattered in the
+/// raw address space (interleaved decoy allocations, some of them freed,
+/// force non-contiguous placement), then repeatedly traverses and
+/// updates it — the paper's opening example of regular behavior that
+/// *looks* irregular in raw addresses.
+///
+/// Instructions:
+/// * `list.build.store_data` / `list.build.store_next` — construction,
+/// * `list.walk.load_data` / `list.walk.load_next` — traversal,
+/// * `list.update.store_data` — the update pass.
+#[derive(Debug, Clone)]
+pub struct LinkedList {
+    nodes: usize,
+    traversals: usize,
+    shuffled: bool,
+}
+
+impl LinkedList {
+    /// A list of `nodes` elements traversed `traversals` times, built
+    /// by appending (list order = allocation order).
+    #[must_use]
+    pub fn new(nodes: usize, traversals: usize) -> Self {
+        LinkedList {
+            nodes,
+            traversals,
+            shuffled: false,
+        }
+    }
+
+    /// A list built by inserting each node at a *random position*, so
+    /// traversal order is decoupled from allocation order — the layout
+    /// that defeats allocation-order placement and rewards
+    /// profile-guided (traversal-order) placement.
+    #[must_use]
+    pub fn new_shuffled(nodes: usize, traversals: usize) -> Self {
+        LinkedList {
+            nodes,
+            traversals,
+            shuffled: true,
+        }
+    }
+}
+
+impl Workload for LinkedList {
+    fn name(&self) -> &'static str {
+        "micro.linked_list"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let node_site = tr.site("list.node", Some("ListNode"));
+        let decoy_site = tr.site("list.decoy", None);
+        let head_site = tr.site("list.head", Some("*ListNode"));
+        let st_head = tr.store_instr("list.build.store_head");
+        let ld_head = tr.load_instr("list.walk.load_head");
+        let st_data = tr.store_instr("list.build.store_data");
+        let st_next = tr.store_instr("list.build.store_next");
+        let ld_data = tr.load_instr("list.walk.load_data");
+        let ld_next = tr.load_instr("list.walk.load_next");
+        let st_upd = tr.store_instr("list.update.store_data");
+
+        // The list head lives in static data, like a C global.
+        let head = tr.alloc_static(head_site, "list_head", 8);
+        tr.store(st_head, head, 8);
+
+        let mut rng = StdRng::seed_from_u64(0x11_57);
+        // Build: interleave decoy allocations (freed at random) so the
+        // list nodes land at artifact-laden addresses.
+        let mut nodes = Vec::with_capacity(self.nodes);
+        let mut decoys = Vec::new();
+        for _ in 0..self.nodes {
+            let n_decoys = rng.random_range(0..3);
+            for _ in 0..n_decoys {
+                decoys.push(tr.alloc(decoy_site, rng.random_range(8..64)));
+            }
+            let node = tr.alloc(node_site, NODE_SIZE);
+            tr.store(st_data, node + OFF_DATA, 8);
+            tr.store(st_next, node + OFF_NEXT, 8);
+            if self.shuffled && !nodes.is_empty() {
+                // Insert at a random list position: touch the
+                // predecessor's next pointer like a real insert.
+                let pos = rng.random_range(0..=nodes.len());
+                if pos > 0 {
+                    tr.store(st_next, nodes[pos - 1] + OFF_NEXT, 8);
+                }
+                nodes.insert(pos, node);
+            } else {
+                nodes.push(node);
+            }
+            if !decoys.is_empty() && rng.random_bool(0.5) {
+                let idx = rng.random_range(0..decoys.len());
+                let base = decoys.swap_remove(idx);
+                tr.free(base);
+            }
+        }
+        // Traverse + update.
+        for pass in 0..self.traversals {
+            tr.load(ld_head, head, 8);
+            for &node in &nodes {
+                tr.load(ld_data, node + OFF_DATA, 8);
+                tr.load(ld_next, node + OFF_NEXT, 8);
+            }
+            if pass % 2 == 1 {
+                for &node in &nodes {
+                    tr.store(st_upd, node + OFF_DATA, 8);
+                }
+            }
+        }
+        for base in decoys {
+            tr.free(base);
+        }
+        for node in nodes {
+            tr.free(node);
+        }
+    }
+}

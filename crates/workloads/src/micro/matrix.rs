@@ -1,0 +1,56 @@
+//! Dense-matrix sweeps: the strongly-strided end of the spectrum.
+
+use crate::{Tracer, Workload};
+
+const ELEM: u64 = 8;
+
+/// Row-major writes followed by row- and column-order reads over an
+/// `n × n` matrix held in one heap object.
+///
+/// Row order yields stride `8`, column order stride `8·n` — both are
+/// single LMADs per pass, making this the canonical strongly-strided
+/// workload for stride-profiler tests.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    n: u64,
+    passes: usize,
+}
+
+impl Matrix {
+    /// An `n × n` matrix swept `passes` times.
+    #[must_use]
+    pub fn new(n: u64, passes: usize) -> Self {
+        Matrix { n, passes }
+    }
+}
+
+impl Workload for Matrix {
+    fn name(&self) -> &'static str {
+        "micro.matrix"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let site = tr.site("matrix.data", Some("f64"));
+        let st_init = tr.store_instr("matrix.init.store");
+        let ld_row = tr.load_instr("matrix.row_sum.load");
+        let ld_col = tr.load_instr("matrix.col_sum.load");
+
+        let base = tr.alloc(site, self.n * self.n * ELEM);
+        for i in 0..self.n * self.n {
+            tr.store(st_init, base + i * ELEM, 8);
+        }
+        for _ in 0..self.passes {
+            // Row-major read: stride 8.
+            for i in 0..self.n * self.n {
+                tr.load(ld_row, base + i * ELEM, 8);
+            }
+            // Column-major read: stride 8n with n restarts.
+            for col in 0..self.n {
+                for row in 0..self.n {
+                    tr.load(ld_col, base + (row * self.n + col) * ELEM, 8);
+                }
+            }
+        }
+        tr.free(base);
+    }
+}

@@ -1,0 +1,11 @@
+//! Micro-workloads: the paper's illustrative scenarios, runnable.
+
+mod btree;
+mod hash_churn;
+mod linked_list;
+mod matrix;
+
+pub use btree::Btree;
+pub use hash_churn::HashChurn;
+pub use linked_list::LinkedList;
+pub use matrix::Matrix;

@@ -1,0 +1,113 @@
+//! 256.bzip2-like workload: block sorting compression.
+//!
+//! Emulated traits: quicksorting an index array by data comparisons
+//! into the block buffer (strided partition scans over the index
+//! object, data-dependent probes into the block object), followed by a
+//! fully sequential run-length/output pass. Two big objects, mixed
+//! strided and irregular accesses — the original's profile shape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Tracer, Workload};
+
+/// The bzip2-like block-sort loop.
+#[derive(Debug, Clone)]
+pub struct Bzip2 {
+    block_words: u64,
+}
+
+impl Bzip2 {
+    /// Creates the workload at `scale`.
+    #[must_use]
+    pub fn new(scale: u32) -> Self {
+        Bzip2 {
+            block_words: 2048 * u64::from(scale.max(1)),
+        }
+    }
+}
+
+impl Workload for Bzip2 {
+    fn name(&self) -> &'static str {
+        "256.bzip2"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let block_site = tr.site("bzip2.block", Some("u8[]"));
+        let index_site = tr.site("bzip2.index", Some("u32[]"));
+        let out_site = tr.site("bzip2.output", Some("u8[]"));
+
+        let st_fill = tr.store_instr("bzip2.fill.store_block");
+        let st_idx_init = tr.store_instr("bzip2.sort.init_index");
+        let ld_idx = tr.load_instr("bzip2.sort.load_index");
+        let st_idx = tr.store_instr("bzip2.sort.store_index");
+        let ld_data = tr.load_instr("bzip2.sort.load_block");
+        let ld_out_scan = tr.load_instr("bzip2.rle.load_block");
+        let st_out = tr.store_instr("bzip2.rle.store_out");
+
+        let n = self.block_words;
+        let block = tr.alloc(block_site, n * 8);
+        let index = tr.alloc(index_site, n * 8);
+        let output = tr.alloc(out_site, n * 8);
+
+        let mut rng = StdRng::seed_from_u64(256);
+        // The logical data the sort compares on.
+        let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..1 << 20)).collect();
+
+        for i in 0..n {
+            tr.store(st_fill, block + i * 8, 8);
+            tr.store(st_idx_init, index + i * 8, 8);
+        }
+
+        // Iterative quicksort over logical indices; every comparison
+        // reads both index slots and the block words they point to,
+        // every swap writes both index slots.
+        let mut order: Vec<u64> = (0..n).collect();
+        let mut stack: Vec<(usize, usize)> = vec![(0, n as usize)];
+        while let Some((lo, hi)) = stack.pop() {
+            if hi - lo < 2 {
+                continue;
+            }
+            let pivot = keys[order[lo + (hi - lo) / 2] as usize];
+            let (mut i, mut j) = (lo, hi - 1);
+            while i <= j {
+                while {
+                    tr.load(ld_idx, index + (i as u64) * 8, 8);
+                    tr.load(ld_data, block + order[i] * 8, 8);
+                    keys[order[i] as usize] < pivot
+                } {
+                    i += 1;
+                }
+                while {
+                    tr.load(ld_idx, index + (j as u64) * 8, 8);
+                    tr.load(ld_data, block + order[j] * 8, 8);
+                    keys[order[j] as usize] > pivot
+                } {
+                    j -= 1;
+                }
+                if i <= j {
+                    order.swap(i, j);
+                    tr.store(st_idx, index + (i as u64) * 8, 8);
+                    tr.store(st_idx, index + (j as u64) * 8, 8);
+                    i += 1;
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+            }
+            stack.push((lo, j + 1));
+            stack.push((i, hi));
+        }
+
+        // Output pass: fully sequential.
+        for i in 0..n {
+            tr.load(ld_out_scan, block + i * 8, 8);
+            tr.store(st_out, output + i * 8, 8);
+        }
+
+        tr.free(block);
+        tr.free(index);
+        tr.free(output);
+    }
+}

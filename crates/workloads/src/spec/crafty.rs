@@ -1,0 +1,121 @@
+//! 186.crafty-like workload: chess search over bitboards.
+//!
+//! Emulated traits: static attack/occupancy tables probed at
+//! data-dependent indices (crafty's bitboard machinery lives in static
+//! arrays — exercising the linker-layout path of the OMC), a heap
+//! transposition table probed pseudo-randomly with a store→load
+//! dependence, and a move stack pushed and popped with perfect strides.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Tracer, Workload};
+
+const ATTACK_ENTRIES: u64 = 64 * 64;
+const TT_ENTRIES: u64 = 1 << 14;
+const TT_ENTRY: u64 = 16;
+const STACK_SLOTS: u64 = 256;
+
+/// The crafty-like search loop.
+#[derive(Debug, Clone)]
+pub struct Crafty {
+    positions: usize,
+}
+
+impl Crafty {
+    /// Creates the workload at `scale`.
+    #[must_use]
+    pub fn new(scale: u32) -> Self {
+        Crafty {
+            positions: 9000 * scale.max(1) as usize,
+        }
+    }
+}
+
+impl Workload for Crafty {
+    fn name(&self) -> &'static str {
+        "186.crafty"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let attack_site = tr.site("crafty.attack_table", Some("u64[]"));
+        let rook_site = tr.site("crafty.rook_table", Some("u64[]"));
+        let tt_site = tr.site("crafty.ttable", None);
+        let stack_site = tr.site("crafty.move_stack", None);
+
+        let ld_attack = tr.load_instr("crafty.gen.load_attack");
+        let ld_rook = tr.load_instr("crafty.gen.load_rook");
+        let st_push = tr.store_instr("crafty.stack.push");
+        let ld_pop = tr.load_instr("crafty.stack.pop");
+        let ld_tt_lo = tr.load_instr("crafty.tt.load_lo");
+        let ld_tt_hi = tr.load_instr("crafty.tt.load_hi");
+        let st_tt = tr.store_instr("crafty.tt.store");
+        let ld_hist = tr.load_instr("crafty.age.load_history");
+        let st_hist = tr.store_instr("crafty.age.store_history");
+        let hist_site = tr.site("crafty.history", Some("u32[]"));
+
+        // Static tables, placed by the simulated linker.
+        let attack = tr.alloc_static(attack_site, "attack_table", ATTACK_ENTRIES * 8);
+        let rook = tr.alloc_static(rook_site, "rook_table", ATTACK_ENTRIES * 8);
+        // Heap transposition table and move stack.
+        let tt = tr.alloc(tt_site, TT_ENTRIES * TT_ENTRY);
+        let stack = tr.alloc(stack_site, STACK_SLOTS * 8);
+        let history = tr.alloc(hist_site, 4096 * 8);
+
+        let mut rng = StdRng::seed_from_u64(186);
+        let mut sp = 0u64;
+
+        // Move-count schedule: search control flow repeats, only the
+        // probed squares are data-dependent.
+        const GEN_CYCLE: [u64; 8] = [2, 1, 3, 1, 2, 2, 1, 3];
+
+        // Between search iterations crafty ages its history table: a
+        // full sequential halving sweep.
+        let iteration_positions = (self.positions / 32).max(1);
+
+        for step in 0..self.positions {
+            if step % iteration_positions == 0 {
+                for i in 0..4096u64 {
+                    tr.load(ld_hist, history + i * 8, 8);
+                    tr.store(st_hist, history + i * 8, 8);
+                }
+            }
+            // Move generation: several attack-table probes at
+            // board-dependent (pseudo-random) indices.
+            for _ in 0..3 {
+                let sq = rng.random_range(0..ATTACK_ENTRIES);
+                tr.load(ld_attack, attack + sq * 8, 8);
+            }
+            let sq = rng.random_range(0..ATTACK_ENTRIES);
+            tr.load(ld_rook, rook + sq * 8, 8);
+
+            // Push generated moves; pop on the same fixed schedule.
+            let gen = GEN_CYCLE[step % GEN_CYCLE.len()];
+            for _ in 0..gen {
+                if sp < STACK_SLOTS {
+                    tr.store(st_push, stack + sp * 8, 8);
+                    sp += 1;
+                }
+            }
+            let pops = GEN_CYCLE[(step + 3) % GEN_CYCLE.len()].min(gen);
+            for _ in 0..pops {
+                if sp > 0 {
+                    sp -= 1;
+                    tr.load(ld_pop, stack + sp * 8, 8);
+                }
+            }
+
+            // Transposition-table probe: two-word read, occasional write.
+            let slot = rng.random_range(0..TT_ENTRIES);
+            tr.load(ld_tt_lo, tt + slot * TT_ENTRY, 8);
+            tr.load(ld_tt_hi, tt + slot * TT_ENTRY + 8, 8);
+            if step % 4 == 0 {
+                tr.store(st_tt, tt + slot * TT_ENTRY, 8);
+            }
+        }
+
+        tr.free(tt);
+        tr.free(stack);
+        tr.free(history);
+    }
+}

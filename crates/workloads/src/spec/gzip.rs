@@ -1,0 +1,90 @@
+//! 164.gzip-like workload: LZ77 compression over a sliding window.
+//!
+//! Emulated traits of the original: a long sequential scan of the input
+//! buffer, a hash-head table with data-dependent (effectively random)
+//! probe positions that is both read and updated (a rich store→load
+//! dependence source), back-references into the recent window at random
+//! distances, and a sequential output stream. Mostly large-object
+//! accesses: strongly strided scan/output, irregular hashing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Tracer, Workload};
+
+const HASH_ENTRIES: u64 = 4096;
+
+/// The gzip-like compressor loop.
+#[derive(Debug, Clone)]
+pub struct Gzip {
+    input_words: u64,
+}
+
+impl Gzip {
+    /// Creates the workload at `scale` (input grows linearly with it).
+    #[must_use]
+    pub fn new(scale: u32) -> Self {
+        Gzip {
+            input_words: 2048 * u64::from(scale.max(1)),
+        }
+    }
+}
+
+impl Workload for Gzip {
+    fn name(&self) -> &'static str {
+        "164.gzip"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let input_site = tr.site("gzip.input", Some("u8[]"));
+        let out_site = tr.site("gzip.output", Some("u8[]"));
+        let head_site = tr.site("gzip.hash_head", None);
+
+        let st_init = tr.store_instr("gzip.init.store_input");
+        let ld_scan = tr.load_instr("gzip.scan.load_input");
+        let ld_head = tr.load_instr("gzip.hash.load_head");
+        let st_head = tr.store_instr("gzip.hash.store_head");
+        let ld_match = tr.load_instr("gzip.match.load_back");
+        let st_out = tr.store_instr("gzip.emit.store_out");
+
+        let n = self.input_words;
+        let input = tr.alloc(input_site, n * 8);
+        let output = tr.alloc(out_site, n * 8);
+        // The hash-head table lives in static data, like gzip's.
+        let head = tr.alloc_static(head_site, "gzip_head", HASH_ENTRIES * 8);
+
+        let mut rng = StdRng::seed_from_u64(164);
+
+        // Fill the input buffer sequentially.
+        for i in 0..n {
+            tr.store(st_init, input + i * 8, 8);
+        }
+
+        // The deflate loop: scan, hash, maybe copy a back-reference,
+        // emit (output advances in lockstep with the scan here; real
+        // deflate's output runs slower, which only shortens the output
+        // stride stream).
+        for pos in 0..n {
+            tr.load(ld_scan, input + pos * 8, 8);
+            // Hash of the local content — data-dependent, modeled as a
+            // deterministic pseudo-random probe.
+            let h = rng.random_range(0..HASH_ENTRIES);
+            tr.load(ld_head, head + h * 8, 8);
+            tr.store(st_head, head + h * 8, 8);
+            // A match against the recent window on a fixed schedule
+            // (real deflate control flow is loop-dominated; the *where*
+            // is data-dependent, the *shape* repeats).
+            if pos > 64 && pos % 3 == 0 {
+                let dist = rng.random_range(1..=64.min(pos));
+                let len = 3 + (pos / 3) % 4; // cycle of match lengths
+                for k in 0..len.min(pos - dist) {
+                    tr.load(ld_match, input + (pos - dist + k) * 8, 8);
+                }
+            }
+            tr.store(st_out, output + pos * 8, 8);
+        }
+
+        tr.free(input);
+        tr.free(output);
+    }
+}

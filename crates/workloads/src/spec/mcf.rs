@@ -1,0 +1,119 @@
+//! 181.mcf-like workload: network-simplex minimum-cost flow.
+//!
+//! Emulated traits: mcf keeps its nodes and arcs in two huge arrays
+//! allocated once (so the whole graph is *two objects*), scans the arc
+//! array sequentially looking for entering arcs, then chases
+//! data-dependent parent pointers up the spanning tree — sequential
+//! strides over one giant object mixed with irregular offsets inside
+//! another. The irregular tree walks give mcf the lowest LMAD capture
+//! rate of the suite, as in the paper's Table 1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Tracer, Workload};
+
+const NODE_SIZE: u64 = 64;
+const OFF_POTENTIAL: u64 = 0;
+const OFF_PARENT: u64 = 8;
+const ARC_SIZE: u64 = 48;
+const OFF_COST: u64 = 0;
+const OFF_HEAD: u64 = 8;
+const OFF_FLOW: u64 = 16;
+
+/// The mcf-like simplex loop.
+#[derive(Debug, Clone)]
+pub struct Mcf {
+    nodes: u64,
+    arcs: u64,
+    iterations: usize,
+}
+
+impl Mcf {
+    /// Creates the workload at `scale`.
+    #[must_use]
+    pub fn new(scale: u32) -> Self {
+        let s = u64::from(scale.max(1));
+        Mcf {
+            nodes: 800 * s,
+            arcs: 2400 * s,
+            iterations: 12 * scale.max(1) as usize,
+        }
+    }
+}
+
+impl Workload for Mcf {
+    fn name(&self) -> &'static str {
+        "181.mcf"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let node_site = tr.site("mcf.nodes", Some("Node[]"));
+        let arc_site = tr.site("mcf.arcs", Some("Arc[]"));
+
+        let st_build_pot = tr.store_instr("mcf.build.store_potential");
+        let st_build_parent = tr.store_instr("mcf.build.store_parent");
+        let st_build_cost = tr.store_instr("mcf.build.store_cost");
+        let ld_cost = tr.load_instr("mcf.price.load_cost");
+        let ld_head = tr.load_instr("mcf.price.load_head");
+        let ld_pot = tr.load_instr("mcf.price.load_potential");
+        let ld_parent = tr.load_instr("mcf.tree.load_parent");
+        let ld_tpot = tr.load_instr("mcf.tree.load_potential");
+        let st_flow = tr.store_instr("mcf.pivot.store_flow");
+        let st_pot = tr.store_instr("mcf.pivot.store_potential");
+
+        // The two big calloc'd arrays of the original.
+        let nodes = tr.alloc(node_site, self.nodes * NODE_SIZE);
+        let arcs = tr.alloc(arc_site, self.arcs * ARC_SIZE);
+
+        let mut rng = StdRng::seed_from_u64(181);
+        // Logical spanning tree: parent index per node (node 0 is root).
+        let parents: Vec<u64> = (0..self.nodes)
+            .map(|i| if i == 0 { 0 } else { rng.random_range(0..i) })
+            .collect();
+        // Logical arc endpoints.
+        let heads: Vec<u64> = (0..self.arcs)
+            .map(|_| rng.random_range(0..self.nodes))
+            .collect();
+
+        // Build pass: sequential initialization of both arrays.
+        for i in 0..self.nodes {
+            tr.store(st_build_pot, nodes + i * NODE_SIZE + OFF_POTENTIAL, 8);
+            tr.store(st_build_parent, nodes + i * NODE_SIZE + OFF_PARENT, 8);
+        }
+        for a in 0..self.arcs {
+            tr.store(st_build_cost, arcs + a * ARC_SIZE + OFF_COST, 8);
+        }
+
+        for iter in 0..self.iterations {
+            // Pricing: sequential arc scan reading cost/head, plus the
+            // head node's potential (irregular node offset).
+            for a in 0..self.arcs {
+                tr.load(ld_cost, arcs + a * ARC_SIZE + OFF_COST, 8);
+                tr.load(ld_head, arcs + a * ARC_SIZE + OFF_HEAD, 8);
+                let h = heads[a as usize];
+                tr.load(ld_pot, nodes + h * NODE_SIZE + OFF_POTENTIAL, 8);
+            }
+            // The entering arc is data-dependent (cost comparisons),
+            // modeled by a deterministic draw per iteration.
+            let best = rng.random_range(0..self.arcs);
+            let _ = iter;
+            // Pivot: walk from the entering arc's head to the root,
+            // chasing parents (data-dependent offsets), updating flow
+            // and potentials along the way.
+            let mut v = heads[best as usize];
+            let mut hops = 0;
+            while v != 0 && hops < 64 {
+                tr.load(ld_parent, nodes + v * NODE_SIZE + OFF_PARENT, 8);
+                tr.load(ld_tpot, nodes + v * NODE_SIZE + OFF_POTENTIAL, 8);
+                tr.store(st_pot, nodes + v * NODE_SIZE + OFF_POTENTIAL, 8);
+                v = parents[v as usize];
+                hops += 1;
+            }
+            tr.store(st_flow, arcs + best * ARC_SIZE + OFF_FLOW, 8);
+        }
+
+        tr.free(nodes);
+        tr.free(arcs);
+    }
+}

@@ -1,0 +1,21 @@
+//! The seven SPEC2000-like synthetic benchmarks.
+//!
+//! Each module documents which aspects of the original program it
+//! emulates. All are deterministic given their scale parameter; raw
+//! addresses vary only through the [`RunConfig`](crate::RunConfig).
+
+mod bzip2;
+mod crafty;
+mod gzip;
+mod mcf;
+mod parser;
+mod twolf;
+mod vpr;
+
+pub use bzip2::Bzip2;
+pub use crafty::Crafty;
+pub use gzip::Gzip;
+pub use mcf::Mcf;
+pub use parser::Parser;
+pub use twolf::Twolf;
+pub use vpr::Vpr;

@@ -1,0 +1,133 @@
+//! 197.parser-like workload: dictionary lookups and parse-tree churn.
+//!
+//! Emulated traits: a hash-bucketed dictionary of linked word nodes
+//! built once and walked constantly (pointer chasing with fixed field
+//! offsets), and per-sentence parse trees carved from a custom
+//! allocation pool that is reset after every sentence — the original
+//! parser's `xalloc` arena. Following the paper's Section 3.1 footnote
+//! ("we choose to treat custom alloc pools as single objects"), the
+//! pool is registered with the profiler as one object; parse-node
+//! accesses appear as offsets inside it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Tracer, Workload};
+
+const BUCKETS: u64 = 256;
+const DICT_NODE: u64 = 48;
+const OFF_KEY: u64 = 0;
+const OFF_DEF: u64 = 8;
+const OFF_NEXT: u64 = 40;
+const PARSE_NODE: u64 = 32;
+const OFF_LEFT: u64 = 8;
+const OFF_RIGHT: u64 = 16;
+
+/// The parser-like sentence loop.
+#[derive(Debug, Clone)]
+pub struct Parser {
+    words: usize,
+    sentences: usize,
+}
+
+impl Parser {
+    /// Creates the workload at `scale`.
+    #[must_use]
+    pub fn new(scale: u32) -> Self {
+        let s = scale.max(1) as usize;
+        Parser {
+            words: 1024 * s,
+            sentences: 900 * s,
+        }
+    }
+}
+
+impl Workload for Parser {
+    fn name(&self) -> &'static str {
+        "197.parser"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let bucket_site = tr.site("parser.buckets", None);
+        let dict_site = tr.site("parser.dict_node", Some("DictNode"));
+        let pool_site = tr.site("parser.parse_pool", Some("XallocPool"));
+
+        let st_bucket = tr.store_instr("parser.build.store_bucket");
+        let st_dict_key = tr.store_instr("parser.build.store_key");
+        let st_dict_def = tr.store_instr("parser.build.store_def");
+        let st_dict_next = tr.store_instr("parser.build.store_next");
+        let ld_bucket = tr.load_instr("parser.lookup.load_bucket");
+        let ld_key = tr.load_instr("parser.lookup.load_key");
+        let ld_next = tr.load_instr("parser.lookup.load_next");
+        let ld_def = tr.load_instr("parser.lookup.load_def");
+        let st_link = tr.store_instr("parser.parse.store_link");
+        let ld_walk = tr.load_instr("parser.parse.load_link");
+
+        let buckets = tr.alloc_static(bucket_site, "dict_buckets", BUCKETS * 8);
+        // The parse arena: one custom pool, one profiled object.
+        let pool = tr.alloc(pool_site, 1 << 16);
+        let mut rng = StdRng::seed_from_u64(197);
+
+        // Build the dictionary: words chain into buckets. A good hash
+        // distributes words evenly, so chains end up equal length.
+        let mut chains: Vec<Vec<u64>> = vec![Vec::new(); BUCKETS as usize];
+        for i in 0..self.words {
+            let b = i % BUCKETS as usize;
+            let node = tr.alloc(dict_site, DICT_NODE);
+            tr.store(st_dict_key, node + OFF_KEY, 8);
+            tr.store(st_dict_def, node + OFF_DEF, 8);
+            tr.store(st_dict_next, node + OFF_NEXT, 8);
+            tr.store(st_bucket, buckets + (b as u64) * 8, 8);
+            chains[b].push(node);
+        }
+
+        // Parse sentences: look up words, build the parse tree in the
+        // pool, reset the pool afterwards (xalloc-style).
+        const LEN_CYCLE: [usize; 4] = [6, 9, 5, 8];
+        for sentence in 0..self.sentences {
+            let mut pool_top = 0u64;
+            let mut parse_nodes: Vec<u64> = Vec::new();
+            let sentence_len = LEN_CYCLE[sentence % LEN_CYCLE.len()];
+            for word in 0..sentence_len {
+                let b = rng.random_range(0..BUCKETS) as usize;
+                tr.load(ld_bucket, buckets + (b as u64) * 8, 8);
+                let chain = &chains[b];
+                if chain.is_empty() {
+                    continue;
+                }
+                // Walk the chain to the word. Which link holds it is a
+                // property of the word; model the distribution of match
+                // depths with a fixed cycle.
+                const DEPTH_CYCLE: [usize; 4] = [2, 3, 1, 4];
+                let depth = DEPTH_CYCLE[word % DEPTH_CYCLE.len()].min(chain.len());
+                for &node in chain.iter().take(depth) {
+                    tr.load(ld_key, node + OFF_KEY, 8);
+                    tr.load(ld_next, node + OFF_NEXT, 8);
+                }
+                tr.load(ld_def, chain[depth - 1] + OFF_DEF, 8);
+                // Carve a parse node from the pool; sizes vary with the
+                // constituent kind.
+                let size = PARSE_NODE + 16 * (word % 3) as u64;
+                let p = pool + pool_top;
+                pool_top += size;
+                tr.store(st_link, p + OFF_LEFT, 8);
+                tr.store(st_link, p + OFF_RIGHT, 8);
+                if let Some(&prev) = parse_nodes.last() {
+                    tr.store(st_link, prev + OFF_RIGHT, 8);
+                }
+                parse_nodes.push(p);
+            }
+            // Re-walk the finished parse; the pool reset is free.
+            for &p in &parse_nodes {
+                tr.load(ld_walk, p + OFF_LEFT, 8);
+            }
+        }
+        tr.free(pool);
+
+        for chain in chains {
+            for node in chain {
+                tr.free(node);
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! 300.twolf-like workload: standard-cell placement annealing.
+//!
+//! Emulated traits: hundreds of individually allocated same-type `cell`
+//! structs (one group, many serials) mutated through random
+//! displacement moves, row occupancy bookkeeping in a shared array, and
+//! per-cell net bounding boxes recomputed on every move — twolf's
+//! characteristic blend of object-random, field-regular traffic with a
+//! read-modify-write dependence on almost every store.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Tracer, Workload};
+
+const CELL_SIZE: u64 = 56;
+const OFF_X: u64 = 0;
+const OFF_Y: u64 = 8;
+const OFF_W: u64 = 16;
+const NET_SIZE: u64 = 32;
+const ROWS: u64 = 24;
+const NETS_PER_CELL: usize = 2;
+
+/// The twolf-like annealing loop.
+#[derive(Debug, Clone)]
+pub struct Twolf {
+    cells: usize,
+    nets: usize,
+    moves: usize,
+}
+
+impl Twolf {
+    /// Creates the workload at `scale`.
+    #[must_use]
+    pub fn new(scale: u32) -> Self {
+        let s = scale.max(1) as usize;
+        Twolf {
+            cells: 500 * s,
+            nets: 250 * s,
+            moves: 5000 * s,
+        }
+    }
+}
+
+impl Workload for Twolf {
+    fn name(&self) -> &'static str {
+        "300.twolf"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let cell_site = tr.site("twolf.cell", Some("Cell"));
+        let net_site = tr.site("twolf.net", Some("Net"));
+        let row_site = tr.site("twolf.rows", None);
+
+        let st_init_x = tr.store_instr("twolf.init.store_x");
+        let st_init_y = tr.store_instr("twolf.init.store_y");
+        let st_init_w = tr.store_instr("twolf.init.store_w");
+        let ld_x = tr.load_instr("twolf.move.load_x");
+        let ld_y = tr.load_instr("twolf.move.load_y");
+        let ld_w = tr.load_instr("twolf.move.load_w");
+        let st_x = tr.store_instr("twolf.move.store_x");
+        let st_y = tr.store_instr("twolf.move.store_y");
+        let ld_row = tr.load_instr("twolf.row.load_occupancy");
+        let st_row = tr.store_instr("twolf.row.store_occupancy");
+        let ld_net = tr.load_instr("twolf.net.load_bbox");
+        let st_net = tr.store_instr("twolf.net.store_bbox");
+        let ld_scan_x = tr.load_instr("twolf.repack.load_x");
+        let ld_scan_w = tr.load_instr("twolf.repack.load_w");
+        let st_scan_x = tr.store_instr("twolf.repack.store_x");
+
+        let rows = tr.alloc_static(row_site, "row_occupancy", ROWS * 8);
+        let mut rng = StdRng::seed_from_u64(300);
+
+        let cells: Vec<u64> = (0..self.cells)
+            .map(|_| {
+                let c = tr.alloc(cell_site, CELL_SIZE);
+                tr.store(st_init_x, c + OFF_X, 8);
+                tr.store(st_init_y, c + OFF_Y, 8);
+                tr.store(st_init_w, c + OFF_W, 8);
+                c
+            })
+            .collect();
+        let nets: Vec<u64> = (0..self.nets)
+            .map(|_| tr.alloc(net_site, NET_SIZE))
+            .collect();
+        let membership: Vec<Vec<usize>> = (0..self.cells)
+            .map(|_| {
+                (0..NETS_PER_CELL)
+                    .map(|_| rng.random_range(0..self.nets))
+                    .collect()
+            })
+            .collect();
+
+        // After each temperature epoch twolf re-packs every row: a
+        // sequential sweep over all cells adjusting x coordinates.
+        let epoch_moves = (self.moves / 40).max(1);
+
+        for step in 0..self.moves {
+            if step % epoch_moves == 0 {
+                for &cell in &cells {
+                    tr.load(ld_scan_x, cell + OFF_X, 8);
+                    tr.load(ld_scan_w, cell + OFF_W, 8);
+                    tr.store(st_scan_x, cell + OFF_X, 8);
+                }
+            }
+            let c = rng.random_range(0..self.cells);
+            tr.load(ld_x, cells[c] + OFF_X, 8);
+            tr.load(ld_y, cells[c] + OFF_Y, 8);
+            tr.load(ld_w, cells[c] + OFF_W, 8);
+            let from_row = rng.random_range(0..ROWS);
+            let to_row = rng.random_range(0..ROWS);
+            tr.load(ld_row, rows + from_row * 8, 8);
+            tr.load(ld_row, rows + to_row * 8, 8);
+            // Net cost for the affected nets.
+            for &net in &membership[c] {
+                for f in 0..2 {
+                    tr.load(ld_net, nets[net] + f * 8, 8);
+                }
+            }
+            if step % 9 < 4 {
+                tr.store(st_x, cells[c] + OFF_X, 8);
+                tr.store(st_y, cells[c] + OFF_Y, 8);
+                tr.store(st_row, rows + from_row * 8, 8);
+                tr.store(st_row, rows + to_row * 8, 8);
+                for &net in &membership[c] {
+                    tr.store(st_net, nets[net], 8);
+                }
+            }
+        }
+
+        for c in cells {
+            tr.free(c);
+        }
+        for n in nets {
+            tr.free(n);
+        }
+    }
+}

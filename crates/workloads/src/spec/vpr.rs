@@ -1,0 +1,138 @@
+//! 175.vpr-like workload: simulated-annealing FPGA placement.
+//!
+//! Emulated traits: many same-type `block` structs allocated from one
+//! site and accessed at fixed field offsets but in random object order
+//! (swap moves), `net` structs whose bounding boxes are read during
+//! cost evaluation and written on accepted moves. Field-regular,
+//! object-irregular — the sweet spot for object-relative profiling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Tracer, Workload};
+
+const BLOCK_SIZE: u64 = 64;
+const OFF_X: u64 = 0;
+const OFF_Y: u64 = 8;
+const NET_SIZE: u64 = 48;
+const OFF_BBOX: u64 = 0; // four 8-byte bbox fields at 0, 8, 16, 24
+const NETS_PER_BLOCK: usize = 3;
+
+/// The vpr-like placement loop.
+#[derive(Debug, Clone)]
+pub struct Vpr {
+    blocks: usize,
+    nets: usize,
+    moves: usize,
+}
+
+impl Vpr {
+    /// Creates the workload at `scale`.
+    #[must_use]
+    pub fn new(scale: u32) -> Self {
+        let s = scale.max(1) as usize;
+        Vpr {
+            blocks: 400 * s,
+            nets: 300 * s,
+            moves: 4000 * s,
+        }
+    }
+}
+
+impl Workload for Vpr {
+    fn name(&self) -> &'static str {
+        "175.vpr"
+    }
+
+    fn run(&self, tr: &mut Tracer<'_>) {
+        let block_site = tr.site("vpr.block", Some("Block"));
+        let net_site = tr.site("vpr.net", Some("Net"));
+
+        let st_place_x = tr.store_instr("vpr.init.store_x");
+        let st_place_y = tr.store_instr("vpr.init.store_y");
+        let ld_bx = tr.load_instr("vpr.move.load_x");
+        let ld_by = tr.load_instr("vpr.move.load_y");
+        let st_bx = tr.store_instr("vpr.move.store_x");
+        let st_by = tr.store_instr("vpr.move.store_y");
+        let ld_bbox = tr.load_instr("vpr.cost.load_bbox");
+        let st_bbox = tr.store_instr("vpr.cost.store_bbox");
+        let ld_scan_x = tr.load_instr("vpr.recompute.load_x");
+        let ld_scan_y = tr.load_instr("vpr.recompute.load_y");
+        let st_cost = tr.store_instr("vpr.recompute.store_cost");
+        let ld_cost = tr.load_instr("vpr.recompute.load_prev_cost");
+        let cost_site = tr.site("vpr.cost_array", Some("f64[]"));
+
+        let mut rng = StdRng::seed_from_u64(175);
+        let costs = tr.alloc(cost_site, self.blocks as u64 * 8);
+
+        let blocks: Vec<u64> = (0..self.blocks)
+            .map(|_| {
+                let b = tr.alloc(block_site, BLOCK_SIZE);
+                tr.store(st_place_x, b + OFF_X, 8);
+                tr.store(st_place_y, b + OFF_Y, 8);
+                b
+            })
+            .collect();
+        let nets: Vec<u64> = (0..self.nets)
+            .map(|_| tr.alloc(net_site, NET_SIZE))
+            .collect();
+        // Logical connectivity: each block belongs to a few nets.
+        let membership: Vec<Vec<usize>> = (0..self.blocks)
+            .map(|_| {
+                (0..NETS_PER_BLOCK)
+                    .map(|_| rng.random_range(0..self.nets))
+                    .collect()
+            })
+            .collect();
+
+        // The annealer recomputes the full placement cost at every
+        // temperature step: a sequential pass over all blocks. These
+        // periodic whole-structure scans dominate real vpr's capturable
+        // access mass.
+        let temperature_moves = (self.moves / 40).max(1);
+
+        for step in 0..self.moves {
+            if step % temperature_moves == 0 {
+                for (i, &b) in blocks.iter().enumerate() {
+                    tr.load(ld_scan_x, b + OFF_X, 8);
+                    tr.load(ld_scan_y, b + OFF_Y, 8);
+                    tr.load(ld_cost, costs + (i as u64) * 8, 8);
+                    tr.store(st_cost, costs + (i as u64) * 8, 8);
+                }
+            }
+            let a = rng.random_range(0..self.blocks);
+            let b = rng.random_range(0..self.blocks);
+            tr.load(ld_bx, blocks[a] + OFF_X, 8);
+            tr.load(ld_by, blocks[a] + OFF_Y, 8);
+            tr.load(ld_bx, blocks[b] + OFF_X, 8);
+            tr.load(ld_by, blocks[b] + OFF_Y, 8);
+            // Cost: read the bounding boxes of every affected net.
+            for &blk in &[a, b] {
+                for &net in &membership[blk] {
+                    for f in 0..4 {
+                        tr.load(ld_bbox, nets[net] + OFF_BBOX + f * 8, 8);
+                    }
+                }
+            }
+            // Accept ~40% of swaps on the annealer's rhythm: write
+            // coords back and update boxes.
+            if step % 5 < 2 {
+                tr.store(st_bx, blocks[a] + OFF_X, 8);
+                tr.store(st_by, blocks[a] + OFF_Y, 8);
+                tr.store(st_bx, blocks[b] + OFF_X, 8);
+                tr.store(st_by, blocks[b] + OFF_Y, 8);
+                for &net in &membership[a] {
+                    tr.store(st_bbox, nets[net] + OFF_BBOX, 8);
+                }
+            }
+        }
+
+        for b in blocks {
+            tr.free(b);
+        }
+        for n in nets {
+            tr.free(n);
+        }
+        tr.free(costs);
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's core invariance, demonstrated: the raw-address trace of
+//! a program changes with the allocator, the randomization seed, and
+//! probe-induced linker shifts — the object-relative profile does not.
+//!
+//! Run with: `cargo run --example allocator_artifacts`
+
+use orprof::allocsim::AllocatorKind;
+use orprof::core::{Cdc, Omc, VecOrSink};
+use orprof::trace::VecSink;
+use orprof::workloads::{micro, RunConfig, Workload};
+
+/// An object-relative access as a plain quadruple.
+type OrQuad = (u32, u32, u64, u64);
+
+/// Collects (raw access addresses, object-relative quadruples) for one
+/// run configuration.
+fn observe(cfg: &RunConfig) -> (Vec<u64>, Vec<OrQuad>) {
+    let workload = micro::LinkedList::new(64, 3);
+
+    let mut raw = VecSink::new();
+    workload.run_with(cfg, &mut raw);
+    let addrs: Vec<u64> = raw.accesses().iter().map(|a| a.addr.0).collect();
+
+    let mut cdc = Cdc::new(Omc::new(), VecOrSink::new());
+    workload.run_with(cfg, &mut cdc);
+    let tuples = cdc
+        .into_parts()
+        .1
+        .into_tuples()
+        .iter()
+        .map(|t| (t.instr.0, t.group.0, t.object.0, t.offset))
+        .collect();
+    (addrs, tuples)
+}
+
+fn main() {
+    let configs = [
+        ("free-list heap", RunConfig::default()),
+        (
+            "bump heap",
+            RunConfig {
+                allocator: AllocatorKind::Bump,
+                ..RunConfig::default()
+            },
+        ),
+        (
+            "buddy heap",
+            RunConfig {
+                allocator: AllocatorKind::Buddy,
+                ..RunConfig::default()
+            },
+        ),
+        (
+            "randomizing heap, seed 1",
+            RunConfig {
+                allocator: AllocatorKind::Randomizing,
+                heap_seed: 1,
+                ..RunConfig::default()
+            },
+        ),
+        (
+            "randomizing heap, seed 2",
+            RunConfig {
+                allocator: AllocatorKind::Randomizing,
+                heap_seed: 2,
+                ..RunConfig::default()
+            },
+        ),
+        (
+            "free-list heap + probe-shifted linker",
+            RunConfig {
+                linker_shift: 0x2400,
+                ..RunConfig::default()
+            },
+        ),
+    ];
+
+    let (base_addrs, base_tuples) = observe(&configs[0].1);
+    println!(
+        "{:40} {:>12} {:>16}",
+        "configuration", "raw trace", "object-relative"
+    );
+    println!("{}", "-".repeat(70));
+    println!(
+        "{:40} {:>12} {:>16}",
+        configs[0].0, "(baseline)", "(baseline)"
+    );
+
+    for (name, cfg) in &configs[1..] {
+        let (addrs, tuples) = observe(cfg);
+        let raw_same = addrs == base_addrs;
+        let or_same = tuples == base_tuples;
+        println!(
+            "{:40} {:>12} {:>16}",
+            name,
+            if raw_same { "identical" } else { "DIFFERENT" },
+            if or_same { "identical" } else { "DIFFERENT" }
+        );
+        assert!(or_same, "object-relative profile must be invariant");
+    }
+
+    println!();
+    println!("Every configuration rewrites the raw addresses; none of them");
+    println!("touches the (instruction, group, object, offset) view. This is");
+    println!("why object-relative profiles are comparable across runs, inputs");
+    println!("linked differently, and machines with different allocators.");
+}

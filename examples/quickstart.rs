@@ -1,0 +1,81 @@
+//! Quickstart: the paper's linked-list example, end to end.
+//!
+//! Builds a small linked list whose nodes land at artifact-laden heap
+//! addresses, traverses it, and shows the same trace in raw-address and
+//! object-relative form — the paper's Figure 1 vs Figure 3.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use orprof::core::{decompose, Cdc, Omc, VecOrSink};
+use orprof::trace::VecSink;
+use orprof::workloads::{micro, RunConfig, Tracer, Workload};
+
+fn main() {
+    let cfg = RunConfig::default();
+    let workload = micro::LinkedList::new(4, 1);
+
+    // One run, observed twice: raw events and object-relative tuples.
+    let mut raw = VecSink::new();
+    let mut tracer = Tracer::new(&cfg, &mut raw);
+    workload.run(&mut tracer);
+    tracer.finish();
+
+    let mut cdc = Cdc::new(Omc::new(), VecOrSink::new());
+    let mut tracer = Tracer::new(&cfg, &mut cdc);
+    workload.run(&mut tracer);
+    let instr_names = tracer.instr_registry().clone();
+    tracer.finish();
+
+    println!("== raw address stream (first traversal) ==");
+    let accesses = raw.accesses();
+    for ev in accesses
+        .iter()
+        .filter(|e| instr_names.name(e.instr).starts_with("list.walk"))
+        .take(8)
+    {
+        println!(
+            "  {:28} {} {}",
+            instr_names.name(ev.instr),
+            ev.kind,
+            ev.addr
+        );
+    }
+    println!("  ... seemingly arbitrary heap addresses.\n");
+
+    let tuples = cdc.sink().tuples().to_vec();
+    let walk: Vec<_> = tuples
+        .iter()
+        .filter(|t| instr_names.name(t.instr).starts_with("list.walk"))
+        .take(8)
+        .copied()
+        .collect();
+
+    println!("== object-relative stream (same accesses) ==");
+    println!(
+        "  {:28} {:>6} {:>7} {:>7}",
+        "instruction", "group", "object", "offset"
+    );
+    for t in &walk {
+        println!(
+            "  {:28} {:>6} {:>7} {:>7}",
+            instr_names.name(t.instr),
+            t.group.to_string(),
+            t.object.to_string(),
+            format!("+{}", t.offset)
+        );
+    }
+    println!("  ... same group, consecutive serials, two fixed offsets: the");
+    println!("  regularity the raw addresses were hiding.\n");
+
+    println!("== horizontal decomposition (per-dimension streams) ==");
+    let h = decompose::horizontal(&walk);
+    for (name, stream) in h.streams() {
+        println!("  {name:12} {stream:?}");
+    }
+
+    println!("\n== vertical decomposition (per-instruction sub-streams) ==");
+    for (instr, tuples) in decompose::vertical_by_instr(&walk) {
+        let offsets: Vec<u64> = tuples.iter().map(|t| t.offset).collect();
+        println!("  {:28} offsets {offsets:?}", instr_names.name(instr));
+    }
+}

@@ -1,0 +1,280 @@
+//! `orprof-cli` — run the bundled workloads under a profiler and save,
+//! inspect, or post-process profile files.
+//!
+//! ```text
+//! orprof-cli list
+//! orprof-cli run --workload 164.gzip --profiler leap --out gzip.orpl
+//! orprof-cli run --workload micro.matrix --profiler whomp --allocator buddy
+//! orprof-cli run --from-trace gzip.orpt --profiler leap --out gzip.orpl
+//! orprof-cli record --workload 164.gzip --out gzip.orpt
+//! orprof-cli inspect gzip.orpl
+//! orprof-cli report gzip.orpl          # dependence + stride advice
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use orprof::allocsim::AllocatorKind;
+use orprof::core::{Cdc, Omc};
+use orprof::leap::strides::{stride_stats, STRONG_STRIDE_THRESHOLD};
+use orprof::leap::{mdf, LeapProfile, LeapProfiler};
+use orprof::whomp::{Omsg, Rasg, RasgProfiler, WhompProfiler};
+use orprof::workloads::{micro_suite, spec_suite, RunConfig, Tracer, Workload};
+
+fn usage() -> &'static str {
+    "usage:\n  orprof-cli list\n  orprof-cli run (--workload <name> | --from-trace <file>) \
+     --profiler <whomp|rasg|leap> [--out <file>] [--scale <n>] \
+     [--allocator <bump|free-list|buddy|randomizing>] [--seed <n>]\n  \
+     orprof-cli record --workload <name> --out <file> [--scale <n>] [--allocator ..] [--seed <n>]\n  \
+     orprof-cli inspect <file>\n  orprof-cli report <file>"
+}
+
+fn workloads(scale: u32) -> Vec<Box<dyn Workload>> {
+    let mut all = spec_suite(scale);
+    all.extend(micro_suite());
+    all
+}
+
+fn parse_allocator(s: &str) -> Option<AllocatorKind> {
+    Some(match s {
+        "bump" => AllocatorKind::Bump,
+        "free-list" | "freelist" => AllocatorKind::FreeList,
+        "buddy" => AllocatorKind::Buddy,
+        "randomizing" | "random" => AllocatorKind::Randomizing,
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        _ => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("workloads:");
+    for w in workloads(1) {
+        println!("  {}", w.name());
+    }
+    println!("profilers:\n  whomp  (lossless OMSG)\n  rasg   (raw-address baseline)\n  leap   (lossy LMAD profile)");
+    Ok(())
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_cfg(args: &[String]) -> Result<RunConfig, String> {
+    let mut cfg = RunConfig::default();
+    if let Some(a) = flag(args, "--allocator") {
+        cfg.allocator = parse_allocator(&a).ok_or("unknown --allocator")?;
+    }
+    if let Some(s) = flag(args, "--seed") {
+        cfg.heap_seed = s.parse().map_err(|_| "bad --seed")?;
+    }
+    Ok(cfg)
+}
+
+fn find_workload(name: &str, scale: u32) -> Result<Box<dyn Workload>, String> {
+    workloads(scale)
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown workload {name} (try `orprof-cli list`)"))
+}
+
+/// Feeds probe events into `sink`, either live from a workload run or
+/// by replaying a recorded trace file.
+fn drive(args: &[String], sink: &mut dyn orprof::trace::ProbeSink) -> Result<(), String> {
+    if let Some(path) = flag(args, "--from-trace") {
+        let file = File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+        let events = orprof::trace::replay(&mut BufReader::new(file), sink)
+            .map_err(|e| format!("replay {path}: {e}"))?;
+        println!("replayed {events} events from {path}");
+        return Ok(());
+    }
+    let workload_name = flag(args, "--workload").ok_or("missing --workload or --from-trace")?;
+    let scale: u32 =
+        flag(args, "--scale").map_or(Ok(1), |s| s.parse().map_err(|_| "bad --scale"))?;
+    let cfg = parse_cfg(args)?;
+    let workload = find_workload(&workload_name, scale)?;
+    let mut tracer = Tracer::new(&cfg, sink);
+    workload.run(&mut tracer);
+    tracer.finish();
+    Ok(())
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("missing --out")?;
+    let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut writer = orprof::trace::TraceWriter::new(BufWriter::new(file))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    drive(args, &mut writer)?;
+    println!("recorded {} events to {out}", writer.events());
+    writer
+        .into_inner()
+        .and_then(|mut w| std::io::Write::flush(&mut w))
+        .map_err(|e| format!("flush {out}: {e}"))?;
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let profiler = flag(args, "--profiler").unwrap_or_else(|| "leap".to_owned());
+    let out = flag(args, "--out");
+
+    let write_out = |bytes_written: &dyn Fn(&mut BufWriter<File>) -> std::io::Result<()>| {
+        if let Some(path) = &out {
+            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            bytes_written(&mut w).map_err(|e| format!("write {path}: {e}"))?;
+            println!("profile written to {path}");
+        }
+        Ok::<(), String>(())
+    };
+
+    match profiler.as_str() {
+        "leap" => {
+            let mut cdc = Cdc::new(Omc::new(), LeapProfiler::new());
+            drive(args, &mut cdc)?;
+            let profile = cdc.into_parts().1.into_profile();
+            println!(
+                "leap: {} accesses, {} streams, {} bytes ({:.0}x over the raw trace)",
+                profile.total_accesses(),
+                profile.streams().len(),
+                profile.encoded_bytes(),
+                profile.compression_ratio()
+            );
+            let q = profile.sample_quality();
+            println!(
+                "sample quality: {:.1}% accesses, {:.1}% instructions captured",
+                q.accesses_captured * 100.0,
+                q.instructions_captured * 100.0
+            );
+            write_out(&|w| profile.write_to(w))?;
+        }
+        "whomp" => {
+            let mut cdc = Cdc::new(Omc::new(), WhompProfiler::new());
+            drive(args, &mut cdc)?;
+            let omsg = cdc.into_parts().1.into_omsg();
+            println!(
+                "whomp: {} tuples, grammar size {} symbols, {} bytes",
+                omsg.tuples(),
+                omsg.total_size(),
+                omsg.encoded_bytes()
+            );
+            write_out(&|w| omsg.write_to(w))?;
+        }
+        "rasg" => {
+            let mut p = RasgProfiler::new();
+            drive(args, &mut p)?;
+            let rasg = p.into_rasg();
+            println!(
+                "rasg: {} records, grammar size {} symbols, {} bytes",
+                rasg.accesses(),
+                rasg.total_size(),
+                rasg.encoded_bytes()
+            );
+            write_out(&|w| rasg.write_to(w))?;
+        }
+        other => return Err(format!("unknown profiler {other}")),
+    }
+    Ok(())
+}
+
+/// Opens a profile file and dispatches on its magic.
+fn load(path: &str) -> Result<Profile, String> {
+    let open = || File::open(path).map_err(|e| format!("open {path}: {e}"));
+    // Try each format in turn (each validates its magic).
+    if let Ok(p) = LeapProfile::read_from(&mut BufReader::new(open()?)) {
+        return Ok(Profile::Leap(Box::new(p)));
+    }
+    if let Ok(p) = Omsg::read_from(&mut BufReader::new(open()?)) {
+        return Ok(Profile::Omsg(Box::new(p)));
+    }
+    if let Ok(p) = Rasg::read_from(&mut BufReader::new(open()?)) {
+        return Ok(Profile::Rasg(Box::new(p)));
+    }
+    Err(format!("{path}: not a recognized profile file"))
+}
+
+enum Profile {
+    Leap(Box<LeapProfile>),
+    Omsg(Box<Omsg>),
+    Rasg(Box<Rasg>),
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing file")?;
+    match load(path)? {
+        Profile::Leap(p) => {
+            println!(
+                "LEAP profile: {} accesses over {} instructions",
+                p.total_accesses(),
+                p.instructions().len()
+            );
+            println!(
+                "  {} streams, {} bytes",
+                p.streams().len(),
+                p.encoded_bytes()
+            );
+            let q = p.sample_quality();
+            println!(
+                "  sample quality: {:.1}% accesses, {:.1}% instructions",
+                q.accesses_captured * 100.0,
+                q.instructions_captured * 100.0
+            );
+        }
+        Profile::Omsg(p) => {
+            println!("WHOMP (OMSG) profile: {} tuples", p.tuples());
+            for (name, g) in p.dimensions() {
+                println!("  {name:12} {} rules, {} symbols", g.rule_count(), g.size());
+            }
+        }
+        Profile::Rasg(p) => {
+            println!(
+                "RASG profile: {} records, {} rules, {} symbols",
+                p.accesses(),
+                p.records.rule_count(),
+                p.records.size()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing file")?;
+    match load(path)? {
+        Profile::Leap(p) => {
+            println!("== dependence frequencies ==");
+            for ((st, ld), f) in mdf::dependence_frequencies(&p).pairs() {
+                println!("  {st} -> {ld}: {:.1}%", f * 100.0);
+            }
+            println!("== strongly-strided instructions ==");
+            for (instr, stride) in stride_stats(&p).strongly_strided(STRONG_STRIDE_THRESHOLD) {
+                println!("  {instr}: stride {stride}");
+            }
+            Ok(())
+        }
+        _ => Err("report requires a LEAP profile".to_owned()),
+    }
+}

@@ -1,0 +1,26 @@
+//! Facade crate for the object-relative memory profiling workspace.
+//!
+//! Re-exports every workspace crate under a stable, friendly path so
+//! downstream code (and this repository's examples and integration
+//! tests) can depend on a single crate.
+//!
+//! See the individual crates for the real documentation:
+//!
+//! * [`core`] — object-relative translation & decomposition (the paper's
+//!   contribution),
+//! * [`whomp`] / [`leap`] — the two profilers,
+//! * [`trace`], [`allocsim`], [`sequitur`], [`lmad`], [`workloads`],
+//!   [`report`] — substrates.
+
+pub use orp_allocsim as allocsim;
+pub use orp_cache as cache;
+pub use orp_core as core;
+pub use orp_leap as leap;
+pub use orp_lmad as lmad;
+pub use orp_opt as opt;
+pub use orp_phase as phase;
+pub use orp_report as report;
+pub use orp_sequitur as sequitur;
+pub use orp_trace as trace;
+pub use orp_whomp as whomp;
+pub use orp_workloads as workloads;

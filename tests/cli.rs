@@ -1,0 +1,171 @@
+//! End-to-end subprocess tests for `orprof-cli`: record a trace,
+//! profile it, inspect and report the resulting files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_orprof-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("orprof-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn list_names_all_workloads_and_profilers() {
+    let out = cli().arg("list").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "164.gzip",
+        "300.twolf",
+        "micro.btree",
+        "whomp",
+        "rasg",
+        "leap",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_workload_fails_with_a_message() {
+    let out = cli()
+        .args(["run", "--workload", "999.nope"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown workload"), "{err}");
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = cli().output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn record_profile_inspect_report_pipeline() {
+    let trace = tmp("pipeline.orpt");
+    let profile = tmp("pipeline.orpl");
+
+    // Record a trace.
+    let out = cli()
+        .args([
+            "record",
+            "--workload",
+            "micro.matrix",
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.exists());
+
+    // Profile from the trace.
+    let out = cli()
+        .args([
+            "run",
+            "--from-trace",
+            trace.to_str().unwrap(),
+            "--profiler",
+            "leap",
+            "--out",
+            profile.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("replayed"), "{text}");
+    assert!(text.contains("sample quality"), "{text}");
+
+    // Inspect the profile.
+    let out = cli()
+        .args(["inspect", profile.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("LEAP profile"));
+
+    // Report dependences/strides from it.
+    let out = cli()
+        .args(["report", profile.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("strongly-strided"), "{text}");
+
+    let _ = std::fs::remove_file(trace);
+    let _ = std::fs::remove_file(profile);
+}
+
+#[test]
+fn whomp_profile_roundtrips_through_a_file() {
+    let profile = tmp("whomp.orpw");
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.linked_list",
+            "--profiler",
+            "whomp",
+            "--out",
+            profile.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = cli()
+        .args(["inspect", profile.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("WHOMP (OMSG) profile"), "{text}");
+    assert!(text.contains("offset"), "{text}");
+
+    // report on a non-LEAP profile fails cleanly.
+    let out = cli()
+        .args(["report", profile.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_file(profile);
+}
+
+#[test]
+fn inspect_rejects_garbage_files() {
+    let garbage = tmp("garbage.bin");
+    std::fs::write(&garbage, b"not a profile at all").unwrap();
+    let out = cli()
+        .args(["inspect", garbage.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(garbage);
+}

@@ -1,0 +1,162 @@
+//! Integration: LEAP over real workloads — dependence frequencies
+//! against ground truth, stride identification, Connors comparison,
+//! and the sample-quality bookkeeping.
+
+use orprof::core::{Cdc, Omc};
+use orprof::leap::connors::ConnorsProfiler;
+use orprof::leap::lossless::{LosslessDependenceProfiler, LosslessStrideProfiler};
+use orprof::leap::strides::{stride_score, stride_stats, STRONG_STRIDE_THRESHOLD};
+use orprof::leap::{errors, mdf, LeapProfiler};
+use orprof::workloads::{micro, spec, RunConfig, Workload};
+
+fn run(workload: &dyn Workload, cfg: &RunConfig, sink: &mut dyn orprof::trace::ProbeSink) {
+    let mut tracer = orprof::workloads::Tracer::new(cfg, sink);
+    workload.run(&mut tracer);
+    tracer.finish();
+}
+
+fn leap_profile(workload: &dyn Workload, cfg: &RunConfig) -> orprof::leap::LeapProfile {
+    let mut cdc = Cdc::new(Omc::new(), LeapProfiler::new());
+    run(workload, cfg, &mut cdc);
+    cdc.into_parts().1.into_profile()
+}
+
+fn truth(workload: &dyn Workload, cfg: &RunConfig) -> orprof::leap::DependenceProfile {
+    let mut cdc = Cdc::new(Omc::new(), LosslessDependenceProfiler::new());
+    run(workload, cfg, &mut cdc);
+    cdc.into_parts().1.into_profile()
+}
+
+#[test]
+fn leap_matches_ground_truth_on_regular_dependences() {
+    // bzip2's fill -> output-scan pair is a fully regular
+    // producer/consumer: LEAP must get it exactly right.
+    let cfg = RunConfig::default();
+    let workload = spec::Bzip2::new(1);
+    let estimate = mdf::dependence_frequencies(&leap_profile(&workload, &cfg));
+    let reference = truth(&workload, &cfg);
+
+    let scored = errors::score_pairs(&estimate, &reference);
+    assert!(!scored.is_empty(), "bzip2 must expose dependent pairs");
+    let exact = scored.iter().filter(|p| p.error_percent() == 0.0).count();
+    assert!(
+        exact >= 2,
+        "expected exact regular pairs, got {exact} of {}",
+        scored.len()
+    );
+}
+
+#[test]
+fn leap_never_invents_dependences() {
+    let cfg = RunConfig::default();
+    for workload in [
+        &spec::Gzip::new(1) as &dyn Workload,
+        &micro::HashChurn::new(128, 6),
+    ] {
+        let estimate = mdf::dependence_frequencies(&leap_profile(workload, &cfg));
+        let reference = truth(workload, &cfg);
+        for (st, ld) in estimate.pairs().keys() {
+            assert!(
+                reference.frequency(*st, *ld) > 0.0,
+                "LEAP reported a pair absent from ground truth"
+            );
+        }
+    }
+}
+
+#[test]
+fn connors_never_overestimates_on_real_traces() {
+    let cfg = RunConfig::default();
+    let workload = spec::Twolf::new(1);
+    let mut connors = ConnorsProfiler::new();
+    run(&workload, &cfg, &mut connors);
+    let estimate = connors.into_profile();
+    let reference = truth(&workload, &cfg);
+    for pair in errors::score_pairs(&estimate, &reference) {
+        assert!(
+            pair.error_percent() <= 1e-9,
+            "window profiler overestimated {:?}",
+            (pair.store, pair.load)
+        );
+    }
+}
+
+#[test]
+fn leap_beats_connors_within_ten_percent() {
+    let cfg = RunConfig::default();
+    let (mut leap_good, mut connors_good, mut total) = (0usize, 0usize, 0usize);
+    for workload in [
+        &spec::Gzip::new(1) as &dyn Workload,
+        &spec::Mcf::new(1),
+        &spec::Bzip2::new(1),
+    ] {
+        let reference = truth(workload, &cfg);
+        let leap_est = mdf::dependence_frequencies(&leap_profile(workload, &cfg));
+        let mut connors = ConnorsProfiler::new();
+        run(workload, &cfg, &mut connors);
+        let connors_est = connors.into_profile();
+
+        let leap_scored = errors::score_pairs(&leap_est, &reference);
+        let connors_scored = errors::score_pairs(&connors_est, &reference);
+        leap_good += leap_scored
+            .iter()
+            .filter(|p| p.error_percent().abs() <= 10.0)
+            .count();
+        connors_good += connors_scored
+            .iter()
+            .filter(|p| p.error_percent().abs() <= 10.0)
+            .count();
+        total += leap_scored.len();
+    }
+    assert!(total > 0);
+    assert!(
+        leap_good > connors_good,
+        "LEAP ({leap_good}/{total}) must beat Connors ({connors_good}/{total})"
+    );
+}
+
+#[test]
+fn stride_identification_matches_reference_on_matrix() {
+    let cfg = RunConfig::default();
+    let workload = micro::Matrix::new(32, 4);
+    let leap = stride_stats(&leap_profile(&workload, &cfg));
+    let mut cdc = Cdc::new(Omc::new(), LosslessStrideProfiler::new());
+    run(&workload, &cfg, &mut cdc);
+    let reference = cdc.into_parts().1.into_profile();
+
+    let real = reference.strongly_strided(STRONG_STRIDE_THRESHOLD);
+    assert!(!real.is_empty(), "the matrix sweeps are strongly strided");
+    let score = stride_score(&leap, &reference).expect("non-empty reference");
+    assert!(
+        score >= 0.5,
+        "LEAP found too few strided instructions: {score}"
+    );
+}
+
+#[test]
+fn sample_quality_and_size_bookkeeping_are_consistent() {
+    let cfg = RunConfig::default();
+    for workload in [&spec::Mcf::new(1) as &dyn Workload, &spec::Parser::new(1)] {
+        let profile = leap_profile(workload, &cfg);
+        let q = profile.sample_quality();
+        assert!(
+            (0.0..=1.0).contains(&q.accesses_captured),
+            "{}",
+            workload.name()
+        );
+        assert!(
+            (0.0..=1.0).contains(&q.instructions_captured),
+            "{}",
+            workload.name()
+        );
+        assert!(profile.encoded_bytes() > 0);
+        assert!(
+            profile.compression_ratio() > 1.0,
+            "{}: LEAP profile must be smaller than the trace",
+            workload.name()
+        );
+        // Per-stream seen totals must add up to the exact access count.
+        let seen: u64 = profile.streams().values().map(|s| s.full.seen()).sum();
+        assert_eq!(seen, profile.total_accesses());
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration: the paper's central invariance, checked across the
+//! whole pipeline — object-relative profiles are identical under every
+//! allocator, randomization seed, and linker shift, while raw traces
+//! are not.
+
+use orprof::allocsim::AllocatorKind;
+use orprof::core::{Cdc, Omc, OrTuple, VecOrSink};
+use orprof::trace::VecSink;
+use orprof::workloads::{micro, spec_suite, RunConfig, Workload};
+
+fn or_tuples(workload: &dyn Workload, cfg: &RunConfig) -> Vec<OrTuple> {
+    let mut cdc = Cdc::new(Omc::new(), VecOrSink::new());
+    orp_run(workload, cfg, &mut cdc);
+    assert_eq!(cdc.untracked(), 0, "workloads only touch tracked objects");
+    assert_eq!(cdc.probe_anomalies(), 0, "object probes must be consistent");
+    cdc.into_parts().1.into_tuples()
+}
+
+fn raw_addrs(workload: &dyn Workload, cfg: &RunConfig) -> Vec<u64> {
+    let mut sink = VecSink::new();
+    orp_run(workload, cfg, &mut sink);
+    sink.accesses().iter().map(|a| a.addr.0).collect()
+}
+
+fn orp_run(workload: &dyn Workload, cfg: &RunConfig, sink: &mut dyn orprof::trace::ProbeSink) {
+    let mut tracer = orprof::workloads::Tracer::new(cfg, sink);
+    workload.run(&mut tracer);
+    tracer.finish();
+}
+
+fn configs() -> Vec<RunConfig> {
+    vec![
+        RunConfig::default(),
+        RunConfig {
+            allocator: AllocatorKind::Bump,
+            ..RunConfig::default()
+        },
+        RunConfig {
+            allocator: AllocatorKind::Buddy,
+            ..RunConfig::default()
+        },
+        RunConfig {
+            allocator: AllocatorKind::Randomizing,
+            heap_seed: 7,
+            ..RunConfig::default()
+        },
+        RunConfig {
+            allocator: AllocatorKind::Randomizing,
+            heap_seed: 8,
+            ..RunConfig::default()
+        },
+        RunConfig {
+            linker_shift: 0x3000,
+            ..RunConfig::default()
+        },
+    ]
+}
+
+#[test]
+fn object_relative_profile_is_invariant_across_configurations() {
+    let workload = micro::LinkedList::new(96, 4);
+    let baseline = or_tuples(&workload, &configs()[0]);
+    assert!(!baseline.is_empty());
+    for cfg in &configs()[1..] {
+        assert_eq!(
+            or_tuples(&workload, cfg),
+            baseline,
+            "object-relative stream changed under {cfg:?}"
+        );
+    }
+}
+
+#[test]
+fn raw_traces_differ_across_allocators() {
+    let workload = micro::LinkedList::new(96, 4);
+    let baseline = raw_addrs(&workload, &configs()[0]);
+    for cfg in &configs()[1..] {
+        assert_ne!(
+            raw_addrs(&workload, cfg),
+            baseline,
+            "raw trace unexpectedly stable: {cfg:?}"
+        );
+    }
+}
+
+#[test]
+fn every_spec_workload_is_invariant_under_the_randomizing_allocator() {
+    // The strongest artifact source, applied to the full suite at small
+    // scale.
+    for workload in spec_suite(1) {
+        let a = or_tuples(
+            workload.as_ref(),
+            &RunConfig {
+                allocator: AllocatorKind::Randomizing,
+                heap_seed: 1,
+                ..RunConfig::default()
+            },
+        );
+        let b = or_tuples(
+            workload.as_ref(),
+            &RunConfig {
+                allocator: AllocatorKind::Randomizing,
+                heap_seed: 999,
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(
+            a,
+            b,
+            "{} object-relative stream not invariant",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn timestamps_are_dense_and_ordered() {
+    let workload = micro::HashChurn::new(64, 4);
+    let tuples = or_tuples(&workload, &RunConfig::default());
+    for (i, t) in tuples.iter().enumerate() {
+        assert_eq!(t.time.0, i as u64, "time-stamps count collected accesses");
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration: WHOMP over real workloads — losslessness, profile
+//! consistency, and the OMSG-vs-RASG comparison on full pipelines.
+
+use orprof::core::{Cdc, Omc, VecOrSink};
+use orprof::whomp::{compression_gain_percent, RasgProfiler, WhompProfiler};
+use orprof::workloads::{micro, spec, RunConfig, Workload};
+
+fn run(workload: &dyn Workload, cfg: &RunConfig, sink: &mut dyn orprof::trace::ProbeSink) {
+    let mut tracer = orprof::workloads::Tracer::new(cfg, sink);
+    workload.run(&mut tracer);
+    tracer.finish();
+}
+
+#[test]
+fn omsg_round_trips_a_real_workload_exactly() {
+    // Allocation churn with address reuse is the adversarial case for
+    // the object table; the grammars must still reproduce the stream
+    // exactly.
+    let cfg = RunConfig::default();
+    let workload = micro::HashChurn::new(128, 6);
+
+    // Reference: the materialized object-relative stream.
+    let mut ref_cdc = Cdc::new(Omc::new(), VecOrSink::new());
+    run(&workload, &cfg, &mut ref_cdc);
+    let reference: Vec<(u64, u64, u64, u64)> = ref_cdc
+        .into_parts()
+        .1
+        .into_tuples()
+        .iter()
+        .map(|t| {
+            (
+                u64::from(t.instr.0),
+                u64::from(t.group.0),
+                t.object.0,
+                t.offset,
+            )
+        })
+        .collect();
+
+    // WHOMP's grammars must re-expand to exactly that stream.
+    let mut cdc = Cdc::new(Omc::new(), WhompProfiler::new());
+    run(&workload, &cfg, &mut cdc);
+    let omsg = cdc.into_parts().1.into_omsg();
+    assert_eq!(omsg.expand(), reference);
+}
+
+#[test]
+fn omsg_compresses_repetitive_workloads() {
+    let cfg = RunConfig::default();
+    let workload = micro::LinkedList::new(128, 8);
+    let mut cdc = Cdc::new(Omc::new(), WhompProfiler::new());
+    run(&workload, &cfg, &mut cdc);
+    let omsg = cdc.into_parts().1.into_omsg();
+    assert!(
+        omsg.total_size() * 2 < omsg.tuples(),
+        "repeated traversals must compress at least 2x: {} symbols for {} tuples",
+        omsg.total_size(),
+        omsg.tuples()
+    );
+}
+
+#[test]
+fn omsg_beats_rasg_on_the_gzip_workload() {
+    let cfg = RunConfig::default();
+    let workload = spec::Gzip::new(1);
+
+    let mut cdc = Cdc::new(Omc::new(), WhompProfiler::new());
+    run(&workload, &cfg, &mut cdc);
+    let omsg = cdc.into_parts().1.into_omsg();
+
+    let mut rasg = RasgProfiler::new();
+    run(&workload, &cfg, &mut rasg);
+    let rasg = rasg.into_rasg();
+
+    assert_eq!(
+        omsg.tuples(),
+        rasg.accesses(),
+        "both profiles must see the same trace"
+    );
+    let gain = compression_gain_percent(&omsg, &rasg);
+    assert!(gain > 0.0, "OMSG must be smaller on gzip, got {gain:.1}%");
+}
+
+#[test]
+fn omsg_dimension_streams_stay_aligned() {
+    let cfg = RunConfig::default();
+    let workload = micro::Matrix::new(24, 3);
+    let mut cdc = Cdc::new(Omc::new(), WhompProfiler::new());
+    run(&workload, &cfg, &mut cdc);
+    let omsg = cdc.into_parts().1.into_omsg();
+    for (name, grammar) in omsg.dimensions() {
+        assert_eq!(
+            grammar.expanded_len(),
+            omsg.tuples(),
+            "{name} stream length diverged from the tuple count"
+        );
+    }
+}

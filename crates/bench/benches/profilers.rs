@@ -11,13 +11,15 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use orp_core::sharded::ShardedCdc;
+use orp_core::threaded::ThreadedCdc;
 use orp_core::{Cdc, Omc, Timestamp};
 use orp_leap::LeapProfiler;
 use orp_lmad::LinearCompressor;
 use orp_sequitur::Sequitur;
-use orp_trace::{AllocSiteId, NullSink, ProbeSink};
-use orp_whomp::{RasgProfiler, WhompProfiler};
-use orp_workloads::{spec, RunConfig, Tracer, Workload};
+use orp_trace::{AllocSiteId, InstrId, NullSink, ProbeSink};
+use orp_whomp::{HybridProfiler, RasgProfiler, WhompProfiler};
+use orp_workloads::{micro, spec, RunConfig, Tracer, Workload};
 
 fn bench_sequitur(c: &mut Criterion) {
     let mut group = c.benchmark_group("sequitur");
@@ -165,11 +167,116 @@ fn bench_collection(c: &mut Criterion) {
     group.finish();
 }
 
+/// Translation paths head-to-head on the same populated table: the
+/// `BTreeMap` reference oracle, the page index, and the per-instruction
+/// MRU memo (queries re-attributed to a handful of instructions, the
+/// shape the memo exists for).
+fn bench_omc_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omc_translate");
+    let mut omc = Omc::new();
+    for k in 0..10_000u64 {
+        omc.on_alloc(
+            AllocSiteId((k % 16) as u32),
+            0x10_0000 + k * 64,
+            48,
+            Timestamp(k),
+        )
+        .expect("disjoint");
+    }
+    let queries: Vec<(InstrId, u64)> = (0..10_000u64)
+        .map(|k| {
+            (
+                InstrId((k % 12) as u32),
+                0x10_0000 + ((k * 7919) % 10_000) * 64 + (k % 48),
+            )
+        })
+        .collect();
+    group.throughput(Throughput::Elements(queries.len() as u64));
+
+    group.bench_function("reference_btreemap", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &(_, addr) in &queries {
+                if omc.translate_reference(black_box(addr)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_function("page_index", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &(_, addr) in &queries {
+                if omc.translate(black_box(addr)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_function("mru_memo", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &(instr, addr) in &queries {
+                if omc.translate_cached(instr, black_box(addr)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+/// End-to-end pipelines over a pointer-chasing trace: inline CDC, the
+/// one-worker threaded CDC, and the sharded pipeline at 2 and 4 shards
+/// collecting per-instruction hybrid grammars.
+fn bench_threaded_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_pipeline");
+    group.sample_size(10);
+    let cfg = RunConfig::default();
+    let workload = micro::LinkedList::new(2048, 4);
+
+    fn drive(workload: &dyn Workload, cfg: &RunConfig, sink: &mut dyn ProbeSink) {
+        let mut tracer = Tracer::new(cfg, sink);
+        workload.run(&mut tracer);
+        tracer.finish();
+    }
+
+    group.bench_function("inline", |b| {
+        b.iter(|| {
+            let mut cdc = Cdc::new(Omc::new(), HybridProfiler::new());
+            drive(&workload, &cfg, &mut cdc);
+            black_box(cdc.sink().tuples())
+        });
+    });
+    group.bench_function("threaded_1_worker", |b| {
+        b.iter(|| {
+            let mut probe = ThreadedCdc::spawn(Omc::new(), HybridProfiler::new());
+            drive(&workload, &cfg, &mut probe);
+            black_box(probe.join().sink().tuples())
+        });
+    });
+    for shards in [2usize, 4] {
+        group.bench_function(format!("sharded_{shards}"), |b| {
+            b.iter(|| {
+                let mut probe = ShardedCdc::spawn(Omc::new(), shards, |_| HybridProfiler::new());
+                drive(&workload, &cfg, &mut probe);
+                black_box(probe.join().sink().tuples())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sequitur,
     bench_lmad,
     bench_omc,
-    bench_collection
+    bench_collection,
+    bench_omc_translate,
+    bench_threaded_pipeline
 );
 criterion_main!(benches);

@@ -48,23 +48,27 @@ pub struct CompressionRun {
     pub gain_percent: f64,
     /// The structure-only (symbol count) gain.
     pub symbol_gain_percent: f64,
-    /// Wall-clock time collecting the OMSG.
-    pub omsg_time: Duration,
-    /// Wall-clock time collecting the RASG.
-    pub rasg_time: Duration,
+    /// Wall-clock time of the single collection pass feeding both
+    /// profilers.
+    pub collect_time: Duration,
 }
 
-/// Runs `workload` once, collecting the OMSG and RASG profiles in two
-/// separate (timed) passes over identical traces.
+/// Runs `workload` once, collecting the OMSG and RASG profiles from a
+/// **single pass**: the trace is teed into both collectors, so the
+/// profiles see the same events by construction instead of relying on
+/// workload determinism across two replays.
 #[must_use]
 pub fn compression_run(workload: &dyn Workload, cfg: &RunConfig) -> CompressionRun {
+    let mut tee = TeeSink::new(
+        Cdc::new(Omc::new(), WhompProfiler::new()),
+        RasgProfiler::new(),
+    );
     let t0 = Instant::now();
-    let omsg = collect_omsg(workload, cfg);
-    let omsg_time = t0.elapsed();
-
-    let t1 = Instant::now();
-    let rasg = collect_rasg(workload, cfg);
-    let rasg_time = t1.elapsed();
+    run(workload, cfg, &mut tee);
+    let collect_time = t0.elapsed();
+    let (cdc, rasg_profiler) = tee.into_inner();
+    let omsg = cdc.into_parts().1.into_omsg();
+    let rasg = rasg_profiler.into_rasg();
 
     assert_eq!(
         omsg.tuples(),
@@ -81,8 +85,7 @@ pub fn compression_run(workload: &dyn Workload, cfg: &RunConfig) -> CompressionR
         rasg_bytes: rasg.encoded_bytes(),
         gain_percent: orp_whomp::compression_gain_percent(&omsg, &rasg),
         symbol_gain_percent: orp_whomp::symbol_gain_percent(&omsg, &rasg),
-        omsg_time,
-        rasg_time,
+        collect_time,
     }
 }
 

@@ -40,6 +40,26 @@ impl<S: OrSink> Cdc<S> {
         }
     }
 
+    /// Reassembles a CDC from previously collected state — the inverse
+    /// of [`Cdc::into_parts`], used by the sharded pipeline to present
+    /// its deterministic merge as an ordinary CDC.
+    #[must_use]
+    pub fn from_parts(
+        omc: Omc,
+        sink: S,
+        time: Timestamp,
+        untracked: u64,
+        probe_anomalies: u64,
+    ) -> Self {
+        Cdc {
+            omc,
+            sink,
+            time: time.0,
+            untracked,
+            probe_anomalies,
+        }
+    }
+
     /// The object management component.
     #[must_use]
     pub fn omc(&self) -> &Omc {
@@ -90,7 +110,7 @@ impl<S: OrSink> Cdc<S> {
 
 impl<S: OrSink> ProbeSink for Cdc<S> {
     fn access(&mut self, ev: AccessEvent) {
-        match self.omc.translate(ev.addr.0) {
+        match self.omc.translate_cached(ev.instr, ev.addr.0) {
             Some((group, object, offset)) => {
                 let tuple = OrTuple {
                     instr: ev.instr,

@@ -58,11 +58,13 @@
 mod cdc;
 pub mod decompose;
 mod omc;
+pub mod sharded;
 mod sink;
 pub mod threaded;
 
 pub use cdc::Cdc;
 pub use omc::{ObjectRecord, Omc, OmcError};
+pub use sharded::{PipelineError, ShardableSink, ShardedCdc};
 pub use sink::{NullOrSink, OrSink, VecOrSink};
 
 use orp_trace::{AccessKind, InstrId};

@@ -1,10 +1,88 @@
 //! The object management component (OMC).
 
 use std::collections::{BTreeMap, HashMap};
+use std::hash::BuildHasherDefault;
 
-use orp_trace::AllocSiteId;
+use orp_trace::{AllocSiteId, InstrId};
 
 use crate::{GroupId, ObjectSerial, Timestamp};
+
+/// Page granularity of the direct translation index: 4 KiB, matching
+/// the page size the paper's address artifacts revolve around.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Objects spanning more than this many pages are kept out of the page
+/// index (indexing a giant object page-by-page would make allocation
+/// cost proportional to its size); they are served by the ordered-map
+/// fallback instead. 256 pages = 1 MiB.
+const MAX_INDEXED_PAGES: u64 = 256;
+
+/// Per-instruction MRU memo slots are grown on demand up to this many
+/// instructions; pathological (sparse, huge) instruction ids beyond it
+/// simply skip memoization.
+const MRU_LIMIT: usize = 1 << 16;
+
+/// A minimal multiplicative hasher for `u64` keys (page numbers).
+///
+/// The std `SipHash` default costs more than the whole page lookup it
+/// guards; page numbers need no DoS resistance, so a single multiply by
+/// a 64-bit odd constant (Fibonacci hashing) is enough.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct U64Hasher(u64);
+
+impl std::hash::Hasher for U64Hasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(8) ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut h = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// A `HashMap` keyed by `u64` using [`U64Hasher`].
+pub(crate) type FastU64Map<V> = HashMap<u64, V, BuildHasherDefault<U64Hasher>>;
+
+/// One resolved object in the fast-path structures: everything a
+/// translation needs, denormalized so a hit touches no other map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FastEntry {
+    base: u64,
+    size: u64,
+    group: GroupId,
+    serial: ObjectSerial,
+}
+
+impl FastEntry {
+    /// An empty MRU slot: `size == 0` can never contain an address.
+    const EMPTY: FastEntry = FastEntry {
+        base: 0,
+        size: 0,
+        group: GroupId(0),
+        serial: ObjectSerial(0),
+    };
+
+    #[inline]
+    fn contains(&self, addr: u64) -> bool {
+        addr.wrapping_sub(self.base) < self.size
+    }
+}
 
 /// Everything the OMC knows about one object.
 ///
@@ -94,16 +172,41 @@ struct GroupState {
 /// The object management component: the live-object interval map plus
 /// the group registry and the lifetime archive.
 ///
-/// Lookup uses an ordered map over base addresses (the paper's
-/// "auxiliary B-tree-like data structure which stores the range of
-/// addresses that each object takes up"); translation of an address is
-/// a predecessor query plus a bounds check.
+/// Lookup offers three paths:
+///
+/// * [`Omc::translate_reference`] — the paper's "auxiliary B-tree-like
+///   data structure": an `O(log n)` predecessor query over the ordered
+///   base-address map. Kept as the reference oracle.
+/// * [`Omc::translate`] — the page-index fast path: the address's
+///   4 KiB page number selects a short, base-sorted list of the objects
+///   overlapping that page, searched with one binary probe. Objects too
+///   large to page-index ([`MAX_INDEXED_PAGES`]) fall back to the
+///   reference path.
+/// * [`Omc::translate_cached`] — the page index fronted by a
+///   per-instruction MRU memo: consecutive accesses from one static
+///   instruction overwhelmingly hit the same object, so the memo turns
+///   them into a bounds check.
+///
+/// Allocation inserts into both the ordered map and the page index;
+/// deallocation removes from both and invalidates every MRU slot that
+/// points at the freed object, so all three paths always agree (a
+/// property the differential proptests pin down).
 #[derive(Debug, Clone, Default)]
 pub struct Omc {
     /// Live objects keyed by base address. Invariant: ranges are
     /// disjoint, so the predecessor of an address is the only candidate
     /// containing it.
     live: BTreeMap<u64, LiveEntry>,
+    /// Page number → objects overlapping that page, sorted by base.
+    /// Covers every live object spanning at most [`MAX_INDEXED_PAGES`]
+    /// pages.
+    pages: FastU64Map<Vec<FastEntry>>,
+    /// Live objects *not* in the page index (too large). While zero, a
+    /// page-index miss is definitive and the fallback is skipped.
+    unindexed_live: usize,
+    /// Per-instruction MRU memo, indexed by `InstrId`; empty slots have
+    /// `size == 0`.
+    mru: Vec<FastEntry>,
     /// Site → group mapping (one group per allocation site).
     groups_by_site: HashMap<AllocSiteId, GroupId>,
     /// Per-group state, indexed by `GroupId`.
@@ -112,6 +215,12 @@ pub struct Omc {
     archive: Vec<ObjectRecord>,
     /// Total objects ever registered.
     registered: u64,
+}
+
+/// First and last page number of `[base, base + size)`, `size ≥ 1`.
+#[inline]
+fn page_span(base: u64, size: u64) -> (u64, u64) {
+    (base >> PAGE_SHIFT, (base + size - 1) >> PAGE_SHIFT)
 }
 
 impl Omc {
@@ -224,6 +333,22 @@ impl Omc {
                 alloc_time: now,
             },
         );
+        let (p0, p1) = page_span(base, size);
+        if p1 - p0 < MAX_INDEXED_PAGES {
+            let entry = FastEntry {
+                base,
+                size,
+                group,
+                serial,
+            };
+            for page in p0..=p1 {
+                let list = self.pages.entry(page).or_default();
+                let at = list.partition_point(|e| e.base < base);
+                list.insert(at, entry);
+            }
+        } else {
+            self.unindexed_live += 1;
+        }
         self.registered += 1;
         Ok((group, serial))
     }
@@ -240,6 +365,26 @@ impl Omc {
             .live
             .remove(&base)
             .ok_or(OmcError::UnknownFree { addr: base })?;
+        let (p0, p1) = page_span(base, entry.size);
+        if p1 - p0 < MAX_INDEXED_PAGES {
+            for page in p0..=p1 {
+                if let Some(list) = self.pages.get_mut(&page) {
+                    list.retain(|e| e.base != base);
+                    if list.is_empty() {
+                        self.pages.remove(&page);
+                    }
+                }
+            }
+        } else {
+            self.unindexed_live -= 1;
+        }
+        // The freed address range may be reallocated to a different
+        // object; drop every memo slot that still points at it.
+        for slot in &mut self.mru {
+            if slot.base == base && slot.size != 0 {
+                *slot = FastEntry::EMPTY;
+            }
+        }
         let record = ObjectRecord {
             group: entry.group,
             serial: entry.serial,
@@ -252,13 +397,79 @@ impl Omc {
         Ok(record)
     }
 
+    /// Resolves `addr` through the page index, falling back to the
+    /// ordered map only when unindexed (huge) objects are live.
+    #[inline]
+    fn lookup(&self, addr: u64) -> Option<FastEntry> {
+        if let Some(list) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+            // Predecessor within the page's base-sorted list; an object
+            // spilling in from an earlier page is listed here too.
+            let at = list.partition_point(|e| e.base <= addr);
+            if at > 0 {
+                let entry = list[at - 1];
+                if entry.contains(addr) {
+                    return Some(entry);
+                }
+            }
+        }
+        if self.unindexed_live > 0 {
+            let (&base, entry) = self.live.range(..=addr).next_back()?;
+            if addr < base + entry.size {
+                return Some(FastEntry {
+                    base,
+                    size: entry.size,
+                    group: entry.group,
+                    serial: entry.serial,
+                });
+            }
+        }
+        None
+    }
+
     /// Translates a raw address into `(group, object, offset)`, the
-    /// core object-relative mapping.
+    /// core object-relative mapping, via the page-index fast path.
     ///
     /// Returns `None` for addresses outside every live object (e.g.
     /// stack accesses, which the paper deliberately does not profile).
     #[must_use]
     pub fn translate(&self, addr: u64) -> Option<(GroupId, ObjectSerial, u64)> {
+        self.lookup(addr)
+            .map(|e| (e.group, e.serial, addr - e.base))
+    }
+
+    /// [`Omc::translate`] fronted by the per-instruction MRU memo:
+    /// repeated accesses from one instruction to one object cost a
+    /// bounds check. The hot path of [`Cdc`](crate::Cdc) collection.
+    #[must_use]
+    pub fn translate_cached(
+        &mut self,
+        instr: InstrId,
+        addr: u64,
+    ) -> Option<(GroupId, ObjectSerial, u64)> {
+        let slot = instr.0 as usize;
+        if let Some(memo) = self.mru.get(slot) {
+            if memo.contains(addr) {
+                return Some((memo.group, memo.serial, addr - memo.base));
+            }
+        }
+        let entry = self.lookup(addr)?;
+        if slot < MRU_LIMIT {
+            if slot >= self.mru.len() {
+                self.mru.resize(slot + 1, FastEntry::EMPTY);
+            }
+            self.mru[slot] = entry;
+        }
+        Some((entry.group, entry.serial, addr - entry.base))
+    }
+
+    /// The paper's original translation path — an `O(log n)` predecessor
+    /// query over the ordered base-address map, bypassing the page index
+    /// and the MRU memo.
+    ///
+    /// Kept as the reference oracle for the fast paths (differential
+    /// tests) and as the baseline of the throughput benchmark.
+    #[must_use]
+    pub fn translate_reference(&self, addr: u64) -> Option<(GroupId, ObjectSerial, u64)> {
         let (&base, entry) = self.live.range(..=addr).next_back()?;
         if addr < base + entry.size {
             Some((entry.group, entry.serial, addr - base))
@@ -449,6 +660,66 @@ mod tests {
         // Aliasing is idempotent for already-merged sites.
         let g = omc.alias_sites(AllocSiteId(0), AllocSiteId(2)).unwrap();
         assert_eq!(omc.alias_sites(AllocSiteId(0), AllocSiteId(2)), Ok(g));
+    }
+
+    #[test]
+    fn fast_paths_agree_with_reference() {
+        let mut omc = Omc::new();
+        let (g, s) = omc.on_alloc(AllocSiteId(0), 0x100, 32, T0).unwrap();
+        for addr in [0xFFu64, 0x100, 0x11F, 0x120, 0x5000] {
+            assert_eq!(omc.translate(addr), omc.translate_reference(addr));
+            assert_eq!(
+                omc.translate_cached(InstrId(3), addr),
+                omc.translate_reference(addr)
+            );
+        }
+        assert_eq!(omc.translate(0x110), Some((g, s, 0x10)));
+    }
+
+    #[test]
+    fn mru_is_invalidated_by_free_and_realloc() {
+        let mut omc = Omc::new();
+        let instr = InstrId(0);
+        let (_, s0) = omc.on_alloc(AllocSiteId(0), 0x100, 16, T0).unwrap();
+        assert_eq!(omc.translate_cached(instr, 0x108).unwrap().1, s0);
+        omc.on_free(0x100, Timestamp(1)).unwrap();
+        assert_eq!(omc.translate_cached(instr, 0x108), None);
+        // Same address range, new object: the memo must not resurrect
+        // the old serial.
+        let (_, s1) = omc
+            .on_alloc(AllocSiteId(0), 0x100, 16, Timestamp(2))
+            .unwrap();
+        assert_ne!(s0, s1);
+        assert_eq!(omc.translate_cached(instr, 0x108).unwrap().1, s1);
+    }
+
+    #[test]
+    fn objects_spanning_pages_are_found_from_either_page() {
+        let mut omc = Omc::new();
+        // Straddles the 0x2000 page boundary.
+        let (g, s) = omc.on_alloc(AllocSiteId(0), 0x1FF0, 0x40, T0).unwrap();
+        assert_eq!(omc.translate(0x1FF8), Some((g, s, 8)));
+        assert_eq!(omc.translate(0x2010), Some((g, s, 0x20)));
+        assert_eq!(omc.translate(0x2030), None);
+        omc.on_free(0x1FF0, Timestamp(1)).unwrap();
+        assert_eq!(omc.translate(0x2010), None);
+    }
+
+    #[test]
+    fn huge_objects_use_the_fallback_path() {
+        let mut omc = Omc::new();
+        let huge = 2u64 << 20; // 2 MiB, beyond MAX_INDEXED_PAGES
+        let (g, s) = omc.on_alloc(AllocSiteId(0), 0x10_0000, huge, T0).unwrap();
+        let (g2, s2) = omc.on_alloc(AllocSiteId(1), 0x100_0000, 64, T0).unwrap();
+        assert_eq!(omc.translate(0x10_0000 + huge / 2), Some((g, s, huge / 2)));
+        assert_eq!(omc.translate(0x100_0020), Some((g2, s2, 0x20)));
+        assert_eq!(
+            omc.translate_cached(InstrId(1), 0x10_0000 + huge - 1),
+            Some((g, s, huge - 1))
+        );
+        omc.on_free(0x10_0000, Timestamp(1)).unwrap();
+        assert_eq!(omc.translate(0x10_0000 + 8), None);
+        assert_eq!(omc.translate_cached(InstrId(1), 0x10_0000 + 8), None);
     }
 
     #[test]

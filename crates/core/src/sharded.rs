@@ -1,0 +1,604 @@
+//! The sharded parallel collection pipeline.
+//!
+//! [`ThreadedCdc`](crate::threaded::ThreadedCdc) reproduces the paper's
+//! one-worker architecture; this module generalizes it to N workers:
+//!
+//! ```text
+//! probe side ──batches──▶ translator ──per-shard batches──▶ worker 0
+//!                         (owns the OMC,                ├──▶ worker 1
+//!                          fast-path translate,         ├──▶ …
+//!                          time-stamps, routing)        └──▶ worker N-1
+//! ```
+//!
+//! The translator owns the [`Omc`] and performs the cheap part — the
+//! page-index/MRU fast-path translation and time-stamping — exactly as
+//! a single-threaded [`Cdc`] would, so time-stamps, untracked counts
+//! and probe-anomaly counts are identical by construction. Tuples are
+//! then routed to workers by the profiler's **vertical-decomposition
+//! key** ([`ShardableSink::shard_key`]): `instr` for WHOMP's hybrid
+//! per-instruction grammars, `(instr, group)` for LEAP. Because a
+//! profiler's state is partitioned by that key, every worker sees each
+//! of its keys' sub-streams completely and in collection order, and the
+//! deterministic merge on [`ShardedCdc::try_join`] reassembles state
+//! *byte-identical* to the single-threaded run — regardless of shard
+//! count or how keys were balanced across shards.
+//!
+//! All queues are bounded (back-pressure instead of unbounded memory),
+//! and batch buffers are recycled through return channels instead of
+//! being reallocated per batch.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use orp_trace::{AccessEvent, AllocEvent, FreeEvent, InstrId, ProbeEvent, ProbeSink};
+
+use crate::omc::FastU64Map;
+use crate::{Cdc, GroupId, Omc, OrSink, OrTuple, Timestamp};
+
+/// Probe events per batch shipped to the translator.
+pub const EVENT_BATCH: usize = 16384;
+
+/// Translated tuples per batch shipped to a shard worker.
+const TUPLE_BATCH: usize = 8192;
+
+/// Bounded queue depth, in batches, of every channel in the pipeline.
+/// Deep enough that the probe side rarely stalls on a busy translator
+/// (and, on a single hardware thread, stages run as long uninterrupted
+/// stretches instead of ping-ponging per batch); still bounded, so a
+/// stuck worker back-pressures the probe instead of exhausting memory.
+const QUEUE_BATCHES: usize = 32;
+
+/// A profiler whose state is partitioned by a vertical-decomposition
+/// key, making it collectable on sharded workers.
+///
+/// # Contract
+///
+/// Tuples with different [`ShardableSink::shard_key`] values must never
+/// interact in the sink's state, and [`ShardableSink::merge`] over
+/// parts that each consumed a *disjoint key set* (every key's tuples
+/// complete and in collection order) must equal the state of a single
+/// sink that consumed the whole stream. Under that contract the sharded
+/// pipeline's output is byte-identical to single-threaded collection.
+pub trait ShardableSink: OrSink + Send + Sized + 'static {
+    /// The vertical-decomposition key partitioning this sink's state.
+    fn shard_key(t: &OrTuple) -> u64;
+
+    /// Merges shard-local states (disjoint key sets) into the combined
+    /// state. `parts` is ordered by shard index.
+    fn merge(parts: Vec<Self>) -> Self;
+}
+
+/// Fuses an `(instr, group)` pair into a shard key.
+#[must_use]
+pub fn instr_group_key(instr: InstrId, group: GroupId) -> u64 {
+    (u64::from(instr.0) << 32) | u64::from(group.0)
+}
+
+impl ShardableSink for crate::VecOrSink {
+    /// Any key works for a sink whose merge re-sorts globally; partition
+    /// by instruction to exercise the same routing as real profilers.
+    fn shard_key(t: &OrTuple) -> u64 {
+        u64::from(t.instr.0)
+    }
+
+    /// Re-interleaves the shard-local streams on their (globally unique)
+    /// time-stamps, restoring exact collection order.
+    ///
+    /// The translator stamps tuples with consecutive times `0..n` and
+    /// each worker appends in translator order, so at every point
+    /// exactly one run's cursor holds the next time-stamp — the merge
+    /// walks the runs' heads and copies maximal consecutive chunks,
+    /// never comparing tuple against tuple. Parts with arbitrary
+    /// time-stamps (no run offering the expected next time) fall back
+    /// to a comparison sort of the concatenation.
+    fn merge(parts: Vec<Self>) -> Self {
+        let mut runs: Vec<Vec<OrTuple>> = parts.into_iter().map(Self::into_tuples).collect();
+        // Shards that saw no keys (fewer keys than shards) contribute
+        // empty runs.
+        runs.retain(|run| !run.is_empty());
+        if runs.len() <= 1 {
+            return crate::VecOrSink::from_tuples(runs.pop().unwrap_or_default());
+        }
+        let total: usize = runs.iter().map(Vec::len).sum();
+        let mut out: Vec<OrTuple> = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; runs.len()];
+        'dense: while out.len() < total {
+            let next = out.len() as u64;
+            for (run, cursor) in runs.iter().zip(cursors.iter_mut()) {
+                if run.get(*cursor).is_some_and(|t| t.time.0 == next) {
+                    let start = *cursor;
+                    let mut expect = next;
+                    while run.get(*cursor).is_some_and(|t| t.time.0 == expect) {
+                        *cursor += 1;
+                        expect += 1;
+                    }
+                    out.extend_from_slice(&run[start..*cursor]);
+                    continue 'dense;
+                }
+            }
+            // No run offers time `next`: the streams aren't densely
+            // stamped, so the structure-exploiting path doesn't apply.
+            break;
+        }
+        if out.len() == total {
+            return crate::VecOrSink::from_tuples(out);
+        }
+        let mut all: Vec<OrTuple> = Vec::with_capacity(total);
+        for run in runs {
+            all.extend(run);
+        }
+        all.sort_unstable_by_key(|t| t.time);
+        crate::VecOrSink::from_tuples(all)
+    }
+}
+
+/// A worker thread of the collection pipeline died by panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineError {
+    /// Which thread died: `"translator"`, `"shard 3"`, or
+    /// `"collection worker"` for the single-worker pipeline.
+    pub worker: String,
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "collection pipeline {} panicked: {}",
+            self.worker, self.message
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Renders a panic payload as text (panics carry `&str` or `String`
+/// payloads in practice).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// What the translator thread hands back at shutdown: the OMC plus the
+/// counters a single-threaded [`Cdc`] would have accumulated.
+struct Translated {
+    omc: Omc,
+    time: u64,
+    untracked: u64,
+    probe_anomalies: u64,
+}
+
+/// One shard's outbound lane: its tuple channel, the buffer-recycling
+/// return channel, and the batch under construction.
+struct Lane {
+    tx: SyncSender<Vec<OrTuple>>,
+    recycled: Receiver<Vec<OrTuple>>,
+    pending: Vec<OrTuple>,
+    /// Set when the worker hung up (it panicked); further tuples for
+    /// this shard are dropped and the panic surfaces at join.
+    dead: bool,
+}
+
+impl Lane {
+    fn push(&mut self, t: OrTuple) {
+        self.pending.push(t);
+        if self.pending.len() >= TUPLE_BATCH {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.pending.is_empty() || self.dead {
+            self.pending.clear();
+            return;
+        }
+        let fresh = self
+            .recycled
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(TUPLE_BATCH));
+        let batch = std::mem::replace(&mut self.pending, fresh);
+        if self.tx.send(batch).is_err() {
+            self.dead = true;
+        }
+    }
+}
+
+/// A probe sink collecting through the sharded pipeline described in
+/// the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use orp_core::sharded::ShardedCdc;
+/// use orp_core::{Omc, VecOrSink};
+/// use orp_trace::{AccessEvent, AllocEvent, AllocSiteId, InstrId, ProbeSink, RawAddress};
+///
+/// let mut probe = ShardedCdc::spawn(Omc::new(), 2, |_| VecOrSink::new());
+/// probe.alloc(AllocEvent { site: AllocSiteId(0), base: RawAddress(0x100), size: 16 });
+/// probe.access(AccessEvent::load(InstrId(0), RawAddress(0x108), 8));
+/// let cdc = probe.try_join().unwrap();
+/// assert_eq!(cdc.sink().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedCdc<S: ShardableSink> {
+    to_translator: Option<SyncSender<Vec<ProbeEvent>>>,
+    recycled: Receiver<Vec<ProbeEvent>>,
+    batch: Vec<ProbeEvent>,
+    translator: Option<JoinHandle<Translated>>,
+    workers: VecDeque<JoinHandle<S>>,
+}
+
+impl<S: ShardableSink> ShardedCdc<S> {
+    /// Spawns the translator plus `shards` worker threads; worker `i`
+    /// runs the sink built by `make_sink(i)` (all must be identically
+    /// configured for the merge to be meaningful).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or a thread cannot be spawned.
+    #[must_use]
+    pub fn spawn(omc: Omc, shards: usize, mut make_sink: impl FnMut(usize) -> S) -> Self {
+        assert!(shards > 0, "at least one shard worker is required");
+        let (probe_tx, probe_rx) = mpsc::sync_channel::<Vec<ProbeEvent>>(QUEUE_BATCHES);
+        let (probe_recycle_tx, probe_recycle_rx) = mpsc::sync_channel(QUEUE_BATCHES);
+
+        let mut lanes = Vec::with_capacity(shards);
+        let mut workers = VecDeque::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<Vec<OrTuple>>(QUEUE_BATCHES);
+            let (recycle_tx, recycle_rx) = mpsc::sync_channel::<Vec<OrTuple>>(QUEUE_BATCHES);
+            let mut sink = make_sink(shard);
+            let handle = std::thread::Builder::new()
+                .name(format!("orp-shard-{shard}"))
+                .spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        sink.tuple_batch(&batch);
+                        let mut spent = batch;
+                        spent.clear();
+                        let _ = recycle_tx.try_send(spent);
+                    }
+                    sink
+                })
+                .expect("spawn shard worker");
+            lanes.push(Lane {
+                tx,
+                recycled: recycle_rx,
+                pending: Vec::with_capacity(TUPLE_BATCH),
+                dead: false,
+            });
+            workers.push_back(handle);
+        }
+
+        let translator = std::thread::Builder::new()
+            .name("orp-translate".to_owned())
+            .spawn(move || translate_loop::<S>(omc, &probe_rx, &probe_recycle_tx, &mut lanes))
+            .expect("spawn translator thread");
+
+        ShardedCdc {
+            to_translator: Some(probe_tx),
+            recycled: probe_recycle_rx,
+            batch: Vec::with_capacity(EVENT_BATCH),
+            translator: Some(translator),
+            workers,
+        }
+    }
+
+    fn push(&mut self, ev: ProbeEvent) {
+        self.batch.push(ev);
+        if self.batch.len() >= EVENT_BATCH {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let fresh = self
+            .recycled
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(EVENT_BATCH));
+        let batch = std::mem::replace(&mut self.batch, fresh);
+        if let Some(tx) = &self.to_translator {
+            // A send failure means the translator died; keep accepting
+            // (and dropping) events so the panic surfaces at join
+            // instead of cascading into the probe side.
+            if tx.send(batch).is_err() {
+                self.to_translator = None;
+            }
+        }
+    }
+
+    /// Flushes pending events, shuts the pipeline down, merges the
+    /// shard sinks and returns the finished [`Cdc`] (its sink has seen
+    /// `finish`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] naming the thread when the
+    /// translator or a shard worker panicked.
+    pub fn try_join(mut self) -> Result<Cdc<S>, PipelineError> {
+        self.flush();
+        drop(self.to_translator.take());
+        // The translator must wind down first: it owns the shard
+        // senders, and dropping them releases the workers.
+        let translated = match self.translator.take().expect("join called once").join() {
+            Ok(t) => Ok(t),
+            Err(payload) => Err(PipelineError {
+                worker: "translator".to_owned(),
+                message: panic_message(payload),
+            }),
+        };
+        let mut first_error = translated.as_ref().err().cloned();
+        let mut sinks = Vec::with_capacity(self.workers.len());
+        for (shard, handle) in self.workers.drain(..).enumerate() {
+            match handle.join() {
+                Ok(sink) => sinks.push(sink),
+                Err(payload) => {
+                    let err = PipelineError {
+                        worker: format!("shard {shard}"),
+                        message: panic_message(payload),
+                    };
+                    first_error.get_or_insert(err);
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        let t = translated.expect("checked above");
+        let mut cdc = Cdc::from_parts(
+            t.omc,
+            S::merge(sinks),
+            Timestamp(t.time),
+            t.untracked,
+            t.probe_anomalies,
+        );
+        ProbeSink::finish(&mut cdc);
+        Ok(cdc)
+    }
+
+    /// [`ShardedCdc::try_join`], panicking on pipeline errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`PipelineError`] description when a pipeline
+    /// thread panicked.
+    #[must_use]
+    pub fn join(self) -> Cdc<S> {
+        match self.try_join() {
+            Ok(cdc) => cdc,
+            Err(err) => panic!("{err}"),
+        }
+    }
+}
+
+/// The translator thread: replicates [`Cdc`] event handling (fast-path
+/// translation, time-stamping, anomaly counting) and routes tuples to
+/// shard lanes by `S::shard_key`.
+fn translate_loop<S: ShardableSink>(
+    mut omc: Omc,
+    probe_rx: &Receiver<Vec<ProbeEvent>>,
+    probe_recycle_tx: &SyncSender<Vec<ProbeEvent>>,
+    lanes: &mut [Lane],
+) -> Translated {
+    let shards = lanes.len();
+    let mut time = 0u64;
+    let mut untracked = 0u64;
+    let mut probe_anomalies = 0u64;
+    // First-seen round-robin key→shard assignment: deterministic for a
+    // given event stream, and balance never affects the merged result
+    // (the merge is a key-set union).
+    let mut routes: FastU64Map<usize> = FastU64Map::default();
+    let mut next_shard = 0usize;
+    // Consecutive tuples overwhelmingly come from a handful of keys
+    // (instructions running loops, often a couple of them interleaved);
+    // a small recently-used memo answers those ahead of the map lookup.
+    let mut route_memo: [(u64, usize); 4] = [(u64::MAX, 0); 4];
+    let mut memo_slot = 0usize;
+    while let Ok(events) = probe_rx.recv() {
+        for ev in &events {
+            match *ev {
+                ProbeEvent::Access(AccessEvent {
+                    instr,
+                    kind,
+                    addr,
+                    size,
+                }) => match omc.translate_cached(instr, addr.0) {
+                    Some((group, object, offset)) => {
+                        let tuple = OrTuple {
+                            instr,
+                            kind,
+                            group,
+                            object,
+                            offset,
+                            time: Timestamp(time),
+                            size,
+                        };
+                        time += 1;
+                        let key = S::shard_key(&tuple);
+                        let shard = match route_memo.iter().find(|(k, _)| *k == key) {
+                            Some(&(_, s)) => s,
+                            None => {
+                                let s = *routes.entry(key).or_insert_with(|| {
+                                    let s = next_shard;
+                                    next_shard = (next_shard + 1) % shards;
+                                    s
+                                });
+                                route_memo[memo_slot] = (key, s);
+                                memo_slot = (memo_slot + 1) % route_memo.len();
+                                s
+                            }
+                        };
+                        lanes[shard].push(tuple);
+                    }
+                    None => untracked += 1,
+                },
+                ProbeEvent::Alloc(AllocEvent { site, base, size }) => {
+                    if omc.on_alloc(site, base.0, size, Timestamp(time)).is_err() {
+                        probe_anomalies += 1;
+                    }
+                }
+                ProbeEvent::Free(FreeEvent { base }) => {
+                    if omc.on_free(base.0, Timestamp(time)).is_err() {
+                        probe_anomalies += 1;
+                    }
+                }
+            }
+        }
+        let mut spent = events;
+        spent.clear();
+        let _ = probe_recycle_tx.try_send(spent);
+    }
+    for lane in lanes.iter_mut() {
+        lane.flush();
+    }
+    Translated {
+        omc,
+        time,
+        untracked,
+        probe_anomalies,
+    }
+}
+
+impl<S: ShardableSink> ProbeSink for ShardedCdc<S> {
+    fn access(&mut self, ev: AccessEvent) {
+        self.push(ProbeEvent::Access(ev));
+    }
+
+    fn alloc(&mut self, ev: AllocEvent) {
+        self.push(ProbeEvent::Alloc(ev));
+    }
+
+    fn free(&mut self, ev: FreeEvent) {
+        self.push(ProbeEvent::Free(ev));
+    }
+
+    fn finish(&mut self) {
+        self.flush();
+    }
+}
+
+impl<S: ShardableSink> Drop for ShardedCdc<S> {
+    fn drop(&mut self) {
+        // Unblock and reap the pipeline if `try_join` was never called.
+        drop(self.to_translator.take());
+        if let Some(translator) = self.translator.take() {
+            let _ = translator.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Omc, VecOrSink};
+    use orp_trace::{AllocSiteId, RawAddress};
+
+    fn churn_run(sink: &mut dyn ProbeSink, nodes: u64, passes: u64) {
+        for k in 0..nodes {
+            sink.alloc(AllocEvent {
+                site: AllocSiteId((k % 3) as u32),
+                base: RawAddress(0x1000 + k * 64),
+                size: 48,
+            });
+        }
+        for p in 0..passes {
+            for k in 0..nodes {
+                let instr = InstrId(((k + p) % 7) as u32);
+                sink.access(AccessEvent::load(
+                    instr,
+                    RawAddress(0x1000 + k * 64 + (p % 48)),
+                    1,
+                ));
+            }
+            // Untracked access and a mid-stream realloc.
+            sink.access(AccessEvent::load(InstrId(99), RawAddress(0x10), 1));
+            sink.free(FreeEvent {
+                base: RawAddress(0x1000 + (p % nodes) * 64),
+            });
+            sink.alloc(AllocEvent {
+                site: AllocSiteId(3),
+                base: RawAddress(0x1000 + (p % nodes) * 64),
+                size: 32,
+            });
+        }
+        sink.finish();
+    }
+
+    #[test]
+    fn sharded_collection_is_identical_to_inline_collection() {
+        let mut inline = Cdc::new(Omc::new(), VecOrSink::new());
+        churn_run(&mut inline, 50, 40);
+
+        for shards in [1, 2, 3, 8] {
+            let mut sharded = ShardedCdc::spawn(Omc::new(), shards, |_| VecOrSink::new());
+            churn_run(&mut sharded, 50, 40);
+            let cdc = sharded.try_join().expect("pipeline healthy");
+            assert_eq!(
+                cdc.sink().tuples(),
+                inline.sink().tuples(),
+                "{shards} shards"
+            );
+            assert_eq!(cdc.time(), inline.time());
+            assert_eq!(cdc.untracked(), inline.untracked());
+            assert_eq!(cdc.probe_anomalies(), inline.probe_anomalies());
+        }
+    }
+
+    #[test]
+    fn panicking_shard_worker_is_reported_by_name() {
+        #[derive(Debug)]
+        struct Grenade;
+        impl OrSink for Grenade {
+            fn tuple(&mut self, _: &OrTuple) {
+                panic!("sink exploded");
+            }
+        }
+        impl ShardableSink for Grenade {
+            fn shard_key(t: &OrTuple) -> u64 {
+                u64::from(t.instr.0)
+            }
+            fn merge(_: Vec<Self>) -> Self {
+                Grenade
+            }
+        }
+        let mut sharded = ShardedCdc::spawn(Omc::new(), 2, |_| Grenade);
+        sharded.alloc(AllocEvent {
+            site: AllocSiteId(0),
+            base: RawAddress(0x100),
+            size: 64,
+        });
+        sharded.access(AccessEvent::load(InstrId(0), RawAddress(0x100), 8));
+        let err = sharded.try_join().expect_err("worker must have died");
+        assert_eq!(err.worker, "shard 0");
+        assert!(err.message.contains("sink exploded"), "{err}");
+        assert!(err.to_string().contains("shard 0"));
+    }
+
+    #[test]
+    fn drop_without_join_does_not_hang() {
+        let mut sharded = ShardedCdc::spawn(Omc::new(), 4, |_| VecOrSink::new());
+        sharded.access(AccessEvent::load(InstrId(0), RawAddress(0x100), 8));
+        drop(sharded);
+    }
+
+    #[test]
+    fn instr_group_key_is_injective_on_the_id_spaces() {
+        let a = instr_group_key(InstrId(1), GroupId(2));
+        let b = instr_group_key(InstrId(2), GroupId(1));
+        assert_ne!(a, b);
+        assert_eq!(instr_group_key(InstrId(0), GroupId(0)), 0);
+    }
+}

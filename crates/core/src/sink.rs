@@ -9,6 +9,16 @@ pub trait OrSink {
     /// Receives the next tuple in collection order.
     fn tuple(&mut self, t: &OrTuple);
 
+    /// Receives a batch of consecutive tuples in collection order —
+    /// what the pipelined collectors deliver. Equivalent to calling
+    /// [`OrSink::tuple`] on each; sinks that can ingest a slice more
+    /// cheaply (e.g. by memcpy) should override it.
+    fn tuple_batch(&mut self, batch: &[OrTuple]) {
+        for t in batch {
+            self.tuple(t);
+        }
+    }
+
     /// Called once when the traced program terminates. The default does
     /// nothing.
     fn finish(&mut self) {}
@@ -26,6 +36,13 @@ impl VecOrSink {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wraps an already-collected tuple vector (in collection order)
+    /// without copying — the inverse of [`VecOrSink::into_tuples`].
+    #[must_use]
+    pub fn from_tuples(tuples: Vec<OrTuple>) -> Self {
+        VecOrSink { tuples }
     }
 
     /// The collected tuples in collection order.
@@ -57,6 +74,10 @@ impl OrSink for VecOrSink {
     fn tuple(&mut self, t: &OrTuple) {
         self.tuples.push(*t);
     }
+
+    fn tuple_batch(&mut self, batch: &[OrTuple]) {
+        self.tuples.extend_from_slice(batch);
+    }
 }
 
 /// A sink that discards everything (for measuring translation overhead
@@ -81,6 +102,10 @@ impl<S: OrSink + ?Sized> OrSink for &mut S {
         (**self).tuple(t);
     }
 
+    fn tuple_batch(&mut self, batch: &[OrTuple]) {
+        (**self).tuple_batch(batch);
+    }
+
     fn finish(&mut self) {
         (**self).finish();
     }
@@ -89,6 +114,10 @@ impl<S: OrSink + ?Sized> OrSink for &mut S {
 impl<S: OrSink + ?Sized> OrSink for Box<S> {
     fn tuple(&mut self, t: &OrTuple) {
         (**self).tuple(t);
+    }
+
+    fn tuple_batch(&mut self, batch: &[OrTuple]) {
+        (**self).tuple_batch(batch);
     }
 
     fn finish(&mut self) {
@@ -123,6 +152,29 @@ mod tests {
         assert!(!sink.is_empty());
         assert_eq!(sink.tuples()[1].instr, InstrId(1));
         assert_eq!(sink.into_tuples().len(), 2);
+    }
+
+    #[test]
+    fn tuple_batch_matches_per_tuple_delivery() {
+        let batch = [tuple(0), tuple(1), tuple(2)];
+        let mut one_by_one = VecOrSink::new();
+        for t in &batch {
+            one_by_one.tuple(t);
+        }
+        let mut batched = VecOrSink::new();
+        batched.tuple_batch(&batch);
+        assert_eq!(one_by_one.tuples(), batched.tuples());
+
+        // The default implementation forwards to `tuple`.
+        struct Counting(u32);
+        impl OrSink for Counting {
+            fn tuple(&mut self, _: &OrTuple) {
+                self.0 += 1;
+            }
+        }
+        let mut counting = Counting(0);
+        counting.tuple_batch(&batch);
+        assert_eq!(counting.0, 3);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 
 use orp_trace::{AccessEvent, AllocEvent, FreeEvent, ProbeEvent, ProbeSink};
 
+use crate::sharded::{panic_message, PipelineError};
 use crate::{Cdc, OrSink};
 
 /// Events per batch message (amortizes channel synchronization, the
@@ -48,6 +49,7 @@ const QUEUE_BATCHES: usize = 64;
 #[derive(Debug)]
 pub struct ThreadedCdc<S: OrSink + Send + 'static> {
     sender: Option<mpsc::SyncSender<Vec<ProbeEvent>>>,
+    recycled: mpsc::Receiver<Vec<ProbeEvent>>,
     batch: Vec<ProbeEvent>,
     worker: Option<JoinHandle<Cdc<S>>>,
 }
@@ -57,20 +59,27 @@ impl<S: OrSink + Send + 'static> ThreadedCdc<S> {
     #[must_use]
     pub fn spawn(omc: crate::Omc, sink: S) -> Self {
         let (sender, receiver) = mpsc::sync_channel::<Vec<ProbeEvent>>(QUEUE_BATCHES);
+        let (recycle_tx, recycle_rx) = mpsc::sync_channel::<Vec<ProbeEvent>>(QUEUE_BATCHES);
         let worker = std::thread::Builder::new()
             .name("orp-cdc".to_owned())
             .spawn(move || {
                 let mut cdc = Cdc::new(omc, sink);
                 while let Ok(batch) = receiver.recv() {
-                    for ev in batch {
-                        cdc.event(ev);
+                    for ev in &batch {
+                        cdc.event(*ev);
                     }
+                    // Hand the spent buffer back to the probe side
+                    // instead of reallocating one per batch.
+                    let mut spent = batch;
+                    spent.clear();
+                    let _ = recycle_tx.try_send(spent);
                 }
                 cdc
             })
             .expect("spawn collection thread");
         ThreadedCdc {
             sender: Some(sender),
+            recycled: recycle_rx,
             batch: Vec::with_capacity(BATCH),
             worker: Some(worker),
         }
@@ -87,31 +96,56 @@ impl<S: OrSink + Send + 'static> ThreadedCdc<S> {
         if self.batch.is_empty() {
             return;
         }
-        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH));
+        let fresh = self
+            .recycled
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(BATCH));
+        let batch = std::mem::replace(&mut self.batch, fresh);
         if let Some(sender) = &self.sender {
-            sender.send(batch).expect("collection thread alive");
+            // A send failure means the worker died; drop the batch and
+            // keep going so the panic surfaces at join with its own
+            // message instead of a cascading send failure here.
+            if sender.send(batch).is_err() {
+                self.sender = None;
+            }
         }
     }
 
     /// Flushes pending events, stops the worker and returns the
     /// finished [`Cdc`] (its sink has already seen `finish`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the collection thread panicked.
-    #[must_use]
-    pub fn join(mut self) -> Cdc<S> {
+    /// Returns a [`PipelineError`] carrying the panic message when the
+    /// collection thread panicked.
+    pub fn try_join(mut self) -> Result<Cdc<S>, PipelineError> {
         self.flush();
         drop(self.sender.take());
-        let mut cdc = self
-            .worker
-            .take()
-            .expect("join called once")
-            .join()
-            .expect("collection thread must not panic");
-        use orp_trace::ProbeSink as _;
-        cdc.finish();
-        cdc
+        match self.worker.take().expect("join called once").join() {
+            Ok(mut cdc) => {
+                use orp_trace::ProbeSink as _;
+                cdc.finish();
+                Ok(cdc)
+            }
+            Err(payload) => Err(PipelineError {
+                worker: "collection worker".to_owned(),
+                message: panic_message(payload),
+            }),
+        }
+    }
+
+    /// [`ThreadedCdc::try_join`], panicking on pipeline errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`PipelineError`] description if the collection
+    /// thread panicked.
+    #[must_use]
+    pub fn join(self) -> Cdc<S> {
+        match self.try_join() {
+            Ok(cdc) => cdc,
+            Err(err) => panic!("{err}"),
+        }
     }
 }
 
@@ -201,5 +235,50 @@ mod tests {
         let mut threaded = ThreadedCdc::spawn(Omc::new(), VecOrSink::new());
         threaded.access(AccessEvent::load(InstrId(0), RawAddress(0x100), 8));
         drop(threaded); // must terminate the worker cleanly
+    }
+
+    #[test]
+    fn panicking_sink_surfaces_a_descriptive_error() {
+        #[derive(Debug)]
+        struct Grenade;
+        impl crate::OrSink for Grenade {
+            fn tuple(&mut self, _: &crate::OrTuple) {
+                panic!("profiler blew up");
+            }
+        }
+        let mut threaded = ThreadedCdc::spawn(Omc::new(), Grenade);
+        threaded.alloc(AllocEvent {
+            site: AllocSiteId(0),
+            base: RawAddress(0x100),
+            size: 64,
+        });
+        threaded.access(AccessEvent::load(InstrId(0), RawAddress(0x100), 8));
+        let err = threaded.try_join().expect_err("worker must have died");
+        assert_eq!(err.worker, "collection worker");
+        assert!(err.message.contains("profiler blew up"), "{err}");
+        assert!(err.to_string().contains("collection worker"));
+    }
+
+    #[test]
+    fn batches_keep_flowing_after_worker_death() {
+        #[derive(Debug)]
+        struct Grenade;
+        impl crate::OrSink for Grenade {
+            fn tuple(&mut self, _: &crate::OrTuple) {
+                panic!("boom");
+            }
+        }
+        let mut threaded = ThreadedCdc::spawn(Omc::new(), Grenade);
+        threaded.alloc(AllocEvent {
+            site: AllocSiteId(0),
+            base: RawAddress(0x100),
+            size: 64,
+        });
+        // Far more events than the queue holds: the probe side must not
+        // deadlock or panic once the worker is gone.
+        for _ in 0..(BATCH * (QUEUE_BATCHES + 4)) {
+            threaded.access(AccessEvent::load(InstrId(0), RawAddress(0x100), 8));
+        }
+        assert!(threaded.try_join().is_err());
     }
 }

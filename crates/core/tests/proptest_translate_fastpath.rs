@@ -1,0 +1,148 @@
+//! Differential property test for the OMC translation fast path.
+//!
+//! The page-granular index ([`Omc::translate`]) and the per-instruction
+//! MRU memo ([`Omc::translate_cached`]) must agree with the `BTreeMap`
+//! reference oracle ([`Omc::translate_reference`]) on *every* address,
+//! under arbitrary alloc/free/realloc churn — including address reuse
+//! (the MRU invalidation hazard) and objects too large for the page
+//! index (the `unindexed_live` fallback hazard).
+
+use orp_core::{Omc, Timestamp};
+use orp_trace::{AllocSiteId, InstrId};
+use proptest::prelude::*;
+
+/// Slot pitch: 4 MiB, so a huge (2 MiB) object in slot `i` never
+/// reaches slot `i + 1`.
+const SLOT_PITCH: u64 = 4 << 20;
+
+/// Larger than `MAX_INDEXED_PAGES` pages — forces the BTreeMap
+/// fallback inside the fast path.
+const HUGE: u64 = 2 << 20;
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Allocate slot `slot`; `huge` picks a size past the page-index
+    /// limit, otherwise `size` (small) is used.
+    Alloc {
+        slot: u8,
+        size: u16,
+        huge: bool,
+        site: u8,
+    },
+    /// Free slot `slot` (a no-op anomaly when not live).
+    Free { slot: u8 },
+    /// Translate an address `delta` bytes into slot `slot` through all
+    /// three paths, attributed to `instr`.
+    Probe { slot: u8, delta: u32, instr: u8 },
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..12, 1u16..=4096, any::<bool>(), 0u8..4).prop_map(|(slot, size, huge, site)| {
+            Action::Alloc {
+                slot,
+                size,
+                huge,
+                site,
+            }
+        }),
+        (0u8..12).prop_map(|slot| Action::Free { slot }),
+        // Deltas reach past the small sizes (miss coverage) and into
+        // huge objects' interiors, crossing many page boundaries.
+        (0u8..12, 0u32..(3 << 20), 0u8..8).prop_map(|(slot, delta, instr)| Action::Probe {
+            slot,
+            delta,
+            instr,
+        }),
+    ]
+}
+
+fn slot_base(slot: u8) -> u64 {
+    0x10_0000 + u64::from(slot) * SLOT_PITCH
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn fast_paths_agree_with_the_reference_oracle(
+        script in proptest::collection::vec(arb_action(), 0..250)
+    ) {
+        let mut omc = Omc::new();
+        let mut time = 0u64;
+
+        for action in script {
+            match action {
+                Action::Alloc { slot, size, huge, site } => {
+                    let size = if huge { HUGE } else { u64::from(size) };
+                    // Overlap rejections are part of the churn being
+                    // modelled; both outcomes are fine here.
+                    let _ = omc.on_alloc(
+                        AllocSiteId(u32::from(site)),
+                        slot_base(slot),
+                        size,
+                        Timestamp(time),
+                    );
+                    time += 1;
+                }
+                Action::Free { slot } => {
+                    let _ = omc.on_free(slot_base(slot), Timestamp(time));
+                    time += 1;
+                }
+                Action::Probe { slot, delta, instr } => {
+                    let addr = slot_base(slot) + u64::from(delta);
+                    let expected = omc.translate_reference(addr);
+                    prop_assert_eq!(
+                        omc.translate(addr),
+                        expected,
+                        "page index diverged at {:#x}",
+                        addr
+                    );
+                    // Twice, so the second hit is served by the memo
+                    // populated by the first.
+                    let instr = InstrId(u32::from(instr));
+                    prop_assert_eq!(
+                        omc.translate_cached(instr, addr),
+                        expected,
+                        "MRU (cold) diverged at {:#x}",
+                        addr
+                    );
+                    prop_assert_eq!(
+                        omc.translate_cached(instr, addr),
+                        expected,
+                        "MRU (warm) diverged at {:#x}",
+                        addr
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn address_reuse_never_serves_stale_translations(
+        reuse in proptest::collection::vec((0u8..4, 1u16..=512, 0u8..4), 1..60)
+    ) {
+        // Worst case for the memo: one instruction hammers one address
+        // while the object under it is freed and reallocated with a
+        // different size/site every round.
+        let mut omc = Omc::new();
+        let instr = InstrId(0);
+
+        for (time, (slot, size, site)) in reuse.into_iter().enumerate() {
+            let time = time as u64;
+            let base = slot_base(slot);
+            let _ = omc.on_free(base, Timestamp(time));
+            omc.on_alloc(AllocSiteId(u32::from(site)), base, u64::from(size), Timestamp(time))
+                .expect("slot is free");
+            for delta in [0u64, u64::from(size) / 2, u64::from(size) - 1, u64::from(size)] {
+                let addr = base + delta;
+                prop_assert_eq!(
+                    omc.translate_cached(instr, addr),
+                    omc.translate_reference(addr),
+                    "stale memo after realloc at {:#x}",
+                    addr
+                );
+            }
+        }
+    }
+}

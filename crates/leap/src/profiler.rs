@@ -86,6 +86,41 @@ impl OrSink for LeapProfiler {
     }
 }
 
+impl orp_core::ShardableSink for LeapProfiler {
+    /// LEAP's vertical-decomposition key: compressor state is per
+    /// `(instruction, group)` stream.
+    fn shard_key(t: &OrTuple) -> u64 {
+        orp_core::sharded::instr_group_key(t.instr, t.group)
+    }
+
+    /// Union of the disjoint stream maps. The per-instruction `execs`
+    /// and `kinds` maps *can* span shards (one instruction touching two
+    /// groups); executions merge by sum, and the access kind is a
+    /// static property of the instruction so any shard's value is the
+    /// value.
+    fn merge(parts: Vec<Self>) -> Self {
+        let mut merged = match parts.first() {
+            Some(first) => LeapProfiler::with_budget(first.budget),
+            None => LeapProfiler::new(),
+        };
+        for part in parts {
+            debug_assert_eq!(part.budget, merged.budget, "shards must share one budget");
+            for ((instr, group), stream) in part.streams {
+                let clash = merged.streams.insert((instr, group), stream);
+                debug_assert!(clash.is_none(), "stream ({instr}, {group}) on two shards");
+            }
+            for (instr, execs) in part.execs {
+                *merged.execs.entry(instr).or_default() += execs;
+            }
+            for (instr, kind) in part.kinds {
+                let prev = merged.kinds.entry(instr).or_insert(kind);
+                debug_assert_eq!(*prev, kind, "access kind is static per instruction");
+            }
+        }
+        merged
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

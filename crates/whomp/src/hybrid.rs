@@ -84,6 +84,29 @@ impl OrSink for HybridProfiler {
     }
 }
 
+impl orp_core::ShardableSink for HybridProfiler {
+    /// The profiler's own vertical-decomposition key: every state the
+    /// sink keeps is per-instruction.
+    fn shard_key(t: &OrTuple) -> u64 {
+        u64::from(t.instr.0)
+    }
+
+    /// Union of the disjoint per-instruction maps. Each shard saw its
+    /// instructions' complete sub-streams in collection order, so the
+    /// union equals the single-threaded profiler state exactly.
+    fn merge(parts: Vec<Self>) -> Self {
+        let mut merged = HybridProfiler::new();
+        for part in parts {
+            merged.tuples += part.tuples;
+            for (instr, streams) in part.streams {
+                let clash = merged.streams.insert(instr, streams);
+                debug_assert!(clash.is_none(), "instruction {instr} on two shards");
+            }
+        }
+        merged
+    }
+}
+
 /// One instruction's four grammars in a [`HybridProfile`].
 #[derive(Debug, Clone)]
 pub struct InstrGrammars {

@@ -1,0 +1,112 @@
+//! Integration: the sharded collection pipeline produces output
+//! **byte-identical** to single-threaded collection — the determinism
+//! contract that makes sharding a pure throughput change.
+
+use orprof::core::sharded::ShardedCdc;
+use orprof::core::{Cdc, Omc, VecOrSink};
+use orprof::leap::LeapProfiler;
+use orprof::trace::ProbeSink;
+use orprof::whomp::HybridProfiler;
+use orprof::workloads::{micro, RunConfig, Tracer, Workload};
+
+/// A pointer-chasing workload with alloc/free churn (decoy objects) —
+/// the trace shape that stresses OMC invalidation.
+fn workload() -> micro::LinkedList {
+    micro::LinkedList::new(256, 3)
+}
+
+fn drive(sink: &mut dyn ProbeSink) {
+    let cfg = RunConfig::default();
+    let mut tracer = Tracer::new(&cfg, sink);
+    workload().run(&mut tracer);
+    tracer.finish();
+}
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[test]
+fn sharded_tuple_stream_is_identical_to_inline() {
+    let mut inline = Cdc::new(Omc::new(), VecOrSink::new());
+    drive(&mut inline);
+    assert!(!inline.sink().is_empty());
+
+    for shards in SHARD_COUNTS {
+        let mut sharded = ShardedCdc::spawn(Omc::new(), shards, |_| VecOrSink::new());
+        drive(&mut sharded);
+        let cdc = sharded.try_join().expect("pipeline healthy");
+        assert_eq!(
+            cdc.sink().tuples(),
+            inline.sink().tuples(),
+            "{shards} shards"
+        );
+        assert_eq!(cdc.time(), inline.time(), "{shards} shards");
+        assert_eq!(cdc.untracked(), inline.untracked(), "{shards} shards");
+        assert_eq!(
+            cdc.probe_anomalies(),
+            inline.probe_anomalies(),
+            "{shards} shards"
+        );
+    }
+}
+
+#[test]
+fn sharded_leap_profile_serializes_to_identical_bytes() {
+    let mut inline = Cdc::new(Omc::new(), LeapProfiler::new());
+    drive(&mut inline);
+    let mut reference = Vec::new();
+    inline
+        .into_parts()
+        .1
+        .into_profile()
+        .write_to(&mut reference)
+        .expect("serialize reference profile");
+    assert!(!reference.is_empty());
+
+    for shards in SHARD_COUNTS {
+        let mut sharded = ShardedCdc::spawn(Omc::new(), shards, |_| LeapProfiler::new());
+        drive(&mut sharded);
+        let profile = sharded
+            .try_join()
+            .expect("pipeline healthy")
+            .into_parts()
+            .1
+            .into_profile();
+        let mut bytes = Vec::new();
+        profile.write_to(&mut bytes).expect("serialize profile");
+        assert_eq!(bytes, reference, "{shards}-shard LEAP bytes diverged");
+    }
+}
+
+#[test]
+fn sharded_hybrid_profile_has_identical_grammars() {
+    let mut inline = Cdc::new(Omc::new(), HybridProfiler::new());
+    drive(&mut inline);
+    let reference = inline.into_parts().1.into_profile();
+
+    for shards in SHARD_COUNTS {
+        let mut sharded = ShardedCdc::spawn(Omc::new(), shards, |_| HybridProfiler::new());
+        drive(&mut sharded);
+        let profile = sharded
+            .try_join()
+            .expect("pipeline healthy")
+            .into_parts()
+            .1
+            .into_profile();
+        assert_eq!(profile.tuples(), reference.tuples());
+        let pairs: Vec<_> = profile.iter().collect();
+        let ref_pairs: Vec<_> = reference.iter().collect();
+        assert_eq!(pairs.len(), ref_pairs.len(), "{shards} shards");
+        for ((instr, got), (ref_instr, want)) in pairs.iter().zip(&ref_pairs) {
+            assert_eq!(instr, ref_instr);
+            assert_eq!(got.group, want.group, "{shards} shards, {instr} group");
+            assert_eq!(got.object, want.object, "{shards} shards, {instr} object");
+            assert_eq!(got.offset, want.offset, "{shards} shards, {instr} offset");
+            assert_eq!(got.time, want.time, "{shards} shards, {instr} time");
+        }
+        assert_eq!(
+            profile.expand_merged(),
+            reference.expand_merged(),
+            "{shards} shards"
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` crate (see
+//! `third_party/README.md`).
+//!
+//! Provides the macro and type surface this workspace's benches use,
+//! backed by a simple fixed-budget timer: each benchmark is warmed up
+//! briefly, then timed for ~`CRITERION_STUB_MS` milliseconds (default
+//! 300), and the mean time per iteration — plus derived throughput when
+//! one was declared — is printed as plain text. No statistics, plots or
+//! baselines; swap in real criterion for those.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement budget.
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_STUB_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (events, tuples, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration (reported in binary units).
+    Bytes(u64),
+}
+
+/// How much state `iter_batched` rebuilds per call. The stub times
+/// setup outside the measured section regardless, so this is a no-op
+/// knob kept for signature compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Rebuild once per iteration.
+    PerIteration,
+}
+
+/// The measurement context handed to a benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over as many iterations as fit the budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration estimate.
+        let warm = Instant::now();
+        black_box(routine());
+        let estimate = warm.elapsed().max(Duration::from_nanos(20));
+        let goal = budget();
+        let rounds = (goal.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = rounds;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_input = setup();
+        let warm = Instant::now();
+        black_box(routine(warm_input));
+        let estimate = warm.elapsed().max(Duration::from_nanos(20));
+        let goal = budget();
+        let rounds = (goal.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut measured = Duration::ZERO;
+        for _ in 0..rounds {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+        self.iters = rounds;
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(path: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX)
+    };
+    let secs = per_iter.as_secs_f64();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            format!("  {:>10.3} Melem/s", n as f64 / secs / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if secs > 0.0 => {
+            format!("  {:>10.3} MiB/s", n as f64 / secs / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{path:<48} {:>12}/iter  ({} iters){rate}",
+        human_time(per_iter),
+        b.iters
+    );
+}
+
+/// A named cluster of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sample-count hint; the stub's fixed budget ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; the stub's fixed budget ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id.as_ref()),
+            &bencher,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (reporting already happened inline).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs and reports one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(id, &bencher, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring criterion's macro of the
+/// same name. `--test` (passed by `cargo test` to `harness = false`
+/// bench targets) skips measurement entirely.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        std::env::set_var("CRITERION_STUB_MS", "5");
+        let mut b = Bencher::default();
+        b.iter(|| black_box(41) + 1);
+        assert!(b.iters >= 1);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        std::env::set_var("CRITERION_STUB_MS", "5");
+        let mut b = Bencher::default();
+        b.iter_batched(
+            || vec![1u64; 64],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        std::env::set_var("CRITERION_STUB_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("one", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+}

@@ -58,12 +58,14 @@
 mod cdc;
 pub mod decompose;
 mod omc;
+mod session;
 pub mod sharded;
 mod sink;
 pub mod threaded;
 
 pub use cdc::Cdc;
 pub use omc::{ObjectRecord, Omc, OmcError};
+pub use session::{Session, SessionSink};
 pub use sharded::{PipelineError, ShardableSink, ShardedCdc};
 pub use sink::{NullOrSink, OrSink, VecOrSink};
 

@@ -2,7 +2,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::BuildHasherDefault;
+use std::io::{self, Read, Write};
 
+use orp_format::{read_varint, write_varint};
 use orp_trace::{AllocSiteId, InstrId};
 
 use crate::{GroupId, ObjectSerial, Timestamp};
@@ -333,6 +335,14 @@ impl Omc {
                 alloc_time: now,
             },
         );
+        self.index_insert(base, size, group, serial);
+        self.registered += 1;
+        Ok((group, serial))
+    }
+
+    /// Adds a live object to the page index (or the unindexed count for
+    /// huge objects). Shared by [`Omc::on_alloc`] and state restore.
+    fn index_insert(&mut self, base: u64, size: u64, group: GroupId, serial: ObjectSerial) {
         let (p0, p1) = page_span(base, size);
         if p1 - p0 < MAX_INDEXED_PAGES {
             let entry = FastEntry {
@@ -349,8 +359,6 @@ impl Omc {
         } else {
             self.unindexed_live += 1;
         }
-        self.registered += 1;
-        Ok((group, serial))
     }
 
     /// Unregisters the live object based at `base`, archiving its
@@ -525,6 +533,188 @@ impl Omc {
                 free_time: None,
             })
             .collect()
+    }
+
+    /// Serializes the complete canonical OMC state — groups, site map,
+    /// live objects, archive — for a checkpoint (the `OMCK` chunk of a
+    /// checkpoint container).
+    ///
+    /// Only canonical state is written. The page index, the unindexed
+    /// counter and the per-instruction MRU memo are pure caches that the
+    /// differential tests pin to the reference path, so they are rebuilt
+    /// (index) or dropped cold (memo) on restore without affecting any
+    /// translation result. The encoding is deterministic: map contents
+    /// are emitted in key order, so `save → restore → save` is
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn save_state(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.registered)?;
+        write_varint(w, self.groups.len() as u64)?;
+        for g in &self.groups {
+            write_varint(w, u64::from(g.site.0))?;
+            write_varint(w, g.next_serial)?;
+        }
+        let mut sites: Vec<(u32, u32)> = self
+            .groups_by_site
+            .iter()
+            .map(|(s, g)| (s.0, g.0))
+            .collect();
+        sites.sort_unstable();
+        write_varint(w, sites.len() as u64)?;
+        for (site, group) in sites {
+            write_varint(w, u64::from(site))?;
+            write_varint(w, u64::from(group))?;
+        }
+        write_varint(w, self.live.len() as u64)?;
+        for (&base, e) in &self.live {
+            write_varint(w, base)?;
+            write_varint(w, e.size)?;
+            write_varint(w, u64::from(e.group.0))?;
+            write_varint(w, e.serial.0)?;
+            write_varint(w, e.alloc_time.0)?;
+        }
+        write_varint(w, self.archive.len() as u64)?;
+        for rec in &self.archive {
+            write_varint(w, u64::from(rec.group.0))?;
+            write_varint(w, rec.serial.0)?;
+            write_varint(w, rec.base)?;
+            write_varint(w, rec.size)?;
+            write_varint(w, rec.alloc_time.0)?;
+            match rec.free_time {
+                Some(t) => {
+                    write_varint(w, 1)?;
+                    write_varint(w, t.0)?;
+                }
+                None => write_varint(w, 0)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds an OMC from state written by [`Omc::save_state`].
+    ///
+    /// The page index and the unindexed-object counter are rebuilt from
+    /// the live set; the MRU memo starts cold. All three translation
+    /// paths behave exactly as in the checkpointed instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects inconsistent state (group
+    /// references out of range, serials beyond their group's counter,
+    /// overlapping or unsorted live ranges).
+    pub fn restore_state(r: &mut impl Read) -> io::Result<Self> {
+        fn bad(msg: &'static str) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, msg)
+        }
+        fn read_u32_field(r: &mut impl Read, what: &'static str) -> io::Result<u32> {
+            u32::try_from(read_varint(r)?).map_err(|_| bad(what))
+        }
+        fn read_count(r: &mut impl Read, what: &'static str) -> io::Result<usize> {
+            usize::try_from(read_varint(r)?).map_err(|_| bad(what))
+        }
+
+        let registered = read_varint(r)?;
+        let group_count = read_count(r, "group count does not fit")?;
+        let mut groups = Vec::with_capacity(group_count.min(1 << 16));
+        for _ in 0..group_count {
+            let site = AllocSiteId(read_u32_field(r, "group site does not fit u32")?);
+            let next_serial = read_varint(r)?;
+            groups.push(GroupState { site, next_serial });
+        }
+        let site_count = read_count(r, "site count does not fit")?;
+        let mut groups_by_site = HashMap::with_capacity(site_count.min(1 << 16));
+        let mut prev_site: Option<u32> = None;
+        for _ in 0..site_count {
+            let site = read_u32_field(r, "site id does not fit u32")?;
+            if prev_site.is_some_and(|p| p >= site) {
+                return Err(bad("site map not strictly sorted"));
+            }
+            prev_site = Some(site);
+            let group = read_u32_field(r, "group id does not fit u32")?;
+            if group as usize >= groups.len() {
+                return Err(bad("site maps to unknown group"));
+            }
+            groups_by_site.insert(AllocSiteId(site), GroupId(group));
+        }
+        let live_count = read_count(r, "live count does not fit")?;
+        let mut live = BTreeMap::new();
+        let mut prev_end: Option<u64> = None;
+        let mut entries = Vec::with_capacity(live_count.min(1 << 16));
+        for _ in 0..live_count {
+            let base = read_varint(r)?;
+            let size = read_varint(r)?;
+            if size == 0 {
+                return Err(bad("live object with zero size"));
+            }
+            let end = base
+                .checked_add(size)
+                .ok_or_else(|| bad("live range wraps"))?;
+            if prev_end.is_some_and(|p| p > base) {
+                return Err(bad("live ranges unsorted or overlapping"));
+            }
+            prev_end = Some(end);
+            let group = GroupId(read_u32_field(r, "live group does not fit u32")?);
+            let serial = ObjectSerial(read_varint(r)?);
+            let alloc_time = Timestamp(read_varint(r)?);
+            let state = groups
+                .get(group.0 as usize)
+                .ok_or_else(|| bad("live object in unknown group"))?;
+            if serial.0 >= state.next_serial {
+                return Err(bad("live serial beyond group counter"));
+            }
+            live.insert(
+                base,
+                LiveEntry {
+                    size,
+                    group,
+                    serial,
+                    alloc_time,
+                },
+            );
+            entries.push((base, size, group, serial));
+        }
+        let archive_count = read_count(r, "archive count does not fit")?;
+        let mut archive = Vec::with_capacity(archive_count.min(1 << 16));
+        for _ in 0..archive_count {
+            let group = GroupId(read_u32_field(r, "archived group does not fit u32")?);
+            if group.0 as usize >= groups.len() {
+                return Err(bad("archived object in unknown group"));
+            }
+            let serial = ObjectSerial(read_varint(r)?);
+            let base = read_varint(r)?;
+            let size = read_varint(r)?;
+            let alloc_time = Timestamp(read_varint(r)?);
+            let free_time = match read_varint(r)? {
+                0 => None,
+                1 => Some(Timestamp(read_varint(r)?)),
+                _ => return Err(bad("bad free-time flag")),
+            };
+            archive.push(ObjectRecord {
+                group,
+                serial,
+                base,
+                size,
+                alloc_time,
+                free_time,
+            });
+        }
+        let mut omc = Omc {
+            live,
+            pages: FastU64Map::default(),
+            unindexed_live: 0,
+            mru: Vec::new(),
+            groups_by_site,
+            groups,
+            archive,
+            registered,
+        };
+        for (base, size, group, serial) in entries {
+            omc.index_insert(base, size, group, serial);
+        }
+        Ok(omc)
     }
 }
 

@@ -1,0 +1,535 @@
+//! The streaming profiler session layer.
+//!
+//! A [`Session`] wraps a [`Cdc`] with the lifecycle the tools and
+//! harnesses share: **open** (fresh or from a checkpoint), **feed**
+//! probe events in bounded batches, **checkpoint** the complete
+//! collection state into a `.orp` container, and **finalize** the sink
+//! into its profile container.
+//!
+//! # Checkpoint containers
+//!
+//! A checkpoint is an ordinary `.orp` container of kind
+//! [`ProfileKind::Checkpoint`] holding three chunks:
+//!
+//! ```text
+//! META  kind = checkpoint
+//! OMCK  canonical OMC state (groups, site map, live set, archive)
+//! CDCK  collection counters (time, untracked, probe anomalies, events)
+//! SNKS  sink name + profiler state (as defined by SessionSink)
+//! END
+//! ```
+//!
+//! Restoring reproduces the collection state exactly: the resumed run's
+//! remaining stream produces byte-identical profiles to an
+//! uninterrupted run, whether it continues on a single-threaded
+//! [`Session`] or on the sharded pipeline
+//! ([`Session::resume_sharded`]).
+
+use std::io::{self, Read, Write};
+
+use orp_format::{
+    read_varint, write_varint, ChunkTag, ContainerReader, ContainerWriter, FormatError, ProfileKind,
+};
+use orp_trace::{ProbeEvent, ProbeSink};
+
+use crate::sharded::ShardableSink;
+use crate::{Cdc, Omc, OrSink, ShardedCdc, Timestamp};
+
+/// A profiler whose in-progress state can be checkpointed and restored,
+/// making it usable behind a [`Session`].
+///
+/// # Contract
+///
+/// `restore_state(save_state(p)) == p` for every reachable profiler
+/// state — not just finalized ones: the state written mid-stream must
+/// let the restored profiler consume the rest of the stream exactly as
+/// the original would have. `save_state` must also be deterministic
+/// (emit map contents in key order), so `save → restore → save` is
+/// byte-identical.
+pub trait SessionSink: OrSink + Sized {
+    /// Stable name identifying the profiler in the `SNKS` chunk; a
+    /// checkpoint restores only into the sink type that wrote it.
+    const STATE_NAME: &'static str;
+
+    /// Serializes the complete in-progress profiler state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    fn save_state(&self, w: &mut impl Write) -> io::Result<()>;
+
+    /// Rebuilds a profiler from state written by
+    /// [`SessionSink::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects inconsistent state.
+    fn restore_state(r: &mut impl Read) -> io::Result<Self>;
+
+    /// The shard keys (as defined by
+    /// [`ShardableSink::shard_key`]) present
+    /// in this profiler's state, used to seed routing when a checkpoint
+    /// resumes onto the sharded pipeline: a key already in the restored
+    /// state must keep routing to the shard holding that state, so the
+    /// merge sees every key's stream in one piece.
+    ///
+    /// Sinks that are not shardable, or whose merge re-establishes a
+    /// global order regardless of routing (like
+    /// [`VecOrSink`](crate::VecOrSink)), return an empty list.
+    fn state_keys(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Finalizes the profiler and writes its profile as a `.orp`
+    /// container of the profiler's kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    fn finalize_profile(self, w: &mut impl Write) -> io::Result<()>;
+}
+
+/// A profiling session: a [`Cdc`] plus the open → feed → checkpoint →
+/// finalize lifecycle over `.orp` containers.
+///
+/// The session implements [`ProbeSink`], so workloads and probe
+/// frontends drive it exactly like a bare CDC; [`Session::feed`] adds
+/// the batched entry point used by trace replay and the sharded
+/// pipeline's probe side.
+#[derive(Debug, Clone)]
+pub struct Session<S> {
+    cdc: Cdc<S>,
+    events: u64,
+}
+
+impl<S: SessionSink> Session<S> {
+    /// Opens a session with a fresh OMC.
+    #[must_use]
+    pub fn new(sink: S) -> Self {
+        Self::with_omc(Omc::new(), sink)
+    }
+
+    /// Opens a session over an existing OMC (e.g. pre-registered static
+    /// objects).
+    #[must_use]
+    pub fn with_omc(omc: Omc, sink: S) -> Self {
+        Session {
+            cdc: Cdc::new(omc, sink),
+            events: 0,
+        }
+    }
+
+    /// Wraps an existing CDC — e.g. the merged result of
+    /// [`ShardedCdc::try_join`] — so it can be checkpointed or
+    /// finalized. The event counter restarts at zero (it counts events
+    /// fed through *this* session).
+    #[must_use]
+    pub fn from_cdc(cdc: Cdc<S>) -> Self {
+        Session { cdc, events: 0 }
+    }
+
+    /// Feeds one bounded batch of probe events.
+    pub fn feed(&mut self, batch: &[ProbeEvent]) {
+        for &ev in batch {
+            self.event(ev);
+        }
+    }
+
+    /// Events fed through this session (including ones fed before a
+    /// checkpoint this session was restored from).
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The underlying CDC.
+    #[must_use]
+    pub fn cdc(&self) -> &Cdc<S> {
+        &self.cdc
+    }
+
+    /// Mutable access to the underlying CDC.
+    pub fn cdc_mut(&mut self) -> &mut Cdc<S> {
+        &mut self.cdc
+    }
+
+    /// Consumes the session, returning the CDC.
+    #[must_use]
+    pub fn into_cdc(self) -> Cdc<S> {
+        self.cdc
+    }
+
+    /// Writes the complete collection state — OMC, counters, profiler —
+    /// as a checkpoint container. The session remains usable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn checkpoint(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut container = ContainerWriter::new(w)?;
+        container.meta(ProfileKind::Checkpoint)?;
+        let mut omck = Vec::new();
+        self.cdc.omc().save_state(&mut omck)?;
+        container.chunk(ChunkTag::OMC_STATE, &omck)?;
+        let mut cdck = Vec::new();
+        write_varint(&mut cdck, self.cdc.time().0)?;
+        write_varint(&mut cdck, self.cdc.untracked())?;
+        write_varint(&mut cdck, self.cdc.probe_anomalies())?;
+        write_varint(&mut cdck, self.events)?;
+        container.chunk(ChunkTag::CDC_STATE, &cdck)?;
+        let mut snks = Vec::new();
+        write_varint(&mut snks, S::STATE_NAME.len() as u64)?;
+        snks.extend_from_slice(S::STATE_NAME.as_bytes());
+        self.cdc.sink().save_state(&mut snks)?;
+        container.chunk(ChunkTag::SINK_STATE, &snks)?;
+        container.finish()?;
+        Ok(())
+    }
+
+    /// Reopens a session from a checkpoint container, restoring the
+    /// OMC, the counters and the profiler state exactly.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FormatError`]s for envelope damage; `Malformed` when the
+    /// checkpoint belongs to a different profiler type or its state
+    /// fails validation.
+    pub fn resume(r: &mut impl Read) -> Result<Self, FormatError> {
+        let (omc, time, untracked, probe_anomalies, events, sink) = read_checkpoint::<S, _>(r)?;
+        Ok(Session {
+            cdc: Cdc::from_parts(omc, sink, time, untracked, probe_anomalies),
+            events,
+        })
+    }
+
+    /// Reopens a checkpoint onto the sharded collection pipeline: the
+    /// translator continues from the restored OMC and counters, and the
+    /// restored profiler state becomes shard 0's initial sink with its
+    /// [`SessionSink::state_keys`] pinned to shard 0, so every key's
+    /// sub-stream stays in one part and the deterministic merge on
+    /// [`ShardedCdc::try_join`] reproduces the single-threaded result
+    /// byte for byte.
+    ///
+    /// `make_sink(i)` builds the empty sinks for shards `1..shards`
+    /// (they must be configured identically to the restored one).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::resume`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn resume_sharded(
+        r: &mut impl Read,
+        shards: usize,
+        make_sink: impl FnMut(usize) -> S,
+    ) -> Result<ShardedCdc<S>, FormatError>
+    where
+        S: ShardableSink,
+    {
+        let (omc, time, untracked, probe_anomalies, _events, sink) = read_checkpoint::<S, _>(r)?;
+        let stem_keys = sink.state_keys();
+        Ok(ShardedCdc::resume(
+            crate::sharded::ResumeState {
+                omc,
+                time,
+                untracked,
+                probe_anomalies,
+                stem: sink,
+                stem_keys,
+            },
+            shards,
+            make_sink,
+        ))
+    }
+
+    /// Finishes the session and writes the sink's profile container.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn finalize(mut self, w: &mut impl Write) -> io::Result<()> {
+        ProbeSink::finish(&mut self.cdc);
+        let (_omc, sink) = self.cdc.into_parts();
+        sink.finalize_profile(w)
+    }
+}
+
+/// Reads a checkpoint container's three chunks, verifying the sink
+/// name.
+#[allow(clippy::type_complexity)]
+fn read_checkpoint<S: SessionSink, R: Read>(
+    r: &mut R,
+) -> Result<(Omc, Timestamp, u64, u64, u64, S), FormatError> {
+    let mut container = ContainerReader::new(r)?;
+    let kind = container.read_meta()?;
+    if kind != ProfileKind::Checkpoint {
+        return Err(FormatError::WrongKind { found: kind.code() });
+    }
+    let omck = container.expect_chunk(ChunkTag::OMC_STATE)?;
+    let mut cursor = omck.as_slice();
+    let omc = Omc::restore_state(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(FormatError::Malformed("trailing bytes in OMC state"));
+    }
+    let cdck = container.expect_chunk(ChunkTag::CDC_STATE)?;
+    let mut cursor = cdck.as_slice();
+    let time = Timestamp(read_varint(&mut cursor)?);
+    let untracked = read_varint(&mut cursor)?;
+    let probe_anomalies = read_varint(&mut cursor)?;
+    let events = read_varint(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(FormatError::Malformed("trailing bytes in CDC state"));
+    }
+    let snks = container.expect_chunk(ChunkTag::SINK_STATE)?;
+    let mut cursor = snks.as_slice();
+    let name_len = usize::try_from(read_varint(&mut cursor)?)
+        .map_err(|_| FormatError::Malformed("sink name length does not fit"))?;
+    if cursor.len() < name_len {
+        return Err(FormatError::Truncated);
+    }
+    let (name, rest) = cursor.split_at(name_len);
+    if name != S::STATE_NAME.as_bytes() {
+        return Err(FormatError::Malformed(
+            "checkpoint holds a different profiler's state",
+        ));
+    }
+    let mut cursor = rest;
+    let sink = S::restore_state(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(FormatError::Malformed("trailing bytes in sink state"));
+    }
+    container.drain()?;
+    Ok((omc, time, untracked, probe_anomalies, events, sink))
+}
+
+impl<S: SessionSink> ProbeSink for Session<S> {
+    fn access(&mut self, ev: orp_trace::AccessEvent) {
+        self.events += 1;
+        self.cdc.access(ev);
+    }
+
+    fn alloc(&mut self, ev: orp_trace::AllocEvent) {
+        self.events += 1;
+        self.cdc.alloc(ev);
+    }
+
+    fn free(&mut self, ev: orp_trace::FreeEvent) {
+        self.events += 1;
+        self.cdc.free(ev);
+    }
+
+    fn finish(&mut self) {
+        self.cdc.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GroupId, ObjectSerial, OrTuple, VecOrSink};
+    use orp_trace::{
+        AccessEvent, AccessKind, AllocEvent, AllocSiteId, FreeEvent, InstrId, RawAddress,
+    };
+
+    impl SessionSink for VecOrSink {
+        const STATE_NAME: &'static str = "vec";
+
+        fn save_state(&self, w: &mut impl Write) -> io::Result<()> {
+            write_varint(w, self.tuples().len() as u64)?;
+            for t in self.tuples() {
+                write_varint(w, u64::from(t.instr.0))?;
+                write_varint(w, u64::from(t.kind.is_store()))?;
+                write_varint(w, u64::from(t.group.0))?;
+                write_varint(w, t.object.0)?;
+                write_varint(w, t.offset)?;
+                write_varint(w, t.time.0)?;
+                write_varint(w, u64::from(t.size))?;
+            }
+            Ok(())
+        }
+
+        fn restore_state(r: &mut impl Read) -> io::Result<Self> {
+            let count = read_varint(r)?;
+            let mut tuples = Vec::new();
+            for _ in 0..count {
+                let instr = InstrId(u32::try_from(read_varint(r)?).expect("test state"));
+                let kind = if read_varint(r)? == 1 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                tuples.push(OrTuple {
+                    instr,
+                    kind,
+                    group: GroupId(u32::try_from(read_varint(r)?).expect("test state")),
+                    object: ObjectSerial(read_varint(r)?),
+                    offset: read_varint(r)?,
+                    time: Timestamp(read_varint(r)?),
+                    size: u8::try_from(read_varint(r)?).expect("test state"),
+                });
+            }
+            Ok(VecOrSink::from_tuples(tuples))
+        }
+
+        fn finalize_profile(self, w: &mut impl Write) -> io::Result<()> {
+            let mut payload = Vec::new();
+            self.save_state(&mut payload)?;
+            orp_format::write_single_chunk(w, ProfileKind::Checkpoint, &payload)
+        }
+    }
+
+    fn drive(sink: &mut dyn ProbeSink, events: &[ProbeEvent]) {
+        for &ev in events {
+            sink.event(ev);
+        }
+    }
+
+    fn churn_events(nodes: u64, passes: u64) -> Vec<ProbeEvent> {
+        let mut events = Vec::new();
+        for k in 0..nodes {
+            events.push(ProbeEvent::Alloc(AllocEvent {
+                site: AllocSiteId((k % 3) as u32),
+                base: RawAddress(0x1000 + k * 64),
+                size: 48,
+            }));
+        }
+        for p in 0..passes {
+            for k in 0..nodes {
+                events.push(ProbeEvent::Access(AccessEvent::load(
+                    InstrId(((k + p) % 7) as u32),
+                    RawAddress(0x1000 + k * 64 + (p % 48)),
+                    1,
+                )));
+            }
+            events.push(ProbeEvent::Access(AccessEvent::load(
+                InstrId(99),
+                RawAddress(0x10),
+                1,
+            )));
+            events.push(ProbeEvent::Free(FreeEvent {
+                base: RawAddress(0x1000 + (p % nodes) * 64),
+            }));
+            events.push(ProbeEvent::Alloc(AllocEvent {
+                site: AllocSiteId(3),
+                base: RawAddress(0x1000 + (p % nodes) * 64),
+                size: 32,
+            }));
+        }
+        events
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_at_every_cut() {
+        let events = churn_events(8, 6);
+        let mut uninterrupted = Session::new(VecOrSink::new());
+        uninterrupted.feed(&events);
+        let mut reference = Vec::new();
+        uninterrupted.checkpoint(&mut reference).unwrap();
+
+        for cut in (0..=events.len()).step_by(7) {
+            let mut first = Session::new(VecOrSink::new());
+            first.feed(&events[..cut]);
+            let mut snapshot = Vec::new();
+            first.checkpoint(&mut snapshot).unwrap();
+
+            let mut resumed = Session::<VecOrSink>::resume(&mut snapshot.as_slice())
+                .unwrap_or_else(|e| panic!("resume at {cut}: {e}"));
+            assert_eq!(resumed.events(), cut as u64);
+            resumed.feed(&events[cut..]);
+            let mut replayed = Vec::new();
+            resumed.checkpoint(&mut replayed).unwrap();
+            assert_eq!(replayed, reference, "cut at event {cut}");
+        }
+    }
+
+    #[test]
+    fn resume_sharded_matches_single_threaded() {
+        let events = churn_events(16, 10);
+        let cut = events.len() / 2;
+
+        let mut uninterrupted = Session::new(VecOrSink::new());
+        uninterrupted.feed(&events);
+        let reference = uninterrupted.into_cdc();
+
+        let mut first = Session::new(VecOrSink::new());
+        first.feed(&events[..cut]);
+        let mut snapshot = Vec::new();
+        first.checkpoint(&mut snapshot).unwrap();
+
+        for shards in [1, 2, 4] {
+            let mut sharded =
+                Session::<VecOrSink>::resume_sharded(&mut snapshot.as_slice(), shards, |_| {
+                    VecOrSink::new()
+                })
+                .unwrap();
+            drive(&mut sharded, &events[cut..]);
+            let cdc = sharded.try_join().expect("pipeline healthy");
+            assert_eq!(cdc.sink().tuples(), reference.sink().tuples(), "{shards}");
+            assert_eq!(cdc.time(), reference.time());
+            assert_eq!(cdc.untracked(), reference.untracked());
+            assert_eq!(cdc.probe_anomalies(), reference.probe_anomalies());
+        }
+    }
+
+    #[test]
+    fn wrong_profiler_name_is_rejected() {
+        #[derive(Debug, Default)]
+        struct Other;
+        impl OrSink for Other {
+            fn tuple(&mut self, _: &OrTuple) {}
+        }
+        impl SessionSink for Other {
+            const STATE_NAME: &'static str = "other";
+            fn save_state(&self, _: &mut impl Write) -> io::Result<()> {
+                Ok(())
+            }
+            fn restore_state(_: &mut impl Read) -> io::Result<Self> {
+                Ok(Other)
+            }
+            fn finalize_profile(self, _: &mut impl Write) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let session = Session::new(VecOrSink::new());
+        let mut snapshot = Vec::new();
+        session.checkpoint(&mut snapshot).unwrap();
+        assert!(matches!(
+            Session::<Other>::resume(&mut snapshot.as_slice()),
+            Err(FormatError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn non_checkpoint_container_is_rejected() {
+        let mut buf = Vec::new();
+        orp_format::write_single_chunk(&mut buf, ProfileKind::Trace, &[]).unwrap();
+        assert!(matches!(
+            Session::<VecOrSink>::resume(&mut buf.as_slice()),
+            Err(FormatError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_checkpoint_yields_typed_errors() {
+        let mut session = Session::new(VecOrSink::new());
+        session.feed(&churn_events(4, 3));
+        let mut snapshot = Vec::new();
+        session.checkpoint(&mut snapshot).unwrap();
+
+        // Truncation at every prefix is an error, never a panic.
+        for cut in 0..snapshot.len() {
+            assert!(
+                Session::<VecOrSink>::resume(&mut &snapshot[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+        // A flipped payload bit trips the chunk checksum.
+        let mut bent = snapshot.clone();
+        let mid = bent.len() / 2;
+        bent[mid] ^= 0x10;
+        assert!(Session::<VecOrSink>::resume(&mut bent.as_slice()).is_err());
+    }
+}

@@ -176,6 +176,25 @@ struct Translated {
     probe_anomalies: u64,
 }
 
+/// The collection state a resumed pipeline continues from — the
+/// contents of a checkpoint container, unpacked (see
+/// [`Session::resume_sharded`](crate::Session::resume_sharded)).
+#[derive(Debug)]
+pub struct ResumeState<S> {
+    /// The restored object management component.
+    pub omc: Omc,
+    /// The time-stamp counter at the checkpoint.
+    pub time: Timestamp,
+    /// Untracked accesses at the checkpoint.
+    pub untracked: u64,
+    /// Probe anomalies at the checkpoint.
+    pub probe_anomalies: u64,
+    /// The restored profiler state; becomes shard 0's initial sink.
+    pub stem: S,
+    /// Shard keys present in `stem`, pre-routed to shard 0.
+    pub stem_keys: Vec<u64>,
+}
+
 /// One shard's outbound lane: its tuple channel, the buffer-recycling
 /// return channel, and the batch under construction.
 struct Lane {
@@ -247,15 +266,68 @@ impl<S: ShardableSink> ShardedCdc<S> {
     #[must_use]
     pub fn spawn(omc: Omc, shards: usize, mut make_sink: impl FnMut(usize) -> S) -> Self {
         assert!(shards > 0, "at least one shard worker is required");
+        let sinks = (0..shards).map(&mut make_sink).collect();
+        Self::launch(
+            Translated {
+                omc,
+                time: 0,
+                untracked: 0,
+                probe_anomalies: 0,
+            },
+            Vec::new(),
+            sinks,
+        )
+    }
+
+    /// Continues a checkpointed collection on the sharded pipeline.
+    ///
+    /// The translator resumes from the restored OMC and counters. The
+    /// restored profiler state (`stem`) becomes shard 0's initial sink,
+    /// and every key in `stem_keys` is pre-routed to shard 0 — a key
+    /// already represented in the stem must keep feeding the state that
+    /// holds its prefix, so each key's sub-stream stays complete within
+    /// one part and [`ShardableSink::merge`]'s disjointness contract
+    /// (and with it byte-identical output) is preserved.
+    ///
+    /// `make_sink(i)` builds the empty sinks for shards `1..shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or a thread cannot be spawned.
+    #[must_use]
+    pub fn resume(
+        state: ResumeState<S>,
+        shards: usize,
+        mut make_sink: impl FnMut(usize) -> S,
+    ) -> Self {
+        assert!(shards > 0, "at least one shard worker is required");
+        let mut sinks = Vec::with_capacity(shards);
+        sinks.push(state.stem);
+        sinks.extend((1..shards).map(&mut make_sink));
+        Self::launch(
+            Translated {
+                omc: state.omc,
+                time: state.time.0,
+                untracked: state.untracked,
+                probe_anomalies: state.probe_anomalies,
+            },
+            state.stem_keys,
+            sinks,
+        )
+    }
+
+    /// Spawns the pipeline threads from an initial translator state and
+    /// one sink per shard.
+    fn launch(init: Translated, seeded_keys: Vec<u64>, sinks: Vec<S>) -> Self {
+        let shards = sinks.len();
         let (probe_tx, probe_rx) = mpsc::sync_channel::<Vec<ProbeEvent>>(QUEUE_BATCHES);
         let (probe_recycle_tx, probe_recycle_rx) = mpsc::sync_channel(QUEUE_BATCHES);
 
         let mut lanes = Vec::with_capacity(shards);
         let mut workers = VecDeque::with_capacity(shards);
-        for shard in 0..shards {
+        for (shard, mut sink) in sinks.into_iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel::<Vec<OrTuple>>(QUEUE_BATCHES);
             let (recycle_tx, recycle_rx) = mpsc::sync_channel::<Vec<OrTuple>>(QUEUE_BATCHES);
-            let mut sink = make_sink(shard);
             let handle = std::thread::Builder::new()
                 .name(format!("orp-shard-{shard}"))
                 .spawn(move || {
@@ -279,7 +351,9 @@ impl<S: ShardableSink> ShardedCdc<S> {
 
         let translator = std::thread::Builder::new()
             .name("orp-translate".to_owned())
-            .spawn(move || translate_loop::<S>(omc, &probe_rx, &probe_recycle_tx, &mut lanes))
+            .spawn(move || {
+                translate_loop::<S>(init, &seeded_keys, &probe_rx, &probe_recycle_tx, &mut lanes)
+            })
             .expect("spawn translator thread");
 
         ShardedCdc {
@@ -385,19 +459,27 @@ impl<S: ShardableSink> ShardedCdc<S> {
 /// translation, time-stamping, anomaly counting) and routes tuples to
 /// shard lanes by `S::shard_key`.
 fn translate_loop<S: ShardableSink>(
-    mut omc: Omc,
+    init: Translated,
+    seeded_keys: &[u64],
     probe_rx: &Receiver<Vec<ProbeEvent>>,
     probe_recycle_tx: &SyncSender<Vec<ProbeEvent>>,
     lanes: &mut [Lane],
 ) -> Translated {
     let shards = lanes.len();
-    let mut time = 0u64;
-    let mut untracked = 0u64;
-    let mut probe_anomalies = 0u64;
+    let Translated {
+        mut omc,
+        mut time,
+        mut untracked,
+        mut probe_anomalies,
+    } = init;
     // First-seen round-robin key→shard assignment: deterministic for a
     // given event stream, and balance never affects the merged result
-    // (the merge is a key-set union).
+    // (the merge is a key-set union). Keys restored from a checkpoint
+    // are pinned to shard 0, which holds the restored state.
     let mut routes: FastU64Map<usize> = FastU64Map::default();
+    for &key in seeded_keys {
+        routes.insert(key, 0);
+    }
     let mut next_shard = 0usize;
     // Consecutive tuples overwhelmingly come from a handful of keys
     // (instructions running loops, often a couple of them interleaved);

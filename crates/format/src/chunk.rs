@@ -1,0 +1,233 @@
+//! Chunk tags and the self-describing registry of profile kinds.
+
+use std::fmt;
+
+use crate::error::FormatError;
+
+/// A four-byte ASCII chunk tag.
+///
+/// Tags identify what a chunk's payload encodes. The registry of tags
+/// this workspace understands is [`ChunkTag::KNOWN`]; readers that hit
+/// a tag outside it may either skip the chunk (length framing makes
+/// that safe) or surface [`FormatError::UnknownChunk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkTag(pub [u8; 4]);
+
+impl ChunkTag {
+    /// Profile kind + container-level attributes; always first.
+    pub const META: ChunkTag = ChunkTag(*b"META");
+    /// A batch of probe-event records (repeats; order is the stream).
+    pub const TRACE: ChunkTag = ChunkTag(*b"TRCE");
+    /// A standalone Sequitur grammar.
+    pub const GRAMMAR: ChunkTag = ChunkTag(*b"GRMR");
+    /// A WHOMP object-relative grammar set (four grammars + tuple count).
+    pub const OMSG: ChunkTag = ChunkTag(*b"OMSG");
+    /// A raw-address Sequitur baseline profile.
+    pub const RASG: ChunkTag = ChunkTag(*b"RASG");
+    /// A LEAP per-(instruction, group) LMAD-stream profile.
+    pub const LEAP: ChunkTag = ChunkTag(*b"LEAP");
+    /// A self-describing set of LMAD descriptors.
+    pub const LMAD_SET: ChunkTag = ChunkTag(*b"LMDS");
+    /// Phase signatures + detected phase history.
+    pub const PHASE_SIG: ChunkTag = ChunkTag(*b"PHSG");
+    /// A hybrid-decomposition profile (per-instruction grammar sets).
+    pub const HYBRID: ChunkTag = ChunkTag(*b"HYBR");
+    /// Object management component state (live set, groups, archive).
+    pub const OMC_STATE: ChunkTag = ChunkTag(*b"OMCK");
+    /// Collection/decomposition counters (time, untracked, anomalies).
+    pub const CDC_STATE: ChunkTag = ChunkTag(*b"CDCK");
+    /// Mid-run profiler sink state (grammar/compressor internals).
+    pub const SINK_STATE: ChunkTag = ChunkTag(*b"SNKS");
+    /// Empty terminator; every container ends with it.
+    pub const END: ChunkTag = ChunkTag(*b"END ");
+
+    /// Every tag this workspace writes, with a one-line description —
+    /// the registry behind `orprof inspect`.
+    pub const KNOWN: &'static [(ChunkTag, &'static str)] = &[
+        (ChunkTag::META, "profile kind and container attributes"),
+        (
+            ChunkTag::TRACE,
+            "probe-event batch (access/alloc/free records)",
+        ),
+        (ChunkTag::GRAMMAR, "Sequitur grammar"),
+        (ChunkTag::OMSG, "WHOMP object-relative grammar set"),
+        (ChunkTag::RASG, "raw-address Sequitur baseline"),
+        (ChunkTag::LEAP, "LEAP LMAD-stream profile"),
+        (ChunkTag::LMAD_SET, "self-describing LMAD descriptor set"),
+        (ChunkTag::PHASE_SIG, "phase signatures and phase history"),
+        (ChunkTag::HYBRID, "hybrid per-instruction grammar profile"),
+        (
+            ChunkTag::OMC_STATE,
+            "OMC checkpoint (live objects, groups, archive)",
+        ),
+        (ChunkTag::CDC_STATE, "CDC checkpoint (stream counters)"),
+        (ChunkTag::SINK_STATE, "profiler sink checkpoint"),
+        (ChunkTag::END, "container terminator"),
+    ];
+
+    /// Human-readable description from the registry, if the tag is known.
+    #[must_use]
+    pub fn describe(self) -> Option<&'static str> {
+        ChunkTag::KNOWN
+            .iter()
+            .find(|(tag, _)| *tag == self)
+            .map(|(_, desc)| *desc)
+    }
+}
+
+impl fmt::Display for ChunkTag {
+    /// Renders the tag as ASCII where printable, escaping the rest —
+    /// tags come from untrusted files, so arbitrary bytes must print
+    /// safely.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a container holds, as recorded in its `META` chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfileKind {
+    /// A recorded probe-event trace.
+    Trace,
+    /// A standalone Sequitur grammar.
+    Grammar,
+    /// A WHOMP object-relative grammar set.
+    Omsg,
+    /// A raw-address Sequitur baseline profile.
+    Rasg,
+    /// A LEAP profile.
+    Leap,
+    /// A self-describing LMAD set.
+    LmadSet,
+    /// Phase signatures.
+    PhaseSignatures,
+    /// A mid-run session checkpoint.
+    Checkpoint,
+    /// A hybrid-decomposition (per-instruction grammars) profile.
+    Hybrid,
+}
+
+impl ProfileKind {
+    /// Stable on-disk code for the `META` chunk.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            ProfileKind::Trace => 1,
+            ProfileKind::Grammar => 2,
+            ProfileKind::Omsg => 3,
+            ProfileKind::Rasg => 4,
+            ProfileKind::Leap => 5,
+            ProfileKind::LmadSet => 6,
+            ProfileKind::PhaseSignatures => 7,
+            ProfileKind::Checkpoint => 8,
+            ProfileKind::Hybrid => 9,
+        }
+    }
+
+    /// Inverse of [`ProfileKind::code`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::WrongKind`] for codes this reader does
+    /// not know.
+    pub fn from_code(code: u64) -> Result<Self, FormatError> {
+        Ok(match code {
+            1 => ProfileKind::Trace,
+            2 => ProfileKind::Grammar,
+            3 => ProfileKind::Omsg,
+            4 => ProfileKind::Rasg,
+            5 => ProfileKind::Leap,
+            6 => ProfileKind::LmadSet,
+            7 => ProfileKind::PhaseSignatures,
+            8 => ProfileKind::Checkpoint,
+            9 => ProfileKind::Hybrid,
+            found => return Err(FormatError::WrongKind { found }),
+        })
+    }
+
+    /// Short display name (used by `orprof inspect`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfileKind::Trace => "trace",
+            ProfileKind::Grammar => "grammar",
+            ProfileKind::Omsg => "omsg",
+            ProfileKind::Rasg => "rasg",
+            ProfileKind::Leap => "leap",
+            ProfileKind::LmadSet => "lmad-set",
+            ProfileKind::PhaseSignatures => "phase-signatures",
+            ProfileKind::Checkpoint => "checkpoint",
+            ProfileKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// The chunk tag that carries this kind's primary payload.
+    #[must_use]
+    pub fn primary_chunk(self) -> ChunkTag {
+        match self {
+            ProfileKind::Trace => ChunkTag::TRACE,
+            ProfileKind::Grammar => ChunkTag::GRAMMAR,
+            ProfileKind::Omsg => ChunkTag::OMSG,
+            ProfileKind::Rasg => ChunkTag::RASG,
+            ProfileKind::Leap => ChunkTag::LEAP,
+            ProfileKind::LmadSet => ChunkTag::LMAD_SET,
+            ProfileKind::PhaseSignatures => ChunkTag::PHASE_SIG,
+            ProfileKind::Checkpoint => ChunkTag::SINK_STATE,
+            ProfileKind::Hybrid => ChunkTag::HYBRID,
+        }
+    }
+}
+
+impl fmt::Display for ProfileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_roundtrips_through_its_code() {
+        for kind in [
+            ProfileKind::Trace,
+            ProfileKind::Grammar,
+            ProfileKind::Omsg,
+            ProfileKind::Rasg,
+            ProfileKind::Leap,
+            ProfileKind::LmadSet,
+            ProfileKind::PhaseSignatures,
+            ProfileKind::Checkpoint,
+            ProfileKind::Hybrid,
+        ] {
+            assert_eq!(ProfileKind::from_code(kind.code()).unwrap(), kind);
+            assert!(kind.primary_chunk().describe().is_some());
+        }
+    }
+
+    #[test]
+    fn unknown_kind_code_is_a_typed_error() {
+        assert!(matches!(
+            ProfileKind::from_code(999),
+            Err(FormatError::WrongKind { found: 999 })
+        ));
+    }
+
+    #[test]
+    fn tags_display_as_ascii() {
+        assert_eq!(ChunkTag::META.to_string(), "META");
+        assert_eq!(ChunkTag::END.to_string(), "END ");
+        assert_eq!(
+            ChunkTag([0xFF, b'a', 0x00, b'b']).to_string(),
+            "\\xffa\\x00b"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! The build environment is offline, so the checksum is hand-rolled
+//! rather than pulled from crates.io; the table is computed at compile
+//! time. Output matches the ubiquitous zlib/PNG CRC-32, which makes
+//! container checksums verifiable with standard tools.
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// Streaming CRC-32 state.
+///
+/// ```
+/// let mut crc = orp_format::Crc32::new();
+/// crc.update(b"123");
+/// crc.update(b"456789");
+/// assert_eq!(crc.finalize(), orp_format::crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    #[must_use]
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = CRC_TABLE[usize::from((c as u8) ^ b)] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Returns the finished checksum.
+    #[must_use]
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let base = crc32(b"container payload");
+        let mut flipped = b"container payload".to_vec();
+        flipped[3] ^= 0x10;
+        assert_ne!(crc32(&flipped), base);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the `.orp` container envelope: arbitrary chunk
+//! sequences round-trip exactly, and no truncation or single-bit flip
+//! of a well-formed container ever panics or loops — the reader
+//! returns a typed [`FormatError`] instead.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use orp_format::{
+    read_single_chunk, write_single_chunk, ChunkTag, ContainerReader, ContainerWriter, FormatError,
+    ProfileKind,
+};
+
+/// Every registered chunk tag a producer writes between `META` and
+/// `END ` (those two are framing, emitted by the writer itself).
+const BODY_TAGS: &[ChunkTag] = &[
+    ChunkTag::TRACE,
+    ChunkTag::GRAMMAR,
+    ChunkTag::OMSG,
+    ChunkTag::RASG,
+    ChunkTag::LEAP,
+    ChunkTag::LMAD_SET,
+    ChunkTag::PHASE_SIG,
+    ChunkTag::HYBRID,
+    ChunkTag::OMC_STATE,
+    ChunkTag::CDC_STATE,
+    ChunkTag::SINK_STATE,
+];
+
+const ALL_KINDS: &[ProfileKind] = &[
+    ProfileKind::Trace,
+    ProfileKind::Grammar,
+    ProfileKind::Omsg,
+    ProfileKind::Rasg,
+    ProfileKind::Leap,
+    ProfileKind::LmadSet,
+    ProfileKind::PhaseSignatures,
+    ProfileKind::Checkpoint,
+    ProfileKind::Hybrid,
+];
+
+fn kind_strategy() -> impl Strategy<Value = ProfileKind> {
+    (0usize..ALL_KINDS.len()).prop_map(|i| ALL_KINDS[i])
+}
+
+fn chunks_strategy() -> impl Strategy<Value = Vec<(ChunkTag, Vec<u8>)>> {
+    vec(
+        (
+            (0usize..BODY_TAGS.len()).prop_map(|i| BODY_TAGS[i]),
+            vec(any::<u8>(), 0..256),
+        ),
+        0..6,
+    )
+}
+
+fn write_container(kind: ProfileKind, chunks: &[(ChunkTag, Vec<u8>)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = ContainerWriter::new(&mut buf).unwrap();
+    w.meta(kind).unwrap();
+    for (tag, payload) in chunks {
+        w.chunk(*tag, payload).unwrap();
+    }
+    w.finish().unwrap();
+    buf
+}
+
+/// Reads a container to the terminator, consuming every chunk.
+fn drain_all(mut bytes: &[u8]) -> Result<(), FormatError> {
+    let mut reader = ContainerReader::new(&mut bytes)?;
+    while reader.next_chunk()?.is_some() {}
+    Ok(())
+}
+
+proptest! {
+    /// Writing any chunk sequence and reading it back yields the same
+    /// tags and payloads in order, for every profile kind.
+    #[test]
+    fn arbitrary_containers_roundtrip(kind in kind_strategy(), chunks in chunks_strategy()) {
+        let buf = write_container(kind, &chunks);
+        let mut reader = ContainerReader::new(buf.as_slice()).unwrap();
+        prop_assert_eq!(reader.read_meta().unwrap(), kind);
+        for (tag, payload) in &chunks {
+            let chunk = reader.next_chunk().unwrap().expect("chunk present");
+            prop_assert_eq!(chunk.tag, *tag);
+            prop_assert_eq!(&chunk.payload, payload);
+        }
+        prop_assert!(reader.next_chunk().unwrap().is_none());
+        prop_assert!(reader.at_end());
+    }
+
+    /// Every single-chunk profile kind round-trips through the
+    /// convenience helpers and rejects every other kind.
+    #[test]
+    fn single_chunk_kinds_roundtrip(kind in kind_strategy(), payload in vec(any::<u8>(), 0..256)) {
+        let mut buf = Vec::new();
+        write_single_chunk(&mut buf, kind, &payload).unwrap();
+        prop_assert_eq!(read_single_chunk(buf.as_slice(), kind).unwrap(), payload);
+        for &other in ALL_KINDS {
+            if other != kind {
+                prop_assert!(matches!(
+                    read_single_chunk(buf.as_slice(), other),
+                    Err(FormatError::WrongKind { .. })
+                ));
+            }
+        }
+    }
+
+    /// Cutting a well-formed container anywhere strictly inside it is a
+    /// typed error — never a panic, a hang, or a silent success.
+    #[test]
+    fn truncation_is_always_a_typed_error(kind in kind_strategy(), chunks in chunks_strategy(), cut_seed in any::<usize>()) {
+        let buf = write_container(kind, &chunks);
+        let cut = cut_seed % buf.len();
+        let err = drain_all(&buf[..cut]).expect_err("truncated container accepted");
+        prop_assert!(
+            !matches!(err, FormatError::Malformed(_)),
+            "truncation misreported as payload-level damage: {err}"
+        );
+    }
+
+    /// Flipping any single bit of a well-formed container is caught:
+    /// the header check, the length bound, or the per-chunk CRC turns
+    /// it into a typed error. (CRC-32 detects all single-bit errors.)
+    #[test]
+    fn single_bit_flips_are_always_caught(kind in kind_strategy(), chunks in chunks_strategy(), pos_seed in any::<usize>(), bit in 0u8..8) {
+        let mut buf = write_container(kind, &chunks);
+        let at = pos_seed % buf.len();
+        buf[at] ^= 1 << bit;
+        prop_assert!(drain_all(&buf).is_err(), "bit {bit} of byte {at} flipped unnoticed");
+    }
+
+    /// Arbitrary garbage never panics the reader.
+    #[test]
+    fn garbage_input_never_panics(bytes in vec(any::<u8>(), 0..512)) {
+        let _ = drain_all(&bytes);
+    }
+}

@@ -1,9 +1,9 @@
 //! Binary serialization for LEAP profiles.
 //!
-//! Format (fixed-width little-endian, magic-tagged):
+//! A profile lives in a `.orp` container ([`orp_format`]) of kind
+//! `Leap`. The payload is fixed-width little-endian:
 //!
 //! ```text
-//! "ORPL" version:u32
 //! instr_count:u64 { instr:u32 kind:u8 execs:u64 }*
 //! stream_count:u64 { instr:u32 group:u32 full:LinearCompressor loc:LinearCompressor }*
 //! ```
@@ -12,28 +12,24 @@ use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 
 use orp_core::GroupId;
+use orp_format::{read_single_chunk, write_single_chunk, FormatError, ProfileKind};
 use orp_lmad::LinearCompressor;
 use orp_trace::{AccessKind, InstrId};
 
 use crate::{LeapProfile, LeapStream};
-
-const MAGIC: &[u8; 4] = b"ORPL";
-const VERSION: u32 = 1;
 
 fn bad_data(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
 impl LeapProfile {
-    /// Serializes the profile.
+    /// Serializes the profile payload (no container framing —
+    /// [`LeapProfile::write_to`] adds that).
     ///
     /// # Errors
     ///
     /// Propagates writer errors.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-
+    pub fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
         w.write_all(&(self.instructions().len() as u64).to_le_bytes())?;
         for (&instr, &kind) in self.instructions() {
             w.write_all(&instr.0.to_le_bytes())?;
@@ -51,24 +47,13 @@ impl LeapProfile {
         Ok(())
     }
 
-    /// Deserializes a profile written by [`LeapProfile::write_to`].
+    /// Deserializes a payload written by [`LeapProfile::write_payload`].
     ///
     /// # Errors
     ///
-    /// Propagates reader errors; rejects bad magic, unknown versions,
-    /// and streams referencing unknown instructions.
-    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(bad_data("not a LEAP profile (bad magic)"));
-        }
-        let mut version = [0u8; 4];
-        r.read_exact(&mut version)?;
-        if u32::from_le_bytes(version) != VERSION {
-            return Err(bad_data("unsupported LEAP profile version"));
-        }
-
+    /// Propagates reader errors; rejects streams referencing unknown
+    /// instructions and compressors of the wrong dimensionality.
+    pub fn read_payload(r: &mut impl Read) -> io::Result<Self> {
         let mut count8 = [0u8; 8];
         r.read_exact(&mut count8)?;
         let instr_count = u64::from_le_bytes(count8);
@@ -111,6 +96,34 @@ impl LeapProfile {
             streams.insert((instr, group), LeapStream { full, loc });
         }
         Ok(LeapProfile::from_parts(streams, execs, kinds))
+    }
+
+    /// Writes the profile as a `.orp` container of kind `Leap`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut payload = Vec::new();
+        self.write_payload(&mut payload)?;
+        write_single_chunk(w, ProfileKind::Leap, &payload)
+    }
+
+    /// Reads a container written by [`LeapProfile::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FormatError`]s for envelope damage (wrong kind, bad
+    /// checksum, truncation); payload validation errors from
+    /// [`LeapProfile::read_payload`].
+    pub fn read_from(r: &mut impl Read) -> Result<Self, FormatError> {
+        let payload = read_single_chunk(r, ProfileKind::Leap)?;
+        let mut cursor = payload.as_slice();
+        let profile = LeapProfile::read_payload(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(FormatError::Malformed("trailing bytes after LEAP payload"));
+        }
+        Ok(profile)
     }
 }
 
@@ -166,18 +179,21 @@ mod tests {
     }
 
     #[test]
-    fn bad_magic_is_rejected() {
+    fn wrong_kind_is_rejected() {
         let mut buf = Vec::new();
-        sample_profile().write_to(&mut buf).unwrap();
-        buf[0] = b'X';
-        assert!(LeapProfile::read_from(&mut buf.as_slice()).is_err());
+        orp_format::write_single_chunk(&mut buf, ProfileKind::Omsg, &[]).unwrap();
+        assert!(matches!(
+            LeapProfile::read_from(&mut buf.as_slice()),
+            Err(FormatError::WrongKind { .. })
+        ));
     }
 
     #[test]
-    fn wrong_version_is_rejected() {
+    fn payload_bit_flip_is_caught_by_the_envelope() {
         let mut buf = Vec::new();
         sample_profile().write_to(&mut buf).unwrap();
-        buf[4] = 99;
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x04;
         assert!(LeapProfile::read_from(&mut buf.as_slice()).is_err());
     }
 
@@ -185,8 +201,12 @@ mod tests {
     fn truncation_is_rejected() {
         let mut buf = Vec::new();
         sample_profile().write_to(&mut buf).unwrap();
-        buf.truncate(buf.len() / 2);
-        assert!(LeapProfile::read_from(&mut buf.as_slice()).is_err());
+        for cut in 0..buf.len() {
+            assert!(
+                LeapProfile::read_from(&mut &buf[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
     }
 
     #[test]

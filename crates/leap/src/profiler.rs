@@ -2,11 +2,18 @@
 //! linear compressors.
 
 use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
 
-use orp_core::{GroupId, OrSink, OrTuple};
+use orp_core::{GroupId, OrSink, OrTuple, SessionSink};
+use orp_format::{read_varint, write_varint};
+use orp_lmad::LinearCompressor;
 use orp_trace::{AccessKind, InstrId};
 
 use crate::{LeapProfile, LeapStream, DEFAULT_LMAD_BUDGET};
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
 
 /// The LEAP profiler: an [`OrSink`] that demultiplexes the
 /// object-relative stream by `(instruction, group)` and feeds each
@@ -83,6 +90,103 @@ impl OrSink for LeapProfiler {
             i64::try_from(t.offset).expect("offset fits i64"),
             i64::try_from(t.time.0).expect("time fits i64"),
         );
+    }
+}
+
+impl SessionSink for LeapProfiler {
+    const STATE_NAME: &'static str = "leap";
+
+    fn save_state(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.budget as u64)?;
+        write_varint(w, self.execs.len() as u64)?;
+        for (&instr, &execs) in &self.execs {
+            let kind = self.kinds.get(&instr).expect("kind recorded with execs");
+            write_varint(w, u64::from(instr.0))?;
+            w.write_all(&[u8::from(kind.is_store())])?;
+            write_varint(w, execs)?;
+        }
+        write_varint(w, self.streams.len() as u64)?;
+        for (&(instr, group), stream) in &self.streams {
+            write_varint(w, u64::from(instr.0))?;
+            write_varint(w, u64::from(group.0))?;
+            stream.full.write_to(w)?;
+            stream.loc.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    fn restore_state(r: &mut impl Read) -> io::Result<Self> {
+        let budget = usize::try_from(read_varint(r)?)
+            .map_err(|_| bad_data("LMAD budget does not fit usize"))?;
+        if budget == 0 {
+            return Err(bad_data("LMAD budget must be positive"));
+        }
+        let instr_count = read_varint(r)?;
+        let mut execs = BTreeMap::new();
+        let mut kinds = BTreeMap::new();
+        let mut prev: Option<u32> = None;
+        for _ in 0..instr_count {
+            let instr = u32::try_from(read_varint(r)?)
+                .map_err(|_| bad_data("instruction id does not fit u32"))?;
+            if prev.is_some_and(|p| p >= instr) {
+                return Err(bad_data("instruction table not strictly sorted"));
+            }
+            prev = Some(instr);
+            let mut kind1 = [0u8; 1];
+            r.read_exact(&mut kind1)?;
+            let kind = match kind1[0] {
+                0 => AccessKind::Load,
+                1 => AccessKind::Store,
+                _ => return Err(bad_data("bad access kind")),
+            };
+            let count = read_varint(r)?;
+            kinds.insert(InstrId(instr), kind);
+            execs.insert(InstrId(instr), count);
+        }
+        let stream_count = read_varint(r)?;
+        let mut streams = BTreeMap::new();
+        let mut prev: Option<(u32, u32)> = None;
+        for _ in 0..stream_count {
+            let instr = u32::try_from(read_varint(r)?)
+                .map_err(|_| bad_data("instruction id does not fit u32"))?;
+            let group = u32::try_from(read_varint(r)?)
+                .map_err(|_| bad_data("group id does not fit u32"))?;
+            if prev.is_some_and(|p| p >= (instr, group)) {
+                return Err(bad_data("stream table not strictly sorted"));
+            }
+            prev = Some((instr, group));
+            if !kinds.contains_key(&InstrId(instr)) {
+                return Err(bad_data("stream references unknown instruction"));
+            }
+            let full = LinearCompressor::read_from(r)?;
+            let loc = LinearCompressor::read_from(r)?;
+            if full.dims() != 3 || loc.dims() != 2 {
+                return Err(bad_data("stream compressors have wrong dimensionality"));
+            }
+            if full.budget() != budget || loc.budget() != budget {
+                return Err(bad_data("stream budget disagrees with profiler budget"));
+            }
+            streams.insert((InstrId(instr), GroupId(group)), LeapStream { full, loc });
+        }
+        Ok(LeapProfiler {
+            budget,
+            streams,
+            execs,
+            kinds,
+        })
+    }
+
+    /// The per-stream partition keys, matching
+    /// [`ShardableSink::shard_key`](orp_core::ShardableSink::shard_key).
+    fn state_keys(&self) -> Vec<u64> {
+        self.streams
+            .keys()
+            .map(|&(instr, group)| orp_core::sharded::instr_group_key(instr, group))
+            .collect()
+    }
+
+    fn finalize_profile(self, w: &mut impl Write) -> io::Result<()> {
+        self.into_profile().write_to(w)
     }
 }
 
@@ -190,5 +294,93 @@ mod tests {
     #[should_panic(expected = "budget must be positive")]
     fn zero_budget_panics() {
         let _ = LeapProfiler::with_budget(0);
+    }
+
+    fn probe_events() -> Vec<orp_trace::ProbeEvent> {
+        use orp_trace::{AccessEvent, AllocEvent, AllocSiteId, ProbeEvent, RawAddress};
+        let mut events = Vec::new();
+        for k in 0..24u64 {
+            events.push(ProbeEvent::Alloc(AllocEvent {
+                site: AllocSiteId((k % 4) as u32),
+                base: RawAddress(0x8000 + k * 256),
+                size: 192,
+            }));
+        }
+        for p in 0..20u64 {
+            for k in 0..24u64 {
+                events.push(ProbeEvent::Access(AccessEvent::load(
+                    InstrId(((k + p) % 5) as u32),
+                    RawAddress(0x8000 + k * 256 + 8 * (p % 24)),
+                    8,
+                )));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn state_roundtrip_is_verbatim() {
+        use orp_core::Session;
+        let mut session = Session::new(LeapProfiler::with_budget(4));
+        session.feed(&probe_events());
+        let mut state = Vec::new();
+        session.cdc().sink().save_state(&mut state).unwrap();
+        let restored = LeapProfiler::restore_state(&mut state.as_slice()).unwrap();
+        assert_eq!(restored.budget(), 4);
+        let mut again = Vec::new();
+        restored.save_state(&mut again).unwrap();
+        assert_eq!(state, again);
+    }
+
+    #[test]
+    fn mismatched_stream_budget_is_rejected() {
+        let mut p = LeapProfiler::with_budget(4);
+        p.tuple(&tuple(0, 0, 0, 0, 0));
+        let mut state = Vec::new();
+        p.save_state(&mut state).unwrap();
+        // Bump the leading budget varint so it disagrees with the
+        // streams' embedded budgets.
+        state[0] += 1;
+        assert!(LeapProfiler::restore_state(&mut state.as_slice()).is_err());
+    }
+
+    #[test]
+    fn checkpoint_hands_off_to_the_sharded_pipeline_byte_identically() {
+        use orp_core::Session;
+        use orp_trace::ProbeSink;
+
+        let events = probe_events();
+        let cut = events.len() / 2;
+
+        let mut uninterrupted = Session::new(LeapProfiler::new());
+        uninterrupted.feed(&events);
+        let mut reference = Vec::new();
+        uninterrupted.finalize(&mut reference).unwrap();
+
+        let mut first = Session::new(LeapProfiler::new());
+        first.feed(&events[..cut]);
+        let mut snapshot = Vec::new();
+        first.checkpoint(&mut snapshot).unwrap();
+
+        let mut resumed = Session::<LeapProfiler>::resume(&mut snapshot.as_slice()).unwrap();
+        resumed.feed(&events[cut..]);
+        let mut profile = Vec::new();
+        resumed.finalize(&mut profile).unwrap();
+        assert_eq!(profile, reference, "single-threaded resume");
+
+        for shards in [1, 2, 4] {
+            let mut sharded =
+                Session::<LeapProfiler>::resume_sharded(&mut snapshot.as_slice(), shards, |_| {
+                    LeapProfiler::new()
+                })
+                .unwrap();
+            for &ev in &events[cut..] {
+                sharded.event(ev);
+            }
+            let cdc = sharded.try_join().expect("pipeline healthy");
+            let mut profile = Vec::new();
+            Session::from_cdc(cdc).finalize(&mut profile).unwrap();
+            assert_eq!(profile, reference, "resume onto {shards} shards");
+        }
     }
 }

@@ -6,27 +6,12 @@
 
 use std::io::{self, Read, Write};
 
+use orp_format::{
+    read_i64_le as read_i64, read_u64_le as read_u64, write_i64_le as write_i64,
+    write_u64_le as write_u64,
+};
+
 use crate::{LinearCompressor, Lmad, OverflowSummary};
-
-fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn write_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
-}
-
-fn read_i64(r: &mut impl Read) -> io::Result<i64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(i64::from_le_bytes(buf))
-}
 
 fn bad_data(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)

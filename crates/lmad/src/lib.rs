@@ -45,7 +45,9 @@
 mod compressor;
 mod descriptor;
 mod io;
+mod set;
 pub mod solver;
 
 pub use compressor::{LinearCompressor, OverflowSummary};
 pub use descriptor::Lmad;
+pub use set::LmadSet;

@@ -1,0 +1,230 @@
+//! Self-describing sets of LMAD descriptors.
+//!
+//! Descriptor payloads are fixed-width and do not carry their own
+//! dimension count (the byte-size cost model `16 · dims + 8` depends
+//! on that), so a bare stream of [`Lmad`]s can only be decoded by a
+//! reader that learned `dims` out of band. [`LmadSet`] fixes that at
+//! the file level: the set's header records the dimensionality once,
+//! and [`LmadSet::read_from`] needs nothing but the reader.
+
+use std::io::{self, Read, Write};
+
+use orp_format::{
+    read_single_chunk, read_varint, write_single_chunk, write_varint, FormatError, ProfileKind,
+};
+
+use crate::Lmad;
+
+/// A homogeneous collection of [`Lmad`] descriptors with the
+/// dimensionality recorded in the descriptor header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LmadSet {
+    dims: usize,
+    lmads: Vec<Lmad>,
+}
+
+impl LmadSet {
+    /// Creates an empty set of `dims`-dimensional descriptors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dims` is zero.
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "descriptors need at least one dimension");
+        LmadSet {
+            dims,
+            lmads: Vec::new(),
+        }
+    }
+
+    /// Builds a set from existing descriptors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dims` is zero or any descriptor's dimensionality
+    /// differs from `dims`.
+    #[must_use]
+    pub fn from_lmads(dims: usize, lmads: Vec<Lmad>) -> Self {
+        let mut set = LmadSet::new(dims);
+        for lmad in lmads {
+            set.push(lmad);
+        }
+        set
+    }
+
+    /// Appends a descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the descriptor's dimensionality differs from the
+    /// set's.
+    pub fn push(&mut self, lmad: Lmad) {
+        assert_eq!(
+            lmad.dims(),
+            self.dims,
+            "descriptor dimensionality differs from the set's"
+        );
+        self.lmads.push(lmad);
+    }
+
+    /// The dimensionality shared by every descriptor.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of descriptors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lmads.len()
+    }
+
+    /// True when the set holds no descriptors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lmads.is_empty()
+    }
+
+    /// The descriptors, in insertion order.
+    #[must_use]
+    pub fn lmads(&self) -> &[Lmad] {
+        &self.lmads
+    }
+
+    /// Serializes the set payload: `varint(dims)`, `varint(count)`,
+    /// then each descriptor in the fixed-width encoding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.dims as u64)?;
+        write_varint(w, self.lmads.len() as u64)?;
+        for lmad in &self.lmads {
+            lmad.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a payload written by [`LmadSet::write_payload`].
+    /// The dimension count comes from the header — nothing is needed
+    /// out of band.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects zero dims.
+    pub fn read_payload(r: &mut impl Read) -> io::Result<Self> {
+        let dims = usize::try_from(read_varint(r)?)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "dims exceeds usize"))?;
+        if dims == 0 || dims > 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "descriptor dims out of range",
+            ));
+        }
+        let count = read_varint(r)?;
+        let mut lmads = Vec::with_capacity(usize::try_from(count).unwrap_or(0).min(1 << 16));
+        for _ in 0..count {
+            lmads.push(Lmad::read_from(r, dims)?);
+        }
+        Ok(LmadSet { dims, lmads })
+    }
+
+    /// Writes the set as a standalone `.orp` container.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: impl Write) -> io::Result<()> {
+        let mut payload = Vec::new();
+        self.write_payload(&mut payload)?;
+        write_single_chunk(w, ProfileKind::LmadSet, &payload)
+    }
+
+    /// Reads a container written by [`LmadSet::write_to`]. The file is
+    /// self-describing: no `dims` argument.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FormatError`]s for envelope damage; payload errors from
+    /// [`LmadSet::read_payload`].
+    pub fn read_from(r: impl Read) -> Result<Self, FormatError> {
+        let payload = read_single_chunk(r, ProfileKind::LmadSet)?;
+        let mut cursor = payload.as_slice();
+        let set = LmadSet::read_payload(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(FormatError::Malformed("trailing bytes after LMAD set"));
+        }
+        Ok(set)
+    }
+}
+
+impl<'a> IntoIterator for &'a LmadSet {
+    type Item = &'a Lmad;
+    type IntoIter = std::slice::Iter<'a, Lmad>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lmads.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> LmadSet {
+        LmadSet::from_lmads(
+            2,
+            vec![
+                Lmad {
+                    start: vec![2, 0],
+                    stride: vec![3, 8],
+                    count: 5,
+                },
+                Lmad {
+                    start: vec![15, -4],
+                    stride: vec![1, 1],
+                    count: 4,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn container_roundtrip_is_self_describing() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        set.write_to(&mut buf).unwrap();
+        let back = LmadSet::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, set);
+        assert_eq!(back.dims(), 2);
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let set = LmadSet::new(3);
+        let mut buf = Vec::new();
+        set.write_to(&mut buf).unwrap();
+        assert_eq!(LmadSet::read_from(buf.as_slice()).unwrap(), set);
+    }
+
+    #[test]
+    fn zero_dims_payload_is_rejected() {
+        let mut payload = Vec::new();
+        write_varint(&mut payload, 0).unwrap();
+        write_varint(&mut payload, 0).unwrap();
+        assert!(LmadSet::read_payload(&mut payload.as_slice()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality differs")]
+    fn mismatched_dims_panic_on_push() {
+        let mut set = LmadSet::new(2);
+        set.push(Lmad {
+            start: vec![0],
+            stride: vec![1],
+            count: 1,
+        });
+    }
+}

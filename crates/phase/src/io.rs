@@ -1,0 +1,241 @@
+//! Binary serialization for phase-signature profiles.
+//!
+//! A detector's findings — interval length, threshold, phase
+//! representative signatures and the interval-by-interval history —
+//! live in a `.orp` container ([`orp_format`]) of kind
+//! `PhaseSignatures`. Signature frequencies are `f64` bit patterns
+//! (little-endian), sparse entries sorted by instruction id so the
+//! payload is deterministic.
+//!
+//! The partial-interval accumulator is *not* part of the payload: a
+//! phase profile is an end-of-run artifact, and a reloaded detector
+//! starts at an interval boundary.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+use orp_format::{
+    read_single_chunk, read_u64_le, read_varint, write_single_chunk, write_u64_le, write_varint,
+    FormatError, ProfileKind,
+};
+
+use crate::{PhaseDetector, PhaseId, Signature};
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl PhaseDetector {
+    /// Serializes the detector's phase signatures and history (no
+    /// container framing — [`PhaseDetector::write_to`] adds that).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.interval as u64)?;
+        write_u64_le(w, self.threshold.to_bits())?;
+        write_varint(w, self.representatives.len() as u64)?;
+        for rep in &self.representatives {
+            let mut entries: Vec<(u32, f64)> = rep.counts.iter().map(|(&i, &v)| (i, v)).collect();
+            entries.sort_unstable_by_key(|&(i, _)| i);
+            write_varint(w, entries.len() as u64)?;
+            for (instr, freq) in entries {
+                write_varint(w, u64::from(instr))?;
+                write_u64_le(w, freq.to_bits())?;
+            }
+        }
+        write_varint(w, self.history.len() as u64)?;
+        for &phase in &self.history {
+            write_varint(w, u64::from(phase.0))?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a payload written by
+    /// [`PhaseDetector::write_payload`]. The restored detector starts
+    /// at an interval boundary (no partial accumulator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects invalid parameters,
+    /// non-finite or negative frequencies, unsorted signature entries
+    /// and history entries referencing unknown phases.
+    pub fn read_payload(r: &mut impl Read) -> io::Result<Self> {
+        let interval = usize::try_from(read_varint(r)?)
+            .map_err(|_| bad_data("interval does not fit usize"))?;
+        if interval == 0 {
+            return Err(bad_data("interval must be positive"));
+        }
+        let threshold = f64::from_bits(read_u64_le(r)?);
+        if !(threshold > 0.0 && threshold <= 2.0) {
+            return Err(bad_data("threshold must be in (0, 2]"));
+        }
+        let rep_count = read_varint(r)?;
+        let mut representatives = Vec::new();
+        for _ in 0..rep_count {
+            let entry_count = read_varint(r)?;
+            let mut counts = HashMap::new();
+            let mut prev: Option<u32> = None;
+            for _ in 0..entry_count {
+                let instr = u32::try_from(read_varint(r)?)
+                    .map_err(|_| bad_data("instruction id does not fit u32"))?;
+                if prev.is_some_and(|p| p >= instr) {
+                    return Err(bad_data("signature entries not strictly sorted"));
+                }
+                prev = Some(instr);
+                let freq = f64::from_bits(read_u64_le(r)?);
+                if !freq.is_finite() || freq < 0.0 {
+                    return Err(bad_data(
+                        "signature frequency must be finite and non-negative",
+                    ));
+                }
+                counts.insert(instr, freq);
+            }
+            representatives.push(Signature { counts });
+        }
+        let history_len = read_varint(r)?;
+        let mut history = Vec::new();
+        for _ in 0..history_len {
+            let phase = read_varint(r)?;
+            if phase >= rep_count {
+                return Err(bad_data("history references unknown phase"));
+            }
+            history.push(PhaseId(u32::try_from(phase).expect("bounded by rep count")));
+        }
+        Ok(PhaseDetector {
+            interval,
+            threshold,
+            current: HashMap::new(),
+            filled: 0,
+            representatives,
+            history,
+        })
+    }
+
+    /// Writes the detector as a `.orp` container of kind
+    /// `PhaseSignatures`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut payload = Vec::new();
+        self.write_payload(&mut payload)?;
+        write_single_chunk(w, ProfileKind::PhaseSignatures, &payload)
+    }
+
+    /// Reads a container written by [`PhaseDetector::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FormatError`]s for envelope damage (wrong kind, bad
+    /// checksum, truncation); payload validation errors from
+    /// [`PhaseDetector::read_payload`].
+    pub fn read_from(r: &mut impl Read) -> Result<Self, FormatError> {
+        let payload = read_single_chunk(r, ProfileKind::PhaseSignatures)?;
+        let mut cursor = payload.as_slice();
+        let detector = PhaseDetector::read_payload(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(FormatError::Malformed(
+                "trailing bytes after phase-signature payload",
+            ));
+        }
+        Ok(detector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_trace::InstrId;
+
+    fn trained_detector() -> PhaseDetector {
+        let mut det = PhaseDetector::new(10, 0.5);
+        for block in 0..8 {
+            let instr = if block % 2 == 0 { 1 } else { 2 };
+            for k in 0..10u32 {
+                det.observe(InstrId(if k % 5 == 4 { 7 } else { instr }));
+            }
+        }
+        det
+    }
+
+    #[test]
+    fn roundtrip_preserves_phases_and_classification() {
+        let det = trained_detector();
+        let mut buf = Vec::new();
+        det.write_to(&mut buf).unwrap();
+        let mut back = PhaseDetector::read_from(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(back.interval(), det.interval());
+        assert_eq!(back.phase_count(), det.phase_count());
+        assert_eq!(back.history(), det.history());
+
+        // The restored representatives classify exactly as the
+        // originals: a known mix joins its phase, not a new one.
+        let mut original = det.clone();
+        for k in 0..10u32 {
+            let instr = if k % 5 == 4 { 7 } else { 1 };
+            assert_eq!(
+                back.observe(InstrId(instr)),
+                original.observe(InstrId(instr))
+            );
+        }
+        assert_eq!(back.phase_count(), original.phase_count());
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let det = trained_detector();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        det.write_to(&mut a).unwrap();
+        det.write_to(&mut b).unwrap();
+        assert_eq!(a, b);
+        // And stable across a roundtrip.
+        let back = PhaseDetector::read_from(&mut a.as_slice()).unwrap();
+        let mut c = Vec::new();
+        back.write_to(&mut c).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn corruption_yields_typed_errors() {
+        let mut buf = Vec::new();
+        trained_detector().write_to(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                PhaseDetector::read_from(&mut &buf[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x20;
+        assert!(PhaseDetector::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let mut buf = Vec::new();
+        orp_format::write_single_chunk(&mut buf, ProfileKind::Trace, &[]).unwrap();
+        assert!(matches!(
+            PhaseDetector::read_from(&mut buf.as_slice()),
+            Err(FormatError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_history_phase_is_rejected() {
+        let det = trained_detector();
+        let mut payload = Vec::new();
+        det.write_payload(&mut payload).unwrap();
+        // Append an extra history entry pointing past the phase table
+        // (and bump the count varint in place: history is the trailer).
+        let mut forged = PhaseDetector::read_payload(&mut payload.as_slice()).unwrap();
+        forged.history.push(PhaseId(99));
+        let mut bad = Vec::new();
+        forged.write_payload(&mut bad).unwrap();
+        assert!(PhaseDetector::read_payload(&mut bad.as_slice()).is_err());
+    }
+}

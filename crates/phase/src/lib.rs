@@ -31,6 +31,8 @@
 //!                             orp_phase::PhaseId(1), orp_phase::PhaseId(1)]);
 //! ```
 
+mod io;
+
 use std::collections::{BTreeMap, HashMap};
 
 use orp_core::{OrSink, OrTuple};

@@ -19,18 +19,7 @@ pub enum GrammarSymbol {
     Rule(RuleId),
 }
 
-/// Length in bytes of the LEB128 varint encoding of `v`.
-///
-/// ```
-/// assert_eq!(orp_sequitur::varint_len(0), 1);
-/// assert_eq!(orp_sequitur::varint_len(127), 1);
-/// assert_eq!(orp_sequitur::varint_len(128), 2);
-/// assert_eq!(orp_sequitur::varint_len(u64::MAX), 10);
-/// ```
-#[must_use]
-pub fn varint_len(v: u64) -> u64 {
-    u64::from(64 - v.max(1).leading_zeros()).div_ceil(7)
-}
+use orp_format::varint_len;
 
 /// An immutable context-free grammar generating exactly one string.
 ///

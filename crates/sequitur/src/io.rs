@@ -1,57 +1,36 @@
-//! Binary serialization for grammars.
+//! Binary serialization for grammars and compressor checkpoints.
 //!
-//! Varint (LEB128) encoding, matching [`Grammar::encoded_bytes`]
-//! exactly: a grammar file is `varint(rule_count)` followed by, per
-//! rule, `varint(body_len)` and one tagged varint per symbol
-//! (`2·value + 1` for terminals, `2·rule_id` for rule references).
+//! Grammar payloads use the varint codecs from [`orp_format`], matching
+//! [`Grammar::encoded_bytes`] exactly: a grammar payload is
+//! `varint(rule_count)` followed by, per rule, `varint(body_len)` and
+//! one tagged varint per symbol (`2·value + 1` for terminals,
+//! `2·rule_id` for rule references). Standalone grammar *files* wrap
+//! that payload in a `.orp` container ([`Grammar::write_container`]).
+//!
+//! Mid-run checkpoints ([`Sequitur::save_state`]) serialize the
+//! compressor's *full* internal state — arena nodes, free lists, rule
+//! slots, and the digram index — rather than a grammar snapshot.
+//! Rebuilding from a snapshot is not exact: which occurrence of an
+//! overlapping digram (a run like `aaa`) is indexed depends on
+//! insertion history and steers future overlap decisions, so only a
+//! verbatim restore guarantees a resumed run matches an uninterrupted
+//! one byte for byte.
 
 use std::io::{self, Read, Write};
 
-use crate::{varint_len, Grammar, GrammarSymbol, RuleId};
+use orp_format::{
+    read_single_chunk, read_varint, varint_len, write_single_chunk, write_varint, FormatError,
+    ProfileKind,
+};
 
-/// Writes a LEB128 varint.
-///
-/// # Errors
-///
-/// Propagates writer errors.
-pub fn write_varint(w: &mut impl Write, mut v: u64) -> io::Result<()> {
-    loop {
-        let byte = (v & 0x7F) as u8;
-        v >>= 7;
-        if v == 0 {
-            return w.write_all(&[byte]);
-        }
-        w.write_all(&[byte | 0x80])?;
-    }
-}
+use crate::{Grammar, GrammarSymbol, Node, RuleId, RuleSlot, Sequitur, Sym, NIL};
 
-/// Reads a LEB128 varint.
-///
-/// # Errors
-///
-/// Propagates reader errors; rejects encodings longer than 10 bytes.
-pub fn read_varint(r: &mut impl Read) -> io::Result<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut byte = [0u8; 1];
-        r.read_exact(&mut byte)?;
-        if shift >= 64 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "varint too long",
-            ));
-        }
-        v |= u64::from(byte[0] & 0x7F) << shift;
-        if byte[0] & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
+fn bad_data(msg: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
 impl Grammar {
-    /// Serializes the grammar.
+    /// Serializes the grammar payload.
     ///
     /// The payload after the `varint(rule_count)` header is exactly
     /// [`Grammar::encoded_bytes`] bytes long.
@@ -81,7 +60,7 @@ impl Grammar {
         Ok(())
     }
 
-    /// Deserializes a grammar written by [`Grammar::write_to`].
+    /// Deserializes a grammar payload written by [`Grammar::write_to`].
     ///
     /// # Errors
     ///
@@ -90,10 +69,7 @@ impl Grammar {
     pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
         let rule_count = read_varint(r)?;
         if rule_count == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "grammar has no rules",
-            ));
+            return Err(bad_data("grammar has no rules"));
         }
         let mut rules = Vec::with_capacity(usize::try_from(rule_count).unwrap_or(0).min(1 << 20));
         for _ in 0..rule_count {
@@ -106,10 +82,7 @@ impl Grammar {
                 } else {
                     let id = tagged >> 1;
                     if id >= rule_count {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            "rule reference out of range",
-                        ));
+                        return Err(bad_data("rule reference out of range"));
                     }
                     GrammarSymbol::Rule(RuleId(id as u32))
                 });
@@ -119,7 +92,35 @@ impl Grammar {
         Ok(Grammar::from_rules(rules))
     }
 
-    /// The exact on-disk size: payload ([`Grammar::encoded_bytes`]) plus
+    /// Writes the grammar as a standalone `.orp` container.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_container(&self, w: impl Write) -> io::Result<()> {
+        let mut payload = Vec::new();
+        self.write_to(&mut payload)?;
+        write_single_chunk(w, ProfileKind::Grammar, &payload)
+    }
+
+    /// Reads a standalone grammar container written by
+    /// [`Grammar::write_container`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FormatError`]s for envelope damage; payload errors from
+    /// [`Grammar::read_from`].
+    pub fn read_container(r: impl Read) -> Result<Self, FormatError> {
+        let payload = read_single_chunk(r, ProfileKind::Grammar)?;
+        let mut cursor = payload.as_slice();
+        let grammar = Grammar::read_from(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(FormatError::Malformed("trailing bytes after grammar"));
+        }
+        Ok(grammar)
+    }
+
+    /// The exact on-disk payload size: [`Grammar::encoded_bytes`] plus
     /// the rule-count header.
     #[must_use]
     pub fn serialized_len(&self) -> u64 {
@@ -127,20 +128,182 @@ impl Grammar {
     }
 }
 
+/// Stable sort/serialization key for a [`Sym`]: `(tag, value)`.
+fn sym_key(s: Sym) -> (u8, u64) {
+    match s {
+        Sym::Terminal(t) => (0, t),
+        Sym::Rule(r) => (1, u64::from(r)),
+        Sym::Guard(r) => (2, u64::from(r)),
+        Sym::Free => (3, 0),
+    }
+}
+
+fn write_sym(w: &mut impl Write, s: Sym) -> io::Result<()> {
+    let (tag, value) = sym_key(s);
+    w.write_all(&[tag])?;
+    write_varint(w, value)
+}
+
+fn read_sym(r: &mut impl Read) -> io::Result<Sym> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let value = read_varint(r)?;
+    let as_u32 = |v: u64| u32::try_from(v).map_err(|_| bad_data("symbol index exceeds u32 range"));
+    Ok(match tag[0] {
+        0 => Sym::Terminal(value),
+        1 => Sym::Rule(as_u32(value)?),
+        2 => Sym::Guard(as_u32(value)?),
+        3 => Sym::Free,
+        _ => return Err(bad_data("unknown symbol tag")),
+    })
+}
+
+/// Reads a node/rule index that may be the `NIL` sentinel; anything
+/// else must be below `limit`.
+fn read_index(r: &mut impl Read, limit: usize) -> io::Result<u32> {
+    let v = read_varint(r)?;
+    let v = u32::try_from(v).map_err(|_| bad_data("index exceeds u32 range"))?;
+    if v != NIL && (v as usize) >= limit {
+        return Err(bad_data("index out of range"));
+    }
+    Ok(v)
+}
+
+impl Sequitur {
+    /// Serializes the compressor's complete internal state.
+    ///
+    /// The digram index is written sorted by key so equal states always
+    /// produce equal bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn save_state(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.input_len)?;
+        write_varint(w, self.nodes.len() as u64)?;
+        for node in &self.nodes {
+            write_sym(w, node.sym)?;
+            write_varint(w, u64::from(node.prev))?;
+            write_varint(w, u64::from(node.next))?;
+        }
+        write_varint(w, self.free_nodes.len() as u64)?;
+        for &idx in &self.free_nodes {
+            write_varint(w, u64::from(idx))?;
+        }
+        write_varint(w, self.rules.len() as u64)?;
+        for slot in &self.rules {
+            write_varint(w, u64::from(slot.guard))?;
+            write_varint(w, u64::from(slot.uses))?;
+        }
+        write_varint(w, self.free_rules.len() as u64)?;
+        for &idx in &self.free_rules {
+            write_varint(w, u64::from(idx))?;
+        }
+        let mut digrams: Vec<(&(Sym, Sym), &u32)> = self.digrams.iter().collect();
+        digrams.sort_by_key(|((a, b), _)| (sym_key(*a), sym_key(*b)));
+        write_varint(w, digrams.len() as u64)?;
+        for ((a, b), &node) in digrams {
+            write_sym(w, *a)?;
+            write_sym(w, *b)?;
+            write_varint(w, u64::from(node))?;
+        }
+        Ok(())
+    }
+
+    /// Restores a compressor from [`Sequitur::save_state`] output.
+    ///
+    /// The restored compressor continues the input stream exactly as
+    /// the saved one would have: resuming mid-stream is byte-identical
+    /// to never stopping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects out-of-range indices and
+    /// unknown symbol tags.
+    pub fn restore_state(r: &mut impl Read) -> io::Result<Self> {
+        let input_len = read_varint(r)?;
+        let node_count =
+            usize::try_from(read_varint(r)?).map_err(|_| bad_data("node count exceeds usize"))?;
+        if node_count >= NIL as usize {
+            return Err(bad_data("node count exceeds u32 arena"));
+        }
+        let mut nodes = Vec::with_capacity(node_count.min(1 << 20));
+        for _ in 0..node_count {
+            let sym = read_sym(r)?;
+            let prev = read_index(r, node_count)?;
+            let next = read_index(r, node_count)?;
+            nodes.push(Node { sym, prev, next });
+        }
+        let free_count = usize::try_from(read_varint(r)?)
+            .map_err(|_| bad_data("free-node count exceeds usize"))?;
+        if free_count > node_count {
+            return Err(bad_data("more free nodes than nodes"));
+        }
+        let mut free_nodes = Vec::with_capacity(free_count);
+        for _ in 0..free_count {
+            let idx = read_index(r, node_count)?;
+            if idx == NIL {
+                return Err(bad_data("NIL on the free-node list"));
+            }
+            free_nodes.push(idx);
+        }
+        let rule_count =
+            usize::try_from(read_varint(r)?).map_err(|_| bad_data("rule count exceeds usize"))?;
+        if rule_count == 0 || rule_count >= NIL as usize {
+            return Err(bad_data("rule table must hold the start rule"));
+        }
+        let mut rules = Vec::with_capacity(rule_count.min(1 << 20));
+        for _ in 0..rule_count {
+            let guard = read_index(r, node_count)?;
+            let uses = read_index(r, usize::MAX)?;
+            rules.push(RuleSlot { guard, uses });
+        }
+        let free_rule_count = usize::try_from(read_varint(r)?)
+            .map_err(|_| bad_data("free-rule count exceeds usize"))?;
+        if free_rule_count > rule_count {
+            return Err(bad_data("more free rules than rules"));
+        }
+        let mut free_rules = Vec::with_capacity(free_rule_count);
+        for _ in 0..free_rule_count {
+            let idx = read_index(r, rule_count)?;
+            if idx == NIL {
+                return Err(bad_data("NIL on the free-rule list"));
+            }
+            free_rules.push(idx);
+        }
+        let digram_count =
+            usize::try_from(read_varint(r)?).map_err(|_| bad_data("digram count exceeds usize"))?;
+        if digram_count > node_count {
+            return Err(bad_data("more digrams than nodes"));
+        }
+        let mut digrams = std::collections::HashMap::with_capacity(digram_count);
+        for _ in 0..digram_count {
+            let a = read_sym(r)?;
+            let b = read_sym(r)?;
+            let node = read_index(r, node_count)?;
+            if node == NIL {
+                return Err(bad_data("NIL digram node"));
+            }
+            digrams.insert((a, b), node);
+        }
+        if rules[0].guard == NIL || (rules[0].guard as usize) >= node_count {
+            return Err(bad_data("start rule has no guard node"));
+        }
+        Ok(Sequitur {
+            nodes,
+            free_nodes,
+            rules,
+            free_rules,
+            digrams,
+            input_len,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Sequitur;
-
-    #[test]
-    fn varint_roundtrip_extremes() {
-        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX / 2, u64::MAX] {
-            let mut buf = Vec::new();
-            write_varint(&mut buf, v).unwrap();
-            assert_eq!(buf.len() as u64, varint_len(v), "length model for {v}");
-            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
-        }
-    }
 
     #[test]
     fn grammar_roundtrip_preserves_expansion() {
@@ -190,5 +353,78 @@ mod tests {
         seq.grammar().write_to(&mut buf).unwrap();
         buf.pop();
         assert!(Grammar::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn grammar_container_roundtrips() {
+        let mut seq = Sequitur::new();
+        seq.extend("abcbcabcbc".bytes().map(u64::from));
+        let grammar = seq.grammar();
+        let mut buf = Vec::new();
+        grammar.write_container(&mut buf).unwrap();
+        let back = Grammar::read_container(buf.as_slice()).unwrap();
+        assert_eq!(back, grammar);
+    }
+
+    #[test]
+    fn state_roundtrip_is_verbatim() {
+        let mut seq = Sequitur::new();
+        seq.extend("mississippi$mississippi$miss".bytes().map(u64::from));
+        let mut buf = Vec::new();
+        seq.save_state(&mut buf).unwrap();
+        let back = Sequitur::restore_state(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.input_len(), seq.input_len());
+        assert_eq!(back.grammar(), seq.grammar());
+        back.assert_invariants();
+    }
+
+    #[test]
+    fn resumed_stream_matches_uninterrupted() {
+        // The checkpoint guarantee: split the input anywhere, save and
+        // restore at the cut, and the final grammar bytes must be
+        // identical to never stopping. Runs of equal symbols are the
+        // adversarial case (overlapping-digram bookkeeping).
+        let input: Vec<u64> = "aaaabaaaabaaaabxyxyxyaaa".bytes().map(u64::from).collect();
+        for cut in 0..=input.len() {
+            let mut whole = Sequitur::new();
+            whole.extend(input.iter().copied());
+
+            let mut first = Sequitur::new();
+            first.extend(input[..cut].iter().copied());
+            let mut buf = Vec::new();
+            first.save_state(&mut buf).unwrap();
+            let mut resumed = Sequitur::restore_state(&mut buf.as_slice()).unwrap();
+            resumed.extend(input[cut..].iter().copied());
+            resumed.assert_invariants();
+
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            whole.grammar().write_to(&mut a).unwrap();
+            resumed.grammar().write_to(&mut b).unwrap();
+            assert_eq!(a, b, "divergence when cutting at {cut}");
+
+            // The internal state must also re-serialize identically, so
+            // a second checkpoint of the resumed run matches.
+            let mut whole_state = Vec::new();
+            let mut resumed_state = Vec::new();
+            whole.save_state(&mut whole_state).unwrap();
+            resumed.save_state(&mut resumed_state).unwrap();
+            assert_eq!(whole_state, resumed_state, "state drift at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_state_is_rejected_not_panicking() {
+        let mut seq = Sequitur::new();
+        seq.extend([1, 2, 1, 2, 3, 3, 3]);
+        let mut buf = Vec::new();
+        seq.save_state(&mut buf).unwrap();
+        // Truncations at every byte boundary.
+        for cut in 0..buf.len() {
+            assert!(
+                Sequitur::restore_state(&mut &buf[..cut]).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
     }
 }

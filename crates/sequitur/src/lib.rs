@@ -38,8 +38,10 @@
 mod grammar;
 mod io;
 
-pub use grammar::{varint_len, Grammar, GrammarSymbol, RuleId};
-pub use io::{read_varint, write_varint};
+pub use grammar::{Grammar, GrammarSymbol, RuleId};
+// The integer codecs live in `orp-format` now (shared by every payload
+// encoding in the workspace); re-exported here for source compatibility.
+pub use orp_format::{read_varint, varint_len, write_varint};
 
 use std::collections::HashMap;
 

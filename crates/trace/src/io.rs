@@ -6,50 +6,69 @@
 //! trace can be recorded once and profiled offline many times —
 //! `orprof-cli` uses it for its record/replay commands.
 //!
-//! Format (little-endian): the magic `ORPT`, a `u32` version, then one
-//! record per event:
+//! A trace file is a `.orp` container ([`orp_format`]) of kind
+//! `Trace`: a `META` chunk, then one `TRCE` chunk per batch of events,
+//! then the terminator. Each `TRCE` payload is `varint(record_count)`
+//! followed by one fixed-width little-endian record per event:
 //!
 //! ```text
 //! 0x01 instr:u32 kind:u8 size:u8 addr:u64      (access)
 //! 0x02 site:u32 base:u64 size:u64              (alloc)
 //! 0x03 base:u64                                (free)
 //! ```
+//!
+//! Batching bounds writer memory and gives the container's CRC-32
+//! granular coverage: a bit flip spoils one batch, detectably, before
+//! any record is parsed.
 
 use std::io::{self, Read, Write};
+
+use orp_format::{
+    read_varint, write_varint, ChunkTag, ContainerReader, ContainerWriter, FormatError, ProfileKind,
+};
 
 use crate::{
     AccessEvent, AccessKind, AllocEvent, AllocSiteId, FreeEvent, InstrId, ProbeEvent, ProbeSink,
     RawAddress,
 };
 
-const MAGIC: &[u8; 4] = b"ORPT";
-const VERSION: u32 = 1;
-
 const TAG_ACCESS: u8 = 1;
 const TAG_ALLOC: u8 = 2;
 const TAG_FREE: u8 = 3;
 
-fn bad_data(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
-}
+/// Events per `TRCE` chunk.
+const BATCH_EVENTS: u64 = 4096;
 
-/// A [`ProbeSink`] that writes every event to a trace file.
+/// A [`ProbeSink`] that writes every event to a trace container.
+///
+/// Call [`TraceWriter::into_inner`] when done: it writes the final
+/// batch and the container terminator. A dropped writer leaves a
+/// truncated container, which readers reject — by design, since the
+/// trace would be incomplete.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
-    writer: W,
+    container: ContainerWriter<W>,
+    batch: Vec<u8>,
+    batch_events: u64,
     events: u64,
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Creates a writer, emitting the header immediately.
+    /// Creates a writer, emitting the container header and `META`
+    /// chunk immediately.
     ///
     /// # Errors
     ///
     /// Propagates writer errors.
-    pub fn new(mut writer: W) -> io::Result<Self> {
-        writer.write_all(MAGIC)?;
-        writer.write_all(&VERSION.to_le_bytes())?;
-        Ok(TraceWriter { writer, events: 0 })
+    pub fn new(writer: W) -> io::Result<Self> {
+        let mut container = ContainerWriter::new(writer)?;
+        container.meta(ProfileKind::Trace)?;
+        Ok(TraceWriter {
+            container,
+            batch: Vec::new(),
+            batch_events: 0,
+            events: 0,
+        })
     }
 
     /// Number of events written.
@@ -58,21 +77,39 @@ impl<W: Write> TraceWriter<W> {
         self.events
     }
 
-    /// Finishes writing and returns the underlying writer.
+    /// Writes the final batch and the container terminator, returning
+    /// the underlying writer.
     ///
     /// # Errors
     ///
-    /// Propagates the final flush's errors.
+    /// Propagates the final writes' errors.
     pub fn into_inner(mut self) -> io::Result<W> {
-        self.writer.flush()?;
-        Ok(self.writer)
+        self.flush_batch()?;
+        self.container.finish()
+    }
+
+    fn flush_batch(&mut self) -> io::Result<()> {
+        if self.batch_events == 0 {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(self.batch.len() + 3);
+        write_varint(&mut payload, self.batch_events)?;
+        payload.extend_from_slice(&self.batch);
+        self.container.chunk(ChunkTag::TRACE, &payload)?;
+        self.batch.clear();
+        self.batch_events = 0;
+        Ok(())
     }
 
     fn emit(&mut self, bytes: &[u8]) {
-        // ProbeSink methods are infallible; surface I/O failure loudly
-        // rather than silently truncating a trace.
-        self.writer.write_all(bytes).expect("trace write failed");
+        self.batch.extend_from_slice(bytes);
+        self.batch_events += 1;
         self.events += 1;
+        if self.batch_events >= BATCH_EVENTS {
+            // ProbeSink methods are infallible; surface I/O failure
+            // loudly rather than silently truncating a trace.
+            self.flush_batch().expect("trace write failed");
+        }
     }
 }
 
@@ -104,37 +141,16 @@ impl<W: Write> ProbeSink for TraceWriter<W> {
     }
 
     fn finish(&mut self) {
-        self.writer.flush().expect("trace flush failed");
+        self.flush_batch().expect("trace flush failed");
     }
 }
 
-/// Replays a trace file into any probe sink, returning the number of
-/// events replayed.
-///
-/// # Errors
-///
-/// Propagates reader errors; rejects bad magic, unknown versions, and
-/// unknown record tags.
-pub fn replay(r: &mut impl Read, sink: &mut dyn ProbeSink) -> io::Result<u64> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(bad_data("not a trace file (bad magic)"));
-    }
-    let mut version = [0u8; 4];
-    r.read_exact(&mut version)?;
-    if u32::from_le_bytes(version) != VERSION {
-        return Err(bad_data("unsupported trace version"));
-    }
-
-    let mut events = 0u64;
-    let mut tag = [0u8; 1];
-    loop {
-        match r.read_exact(&mut tag) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e),
-        }
+fn decode_batch(payload: &[u8], sink: &mut dyn ProbeSink) -> Result<u64, FormatError> {
+    let mut r = payload;
+    let count = read_varint(&mut r)?;
+    for _ in 0..count {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
         match tag[0] {
             TAG_ACCESS => {
                 let mut rec = [0u8; 14];
@@ -143,7 +159,7 @@ pub fn replay(r: &mut impl Read, sink: &mut dyn ProbeSink) -> io::Result<u64> {
                 let kind = match rec[4] {
                     0 => AccessKind::Load,
                     1 => AccessKind::Store,
-                    _ => return Err(bad_data("bad access kind")),
+                    _ => return Err(FormatError::Malformed("bad access kind")),
                 };
                 let size = rec[5];
                 let addr = RawAddress(u64::from_le_bytes(rec[6..14].try_into().expect("8 bytes")));
@@ -170,9 +186,42 @@ pub fn replay(r: &mut impl Read, sink: &mut dyn ProbeSink) -> io::Result<u64> {
                     base: RawAddress(u64::from_le_bytes(rec)),
                 });
             }
-            _ => return Err(bad_data("unknown trace record tag")),
+            _ => return Err(FormatError::Malformed("unknown trace record tag")),
         }
-        events += 1;
+    }
+    if !r.is_empty() {
+        return Err(FormatError::Malformed("trailing bytes in trace batch"));
+    }
+    Ok(count)
+}
+
+/// Replays a trace container into any probe sink, returning the number
+/// of events replayed.
+///
+/// # Errors
+///
+/// Typed [`FormatError`]s: bad magic, unsupported versions, checksum
+/// mismatches, truncation, unknown chunks, and malformed records.
+pub fn replay(r: &mut impl Read, sink: &mut dyn ProbeSink) -> Result<u64, FormatError> {
+    let mut container = ContainerReader::new(&mut *r)?;
+    let kind = container.read_meta()?;
+    if kind != ProfileKind::Trace {
+        return Err(FormatError::WrongKind { found: kind.code() });
+    }
+    let mut events = 0u64;
+    while let Some(chunk) = container.next_chunk()? {
+        if chunk.tag != ChunkTag::TRACE {
+            return Err(FormatError::UnknownChunk(chunk.tag));
+        }
+        events += decode_batch(&chunk.payload, sink)?;
+    }
+    // A trace file holds exactly one container; anything after the
+    // terminator is damage.
+    let mut trailing = [0u8; 1];
+    match r.read(&mut trailing) {
+        Ok(0) => {}
+        Ok(_) => return Err(FormatError::Malformed("trailing data after terminator")),
+        Err(e) => return Err(FormatError::Io(e)),
     }
     sink.finish();
     Ok(events)
@@ -230,11 +279,32 @@ mod tests {
     }
 
     #[test]
+    fn multi_batch_trace_roundtrips() {
+        // Enough events to cross the batch boundary at least twice.
+        let mut events = Vec::new();
+        for i in 0..(2 * BATCH_EVENTS + 17) {
+            events.push(ProbeEvent::Access(AccessEvent::load(
+                InstrId(i as u32),
+                RawAddress(0x1000 + i * 8),
+                8,
+            )));
+        }
+        let bytes = to_bytes(&events).unwrap();
+        let mut sink = VecSink::new();
+        let n = replay(&mut bytes.as_slice(), &mut sink).unwrap();
+        assert_eq!(n, events.len() as u64);
+        assert_eq!(sink.events(), events.as_slice());
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let mut bytes = to_bytes(&sample_events()).unwrap();
         bytes[0] = b'X';
         let mut sink = VecSink::new();
-        assert!(replay(&mut bytes.as_slice(), &mut sink).is_err());
+        assert!(matches!(
+            replay(&mut bytes.as_slice(), &mut sink),
+            Err(FormatError::BadMagic)
+        ));
     }
 
     #[test]
@@ -242,15 +312,64 @@ mod tests {
         let mut bytes = to_bytes(&sample_events()).unwrap();
         bytes.truncate(bytes.len() - 3);
         let mut sink = VecSink::new();
-        assert!(replay(&mut bytes.as_slice(), &mut sink).is_err());
+        assert!(matches!(
+            replay(&mut bytes.as_slice(), &mut sink),
+            Err(FormatError::Truncated)
+        ));
     }
 
     #[test]
-    fn unknown_tag_is_rejected() {
-        let mut bytes = to_bytes(&[]).unwrap();
-        bytes.push(0x7F);
+    fn bit_flip_is_a_checksum_mismatch() {
+        let bytes = to_bytes(&sample_events()).unwrap();
+        // Flip one bit inside every byte position in turn; each must be
+        // caught (header positions as BadMagic/UnsupportedVersion/
+        // Truncated, payload positions as ChecksumMismatch) — never a
+        // silent success with altered events.
+        let clean: Vec<ProbeEvent> = sample_events();
+        for pos in 0..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[pos] ^= 0x40;
+            let mut sink = VecSink::new();
+            match replay(&mut damaged.as_slice(), &mut sink) {
+                Err(_) => {}
+                Ok(n) => {
+                    // A flip in a length varint's padding can in theory
+                    // still parse; events must then be unchanged.
+                    assert_eq!(n, 4, "flip at {pos} silently altered the trace");
+                    assert_eq!(sink.events(), clean.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_record_tag_is_rejected() {
+        // Hand-craft a container whose TRCE batch holds a bogus record
+        // tag: the envelope is intact (CRC valid) but the payload is
+        // malformed.
+        let mut payload = Vec::new();
+        write_varint(&mut payload, 1).unwrap();
+        payload.push(0x7F);
+        let mut container = ContainerWriter::new(Vec::new()).unwrap();
+        container.meta(ProfileKind::Trace).unwrap();
+        container.chunk(ChunkTag::TRACE, &payload).unwrap();
+        let bytes = container.finish().unwrap();
         let mut sink = VecSink::new();
-        assert!(replay(&mut bytes.as_slice(), &mut sink).is_err());
+        assert!(matches!(
+            replay(&mut bytes.as_slice(), &mut sink),
+            Err(FormatError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_profile_kind_is_rejected() {
+        let mut buf = Vec::new();
+        orp_format::write_single_chunk(&mut buf, ProfileKind::Grammar, b"").unwrap();
+        let mut sink = VecSink::new();
+        assert!(matches!(
+            replay(&mut buf.as_slice(), &mut sink),
+            Err(FormatError::WrongKind { .. })
+        ));
     }
 
     #[test]

@@ -15,10 +15,18 @@
 //! globally ordered are kept as a per-instruction time grammar.
 
 use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
 
-use orp_core::{OrSink, OrTuple};
+use orp_core::{OrSink, OrTuple, SessionSink};
+use orp_format::{
+    read_single_chunk, read_varint, write_single_chunk, write_varint, FormatError, ProfileKind,
+};
 use orp_sequitur::{Grammar, Sequitur};
 use orp_trace::InstrId;
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
 
 /// One instruction's compressed sub-streams.
 #[derive(Debug, Clone, Default)]
@@ -81,6 +89,71 @@ impl OrSink for HybridProfiler {
         s.offset.push(t.offset);
         s.time.push(t.time.0);
         self.tuples += 1;
+    }
+}
+
+impl SessionSink for HybridProfiler {
+    const STATE_NAME: &'static str = "whomp-hybrid";
+
+    fn save_state(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.tuples)?;
+        write_varint(w, self.streams.len() as u64)?;
+        for (instr, s) in &self.streams {
+            write_varint(w, u64::from(instr.0))?;
+            s.group.save_state(w)?;
+            s.object.save_state(w)?;
+            s.offset.save_state(w)?;
+            s.time.save_state(w)?;
+        }
+        Ok(())
+    }
+
+    fn restore_state(r: &mut impl Read) -> io::Result<Self> {
+        let tuples = read_varint(r)?;
+        let count = read_varint(r)?;
+        let mut streams = BTreeMap::new();
+        let mut prev: Option<u32> = None;
+        let mut total = 0u64;
+        for _ in 0..count {
+            let instr = u32::try_from(read_varint(r)?)
+                .map_err(|_| bad_data("instruction id does not fit u32"))?;
+            if prev.is_some_and(|p| p >= instr) {
+                return Err(bad_data("instruction streams not strictly sorted"));
+            }
+            prev = Some(instr);
+            let group = Sequitur::restore_state(r)?;
+            let object = Sequitur::restore_state(r)?;
+            let offset = Sequitur::restore_state(r)?;
+            let time = Sequitur::restore_state(r)?;
+            let len = group.input_len();
+            if object.input_len() != len || offset.input_len() != len || time.input_len() != len {
+                return Err(bad_data("per-instruction streams must be aligned"));
+            }
+            total += len;
+            streams.insert(
+                InstrId(instr),
+                InstrStreams {
+                    group,
+                    object,
+                    offset,
+                    time,
+                },
+            );
+        }
+        if total != tuples {
+            return Err(bad_data("stream lengths disagree with tuple count"));
+        }
+        Ok(HybridProfiler { streams, tuples })
+    }
+
+    /// The per-instruction partition keys, matching
+    /// [`ShardableSink::shard_key`](orp_core::ShardableSink::shard_key).
+    fn state_keys(&self) -> Vec<u64> {
+        self.streams.keys().map(|i| u64::from(i.0)).collect()
+    }
+
+    fn finalize_profile(self, w: &mut impl Write) -> io::Result<()> {
+        self.into_profile().write_to(w)
     }
 }
 
@@ -198,6 +271,103 @@ impl HybridProfile {
             .map(|(t, i, g, o, f)| (i, g, o, f, t))
             .collect()
     }
+
+    /// Serializes the per-instruction grammar payload (no container
+    /// framing — [`HybridProfile::write_to`] adds that).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.tuples)?;
+        write_varint(w, self.instrs.len() as u64)?;
+        for (instr, g) in &self.instrs {
+            write_varint(w, u64::from(instr.0))?;
+            g.group.write_to(w)?;
+            g.object.write_to(w)?;
+            g.offset.write_to(w)?;
+            g.time.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a payload written by [`HybridProfile::write_payload`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects payloads whose instruction keys
+    /// are not strictly sorted or whose per-instruction grammars expand
+    /// to different lengths.
+    pub fn read_payload(r: &mut impl Read) -> io::Result<Self> {
+        let tuples = read_varint(r)?;
+        let count = read_varint(r)?;
+        let mut instrs = BTreeMap::new();
+        let mut prev: Option<u32> = None;
+        let mut total = 0u64;
+        for _ in 0..count {
+            let instr = u32::try_from(read_varint(r)?)
+                .map_err(|_| bad_data("instruction id does not fit u32"))?;
+            if prev.is_some_and(|p| p >= instr) {
+                return Err(bad_data("instruction grammars not strictly sorted"));
+            }
+            prev = Some(instr);
+            let group = Grammar::read_from(r)?;
+            let object = Grammar::read_from(r)?;
+            let offset = Grammar::read_from(r)?;
+            let time = Grammar::read_from(r)?;
+            let len = group.expanded_len();
+            if object.expanded_len() != len
+                || offset.expanded_len() != len
+                || time.expanded_len() != len
+            {
+                return Err(bad_data("per-instruction streams must be aligned"));
+            }
+            total += len;
+            instrs.insert(
+                InstrId(instr),
+                InstrGrammars {
+                    group,
+                    object,
+                    offset,
+                    time,
+                },
+            );
+        }
+        if total != tuples {
+            return Err(bad_data("stream lengths disagree with tuple count"));
+        }
+        Ok(HybridProfile { instrs, tuples })
+    }
+
+    /// Writes the profile as a `.orp` container of kind `Hybrid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut payload = Vec::new();
+        self.write_payload(&mut payload)?;
+        write_single_chunk(w, ProfileKind::Hybrid, &payload)
+    }
+
+    /// Reads a container written by [`HybridProfile::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FormatError`]s for envelope damage (wrong kind, bad
+    /// checksum, truncation); payload validation errors from
+    /// [`HybridProfile::read_payload`].
+    pub fn read_from(r: &mut impl Read) -> Result<Self, FormatError> {
+        let payload = read_single_chunk(r, ProfileKind::Hybrid)?;
+        let mut cursor = payload.as_slice();
+        let profile = HybridProfile::read_payload(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(FormatError::Malformed(
+                "trailing bytes after hybrid payload",
+            ));
+        }
+        Ok(profile)
+    }
 }
 
 #[cfg(test)]
@@ -269,5 +439,106 @@ mod tests {
         assert_eq!(profile.tuples(), 0);
         assert_eq!(profile.total_size(), 0);
         assert!(profile.expand_merged().is_empty());
+    }
+
+    #[test]
+    fn profile_container_roundtrip() {
+        let profile = interleaved().into_profile();
+        let mut buf = Vec::new();
+        profile.write_to(&mut buf).unwrap();
+        let back = HybridProfile::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.tuples(), profile.tuples());
+        assert_eq!(back.total_size(), profile.total_size());
+        assert_eq!(back.expand_merged(), profile.expand_merged());
+
+        // Truncation of any prefix is a typed error, never a panic.
+        for cut in 0..buf.len() {
+            assert!(
+                HybridProfile::read_from(&mut &buf[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_is_verbatim() {
+        let profiler = interleaved();
+        let mut state = Vec::new();
+        profiler.save_state(&mut state).unwrap();
+        let restored = HybridProfiler::restore_state(&mut state.as_slice()).unwrap();
+        let mut again = Vec::new();
+        restored.save_state(&mut again).unwrap();
+        assert_eq!(state, again);
+        assert_eq!(
+            restored.state_keys(),
+            vec![0, 1],
+            "one key per instruction stream"
+        );
+    }
+
+    fn probe_events() -> Vec<orp_trace::ProbeEvent> {
+        use orp_trace::{AllocEvent, AllocSiteId, ProbeEvent, RawAddress};
+        let mut events = Vec::new();
+        for k in 0..32u64 {
+            events.push(ProbeEvent::Alloc(AllocEvent {
+                site: AllocSiteId((k % 3) as u32),
+                base: RawAddress(0x4000 + k * 128),
+                size: 96,
+            }));
+        }
+        for p in 0..25u64 {
+            for k in 0..32u64 {
+                events.push(ProbeEvent::Access(orp_trace::AccessEvent::load(
+                    InstrId(((k + p) % 6) as u32),
+                    RawAddress(0x4000 + k * 128 + 8 * (p % 12)),
+                    8,
+                )));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn checkpoint_hands_off_to_the_sharded_pipeline_byte_identically() {
+        use orp_core::Session;
+        use orp_trace::ProbeSink;
+
+        let events = probe_events();
+        let cut = events.len() / 2;
+
+        let mut uninterrupted = Session::new(HybridProfiler::new());
+        uninterrupted.feed(&events);
+        let mut reference = Vec::new();
+        uninterrupted.finalize(&mut reference).unwrap();
+
+        let mut first = Session::new(HybridProfiler::new());
+        first.feed(&events[..cut]);
+        let mut snapshot = Vec::new();
+        first.checkpoint(&mut snapshot).unwrap();
+
+        // Single-threaded resume.
+        let mut resumed = Session::<HybridProfiler>::resume(&mut snapshot.as_slice()).unwrap();
+        resumed.feed(&events[cut..]);
+        let mut profile = Vec::new();
+        resumed.finalize(&mut profile).unwrap();
+        assert_eq!(profile, reference, "single-threaded resume");
+
+        // Sharded resume: the restored state becomes shard 0, its
+        // instruction keys stay pinned there, and the merge reproduces
+        // the single-threaded container byte for byte.
+        for shards in [1, 2, 4] {
+            let mut sharded =
+                Session::<HybridProfiler>::resume_sharded(&mut snapshot.as_slice(), shards, |_| {
+                    HybridProfiler::new()
+                })
+                .unwrap();
+            for &ev in &events[cut..] {
+                sharded.event(ev);
+            }
+            let cdc = sharded.try_join().expect("pipeline healthy");
+            let mut profile = Vec::new();
+            Session::from_cdc(cdc).finalize(&mut profile).unwrap();
+            assert_eq!(profile, reference, "resume onto {shards} shards");
+        }
     }
 }

@@ -1,48 +1,29 @@
 //! Binary serialization for WHOMP (OMSG) and RASG profiles.
 //!
-//! ```text
-//! "ORPW" version:varint tuples:varint  grammar{instr} grammar{group}
-//!                                      grammar{object} grammar{offset}
-//! "ORPR" version:varint accesses:varint grammar{records}
-//! ```
+//! Both profiles live in `.orp` containers ([`orp_format`]). The OMSG
+//! payload is `varint(tuples)` followed by the four dimension grammars
+//! (instruction, group, object, offset); the RASG payload is
+//! `varint(accesses)` followed by the fused record grammar. Grammar
+//! payload bytes are exactly [`Grammar::serialized_len`] long, keeping
+//! the paper's compression accounting intact.
 
 use std::io::{self, Read, Write};
 
-use orp_sequitur::{read_varint, write_varint, Grammar};
+use orp_format::{
+    read_single_chunk, read_varint, write_single_chunk, write_varint, FormatError, ProfileKind,
+};
+use orp_sequitur::Grammar;
 
 use crate::{Omsg, Rasg};
 
-const OMSG_MAGIC: &[u8; 4] = b"ORPW";
-const RASG_MAGIC: &[u8; 4] = b"ORPR";
-const VERSION: u64 = 1;
-
-fn check_header(r: &mut impl Read, magic: &[u8; 4]) -> io::Result<()> {
-    let mut got = [0u8; 4];
-    r.read_exact(&mut got)?;
-    if &got != magic {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad profile magic",
-        ));
-    }
-    if read_varint(r)? != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "unsupported profile version",
-        ));
-    }
-    Ok(())
-}
-
 impl Omsg {
-    /// Serializes the four-dimensional grammar profile.
+    /// Serializes the four-dimensional grammar payload (no container
+    /// framing — [`Omsg::write_to`] adds that).
     ///
     /// # Errors
     ///
     /// Propagates writer errors.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        w.write_all(OMSG_MAGIC)?;
-        write_varint(w, VERSION)?;
+    pub fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
         write_varint(w, self.tuples())?;
         for (_, grammar) in self.dimensions() {
             grammar.write_to(w)?;
@@ -50,14 +31,13 @@ impl Omsg {
         Ok(())
     }
 
-    /// Deserializes a profile written by [`Omsg::write_to`].
+    /// Deserializes a payload written by [`Omsg::write_payload`].
     ///
     /// # Errors
     ///
     /// Propagates reader errors; rejects profiles whose dimension
     /// streams expand to different lengths.
-    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
-        check_header(r, OMSG_MAGIC)?;
+    pub fn read_payload(r: &mut impl Read) -> io::Result<Self> {
         let tuples = read_varint(r)?;
         let instr = Grammar::read_from(r)?;
         let group = Grammar::read_from(r)?;
@@ -73,29 +53,55 @@ impl Omsg {
         }
         Ok(Omsg::from_parts(instr, group, object, offset, tuples))
     }
-}
 
-impl Rasg {
-    /// Serializes the raw-record grammar profile.
+    /// Writes the profile as a `.orp` container of kind `Omsg`.
     ///
     /// # Errors
     ///
     /// Propagates writer errors.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        w.write_all(RASG_MAGIC)?;
-        write_varint(w, VERSION)?;
+        let mut payload = Vec::new();
+        self.write_payload(&mut payload)?;
+        write_single_chunk(w, ProfileKind::Omsg, &payload)
+    }
+
+    /// Reads a container written by [`Omsg::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FormatError`]s for envelope damage (wrong kind, bad
+    /// checksum, truncation); payload validation errors from
+    /// [`Omsg::read_payload`].
+    pub fn read_from(r: &mut impl Read) -> Result<Self, FormatError> {
+        let payload = read_single_chunk(r, ProfileKind::Omsg)?;
+        let mut cursor = payload.as_slice();
+        let omsg = Omsg::read_payload(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(FormatError::Malformed("trailing bytes after OMSG payload"));
+        }
+        Ok(omsg)
+    }
+}
+
+impl Rasg {
+    /// Serializes the raw-record grammar payload (no container
+    /// framing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
         write_varint(w, self.accesses())?;
         self.records.write_to(w)
     }
 
-    /// Deserializes a profile written by [`Rasg::write_to`].
+    /// Deserializes a payload written by [`Rasg::write_payload`].
     ///
     /// # Errors
     ///
     /// Propagates reader errors; rejects profiles whose record stream
     /// expands to the wrong length.
-    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
-        check_header(r, RASG_MAGIC)?;
+    pub fn read_payload(r: &mut impl Read) -> io::Result<Self> {
         let accesses = read_varint(r)?;
         let records = Grammar::read_from(r)?;
         if records.expanded_len() != accesses {
@@ -105,6 +111,33 @@ impl Rasg {
             ));
         }
         Ok(Rasg::from_parts(records, accesses))
+    }
+
+    /// Writes the profile as a `.orp` container of kind `Rasg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut payload = Vec::new();
+        self.write_payload(&mut payload)?;
+        write_single_chunk(w, ProfileKind::Rasg, &payload)
+    }
+
+    /// Reads a container written by [`Rasg::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FormatError`]s for envelope damage; payload validation
+    /// errors from [`Rasg::read_payload`].
+    pub fn read_from(r: &mut impl Read) -> Result<Self, FormatError> {
+        let payload = read_single_chunk(r, ProfileKind::Rasg)?;
+        let mut cursor = payload.as_slice();
+        let rasg = Rasg::read_payload(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(FormatError::Malformed("trailing bytes after RASG payload"));
+        }
+        Ok(rasg)
     }
 }
 
@@ -166,20 +199,37 @@ mod tests {
         let mut buf = Vec::new();
         omsg.write_to(&mut buf).unwrap();
         assert!(
-            Rasg::read_from(&mut buf.as_slice()).is_err(),
+            matches!(
+                Rasg::read_from(&mut buf.as_slice()),
+                Err(FormatError::WrongKind { .. })
+            ),
             "OMSG is not a RASG"
         );
     }
 
     #[test]
     fn inconsistent_tuple_count_is_rejected() {
+        // Rebuild the container with a tuple count that disagrees with
+        // the grammars (a bare corruption would trip the CRC first, so
+        // forge a payload with a valid envelope).
+        let omsg = sample_omsg();
+        let mut payload = Vec::new();
+        omsg.write_payload(&mut payload).unwrap();
+        assert_eq!(payload[0], 0xC8, "200 encodes as C8 01");
+        payload[0] = 0xC9;
+        let mut buf = Vec::new();
+        orp_format::write_single_chunk(&mut buf, ProfileKind::Omsg, &payload).unwrap();
+        assert!(Omsg::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn payload_bit_flip_is_caught_by_the_envelope() {
         let omsg = sample_omsg();
         let mut buf = Vec::new();
         omsg.write_to(&mut buf).unwrap();
-        // The tuple count is the varint right after the 4-byte magic and
-        // 1-byte version; 200 encodes as [0xC8, 0x01]. Corrupt it.
-        assert_eq!(buf[5], 0xC8);
-        buf[5] = 0xC9;
+        // Flip a bit in the middle of the grammar payload.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x08;
         assert!(Omsg::read_from(&mut buf.as_slice()).is_err());
     }
 }

@@ -38,6 +38,7 @@
 
 mod hybrid;
 mod io;
+mod session;
 
 pub use hybrid::{HybridProfile, HybridProfiler, InstrGrammars};
 

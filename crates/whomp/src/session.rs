@@ -1,0 +1,132 @@
+//! Checkpoint support: WHOMP behind the streaming session layer.
+//!
+//! The profiler's state is its four in-progress Sequitur instances plus
+//! the tuple count; [`Sequitur::save_state`] captures a compressor
+//! verbatim (nodes, rules, digram index), so a restored profiler
+//! continues the stream exactly where the original stopped and the
+//! finished grammar is byte-identical to an uninterrupted run's.
+
+use std::io::{self, Read, Write};
+
+use orp_core::SessionSink;
+use orp_format::{read_varint, write_varint};
+use orp_sequitur::Sequitur;
+
+use crate::WhompProfiler;
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl SessionSink for WhompProfiler {
+    const STATE_NAME: &'static str = "whomp-omsg";
+
+    fn save_state(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.tuples)?;
+        self.instr.save_state(w)?;
+        self.group.save_state(w)?;
+        self.object.save_state(w)?;
+        self.offset.save_state(w)
+    }
+
+    fn restore_state(r: &mut impl Read) -> io::Result<Self> {
+        let tuples = read_varint(r)?;
+        let instr = Sequitur::restore_state(r)?;
+        let group = Sequitur::restore_state(r)?;
+        let object = Sequitur::restore_state(r)?;
+        let offset = Sequitur::restore_state(r)?;
+        for s in [&instr, &group, &object, &offset] {
+            if s.input_len() != tuples {
+                return Err(bad_data("dimension stream length disagrees with tuples"));
+            }
+        }
+        Ok(WhompProfiler {
+            instr,
+            group,
+            object,
+            offset,
+            tuples,
+        })
+    }
+
+    fn finalize_profile(self, w: &mut impl Write) -> io::Result<()> {
+        self.into_omsg().write_to(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use orp_core::{Session, SessionSink};
+    use orp_trace::{AccessEvent, AllocEvent, AllocSiteId, InstrId, ProbeEvent, RawAddress};
+
+    use crate::WhompProfiler;
+
+    fn workload_events() -> Vec<ProbeEvent> {
+        let mut events = Vec::new();
+        for k in 0..40u64 {
+            events.push(ProbeEvent::Alloc(AllocEvent {
+                site: AllocSiteId((k % 2) as u32),
+                base: RawAddress(0x1000 + k * 64),
+                size: 48,
+            }));
+        }
+        for p in 0..30u64 {
+            for k in 0..40u64 {
+                events.push(ProbeEvent::Access(AccessEvent::load(
+                    InstrId(((k + p) % 5) as u32),
+                    RawAddress(0x1000 + k * 64 + 8 * (p % 6)),
+                    8,
+                )));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn checkpointed_whomp_run_finalizes_byte_identically() {
+        let events = workload_events();
+
+        let mut uninterrupted = Session::new(WhompProfiler::new());
+        uninterrupted.feed(&events);
+        let mut reference = Vec::new();
+        uninterrupted.finalize(&mut reference).unwrap();
+
+        for cut in [1, events.len() / 3, events.len() / 2, events.len() - 1] {
+            let mut first = Session::new(WhompProfiler::new());
+            first.feed(&events[..cut]);
+            let mut snapshot = Vec::new();
+            first.checkpoint(&mut snapshot).unwrap();
+
+            let mut resumed = Session::<WhompProfiler>::resume(&mut snapshot.as_slice())
+                .unwrap_or_else(|e| panic!("resume at {cut}: {e}"));
+            resumed.feed(&events[cut..]);
+            let mut profile = Vec::new();
+            resumed.finalize(&mut profile).unwrap();
+            assert_eq!(profile, reference, "cut at event {cut}");
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_is_verbatim() {
+        let mut session = Session::new(WhompProfiler::new());
+        session.feed(&workload_events());
+        let mut state = Vec::new();
+        session.cdc().sink().save_state(&mut state).unwrap();
+        let restored = WhompProfiler::restore_state(&mut state.as_slice()).unwrap();
+        let mut again = Vec::new();
+        restored.save_state(&mut again).unwrap();
+        assert_eq!(state, again);
+    }
+
+    #[test]
+    fn inconsistent_tuple_count_is_rejected() {
+        let mut session = Session::new(WhompProfiler::new());
+        session.feed(&workload_events());
+        let mut state = Vec::new();
+        session.cdc().sink().save_state(&mut state).unwrap();
+        // Bump the leading tuple-count varint to disagree with the
+        // grammar states behind it.
+        state[0] ^= 0x01;
+        assert!(WhompProfiler::restore_state(&mut state.as_slice()).is_err());
+    }
+}

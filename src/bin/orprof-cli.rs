@@ -1,31 +1,41 @@
 //! `orprof-cli` — run the bundled workloads under a profiler and save,
-//! inspect, or post-process profile files.
+//! inspect, or post-process `.orp` profile containers.
 //!
 //! ```text
 //! orprof-cli list
-//! orprof-cli run --workload 164.gzip --profiler leap --out gzip.orpl
+//! orprof-cli run --workload 164.gzip --profiler leap --out gzip.orp
 //! orprof-cli run --workload micro.matrix --profiler whomp --allocator buddy
-//! orprof-cli run --from-trace gzip.orpt --profiler leap --out gzip.orpl
+//! orprof-cli run --from-trace gzip.orpt --profiler leap --out gzip.orp
+//! orprof-cli run --from-trace rest.orpt --resume ckpt.orp --profiler leap
 //! orprof-cli record --workload 164.gzip --out gzip.orpt
-//! orprof-cli inspect gzip.orpl
-//! orprof-cli report gzip.orpl          # dependence + stride advice
+//! orprof-cli inspect gzip.orp
+//! orprof-cli report gzip.orp           # dependence + stride advice
 //! ```
+//!
+//! Every artifact — traces, profiles, checkpoints — is a `.orp`
+//! container; `inspect` dispatches on the container's `META` chunk, so
+//! it works uniformly on any of them.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 use orprof::allocsim::AllocatorKind;
-use orprof::core::{Cdc, Omc};
+use orprof::core::{Session, SessionSink};
+use orprof::format::{read_varint, ChunkTag, ContainerReader, ProfileKind};
 use orprof::leap::strides::{stride_stats, STRONG_STRIDE_THRESHOLD};
 use orprof::leap::{mdf, LeapProfile, LeapProfiler};
-use orprof::whomp::{Omsg, Rasg, RasgProfiler, WhompProfiler};
+use orprof::phase::PhaseDetector;
+use orprof::sequitur::Grammar;
+use orprof::trace::CountingSink;
+use orprof::whomp::{HybridProfile, HybridProfiler, Omsg, Rasg, RasgProfiler, WhompProfiler};
 use orprof::workloads::{micro_suite, spec_suite, RunConfig, Tracer, Workload};
 
 fn usage() -> &'static str {
     "usage:\n  orprof-cli list\n  orprof-cli run (--workload <name> | --from-trace <file>) \
-     --profiler <whomp|rasg|leap> [--out <file>] [--scale <n>] \
-     [--allocator <bump|free-list|buddy|randomizing>] [--seed <n>]\n  \
+     --profiler <whomp|rasg|leap|hybrid> [--out <file>] [--scale <n>] \
+     [--allocator <bump|free-list|buddy|randomizing>] [--seed <n>] \
+     [--resume <checkpoint.orp>] [--checkpoint <file>]\n  \
      orprof-cli record --workload <name> --out <file> [--scale <n>] [--allocator ..] [--seed <n>]\n  \
      orprof-cli inspect <file>\n  orprof-cli report <file>"
 }
@@ -49,7 +59,10 @@ fn parse_allocator(s: &str) -> Option<AllocatorKind> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
         Some("run") => cmd_run(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
@@ -68,13 +81,15 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() {
     println!("workloads:");
     for w in workloads(1) {
         println!("  {}", w.name());
     }
-    println!("profilers:\n  whomp  (lossless OMSG)\n  rasg   (raw-address baseline)\n  leap   (lossy LMAD profile)");
-    Ok(())
+    println!(
+        "profilers:\n  whomp  (lossless OMSG)\n  rasg   (raw-address baseline)\n  \
+         leap   (lossy LMAD profile)\n  hybrid (per-instruction grammars)"
+    );
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -137,6 +152,32 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Opens a profiling session — fresh, or restored from a `--resume`
+/// checkpoint container — drives it, and honors `--checkpoint`.
+fn run_session<S: SessionSink>(args: &[String], fresh: impl FnOnce() -> S) -> Result<S, String> {
+    let mut session = match flag(args, "--resume") {
+        Some(path) => {
+            let file = File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+            let session = Session::<S>::resume(&mut BufReader::new(file))
+                .map_err(|e| format!("resume {path}: {e}"))?;
+            println!("resumed from checkpoint {path}");
+            session
+        }
+        None => Session::new(fresh()),
+    };
+    drive(args, &mut session)?;
+    if let Some(path) = flag(args, "--checkpoint") {
+        let file = File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+        let mut w = BufWriter::new(file);
+        session
+            .checkpoint(&mut w)
+            .and_then(|()| std::io::Write::flush(&mut w))
+            .map_err(|e| format!("checkpoint {path}: {e}"))?;
+        println!("checkpoint written to {path}");
+    }
+    Ok(session.into_cdc().into_parts().1)
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let profiler = flag(args, "--profiler").unwrap_or_else(|| "leap".to_owned());
     let out = flag(args, "--out");
@@ -153,9 +194,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     match profiler.as_str() {
         "leap" => {
-            let mut cdc = Cdc::new(Omc::new(), LeapProfiler::new());
-            drive(args, &mut cdc)?;
-            let profile = cdc.into_parts().1.into_profile();
+            let profile = run_session(args, LeapProfiler::new)?.into_profile();
             println!(
                 "leap: {} accesses, {} streams, {} bytes ({:.0}x over the raw trace)",
                 profile.total_accesses(),
@@ -172,9 +211,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             write_out(&|w| profile.write_to(w))?;
         }
         "whomp" => {
-            let mut cdc = Cdc::new(Omc::new(), WhompProfiler::new());
-            drive(args, &mut cdc)?;
-            let omsg = cdc.into_parts().1.into_omsg();
+            let omsg = run_session(args, WhompProfiler::new)?.into_omsg();
             println!(
                 "whomp: {} tuples, grammar size {} symbols, {} bytes",
                 omsg.tuples(),
@@ -183,7 +220,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             );
             write_out(&|w| omsg.write_to(w))?;
         }
+        "hybrid" => {
+            let profile = run_session(args, HybridProfiler::new)?.into_profile();
+            println!(
+                "hybrid: {} tuples, {} instructions, grammar size {} symbols",
+                profile.tuples(),
+                profile.iter().count(),
+                profile.total_size()
+            );
+            write_out(&|w| profile.write_to(w))?;
+        }
         "rasg" => {
+            if flag(args, "--resume").is_some() || flag(args, "--checkpoint").is_some() {
+                return Err("rasg profiles raw addresses; checkpoints apply to the \
+                            object-relative profilers (leap, whomp, hybrid)"
+                    .to_owned());
+            }
             let mut p = RasgProfiler::new();
             drive(args, &mut p)?;
             let rasg = p.into_rasg();
@@ -200,32 +252,61 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Opens a profile file and dispatches on its magic.
-fn load(path: &str) -> Result<Profile, String> {
-    let open = || File::open(path).map_err(|e| format!("open {path}: {e}"));
-    // Try each format in turn (each validates its magic).
-    if let Ok(p) = LeapProfile::read_from(&mut BufReader::new(open()?)) {
-        return Ok(Profile::Leap(Box::new(p)));
+/// Walks a container's chunks, printing the self-describing registry
+/// view, and returns the profile kind from the `META` chunk.
+fn print_container(path: &str) -> Result<ProfileKind, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut reader =
+        ContainerReader::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: .orp container, format v{}", reader.version());
+    let mut kind: Option<ProfileKind> = None;
+    while let Some(chunk) = reader.next_chunk().map_err(|e| format!("{path}: {e}"))? {
+        let name = String::from_utf8_lossy(&chunk.tag.0).into_owned();
+        let desc = chunk.tag.describe().unwrap_or("(unregistered chunk)");
+        println!("  {name:<4} {:>9} B  {desc}", chunk.payload.len());
+        let mut cursor = chunk.payload.as_slice();
+        if chunk.tag == ChunkTag::META {
+            let code = read_varint(&mut cursor).map_err(|e| format!("{path}: META: {e}"))?;
+            kind = Some(ProfileKind::from_code(code).map_err(|e| format!("{path}: META: {e}"))?);
+        } else if chunk.tag == ChunkTag::CDC_STATE {
+            if let (Ok(time), Ok(untracked), Ok(anomalies), Ok(events)) = (
+                read_varint(&mut cursor),
+                read_varint(&mut cursor),
+                read_varint(&mut cursor),
+                read_varint(&mut cursor),
+            ) {
+                println!(
+                    "       time {time}, {events} events fed, {untracked} untracked, \
+                     {anomalies} probe anomalies"
+                );
+            }
+        } else if chunk.tag == ChunkTag::SINK_STATE {
+            if let Ok(len) = read_varint(&mut cursor) {
+                let len = usize::try_from(len).unwrap_or(0);
+                if cursor.len() >= len {
+                    if let Ok(name) = std::str::from_utf8(&cursor[..len]) {
+                        println!("       profiler state: {name}");
+                    }
+                }
+            }
+        }
     }
-    if let Ok(p) = Omsg::read_from(&mut BufReader::new(open()?)) {
-        return Ok(Profile::Omsg(Box::new(p)));
-    }
-    if let Ok(p) = Rasg::read_from(&mut BufReader::new(open()?)) {
-        return Ok(Profile::Rasg(Box::new(p)));
-    }
-    Err(format!("{path}: not a recognized profile file"))
+    kind.ok_or_else(|| format!("{path}: container has no META chunk"))
 }
 
-enum Profile {
-    Leap(Box<LeapProfile>),
-    Omsg(Box<Omsg>),
-    Rasg(Box<Rasg>),
+fn open(path: &str) -> Result<BufReader<File>, String> {
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| format!("open {path}: {e}"))
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing file")?;
-    match load(path)? {
-        Profile::Leap(p) => {
+    let kind = print_container(path)?;
+    let fail = |e: orprof::format::FormatError| format!("{path}: {e}");
+    match kind {
+        ProfileKind::Leap => {
+            let p = LeapProfile::read_from(&mut open(path)?).map_err(fail)?;
             println!(
                 "LEAP profile: {} accesses over {} instructions",
                 p.total_accesses(),
@@ -243,13 +324,15 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
                 q.instructions_captured * 100.0
             );
         }
-        Profile::Omsg(p) => {
+        ProfileKind::Omsg => {
+            let p = Omsg::read_from(&mut open(path)?).map_err(fail)?;
             println!("WHOMP (OMSG) profile: {} tuples", p.tuples());
             for (name, g) in p.dimensions() {
                 println!("  {name:12} {} rules, {} symbols", g.rule_count(), g.size());
             }
         }
-        Profile::Rasg(p) => {
+        ProfileKind::Rasg => {
+            let p = Rasg::read_from(&mut open(path)?).map_err(fail)?;
             println!(
                 "RASG profile: {} records, {} rules, {} symbols",
                 p.accesses(),
@@ -257,24 +340,68 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
                 p.records.size()
             );
         }
+        ProfileKind::Hybrid => {
+            let p = HybridProfile::read_from(&mut open(path)?).map_err(fail)?;
+            println!(
+                "hybrid profile: {} tuples over {} instructions, grammar size {} symbols",
+                p.tuples(),
+                p.iter().count(),
+                p.total_size()
+            );
+        }
+        ProfileKind::Grammar => {
+            let g = Grammar::read_container(open(path)?).map_err(fail)?;
+            println!(
+                "Sequitur grammar: {} rules, {} symbols, expands to {} tokens",
+                g.rule_count(),
+                g.size(),
+                g.expanded_len()
+            );
+        }
+        ProfileKind::LmadSet => {
+            let set = orprof::lmad::LmadSet::read_from(open(path)?).map_err(fail)?;
+            println!(
+                "LMAD set: {} descriptors, {} dimensions",
+                set.len(),
+                set.dims()
+            );
+        }
+        ProfileKind::PhaseSignatures => {
+            let det = PhaseDetector::read_from(&mut open(path)?).map_err(fail)?;
+            println!(
+                "phase signatures: {} phases over {} intervals of {} accesses",
+                det.phase_count(),
+                det.history().len(),
+                det.interval()
+            );
+        }
+        ProfileKind::Trace => {
+            let mut counter = CountingSink::new();
+            let events = orprof::trace::replay(&mut open(path)?, &mut counter).map_err(fail)?;
+            let stats = counter.into_stats();
+            println!(
+                "probe trace: {events} events ({} loads, {} stores, {} allocs, {} frees)",
+                stats.loads, stats.stores, stats.allocs, stats.frees
+            );
+        }
+        ProfileKind::Checkpoint => {
+            println!("checkpoint: resume with `orprof-cli run --resume {path} --profiler <name>`");
+        }
     }
     Ok(())
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing file")?;
-    match load(path)? {
-        Profile::Leap(p) => {
-            println!("== dependence frequencies ==");
-            for ((st, ld), f) in mdf::dependence_frequencies(&p).pairs() {
-                println!("  {st} -> {ld}: {:.1}%", f * 100.0);
-            }
-            println!("== strongly-strided instructions ==");
-            for (instr, stride) in stride_stats(&p).strongly_strided(STRONG_STRIDE_THRESHOLD) {
-                println!("  {instr}: stride {stride}");
-            }
-            Ok(())
-        }
-        _ => Err("report requires a LEAP profile".to_owned()),
+    let p = LeapProfile::read_from(&mut open(path)?)
+        .map_err(|e| format!("{path}: {e} (report requires a LEAP profile)"))?;
+    println!("== dependence frequencies ==");
+    for ((st, ld), f) in mdf::dependence_frequencies(&p).pairs() {
+        println!("  {st} -> {ld}: {:.1}%", f * 100.0);
     }
+    println!("== strongly-strided instructions ==");
+    for (instr, stride) in stride_stats(&p).strongly_strided(STRONG_STRIDE_THRESHOLD) {
+        println!("  {instr}: stride {stride}");
+    }
+    Ok(())
 }

@@ -15,6 +15,7 @@
 pub use orp_allocsim as allocsim;
 pub use orp_cache as cache;
 pub use orp_core as core;
+pub use orp_format as format;
 pub use orp_leap as leap;
 pub use orp_lmad as lmad;
 pub use orp_opt as opt;

@@ -159,6 +159,95 @@ fn whomp_profile_roundtrips_through_a_file() {
 }
 
 #[test]
+fn checkpoint_and_resume_roundtrip() {
+    let ckpt = tmp("ckpt.orp");
+    let resumed = tmp("resumed.orp");
+
+    // Run under LEAP and checkpoint the session at the end.
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.linked_list",
+            "--profiler",
+            "leap",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The checkpoint is an ordinary container: inspect names its chunks
+    // and the profiler whose state it holds.
+    let out = cli()
+        .args(["inspect", ckpt.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("checkpoint"), "{text}");
+    assert!(text.contains("profiler state: leap"), "{text}");
+    assert!(text.contains("OMCK"), "{text}");
+
+    // Resume it and keep profiling; the continued profile is a normal
+    // LEAP container.
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.linked_list",
+            "--profiler",
+            "leap",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--out",
+            resumed.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("resumed from checkpoint"), "{text}");
+
+    let out = cli()
+        .args(["inspect", resumed.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("LEAP profile"), "{text}");
+
+    // A checkpoint restores only into its own profiler type.
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.linked_list",
+            "--profiler",
+            "whomp",
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("different profiler"), "{err}");
+
+    let _ = std::fs::remove_file(ckpt);
+    let _ = std::fs::remove_file(resumed);
+}
+
+#[test]
 fn inspect_rejects_garbage_files() {
     let garbage = tmp("garbage.bin");
     std::fs::write(&garbage, b"not a profile at all").unwrap();

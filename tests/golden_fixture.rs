@@ -1,0 +1,79 @@
+//! Golden-file guard for the `.orp` container format.
+//!
+//! `tests/fixtures/golden.orp` is a checked-in container built from a
+//! fixed tuple sequence. Regenerating it byte-for-byte proves the wire
+//! format did not drift; parsing it proves old files stay readable.
+//! An intentional format change must bump [`orprof::format::FORMAT_VERSION`]
+//! and refresh the fixture:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_fixture
+//! ```
+
+use std::path::PathBuf;
+
+use orprof::core::{GroupId, ObjectSerial, OrSink, OrTuple, Timestamp};
+use orprof::trace::{AccessKind, InstrId};
+use orprof::whomp::{Omsg, WhompProfiler};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden.orp")
+}
+
+/// A fixed, RNG-free tuple sequence exercising all four OMSG
+/// dimensions.
+fn golden_profile() -> Omsg {
+    let mut p = WhompProfiler::new();
+    for k in 0..300u64 {
+        p.tuple(&OrTuple {
+            instr: InstrId(u32::try_from(k % 5).unwrap()),
+            kind: if k % 5 == 3 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            },
+            group: GroupId(u32::try_from(k % 3).unwrap()),
+            object: ObjectSerial(k / 9),
+            offset: (k % 9) * 8,
+            time: Timestamp(k),
+            size: 8,
+        });
+    }
+    p.into_omsg()
+}
+
+fn golden_bytes() -> Vec<u8> {
+    let mut buf = Vec::new();
+    golden_profile().write_to(&mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn golden_container_bytes_are_stable() {
+    let bytes = golden_bytes();
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &bytes).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read(&path).expect(
+        "fixture missing; regenerate with UPDATE_GOLDEN=1 cargo test --test golden_fixture",
+    );
+    assert_eq!(
+        bytes, golden,
+        "serialized container differs from the golden fixture: the wire format changed. \
+         If intentional, bump FORMAT_VERSION and refresh the fixture with UPDATE_GOLDEN=1."
+    );
+}
+
+#[test]
+fn golden_container_still_parses() {
+    let golden = std::fs::read(fixture_path()).expect(
+        "fixture missing; regenerate with UPDATE_GOLDEN=1 cargo test --test golden_fixture",
+    );
+    let omsg = Omsg::read_from(&mut golden.as_slice()).expect("golden fixture readable");
+    let reference = golden_profile();
+    assert_eq!(omsg.tuples(), reference.tuples());
+    assert_eq!(omsg.expand(), reference.expand());
+    assert_eq!(omsg.total_size(), reference.total_size());
+}

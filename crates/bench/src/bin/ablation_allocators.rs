@@ -4,6 +4,8 @@
 //! run-to-run artifact problem on whole profiles rather than single
 //! traces.
 
+#![forbid(unsafe_code)]
+
 use orp_allocsim::AllocatorKind;
 use orp_bench::{collect_omsg, collect_rasg, run, scale_from_env};
 use orp_report::Table;

@@ -2,6 +2,8 @@
 //! longer-range dependences at linearly growing memory cost; even huge
 //! windows keep the underestimation-only error shape.
 
+#![forbid(unsafe_code)]
+
 use orp_bench::{collect_connors, collect_lossless_dependences, dependence_errors, scale_from_env};
 use orp_report::Table;
 use orp_workloads::{spec_suite, RunConfig};

@@ -10,6 +10,8 @@
 //!   the profile);
 //! * `OMSG` — the full design: one grammar per dimension.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 
 use orp_bench::{collect_omsg, collect_rasg, run, scale_from_env};

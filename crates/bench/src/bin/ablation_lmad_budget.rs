@@ -5,6 +5,8 @@
 //! Sweeps the budget and reports the quality/size/time trade-off that
 //! motivates that choice.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use orp_bench::{collect_leap, collect_lossless_dependences, scale_from_env};

@@ -7,6 +7,8 @@
 //! correlation but must be re-decomposed for instruction-indexed use.
 //! This harness quantifies the size trade.
 
+#![forbid(unsafe_code)]
+
 use orp_bench::{collect_omsg, run, scale_from_env};
 use orp_core::{Cdc, Omc};
 use orp_report::Table;

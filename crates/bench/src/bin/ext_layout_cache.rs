@@ -13,6 +13,8 @@
 //! * the profile-guided access-order layout,
 //! * access order plus field compaction of the hot fields.
 
+#![forbid(unsafe_code)]
+
 use orp_bench::run;
 use orp_cache::layout::{access_order, LayoutPlan};
 use orp_cache::{CacheConfig, Hierarchy};

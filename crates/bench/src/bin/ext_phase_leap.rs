@@ -7,6 +7,8 @@
 //! Routing intervals to per-phase LEAP profiles (detected online with
 //! interval signatures) recovers capture quality.
 
+#![forbid(unsafe_code)]
+
 use orp_bench::{run, scale_from_env};
 use orp_core::{Cdc, Omc};
 use orp_leap::{LeapProfiler, DEFAULT_LMAD_BUDGET};

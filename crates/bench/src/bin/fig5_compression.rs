@@ -4,6 +4,8 @@
 //! teed pass over the trace, so they see identical events by
 //! construction.
 
+#![forbid(unsafe_code)]
+
 use orp_bench::{compression_run, scale_from_env};
 use orp_report::{BarChart, Table};
 use orp_workloads::{spec_suite, RunConfig};

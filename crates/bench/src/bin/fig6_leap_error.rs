@@ -3,6 +3,8 @@
 //! benchmarks. The paper's headline: ~75% of dependent pairs are
 //! exactly right or off by at most 10%.
 
+#![forbid(unsafe_code)]
+
 use orp_bench::{collect_leap, collect_lossless_dependences, dependence_errors, scale_from_env};
 use orp_leap::{mdf, DEFAULT_LMAD_BUDGET};
 use orp_report::{ErrorHistogram, Table};

@@ -3,6 +3,8 @@
 //! window profiler never overestimates but misses dependences whose
 //! stores have slid out of the history window.
 
+#![forbid(unsafe_code)]
+
 use orp_bench::{collect_connors, collect_lossless_dependences, dependence_errors, scale_from_env};
 use orp_leap::connors::DEFAULT_WINDOW;
 use orp_report::{ErrorHistogram, Table};

@@ -2,6 +2,8 @@
 //! side. The paper's headline: LEAP characterizes 56% more pairs
 //! correctly (within ±10%) than Connors.
 
+#![forbid(unsafe_code)]
+
 use orp_bench::{
     collect_connors, collect_leap, collect_lossless_dependences, dependence_errors, scale_from_env,
 };

@@ -2,6 +2,8 @@
 //! strongly-strided instructions (per the lossless stride profiler)
 //! that LEAP's LMAD post-process also identifies. Paper average: 88%.
 
+#![forbid(unsafe_code)]
+
 use orp_bench::{collect_leap, collect_lossless_strides, scale_from_env};
 use orp_leap::strides::{stride_score, stride_stats, STRONG_STRIDE_THRESHOLD};
 use orp_leap::DEFAULT_LMAD_BUDGET;

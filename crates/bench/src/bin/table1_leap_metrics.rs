@@ -5,6 +5,8 @@
 //! Paper averages: 3539× compression, 11.5× dilation, 46.5% accesses
 //! captured, 40.5% instructions captured.
 
+#![forbid(unsafe_code)]
+
 use orp_bench::{collect_leap, native_time, scale_from_env};
 use orp_leap::DEFAULT_LMAD_BUDGET;
 use orp_report::{fmt_percent, fmt_ratio, Table};

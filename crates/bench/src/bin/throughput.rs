@@ -33,6 +33,8 @@
 //! numbers, and on a multi-core box the sharded numbers additionally
 //! reflect true parallelism.
 
+#![forbid(unsafe_code)]
+
 use std::hint::black_box;
 use std::time::Instant;
 

@@ -6,6 +6,8 @@
 //! the metrics — lives here so binaries stay declarative and the logic
 //! is unit-testable.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use orp_core::{Cdc, Omc};

@@ -21,6 +21,8 @@
 //! assert_eq!(cache.stats().misses, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod layout;
 
 mod sim;

@@ -55,17 +55,20 @@
 //! assert_eq!(tuples[0].object.0 + 1, tuples[1].object.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cdc;
 pub mod decompose;
 mod omc;
 mod session;
 pub mod sharded;
 mod sink;
+pub(crate) mod sync;
 pub mod threaded;
 
 pub use cdc::Cdc;
 pub use omc::{ObjectRecord, Omc, OmcError};
-pub use session::{Session, SessionSink};
+pub use session::{ResumeError, ResumeLedger, Session, SessionSink};
 pub use sharded::{PipelineError, ShardableSink, ShardedCdc};
 pub use sink::{NullOrSink, OrSink, VecOrSink};
 

@@ -25,6 +25,7 @@
 //! [`Session`] or on the sharded pipeline
 //! ([`Session::resume_sharded`]).
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
 use orp_format::{
@@ -244,6 +245,58 @@ impl<S: SessionSink> Session<S> {
         ))
     }
 
+    /// [`Session::resume`] with double-resume protection: registers the
+    /// checkpoint in `ledger` and refuses to restore a checkpoint the
+    /// ledger has already handed out. A recovery driver that resumes
+    /// one snapshot twice would silently fork the profile (two sessions
+    /// both believing they own the stream's continuation); with a
+    /// ledger that is a loud [`ResumeError::AlreadyResumed`] instead.
+    ///
+    /// Reads the stream to its end — a checkpoint file holds exactly
+    /// one container.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError::Format`] as [`Session::resume`];
+    /// [`ResumeError::AlreadyResumed`] on the second resume of the same
+    /// checkpoint bytes.
+    pub fn resume_tracked(
+        r: &mut impl Read,
+        ledger: &mut ResumeLedger,
+    ) -> Result<Self, ResumeError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes).map_err(FormatError::from)?;
+        let session = Self::resume(&mut bytes.as_slice())?;
+        ledger.claim(&bytes)?;
+        Ok(session)
+    }
+
+    /// [`Session::resume_sharded`] with the same double-resume
+    /// protection as [`Session::resume_tracked`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::resume_tracked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn resume_sharded_tracked(
+        r: &mut impl Read,
+        shards: usize,
+        make_sink: impl FnMut(usize) -> S,
+        ledger: &mut ResumeLedger,
+    ) -> Result<ShardedCdc<S>, ResumeError>
+    where
+        S: ShardableSink,
+    {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes).map_err(FormatError::from)?;
+        let pipeline = Self::resume_sharded(&mut bytes.as_slice(), shards, make_sink)?;
+        ledger.claim(&bytes)?;
+        Ok(pipeline)
+    }
+
     /// Finishes the session and writes the sink's profile container.
     ///
     /// # Errors
@@ -253,6 +306,92 @@ impl<S: SessionSink> Session<S> {
         ProbeSink::finish(&mut self.cdc);
         let (_omc, sink) = self.cdc.into_parts();
         sink.finalize_profile(w)
+    }
+}
+
+/// Tracks which checkpoints a recovery driver has already resumed, so
+/// the same snapshot cannot silently fork into two live sessions.
+///
+/// Identity is a 64-bit FNV-1a fingerprint of the checkpoint bytes:
+/// ledger state stays O(resumes), and byte-identical snapshots (the
+/// fork hazard) collide by construction. Deliberately opt-in — tests
+/// and harnesses that *want* to replay one snapshot several ways (e.g.
+/// at different shard counts) use the untracked `resume` entry points.
+#[derive(Debug, Default)]
+pub struct ResumeLedger {
+    seen: std::collections::HashSet<u64>,
+}
+
+impl ResumeLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checkpoints claimed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when no checkpoint has been claimed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    fn claim(&mut self, bytes: &[u8]) -> Result<(), ResumeError> {
+        if self.seen.insert(fnv1a(bytes)) {
+            Ok(())
+        } else {
+            Err(ResumeError::AlreadyResumed)
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a tracked resume failed.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The checkpoint container is damaged or mismatched.
+    Format(FormatError),
+    /// This ledger already resumed the same checkpoint; a second
+    /// session from it would fork the profile.
+    AlreadyResumed,
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Format(e) => write!(f, "{e}"),
+            ResumeError::AlreadyResumed => {
+                f.write_str("checkpoint was already resumed; refusing to fork the session")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Format(e) => Some(e),
+            ResumeError::AlreadyResumed => None,
+        }
+    }
+}
+
+impl From<FormatError> for ResumeError {
+    fn from(e: FormatError) -> Self {
+        ResumeError::Format(e)
     }
 }
 

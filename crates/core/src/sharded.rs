@@ -28,26 +28,39 @@
 //! being reallocated per batch.
 
 use std::collections::VecDeque;
-use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::thread::JoinHandle;
 
 use orp_trace::{AccessEvent, AllocEvent, FreeEvent, InstrId, ProbeEvent, ProbeSink};
 
 use crate::omc::FastU64Map;
+use crate::sync::mpsc::{self, Receiver, SyncSender};
+use crate::sync::thread::{self, JoinHandle};
 use crate::{Cdc, GroupId, Omc, OrSink, OrTuple, Timestamp};
 
 /// Probe events per batch shipped to the translator.
+#[cfg(not(loom))]
 pub const EVENT_BATCH: usize = 16384;
+/// Model-checking build: tiny batches, so a handful of events exercises
+/// multiple channel transitions without exploding the schedule space.
+#[cfg(loom)]
+pub const EVENT_BATCH: usize = 2;
 
 /// Translated tuples per batch shipped to a shard worker.
+#[cfg(not(loom))]
 const TUPLE_BATCH: usize = 8192;
+#[cfg(loom)]
+const TUPLE_BATCH: usize = 2;
 
 /// Bounded queue depth, in batches, of every channel in the pipeline.
 /// Deep enough that the probe side rarely stalls on a busy translator
 /// (and, on a single hardware thread, stages run as long uninterrupted
 /// stretches instead of ping-ponging per batch); still bounded, so a
 /// stuck worker back-pressures the probe instead of exhausting memory.
+#[cfg(not(loom))]
 const QUEUE_BATCHES: usize = 32;
+/// Model-checking build: depth 1 makes back-pressure (a full queue
+/// blocking the sender) reachable within a few events.
+#[cfg(loom)]
+const QUEUE_BATCHES: usize = 1;
 
 /// A profiler whose state is partitioned by a vertical-decomposition
 /// key, making it collectable on sharded workers.
@@ -328,7 +341,7 @@ impl<S: ShardableSink> ShardedCdc<S> {
         for (shard, mut sink) in sinks.into_iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel::<Vec<OrTuple>>(QUEUE_BATCHES);
             let (recycle_tx, recycle_rx) = mpsc::sync_channel::<Vec<OrTuple>>(QUEUE_BATCHES);
-            let handle = std::thread::Builder::new()
+            let handle = thread::Builder::new()
                 .name(format!("orp-shard-{shard}"))
                 .spawn(move || {
                     while let Ok(batch) = rx.recv() {
@@ -349,7 +362,7 @@ impl<S: ShardableSink> ShardedCdc<S> {
             workers.push_back(handle);
         }
 
-        let translator = std::thread::Builder::new()
+        let translator = thread::Builder::new()
             .name("orp-translate".to_owned())
             .spawn(move || {
                 translate_loop::<S>(init, &seeded_keys, &probe_rx, &probe_recycle_tx, &mut lanes)

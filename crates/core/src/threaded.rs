@@ -12,20 +12,27 @@
 //! on translation or compression except when the channel back-pressures
 //! — the same trade the paper describes.
 
-use std::sync::mpsc;
-use std::thread::JoinHandle;
-
 use orp_trace::{AccessEvent, AllocEvent, FreeEvent, ProbeEvent, ProbeSink};
 
 use crate::sharded::{panic_message, PipelineError};
+use crate::sync::mpsc;
+use crate::sync::thread::{self, JoinHandle};
 use crate::{Cdc, OrSink};
 
 /// Events per batch message (amortizes channel synchronization, the
 /// overhead source the paper calls out).
+#[cfg(not(loom))]
 const BATCH: usize = 1024;
+/// Model-checking build: tiny batches keep the schedule space tractable
+/// while still exercising multiple channel transitions.
+#[cfg(loom)]
+const BATCH: usize = 2;
 
 /// Bounded queue depth in batches.
+#[cfg(not(loom))]
 const QUEUE_BATCHES: usize = 64;
+#[cfg(loom)]
+const QUEUE_BATCHES: usize = 1;
 
 /// A probe sink that ships events to a worker thread running the
 /// CDC/OMC and the profiler.
@@ -60,7 +67,7 @@ impl<S: OrSink + Send + 'static> ThreadedCdc<S> {
     pub fn spawn(omc: crate::Omc, sink: S) -> Self {
         let (sender, receiver) = mpsc::sync_channel::<Vec<ProbeEvent>>(QUEUE_BATCHES);
         let (recycle_tx, recycle_rx) = mpsc::sync_channel::<Vec<ProbeEvent>>(QUEUE_BATCHES);
-        let worker = std::thread::Builder::new()
+        let worker = thread::Builder::new()
             .name("orp-cdc".to_owned())
             .spawn(move || {
                 let mut cdc = Cdc::new(omc, sink);

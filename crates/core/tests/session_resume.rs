@@ -1,0 +1,305 @@
+//! Degenerate checkpoint cut points and double-resume protection.
+//!
+//! The loom harness (`loom_pipeline.rs`) model-checks the *schedules*
+//! of a resumed pipeline; these tests pin the *cut points* it takes for
+//! granted: a checkpoint taken before any event, a checkpoint taken
+//! when the session is already finalize-eligible (every object freed),
+//! and the ledger that keeps one snapshot from being resumed into two
+//! live sessions.
+
+use std::io::{self, Read, Write};
+
+use orp_core::sharded::ShardableSink;
+use orp_core::{
+    Cdc, GroupId, ObjectSerial, OrSink, OrTuple, ResumeError, ResumeLedger, Session, SessionSink,
+    Timestamp, VecOrSink,
+};
+use orp_format::{read_varint, write_varint, ProfileKind};
+use orp_trace::{
+    AccessEvent, AccessKind, AllocEvent, AllocSiteId, FreeEvent, InstrId, ProbeEvent, RawAddress,
+};
+
+/// Minimal checkpointable sink (`VecOrSink`'s own `SessionSink` impl is
+/// test-private to the session module): materializes tuples, shards by
+/// instruction, merges by re-sorting on the globally unique timestamp.
+#[derive(Debug, Default)]
+struct ReplaySink {
+    tuples: Vec<OrTuple>,
+}
+
+impl OrSink for ReplaySink {
+    fn tuple(&mut self, t: &OrTuple) {
+        self.tuples.push(*t);
+    }
+}
+
+impl ShardableSink for ReplaySink {
+    fn shard_key(t: &OrTuple) -> u64 {
+        u64::from(t.instr.0)
+    }
+
+    fn merge(parts: Vec<Self>) -> Self {
+        let mut tuples: Vec<OrTuple> = parts.into_iter().flat_map(|p| p.tuples).collect();
+        tuples.sort_unstable_by_key(|t| t.time);
+        ReplaySink { tuples }
+    }
+}
+
+impl SessionSink for ReplaySink {
+    const STATE_NAME: &'static str = "test-replay";
+
+    fn save_state(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.tuples.len() as u64)?;
+        for t in &self.tuples {
+            write_varint(w, u64::from(t.instr.0))?;
+            write_varint(w, u64::from(t.kind.is_store()))?;
+            write_varint(w, u64::from(t.group.0))?;
+            write_varint(w, t.object.0)?;
+            write_varint(w, t.offset)?;
+            write_varint(w, t.time.0)?;
+            write_varint(w, u64::from(t.size))?;
+        }
+        Ok(())
+    }
+
+    fn restore_state(r: &mut impl Read) -> io::Result<Self> {
+        let count = read_varint(r)?;
+        let mut tuples = Vec::new();
+        for _ in 0..count {
+            let instr = InstrId(u32::try_from(read_varint(r)?).expect("test state"));
+            let kind = if read_varint(r)? == 1 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            tuples.push(OrTuple {
+                instr,
+                kind,
+                group: GroupId(u32::try_from(read_varint(r)?).expect("test state")),
+                object: ObjectSerial(read_varint(r)?),
+                offset: read_varint(r)?,
+                time: Timestamp(read_varint(r)?),
+                size: u8::try_from(read_varint(r)?).expect("test state"),
+            });
+        }
+        Ok(ReplaySink { tuples })
+    }
+
+    fn finalize_profile(self, w: &mut impl Write) -> io::Result<()> {
+        let mut payload = Vec::new();
+        self.save_state(&mut payload)?;
+        orp_format::write_single_chunk(w, ProfileKind::Checkpoint, &payload)
+    }
+}
+
+fn script() -> Vec<ProbeEvent> {
+    vec![
+        ProbeEvent::Alloc(AllocEvent {
+            site: AllocSiteId(0),
+            base: RawAddress(0x100),
+            size: 32,
+        }),
+        ProbeEvent::Access(AccessEvent::load(InstrId(0), RawAddress(0x100), 8)),
+        ProbeEvent::Access(AccessEvent::store(InstrId(1), RawAddress(0x108), 8)),
+        ProbeEvent::Access(AccessEvent::load(InstrId(0), RawAddress(0x110), 8)),
+        ProbeEvent::Free(FreeEvent {
+            base: RawAddress(0x100),
+        }),
+    ]
+}
+
+fn finalize_bytes(session: Session<ReplaySink>) -> Vec<u8> {
+    let mut out = Vec::new();
+    session.finalize(&mut out).expect("finalize to memory");
+    out
+}
+
+#[test]
+fn checkpoint_before_any_event_resumes_to_a_fresh_session() {
+    // Cut at offset zero: the checkpoint of a brand-new session.
+    let fresh = Session::new(ReplaySink::default());
+    let mut ckpt = Vec::new();
+    fresh
+        .checkpoint(&mut ckpt)
+        .expect("checkpoint empty session");
+
+    let mut resumed =
+        Session::<ReplaySink>::resume(&mut ckpt.as_slice()).expect("resume empty checkpoint");
+    assert_eq!(resumed.events(), 0, "no events were fed before the cut");
+
+    // The resumed session must behave exactly like a brand-new one.
+    resumed.feed(&script());
+    let mut reference = Session::new(ReplaySink::default());
+    reference.feed(&script());
+    assert_eq!(resumed.events(), reference.events());
+    assert_eq!(finalize_bytes(resumed), finalize_bytes(reference));
+}
+
+#[test]
+fn checkpoint_at_finalize_eligible_state_finalizes_identically() {
+    // Cut after the full script: every object freed, nothing in
+    // flight — the session could finalize right now. Checkpointing at
+    // that cut and resuming must finalize byte-identically to
+    // finalizing the original directly.
+    let mut session = Session::new(ReplaySink::default());
+    session.feed(&script());
+    let mut ckpt = Vec::new();
+    session
+        .checkpoint(&mut ckpt)
+        .expect("checkpoint finalize-eligible session");
+
+    let resumed =
+        Session::<ReplaySink>::resume(&mut ckpt.as_slice()).expect("resume full checkpoint");
+    assert_eq!(resumed.events(), session.events());
+    assert_eq!(finalize_bytes(resumed), finalize_bytes(session));
+}
+
+#[test]
+fn double_resume_from_the_same_checkpoint_errors() {
+    let mut session = Session::new(ReplaySink::default());
+    session.feed(&script()[..3]);
+    let mut ckpt = Vec::new();
+    session
+        .checkpoint(&mut ckpt)
+        .expect("checkpoint mid-stream");
+
+    let mut ledger = ResumeLedger::new();
+    let first = Session::<ReplaySink>::resume_tracked(&mut ckpt.as_slice(), &mut ledger)
+        .expect("first resume");
+    assert_eq!(first.events(), 3);
+    assert_eq!(ledger.len(), 1);
+
+    // The same snapshot again: must refuse, not hand out a fork.
+    let second = Session::<ReplaySink>::resume_tracked(&mut ckpt.as_slice(), &mut ledger);
+    assert!(
+        matches!(second, Err(ResumeError::AlreadyResumed)),
+        "second resume of one checkpoint must error, got {second:?}"
+    );
+    assert_eq!(
+        ledger.len(),
+        1,
+        "the refused resume must not grow the ledger"
+    );
+}
+
+#[test]
+fn tracked_resume_distinguishes_different_checkpoints() {
+    let mut session = Session::new(ReplaySink::default());
+    session.feed(&script()[..2]);
+    let mut early = Vec::new();
+    session.checkpoint(&mut early).expect("early checkpoint");
+    session.feed(&script()[2..]);
+    let mut late = Vec::new();
+    session.checkpoint(&mut late).expect("late checkpoint");
+
+    let mut ledger = ResumeLedger::new();
+    assert!(ledger.is_empty());
+    Session::<ReplaySink>::resume_tracked(&mut early.as_slice(), &mut ledger)
+        .expect("early resume");
+    Session::<ReplaySink>::resume_tracked(&mut late.as_slice(), &mut ledger)
+        .expect("a different checkpoint is not a fork");
+    assert_eq!(ledger.len(), 2);
+}
+
+#[test]
+fn double_resume_onto_the_sharded_pipeline_errors() {
+    let mut session = Session::new(ReplaySink::default());
+    session.feed(&script()[..3]);
+    let mut ckpt = Vec::new();
+    session
+        .checkpoint(&mut ckpt)
+        .expect("checkpoint mid-stream");
+
+    let mut ledger = ResumeLedger::new();
+    let pipeline = Session::<ReplaySink>::resume_sharded_tracked(
+        &mut ckpt.as_slice(),
+        2,
+        |_| ReplaySink::default(),
+        &mut ledger,
+    )
+    .expect("first sharded resume");
+    drop(pipeline.try_join().expect("pipeline healthy"));
+
+    // A second resume — sharded or not — of the same snapshot forks.
+    let again = Session::<ReplaySink>::resume_tracked(&mut ckpt.as_slice(), &mut ledger);
+    assert!(matches!(again, Err(ResumeError::AlreadyResumed)));
+}
+
+#[test]
+fn corrupt_checkpoint_does_not_burn_the_ledger_entry() {
+    let mut session = Session::new(ReplaySink::default());
+    session.feed(&script()[..3]);
+    let mut ckpt = Vec::new();
+    session
+        .checkpoint(&mut ckpt)
+        .expect("checkpoint mid-stream");
+
+    let mut ledger = ResumeLedger::new();
+    let mut damaged = ckpt.clone();
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0x40;
+    assert!(matches!(
+        Session::<ReplaySink>::resume_tracked(&mut damaged.as_slice(), &mut ledger),
+        Err(ResumeError::Format(_))
+    ));
+    assert!(
+        ledger.is_empty(),
+        "a failed resume must not claim the snapshot"
+    );
+
+    // The intact snapshot still resumes once.
+    Session::<ReplaySink>::resume_tracked(&mut ckpt.as_slice(), &mut ledger)
+        .expect("intact checkpoint resumes after a failed attempt");
+}
+
+#[test]
+fn untracked_resume_still_allows_deliberate_replay() {
+    // The sharded-merge equivalence tests replay one snapshot at
+    // several shard counts on purpose; the untracked entry points must
+    // keep permitting that.
+    let mut session = Session::new(ReplaySink::default());
+    session.feed(&script()[..3]);
+    let mut ckpt = Vec::new();
+    session
+        .checkpoint(&mut ckpt)
+        .expect("checkpoint mid-stream");
+
+    let a = Session::<ReplaySink>::resume(&mut ckpt.as_slice()).expect("first untracked");
+    let b = Session::<ReplaySink>::resume(&mut ckpt.as_slice()).expect("second untracked");
+    assert_eq!(a.events(), b.events());
+}
+
+#[test]
+fn checkpoint_before_any_event_resumes_onto_the_sharded_pipeline() {
+    // Degenerate cut × sharded resume: shard 0 inherits an *empty*
+    // stem sink and the merge must still reproduce the inline run.
+    let fresh = Session::new(ReplaySink::default());
+    let mut ckpt = Vec::new();
+    fresh
+        .checkpoint(&mut ckpt)
+        .expect("checkpoint empty session");
+
+    let mut inline = Cdc::new(orp_core::Omc::new(), VecOrSink::new());
+    for &ev in &script() {
+        use orp_trace::ProbeSink;
+        inline.event(ev);
+    }
+    {
+        use orp_trace::ProbeSink;
+        inline.finish();
+    }
+
+    let mut pipeline =
+        Session::<ReplaySink>::resume_sharded(&mut ckpt.as_slice(), 3, |_| ReplaySink::default())
+            .expect("resume empty checkpoint onto shards");
+    {
+        use orp_trace::ProbeSink;
+        for &ev in &script() {
+            pipeline.event(ev);
+        }
+        pipeline.finish();
+    }
+    let cdc = pipeline.try_join().expect("pipeline healthy");
+    assert_eq!(cdc.sink().tuples, inline.sink().tuples());
+    assert_eq!(cdc.time(), inline.time());
+}

@@ -40,6 +40,12 @@
 //! assert!(r.next_chunk().unwrap().is_none());
 //! ```
 
+#![forbid(unsafe_code)]
+// Decode paths must route malformed input through `FormatError`; the
+// `xtask analyze` no-panic rule enforces the wider family (expect,
+// panic!, indexing), this enforces unwrap at compile time too.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod chunk;
 mod container;
 mod crc;

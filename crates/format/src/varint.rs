@@ -35,16 +35,17 @@ pub fn read_varint(r: &mut impl Read) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let mut byte = [0u8; 1];
-        r.read_exact(&mut byte)?;
+        let mut buf = [0u8; 1];
+        r.read_exact(&mut buf)?;
+        let [byte] = buf;
         if shift >= 64 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "varint too long",
             ));
         }
-        v |= u64::from(byte[0] & 0x7F) << shift;
-        if byte[0] & 0x80 == 0 {
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
             return Ok(v);
         }
         shift += 7;

@@ -12,7 +12,10 @@ use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 
 use orp_core::GroupId;
-use orp_format::{read_single_chunk, write_single_chunk, FormatError, ProfileKind};
+use orp_format::{
+    read_single_chunk, read_u32_le, read_u64_le, write_single_chunk, write_u32_le, write_u64_le,
+    FormatError, ProfileKind,
+};
 use orp_lmad::LinearCompressor;
 use orp_trace::{AccessKind, InstrId};
 
@@ -30,17 +33,17 @@ impl LeapProfile {
     ///
     /// Propagates writer errors.
     pub fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
-        w.write_all(&(self.instructions().len() as u64).to_le_bytes())?;
+        write_u64_le(w, self.instructions().len() as u64)?;
         for (&instr, &kind) in self.instructions() {
-            w.write_all(&instr.0.to_le_bytes())?;
-            w.write_all(&[if kind.is_store() { 1u8 } else { 0 }])?;
-            w.write_all(&self.execs(instr).to_le_bytes())?;
+            write_u32_le(w, instr.0)?;
+            w.write_all(&[u8::from(kind.is_store())])?;
+            write_u64_le(w, self.execs(instr))?;
         }
 
-        w.write_all(&(self.streams().len() as u64).to_le_bytes())?;
+        write_u64_le(w, self.streams().len() as u64)?;
         for ((instr, group), stream) in self.streams() {
-            w.write_all(&instr.0.to_le_bytes())?;
-            w.write_all(&group.0.to_le_bytes())?;
+            write_u32_le(w, instr.0)?;
+            write_u32_le(w, group.0)?;
             stream.full.write_to(w)?;
             stream.loc.write_to(w)?;
         }
@@ -54,37 +57,28 @@ impl LeapProfile {
     /// Propagates reader errors; rejects streams referencing unknown
     /// instructions and compressors of the wrong dimensionality.
     pub fn read_payload(r: &mut impl Read) -> io::Result<Self> {
-        let mut count8 = [0u8; 8];
-        r.read_exact(&mut count8)?;
-        let instr_count = u64::from_le_bytes(count8);
+        let instr_count = read_u64_le(r)?;
         let mut execs = BTreeMap::new();
         let mut kinds = BTreeMap::new();
         for _ in 0..instr_count {
-            let mut id4 = [0u8; 4];
-            r.read_exact(&mut id4)?;
-            let instr = InstrId(u32::from_le_bytes(id4));
+            let instr = InstrId(read_u32_le(r)?);
             let mut kind1 = [0u8; 1];
             r.read_exact(&mut kind1)?;
-            let kind = match kind1[0] {
+            let [kind_byte] = kind1;
+            let kind = match kind_byte {
                 0 => AccessKind::Load,
                 1 => AccessKind::Store,
                 _ => return Err(bad_data("bad access kind")),
             };
-            let mut e8 = [0u8; 8];
-            r.read_exact(&mut e8)?;
             kinds.insert(instr, kind);
-            execs.insert(instr, u64::from_le_bytes(e8));
+            execs.insert(instr, read_u64_le(r)?);
         }
 
-        r.read_exact(&mut count8)?;
-        let stream_count = u64::from_le_bytes(count8);
+        let stream_count = read_u64_le(r)?;
         let mut streams = BTreeMap::new();
         for _ in 0..stream_count {
-            let mut id4 = [0u8; 4];
-            r.read_exact(&mut id4)?;
-            let instr = InstrId(u32::from_le_bytes(id4));
-            r.read_exact(&mut id4)?;
-            let group = GroupId(u32::from_le_bytes(id4));
+            let instr = InstrId(read_u32_le(r)?);
+            let group = GroupId(read_u32_le(r)?);
             if !kinds.contains_key(&instr) {
                 return Err(bad_data("stream references unknown instruction"));
             }

@@ -37,6 +37,8 @@
 //! assert!(!deps.pairs().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod connors;
 pub mod errors;
 pub mod lossless;

@@ -42,6 +42,8 @@
 //! assert_eq!((lmads[1].start[0], lmads[1].stride[0], lmads[1].count), (15, 1, 4));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod compressor;
 mod descriptor;
 mod io;

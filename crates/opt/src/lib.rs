@@ -24,6 +24,8 @@
 //! addresses, where field offsets and object identities are fused into
 //! meaningless absolutes — which is the paper's point.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod field_reorder;
 pub mod hot_streams;

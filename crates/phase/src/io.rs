@@ -101,7 +101,8 @@ impl PhaseDetector {
             if phase >= rep_count {
                 return Err(bad_data("history references unknown phase"));
             }
-            history.push(PhaseId(u32::try_from(phase).expect("bounded by rep count")));
+            let phase = u32::try_from(phase).map_err(|_| bad_data("phase id exceeds u32 range"))?;
+            history.push(PhaseId(phase));
         }
         Ok(PhaseDetector {
             interval,

@@ -31,6 +31,8 @@
 //!                             orp_phase::PhaseId(1), orp_phase::PhaseId(1)]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod io;
 
 use std::collections::{BTreeMap, HashMap};

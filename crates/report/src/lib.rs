@@ -18,6 +18,8 @@
 //! assert!(text.contains("164.gzip"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// A simple aligned ASCII table.
 #[derive(Debug, Clone)]
 pub struct Table {

@@ -147,9 +147,10 @@ fn write_sym(w: &mut impl Write, s: Sym) -> io::Result<()> {
 fn read_sym(r: &mut impl Read) -> io::Result<Sym> {
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
+    let [tag] = tag;
     let value = read_varint(r)?;
     let as_u32 = |v: u64| u32::try_from(v).map_err(|_| bad_data("symbol index exceeds u32 range"));
-    Ok(match tag[0] {
+    Ok(match tag {
         0 => Sym::Terminal(value),
         1 => Sym::Rule(as_u32(value)?),
         2 => Sym::Guard(as_u32(value)?),
@@ -286,7 +287,8 @@ impl Sequitur {
             }
             digrams.insert((a, b), node);
         }
-        if rules[0].guard == NIL || (rules[0].guard as usize) >= node_count {
+        let start_guard = rules.first().map_or(NIL, |start| start.guard);
+        if start_guard == NIL || (start_guard as usize) >= node_count {
             return Err(bad_data("start rule has no guard node"));
         }
         Ok(Sequitur {

@@ -35,6 +35,8 @@
 //! assert_eq!(expanded, "abcbcabcbc".bytes().map(u64::from).collect::<Vec<_>>());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod grammar;
 mod io;
 

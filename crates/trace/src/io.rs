@@ -24,7 +24,8 @@
 use std::io::{self, Read, Write};
 
 use orp_format::{
-    read_varint, write_varint, ChunkTag, ContainerReader, ContainerWriter, FormatError, ProfileKind,
+    read_u32_le, read_u64_le, read_varint, write_u32_le, write_u64_le, write_varint, ChunkTag,
+    ContainerReader, ContainerWriter, FormatError, ProfileKind,
 };
 
 use crate::{
@@ -101,13 +102,15 @@ impl<W: Write> TraceWriter<W> {
         Ok(())
     }
 
-    fn emit(&mut self, bytes: &[u8]) {
-        self.batch.extend_from_slice(bytes);
+    fn record(&mut self, encode: impl FnOnce(&mut Vec<u8>) -> io::Result<()>) {
+        // analyze: allow(no-panic): encoding into a Vec<u8> cannot fail
+        encode(&mut self.batch).expect("in-memory record encode");
         self.batch_events += 1;
         self.events += 1;
         if self.batch_events >= BATCH_EVENTS {
             // ProbeSink methods are infallible; surface I/O failure
             // loudly rather than silently truncating a trace.
+            // analyze: allow(no-panic): writer path, not a decode of untrusted input
             self.flush_batch().expect("trace write failed");
         }
     }
@@ -115,32 +118,33 @@ impl<W: Write> TraceWriter<W> {
 
 impl<W: Write> ProbeSink for TraceWriter<W> {
     fn access(&mut self, ev: AccessEvent) {
-        let mut rec = [0u8; 15];
-        rec[0] = TAG_ACCESS;
-        rec[1..5].copy_from_slice(&ev.instr.0.to_le_bytes());
-        rec[5] = if ev.kind.is_store() { 1 } else { 0 };
-        rec[6] = ev.size;
-        rec[7..15].copy_from_slice(&ev.addr.0.to_le_bytes());
-        self.emit(&rec);
+        self.record(|b| {
+            b.push(TAG_ACCESS);
+            write_u32_le(b, ev.instr.0)?;
+            b.push(u8::from(ev.kind.is_store()));
+            b.push(ev.size);
+            write_u64_le(b, ev.addr.0)
+        });
     }
 
     fn alloc(&mut self, ev: AllocEvent) {
-        let mut rec = [0u8; 21];
-        rec[0] = TAG_ALLOC;
-        rec[1..5].copy_from_slice(&ev.site.0.to_le_bytes());
-        rec[5..13].copy_from_slice(&ev.base.0.to_le_bytes());
-        rec[13..21].copy_from_slice(&ev.size.to_le_bytes());
-        self.emit(&rec);
+        self.record(|b| {
+            b.push(TAG_ALLOC);
+            write_u32_le(b, ev.site.0)?;
+            write_u64_le(b, ev.base.0)?;
+            write_u64_le(b, ev.size)
+        });
     }
 
     fn free(&mut self, ev: FreeEvent) {
-        let mut rec = [0u8; 9];
-        rec[0] = TAG_FREE;
-        rec[1..9].copy_from_slice(&ev.base.0.to_le_bytes());
-        self.emit(&rec);
+        self.record(|b| {
+            b.push(TAG_FREE);
+            write_u64_le(b, ev.base.0)
+        });
     }
 
     fn finish(&mut self) {
+        // analyze: allow(no-panic): writer path, not a decode of untrusted input
         self.flush_batch().expect("trace flush failed");
     }
 }
@@ -151,18 +155,19 @@ fn decode_batch(payload: &[u8], sink: &mut dyn ProbeSink) -> Result<u64, FormatE
     for _ in 0..count {
         let mut tag = [0u8; 1];
         r.read_exact(&mut tag)?;
-        match tag[0] {
+        let [tag] = tag;
+        match tag {
             TAG_ACCESS => {
-                let mut rec = [0u8; 14];
-                r.read_exact(&mut rec)?;
-                let instr = InstrId(u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes")));
-                let kind = match rec[4] {
+                let instr = InstrId(read_u32_le(&mut r)?);
+                let mut meta = [0u8; 2];
+                r.read_exact(&mut meta)?;
+                let [kind_byte, size] = meta;
+                let kind = match kind_byte {
                     0 => AccessKind::Load,
                     1 => AccessKind::Store,
                     _ => return Err(FormatError::Malformed("bad access kind")),
                 };
-                let size = rec[5];
-                let addr = RawAddress(u64::from_le_bytes(rec[6..14].try_into().expect("8 bytes")));
+                let addr = RawAddress(read_u64_le(&mut r)?);
                 sink.access(AccessEvent {
                     instr,
                     kind,
@@ -171,19 +176,15 @@ fn decode_batch(payload: &[u8], sink: &mut dyn ProbeSink) -> Result<u64, FormatE
                 });
             }
             TAG_ALLOC => {
-                let mut rec = [0u8; 20];
-                r.read_exact(&mut rec)?;
                 sink.alloc(AllocEvent {
-                    site: AllocSiteId(u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"))),
-                    base: RawAddress(u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"))),
-                    size: u64::from_le_bytes(rec[12..20].try_into().expect("8 bytes")),
+                    site: AllocSiteId(read_u32_le(&mut r)?),
+                    base: RawAddress(read_u64_le(&mut r)?),
+                    size: read_u64_le(&mut r)?,
                 });
             }
             TAG_FREE => {
-                let mut rec = [0u8; 8];
-                r.read_exact(&mut rec)?;
                 sink.free(FreeEvent {
-                    base: RawAddress(u64::from_le_bytes(rec)),
+                    base: RawAddress(read_u64_le(&mut r)?),
                 });
             }
             _ => return Err(FormatError::Malformed("unknown trace record tag")),

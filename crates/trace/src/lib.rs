@@ -29,6 +29,8 @@
 //! assert_eq!(sink.stats().loads, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod event;
 pub mod io;
 mod registry;

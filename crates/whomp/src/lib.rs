@@ -36,6 +36,8 @@
 //! assert_eq!(omsg.offset.expanded_len(), omsg.tuples()); // losslessly
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod hybrid;
 mod io;
 mod session;

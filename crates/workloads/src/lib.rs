@@ -32,6 +32,8 @@
 //! assert!(sink.stats().accesses() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod micro;
 pub mod spec;
 mod tracer;

@@ -1,0 +1,301 @@
+//! A token-level Rust lexer sufficient for the analyze rules.
+//!
+//! Not a parser: it splits source into identifiers, punctuation,
+//! literals and comments with line numbers, getting the hard parts
+//! right — nested block comments, (raw/byte) strings, char literals vs
+//! lifetimes — so rules never match inside text that isn't code. Rules
+//! then work on short token sequences (`.` `unwrap` `(`), which is
+//! robust to formatting without needing `syn`.
+
+/// What a token is; rules mostly dispatch on `Ident` vs `Punct`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (including `_`).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// String/char/number literal (payload not interpreted).
+    Literal,
+    /// Line or block comment, text included (allow-markers live here).
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Kind,
+    /// Source text. For comments, includes the delimiters.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Lexes `src` into tokens. Unterminated constructs (possible in
+/// fixture files) terminate the affected token at end of input rather
+/// than failing.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if c.is_alphanumeric() || c == '_' => self.ident_or_prefixed(line),
+                _ => {
+                    self.bump();
+                    self.push(Kind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Kind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(Kind::Comment, text, line);
+    }
+
+    /// A `"…"` string body (the caller has classified it); escapes keep
+    /// `\"` from terminating early.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(Kind::Literal, String::from("\"…\""), line);
+    }
+
+    /// Distinguishes `'a'` (char literal) from `'a` (lifetime): a
+    /// lifetime is a quote + identifier with no closing quote.
+    fn char_or_lifetime(&mut self, line: u32) {
+        let next = self.peek(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if c != '\'' => self.peek(2) == Some('\''),
+            _ => true, // `''` or EOF: treat as (malformed) char
+        };
+        if is_char {
+            self.bump(); // quote
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(Kind::Literal, String::from("'…'"), line);
+        } else {
+            self.bump(); // quote
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(Kind::Literal, text, line);
+        }
+    }
+
+    /// Numbers, loosely: digits/alphanumerics/underscores, plus a `.`
+    /// only when followed by a digit (so `0..len` stays three tokens).
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let continues = c.is_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Kind::Literal, text, line);
+    }
+
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: `b"…"`, `r"…"`, `br#"…"#`, `c"…"`.
+        let next = self.peek(0);
+        match (text.as_str(), next) {
+            ("r" | "br" | "cr", Some('"' | '#')) => {
+                // Re-lex as a raw string: rewind conceptually by
+                // treating the prefix as consumed and the raw body next.
+                self.raw_string_after_prefix(line);
+            }
+            ("b" | "c", Some('"')) => {
+                self.string(line);
+                // Merge: the literal token already pushed covers it.
+            }
+            _ => self.push(Kind::Ident, text, line),
+        }
+    }
+
+    /// Raw-string body when the `r`/`br` prefix was already consumed by
+    /// ident scanning (`self.pos` is at `#` or `"`).
+    fn raw_string_after_prefix(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'body: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Kind::Literal, String::from("r\"…\""), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != Kind::Comment)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let toks = texts(r#"let s = "a.unwrap()"; // .unwrap() here too"#);
+        assert!(!toks.iter().any(|t| t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let toks = texts("let s = r#\"quote \" inside\"#; x.unwrap()");
+        assert!(toks.iter().any(|t| t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = texts("fn f<'a>(x: &'a str) { x.expect(\"msg\") }");
+        assert!(toks.iter().any(|t| t == "'a"));
+        assert!(toks.iter().any(|t| t == "expect"));
+    }
+
+    #[test]
+    fn range_expressions_do_not_absorb_dots() {
+        let toks = texts("&buf[0..4]");
+        assert_eq!(toks, vec!["&", "buf", "[", "0", ".", ".", "4", "]"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let toks = texts("/* outer /* inner */ still comment */ ident");
+        assert_eq!(toks, vec!["ident"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = lex("let a = \"multi\nline\";\nb");
+        let b = toks.iter().find(|t| t.text == "b").expect("b token");
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,112 @@
+//! The `cargo xtask analyze` static-verification pass.
+//!
+//! Four repo-specific invariants that `rustc`/`clippy` cannot express,
+//! checked at token level (see [`lexer`]) so they hold across
+//! formatting and never match inside strings or comments:
+//!
+//! * **no-panic** — decode paths (`crates/format/src/**`, every
+//!   `crates/*/src/io.rs`, `crates/core/src/session.rs`) must not
+//!   `unwrap`/`expect`/`panic!`/index: malformed input routes through
+//!   `FormatError`, never a panic. Provably-infallible sites carry
+//!   `// analyze: allow(panic): <reason>`.
+//! * **le-bytes** — byte-order framing (`from_le_bytes` & friends)
+//!   belongs in `orp-format`'s codecs; everything else reads/writes
+//!   through `read_u32_le`/`read_u64_le`/varints.
+//! * **chunk-match** — a `match` over [`ChunkTag`]s needs an explicit,
+//!   *non-empty* catch-all: the tag space is open (the KNOWN registry
+//!   grows), and silently dropping unknown chunks hides corruption.
+//! * **chunk-registry** — every `ChunkTag` const declared in
+//!   `chunk.rs` must be in the `KNOWN` registry.
+//! * **forbid-unsafe** — every crate root declares
+//!   `#![forbid(unsafe_code)]` unless `analyze.allow` exempts it with a
+//!   reason.
+//!
+//! Inline exemptions: `// analyze: allow(<rule>): <reason>` on the
+//! violating line or the line above. File-level exemptions live in
+//! `analyze.allow` at the repo root (`<rule> <path> <reason>` per
+//! line). Both require a non-empty reason; a bare marker is itself a
+//! violation.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation, pointing at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the analyzed root.
+    pub file: PathBuf,
+    /// 1-based source line.
+    pub line: u32,
+    /// Stable rule name (`no-panic`, `le-bytes`, …).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Runs every analyze rule over the workspace rooted at `root`.
+/// Returns the violations sorted by file then line.
+///
+/// # Panics
+///
+/// Panics when `root` cannot be walked (not a readable directory).
+#[must_use]
+pub fn analyze(root: &Path) -> Vec<Diagnostic> {
+    let allowlist = rules::Allowlist::load(root);
+    let mut diags = allowlist.problems.clone();
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files);
+    files.sort();
+    for rel in &files {
+        // Unreadable/non-UTF-8 files are not source we lint.
+        let Ok(src) = std::fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        diags.extend(rules::check_file(rel, &src, &allowlist));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diags
+}
+
+/// Walks `dir` collecting `.rs` paths relative to `root`, skipping
+/// build output, VCS internals, and the seeded-violation fixtures that
+/// exist precisely to fail these rules.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            if name == "fixtures" && dir.file_name().is_some_and(|d| d == "tests") {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Workspace automation entry point: `cargo xtask <command>`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("analyze") => analyze(),
+        Some(other) => {
+            eprintln!("unknown command '{other}'");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask analyze");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  analyze   run the repo-specific static-verification rules");
+}
+
+fn analyze() -> ExitCode {
+    let root = workspace_root();
+    let diags = xtask::analyze(&root);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("analyze: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("analyze: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest
+/// (`crates/xtask`).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,711 @@
+//! The analyze rules (see the crate docs for the catalogue).
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Kind, Token};
+use crate::Diagnostic;
+
+/// Rule names a marker or allowlist line may reference.
+const RULES: &[&str] = &[
+    "no-panic",
+    "le-bytes",
+    "chunk-match",
+    "chunk-registry",
+    "forbid-unsafe",
+];
+
+/// File-level exemptions from `analyze.allow` at the repo root.
+///
+/// Line format: `<rule> <path> <reason…>`, `#` comments and blank
+/// lines ignored. A line with an unknown rule or no reason is itself
+/// reported (in [`Allowlist::problems`]) — exemptions must stay
+/// auditable.
+pub struct Allowlist {
+    entries: HashSet<(String, PathBuf)>,
+    pub problems: Vec<Diagnostic>,
+}
+
+impl Allowlist {
+    #[must_use]
+    pub fn load(root: &Path) -> Self {
+        let path = root.join("analyze.allow");
+        let mut entries = HashSet::new();
+        let mut problems = Vec::new();
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Allowlist { entries, problems };
+        };
+        for (idx, line) in text.lines().enumerate() {
+            let line_no = u32::try_from(idx).unwrap_or(u32::MAX).saturating_add(1);
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let rule = parts.next().unwrap_or_default();
+            let file = parts.next().unwrap_or_default();
+            let reason = parts.next().unwrap_or_default().trim();
+            if !RULES.contains(&rule) {
+                problems.push(Diagnostic {
+                    file: PathBuf::from("analyze.allow"),
+                    line: line_no,
+                    rule: "allowlist",
+                    message: format!("unknown rule '{rule}' (known: {})", RULES.join(", ")),
+                });
+            } else if file.is_empty() || reason.is_empty() {
+                problems.push(Diagnostic {
+                    file: PathBuf::from("analyze.allow"),
+                    line: line_no,
+                    rule: "allowlist",
+                    message: "format is '<rule> <path> <reason>'; a reason is required".to_owned(),
+                });
+            } else {
+                entries.insert((rule.to_owned(), PathBuf::from(file)));
+            }
+        }
+        Allowlist { entries, problems }
+    }
+
+    fn exempts(&self, rule: &str, file: &Path) -> bool {
+        self.entries
+            .contains(&(rule.to_owned(), file.to_path_buf()))
+    }
+}
+
+// ---- path classification -------------------------------------------------
+
+fn rel_str(rel: &Path) -> String {
+    // Normalize to forward slashes so classification is
+    // platform-independent.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Decode-path files: all of `orp-format`, every crate's `io.rs`
+/// (the FromBytes-style parsers), and the session layer (parses
+/// checkpoint containers).
+fn is_decode_path(rel: &str) -> bool {
+    rel.starts_with("crates/format/src/")
+        || rel == "crates/core/src/session.rs"
+        || (rel.starts_with("crates/") && rel.ends_with("/src/io.rs"))
+}
+
+/// First-party source (rules don't police vendored stand-ins beyond
+/// `forbid-unsafe`).
+fn is_first_party(rel: &str) -> bool {
+    rel.starts_with("crates/") || rel.starts_with("src/")
+}
+
+/// Integration tests, benches and examples: exercised code, not
+/// shipped decode paths.
+fn is_test_tree(rel: &str) -> bool {
+    rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/")
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`: `lib.rs` /
+/// `main.rs` / `bin/*.rs` of the facade crate, every workspace crate,
+/// and the vendored stand-ins.
+fn is_crate_root(rel: &str) -> bool {
+    let bin = |prefix: &str| {
+        rel.strip_prefix(prefix).is_some_and(|rest| {
+            let mut parts = rest.splitn(4, '/');
+            // "<crate>/src/bin/<file>.rs" under crates/ or third_party/
+            matches!(
+                (parts.next(), parts.next(), parts.next(), parts.next()),
+                (Some(_), Some("src"), Some("bin"), Some(f)) if f.ends_with(".rs") && !f.contains('/')
+            )
+        })
+    };
+    let root_file = |prefix: &str| {
+        rel == format!("{prefix}src/lib.rs") || rel == format!("{prefix}src/main.rs")
+    };
+    if root_file("") || (rel.starts_with("src/bin/") && rel.ends_with(".rs")) {
+        return true;
+    }
+    for tree in ["crates/", "third_party/"] {
+        if bin(tree) {
+            return true;
+        }
+        if let Some(rest) = rel.strip_prefix(tree) {
+            let mut parts = rest.splitn(3, '/');
+            if let (Some(_), Some(tail), None) = (parts.next(), parts.next(), parts.next()) {
+                let _ = tail;
+            }
+            let mut parts = rest.splitn(2, '/');
+            if let (Some(_), Some(tail)) = (parts.next(), parts.next()) {
+                if tail == "src/lib.rs" || tail == "src/main.rs" {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+// ---- per-file context ----------------------------------------------------
+
+struct FileCx<'a> {
+    rel: &'a Path,
+    tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens.
+    sig: Vec<usize>,
+    /// Lines exempted per rule by inline markers.
+    allowed: HashSet<(&'static str, u32)>,
+    /// Line spans of `#[cfg(test)]` / `#[test]` items.
+    test_spans: Vec<(u32, u32)>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> FileCx<'a> {
+    fn new(rel: &'a Path, src: &str) -> Self {
+        let tokens = lex(src);
+        let sig = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != Kind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        let mut cx = FileCx {
+            rel,
+            tokens,
+            sig,
+            allowed: HashSet::new(),
+            test_spans: Vec::new(),
+            diags: Vec::new(),
+        };
+        cx.scan_markers();
+        cx.scan_test_spans();
+        cx
+    }
+
+    fn s(&self, i: usize) -> &Token {
+        &self.tokens[self.sig[i]]
+    }
+
+    fn stext(&self, i: usize) -> &str {
+        &self.s(i).text
+    }
+
+    fn report(&mut self, rule: &'static str, line: u32, message: String) {
+        if self.allowed.contains(&(rule, line)) {
+            return;
+        }
+        self.diags.push(Diagnostic {
+            file: self.rel.to_path_buf(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    /// Collects `// analyze: allow(<rule>): <reason>` markers: each
+    /// exempts its own line and the next (so it can sit above the
+    /// statement).
+    fn scan_markers(&mut self) {
+        let mut found = Vec::new();
+        for t in &self.tokens {
+            if t.kind != Kind::Comment {
+                continue;
+            }
+            // Only a comment that *is* a marker counts — prose that
+            // mentions the syntax (like these docs) must not grant an
+            // exemption.
+            let body = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+            let Some(rest) = body.strip_prefix("analyze: allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                found.push((None, t.line, "unclosed allow marker".to_owned()));
+                continue;
+            };
+            // `allow(panic)` is the documented spelling for the
+            // no-panic rule's infallibility marker.
+            let name = match &rest[..close] {
+                "panic" => "no-panic",
+                other => other,
+            };
+            let reason = rest[close + 1..]
+                .trim_start_matches([':', '-', '—', ' '])
+                .trim();
+            match RULES.iter().find(|r| **r == name) {
+                None => found.push((
+                    None,
+                    t.line,
+                    format!("unknown rule '{name}' in allow marker"),
+                )),
+                Some(rule) if reason.is_empty() => found.push((
+                    None,
+                    t.line,
+                    format!("allow({rule}) marker needs a justification after the ')'"),
+                )),
+                Some(rule) => found.push((Some(*rule), t.line, String::new())),
+            }
+        }
+        for (rule, line, message) in found {
+            match rule {
+                Some(rule) => {
+                    self.allowed.insert((rule, line));
+                    self.allowed.insert((rule, line + 1));
+                }
+                None => self.diags.push(Diagnostic {
+                    file: self.rel.to_path_buf(),
+                    line,
+                    rule: "allow-marker",
+                    message,
+                }),
+            }
+        }
+    }
+
+    /// Marks the line span of every item annotated `#[cfg(test)]` or
+    /// `#[test]`: the span runs from the attribute to the item's
+    /// closing brace (or `;`).
+    fn scan_test_spans(&mut self) {
+        let mut i = 0;
+        while i < self.sig.len() {
+            if self.stext(i) != "#" || i + 1 >= self.sig.len() || self.stext(i + 1) != "[" {
+                i += 1;
+                continue;
+            }
+            let attr_line = self.s(i).line;
+            // Collect attribute content to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut attr = Vec::new();
+            while j < self.sig.len() && depth > 0 {
+                match self.stext(j) {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    t => attr.push(t.to_owned()),
+                }
+                j += 1;
+            }
+            let is_test_attr = attr.first().is_some_and(|a| a == "test")
+                || (attr.contains(&"cfg".to_owned()) && attr.contains(&"test".to_owned()));
+            if !is_test_attr {
+                i = j;
+                continue;
+            }
+            // Skip any further attributes, then span the item.
+            while j + 1 < self.sig.len() && self.stext(j) == "#" && self.stext(j + 1) == "[" {
+                let mut depth = 0usize;
+                j += 1;
+                loop {
+                    match self.stext(j) {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                    if j >= self.sig.len() {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let mut braces = 0usize;
+            let end_line = loop {
+                if j >= self.sig.len() {
+                    break self.tokens.last().map_or(attr_line, |t| t.line);
+                }
+                match self.stext(j) {
+                    ";" if braces == 0 => break self.s(j).line,
+                    "{" => braces += 1,
+                    "}" => {
+                        braces -= 1;
+                        if braces == 0 {
+                            break self.s(j).line;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            };
+            self.test_spans.push((attr_line, end_line));
+            i = j + 1;
+        }
+    }
+
+    fn in_test_span(&self, line: u32) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+}
+
+// ---- rules ---------------------------------------------------------------
+
+/// Runs every applicable rule on one file.
+#[must_use]
+pub fn check_file(rel: &Path, src: &str, allowlist: &Allowlist) -> Vec<Diagnostic> {
+    let rel_s = rel_str(rel);
+    let mut cx = FileCx::new(rel, src);
+    if is_decode_path(&rel_s) && !is_test_tree(&rel_s) && !allowlist.exempts("no-panic", rel) {
+        no_panic(&mut cx);
+    }
+    if is_first_party(&rel_s)
+        && !rel_s.starts_with("crates/format/src/")
+        && !rel_s.starts_with("crates/xtask/")
+        && !is_test_tree(&rel_s)
+        && !allowlist.exempts("le-bytes", rel)
+    {
+        le_bytes(&mut cx);
+    }
+    if is_first_party(&rel_s) && !is_test_tree(&rel_s) && !allowlist.exempts("chunk-match", rel) {
+        chunk_match(&mut cx);
+    }
+    if rel_s == "crates/format/src/chunk.rs" && !allowlist.exempts("chunk-registry", rel) {
+        chunk_registry(&mut cx);
+    }
+    if is_crate_root(&rel_s) && !allowlist.exempts("forbid-unsafe", rel) {
+        forbid_unsafe(&mut cx);
+    }
+    cx.diags
+}
+
+/// `no-panic`: decode paths must turn malformed input into
+/// `FormatError`, never a panic.
+fn no_panic(cx: &mut FileCx<'_>) {
+    const BANGS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    let mut hits = Vec::new();
+    for i in 0..cx.sig.len() {
+        let t = cx.s(i);
+        if cx.in_test_span(t.line) {
+            continue;
+        }
+        let line = t.line;
+        // `.unwrap()` / `.expect(`
+        if t.text == "."
+            && i + 2 < cx.sig.len()
+            && matches!(cx.stext(i + 1), "unwrap" | "expect")
+            && cx.stext(i + 2) == "("
+        {
+            hits.push((
+                line,
+                format!(
+                    "{}() in a decode path — malformed input must route through \
+                     FormatError; if provably infallible, mark \
+                     `// analyze: allow(no-panic): <why>`",
+                    cx.stext(i + 1)
+                ),
+            ));
+        }
+        // `panic!(` and friends
+        if t.kind == Kind::Ident
+            && BANGS.contains(&t.text.as_str())
+            && i + 1 < cx.sig.len()
+            && cx.stext(i + 1) == "!"
+        {
+            hits.push((
+                line,
+                format!(
+                    "{}! in a decode path — return a FormatError instead",
+                    t.text
+                ),
+            ));
+        }
+        // Indexing/slicing: `expr[...]` panics on out-of-bounds input.
+        if t.text == "["
+            && i > 0
+            && (cx.s(i - 1).kind == Kind::Ident || matches!(cx.stext(i - 1), ")" | "]"))
+            && !matches!(cx.stext(i - 1), "_" | "as")
+        {
+            // Exclude keywords that precede array types/patterns.
+            let prev = cx.stext(i - 1);
+            let keyword = matches!(
+                prev,
+                "let"
+                    | "mut"
+                    | "ref"
+                    | "const"
+                    | "static"
+                    | "return"
+                    | "in"
+                    | "of"
+                    | "dyn"
+                    | "impl"
+                    | "where"
+                    | "else"
+                    | "match"
+                    | "if"
+                    | "box"
+                    | "pub"
+                    | "crate"
+                    | "move"
+                    | "unsafe"
+                    | "async"
+                    | "type"
+                    | "struct"
+                    | "enum"
+                    | "fn"
+            );
+            if !keyword {
+                hits.push((
+                    line,
+                    "indexing in a decode path panics on malformed input — use \
+                     get()/split_at checked forms, or mark \
+                     `// analyze: allow(no-panic): <why>`"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    for (line, message) in hits {
+        cx.report("no-panic", line, message);
+    }
+}
+
+/// `le-bytes`: byte-order framing outside `orp-format` re-implements
+/// the codecs (and drifts from them).
+fn le_bytes(cx: &mut FileCx<'_>) {
+    const FRAMING: &[&str] = &[
+        "from_le_bytes",
+        "to_le_bytes",
+        "from_be_bytes",
+        "to_be_bytes",
+        "from_ne_bytes",
+        "to_ne_bytes",
+    ];
+    let mut hits = Vec::new();
+    for i in 0..cx.sig.len() {
+        let t = cx.s(i);
+        if t.kind == Kind::Ident && FRAMING.contains(&t.text.as_str()) && !cx.in_test_span(t.line) {
+            hits.push((
+                t.line,
+                format!(
+                    "{} is hand-rolled framing — use orp_format's codecs \
+                     (read_u32_le/read_u64_le/varints) so the wire format \
+                     stays in one crate",
+                    t.text
+                ),
+            ));
+        }
+    }
+    for (line, message) in hits {
+        cx.report("le-bytes", line, message);
+    }
+}
+
+/// `chunk-match`: a `match` whose arms mention `ChunkTag` needs an
+/// explicit non-empty catch-all — the tag space is open.
+fn chunk_match(cx: &mut FileCx<'_>) {
+    let mut hits = Vec::new();
+    let mut i = 0;
+    while i < cx.sig.len() {
+        if cx.stext(i) != "match" || cx.s(i).kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        let match_line = cx.s(i).line;
+        // Find the body `{`: first brace at paren/bracket depth 0.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < cx.sig.len() {
+            match cx.stext(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                ";" if depth == 0 => break, // not a match expression
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= cx.sig.len() || cx.stext(j) != "{" {
+            i = j;
+            continue;
+        }
+        let body_start = j + 1;
+        let mut braces = 1i32;
+        let mut body_end = body_start;
+        while body_end < cx.sig.len() && braces > 0 {
+            match cx.stext(body_end) {
+                "{" => braces += 1,
+                "}" => braces -= 1,
+                _ => {}
+            }
+            if braces == 0 {
+                break;
+            }
+            body_end += 1;
+        }
+        // The rule targets matches *over* tags: ChunkTag in the
+        // scrutinee or in an arm pattern. A match on some other
+        // (closed, compiler-checked) enum that merely produces tags in
+        // its arm bodies is fine.
+        let scrutinee_has = (i + 1..j).any(|k| cx.stext(k) == "ChunkTag");
+        let mut pattern_has = false;
+        {
+            let mut depth = 0i32;
+            let mut in_pattern = true;
+            let mut k = body_start;
+            while k < body_end {
+                match cx.stext(k) {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => {
+                        depth -= 1;
+                        // A depth-0 block arm body just closed: the
+                        // next tokens are the next arm's pattern.
+                        if depth == 0 {
+                            in_pattern = true;
+                        }
+                    }
+                    "=" if depth == 0 && k + 1 < body_end && cx.stext(k + 1) == ">" => {
+                        in_pattern = false;
+                    }
+                    "," if depth == 0 => in_pattern = true,
+                    "ChunkTag" if in_pattern && depth == 0 => pattern_has = true,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        if (scrutinee_has || pattern_has) && !cx.in_test_span(match_line) {
+            match catch_all(cx, body_start, body_end) {
+                CatchAll::Missing => hits.push((
+                    match_line,
+                    "match over ChunkTag without a catch-all arm — the tag \
+                     space is open (KNOWN registry); handle unknown tags \
+                     explicitly"
+                        .to_owned(),
+                )),
+                CatchAll::Empty(line) => hits.push((
+                    line,
+                    "catch-all arm silently drops unknown chunk tags — \
+                     surface FormatError::UnknownChunk, count, or log; an \
+                     empty body hides corruption"
+                        .to_owned(),
+                )),
+                CatchAll::Ok => {}
+            }
+        }
+        i = body_end + 1;
+    }
+    for (line, message) in hits {
+        cx.report("chunk-match", line, message);
+    }
+}
+
+enum CatchAll {
+    Missing,
+    Empty(u32),
+    Ok,
+}
+
+/// Looks for a catch-all arm (`_ =>` or a lowercase-binding `x =>`)
+/// directly at the match body's top level and classifies its body.
+fn catch_all(cx: &FileCx<'_>, start: usize, end: usize) -> CatchAll {
+    let mut depth = 0i32;
+    let mut k = start;
+    while k < end {
+        match cx.stext(k) {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => depth -= 1,
+            _ => {}
+        }
+        // An arrow at depth 0 whose pattern is a single `_` or a
+        // lowercase binding: the pattern token sits right before `=`,
+        // preceded by `,` or the body opening.
+        if depth == 0 && cx.stext(k) == "=" && k + 1 < end && cx.stext(k + 1) == ">" && k >= 1 {
+            let pat = cx.s(k - 1);
+            let pat_is_binding = pat.kind == Kind::Ident
+                && (pat.text == "_" || pat.text.chars().next().is_some_and(char::is_lowercase));
+            // The pattern opens an arm when preceded by the body `{`,
+            // an arm-separating `,`, or a block arm body's closing `}`
+            // (no comma required after a block).
+            let pat_starts_arm =
+                k < 2 + start || matches!(cx.stext(k - 2), "," | "{" | "}") || k - 1 == start;
+            if pat_is_binding && pat_starts_arm {
+                // Classify the arm body.
+                let b = k + 2;
+                if b < end
+                    && ((cx.stext(b) == "{" && b + 1 < end && cx.stext(b + 1) == "}")
+                        || (cx.stext(b) == "("
+                            && b + 1 < end
+                            && cx.stext(b + 1) == ")"
+                            && (b + 2 >= end || matches!(cx.stext(b + 2), "," | "}"))))
+                {
+                    return CatchAll::Empty(pat.line);
+                }
+                return CatchAll::Ok;
+            }
+        }
+        k += 1;
+    }
+    CatchAll::Missing
+}
+
+/// `chunk-registry`: every `ChunkTag` const in `chunk.rs` must be in
+/// the `KNOWN` registry.
+fn chunk_registry(cx: &mut FileCx<'_>) {
+    // Declared: `const NAME: ChunkTag =`
+    let mut declared = Vec::new();
+    for i in 0..cx.sig.len().saturating_sub(4) {
+        if cx.stext(i) == "const"
+            && cx.stext(i + 2) == ":"
+            && cx.stext(i + 3) == "ChunkTag"
+            && cx.stext(i + 4) == "="
+        {
+            declared.push((cx.stext(i + 1).to_owned(), cx.s(i + 1).line));
+        }
+    }
+    // Registered: `ChunkTag::NAME` between `KNOWN` and its terminating
+    // `;`.
+    let mut registered = HashSet::new();
+    if let Some(start) = (0..cx.sig.len()).find(|&i| cx.stext(i) == "KNOWN") {
+        let mut i = start;
+        while i < cx.sig.len() && cx.stext(i) != ";" {
+            if cx.stext(i) == "ChunkTag"
+                && i + 3 < cx.sig.len()
+                && cx.stext(i + 1) == ":"
+                && cx.stext(i + 2) == ":"
+            {
+                registered.insert(cx.stext(i + 3).to_owned());
+            }
+            i += 1;
+        }
+    }
+    let mut hits = Vec::new();
+    for (name, line) in declared {
+        if !registered.contains(&name) {
+            hits.push((
+                line,
+                format!(
+                    "ChunkTag::{name} is not in the KNOWN registry — \
+                     inspect/skip tooling will treat it as foreign"
+                ),
+            ));
+        }
+    }
+    for (line, message) in hits {
+        cx.report("chunk-registry", line, message);
+    }
+}
+
+/// `forbid-unsafe`: crate roots must declare `#![forbid(unsafe_code)]`.
+fn forbid_unsafe(cx: &mut FileCx<'_>) {
+    for i in 0..cx.sig.len().saturating_sub(6) {
+        if cx.stext(i) == "#"
+            && cx.stext(i + 1) == "!"
+            && cx.stext(i + 2) == "["
+            && cx.stext(i + 3) == "forbid"
+            && cx.stext(i + 4) == "("
+            && cx.stext(i + 5) == "unsafe_code"
+        {
+            return;
+        }
+    }
+    cx.report(
+        "forbid-unsafe",
+        1,
+        "crate root lacks #![forbid(unsafe_code)] — add it, or exempt \
+         this root in analyze.allow with a reason"
+            .to_owned(),
+    );
+}

@@ -1,0 +1,33 @@
+//! Seeded chunk-match violations: a ChunkTag match with no catch-all
+//! and one whose catch-all silently drops. Checked under the pretend
+//! path `crates/report/src/seeded.rs`.
+
+pub fn no_catch_all(tag: ChunkTag) -> &'static str {
+    match tag {
+        // line 6: match over ChunkTag without a catch-all
+        ChunkTag::META => "meta",
+        ChunkTag::TRACE => "trace",
+    }
+}
+
+pub fn empty_catch_all(tag: ChunkTag) {
+    match tag {
+        ChunkTag::META => handle_meta(),
+        _ => {} // line 16: silent drop
+    }
+}
+
+pub fn good(tag: ChunkTag) -> &'static str {
+    match tag {
+        ChunkTag::META => "meta",
+        other => report_unknown(other),
+    }
+}
+
+pub fn unrelated(kind: ProfileKind) -> ChunkTag {
+    // A match that merely *produces* tags is not a match over tags.
+    match kind {
+        ProfileKind::Trace => ChunkTag::TRACE,
+        ProfileKind::Grammar => ChunkTag::GRAMMAR,
+    }
+}

@@ -1,0 +1,5 @@
+//! Seeded forbid-unsafe violation: a crate root with no
+//! `#![forbid(unsafe_code)]`. Checked under the pretend path
+//! `crates/report/src/lib.rs`.
+
+pub fn nothing() {}

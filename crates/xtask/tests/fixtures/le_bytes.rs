@@ -1,0 +1,15 @@
+//! Seeded le-bytes violations: hand-rolled byte-order framing outside
+//! `orp-format`. Checked under the pretend path
+//! `crates/leap/src/seeded.rs`.
+
+pub fn frame(v: u64) -> [u8; 8] {
+    v.to_le_bytes() // line 6: to_le_bytes outside orp-format
+}
+
+pub fn unframe(b: [u8; 8]) -> u64 {
+    u64::from_le_bytes(b) // line 10: from_le_bytes outside orp-format
+}
+
+// A comment mentioning from_le_bytes must not count, nor must the
+// string below.
+pub const DOC: &str = "call from_le_bytes here";

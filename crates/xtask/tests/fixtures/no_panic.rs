@@ -1,0 +1,33 @@
+//! Seeded no-panic violations: every construct the rule must catch in
+//! a decode path, plus marker and test-span behavior it must honor.
+//! Checked by `tests/analyze_detects.rs` under the pretend path
+//! `crates/format/src/seeded.rs`.
+
+pub fn decode(buf: &[u8]) -> u32 {
+    let first = buf.first().copied().unwrap(); // line 7: unwrap
+    let second = buf.get(1).copied().expect("has a second byte"); // line 8: expect
+    if first > 9 {
+        panic!("bad input"); // line 10: panic!
+    }
+    let third = buf[2]; // line 12: indexing
+    u32::from(first) + u32::from(second) + u32::from(third)
+}
+
+pub fn checked_decode(buf: &[u8]) -> u8 {
+    // analyze: allow(no-panic): length validated by the caller's header check
+    buf[0]
+}
+
+pub fn marker_without_reason(buf: &[u8]) -> u8 {
+    // analyze: allow(no-panic)
+    buf[1] // line 23: the bare marker grants nothing
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = [1u8, 2];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -16,6 +16,8 @@
 //! container; `inspect` dispatches on the container's `META` chunk, so
 //! it works uniformly on any of them.
 
+#![forbid(unsafe_code)]
+
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
@@ -265,28 +267,40 @@ fn print_container(path: &str) -> Result<ProfileKind, String> {
         let desc = chunk.tag.describe().unwrap_or("(unregistered chunk)");
         println!("  {name:<4} {:>9} B  {desc}", chunk.payload.len());
         let mut cursor = chunk.payload.as_slice();
-        if chunk.tag == ChunkTag::META {
-            let code = read_varint(&mut cursor).map_err(|e| format!("{path}: META: {e}"))?;
-            kind = Some(ProfileKind::from_code(code).map_err(|e| format!("{path}: META: {e}"))?);
-        } else if chunk.tag == ChunkTag::CDC_STATE {
-            if let (Ok(time), Ok(untracked), Ok(anomalies), Ok(events)) = (
-                read_varint(&mut cursor),
-                read_varint(&mut cursor),
-                read_varint(&mut cursor),
-                read_varint(&mut cursor),
-            ) {
-                println!(
-                    "       time {time}, {events} events fed, {untracked} untracked, \
-                     {anomalies} probe anomalies"
-                );
+        match chunk.tag {
+            ChunkTag::META => {
+                let code = read_varint(&mut cursor).map_err(|e| format!("{path}: META: {e}"))?;
+                kind =
+                    Some(ProfileKind::from_code(code).map_err(|e| format!("{path}: META: {e}"))?);
             }
-        } else if chunk.tag == ChunkTag::SINK_STATE {
-            if let Ok(len) = read_varint(&mut cursor) {
-                let len = usize::try_from(len).unwrap_or(0);
-                if cursor.len() >= len {
-                    if let Ok(name) = std::str::from_utf8(&cursor[..len]) {
-                        println!("       profiler state: {name}");
+            ChunkTag::CDC_STATE => {
+                if let (Ok(time), Ok(untracked), Ok(anomalies), Ok(events)) = (
+                    read_varint(&mut cursor),
+                    read_varint(&mut cursor),
+                    read_varint(&mut cursor),
+                    read_varint(&mut cursor),
+                ) {
+                    println!(
+                        "       time {time}, {events} events fed, {untracked} untracked, \
+                         {anomalies} probe anomalies"
+                    );
+                }
+            }
+            ChunkTag::SINK_STATE => {
+                if let Ok(len) = read_varint(&mut cursor) {
+                    let len = usize::try_from(len).unwrap_or(0);
+                    if cursor.len() >= len {
+                        if let Ok(name) = std::str::from_utf8(&cursor[..len]) {
+                            println!("       profiler state: {name}");
+                        }
                     }
+                }
+            }
+            // The registry line above already printed the tag; payloads
+            // of other (including foreign) chunks have no inline view.
+            other => {
+                if other.describe().is_none() {
+                    println!("       (payload not inspected)");
                 }
             }
         }

@@ -12,6 +12,8 @@
 //! * [`trace`], [`allocsim`], [`sequitur`], [`lmad`], [`workloads`],
 //!   [`report`] — substrates.
 
+#![forbid(unsafe_code)]
+
 pub use orp_allocsim as allocsim;
 pub use orp_cache as cache;
 pub use orp_core as core;

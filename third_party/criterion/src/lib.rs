@@ -8,6 +8,8 @@
 //! one was declared — is printed as plain text. No statistics, plots or
 //! baselines; swap in real criterion for those.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! Like the other crates under `third_party/`, this exists because the
+//! build environment has no registry access. It keeps the import paths
+//! and the core execution model of loom 0.7 — run a closure under
+//! `loom::model`, replacing `std::sync`/`std::thread` with the
+//! `loom::sync`/`loom::thread` equivalents, and every interleaving of
+//! the model's threads (up to a preemption bound) is explored
+//! exhaustively — so swapping the real crate back is a two-line diff in
+//! the root `Cargo.toml`.
+//!
+//! # Execution model
+//!
+//! Threads run cooperatively: real OS threads, but a global scheduler
+//! lets exactly one run at a time and context switches happen only at
+//! *yield points* — lock acquire/release, condvar wait/notify, channel
+//! operations, spawn and join. At each yield point where more than one
+//! thread is runnable the scheduler consults a DFS tape: the first
+//! execution takes the first choice everywhere, and after each complete
+//! execution the deepest choice point with an unexplored alternative is
+//! advanced and the prefix replayed (executions are deterministic, so
+//! replay reaches the same choice points). Exploration terminates when
+//! the tape is exhausted.
+//!
+//! Scheduling decisions that *preempt* a runnable thread (switch away
+//! while it could continue) are bounded by `LOOM_MAX_PREEMPTIONS`
+//! (default 2), the standard context-bounding result: almost all
+//! concurrency bugs manifest within two or three preemptions, and the
+//! bound keeps the search space polynomial. Forced switches — the
+//! running thread blocked — are always free.
+//!
+//! # Scope implemented
+//!
+//! `model()`, `thread::{spawn, Builder, JoinHandle, yield_now}`,
+//! `sync::{Arc, Mutex, Condvar}`, and `sync::mpsc::{sync_channel,
+//! SyncSender, Receiver}` with std-compatible disconnect semantics.
+//! Interleavings are explored at sequential-consistency granularity:
+//! this stand-in does **not** model weak memory orderings (the real
+//! loom tracks `Acquire`/`Release`/`Relaxed` causality), which is sound
+//! for code whose cross-thread communication goes entirely through
+//! locks and channels, like the sharded pipeline under test.
+//!
+//! # Environment
+//!
+//! * `LOOM_MAX_PREEMPTIONS` — preemption bound (default 2).
+//! * `LOOM_MAX_ITERATIONS` — hard cap on explored executions; blowing
+//!   it panics (incomplete exploration must be loud, never silent).
+//!   Default 500 000.
+//! * `LOOM_LOG` — when set, prints the execution count per model.
+
+#![forbid(unsafe_code)]
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+use std::panic;
+
+/// Runs `f` under every schedule the preemption bound admits.
+///
+/// # Panics
+///
+/// Propagates the first panicking execution's payload (an assertion
+/// failure inside the model is a verification failure); panics on
+/// deadlock and on blowing `LOOM_MAX_ITERATIONS`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 500_000);
+    let _serial = scheduler::model_guard();
+    scheduler::begin_model(max_preemptions);
+    let mut iterations: usize = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom: exceeded LOOM_MAX_ITERATIONS ({max_iterations}) — \
+             exploration is incomplete; shrink the model or raise the cap"
+        );
+        scheduler::begin_run();
+        let outcome = panic::catch_unwind(panic::AssertUnwindSafe(&f));
+        // Reap the run's threads before deciding anything: a panicking
+        // execution must not leak parked threads into the next test.
+        scheduler::finish_run(outcome.is_err());
+        if let Err(payload) = outcome {
+            scheduler::end_model(iterations);
+            panic::resume_unwind(payload);
+        }
+        if !scheduler::backtrack() {
+            break;
+        }
+    }
+    scheduler::end_model(iterations);
+    if std::env::var_os("LOOM_LOG").is_some() {
+        eprintln!("loom: explored {iterations} executions");
+    }
+}
+
+/// Number of executions the most recent completed [`model`] explored
+/// (test hook; the real loom exposes similar stats via `LOOM_LOG`).
+#[must_use]
+pub fn explored_executions() -> usize {
+    scheduler::last_explored()
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::mpsc;
+    use super::sync::{Arc, Mutex};
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn mutex_counter_is_atomic_under_all_schedules() {
+        super::model(|| {
+            let counter = Arc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let counter = Arc::clone(&counter);
+                handles.push(super::thread::spawn(move || {
+                    let mut g = counter.lock().unwrap();
+                    *g += 1;
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock().unwrap(), 2);
+        });
+        assert!(
+            super::explored_executions() > 1,
+            "two racing threads must admit more than one schedule"
+        );
+    }
+
+    #[test]
+    fn exploration_reaches_both_message_orders() {
+        let seen: Arc<StdMutex<HashSet<Vec<u8>>>> = Arc::new(StdMutex::new(HashSet::new()));
+        let record = Arc::clone(&seen);
+        super::model(move || {
+            let (tx, rx) = mpsc::sync_channel::<u8>(2);
+            let tx2 = tx.clone();
+            let a = super::thread::spawn(move || tx.send(1).unwrap());
+            let b = super::thread::spawn(move || tx2.send(2).unwrap());
+            let first = rx.recv().unwrap();
+            let second = rx.recv().unwrap();
+            a.join().unwrap();
+            b.join().unwrap();
+            record.lock().unwrap().insert(vec![first, second]);
+        });
+        let seen = seen.lock().unwrap();
+        assert!(
+            seen.contains(&vec![1, 2]) && seen.contains(&vec![2, 1]),
+            "exploration missed an order: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn disconnected_channel_unblocks_receiver() {
+        super::model(|| {
+            let (tx, rx) = mpsc::sync_channel::<u8>(1);
+            let h = super::thread::spawn(move || {
+                tx.send(7).unwrap();
+                // tx drops here
+            });
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert!(rx.recv().is_err(), "sender gone, recv must error");
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn abba_lock_order_deadlocks() {
+        super::model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = super::thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+            drop((_gb, _ga));
+            h.join().unwrap();
+        });
+    }
+}

@@ -1,0 +1,570 @@
+//! The cooperative scheduler and DFS schedule explorer.
+//!
+//! One global scheduler serializes model threads: exactly one thread of
+//! the model runs at a time, every synchronization primitive routes
+//! through a *yield point*, and at each yield point with more than one
+//! runnable thread the scheduler consults the DFS tape — replaying the
+//! recorded prefix, then extending it with first-choice decisions. After
+//! a complete execution [`backtrack`] advances the deepest choice with
+//! an unexplored alternative; executions are deterministic, so replay
+//! reaches the same choice points with the same option sets (this is
+//! checked, and divergence panics).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+struct Thr {
+    state: Run,
+    joiners: Vec<usize>,
+}
+
+struct LockSt {
+    /// Current owner; released locks hand ownership straight to the
+    /// first waiter, so a woken waiter never races for the lock.
+    owner: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+#[derive(PartialEq, Eq)]
+struct Choice {
+    options: Vec<usize>,
+    pick: usize,
+}
+
+#[derive(Default)]
+struct State {
+    /// True between `begin_run` and the end of `finish_run`.
+    active: bool,
+    /// Set on deadlock or a panicking execution: every parked thread
+    /// wakes, panics, and is reaped by its wrapper.
+    poisoned: bool,
+    failure: Option<String>,
+    /// Bumped per execution so a stale thread from a previous run can
+    /// never mistake a recycled thread id for its own schedule slot.
+    epoch: u64,
+    threads: Vec<Thr>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    /// Thread id allowed to run; `usize::MAX` once the run is over.
+    current: usize,
+    /// Main has returned from the model closure and waits (blocked,
+    /// outside the DFS) for the remaining threads.
+    draining: bool,
+    tape: Vec<Choice>,
+    depth: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    locks: Vec<LockSt>,
+    cvs: Vec<VecDeque<usize>>,
+    last_explored: usize,
+}
+
+struct Shared {
+    m: Mutex<State>,
+    cv: Condvar,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        m: Mutex::new(State::default()),
+        cv: Condvar::new(),
+    })
+}
+
+/// State lock that shrugs off std poisoning: model panics are part of
+/// normal exploration cleanup, not scheduler corruption.
+fn lock_state() -> MutexGuard<'static, State> {
+    shared().m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    static TID: Cell<usize> = const { Cell::new(usize::MAX) };
+    static EPOCH: Cell<u64> = const { Cell::new(0) };
+}
+
+fn me() -> usize {
+    let tid = TID.get();
+    assert!(
+        tid != usize::MAX,
+        "loom primitive used on a thread not managed by loom::model"
+    );
+    tid
+}
+
+/// Serializes concurrent `#[test]`s: one model at a time owns the
+/// global scheduler.
+pub(crate) fn model_guard() -> MutexGuard<'static, ()> {
+    static MODEL: OnceLock<Mutex<()>> = OnceLock::new();
+    MODEL
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn begin_model(max_preemptions: usize) {
+    let mut st = lock_state();
+    st.tape.clear();
+    st.max_preemptions = max_preemptions;
+}
+
+pub(crate) fn begin_run() {
+    let mut st = lock_state();
+    assert!(!st.active, "loom: nested or concurrent model execution");
+    st.active = true;
+    st.poisoned = false;
+    st.failure = None;
+    st.epoch += 1;
+    st.threads = vec![Thr {
+        state: Run::Runnable,
+        joiners: Vec::new(),
+    }];
+    st.current = 0;
+    st.draining = false;
+    st.depth = 0;
+    st.preemptions = 0;
+    st.locks.clear();
+    st.cvs.clear();
+    TID.set(0);
+    EPOCH.set(st.epoch);
+}
+
+/// Reaps the execution: schedules remaining threads to completion (or,
+/// on a poisoned run, wakes them so they can panic-exit), then joins
+/// their OS threads.
+pub(crate) fn finish_run(execution_panicked: bool) {
+    let mut st = lock_state();
+    if execution_panicked && !st.poisoned {
+        poison(&mut st, "a model thread panicked");
+    }
+    while !all_finished_except_main(&st) {
+        if st.poisoned {
+            // Parked threads wake, see the poison, panic out through
+            // their wrappers, and mark themselves finished.
+            shared().cv.notify_all();
+            st = shared().cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        } else if st.threads.iter().any(|t| t.state == Run::Runnable) {
+            st.draining = true;
+            st.threads[0].state = Run::Blocked;
+            reschedule(&mut st, 0, false);
+            st = wait_for_turn_draining(st);
+            st.draining = false;
+        } else {
+            // Children blocked with nothing runnable after the closure
+            // returned: poison instead of panicking out of the reaper,
+            // so the run is still cleaned up before the panic surfaces.
+            poison(
+                &mut st,
+                "deadlock at drain: spawned threads still blocked after the model closure returned",
+            );
+        }
+    }
+    st.threads[0].state = Run::Runnable;
+    st.draining = false;
+    st.active = false;
+    let poisoned = st.poisoned;
+    let why = st.failure.clone().unwrap_or_default();
+    let handles = std::mem::take(&mut st.os_handles);
+    drop(st);
+    for h in handles {
+        let _ = h.join();
+    }
+    // A run poisoned during drain (rather than by a panicking thread the
+    // closure observed) must still fail the model, loudly.
+    assert!(
+        !poisoned || execution_panicked,
+        "loom: model poisoned: {why}"
+    );
+}
+
+/// Waits for the drain handshake: the last finishing thread hands
+/// control back to main (or poison wakes everyone).
+fn wait_for_turn_draining(mut st: MutexGuard<'static, State>) -> MutexGuard<'static, State> {
+    loop {
+        if st.poisoned || (st.current == 0 && st.threads[0].state == Run::Runnable) {
+            return st;
+        }
+        st = shared().cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+fn all_finished_except_main(st: &State) -> bool {
+    st.threads
+        .iter()
+        .enumerate()
+        .all(|(t, thr)| t == 0 || thr.state == Run::Finished)
+}
+
+/// Advances the DFS tape to the next unexplored schedule; false when
+/// the space is exhausted.
+pub(crate) fn backtrack() -> bool {
+    let mut st = lock_state();
+    loop {
+        match st.tape.last_mut() {
+            None => return false,
+            Some(c) => {
+                c.pick += 1;
+                if c.pick < c.options.len() {
+                    return true;
+                }
+                st.tape.pop();
+            }
+        }
+    }
+}
+
+pub(crate) fn end_model(iterations: usize) {
+    let mut st = lock_state();
+    st.last_explored = iterations;
+    st.active = false;
+}
+
+pub(crate) fn last_explored() -> usize {
+    lock_state().last_explored
+}
+
+fn poison(st: &mut State, why: &str) {
+    st.poisoned = true;
+    if st.failure.is_none() {
+        st.failure = Some(why.to_owned());
+    }
+    shared().cv.notify_all();
+}
+
+/// True when the calling thread is unwinding through a poisoned run.
+/// Primitives then degrade to non-blocking no-ops so destructors can
+/// finish — a second panic inside a destructor aborts the process. The
+/// std locks under the model types still give real mutual exclusion
+/// during this cleanup; parked owners are woken by the poison and
+/// release them as they panic out.
+pub(crate) fn poisoned_unwind() -> bool {
+    std::thread::panicking() && lock_state().poisoned
+}
+
+/// Parks the calling thread until the scheduler hands it the floor.
+fn park(mut st: MutexGuard<'static, State>, tid: usize) -> MutexGuard<'static, State> {
+    loop {
+        if st.poisoned {
+            let why = st.failure.clone().unwrap_or_default();
+            drop(st);
+            panic!("loom: model poisoned: {why}");
+        }
+        assert!(
+            st.epoch == EPOCH.get(),
+            "loom: thread outlived its execution"
+        );
+        if st.current == tid {
+            debug_assert_eq!(st.threads[tid].state, Run::Runnable);
+            return st;
+        }
+        st = shared().cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// The one scheduling decision: pick who runs next, via the DFS tape.
+///
+/// `voluntary` marks a yield point where the caller could continue —
+/// choosing someone else then costs a preemption, and the preemption
+/// budget prunes those options. Forced switches (caller blocked or
+/// finished) are free.
+fn reschedule(st: &mut MutexGuard<'static, State>, tid: usize, voluntary: bool) {
+    let me_runnable = st.threads[tid].state == Run::Runnable;
+    debug_assert_eq!(voluntary, me_runnable);
+    let mut options = Vec::new();
+    if me_runnable {
+        options.push(tid);
+    }
+    if !me_runnable || st.preemptions < st.max_preemptions {
+        for (t, thr) in st.threads.iter().enumerate() {
+            if t != tid && thr.state == Run::Runnable {
+                options.push(t);
+            }
+        }
+    }
+    let chosen = match options.len() {
+        0 => {
+            if st.threads.iter().any(|t| t.state != Run::Finished) {
+                let who: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.state == Run::Blocked)
+                    .map(|(i, _)| i)
+                    .collect();
+                poison(st, &format!("deadlock: threads {who:?} blocked forever"));
+                panic!("loom: deadlock detected (threads {who:?} blocked with no runnable thread)");
+            }
+            // Every thread finished: the execution is over.
+            st.current = usize::MAX;
+            shared().cv.notify_all();
+            return;
+        }
+        1 => options[0],
+        _ => {
+            let depth = st.depth;
+            if depth == st.tape.len() {
+                st.tape.push(Choice {
+                    options: options.clone(),
+                    pick: 0,
+                });
+            }
+            let c = &st.tape[depth];
+            assert!(
+                c.options == options,
+                "loom: nondeterministic execution — replay reached a different \
+                 option set at depth {depth} ({:?} vs {options:?}); the model \
+                 must be deterministic apart from scheduling",
+                c.options
+            );
+            let pick = c.options[c.pick];
+            st.depth += 1;
+            pick
+        }
+    };
+    if me_runnable && chosen != tid {
+        st.preemptions += 1;
+    }
+    st.current = chosen;
+    shared().cv.notify_all();
+}
+
+/// A voluntary yield point: every primitive calls this before touching
+/// shared state, making each operation one atomic transition of the
+/// model.
+pub(crate) fn yield_point() {
+    if poisoned_unwind() {
+        return;
+    }
+    let tid = me();
+    let mut st = lock_state();
+    reschedule(&mut st, tid, true);
+    let _st = park(st, tid);
+}
+
+// ---- threads ------------------------------------------------------------
+
+/// Reserves a thread id for a spawn; the OS thread is registered with
+/// [`adopt_os_handle`] once it exists.
+pub(crate) fn register_thread() -> (usize, u64) {
+    let mut st = lock_state();
+    assert!(st.active, "loom threads must be spawned inside loom::model");
+    let tid = st.threads.len();
+    st.threads.push(Thr {
+        state: Run::Runnable,
+        joiners: Vec::new(),
+    });
+    (tid, st.epoch)
+}
+
+pub(crate) fn adopt_os_handle(h: std::thread::JoinHandle<()>) {
+    lock_state().os_handles.push(h);
+}
+
+/// First thing a spawned thread does: adopt its identity and wait to be
+/// scheduled for the first time.
+pub(crate) fn thread_started(tid: usize, epoch: u64) {
+    TID.set(tid);
+    EPOCH.set(epoch);
+    let st = lock_state();
+    let _st = park(st, tid);
+}
+
+/// Last thing a spawned thread does (panicking or not): hand the floor
+/// on and wake its joiners.
+pub(crate) fn thread_finished(tid: usize) {
+    let mut st = lock_state();
+    st.threads[tid].state = Run::Finished;
+    let joiners = std::mem::take(&mut st.threads[tid].joiners);
+    for j in joiners {
+        st.threads[j].state = Run::Runnable;
+    }
+    if st.poisoned {
+        shared().cv.notify_all();
+        return;
+    }
+    if st.draining && all_finished_except_main(&st) {
+        st.threads[0].state = Run::Runnable;
+        st.current = 0;
+        shared().cv.notify_all();
+        return;
+    }
+    reschedule(&mut st, tid, false);
+}
+
+/// Blocks until `target` finishes.
+pub(crate) fn join_thread(target: usize) {
+    yield_point();
+    let tid = me();
+    let mut st = lock_state();
+    if st.threads[target].state == Run::Finished {
+        return;
+    }
+    st.threads[target].joiners.push(tid);
+    st.threads[tid].state = Run::Blocked;
+    reschedule(&mut st, tid, false);
+    let _st = park(st, tid);
+}
+
+// ---- locks --------------------------------------------------------------
+
+pub(crate) fn new_lock() -> usize {
+    let mut st = lock_state();
+    assert!(
+        st.active,
+        "loom primitives must be created inside loom::model"
+    );
+    st.locks.push(LockSt {
+        owner: None,
+        waiters: VecDeque::new(),
+    });
+    st.locks.len() - 1
+}
+
+pub(crate) fn lock_acquire(lock: usize) {
+    if poisoned_unwind() {
+        return;
+    }
+    yield_point();
+    let tid = me();
+    let mut st = lock_state();
+    loop {
+        match st.locks[lock].owner {
+            None => {
+                st.locks[lock].owner = Some(tid);
+                return;
+            }
+            Some(o) if o == tid => return, // handed off while we were parked
+            Some(_) => {
+                st.locks[lock].waiters.push_back(tid);
+                st.threads[tid].state = Run::Blocked;
+                reschedule(&mut st, tid, false);
+                st = park(st, tid);
+            }
+        }
+    }
+}
+
+/// Releases without a yield point (used by condvar wait, which blocks
+/// immediately after).
+fn release_ownership(st: &mut MutexGuard<'static, State>, lock: usize, tid: usize) {
+    debug_assert_eq!(st.locks[lock].owner, Some(tid));
+    if let Some(next) = st.locks[lock].waiters.pop_front() {
+        st.locks[lock].owner = Some(next);
+        st.threads[next].state = Run::Runnable;
+    } else {
+        st.locks[lock].owner = None;
+    }
+}
+
+pub(crate) fn lock_release(lock: usize) {
+    if poisoned_unwind() {
+        return;
+    }
+    let tid = me();
+    let mut st = lock_state();
+    release_ownership(&mut st, lock, tid);
+    reschedule(&mut st, tid, true);
+    let _st = park(st, tid);
+}
+
+// ---- waitsets -----------------------------------------------------------
+//
+// Blocking for primitives that guard their own state (channels). The
+// caller holds the floor between its yield point and `wait_on`/`wake_*`,
+// so predicate-check-then-block is atomic by construction — wakes can't
+// be lost. Waitsets share the condvar queue table.
+
+/// Allocates a waitset (shares the condvar queue table).
+pub(crate) fn new_waitset() -> usize {
+    new_cv()
+}
+
+/// Parks the caller on waitset `ws` until a wake; re-check the
+/// predicate after returning (wakes are hints, as with condvars).
+pub(crate) fn wait_on(ws: usize) {
+    let tid = me();
+    let mut st = lock_state();
+    st.cvs[ws].push_back(tid);
+    st.threads[tid].state = Run::Blocked;
+    reschedule(&mut st, tid, false);
+    let _st = park(st, tid);
+}
+
+/// Makes one waiter on `ws` runnable without yielding the floor: the
+/// woken thread becomes schedulable at the caller's next yield point.
+pub(crate) fn wake_one(ws: usize) {
+    let mut st = lock_state();
+    if let Some(w) = st.cvs[ws].pop_front() {
+        st.threads[w].state = Run::Runnable;
+    }
+}
+
+/// Makes every waiter on `ws` runnable without yielding the floor.
+pub(crate) fn wake_all(ws: usize) {
+    let mut st = lock_state();
+    while let Some(w) = st.cvs[ws].pop_front() {
+        st.threads[w].state = Run::Runnable;
+    }
+}
+
+// ---- condvars -----------------------------------------------------------
+
+pub(crate) fn new_cv() -> usize {
+    let mut st = lock_state();
+    assert!(
+        st.active,
+        "loom primitives must be created inside loom::model"
+    );
+    st.cvs.push(VecDeque::new());
+    st.cvs.len() - 1
+}
+
+/// Atomically releases `lock`, waits on `cv`, then reacquires `lock`.
+pub(crate) fn cv_wait(cv: usize, lock: usize) {
+    if poisoned_unwind() {
+        return;
+    }
+    let tid = me();
+    {
+        let mut st = lock_state();
+        release_ownership(&mut st, lock, tid);
+        st.cvs[cv].push_back(tid);
+        st.threads[tid].state = Run::Blocked;
+        reschedule(&mut st, tid, false);
+        let _st = park(st, tid);
+    }
+    lock_acquire(lock);
+}
+
+pub(crate) fn cv_notify_one(cv: usize) {
+    if poisoned_unwind() {
+        return;
+    }
+    let tid = me();
+    let mut st = lock_state();
+    if let Some(w) = st.cvs[cv].pop_front() {
+        st.threads[w].state = Run::Runnable;
+    }
+    reschedule(&mut st, tid, true);
+    let _st = park(st, tid);
+}
+
+pub(crate) fn cv_notify_all(cv: usize) {
+    if poisoned_unwind() {
+        return;
+    }
+    let tid = me();
+    let mut st = lock_state();
+    while let Some(w) = st.cvs[cv].pop_front() {
+        st.threads[w].state = Run::Runnable;
+    }
+    reschedule(&mut st, tid, true);
+    let _st = park(st, tid);
+}

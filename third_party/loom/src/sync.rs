@@ -1,0 +1,126 @@
+//! Model-aware replacements for `std::sync` types (subset).
+//!
+//! Data lives in ordinary `std::sync` containers; *ownership* is
+//! tracked by the model scheduler, which serializes threads so the std
+//! lock underneath is never contended. Every acquire/release/notify is
+//! a model transition.
+
+pub use std::sync::Arc;
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError};
+
+use crate::scheduler;
+
+pub mod mpsc;
+
+/// Model-aware mutex. Poisoning is not modeled: `lock` always returns
+/// `Ok` (matching loom, whose mutex also never poisons in practice).
+#[derive(Debug)]
+pub struct Mutex<T> {
+    lock_id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Mutex {
+            lock_id: scheduler::new_lock(),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock as a model transition.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`; the signature matches std.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        scheduler::lock_acquire(self.lock_id);
+        let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard {
+            mutex: self,
+            inner: Some(inner),
+        })
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the model lock on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds data until drop")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds data until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data before the model lock: the next owner takes
+        // the std lock only after the scheduler hands it ownership.
+        drop(self.inner.take());
+        scheduler::lock_release(self.mutex.lock_id);
+    }
+}
+
+/// Model-aware condition variable (no spurious wakeups).
+#[derive(Debug)]
+pub struct Condvar {
+    cv_id: usize,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar {
+            cv_id: scheduler::new_cv(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and waits for a
+    /// notification, then reacquires.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`; the signature matches std.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        // Hand the data back, then do the release-wait-reacquire dance
+        // at the model level; the guard's own Drop must not run (it
+        // would double-release), so disarm it.
+        drop(guard.inner.take());
+        std::mem::forget(guard);
+        scheduler::cv_wait(self.cv_id, mutex.lock_id);
+        let inner = mutex.data.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard {
+            mutex,
+            inner: Some(inner),
+        })
+    }
+
+    pub fn notify_one(&self) {
+        scheduler::cv_notify_one(self.cv_id);
+    }
+
+    pub fn notify_all(&self) {
+        scheduler::cv_notify_all(self.cv_id);
+    }
+}

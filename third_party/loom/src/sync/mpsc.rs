@@ -1,0 +1,246 @@
+//! Model-aware bounded channels matching `std::sync::mpsc`'s
+//! `sync_channel` API and disconnect semantics.
+//!
+//! Granularity: channel operations are linearizable, so each op is
+//! modeled as a **single transition** — one yield point at entry, then
+//! the queue mutation and wakeups complete atomically while the caller
+//! holds the scheduler floor. Interleavings *inside* an op are not
+//! observable to the program, and collapsing them keeps the schedule
+//! space tractable (one transition per op instead of the four a
+//! mutex+condvar construction would cost).
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+use crate::scheduler;
+use crate::sync::Arc;
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Chan<T> {
+    /// Plain std mutex: only the floor-holding thread ever touches it,
+    /// so it is never contended — blocking and ordering live in the
+    /// scheduler waitsets below.
+    inner: Mutex<Inner<T>>,
+    send_ws: usize,
+    recv_ws: usize,
+}
+
+impl<T> Chan<T> {
+    fn with<R>(&self, f: impl FnOnce(&mut Inner<T>) -> R) -> R {
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut g)
+    }
+}
+
+/// Creates a bounded model channel. Rendezvous channels (`bound == 0`)
+/// are not implemented by this stand-in.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+#[must_use]
+pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+    assert!(bound > 0, "loom stand-in: rendezvous channels unsupported");
+    let chan = Arc::new(Chan {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap: bound,
+            senders: 1,
+            receiver_alive: true,
+        }),
+        send_ws: scheduler::new_waitset(),
+        recv_ws: scheduler::new_waitset(),
+    });
+    (
+        SyncSender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+/// Sending half of a model channel.
+pub struct SyncSender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+// Manual impl: like std's, printable without `T: Debug`.
+impl<T> std::fmt::Debug for SyncSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncSender").finish_non_exhaustive()
+    }
+}
+
+enum SendAttempt<T> {
+    Done,
+    Gone(T),
+    Full(T),
+}
+
+impl<T> SyncSender<T> {
+    fn attempt_send(&self, value: T) -> SendAttempt<T> {
+        self.chan.with(|inner| {
+            if !inner.receiver_alive {
+                return SendAttempt::Gone(value);
+            }
+            if inner.queue.len() >= inner.cap {
+                return SendAttempt::Full(value);
+            }
+            inner.queue.push_back(value);
+            SendAttempt::Done
+        })
+    }
+
+    /// Blocks while the queue is full; errors once the receiver is
+    /// gone.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] returning the value when the receiver disconnected.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        scheduler::yield_point();
+        let mut value = value;
+        loop {
+            match self.attempt_send(value) {
+                SendAttempt::Done => {
+                    scheduler::wake_one(self.chan.recv_ws);
+                    return Ok(());
+                }
+                SendAttempt::Gone(v) => return Err(SendError(v)),
+                SendAttempt::Full(v) => {
+                    value = v;
+                    scheduler::wait_on(self.chan.send_ws);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking send.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] on a full queue,
+    /// [`TrySendError::Disconnected`] once the receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        scheduler::yield_point();
+        match self.attempt_send(value) {
+            SendAttempt::Done => {
+                scheduler::wake_one(self.chan.recv_ws);
+                Ok(())
+            }
+            SendAttempt::Gone(v) => Err(TrySendError::Disconnected(v)),
+            SendAttempt::Full(v) => Err(TrySendError::Full(v)),
+        }
+    }
+}
+
+impl<T> Clone for SyncSender<T> {
+    fn clone(&self) -> Self {
+        self.chan.with(|inner| inner.senders += 1);
+        SyncSender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for SyncSender<T> {
+    fn drop(&mut self) {
+        if scheduler::poisoned_unwind() {
+            return;
+        }
+        scheduler::yield_point();
+        let last = self.chan.with(|inner| {
+            inner.senders -= 1;
+            inner.senders == 0
+        });
+        if last {
+            // Wake a receiver blocked on an empty queue so it can
+            // observe the disconnect.
+            scheduler::wake_all(self.chan.recv_ws);
+        }
+    }
+}
+
+/// Receiving half of a model channel.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+// Manual impl: like std's, printable without `T: Debug`.
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks while the queue is empty; errors once every sender is
+    /// gone and the queue drained.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when all senders disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        scheduler::yield_point();
+        loop {
+            enum Got<T> {
+                Value(T),
+                Closed,
+                Empty,
+            }
+            let got = self.chan.with(|inner| match inner.queue.pop_front() {
+                Some(v) => Got::Value(v),
+                None if inner.senders == 0 => Got::Closed,
+                None => Got::Empty,
+            });
+            match got {
+                Got::Value(v) => {
+                    scheduler::wake_one(self.chan.send_ws);
+                    return Ok(v);
+                }
+                Got::Closed => return Err(RecvError),
+                Got::Empty => scheduler::wait_on(self.chan.recv_ws),
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] on an empty queue,
+    /// [`TryRecvError::Disconnected`] once every sender is gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        scheduler::yield_point();
+        let got = self.chan.with(|inner| match inner.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        });
+        if got.is_ok() {
+            scheduler::wake_one(self.chan.send_ws);
+        }
+        got
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if scheduler::poisoned_unwind() {
+            return;
+        }
+        scheduler::yield_point();
+        self.chan.with(|inner| inner.receiver_alive = false);
+        // Wake senders blocked on a full queue so they can observe the
+        // disconnect.
+        scheduler::wake_all(self.chan.send_ws);
+    }
+}

@@ -1,0 +1,112 @@
+//! Model-aware replacement for `std::thread` (subset).
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::scheduler;
+
+/// Handle to a model thread. Unlike `std::thread::JoinHandle`, dropping
+/// it without joining leaves the thread to the model reaper, which runs
+/// every spawned thread to completion at the end of each execution.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+// Manual impl: like std's, printable without `T: Debug`.
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (as a model transition) until the thread finishes;
+    /// returns its panic payload as `Err` exactly like std.
+    ///
+    /// # Errors
+    ///
+    /// The thread's panic payload, if it panicked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same handle's thread result was already taken.
+    pub fn join(self) -> std::thread::Result<T> {
+        scheduler::join_thread(self.tid);
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("loom: thread result already taken")
+    }
+}
+
+/// Model-aware `std::thread::Builder` (name is accepted for API
+/// compatibility; the scheduler identifies threads by id).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    #[must_use]
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    #[must_use]
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns a model thread.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in the model (signature matches std).
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        scheduler::yield_point();
+        let (tid, epoch) = scheduler::register_thread();
+        let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let mut os = std::thread::Builder::new();
+        if let Some(name) = self.name {
+            os = os.name(name);
+        }
+        let handle = os
+            .spawn(move || {
+                scheduler::thread_started(tid, epoch);
+                let out = catch_unwind(AssertUnwindSafe(f));
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+                scheduler::thread_finished(tid);
+            })
+            .expect("loom: OS thread spawn failed");
+        scheduler::adopt_os_handle(handle);
+        Ok(JoinHandle { tid, result })
+    }
+}
+
+/// Spawns a model thread (see [`Builder::spawn`]).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match Builder::new().spawn(f) {
+        Ok(h) => h,
+        Err(never) => unreachable!("model spawn is infallible: {never}"),
+    }
+}
+
+/// A pure yield point: offers the scheduler a switch.
+pub fn yield_now() {
+    scheduler::yield_point();
+}

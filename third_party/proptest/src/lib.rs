@@ -14,6 +14,8 @@
 //! dependencies, which is the right trade in a registry-less build
 //! environment.
 
+#![forbid(unsafe_code)]
+
 /// Test-execution plumbing: configuration and the per-test RNG.
 pub mod test_runner {
     use rand::rngs::StdRng;

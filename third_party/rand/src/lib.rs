@@ -6,6 +6,8 @@
 //! SplitMix64 — deterministic per seed, but a different stream than
 //! rand 0.9's ChaCha12.
 
+#![forbid(unsafe_code)]
+
 /// Low-level entropy source: a stream of `u64`s.
 pub trait RngCore {
     /// The next 64 random bits.

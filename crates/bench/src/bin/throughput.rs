@@ -1,6 +1,7 @@
 //! Events-per-second throughput for the OMC translation fast path and
 //! the sharded collection pipeline, written to
-//! `results/BENCH_throughput.json`.
+//! `results/BENCH_throughput.json` and mirrored to the repo-root
+//! `BENCH_throughput.json` (the tracked benchmark trajectory).
 //!
 //! The workload is a pointer-chasing traversal of a scrambled linked
 //! list with a field scan at every node: chasing `->next` lands each
@@ -637,4 +638,13 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_throughput.json", &json).expect("write results");
     println!("\nwrote results/BENCH_throughput.json");
+    // The benchmark trajectory is tracked at the repo root; refresh
+    // that copy too, regardless of the invocation directory.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels below the repo root");
+    let root_copy = root.join("BENCH_throughput.json");
+    std::fs::write(&root_copy, &json).expect("write root results");
+    println!("wrote {}", root_copy.display());
 }

@@ -106,6 +106,16 @@ impl<S: OrSink> Cdc<S> {
     pub fn probe_anomalies(&self) -> u64 {
         self.probe_anomalies
     }
+
+    /// Publishes the CDC's counters (and the OMC's translation totals)
+    /// onto `rec`. Call at a phase boundary — the event path only bumps
+    /// plain integers.
+    pub fn record_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("cdc.accesses", self.time);
+        rec.counter("cdc.untracked", self.untracked);
+        rec.counter("cdc.probe_anomalies", self.probe_anomalies);
+        self.omc.record_metrics(rec);
+    }
 }
 
 impl<S: OrSink> ProbeSink for Cdc<S> {

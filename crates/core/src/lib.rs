@@ -67,10 +67,11 @@ pub(crate) mod sync;
 pub mod threaded;
 
 pub use cdc::Cdc;
-pub use omc::{ObjectRecord, Omc, OmcError};
-pub use session::{ResumeError, ResumeLedger, Session, SessionSink};
-pub use sharded::{PipelineError, ShardableSink, ShardedCdc};
+pub use omc::{ObjectRecord, Omc, OmcError, TranslateStats};
+pub use session::{ResumeError, ResumeLedger, Session, SessionSink, SessionStats};
+pub use sharded::{PipelineError, PipelineStats, ShardStats, ShardableSink, ShardedCdc};
 pub use sink::{NullOrSink, OrSink, VecOrSink};
+pub use threaded::FeedStats;
 
 use orp_trace::{AccessKind, InstrId};
 

@@ -5,6 +5,7 @@ use std::hash::BuildHasherDefault;
 use std::io::{self, Read, Write};
 
 use orp_format::{read_varint, write_varint};
+use orp_obs::Recorder;
 use orp_trace::{AllocSiteId, InstrId};
 
 use crate::{GroupId, ObjectSerial, Timestamp};
@@ -157,6 +158,37 @@ impl std::fmt::Display for OmcError {
 
 impl std::error::Error for OmcError {}
 
+/// Fast-path totals for [`Omc::translate_cached`].
+///
+/// Plain integers bumped inline — the hot path never calls a recorder;
+/// [`Omc::record_metrics`] publishes the totals at phase boundaries.
+/// Like the caches, these are run-local: checkpoints exclude them and
+/// restore starts from zero.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TranslateStats {
+    /// MRU memo hits (translation cost one bounds check).
+    pub memo_hits: u64,
+    /// Memo misses that fell through to the page index.
+    pub memo_misses: u64,
+    /// Memo installs that overwrote a different live entry.
+    pub memo_evictions: u64,
+    /// Lookups that resolved to no live object (untracked accesses).
+    pub untracked: u64,
+}
+
+impl TranslateStats {
+    /// Memo hits over all cached translations (0 when none ran).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct LiveEntry {
     size: u64,
@@ -217,6 +249,8 @@ pub struct Omc {
     archive: Vec<ObjectRecord>,
     /// Total objects ever registered.
     registered: u64,
+    /// Fast-path hit/miss totals; run-local, excluded from checkpoints.
+    stats: TranslateStats,
 }
 
 /// First and last page number of `[base, base + size)`, `size ≥ 1`.
@@ -268,9 +302,27 @@ impl Omc {
         match self.groups_by_site.get(&alias) {
             Some(&g) if g == group => Ok(group),
             Some(&g) if self.groups[g.0 as usize].next_serial == 0 => {
-                // Re-point an empty group; its slot stays allocated but
-                // unused.
-                self.groups_by_site.insert(alias, group);
+                // Re-point *every* site mapped to the empty group `g`,
+                // not just `alias`: an earlier `alias_sites(alias, x)`
+                // may have pointed `x` at `g` too, and leaving it
+                // behind would silently split the merged type across
+                // two groups. `g`'s slot stays allocated but unused.
+                for target in self.groups_by_site.values_mut() {
+                    if *target == g {
+                        *target = group;
+                    }
+                }
+                // `g` was never allocated from (`next_serial == 0`), so
+                // no live object — hence no page-index or MRU memo
+                // entry — can carry it today. Sweep the memo anyway:
+                // aliasing is cold, and a stale pre-merge group id in
+                // the hot path would be silent corruption if that
+                // invariant ever shifts.
+                for slot in &mut self.mru {
+                    if slot.size != 0 && slot.group == g {
+                        *slot = FastEntry::EMPTY;
+                    }
+                }
                 Ok(group)
             }
             Some(_) => Err(OmcError::SiteAlreadyGrouped { site: alias }),
@@ -457,17 +509,45 @@ impl Omc {
         let slot = instr.0 as usize;
         if let Some(memo) = self.mru.get(slot) {
             if memo.contains(addr) {
+                self.stats.memo_hits += 1;
                 return Some((memo.group, memo.serial, addr - memo.base));
             }
         }
-        let entry = self.lookup(addr)?;
+        self.stats.memo_misses += 1;
+        let Some(entry) = self.lookup(addr) else {
+            self.stats.untracked += 1;
+            return None;
+        };
         if slot < MRU_LIMIT {
             if slot >= self.mru.len() {
                 self.mru.resize(slot + 1, FastEntry::EMPTY);
             }
+            // A non-empty slot here failed its bounds check above, so
+            // any overwrite is a genuine eviction.
+            if self.mru[slot].size != 0 {
+                self.stats.memo_evictions += 1;
+            }
             self.mru[slot] = entry;
         }
         Some((entry.group, entry.serial, addr - entry.base))
+    }
+
+    /// The fast-path hit/miss totals accumulated so far.
+    #[must_use]
+    pub fn translate_stats(&self) -> TranslateStats {
+        self.stats
+    }
+
+    /// Publishes the OMC's counters (`omc.*`) to `rec`.
+    pub fn record_metrics(&self, rec: &mut dyn Recorder) {
+        rec.counter("omc.memo_hits", self.stats.memo_hits);
+        rec.counter("omc.memo_misses", self.stats.memo_misses);
+        rec.counter("omc.memo_evictions", self.stats.memo_evictions);
+        rec.counter("omc.untracked_lookups", self.stats.untracked);
+        rec.counter("omc.live_objects", self.live.len() as u64);
+        rec.counter("omc.groups", self.groups.len() as u64);
+        rec.counter("omc.registered_objects", self.registered);
+        rec.counter("omc.archived_objects", self.archive.len() as u64);
     }
 
     /// The paper's original translation path — an `O(log n)` predecessor
@@ -539,8 +619,10 @@ impl Omc {
     /// live objects, archive — for a checkpoint (the `OMCK` chunk of a
     /// checkpoint container).
     ///
-    /// Only canonical state is written. The page index, the unindexed
-    /// counter and the per-instruction MRU memo are pure caches that the
+    /// Only canonical state is written. The fast-path counters
+    /// ([`Omc::translate_stats`]) are run-local observability, and the
+    /// page index, the unindexed counter and the per-instruction MRU
+    /// memo are pure caches that the
     /// differential tests pin to the reference path, so they are rebuilt
     /// (index) or dropped cold (memo) on restore without affecting any
     /// translation result. The encoding is deterministic: map contents
@@ -710,6 +792,7 @@ impl Omc {
             groups,
             archive,
             registered,
+            stats: TranslateStats::default(),
         };
         for (base, size, group, serial) in entries {
             omc.index_insert(base, size, group, serial);
@@ -835,6 +918,47 @@ mod tests {
             (ObjectSerial(0), ObjectSerial(1)),
             "one serial sequence"
         );
+    }
+
+    #[test]
+    fn aliasing_re_points_every_site_on_the_emptied_group() {
+        let mut omc = Omc::new();
+        let (a, b, c) = (AllocSiteId(1), AllocSiteId(2), AllocSiteId(3));
+        // C aliases A: both sit on A's (still empty) group.
+        omc.alias_sites(a, c).unwrap();
+        // A aliases B: A's empty group is re-pointed at B's — and C
+        // must come along instead of staying stranded on the emptied
+        // group.
+        let g = omc.alias_sites(b, a).unwrap();
+        let (g0, s0) = omc.on_alloc(a, 0x1000, 16, T0).unwrap();
+        let (g1, s1) = omc.on_alloc(c, 0x2000, 16, T0).unwrap();
+        let (g2, s2) = omc.on_alloc(b, 0x3000, 16, T0).unwrap();
+        assert_eq!([g0, g1, g2], [g, g, g], "all three sites merged");
+        assert_eq!(
+            (s0, s1, s2),
+            (ObjectSerial(0), ObjectSerial(1), ObjectSerial(2)),
+            "one serial sequence across the whole merge"
+        );
+    }
+
+    #[test]
+    fn translate_stats_count_hits_misses_evictions_and_untracked() {
+        let mut omc = Omc::new();
+        let site = AllocSiteId(0);
+        omc.on_alloc(site, 0x1000, 64, T0).unwrap();
+        omc.on_alloc(site, 0x2000, 64, T0).unwrap();
+        let i = InstrId(7);
+        assert!(omc.translate_cached(i, 0x1000).is_some()); // miss, install
+        assert!(omc.translate_cached(i, 0x1010).is_some()); // hit
+        assert!(omc.translate_cached(i, 0x2000).is_some()); // miss, evict
+        assert!(omc.translate_cached(i, 0x9000).is_none()); // untracked
+        let s = omc.translate_stats();
+        assert_eq!(s.memo_hits, 1);
+        assert_eq!(s.memo_misses, 3);
+        assert_eq!(s.memo_evictions, 1);
+        assert_eq!(s.untracked, 1);
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(TranslateStats::default().hit_rate(), 0.0);
     }
 
     #[test]

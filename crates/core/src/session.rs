@@ -31,6 +31,7 @@ use std::io::{self, Read, Write};
 use orp_format::{
     read_varint, write_varint, ChunkTag, ContainerReader, ContainerWriter, FormatError, ProfileKind,
 };
+use orp_obs::{CountingWrite, Recorder, Stopwatch};
 use orp_trace::{ProbeEvent, ProbeSink};
 
 use crate::sharded::ShardableSink;
@@ -97,10 +98,24 @@ pub trait SessionSink: OrSink + Sized {
 /// frontends drive it exactly like a bare CDC; [`Session::feed`] adds
 /// the batched entry point used by trace replay and the sharded
 /// pipeline's probe side.
+/// Checkpoint totals for one session: plain integers bumped by
+/// [`Session::checkpoint`], published via
+/// [`Session::record_metrics`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Total bytes across all checkpoints written.
+    pub checkpoint_bytes: u64,
+    /// Total wall-clock nanoseconds spent writing checkpoints.
+    pub checkpoint_nanos: u64,
+}
+
 #[derive(Debug, Clone)]
 pub struct Session<S> {
     cdc: Cdc<S>,
     events: u64,
+    stats: SessionStats,
 }
 
 impl<S: SessionSink> Session<S> {
@@ -117,6 +132,7 @@ impl<S: SessionSink> Session<S> {
         Session {
             cdc: Cdc::new(omc, sink),
             events: 0,
+            stats: SessionStats::default(),
         }
     }
 
@@ -126,7 +142,11 @@ impl<S: SessionSink> Session<S> {
     /// fed through *this* session).
     #[must_use]
     pub fn from_cdc(cdc: Cdc<S>) -> Self {
-        Session { cdc, events: 0 }
+        Session {
+            cdc,
+            events: 0,
+            stats: SessionStats::default(),
+        }
     }
 
     /// Feeds one bounded batch of probe events.
@@ -166,8 +186,10 @@ impl<S: SessionSink> Session<S> {
     /// # Errors
     ///
     /// Propagates writer errors.
-    pub fn checkpoint(&self, w: &mut impl Write) -> io::Result<()> {
-        let mut container = ContainerWriter::new(w)?;
+    pub fn checkpoint(&mut self, w: &mut impl Write) -> io::Result<()> {
+        let clock = Stopwatch::start();
+        let mut counted = CountingWrite::new(w);
+        let mut container = ContainerWriter::new(&mut counted)?;
         container.meta(ProfileKind::Checkpoint)?;
         let mut omck = Vec::new();
         self.cdc.omc().save_state(&mut omck)?;
@@ -184,7 +206,28 @@ impl<S: SessionSink> Session<S> {
         self.cdc.sink().save_state(&mut snks)?;
         container.chunk(ChunkTag::SINK_STATE, &snks)?;
         container.finish()?;
+        self.stats.checkpoints += 1;
+        self.stats.checkpoint_bytes += counted.bytes();
+        self.stats.checkpoint_nanos += clock.elapsed_nanos();
         Ok(())
+    }
+
+    /// Checkpoint totals accumulated by this session.
+    #[must_use]
+    pub fn session_stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Publishes session and translator totals onto `rec`. Call at a
+    /// phase boundary — the hot paths only bump plain integers.
+    pub fn record_metrics(&self, rec: &mut dyn Recorder) {
+        rec.counter("session.events", self.events);
+        rec.counter("session.checkpoints", self.stats.checkpoints);
+        rec.counter("session.checkpoint_bytes", self.stats.checkpoint_bytes);
+        if self.stats.checkpoints > 0 {
+            rec.span("session.checkpoint", self.stats.checkpoint_nanos);
+        }
+        self.cdc.record_metrics(rec);
     }
 
     /// Reopens a session from a checkpoint container, restoring the
@@ -200,6 +243,7 @@ impl<S: SessionSink> Session<S> {
         Ok(Session {
             cdc: Cdc::from_parts(omc, sink, time, untracked, probe_anomalies),
             events,
+            stats: SessionStats::default(),
         })
     }
 
@@ -584,6 +628,32 @@ mod tests {
     }
 
     #[test]
+    fn session_stats_count_checkpoints_and_bytes() {
+        let mut session = Session::new(VecOrSink::new());
+        session.feed(&churn_events(4, 3));
+        assert_eq!(session.session_stats(), SessionStats::default());
+
+        let mut first = Vec::new();
+        session.checkpoint(&mut first).unwrap();
+        let mut second = Vec::new();
+        session.checkpoint(&mut second).unwrap();
+
+        let stats = session.session_stats();
+        assert_eq!(stats.checkpoints, 2);
+        assert_eq!(stats.checkpoint_bytes, (first.len() + second.len()) as u64);
+
+        let mut rec = orp_obs::StatsRecorder::default();
+        session.record_metrics(&mut rec);
+        assert_eq!(rec.counter_value("session.checkpoints"), 2);
+        assert_eq!(
+            rec.counter_value("session.checkpoint_bytes"),
+            stats.checkpoint_bytes
+        );
+        assert_eq!(rec.counter_value("session.events"), session.events());
+        assert_eq!(rec.counter_value("cdc.accesses"), session.cdc().time().0);
+    }
+
+    #[test]
     fn resume_sharded_matches_single_threaded() {
         let events = churn_events(16, 10);
         let cut = events.len() / 2;
@@ -632,7 +702,7 @@ mod tests {
             }
         }
 
-        let session = Session::new(VecOrSink::new());
+        let mut session = Session::new(VecOrSink::new());
         let mut snapshot = Vec::new();
         session.checkpoint(&mut snapshot).unwrap();
         assert!(matches!(

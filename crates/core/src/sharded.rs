@@ -31,8 +31,10 @@ use std::collections::VecDeque;
 
 use orp_trace::{AccessEvent, AllocEvent, FreeEvent, InstrId, ProbeEvent, ProbeSink};
 
+use orp_obs::Recorder;
+
 use crate::omc::FastU64Map;
-use crate::sync::mpsc::{self, Receiver, SyncSender};
+use crate::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use crate::sync::thread::{self, JoinHandle};
 use crate::{Cdc, GroupId, Omc, OrSink, OrTuple, Timestamp};
 
@@ -180,13 +182,54 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// One shard lane's routing totals, as counted by the translator.
+///
+/// Plain integers bumped inline on the routing path; nothing here
+/// calls out until [`PipelineStats::record_metrics`] runs at join.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: u64,
+    /// Tuples routed to this shard.
+    pub tuples: u64,
+    /// Batches flushed onto this shard's queue.
+    pub batches: u64,
+    /// Flushes that found the queue full and had to block (the probe
+    /// side out-ran this worker).
+    pub stalls: u64,
+}
+
+/// Per-shard routing totals plus the merge cost, harvested at join.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Wall-clock nanoseconds spent in [`ShardableSink::merge`].
+    pub merge_nanos: u64,
+}
+
+impl PipelineStats {
+    /// Publishes the pipeline's totals (`pipeline.*`) to `rec`.
+    pub fn record_metrics(&self, rec: &mut dyn Recorder) {
+        for s in &self.shards {
+            rec.counter("pipeline.tuples_routed", s.tuples);
+            rec.counter("pipeline.batches", s.batches);
+            rec.counter("pipeline.queue_stalls", s.stalls);
+            rec.observe("pipeline.tuples_per_shard", s.tuples);
+        }
+        rec.span("pipeline.merge", self.merge_nanos);
+    }
+}
+
 /// What the translator thread hands back at shutdown: the OMC plus the
-/// counters a single-threaded [`Cdc`] would have accumulated.
+/// counters a single-threaded [`Cdc`] would have accumulated, plus the
+/// per-lane routing totals.
 struct Translated {
     omc: Omc,
     time: u64,
     untracked: u64,
     probe_anomalies: u64,
+    lane_stats: Vec<ShardStats>,
 }
 
 /// The collection state a resumed pipeline continues from — the
@@ -217,10 +260,13 @@ struct Lane {
     /// Set when the worker hung up (it panicked); further tuples for
     /// this shard are dropped and the panic surfaces at join.
     dead: bool,
+    /// Tuples routed here, batches flushed, and full-queue stalls.
+    stats: ShardStats,
 }
 
 impl Lane {
     fn push(&mut self, t: OrTuple) {
+        self.stats.tuples += 1;
         self.pending.push(t);
         if self.pending.len() >= TUPLE_BATCH {
             self.flush();
@@ -237,8 +283,20 @@ impl Lane {
             .try_recv()
             .unwrap_or_else(|_| Vec::with_capacity(TUPLE_BATCH));
         let batch = std::mem::replace(&mut self.pending, fresh);
-        if self.tx.send(batch).is_err() {
-            self.dead = true;
+        // Try the non-blocking send first so a full queue — the worker
+        // back-pressuring the translator — is observable as a stall
+        // before the blocking send parks this thread.
+        match self.tx.try_send(batch) {
+            Ok(()) => self.stats.batches += 1,
+            Err(TrySendError::Full(batch)) => {
+                self.stats.stalls += 1;
+                if self.tx.send(batch).is_err() {
+                    self.dead = true;
+                } else {
+                    self.stats.batches += 1;
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => self.dead = true,
         }
     }
 }
@@ -286,6 +344,7 @@ impl<S: ShardableSink> ShardedCdc<S> {
                 time: 0,
                 untracked: 0,
                 probe_anomalies: 0,
+                lane_stats: Vec::new(),
             },
             Vec::new(),
             sinks,
@@ -323,6 +382,7 @@ impl<S: ShardableSink> ShardedCdc<S> {
                 time: state.time.0,
                 untracked: state.untracked,
                 probe_anomalies: state.probe_anomalies,
+                lane_stats: Vec::new(),
             },
             state.stem_keys,
             sinks,
@@ -358,6 +418,10 @@ impl<S: ShardableSink> ShardedCdc<S> {
                 recycled: recycle_rx,
                 pending: Vec::with_capacity(TUPLE_BATCH),
                 dead: false,
+                stats: ShardStats {
+                    shard: shard as u64,
+                    ..ShardStats::default()
+                },
             });
             workers.push_back(handle);
         }
@@ -412,7 +476,18 @@ impl<S: ShardableSink> ShardedCdc<S> {
     ///
     /// Returns a [`PipelineError`] naming the thread when the
     /// translator or a shard worker panicked.
-    pub fn try_join(mut self) -> Result<Cdc<S>, PipelineError> {
+    pub fn try_join(self) -> Result<Cdc<S>, PipelineError> {
+        self.try_join_stats().map(|(cdc, _)| cdc)
+    }
+
+    /// [`ShardedCdc::try_join`], additionally returning the pipeline's
+    /// per-shard routing totals and merge time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] naming the thread when the
+    /// translator or a shard worker panicked.
+    pub fn try_join_stats(mut self) -> Result<(Cdc<S>, PipelineStats), PipelineError> {
         self.flush();
         drop(self.to_translator.take());
         // The translator must wind down first: it owns the shard
@@ -442,15 +517,24 @@ impl<S: ShardableSink> ShardedCdc<S> {
             return Err(err);
         }
         let t = translated.expect("checked above");
+        let merge_start = std::time::Instant::now();
+        let merged = S::merge(sinks);
+        let merge_nanos = u64::try_from(merge_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let mut cdc = Cdc::from_parts(
             t.omc,
-            S::merge(sinks),
+            merged,
             Timestamp(t.time),
             t.untracked,
             t.probe_anomalies,
         );
         ProbeSink::finish(&mut cdc);
-        Ok(cdc)
+        Ok((
+            cdc,
+            PipelineStats {
+                shards: t.lane_stats,
+                merge_nanos,
+            },
+        ))
     }
 
     /// [`ShardedCdc::try_join`], panicking on pipeline errors.
@@ -484,6 +568,7 @@ fn translate_loop<S: ShardableSink>(
         mut time,
         mut untracked,
         mut probe_anomalies,
+        lane_stats: _,
     } = init;
     // First-seen round-robin key→shard assignment: deterministic for a
     // given event stream, and balance never affects the merged result
@@ -561,6 +646,7 @@ fn translate_loop<S: ShardableSink>(
         time,
         untracked,
         probe_anomalies,
+        lane_stats: lanes.iter().map(|lane| lane.stats).collect(),
     }
 }
 
@@ -649,6 +735,23 @@ mod tests {
             assert_eq!(cdc.time(), inline.time());
             assert_eq!(cdc.untracked(), inline.untracked());
             assert_eq!(cdc.probe_anomalies(), inline.probe_anomalies());
+        }
+    }
+
+    #[test]
+    fn pipeline_stats_account_for_every_routed_tuple() {
+        let mut sharded = ShardedCdc::spawn(Omc::new(), 3, |_| VecOrSink::new());
+        churn_run(&mut sharded, 50, 40);
+        let (cdc, stats) = sharded.try_join_stats().expect("pipeline healthy");
+        assert_eq!(stats.shards.len(), 3);
+        let routed: u64 = stats.shards.iter().map(|s| s.tuples).sum();
+        assert_eq!(routed, cdc.sink().len() as u64, "every tuple counted");
+        for (i, s) in stats.shards.iter().enumerate() {
+            assert_eq!(s.shard, i as u64);
+            assert!(
+                s.tuples == 0 || s.batches > 0,
+                "a shard with tuples flushed at least one batch: {s:?}"
+            );
         }
     }
 

@@ -15,7 +15,7 @@
 use orp_trace::{AccessEvent, AllocEvent, FreeEvent, ProbeEvent, ProbeSink};
 
 use crate::sharded::{panic_message, PipelineError};
-use crate::sync::mpsc;
+use crate::sync::mpsc::{self, TrySendError};
 use crate::sync::thread::{self, JoinHandle};
 use crate::{Cdc, OrSink};
 
@@ -33,6 +33,19 @@ const BATCH: usize = 2;
 const QUEUE_BATCHES: usize = 64;
 #[cfg(loom)]
 const QUEUE_BATCHES: usize = 1;
+
+/// Probe-side feed totals for the single-worker pipeline: plain
+/// integers bumped inline, read back via [`ThreadedCdc::feed_stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FeedStats {
+    /// Probe events fed so far.
+    pub events: u64,
+    /// Batches shipped onto the worker queue.
+    pub batches: u64,
+    /// Flushes that found the queue full and had to block (the worker
+    /// back-pressuring the probe side).
+    pub stalls: u64,
+}
 
 /// A probe sink that ships events to a worker thread running the
 /// CDC/OMC and the profiler.
@@ -59,6 +72,7 @@ pub struct ThreadedCdc<S: OrSink + Send + 'static> {
     recycled: mpsc::Receiver<Vec<ProbeEvent>>,
     batch: Vec<ProbeEvent>,
     worker: Option<JoinHandle<Cdc<S>>>,
+    stats: FeedStats,
 }
 
 impl<S: OrSink + Send + 'static> ThreadedCdc<S> {
@@ -89,10 +103,18 @@ impl<S: OrSink + Send + 'static> ThreadedCdc<S> {
             recycled: recycle_rx,
             batch: Vec::with_capacity(BATCH),
             worker: Some(worker),
+            stats: FeedStats::default(),
         }
     }
 
+    /// The probe-side feed totals accumulated so far.
+    #[must_use]
+    pub fn feed_stats(&self) -> FeedStats {
+        self.stats
+    }
+
     fn push(&mut self, ev: ProbeEvent) {
+        self.stats.events += 1;
         self.batch.push(ev);
         if self.batch.len() == BATCH {
             self.flush();
@@ -109,11 +131,21 @@ impl<S: OrSink + Send + 'static> ThreadedCdc<S> {
             .unwrap_or_else(|_| Vec::with_capacity(BATCH));
         let batch = std::mem::replace(&mut self.batch, fresh);
         if let Some(sender) = &self.sender {
-            // A send failure means the worker died; drop the batch and
-            // keep going so the panic surfaces at join with its own
-            // message instead of a cascading send failure here.
-            if sender.send(batch).is_err() {
-                self.sender = None;
+            // Non-blocking first so a full queue is observable as a
+            // stall. A send failure means the worker died; drop the
+            // batch and keep going so the panic surfaces at join with
+            // its own message instead of a cascading send failure here.
+            match sender.try_send(batch) {
+                Ok(()) => self.stats.batches += 1,
+                Err(TrySendError::Full(batch)) => {
+                    self.stats.stalls += 1;
+                    if sender.send(batch).is_err() {
+                        self.sender = None;
+                    } else {
+                        self.stats.batches += 1;
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => self.sender = None,
             }
         }
     }
@@ -221,6 +253,16 @@ mod tests {
         assert_eq!(from_thread.sink().tuples(), inline.sink().tuples());
         assert_eq!(from_thread.untracked(), inline.untracked());
         assert_eq!(from_thread.time(), inline.time());
+    }
+
+    #[test]
+    fn feed_stats_count_events_and_batches() {
+        let mut threaded = ThreadedCdc::spawn(Omc::new(), VecOrSink::new());
+        sample_run(&mut threaded);
+        let stats = threaded.feed_stats();
+        assert_eq!(stats.events, 5002, "alloc + 5000 accesses + free");
+        assert!(stats.batches >= 5002 / BATCH as u64, "{stats:?}");
+        let _ = threaded.join();
     }
 
     #[test]

@@ -34,6 +34,12 @@ enum Action {
     /// Translate an address `delta` bytes into slot `slot` through all
     /// three paths, attributed to `instr`.
     Probe { slot: u8, delta: u32, instr: u8 },
+    /// Merge `alias`'s group into `canonical`'s — the compiler-provided
+    /// type refinement. Interleaved with translation so a memo entry
+    /// populated *before* a merge is probed *after* it (the stale-group
+    /// hazard the merge's MRU sweep guards against). Rejections
+    /// (`SiteAlreadyGrouped`) are part of the modelled churn.
+    AliasSites { canonical: u8, alias: u8 },
 }
 
 fn arb_action() -> impl Strategy<Value = Action> {
@@ -54,6 +60,9 @@ fn arb_action() -> impl Strategy<Value = Action> {
             delta,
             instr,
         }),
+        // Site space matches Alloc's, so merges hit both empty and
+        // already-allocated groups.
+        (0u8..4, 0u8..4).prop_map(|(canonical, alias)| Action::AliasSites { canonical, alias }),
     ]
 }
 
@@ -112,6 +121,12 @@ proptest! {
                         expected,
                         "MRU (warm) diverged at {:#x}",
                         addr
+                    );
+                }
+                Action::AliasSites { canonical, alias } => {
+                    let _ = omc.alias_sites(
+                        AllocSiteId(u32::from(canonical)),
+                        AllocSiteId(u32::from(alias)),
                     );
                 }
             }

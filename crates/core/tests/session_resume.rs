@@ -117,7 +117,7 @@ fn finalize_bytes(session: Session<ReplaySink>) -> Vec<u8> {
 #[test]
 fn checkpoint_before_any_event_resumes_to_a_fresh_session() {
     // Cut at offset zero: the checkpoint of a brand-new session.
-    let fresh = Session::new(ReplaySink::default());
+    let mut fresh = Session::new(ReplaySink::default());
     let mut ckpt = Vec::new();
     fresh
         .checkpoint(&mut ckpt)
@@ -273,7 +273,7 @@ fn untracked_resume_still_allows_deliberate_replay() {
 fn checkpoint_before_any_event_resumes_onto_the_sharded_pipeline() {
     // Degenerate cut × sharded resume: shard 0 inherits an *empty*
     // stem sink and the merge must still reproduce the inline run.
-    let fresh = Session::new(ReplaySink::default());
+    let mut fresh = Session::new(ReplaySink::default());
     let mut ckpt = Vec::new();
     fresh
         .checkpoint(&mut ckpt)

@@ -38,6 +38,8 @@ impl ChunkTag {
     pub const CDC_STATE: ChunkTag = ChunkTag(*b"CDCK");
     /// Mid-run profiler sink state (grammar/compressor internals).
     pub const SINK_STATE: ChunkTag = ChunkTag(*b"SNKS");
+    /// An embedded run report (`orp-obs` `RunReport` JSON).
+    pub const METRICS: ChunkTag = ChunkTag(*b"MREP");
     /// Empty terminator; every container ends with it.
     pub const END: ChunkTag = ChunkTag(*b"END ");
 
@@ -62,6 +64,7 @@ impl ChunkTag {
         ),
         (ChunkTag::CDC_STATE, "CDC checkpoint (stream counters)"),
         (ChunkTag::SINK_STATE, "profiler sink checkpoint"),
+        (ChunkTag::METRICS, "embedded run report (JSON)"),
         (ChunkTag::END, "container terminator"),
     ];
 

@@ -5,7 +5,7 @@ use std::io::{self, Read, Write};
 use crate::chunk::{ChunkTag, ProfileKind};
 use crate::crc::Crc32;
 use crate::error::FormatError;
-use crate::varint::{read_varint, write_varint};
+use crate::varint::{read_varint, varint_len, write_varint};
 
 /// Eight-byte file magic, PNG-style: a high bit to catch 7-bit
 /// transport, `ORP`, a CR-LF and a lone LF to catch line-ending
@@ -27,6 +27,17 @@ pub const MAX_CHUNK_LEN: u64 = 1 << 30;
 /// cost at most this much memory before EOF surfaces as `Truncated`.
 const PREALLOC_CAP: usize = 1 << 20;
 
+/// On-wire totals for one container reader or writer: plain integers
+/// bumped inline (observability layers read them at phase boundaries;
+/// decode/encode loops themselves never call out).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Chunks processed, including `META` and the `END ` terminator.
+    pub chunks: u64,
+    /// Bytes on the wire: header, tags, length varints, payloads, CRCs.
+    pub bytes: u64,
+}
+
 /// One decoded chunk: its tag and verified payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chunk {
@@ -41,6 +52,7 @@ pub struct Chunk {
 #[derive(Debug)]
 pub struct ContainerWriter<W: Write> {
     writer: W,
+    stats: IoStats,
 }
 
 impl<W: Write> ContainerWriter<W> {
@@ -52,7 +64,13 @@ impl<W: Write> ContainerWriter<W> {
     pub fn new(mut writer: W) -> io::Result<Self> {
         writer.write_all(&MAGIC)?;
         writer.write_all(&FORMAT_VERSION.to_le_bytes())?;
-        Ok(ContainerWriter { writer })
+        Ok(ContainerWriter {
+            writer,
+            stats: IoStats {
+                chunks: 0,
+                bytes: (MAGIC.len() + 4) as u64,
+            },
+        })
     }
 
     /// Writes one chunk: tag, varint length, payload, CRC-32 over
@@ -75,7 +93,10 @@ impl<W: Write> ContainerWriter<W> {
         let mut crc = Crc32::new();
         crc.update(&tag.0);
         crc.update(payload);
-        self.writer.write_all(&crc.finalize().to_le_bytes())
+        self.writer.write_all(&crc.finalize().to_le_bytes())?;
+        self.stats.chunks += 1;
+        self.stats.bytes += 4 + varint_len(payload.len() as u64) + payload.len() as u64 + 4;
+        Ok(())
     }
 
     /// Writes the `META` chunk describing the profile kind.
@@ -109,6 +130,14 @@ impl<W: Write> ContainerWriter<W> {
     pub fn get_mut(&mut self) -> &mut W {
         &mut self.writer
     }
+
+    /// Chunks and on-wire bytes written so far (header included;
+    /// non-chunk bytes written through [`ContainerWriter::get_mut`]
+    /// are not counted).
+    #[must_use]
+    pub fn io_stats(&self) -> IoStats {
+        self.stats
+    }
 }
 
 /// Reads a container: validates the header up front, then yields
@@ -118,6 +147,7 @@ pub struct ContainerReader<R: Read> {
     reader: R,
     version: u32,
     done: bool,
+    stats: IoStats,
 }
 
 impl<R: Read> ContainerReader<R> {
@@ -144,6 +174,10 @@ impl<R: Read> ContainerReader<R> {
             reader,
             version,
             done: false,
+            stats: IoStats {
+                chunks: 0,
+                bytes: (MAGIC.len() + 4) as u64,
+            },
         })
     }
 
@@ -196,6 +230,8 @@ impl<R: Read> ContainerReader<R> {
         if crc.finalize() != u32::from_le_bytes(stored) {
             return Err(FormatError::ChecksumMismatch { tag });
         }
+        self.stats.chunks += 1;
+        self.stats.bytes += 4 + varint_len(len) + len + 4;
         if tag == ChunkTag::END {
             if !payload.is_empty() {
                 return Err(FormatError::Malformed("END chunk carries a payload"));
@@ -261,6 +297,13 @@ impl<R: Read> ContainerReader<R> {
     pub fn get_mut(&mut self) -> &mut R {
         &mut self.reader
     }
+
+    /// Chunks and on-wire bytes consumed so far (header included; only
+    /// fully CRC-verified chunks count).
+    #[must_use]
+    pub fn io_stats(&self) -> IoStats {
+        self.stats
+    }
 }
 
 /// Writes a complete single-payload container: header, `META`, one
@@ -296,8 +339,12 @@ pub fn read_single_chunk(r: impl Read, kind: ProfileKind) -> Result<Vec<u8>, For
         });
     }
     let payload = reader.expect_chunk(kind.primary_chunk())?;
-    if reader.next_chunk()?.is_some() {
-        return Err(FormatError::Malformed("unexpected extra chunk"));
+    // Auxiliary metadata (an embedded MREP run report) may trail the
+    // primary payload; any other extra chunk stays malformed.
+    while let Some(chunk) = reader.next_chunk()? {
+        if chunk.tag != ChunkTag::METRICS {
+            return Err(FormatError::Malformed("unexpected extra chunk"));
+        }
     }
     Ok(payload)
 }
@@ -326,6 +373,44 @@ mod tests {
         assert_eq!(chunk.payload, b"grammar bytes");
         assert!(r.next_chunk().unwrap().is_none());
         assert!(r.at_end());
+    }
+
+    #[test]
+    fn io_stats_agree_between_writer_and_reader() {
+        let mut w = ContainerWriter::new(Vec::new()).unwrap();
+        w.meta(ProfileKind::Grammar).unwrap();
+        w.chunk(ChunkTag::GRAMMAR, b"grammar bytes").unwrap();
+        // Snapshot before finish(); the terminator adds one more chunk.
+        let written = w.io_stats();
+        let buf = w.finish().unwrap();
+        let mut r = ContainerReader::new(buf.as_slice()).unwrap();
+        while r.next_chunk().unwrap().is_some() {}
+        let read = r.io_stats();
+        assert_eq!(read.chunks, written.chunks + 1, "META + GRMR + END");
+        assert_eq!(read.bytes, buf.len() as u64, "every wire byte counted");
+    }
+
+    #[test]
+    fn single_chunk_reader_tolerates_a_trailing_metrics_chunk() {
+        let mut w = ContainerWriter::new(Vec::new()).unwrap();
+        w.meta(ProfileKind::Leap).unwrap();
+        w.chunk(ChunkTag::LEAP, b"leap payload").unwrap();
+        w.chunk(ChunkTag::METRICS, b"{}").unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(
+            read_single_chunk(buf.as_slice(), ProfileKind::Leap).unwrap(),
+            b"leap payload"
+        );
+        // Any other trailing tag stays malformed.
+        let mut w = ContainerWriter::new(Vec::new()).unwrap();
+        w.meta(ProfileKind::Leap).unwrap();
+        w.chunk(ChunkTag::LEAP, b"leap payload").unwrap();
+        w.chunk(ChunkTag::TRACE, b"stray").unwrap();
+        let buf = w.finish().unwrap();
+        assert!(matches!(
+            read_single_chunk(buf.as_slice(), ProfileKind::Leap),
+            Err(FormatError::Malformed(_))
+        ));
     }
 
     #[test]

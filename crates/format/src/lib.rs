@@ -54,8 +54,8 @@ pub mod varint;
 
 pub use chunk::{ChunkTag, ProfileKind};
 pub use container::{
-    read_single_chunk, write_single_chunk, Chunk, ContainerReader, ContainerWriter, FORMAT_VERSION,
-    MAGIC, MAX_CHUNK_LEN,
+    read_single_chunk, write_single_chunk, Chunk, ContainerReader, ContainerWriter, IoStats,
+    FORMAT_VERSION, MAGIC, MAX_CHUNK_LEN,
 };
 pub use crc::{crc32, Crc32};
 pub use error::FormatError;

@@ -121,6 +121,23 @@ impl LeapProfile {
         self.streams.values().map(|s| 24 + s.encoded_bytes()).sum()
     }
 
+    /// Publishes the finished profile's shape onto `rec`: totals plus a
+    /// per-group stream-count distribution.
+    pub fn record_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("leap.total_accesses", self.total_accesses());
+        rec.counter("leap.streams", self.streams.len() as u64);
+        rec.counter("leap.instructions", self.kinds.len() as u64);
+        rec.counter("leap.encoded_bytes", self.encoded_bytes());
+        let mut per_group: BTreeMap<GroupId, u64> = BTreeMap::new();
+        for &(_, group) in self.streams.keys() {
+            *per_group.entry(group).or_default() += 1;
+        }
+        rec.counter("leap.groups", per_group.len() as u64);
+        for &count in per_group.values() {
+            rec.observe("leap.streams_per_group", count);
+        }
+    }
+
     /// Table 1's compression ratio: raw `(instruction, address)` trace
     /// bytes over profile bytes.
     #[must_use]

@@ -64,6 +64,12 @@ impl LeapProfiler {
         self.streams.len()
     }
 
+    /// Publishes the profiler's growth counters onto `rec`.
+    pub fn record_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("leap.streams", self.streams.len() as u64);
+        rec.counter("leap.instructions", self.kinds.len() as u64);
+    }
+
     /// Finalizes into an immutable [`LeapProfile`].
     #[must_use]
     pub fn into_profile(self) -> LeapProfile {

@@ -1,0 +1,708 @@
+//! Observability substrate: counters, histograms, and span timings
+//! behind a [`Recorder`] trait, plus the [`RunReport`] the CLI emits.
+//!
+//! The design rule is *zero cost when disabled*: hot loops never call
+//! a recorder. They bump plain integer fields on the component they
+//! already own (`Omc::translate_stats`, shard lane counters, session
+//! checkpoint totals), and a recorder only sees those totals when a
+//! phase boundary calls the component's `record_metrics`. The
+//! [`Recorder`] methods default to no-ops, so [`NoopRecorder`] costs a
+//! devirtualized empty call even at boundaries.
+//!
+//! [`StatsRecorder`] is the one real implementation: it aggregates
+//! into `BTreeMap`s (deterministic iteration → stable report output)
+//! and drains into a [`RunReport`], which renders as a human table
+//! (`--stats`) or stable machine-readable JSON (`--metrics-out`). A
+//! report can also be embedded into an existing `.orp` container as an
+//! `MREP` chunk ([`embed_report`]) so `orprof inspect` can print it
+//! later.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+use orp_format::{ChunkTag, ContainerReader, ContainerWriter, FormatError};
+
+/// Where metric events go at phase boundaries.
+///
+/// Every method defaults to a no-op so implementors opt into exactly
+/// the signals they want and the disabled path stays free.
+pub trait Recorder {
+    /// Adds `delta` to the monotonic counter `name`.
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records one observation of `value` in the histogram `name`.
+    fn observe(&mut self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Records one timed span of `nanos` under `name`.
+    fn span(&mut self, name: &'static str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+}
+
+/// The disabled path: every method is the trait's empty default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Power-of-two-bucketed histogram of `u64` observations.
+///
+/// Bucket 0 counts zeros; bucket `k` counts values in
+/// `[2^(k-1), 2^k)`. Exact count/sum/min/max ride along so reports
+/// can show precise totals next to the coarse shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = 64 - u64::leading_zeros(value) as usize;
+        self.buckets[idx] += 1;
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The 65 power-of-two buckets.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+}
+
+/// Aggregate of the timed spans recorded under one name.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of spans.
+    pub count: u64,
+    /// Total duration in nanoseconds (saturating).
+    pub total_nanos: u64,
+    /// Longest single span in nanoseconds.
+    pub max_nanos: u64,
+}
+
+/// The enabled path: aggregates everything into deterministic maps.
+#[derive(Debug, Default)]
+pub struct StatsRecorder {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl StatsRecorder {
+    /// A fresh, empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        StatsRecorder::default()
+    }
+
+    /// Current value of a counter (0 when never bumped).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The aggregated counters, in name order.
+    #[must_use]
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// The aggregated histograms, in name order.
+    #[must_use]
+    pub fn histograms(&self) -> &BTreeMap<&'static str, Histogram> {
+        &self.histograms
+    }
+
+    /// The aggregated spans, in name order.
+    #[must_use]
+    pub fn spans(&self) -> &BTreeMap<&'static str, SpanStats> {
+        &self.spans
+    }
+}
+
+impl Recorder for StatsRecorder {
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    fn span(&mut self, name: &'static str, nanos: u64) {
+        let s = self.spans.entry(name).or_default();
+        s.count += 1;
+        s.total_nanos = s.total_nanos.saturating_add(nanos);
+        s.max_nanos = s.max_nanos.max(nanos);
+    }
+}
+
+/// Monotonic wall-clock stopwatch for span timings.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturating at `u64::MAX`.
+    #[must_use]
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A `Write` adapter that counts bytes flowing through it.
+///
+/// Wrap a sink before handing it to a serializer to learn the exact
+/// output size (checkpoint bytes, profile bytes) without buffering.
+#[derive(Debug)]
+pub struct CountingWrite<W> {
+    inner: W,
+    bytes: u64,
+}
+
+impl<W: Write> CountingWrite<W> {
+    /// Wraps `inner` with a zeroed byte counter.
+    pub fn new(inner: W) -> Self {
+        CountingWrite { inner, bytes: 0 }
+    }
+
+    /// Bytes successfully written so far.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for CountingWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Schema version stamped into every [`RunReport`] JSON document.
+///
+/// Bump on any key rename/removal; additions are backward-compatible
+/// and do not bump it.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Per-shard pipeline totals surfaced in a report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCount {
+    /// Shard index.
+    pub shard: u64,
+    /// Tuples routed to this shard.
+    pub tuples: u64,
+    /// Batches flushed to this shard's queue.
+    pub batches: u64,
+    /// Flushes that found the queue full and had to block.
+    pub stalls: u64,
+}
+
+/// The machine-readable product of one CLI run.
+///
+/// Serialized with [`RunReport::to_json`] (stable schema, stable key
+/// order) and rendered with [`RunReport::render_table`] for `--stats`.
+#[derive(Debug, Default, Clone)]
+pub struct RunReport {
+    /// The CLI subcommand (`run`, `record`).
+    pub command: String,
+    /// Workload name, when the events came from a generator.
+    pub workload: Option<String>,
+    /// Profiler name, for `run`.
+    pub profiler: Option<String>,
+    /// Translation shards (1 = inline single-threaded pipeline).
+    pub shards: u64,
+    /// Wall-clock nanoseconds for the whole command.
+    pub wall_nanos: u64,
+    /// Probe events fed through the pipeline by this command.
+    pub events: u64,
+    /// Monotonic counters, in name order.
+    pub counters: BTreeMap<String, u64>,
+    /// Derived ratios (hit rates, compression factors), in name order.
+    pub ratios: BTreeMap<String, f64>,
+    /// Timed spans, in name order.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Per-shard pipeline totals (empty for inline runs).
+    pub shard_counts: Vec<ShardCount>,
+}
+
+impl RunReport {
+    /// A report for `command` with everything else empty.
+    #[must_use]
+    pub fn new(command: &str) -> Self {
+        RunReport {
+            command: command.to_owned(),
+            ..RunReport::default()
+        }
+    }
+
+    /// Moves everything a [`StatsRecorder`] aggregated into the report.
+    ///
+    /// Histograms fold into counters as `<name>.count` / `<name>.min` /
+    /// `<name>.max` / `<name>.sum`: the report schema stays flat and
+    /// the exact aggregates survive.
+    pub fn absorb(&mut self, rec: &StatsRecorder) {
+        for (name, value) in rec.counters() {
+            let slot = self.counters.entry((*name).to_owned()).or_insert(0);
+            *slot = slot.saturating_add(*value);
+        }
+        for (name, hist) in rec.histograms() {
+            self.counters.insert(format!("{name}.count"), hist.count());
+            self.counters.insert(format!("{name}.min"), hist.min());
+            self.counters.insert(format!("{name}.max"), hist.max());
+            self.counters.insert(format!("{name}.sum"), hist.sum());
+        }
+        for (name, span) in rec.spans() {
+            let s = self.spans.entry((*name).to_owned()).or_default();
+            s.count += span.count;
+            s.total_nanos = s.total_nanos.saturating_add(span.total_nanos);
+            s.max_nanos = s.max_nanos.max(span.max_nanos);
+        }
+    }
+
+    /// Serializes the report as stable-schema JSON.
+    ///
+    /// Key order is fixed (struct fields in declaration order, map
+    /// entries in name order), so two runs over identical inputs
+    /// produce byte-identical documents modulo timings.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {REPORT_SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"command\": {},", json_string(&self.command));
+        let _ = writeln!(
+            out,
+            "  \"workload\": {},",
+            json_opt(self.workload.as_deref())
+        );
+        let _ = writeln!(
+            out,
+            "  \"profiler\": {},",
+            json_opt(self.profiler.as_deref())
+        );
+        let _ = writeln!(out, "  \"shards\": {},", self.shards);
+        let _ = writeln!(out, "  \"wall_nanos\": {},", self.wall_nanos);
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        out.push_str("  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {value}", json_string(name));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"ratios\": {");
+        for (i, (name, value)) in self.ratios.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {}", json_string(name), json_f64(*value));
+        }
+        out.push_str(if self.ratios.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"spans\": {");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {}: {{\"count\": {}, \"total_nanos\": {}, \"max_nanos\": {}}}",
+                json_string(name),
+                s.count,
+                s.total_nanos,
+                s.max_nanos
+            );
+        }
+        out.push_str(if self.spans.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"shard_counts\": [");
+        for (i, s) in self.shard_counts.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{\"shard\": {}, \"tuples\": {}, \"batches\": {}, \"stalls\": {}}}",
+                s.shard, s.tuples, s.batches, s.stalls
+            );
+        }
+        out.push_str(if self.shard_counts.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the report as the aligned human table `--stats` prints.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "run report: {}", self.command);
+        if let Some(w) = &self.workload {
+            let _ = writeln!(out, "  workload          {w}");
+        }
+        if let Some(p) = &self.profiler {
+            let _ = writeln!(out, "  profiler          {p}");
+        }
+        let _ = writeln!(out, "  shards            {}", self.shards);
+        let _ = writeln!(out, "  events            {}", self.events);
+        let _ = writeln!(out, "  wall time         {}", fmt_nanos(self.wall_nanos));
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            let width = self.counters.keys().map(String::len).max().unwrap_or(0);
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        if !self.ratios.is_empty() {
+            let _ = writeln!(out, "ratios:");
+            let width = self.ratios.keys().map(String::len).max().unwrap_or(0);
+            for (name, value) in &self.ratios {
+                let _ = writeln!(out, "  {name:<width$}  {value:.4}");
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "spans:");
+            let width = self.spans.keys().map(String::len).max().unwrap_or(0);
+            for (name, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  {} x, total {}, max {}",
+                    s.count,
+                    fmt_nanos(s.total_nanos),
+                    fmt_nanos(s.max_nanos)
+                );
+            }
+        }
+        if !self.shard_counts.is_empty() {
+            let _ = writeln!(out, "shards:");
+            for s in &self.shard_counts {
+                let _ = writeln!(
+                    out,
+                    "  shard {:<3} tuples {:<12} batches {:<8} stalls {}",
+                    s.shard, s.tuples, s.batches, s.stalls
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Human-friendly duration: picks ns/µs/ms/s by magnitude.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos < 10_000 {
+        format!("{nanos}ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt(s: Option<&str>) -> String {
+    s.map_or_else(|| "null".to_owned(), json_string)
+}
+
+/// Finite-only JSON number; NaN/inf degrade to 0 (JSON has no spelling
+/// for them and a report must stay parseable).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Re-streams `container`, replacing any existing `MREP` chunk and
+/// appending `json` as the new one (kept just before the terminator).
+///
+/// Every other chunk is copied verbatim, so the profile payload stays
+/// byte-identical; only the report rides along.
+///
+/// # Errors
+///
+/// Propagates container read errors from the input and (vanishingly,
+/// for `Vec` output) write errors.
+pub fn embed_report(container: &[u8], json: &str) -> Result<Vec<u8>, FormatError> {
+    let mut reader = ContainerReader::new(container)?;
+    let mut writer = ContainerWriter::new(Vec::with_capacity(container.len() + json.len() + 64))?;
+    while let Some(chunk) = reader.next_chunk()? {
+        if chunk.tag == ChunkTag::METRICS {
+            continue;
+        }
+        writer.chunk(chunk.tag, &chunk.payload)?;
+    }
+    writer.chunk(ChunkTag::METRICS, json.as_bytes())?;
+    Ok(writer.finish()?)
+}
+
+/// Finds the embedded `MREP` report in a container, if any.
+///
+/// # Errors
+///
+/// Container read errors, or [`FormatError::Malformed`] when the
+/// `MREP` payload is not UTF-8.
+pub fn extract_report(container: impl Read) -> Result<Option<String>, FormatError> {
+    let mut reader = ContainerReader::new(container)?;
+    while let Some(chunk) = reader.next_chunk()? {
+        if chunk.tag == ChunkTag::METRICS {
+            let text = String::from_utf8(chunk.payload)
+                .map_err(|_| FormatError::Malformed("MREP payload is not UTF-8"))?;
+            return Ok(Some(text));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_format::{write_single_chunk, ProfileKind};
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1049);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.buckets()[0], 1); // 0
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2..4
+        assert_eq!(h.buckets()[3], 2); // 4..8
+        assert_eq!(h.buckets()[4], 1); // 8..16
+        assert_eq!(h.buckets()[11], 1); // 1024..2048
+    }
+
+    #[test]
+    fn stats_recorder_aggregates_deterministically() {
+        let mut rec = StatsRecorder::new();
+        rec.counter("b.second", 2);
+        rec.counter("a.first", 1);
+        rec.counter("a.first", 3);
+        rec.observe("sizes", 16);
+        rec.span("phase", 100);
+        rec.span("phase", 50);
+        assert_eq!(rec.counter_value("a.first"), 4);
+        assert_eq!(rec.counter_value("missing"), 0);
+        let names: Vec<_> = rec.counters().keys().copied().collect();
+        assert_eq!(names, ["a.first", "b.second"]);
+        let phase = rec.spans()["phase"];
+        assert_eq!(phase.count, 2);
+        assert_eq!(phase.total_nanos, 150);
+        assert_eq!(phase.max_nanos, 100);
+    }
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let mut rec = NoopRecorder;
+        rec.counter("x", 1);
+        rec.observe("x", 1);
+        rec.span("x", 1);
+    }
+
+    #[test]
+    fn counting_write_counts() {
+        let mut w = CountingWrite::new(Vec::new());
+        w.write_all(b"hello").unwrap();
+        w.write_all(b" world").unwrap();
+        assert_eq!(w.bytes(), 11);
+        assert_eq!(w.into_inner(), b"hello world");
+    }
+
+    #[test]
+    fn report_json_is_stable_and_escaped() {
+        let mut report = RunReport::new("run");
+        report.workload = Some("micro.matrix".to_owned());
+        report.profiler = Some("whomp".to_owned());
+        report.shards = 1;
+        report.events = 42;
+        let mut rec = StatsRecorder::new();
+        rec.counter("omc.memo_hits", 10);
+        rec.observe("leap.streams_per_group", 3);
+        rec.span("session.checkpoint", 1000);
+        report.absorb(&rec);
+        report.ratios.insert("omc.memo_hit_rate".to_owned(), 0.5);
+        let json = report.to_json();
+        assert_eq!(json, report.to_json(), "serialization is deterministic");
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"workload\": \"micro.matrix\""));
+        assert!(json.contains("\"omc.memo_hits\": 10"));
+        assert!(json.contains("\"leap.streams_per_group.count\": 1"));
+        assert!(json.contains("\"omc.memo_hit_rate\": 0.500000"));
+        assert!(json.contains("\"session.checkpoint\": {\"count\": 1"));
+        // Escaping: a hostile command string stays a valid JSON literal.
+        let mut evil = RunReport::new("run \"quoted\"\n");
+        evil.workload = None;
+        let json = evil.to_json();
+        assert!(json.contains("\"command\": \"run \\\"quoted\\\"\\n\""));
+        assert!(json.contains("\"workload\": null"));
+    }
+
+    #[test]
+    fn report_table_mentions_every_section() {
+        let mut report = RunReport::new("run");
+        report.profiler = Some("leap".to_owned());
+        report.counters.insert("cdc.accesses".to_owned(), 7);
+        report.ratios.insert("omc.memo_hit_rate".to_owned(), 0.25);
+        report.spans.insert(
+            "session.checkpoint".to_owned(),
+            SpanStats {
+                count: 1,
+                total_nanos: 5_000,
+                max_nanos: 5_000,
+            },
+        );
+        report.shard_counts.push(ShardCount {
+            shard: 0,
+            tuples: 9,
+            batches: 2,
+            stalls: 0,
+        });
+        let table = report.render_table();
+        for needle in [
+            "profiler",
+            "cdc.accesses",
+            "omc.memo_hit_rate",
+            "session.checkpoint",
+            "shard 0",
+        ] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn embed_and_extract_roundtrip() {
+        let mut profile = Vec::new();
+        write_single_chunk(&mut profile, ProfileKind::Leap, b"leap payload").unwrap();
+        assert_eq!(extract_report(profile.as_slice()).unwrap(), None);
+
+        let report = RunReport::new("run").to_json();
+        let embedded = embed_report(&profile, &report).unwrap();
+        assert_eq!(
+            extract_report(embedded.as_slice()).unwrap().as_deref(),
+            Some(report.as_str())
+        );
+        // Re-embedding replaces rather than duplicates.
+        let twice = embed_report(&embedded, "{}").unwrap();
+        assert_eq!(
+            extract_report(twice.as_slice()).unwrap().as_deref(),
+            Some("{}")
+        );
+        // The profile payload is untouched: single-chunk readers
+        // tolerate (and skip) the trailing MREP chunk.
+        assert_eq!(
+            orp_format::read_single_chunk(twice.as_slice(), ProfileKind::Leap).unwrap(),
+            b"leap payload"
+        );
+    }
+}

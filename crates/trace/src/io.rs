@@ -25,7 +25,7 @@ use std::io::{self, Read, Write};
 
 use orp_format::{
     read_u32_le, read_u64_le, read_varint, write_u32_le, write_u64_le, write_varint, ChunkTag,
-    ContainerReader, ContainerWriter, FormatError, ProfileKind,
+    ContainerReader, ContainerWriter, FormatError, IoStats, ProfileKind,
 };
 
 use crate::{
@@ -76,6 +76,13 @@ impl<W: Write> TraceWriter<W> {
     #[must_use]
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Container-level write totals so far (chunks flushed, bytes
+    /// framed). The unflushed in-memory batch is not counted.
+    #[must_use]
+    pub fn io_stats(&self) -> IoStats {
+        self.container.io_stats()
     }
 
     /// Writes the final batch and the container terminator, returning
@@ -204,6 +211,19 @@ fn decode_batch(payload: &[u8], sink: &mut dyn ProbeSink) -> Result<u64, FormatE
 /// Typed [`FormatError`]s: bad magic, unsupported versions, checksum
 /// mismatches, truncation, unknown chunks, and malformed records.
 pub fn replay(r: &mut impl Read, sink: &mut dyn ProbeSink) -> Result<u64, FormatError> {
+    replay_counted(r, sink).map(|(events, _)| events)
+}
+
+/// [`replay`], additionally returning the container-level read totals
+/// (chunks and framed bytes, CRC-verified) for run reporting.
+///
+/// # Errors
+///
+/// As [`replay`].
+pub fn replay_counted(
+    r: &mut impl Read,
+    sink: &mut dyn ProbeSink,
+) -> Result<(u64, IoStats), FormatError> {
     let mut container = ContainerReader::new(&mut *r)?;
     let kind = container.read_meta()?;
     if kind != ProfileKind::Trace {
@@ -216,6 +236,7 @@ pub fn replay(r: &mut impl Read, sink: &mut dyn ProbeSink) -> Result<u64, Format
         }
         events += decode_batch(&chunk.payload, sink)?;
     }
+    let stats = container.io_stats();
     // A trace file holds exactly one container; anything after the
     // terminator is damage.
     let mut trailing = [0u8; 1];
@@ -225,7 +246,7 @@ pub fn replay(r: &mut impl Read, sink: &mut dyn ProbeSink) -> Result<u64, Format
         Err(e) => return Err(FormatError::Io(e)),
     }
     sink.finish();
-    Ok(events)
+    Ok((events, stats))
 }
 
 /// Serializes a slice of probe events to a byte vector (convenience

@@ -57,6 +57,12 @@ impl HybridProfiler {
         self.tuples
     }
 
+    /// Publishes the profiler's growth counters onto `rec`.
+    pub fn record_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("hybrid.tuples", self.tuples);
+        rec.counter("hybrid.instructions", self.streams.len() as u64);
+    }
+
     /// Finalizes into per-instruction grammars.
     #[must_use]
     pub fn into_profile(self) -> HybridProfile {
@@ -253,6 +259,17 @@ impl HybridProfile {
     #[must_use]
     pub fn total_size(&self) -> u64 {
         self.instrs.values().map(InstrGrammars::size).sum()
+    }
+
+    /// Publishes the finished profile's shape onto `rec`: totals plus a
+    /// per-instruction grammar-size distribution.
+    pub fn record_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("hybrid.tuples", self.tuples);
+        rec.counter("hybrid.instructions", self.instrs.len() as u64);
+        rec.counter("hybrid.grammar_symbols", self.total_size());
+        for grammars in self.instrs.values() {
+            rec.observe("hybrid.symbols_per_instruction", grammars.size());
+        }
     }
 
     /// Reconstructs the full object-relative stream in global time

@@ -81,6 +81,17 @@ impl WhompProfiler {
         self.instr.size() + self.group.size() + self.object.size() + self.offset.size()
     }
 
+    /// Publishes the profiler's growth counters onto `rec`. Call at a
+    /// phase boundary — the tuple path only bumps plain integers.
+    pub fn record_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("whomp.tuples", self.tuples);
+        rec.counter("whomp.grammar_symbols", self.total_size());
+        rec.counter("whomp.grammar_symbols.instruction", self.instr.size());
+        rec.counter("whomp.grammar_symbols.group", self.group.size());
+        rec.counter("whomp.grammar_symbols.object", self.object.size());
+        rec.counter("whomp.grammar_symbols.offset", self.offset.size());
+    }
+
     /// Finalizes the profile into an [`Omsg`].
     #[must_use]
     pub fn into_omsg(self) -> Omsg {
@@ -171,6 +182,22 @@ impl Omsg {
         ]
     }
 
+    /// Publishes the finished profile's shape onto `rec`: totals plus
+    /// per-dimension rule and symbol counts.
+    pub fn record_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("omsg.tuples", self.tuples);
+        rec.counter("omsg.grammar_symbols", self.total_size());
+        rec.counter("omsg.encoded_bytes", self.encoded_bytes());
+        for (_, grammar) in self.dimensions() {
+            rec.observe("omsg.rules_per_dimension", grammar.rule_count() as u64);
+            rec.observe("omsg.symbols_per_dimension", grammar.size());
+        }
+        rec.counter("omsg.rules.instruction", self.instr.rule_count() as u64);
+        rec.counter("omsg.rules.group", self.group.rule_count() as u64);
+        rec.counter("omsg.rules.object", self.object.rule_count() as u64);
+        rec.counter("omsg.rules.offset", self.offset.rule_count() as u64);
+    }
+
     /// Expands all four grammars and re-zips them into the original
     /// `(instr, group, object, offset)` quadruples — the lossless
     /// round-trip.
@@ -236,6 +263,12 @@ impl RasgProfiler {
         self.records.size()
     }
 
+    /// Publishes the baseline profiler's growth counters onto `rec`.
+    pub fn record_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("rasg.accesses", self.accesses);
+        rec.counter("rasg.grammar_symbols", self.total_size());
+    }
+
     /// Finalizes the profile into a [`Rasg`].
     #[must_use]
     pub fn into_rasg(self) -> Rasg {
@@ -289,6 +322,14 @@ impl Rasg {
     #[must_use]
     pub fn encoded_bytes(&self) -> u64 {
         self.records.encoded_bytes()
+    }
+
+    /// Publishes the finished baseline profile's shape onto `rec`.
+    pub fn record_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("rasg.accesses", self.accesses);
+        rec.counter("rasg.grammar_symbols", self.total_size());
+        rec.counter("rasg.rules", self.records.rule_count() as u64);
+        rec.counter("rasg.encoded_bytes", self.encoded_bytes());
     }
 }
 

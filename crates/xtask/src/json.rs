@@ -1,0 +1,327 @@
+//! A minimal JSON reader for `cargo xtask validate-report`.
+//!
+//! The workspace vendors no serialization crates, so report validation
+//! parses with this self-contained recursive-descent reader. It
+//! accepts exactly RFC 8259 documents (objects, arrays, strings,
+//! numbers, booleans, null) and keeps numbers as `f64` — the report
+//! schema only needs presence and type checks, not full fidelity.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The schema-facing type name (`object`, `array`, `string`,
+    /// `number`, `bool`, `null`).
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object's fields, when this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with a byte offset into the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing content rejected).
+pub fn parse(src: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", char::from(byte))))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            if fields.insert(key, value).is_some() {
+                return Err(self.err("duplicate object key"));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates only matter for non-BMP text;
+                            // report keys are ASCII. Map lone
+                            // surrogates to the replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-sync to the char boundary for multi-byte
+                    // UTF-8 (input is a &str, so continuation bytes
+                    // are well-formed).
+                    let start = self.pos - 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = &self.bytes[start..self.pos];
+                    out.push_str(
+                        std::str::from_utf8(chunk)
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| ParseError {
+                offset: start,
+                message: format!("invalid number '{text}'"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = parse(r#"{"a": [1, 2.5, -3], "b": {"c": true, "d": null}, "e": "x\n"}"#)
+            .expect("valid document");
+        let obj = v.as_object().expect("object");
+        assert_eq!(
+            obj["a"],
+            Value::Array(vec![
+                Value::Number(1.0),
+                Value::Number(2.5),
+                Value::Number(-3.0),
+            ])
+        );
+        assert_eq!(obj["e"], Value::String("x\n".to_owned()));
+        assert_eq!(
+            obj["b"].as_object().expect("object")["c"],
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "{\"a\": 1} extra",
+            "\"\\q\"",
+            "nul",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        assert!(
+            parse(r#"{"a": 1, "a": 2}"#).is_err(),
+            "duplicate keys rejected"
+        );
+    }
+
+    #[test]
+    fn real_run_report_shape_parses() {
+        let doc = concat!(
+            "{\n",
+            "  \"schema_version\": 1,\n",
+            "  \"command\": \"run\",\n",
+            "  \"workload\": \"micro.matrix\",\n",
+            "  \"profiler\": null,\n",
+            "  \"counters\": {\n    \"omc.memo_hits\": 69629\n  },\n",
+            "  \"ratios\": {\n    \"omc.memo_hit_rate\": 0.999957\n  },\n",
+            "  \"shard_counts\": [\n    {\"shard\": 0, \"tuples\": 5, \"batches\": 1, \"stalls\": 0}\n  ]\n",
+            "}\n"
+        );
+        let v = parse(doc).expect("report parses");
+        let obj = v.as_object().expect("object");
+        assert_eq!(obj["schema_version"], Value::Number(1.0));
+        assert_eq!(obj["profiler"], Value::Null);
+        assert_eq!(obj["shard_counts"].type_name(), "array");
+    }
+}

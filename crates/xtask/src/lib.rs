@@ -1,6 +1,6 @@
 //! The `cargo xtask analyze` static-verification pass.
 //!
-//! Four repo-specific invariants that `rustc`/`clippy` cannot express,
+//! Six repo-specific invariants that `rustc`/`clippy` cannot express,
 //! checked at token level (see [`lexer`]) so they hold across
 //! formatting and never match inside strings or comments:
 //!
@@ -20,6 +20,10 @@
 //! * **forbid-unsafe** — every crate root declares
 //!   `#![forbid(unsafe_code)]` unless `analyze.allow` exempts it with a
 //!   reason.
+//! * **no-metrics-in-decode** — `orp-format` stays observability-free:
+//!   no recorder ident (`orp_obs`, `Recorder`, `StatsRecorder`,
+//!   `NoopRecorder`) may appear in its decode paths. I/O accounting is
+//!   plain integers (`IoStats`); publication happens in the caller.
 //!
 //! Inline exemptions: `// analyze: allow(<rule>): <reason>` on the
 //! violating line or the line above. File-level exemptions live in
@@ -29,6 +33,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
 pub mod lexer;
 pub mod rules;
 
@@ -82,6 +87,114 @@ pub fn analyze(root: &Path) -> Vec<Diagnostic> {
     }
     diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     diags
+}
+
+/// Validates a `RunReport` JSON document against the line-based schema
+/// at `schema` (see `schemas/run_report.schema`): the document must
+/// parse, be an object, and carry every listed field with the listed
+/// type. Returns a one-line summary on success, the full problem list
+/// on failure.
+///
+/// # Errors
+///
+/// Returns every problem found — unreadable inputs, parse failures,
+/// malformed schema lines, missing fields, and type mismatches.
+pub fn validate_report(report: &Path, schema: &Path) -> Result<String, Vec<String>> {
+    let schema_text = match std::fs::read_to_string(schema) {
+        Ok(text) => text,
+        Err(e) => return Err(vec![format!("{}: {e}", schema.display())]),
+    };
+    let report_text = match std::fs::read_to_string(report) {
+        Ok(text) => text,
+        Err(e) => return Err(vec![format!("{}: {e}", report.display())]),
+    };
+    let value = match json::parse(&report_text) {
+        Ok(value) => value,
+        Err(e) => return Err(vec![format!("{}: not valid JSON: {e}", report.display())]),
+    };
+    let Some(fields) = value.as_object() else {
+        return Err(vec![format!(
+            "{}: top level must be an object, found {}",
+            report.display(),
+            value.type_name()
+        )]);
+    };
+
+    let mut problems = Vec::new();
+    let mut checked = 0usize;
+    for (idx, line) in schema_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(field), Some(spec), None) = (parts.next(), parts.next(), parts.next()) else {
+            problems.push(format!(
+                "{}:{}: schema line must be '<field> <type>'",
+                schema.display(),
+                idx + 1
+            ));
+            continue;
+        };
+        checked += 1;
+        match fields.get(field) {
+            None => problems.push(format!("missing required field \"{field}\"")),
+            Some(value) => {
+                if let Err(found) = spec_matches(value, spec) {
+                    problems.push(format!("field \"{field}\" must be {spec}, found {found}"));
+                }
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(format!(
+            "validate-report: {} ok ({checked} required fields present and typed)",
+            report.display()
+        ))
+    } else {
+        Err(problems)
+    }
+}
+
+/// Matches one schema type spec (`number`, `string?`, `number=1`,
+/// `object<number>`, `array<object>`) against a value; `Err` carries a
+/// description of what was found instead.
+fn spec_matches(value: &json::Value, spec: &str) -> Result<(), String> {
+    use json::Value;
+    let (spec, nullable) = match spec.strip_suffix('?') {
+        Some(base) => (base, true),
+        None => (spec, false),
+    };
+    if nullable && *value == Value::Null {
+        return Ok(());
+    }
+    if let Some((base, want)) = spec.split_once('=') {
+        let Ok(want) = want.parse::<f64>() else {
+            return Err(format!("unusable schema pin '{base}={want}'"));
+        };
+        return match value {
+            Value::Number(n) if base == "number" && (*n - want).abs() < f64::EPSILON => Ok(()),
+            other => Err(format!("{} {other:?}", other.type_name())),
+        };
+    }
+    let (base, elem) = match spec.strip_suffix('>').and_then(|s| s.split_once('<')) {
+        Some((base, elem)) => (base, Some(elem)),
+        None => (spec, None),
+    };
+    let elements: Vec<&Value> = match (base, value) {
+        ("number", Value::Number(_)) | ("string", Value::String(_)) | ("bool", Value::Bool(_)) => {
+            return Ok(())
+        }
+        ("object", Value::Object(fields)) => fields.values().collect(),
+        ("array", Value::Array(items)) => items.iter().collect(),
+        _ => return Err(value.type_name().to_owned()),
+    };
+    if let Some(elem) = elem {
+        for e in elements {
+            spec_matches(e, elem).map_err(|found| format!("{base} containing {found}"))?;
+        }
+    }
+    Ok(())
 }
 
 /// Walks `dir` collecting `.rs` paths relative to `root`, skipping

@@ -9,6 +9,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("analyze") => analyze(),
+        Some("validate-report") => validate_report(args),
         Some(other) => {
             eprintln!("unknown command '{other}'");
             usage();
@@ -22,10 +23,12 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask analyze");
+    eprintln!("usage: cargo xtask <command>");
     eprintln!();
     eprintln!("commands:");
     eprintln!("  analyze   run the repo-specific static-verification rules");
+    eprintln!("  validate-report <report.json> [--schema <path>]");
+    eprintln!("            check a --metrics-out document against the RunReport schema");
 }
 
 fn analyze() -> ExitCode {
@@ -40,6 +43,47 @@ fn analyze() -> ExitCode {
     } else {
         println!("analyze: {} violation(s)", diags.len());
         ExitCode::FAILURE
+    }
+}
+
+fn validate_report(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut file = None;
+    let mut schema = None;
+    while let Some(arg) = args.next() {
+        if arg == "--schema" {
+            match args.next() {
+                Some(path) => schema = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--schema expects a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if file.is_none() {
+            file = Some(PathBuf::from(arg));
+        } else {
+            eprintln!("unexpected argument '{arg}'");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("validate-report needs the report file to check");
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let schema = schema.unwrap_or_else(|| workspace_root().join("schemas/run_report.schema"));
+    match xtask::validate_report(&file, &schema) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(problems) => {
+            for p in &problems {
+                eprintln!("{p}");
+            }
+            eprintln!("validate-report: {} problem(s)", problems.len());
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -13,6 +13,7 @@ const RULES: &[&str] = &[
     "chunk-match",
     "chunk-registry",
     "forbid-unsafe",
+    "no-metrics-in-decode",
 ];
 
 /// File-level exemptions from `analyze.allow` at the repo root.
@@ -367,6 +368,12 @@ pub fn check_file(rel: &Path, src: &str, allowlist: &Allowlist) -> Vec<Diagnosti
     if is_crate_root(&rel_s) && !allowlist.exempts("forbid-unsafe", rel) {
         forbid_unsafe(&mut cx);
     }
+    if rel_s.starts_with("crates/format/src/")
+        && !is_test_tree(&rel_s)
+        && !allowlist.exempts("no-metrics-in-decode", rel)
+    {
+        no_metrics_in_decode(&mut cx);
+    }
     cx.diags
 }
 
@@ -685,6 +692,38 @@ fn chunk_registry(cx: &mut FileCx<'_>) {
     }
     for (line, message) in hits {
         cx.report("chunk-registry", line, message);
+    }
+}
+
+/// `no-metrics-in-decode`: `orp-format` must stay observability-free.
+///
+/// The zero-overhead guarantee rests on the wire-format crate having
+/// no recorder hooks at all: its `IoStats` are plain integers, and the
+/// `orp-obs` dependency edge points *at* `orp-format`, never back.
+/// Any recorder ident appearing in a decode path means someone started
+/// publishing metrics from inside the codec hot loop.
+fn no_metrics_in_decode(cx: &mut FileCx<'_>) {
+    const METRICS_IDENTS: &[&str] = &["orp_obs", "Recorder", "StatsRecorder", "NoopRecorder"];
+    let mut hits = Vec::new();
+    for i in 0..cx.sig.len() {
+        let t = cx.s(i);
+        if t.kind == Kind::Ident
+            && METRICS_IDENTS.contains(&t.text.as_str())
+            && !cx.in_test_span(t.line)
+        {
+            hits.push((
+                t.line,
+                format!(
+                    "{} in orp-format — the wire-format crate must not \
+                     depend on the observability layer; count with plain \
+                     integers (IoStats) and publish from the caller",
+                    t.text
+                ),
+            ));
+        }
+    }
+    for (line, message) in hits {
+        cx.report("no-metrics-in-decode", line, message);
     }
 }
 

@@ -141,6 +141,29 @@ fn forbid_unsafe_flags_bare_crate_roots_and_honors_the_allowlist() {
 }
 
 #[test]
+fn no_metrics_in_decode_flags_recorder_idents_in_orp_format() {
+    let diags = run("crates/format/src/seeded_metrics.rs", "no_metrics.rs");
+    assert_eq!(
+        lines_of(&diags, "no-metrics-in-decode"),
+        vec![6, 6, 8, 23],
+        "the use line (two idents), the signature, and the leaked \
+         StatsRecorder — not comments, the exempted line, or test \
+         spans: {diags:#?}"
+    );
+}
+
+#[test]
+fn no_metrics_in_decode_only_polices_orp_format() {
+    // The same source anywhere else (here: the CLI crate, which
+    // legitimately drives recorders) is out of scope.
+    let diags = run("src/bin/orprof-cli.rs", "no_metrics.rs");
+    assert!(
+        lines_of(&diags, "no-metrics-in-decode").is_empty(),
+        "{diags:#?}"
+    );
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()

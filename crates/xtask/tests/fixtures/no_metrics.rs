@@ -1,0 +1,33 @@
+//! Seeded no-metrics-in-decode violations: recorder idents leaking
+//! into the wire-format crate, plus the exemptions the rule must
+//! honor. Checked by `tests/analyze_detects.rs` under the pretend
+//! path `crates/format/src/seeded_metrics.rs`.
+
+use orp_obs::Recorder; // line 6: orp_obs + Recorder
+
+pub fn publish(rec: &mut dyn Recorder, chunks: u64) { // line 8: Recorder
+    rec.counter("format.chunks", chunks);
+}
+
+pub fn plain_integers_are_fine(chunks: u64) -> u64 {
+    // A StatsRecorder mention in a comment must not be flagged.
+    chunks
+}
+
+pub fn exempted_bridge() {
+    // analyze: allow(no-metrics-in-decode): migration shim removed with the v2 container
+    let _ = NoopRecorder; // exempted by the marker above
+}
+
+pub fn leaked_recorder() {
+    let _ = StatsRecorder::new(); // line 23: StatsRecorder
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_name_recorders() {
+        // Idents in test spans are out of scope.
+        let _ = orp_obs::StatsRecorder::new();
+    }
+}

@@ -1,0 +1,82 @@
+//! `cargo xtask validate-report` must accept a well-formed RunReport
+//! and reject documents that drift from the checked-in schema.
+
+use std::path::{Path, PathBuf};
+
+fn repo_schema() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .join("schemas/run_report.schema")
+}
+
+fn temp_file(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("xtask-vr-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("temp file writable");
+    path
+}
+
+const GOOD: &str = concat!(
+    "{\n",
+    "  \"schema_version\": 1,\n",
+    "  \"command\": \"run\",\n",
+    "  \"workload\": \"micro.matrix\",\n",
+    "  \"profiler\": null,\n",
+    "  \"shards\": 1,\n",
+    "  \"wall_nanos\": 123456,\n",
+    "  \"events\": 42,\n",
+    "  \"counters\": {\n    \"omc.memo_hits\": 40\n  },\n",
+    "  \"ratios\": {\n    \"omc.memo_hit_rate\": 0.952381\n  },\n",
+    "  \"spans\": {\n    \"pipeline.merge\": {\"count\": 1, \"total_nanos\": 10, \"max_nanos\": 10}\n  },\n",
+    "  \"shard_counts\": []\n",
+    "}\n"
+);
+
+#[test]
+fn well_formed_report_validates() {
+    let file = temp_file("good.json", GOOD);
+    let summary = xtask::validate_report(&file, &repo_schema()).expect("valid report");
+    assert!(summary.contains("ok"), "{summary}");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn schema_drift_is_reported_per_field() {
+    // Drop a required field and mistype another.
+    let bad = GOOD
+        .replace("  \"events\": 42,\n", "")
+        .replace("\"shards\": 1", "\"shards\": \"one\"");
+    let file = temp_file("drift.json", &bad);
+    let problems = xtask::validate_report(&file, &repo_schema()).expect_err("must fail");
+    assert!(
+        problems
+            .iter()
+            .any(|p| p.contains("missing required field \"events\"")),
+        "{problems:#?}"
+    );
+    assert!(
+        problems.iter().any(|p| p.contains("\"shards\"")),
+        "{problems:#?}"
+    );
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn wrong_schema_version_and_garbage_are_rejected() {
+    let file = temp_file(
+        "v2.json",
+        &GOOD.replace("\"schema_version\": 1", "\"schema_version\": 2"),
+    );
+    let problems = xtask::validate_report(&file, &repo_schema()).expect_err("must fail");
+    assert!(
+        problems.iter().any(|p| p.contains("\"schema_version\"")),
+        "{problems:#?}"
+    );
+    let _ = std::fs::remove_file(file);
+
+    let file = temp_file("garbage.json", "not json at all");
+    let problems = xtask::validate_report(&file, &repo_schema()).expect_err("must fail");
+    assert!(problems[0].contains("not valid JSON"), "{problems:#?}");
+    let _ = std::fs::remove_file(file);
+}

@@ -7,6 +7,8 @@
 //! orprof-cli run --workload micro.matrix --profiler whomp --allocator buddy
 //! orprof-cli run --from-trace gzip.orpt --profiler leap --out gzip.orp
 //! orprof-cli run --from-trace rest.orpt --resume ckpt.orp --profiler leap
+//! orprof-cli run --workload micro.matrix --profiler leap --shards 4
+//! orprof-cli run --workload micro.matrix --profiler whomp --stats --metrics-out m.json
 //! orprof-cli record --workload 164.gzip --out gzip.orpt
 //! orprof-cli inspect gzip.orp
 //! orprof-cli report gzip.orp           # dependence + stride advice
@@ -15,30 +17,41 @@
 //! Every artifact — traces, profiles, checkpoints — is a `.orp`
 //! container; `inspect` dispatches on the container's `META` chunk, so
 //! it works uniformly on any of them.
+//!
+//! `--stats` prints a human-readable run report to stderr and
+//! `--metrics-out` writes the same report as stable-schema JSON; both
+//! read counters the pipeline bumps inline, so the profile bytes are
+//! identical with or without them. `--embed-report` additionally stores
+//! the JSON inside the `--out` container as an `MREP` chunk, which
+//! `inspect` prints back.
 
 #![forbid(unsafe_code)]
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 use orprof::allocsim::AllocatorKind;
-use orprof::core::{Session, SessionSink};
-use orprof::format::{read_varint, ChunkTag, ContainerReader, ProfileKind};
+use orprof::core::{Omc, PipelineStats, Session, SessionSink, ShardableSink, ShardedCdc};
+use orprof::format::{read_varint, ChunkTag, ContainerReader, IoStats, ProfileKind};
 use orprof::leap::strides::{stride_stats, STRONG_STRIDE_THRESHOLD};
 use orprof::leap::{mdf, LeapProfile, LeapProfiler};
+use orprof::obs::{Recorder, RunReport, ShardCount, StatsRecorder, Stopwatch};
 use orprof::phase::PhaseDetector;
 use orprof::sequitur::Grammar;
-use orprof::trace::CountingSink;
+use orprof::trace::{AccessEvent, AllocEvent, CountingSink, FreeEvent, ProbeSink};
 use orprof::whomp::{HybridProfile, HybridProfiler, Omsg, Rasg, RasgProfiler, WhompProfiler};
 use orprof::workloads::{micro_suite, spec_suite, RunConfig, Tracer, Workload};
 
 fn usage() -> &'static str {
     "usage:\n  orprof-cli list\n  orprof-cli run (--workload <name> | --from-trace <file>) \
      --profiler <whomp|rasg|leap|hybrid> [--out <file>] [--scale <n>] \
-     [--allocator <bump|free-list|buddy|randomizing>] [--seed <n>] \
-     [--resume <checkpoint.orp>] [--checkpoint <file>]\n  \
-     orprof-cli record --workload <name> --out <file> [--scale <n>] [--allocator ..] [--seed <n>]\n  \
+     [--allocator <bump|free-list|buddy|randomizing>] [--seed <n>] [--shards <n>] \
+     [--resume <checkpoint.orp>] [--checkpoint <file>] \
+     [--stats] [--metrics-out <file.json>] [--embed-report]\n  \
+     orprof-cli record --workload <name> --out <file> [--scale <n>] [--allocator ..] [--seed <n>] \
+     [--stats] [--metrics-out <file.json>]\n  \
      orprof-cli inspect <file>\n  orprof-cli report <file>"
 }
 
@@ -61,10 +74,7 @@ fn parse_allocator(s: &str) -> Option<AllocatorKind> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("list") => {
-            cmd_list();
-            Ok(())
-        }
+        Some("list") => parse_flags(&args[1..], &LIST_FLAGS).map(|_| cmd_list()),
         Some("run") => cmd_run(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
@@ -94,19 +104,116 @@ fn cmd_list() {
     );
 }
 
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// One subcommand's accepted flags: `values` take an argument,
+/// `switches` stand alone, and at most `positionals` bare arguments are
+/// accepted. Anything else is an error — a misspelled flag must never
+/// be silently ignored.
+struct FlagSpec {
+    values: &'static [&'static str],
+    switches: &'static [&'static str],
+    positionals: usize,
 }
 
-fn parse_cfg(args: &[String]) -> Result<RunConfig, String> {
-    let mut cfg = RunConfig::default();
-    if let Some(a) = flag(args, "--allocator") {
-        cfg.allocator = parse_allocator(&a).ok_or("unknown --allocator")?;
+const LIST_FLAGS: FlagSpec = FlagSpec {
+    values: &[],
+    switches: &[],
+    positionals: 0,
+};
+
+const RUN_FLAGS: FlagSpec = FlagSpec {
+    values: &[
+        "--workload",
+        "--from-trace",
+        "--profiler",
+        "--out",
+        "--scale",
+        "--allocator",
+        "--seed",
+        "--shards",
+        "--resume",
+        "--checkpoint",
+        "--metrics-out",
+    ],
+    switches: &["--stats", "--embed-report"],
+    positionals: 0,
+};
+
+const RECORD_FLAGS: FlagSpec = FlagSpec {
+    values: &[
+        "--workload",
+        "--from-trace",
+        "--out",
+        "--scale",
+        "--allocator",
+        "--seed",
+        "--metrics-out",
+    ],
+    switches: &["--stats"],
+    positionals: 0,
+};
+
+const FILE_FLAGS: FlagSpec = FlagSpec {
+    values: &[],
+    switches: &[],
+    positionals: 1,
+};
+
+/// A strictly parsed command line.
+struct Parsed {
+    values: BTreeMap<&'static str, String>,
+    switches: BTreeSet<&'static str>,
+    positionals: Vec<String>,
+}
+
+impl Parsed {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
     }
-    if let Some(s) = flag(args, "--seed") {
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+}
+
+fn parse_flags(args: &[String], spec: &FlagSpec) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        values: BTreeMap::new(),
+        switches: BTreeSet::new(),
+        positionals: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(&name) = spec.values.iter().find(|&&f| f == arg) {
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("flag {name} expects a value"))?;
+            if value.starts_with("--") {
+                return Err(format!(
+                    "flag {name} expects a value, but the next argument is the flag {value}"
+                ));
+            }
+            if parsed.values.insert(name, value.clone()).is_some() {
+                return Err(format!("flag {name} given more than once"));
+            }
+        } else if let Some(&name) = spec.switches.iter().find(|&&f| f == arg) {
+            parsed.switches.insert(name);
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg}\n{}", usage()));
+        } else if parsed.positionals.len() < spec.positionals {
+            parsed.positionals.push(arg.clone());
+        } else {
+            return Err(format!("unexpected argument {arg}\n{}", usage()));
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_cfg(parsed: &Parsed) -> Result<RunConfig, String> {
+    let mut cfg = RunConfig::default();
+    if let Some(a) = parsed.value("--allocator") {
+        cfg.allocator = parse_allocator(a).ok_or("unknown --allocator")?;
+    }
+    if let Some(s) = parsed.value("--seed") {
         cfg.heap_seed = s.parse().map_err(|_| "bad --seed")?;
     }
     Ok(cfg)
@@ -119,47 +226,117 @@ fn find_workload(name: &str, scale: u32) -> Result<Box<dyn Workload>, String> {
         .ok_or_else(|| format!("unknown workload {name} (try `orprof-cli list`)"))
 }
 
+/// What [`drive`] fed into the sink: the event count, plus the trace
+/// container's read totals when the events came from a file.
+struct DriveOutcome {
+    events: u64,
+    trace_io: Option<IoStats>,
+}
+
+/// Counts events on their way into the real sink so every drive path
+/// reports the same number.
+struct CountingProbe<'a> {
+    inner: &'a mut dyn ProbeSink,
+    events: u64,
+}
+
+impl ProbeSink for CountingProbe<'_> {
+    fn access(&mut self, ev: AccessEvent) {
+        self.events += 1;
+        self.inner.access(ev);
+    }
+
+    fn alloc(&mut self, ev: AllocEvent) {
+        self.events += 1;
+        self.inner.alloc(ev);
+    }
+
+    fn free(&mut self, ev: FreeEvent) {
+        self.events += 1;
+        self.inner.free(ev);
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
+    }
+}
+
 /// Feeds probe events into `sink`, either live from a workload run or
 /// by replaying a recorded trace file.
-fn drive(args: &[String], sink: &mut dyn orprof::trace::ProbeSink) -> Result<(), String> {
-    if let Some(path) = flag(args, "--from-trace") {
-        let file = File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
-        let events = orprof::trace::replay(&mut BufReader::new(file), sink)
+fn drive(parsed: &Parsed, sink: &mut dyn ProbeSink) -> Result<DriveOutcome, String> {
+    if let Some(path) = parsed.value("--from-trace") {
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let (events, io) = orprof::trace::replay_counted(&mut BufReader::new(file), sink)
             .map_err(|e| format!("replay {path}: {e}"))?;
         println!("replayed {events} events from {path}");
-        return Ok(());
+        return Ok(DriveOutcome {
+            events,
+            trace_io: Some(io),
+        });
     }
-    let workload_name = flag(args, "--workload").ok_or("missing --workload or --from-trace")?;
-    let scale: u32 =
-        flag(args, "--scale").map_or(Ok(1), |s| s.parse().map_err(|_| "bad --scale"))?;
-    let cfg = parse_cfg(args)?;
-    let workload = find_workload(&workload_name, scale)?;
-    let mut tracer = Tracer::new(&cfg, sink);
+    let workload_name = parsed
+        .value("--workload")
+        .ok_or("missing --workload or --from-trace")?;
+    let scale: u32 = parsed
+        .value("--scale")
+        .map_or(Ok(1), |s| s.parse().map_err(|_| "bad --scale"))?;
+    let cfg = parse_cfg(parsed)?;
+    let workload = find_workload(workload_name, scale)?;
+    let mut counting = CountingProbe {
+        inner: sink,
+        events: 0,
+    };
+    let mut tracer = Tracer::new(&cfg, &mut counting);
     workload.run(&mut tracer);
     tracer.finish();
-    Ok(())
+    Ok(DriveOutcome {
+        events: counting.events,
+        trace_io: None,
+    })
 }
 
 fn cmd_record(args: &[String]) -> Result<(), String> {
-    let out = flag(args, "--out").ok_or("missing --out")?;
+    let parsed = parse_flags(args, &RECORD_FLAGS)?;
+    let clock = Stopwatch::start();
+    let out = parsed.value("--out").ok_or("missing --out")?.to_owned();
     let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
     let mut writer = orprof::trace::TraceWriter::new(BufWriter::new(file))
         .map_err(|e| format!("write {out}: {e}"))?;
-    drive(args, &mut writer)?;
+    let outcome = drive(&parsed, &mut writer)?;
+    // `drive` finished the writer, so every batch chunk is counted; the
+    // container terminator lands with `into_inner` below.
+    let write_io = writer.io_stats();
     println!("recorded {} events to {out}", writer.events());
     writer
         .into_inner()
         .and_then(|mut w| std::io::Write::flush(&mut w))
         .map_err(|e| format!("flush {out}: {e}"))?;
-    Ok(())
+
+    let mut rec = StatsRecorder::default();
+    rec.counter("trace.write_chunks", write_io.chunks);
+    rec.counter("trace.write_bytes", write_io.bytes);
+    if let Ok(meta) = std::fs::metadata(&out) {
+        rec.counter("trace.file_bytes", meta.len());
+    }
+    absorb_trace_io(&mut rec, &outcome);
+    let mut report = RunReport::new("record");
+    report.workload = parsed.value("--workload").map(str::to_owned);
+    report.shards = 1;
+    report.events = outcome.events;
+    report.wall_nanos = clock.elapsed_nanos();
+    report.absorb(&rec);
+    emit_report(&parsed, &report)
 }
 
 /// Opens a profiling session — fresh, or restored from a `--resume`
 /// checkpoint container — drives it, and honors `--checkpoint`.
-fn run_session<S: SessionSink>(args: &[String], fresh: impl FnOnce() -> S) -> Result<S, String> {
-    let mut session = match flag(args, "--resume") {
+fn run_session<S: SessionSink>(
+    parsed: &Parsed,
+    fresh: impl FnOnce() -> S,
+) -> Result<(Session<S>, DriveOutcome), String> {
+    let mut session = match parsed.value("--resume") {
         Some(path) => {
-            let file = File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
             let session = Session::<S>::resume(&mut BufReader::new(file))
                 .map_err(|e| format!("resume {path}: {e}"))?;
             println!("resumed from checkpoint {path}");
@@ -167,9 +344,9 @@ fn run_session<S: SessionSink>(args: &[String], fresh: impl FnOnce() -> S) -> Re
         }
         None => Session::new(fresh()),
     };
-    drive(args, &mut session)?;
-    if let Some(path) = flag(args, "--checkpoint") {
-        let file = File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+    let outcome = drive(parsed, &mut session)?;
+    if let Some(path) = parsed.value("--checkpoint") {
+        let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
         let mut w = BufWriter::new(file);
         session
             .checkpoint(&mut w)
@@ -177,26 +354,144 @@ fn run_session<S: SessionSink>(args: &[String], fresh: impl FnOnce() -> S) -> Re
             .map_err(|e| format!("checkpoint {path}: {e}"))?;
         println!("checkpoint written to {path}");
     }
-    Ok(session.into_cdc().into_parts().1)
+    Ok((session, outcome))
+}
+
+/// Runs a shardable profiler on the parallel collection pipeline.
+fn run_sharded<S: SessionSink + ShardableSink>(
+    parsed: &Parsed,
+    shards: usize,
+    mut fresh: impl FnMut(usize) -> S,
+) -> Result<(Session<S>, DriveOutcome, PipelineStats), String> {
+    if parsed.value("--checkpoint").is_some() {
+        // The merged session restarts its event counter, so a
+        // checkpoint taken here could not resume seamlessly.
+        return Err("--checkpoint requires a single-shard run (omit --shards)".to_owned());
+    }
+    let mut pipe = match parsed.value("--resume") {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let pipe = Session::<S>::resume_sharded(&mut BufReader::new(file), shards, &mut fresh)
+                .map_err(|e| format!("resume {path}: {e}"))?;
+            println!("resumed from checkpoint {path}");
+            pipe
+        }
+        None => ShardedCdc::spawn(Omc::new(), shards, &mut fresh),
+    };
+    let outcome = drive(parsed, &mut pipe)?;
+    let (cdc, stats) = pipe.try_join_stats().map_err(|e| e.to_string())?;
+    Ok((Session::from_cdc(cdc), outcome, stats))
+}
+
+/// [`run_session`] or [`run_sharded`], depending on `shards`.
+fn run_maybe_sharded<S: SessionSink + ShardableSink>(
+    parsed: &Parsed,
+    shards: usize,
+    mut fresh: impl FnMut(usize) -> S,
+) -> Result<(Session<S>, DriveOutcome, Option<PipelineStats>), String> {
+    if shards == 1 {
+        let (session, outcome) = run_session(parsed, || fresh(0))?;
+        Ok((session, outcome, None))
+    } else {
+        run_sharded(parsed, shards, fresh).map(|(s, o, p)| (s, o, Some(p)))
+    }
+}
+
+fn absorb_trace_io(rec: &mut StatsRecorder, outcome: &DriveOutcome) {
+    if let Some(io) = outcome.trace_io {
+        rec.counter("trace.read_chunks", io.chunks);
+        rec.counter("trace.read_bytes", io.bytes);
+    }
+}
+
+fn absorb_pipeline(rec: &mut StatsRecorder, report: &mut RunReport, stats: &PipelineStats) {
+    stats.record_metrics(rec);
+    report.shard_counts = stats
+        .shards
+        .iter()
+        .map(|s| ShardCount {
+            shard: s.shard,
+            tuples: s.tuples,
+            batches: s.batches,
+            stalls: s.stalls,
+        })
+        .collect();
+}
+
+fn serialize_profile(
+    write: impl FnOnce(&mut Vec<u8>) -> std::io::Result<()>,
+) -> Result<Vec<u8>, String> {
+    let mut bytes = Vec::new();
+    write(&mut bytes).map_err(|e| format!("serialize profile: {e}"))?;
+    Ok(bytes)
+}
+
+fn emit_report(parsed: &Parsed, report: &RunReport) -> Result<(), String> {
+    if parsed.has("--stats") {
+        eprint!("{}", report.render_table());
+    }
+    if let Some(path) = parsed.value("--metrics-out") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("run report written to {path}");
+    }
+    Ok(())
+}
+
+fn derive_ratios(report: &mut RunReport) {
+    let hits = report.counters.get("omc.memo_hits").copied().unwrap_or(0);
+    let misses = report.counters.get("omc.memo_misses").copied().unwrap_or(0);
+    if hits + misses > 0 {
+        report.ratios.insert(
+            "omc.memo_hit_rate".to_owned(),
+            hits as f64 / (hits + misses) as f64,
+        );
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let profiler = flag(args, "--profiler").unwrap_or_else(|| "leap".to_owned());
-    let out = flag(args, "--out");
-
-    let write_out = |bytes_written: &dyn Fn(&mut BufWriter<File>) -> std::io::Result<()>| {
-        if let Some(path) = &out {
-            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-            let mut w = BufWriter::new(file);
-            bytes_written(&mut w).map_err(|e| format!("write {path}: {e}"))?;
-            println!("profile written to {path}");
+    let parsed = parse_flags(args, &RUN_FLAGS)?;
+    let clock = Stopwatch::start();
+    let profiler = parsed.value("--profiler").unwrap_or("leap").to_owned();
+    let out = parsed.value("--out").map(str::to_owned);
+    if parsed.has("--embed-report") && out.is_none() {
+        return Err("--embed-report requires --out".to_owned());
+    }
+    let shards: usize = match parsed.value("--shards") {
+        Some(s) => {
+            let n = s.parse().map_err(|_| "bad --shards")?;
+            if n == 0 {
+                return Err("--shards must be at least 1".to_owned());
+            }
+            n
         }
-        Ok::<(), String>(())
+        None => 1,
+    };
+    let no_shards = |name: &str| -> Result<(), String> {
+        if shards > 1 {
+            return Err(format!(
+                "{name} cannot run sharded; --shards applies to leap and hybrid"
+            ));
+        }
+        Ok(())
     };
 
-    match profiler.as_str() {
+    let mut rec = StatsRecorder::default();
+    let mut report = RunReport::new("run");
+    report.workload = parsed.value("--workload").map(str::to_owned);
+    report.profiler = Some(profiler.clone());
+    report.shards = shards as u64;
+
+    let profile_bytes = match profiler.as_str() {
         "leap" => {
-            let profile = run_session(args, LeapProfiler::new)?.into_profile();
+            let (session, outcome, pstats) =
+                run_maybe_sharded(&parsed, shards, |_| LeapProfiler::new())?;
+            session.record_metrics(&mut rec);
+            report.events = outcome.events;
+            absorb_trace_io(&mut rec, &outcome);
+            if let Some(p) = &pstats {
+                absorb_pipeline(&mut rec, &mut report, p);
+            }
+            let profile = session.into_cdc().into_parts().1.into_profile();
             println!(
                 "leap: {} accesses, {} streams, {} bytes ({:.0}x over the raw trace)",
                 profile.total_accesses(),
@@ -210,36 +505,55 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 q.accesses_captured * 100.0,
                 q.instructions_captured * 100.0
             );
-            write_out(&|w| profile.write_to(w))?;
+            profile.record_metrics(&mut rec);
+            serialize_profile(|w| profile.write_to(w))?
         }
         "whomp" => {
-            let omsg = run_session(args, WhompProfiler::new)?.into_omsg();
+            no_shards("whomp's global grammars")?;
+            let (session, outcome) = run_session(&parsed, WhompProfiler::new)?;
+            session.record_metrics(&mut rec);
+            report.events = outcome.events;
+            absorb_trace_io(&mut rec, &outcome);
+            let omsg = session.into_cdc().into_parts().1.into_omsg();
             println!(
                 "whomp: {} tuples, grammar size {} symbols, {} bytes",
                 omsg.tuples(),
                 omsg.total_size(),
                 omsg.encoded_bytes()
             );
-            write_out(&|w| omsg.write_to(w))?;
+            omsg.record_metrics(&mut rec);
+            serialize_profile(|w| omsg.write_to(w))?
         }
         "hybrid" => {
-            let profile = run_session(args, HybridProfiler::new)?.into_profile();
+            let (session, outcome, pstats) =
+                run_maybe_sharded(&parsed, shards, |_| HybridProfiler::new())?;
+            session.record_metrics(&mut rec);
+            report.events = outcome.events;
+            absorb_trace_io(&mut rec, &outcome);
+            if let Some(p) = &pstats {
+                absorb_pipeline(&mut rec, &mut report, p);
+            }
+            let profile = session.into_cdc().into_parts().1.into_profile();
             println!(
                 "hybrid: {} tuples, {} instructions, grammar size {} symbols",
                 profile.tuples(),
                 profile.iter().count(),
                 profile.total_size()
             );
-            write_out(&|w| profile.write_to(w))?;
+            profile.record_metrics(&mut rec);
+            serialize_profile(|w| profile.write_to(w))?
         }
         "rasg" => {
-            if flag(args, "--resume").is_some() || flag(args, "--checkpoint").is_some() {
+            no_shards("rasg profiles raw addresses and")?;
+            if parsed.value("--resume").is_some() || parsed.value("--checkpoint").is_some() {
                 return Err("rasg profiles raw addresses; checkpoints apply to the \
                             object-relative profilers (leap, whomp, hybrid)"
                     .to_owned());
             }
             let mut p = RasgProfiler::new();
-            drive(args, &mut p)?;
+            let outcome = drive(&parsed, &mut p)?;
+            report.events = outcome.events;
+            absorb_trace_io(&mut rec, &outcome);
             let rasg = p.into_rasg();
             println!(
                 "rasg: {} records, grammar size {} symbols, {} bytes",
@@ -247,9 +561,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 rasg.total_size(),
                 rasg.encoded_bytes()
             );
-            write_out(&|w| rasg.write_to(w))?;
+            rasg.record_metrics(&mut rec);
+            serialize_profile(|w| rasg.write_to(w))?
         }
         other => return Err(format!("unknown profiler {other}")),
+    };
+
+    rec.counter("profile.bytes", profile_bytes.len() as u64);
+    if let Some(path) = &out {
+        std::fs::write(path, &profile_bytes).map_err(|e| format!("write {path}: {e}"))?;
+        println!("profile written to {path}");
+    }
+
+    report.wall_nanos = clock.elapsed_nanos();
+    report.absorb(&rec);
+    derive_ratios(&mut report);
+    emit_report(&parsed, &report)?;
+
+    if parsed.has("--embed-report") {
+        let path = out.as_deref().unwrap_or_default();
+        let embedded = orprof::obs::embed_report(&profile_bytes, &report.to_json())
+            .map_err(|e| format!("embed report into {path}: {e}"))?;
+        std::fs::write(path, embedded).map_err(|e| format!("write {path}: {e}"))?;
+        println!("run report embedded into {path}");
     }
     Ok(())
 }
@@ -296,6 +630,14 @@ fn print_container(path: &str) -> Result<ProfileKind, String> {
                     }
                 }
             }
+            ChunkTag::METRICS => match std::str::from_utf8(&chunk.payload) {
+                Ok(json) => {
+                    for line in json.lines() {
+                        println!("       {line}");
+                    }
+                }
+                Err(_) => println!("       (MREP payload is not UTF-8)"),
+            },
             // The registry line above already printed the tag; payloads
             // of other (including foreign) chunks have no inline view.
             other => {
@@ -315,7 +657,8 @@ fn open(path: &str) -> Result<BufReader<File>, String> {
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing file")?;
+    let parsed = parse_flags(args, &FILE_FLAGS)?;
+    let path = parsed.positionals.first().ok_or("missing file")?;
     let kind = print_container(path)?;
     let fail = |e: orprof::format::FormatError| format!("{path}: {e}");
     match kind {
@@ -406,7 +749,8 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing file")?;
+    let parsed = parse_flags(args, &FILE_FLAGS)?;
+    let path = parsed.positionals.first().ok_or("missing file")?;
     let p = LeapProfile::read_from(&mut open(path)?)
         .map_err(|e| format!("{path}: {e} (report requires a LEAP profile)"))?;
     println!("== dependence frequencies ==");

@@ -20,6 +20,7 @@ pub use orp_core as core;
 pub use orp_format as format;
 pub use orp_leap as leap;
 pub use orp_lmad as lmad;
+pub use orp_obs as obs;
 pub use orp_opt as opt;
 pub use orp_phase as phase;
 pub use orp_report as report;

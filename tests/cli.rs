@@ -248,6 +248,301 @@ fn checkpoint_and_resume_roundtrip() {
 }
 
 #[test]
+fn misspelled_flag_is_an_error_not_silently_ignored() {
+    // Regression: the old positional parser skipped flags it did not
+    // recognize, so `--alloctor bump` ran with the default allocator.
+    let out = cli()
+        .args(["run", "--workload", "micro.matrix", "--alloctor", "bump"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown flag --alloctor"), "{err}");
+}
+
+#[test]
+fn value_flag_at_end_without_a_value_is_an_error() {
+    // Regression: the old parser returned None for a trailing value
+    // flag, silently running without an output file.
+    let out = cli()
+        .args(["run", "--workload", "micro.matrix", "--out"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--out") && err.contains("value"), "{err}");
+}
+
+#[test]
+fn value_flag_does_not_consume_the_next_flag_as_its_value() {
+    // Regression: `--workload --profiler` used to run the workload
+    // literally named "--profiler" and report it as unknown; the parser
+    // must reject the malformed flag pair itself.
+    let out = cli()
+        .args(["run", "--workload", "--profiler"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--workload") && err.contains("--profiler"),
+        "{err}"
+    );
+    assert!(!err.contains("unknown workload"), "{err}");
+}
+
+#[test]
+fn stats_and_metrics_out_leave_the_profile_byte_identical() {
+    let plain = tmp("plain.orp");
+    let metered = tmp("metered.orp");
+    let json = tmp("metered.json");
+    let base = [
+        "run",
+        "--workload",
+        "micro.linked_list",
+        "--profiler",
+        "whomp",
+    ];
+
+    let out = cli()
+        .args(base)
+        .args(["--out", plain.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = cli()
+        .args(base)
+        .args([
+            "--out",
+            metered.to_str().unwrap(),
+            "--stats",
+            "--metrics-out",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The human table goes to stderr, not stdout.
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("run report: run"), "{err}");
+    assert!(err.contains("omc.memo_hits"), "{err}");
+
+    let plain_bytes = std::fs::read(&plain).unwrap();
+    let metered_bytes = std::fs::read(&metered).unwrap();
+    assert_eq!(
+        plain_bytes, metered_bytes,
+        "metrics collection must not change the profile"
+    );
+
+    // The JSON report carries the stable schema markers.
+    let doc = std::fs::read_to_string(&json).unwrap();
+    for needle in [
+        "\"schema_version\": 1",
+        "\"command\": \"run\"",
+        "\"omc.memo_hits\"",
+        "\"profile.bytes\"",
+        "\"omc.memo_hit_rate\"",
+        "\"shard_counts\"",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+    }
+
+    let _ = std::fs::remove_file(plain);
+    let _ = std::fs::remove_file(metered);
+    let _ = std::fs::remove_file(json);
+}
+
+#[test]
+fn sharded_run_reports_per_shard_counts() {
+    let json = tmp("sharded.json");
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.matrix",
+            "--profiler",
+            "leap",
+            "--shards",
+            "3",
+            "--metrics-out",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&json).unwrap();
+    assert!(doc.contains("\"shards\": 3"), "{doc}");
+    assert!(doc.contains("\"shard\": 2"), "{doc}");
+    assert!(doc.contains("pipeline.tuples_routed"), "{doc}");
+    let _ = std::fs::remove_file(json);
+}
+
+#[test]
+fn embedded_report_roundtrips_through_inspect() {
+    let profile = tmp("embedded.orp");
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.linked_list",
+            "--profiler",
+            "leap",
+            "--out",
+            profile.to_str().unwrap(),
+            "--embed-report",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = cli()
+        .args(["inspect", profile.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("MREP"), "{text}");
+    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    // The profile payload itself still decodes behind the extra chunk.
+    assert!(text.contains("LEAP profile"), "{text}");
+
+    let _ = std::fs::remove_file(profile);
+}
+
+#[test]
+fn embed_report_without_out_is_an_error() {
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.matrix",
+            "--profiler",
+            "leap",
+            "--embed-report",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--embed-report requires --out"), "{err}");
+}
+
+/// Produces a valid LEAP profile file for the corruption tests (LEAP so
+/// that `report` would accept the intact file).
+fn write_profile(name: &str) -> PathBuf {
+    let path = tmp(name);
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.linked_list",
+            "--profiler",
+            "leap",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+#[test]
+fn truncated_profile_fails_inspect_and_report_with_typed_errors() {
+    let path = write_profile("truncated.orp");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.truncate(bytes.len() - 7);
+    std::fs::write(&path, &bytes).unwrap();
+
+    for cmd in ["inspect", "report"] {
+        let out = cli()
+            .args([cmd, path.to_str().unwrap()])
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "{cmd} accepted a truncated file");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("error:"), "{cmd}: {err}");
+        assert!(!err.contains("panicked"), "{cmd}: {err}");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn bit_flipped_profile_fails_inspect_and_report_with_typed_errors() {
+    let path = write_profile("bitflip.orp");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    for cmd in ["inspect", "report"] {
+        let out = cli()
+            .args([cmd, path.to_str().unwrap()])
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "{cmd} accepted a corrupted file");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("error:"), "{cmd}: {err}");
+        assert!(!err.contains("panicked"), "{cmd}: {err}");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn record_emits_a_run_report_with_trace_io_counters() {
+    let trace = tmp("record-report.orpt");
+    let json = tmp("record-report.json");
+    let out = cli()
+        .args([
+            "record",
+            "--workload",
+            "micro.matrix",
+            "--out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&json).unwrap();
+    assert!(doc.contains("\"command\": \"record\""), "{doc}");
+    assert!(doc.contains("trace.write_chunks"), "{doc}");
+    assert!(doc.contains("trace.file_bytes"), "{doc}");
+    let _ = std::fs::remove_file(trace);
+    let _ = std::fs::remove_file(json);
+}
+
+#[test]
 fn inspect_rejects_garbage_files() {
     let garbage = tmp("garbage.bin");
     std::fs::write(&garbage, b"not a profile at all").unwrap();

@@ -101,7 +101,7 @@ fn measure_interleaved(per_sweep: u64, sweeps: &mut [&mut dyn FnMut() -> u64]) -
     best
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     println!("populating {NODES}-object heap...");
     let omc = std::cell::RefCell::new(populated_omc());
     let queries = build_queries();
@@ -188,14 +188,17 @@ fn main() {
         pct(stats_overhead),
         ok,
     );
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/BENCH_obs_overhead.json", &json).expect("write results");
-    println!("\nwrote results/BENCH_obs_overhead.json");
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("bench crate sits two levels below the repo root");
-    let root_copy = root.join("BENCH_obs_overhead.json");
-    std::fs::write(&root_copy, &json).expect("write root results");
-    println!("wrote {}", root_copy.display());
+    match orp_bench::write_result_artifacts("obs_overhead", &json) {
+        Ok(paths) => {
+            println!();
+            for path in paths {
+                println!("wrote {}", path.display());
+            }
+            std::process::ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::ExitCode::FAILURE
+        }
+    }
 }

@@ -553,7 +553,7 @@ fn print_collection(name: &str, c: &CollectionEps) {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     println!("populating {NODES}-object heap...");
     let omc = populated_omc();
@@ -635,16 +635,19 @@ fn main() {
         translate_ok,
         whomp_ok,
     );
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/BENCH_throughput.json", &json).expect("write results");
-    println!("\nwrote results/BENCH_throughput.json");
     // The benchmark trajectory is tracked at the repo root; refresh
     // that copy too, regardless of the invocation directory.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("bench crate sits two levels below the repo root");
-    let root_copy = root.join("BENCH_throughput.json");
-    std::fs::write(&root_copy, &json).expect("write root results");
-    println!("wrote {}", root_copy.display());
+    match orp_bench::write_result_artifacts("throughput", &json) {
+        Ok(paths) => {
+            println!();
+            for path in paths {
+                println!("wrote {}", path.display());
+            }
+            std::process::ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::ExitCode::FAILURE
+        }
+    }
 }

@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use orp_core::{Cdc, Omc};
@@ -218,6 +219,81 @@ pub fn dependence_errors(
     hist
 }
 
+// ---------------------------------------------------------------------
+// Result-artifact persistence
+// ---------------------------------------------------------------------
+
+/// A failed attempt to persist a benchmark result artifact.
+///
+/// Carries the path involved so the operator can tell *which* copy
+/// failed: the `results/` file under the invocation directory, or the
+/// tracked trajectory copy at the repo root.
+#[derive(Debug)]
+pub struct BenchIoError {
+    /// The artifact (or directory) being written when the error hit.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for BenchIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot write {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for BenchIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Resolves the repository root from the bench crate's manifest path.
+fn repo_root() -> Result<&'static Path, BenchIoError> {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.ancestors().nth(2).ok_or_else(|| BenchIoError {
+        path: manifest.to_path_buf(),
+        source: std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "bench crate no longer sits two levels below the repo root",
+        ),
+    })
+}
+
+/// Durably writes one benchmark's result JSON to
+/// `results/BENCH_<name>.json` under the invocation directory and
+/// mirrors it to the tracked trajectory copy at the repo root.
+///
+/// Parent directories are created as needed and both copies go through
+/// the atomic temp-file/rename path, so a crash or a full disk never
+/// leaves a torn artifact where the trajectory tooling would read one.
+/// Returns the paths written, in order.
+///
+/// # Errors
+///
+/// Returns a [`BenchIoError`] naming the path that could not be
+/// created or written.
+pub fn write_result_artifacts(name: &str, json: &str) -> Result<[PathBuf; 2], BenchIoError> {
+    let file = format!("BENCH_{name}.json");
+    let local = Path::new("results").join(&file);
+    let root_copy = repo_root()?.join(&file);
+    for path in [&local, &root_copy] {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).map_err(|source| BenchIoError {
+                path: parent.to_path_buf(),
+                source,
+            })?;
+        }
+        orp_format::write_bytes_atomic(path, json.as_bytes(), None).map_err(|source| {
+            BenchIoError {
+                path: (*path).clone(),
+                source,
+            }
+        })?;
+    }
+    Ok([local, root_copy])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +309,24 @@ mod tests {
         assert!((run.gain_percent - recomputed).abs() < 1e-9);
         let recomputed_sym = (1.0 - run.omsg_size as f64 / run.rasg_size as f64) * 100.0;
         assert!((run.symbol_gain_percent - recomputed_sym).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_io_error_names_the_failing_path() {
+        let err = BenchIoError {
+            path: PathBuf::from("/nope/out.json"),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("/nope/out.json"), "{msg}");
+        assert!(msg.contains("denied"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn repo_root_resolves_to_the_workspace() {
+        let root = repo_root().expect("bench crate sits two levels below the repo root");
+        assert!(root.join("Cargo.toml").exists());
     }
 
     #[test]

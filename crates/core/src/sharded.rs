@@ -197,6 +197,9 @@ pub struct ShardStats {
     /// Flushes that found the queue full and had to block (the probe
     /// side out-ran this worker).
     pub stalls: u64,
+    /// Tuples re-routed to the salvage fallback sink after this
+    /// shard's worker died (always zero outside salvage mode).
+    pub salvaged: u64,
 }
 
 /// Per-shard routing totals plus the merge cost, harvested at join.
@@ -206,9 +209,18 @@ pub struct PipelineStats {
     pub shards: Vec<ShardStats>,
     /// Wall-clock nanoseconds spent in [`ShardableSink::merge`].
     pub merge_nanos: u64,
+    /// Shards whose worker died and whose later tuples were re-routed
+    /// to the fallback sink (salvage mode only; empty on a clean run).
+    pub degraded_shards: Vec<u64>,
 }
 
 impl PipelineStats {
+    /// Total tuples diverted to the salvage fallback across shards.
+    #[must_use]
+    pub fn salvaged_tuples(&self) -> u64 {
+        self.shards.iter().map(|s| s.salvaged).sum()
+    }
+
     /// Publishes the pipeline's totals (`pipeline.*`) to `rec`.
     pub fn record_metrics(&self, rec: &mut dyn Recorder) {
         for s in &self.shards {
@@ -218,18 +230,52 @@ impl PipelineStats {
             rec.observe("pipeline.tuples_per_shard", s.tuples);
         }
         rec.span("pipeline.merge", self.merge_nanos);
+        if !self.degraded_shards.is_empty() {
+            rec.counter(
+                "pipeline.degraded_shards",
+                self.degraded_shards.len() as u64,
+            );
+            rec.counter("pipeline.salvaged_tuples", self.salvaged_tuples());
+        }
     }
 }
 
 /// What the translator thread hands back at shutdown: the OMC plus the
 /// counters a single-threaded [`Cdc`] would have accumulated, plus the
-/// per-lane routing totals.
-struct Translated {
+/// per-lane routing totals and (in salvage mode) the fallback sink
+/// that absorbed tuples for dead lanes.
+struct Translated<S> {
     omc: Omc,
     time: u64,
     untracked: u64,
     probe_anomalies: u64,
     lane_stats: Vec<ShardStats>,
+    fallback: Option<S>,
+}
+
+/// The outcome of joining a salvage-mode pipeline (see
+/// [`ShardedCdc::try_join_salvage`]): the merged profile — possibly
+/// degraded — plus what went wrong.
+#[derive(Debug)]
+pub struct SalvagedJoin<S: ShardableSink> {
+    /// The merged collection: surviving shards plus the fallback sink.
+    pub cdc: Cdc<S>,
+    /// Routing totals; [`PipelineStats::degraded_shards`] lists the
+    /// dead lanes and [`ShardStats::salvaged`] counts the diverted
+    /// tuples per lane.
+    pub stats: PipelineStats,
+    /// One [`PipelineError`] per dead shard worker, in shard order.
+    /// Empty means the run was clean and `cdc` is not degraded.
+    pub degraded: Vec<PipelineError>,
+}
+
+impl<S: ShardableSink> SalvagedJoin<S> {
+    /// True when every worker survived: the profile is the same as a
+    /// non-salvage join would have produced.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.degraded.is_empty()
+    }
 }
 
 /// The collection state a resumed pipeline continues from — the
@@ -265,38 +311,58 @@ struct Lane {
 }
 
 impl Lane {
-    fn push(&mut self, t: OrTuple) {
+    /// Buffers a tuple; returns a batch the dead worker could not
+    /// accept, for the caller to salvage or drop.
+    fn push(&mut self, t: OrTuple) -> Option<Vec<OrTuple>> {
         self.stats.tuples += 1;
         self.pending.push(t);
         if self.pending.len() >= TUPLE_BATCH {
-            self.flush();
+            return self.flush();
         }
+        None
     }
 
-    fn flush(&mut self) {
-        if self.pending.is_empty() || self.dead {
-            self.pending.clear();
-            return;
+    /// Ships the pending batch to the worker. When the worker has hung
+    /// up (it panicked), the undeliverable batch is handed back —
+    /// channel errors carry the value, so nothing is lost in transit —
+    /// and the caller decides whether to salvage or drop it.
+    fn flush(&mut self) -> Option<Vec<OrTuple>> {
+        if self.pending.is_empty() {
+            return None;
         }
         let fresh = self
             .recycled
             .try_recv()
             .unwrap_or_else(|_| Vec::with_capacity(TUPLE_BATCH));
         let batch = std::mem::replace(&mut self.pending, fresh);
+        if self.dead {
+            return Some(batch);
+        }
         // Try the non-blocking send first so a full queue — the worker
         // back-pressuring the translator — is observable as a stall
         // before the blocking send parks this thread.
         match self.tx.try_send(batch) {
-            Ok(()) => self.stats.batches += 1,
+            Ok(()) => {
+                self.stats.batches += 1;
+                None
+            }
             Err(TrySendError::Full(batch)) => {
                 self.stats.stalls += 1;
-                if self.tx.send(batch).is_err() {
-                    self.dead = true;
-                } else {
-                    self.stats.batches += 1;
+                match self.tx.send(batch) {
+                    Ok(()) => {
+                        self.stats.batches += 1;
+                        None
+                    }
+                    Err(mpsc::SendError(batch)) => {
+                        self.dead = true;
+                        Some(batch)
+                    }
                 }
             }
-            Err(TrySendError::Disconnected(_)) => self.dead = true,
+            Err(TrySendError::Disconnected(batch)) => {
+                self.dead = true;
+                Some(batch)
+            }
         }
     }
 }
@@ -322,7 +388,7 @@ pub struct ShardedCdc<S: ShardableSink> {
     to_translator: Option<SyncSender<Vec<ProbeEvent>>>,
     recycled: Receiver<Vec<ProbeEvent>>,
     batch: Vec<ProbeEvent>,
-    translator: Option<JoinHandle<Translated>>,
+    translator: Option<JoinHandle<Translated<S>>>,
     workers: VecDeque<JoinHandle<S>>,
 }
 
@@ -345,6 +411,42 @@ impl<S: ShardableSink> ShardedCdc<S> {
                 untracked: 0,
                 probe_anomalies: 0,
                 lane_stats: Vec::new(),
+                fallback: None,
+            },
+            Vec::new(),
+            sinks,
+        )
+    }
+
+    /// [`ShardedCdc::spawn`] in graceful-degradation (salvage) mode: a
+    /// panicked shard worker no longer forfeits the run. Tuples the
+    /// dead worker could not accept — its undeliverable batches and
+    /// everything routed to its keys afterwards — are diverted to a
+    /// fallback sink (built by `make_sink(shards)`) that lives in the
+    /// translator, and [`ShardedCdc::try_join_salvage`] merges the
+    /// surviving shards with the fallback instead of failing.
+    ///
+    /// Salvage is best-effort: batches already handed to the worker
+    /// when it died (consumed or sitting in its queue) are lost, so a
+    /// dead lane's keys are generally *partial* in the salvaged
+    /// profile. Keys routed to surviving lanes are unaffected and
+    /// remain byte-identical to the non-degraded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or a thread cannot be spawned.
+    #[must_use]
+    pub fn spawn_salvaging(omc: Omc, shards: usize, mut make_sink: impl FnMut(usize) -> S) -> Self {
+        assert!(shards > 0, "at least one shard worker is required");
+        let sinks = (0..shards).map(&mut make_sink).collect();
+        Self::launch(
+            Translated {
+                omc,
+                time: 0,
+                untracked: 0,
+                probe_anomalies: 0,
+                lane_stats: Vec::new(),
+                fallback: Some(make_sink(shards)),
             },
             Vec::new(),
             sinks,
@@ -383,6 +485,7 @@ impl<S: ShardableSink> ShardedCdc<S> {
                 untracked: state.untracked,
                 probe_anomalies: state.probe_anomalies,
                 lane_stats: Vec::new(),
+                fallback: None,
             },
             state.stem_keys,
             sinks,
@@ -391,7 +494,7 @@ impl<S: ShardableSink> ShardedCdc<S> {
 
     /// Spawns the pipeline threads from an initial translator state and
     /// one sink per shard.
-    fn launch(init: Translated, seeded_keys: Vec<u64>, sinks: Vec<S>) -> Self {
+    fn launch(init: Translated<S>, seeded_keys: Vec<u64>, sinks: Vec<S>) -> Self {
         let shards = sinks.len();
         let (probe_tx, probe_rx) = mpsc::sync_channel::<Vec<ProbeEvent>>(QUEUE_BATCHES);
         let (probe_recycle_tx, probe_recycle_rx) = mpsc::sync_channel(QUEUE_BATCHES);
@@ -533,8 +636,79 @@ impl<S: ShardableSink> ShardedCdc<S> {
             PipelineStats {
                 shards: t.lane_stats,
                 merge_nanos,
+                degraded_shards: Vec::new(),
             },
         ))
+    }
+
+    /// Joins a salvage-mode pipeline (see
+    /// [`ShardedCdc::spawn_salvaging`]): dead shard workers degrade the
+    /// run instead of forfeiting it. The surviving shards' sinks and
+    /// the translator's fallback sink merge into the salvaged profile;
+    /// each dead worker's panic is reported in
+    /// [`SalvagedJoin::degraded`] and its shard index in
+    /// [`PipelineStats::degraded_shards`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] only when the *translator* panicked
+    /// — it owns the OMC, so nothing can be salvaged without it.
+    pub fn try_join_salvage(mut self) -> Result<SalvagedJoin<S>, PipelineError> {
+        self.flush();
+        drop(self.to_translator.take());
+        let t = match self.translator.take().expect("join called once").join() {
+            Ok(t) => t,
+            Err(payload) => {
+                // Release and reap the workers before surfacing the
+                // translator's panic.
+                for handle in self.workers.drain(..) {
+                    let _ = handle.join();
+                }
+                return Err(PipelineError {
+                    worker: "translator".to_owned(),
+                    message: panic_message(payload),
+                });
+            }
+        };
+        let mut sinks = Vec::with_capacity(self.workers.len() + 1);
+        let mut degraded = Vec::new();
+        let mut degraded_shards = Vec::new();
+        for (shard, handle) in self.workers.drain(..).enumerate() {
+            match handle.join() {
+                Ok(sink) => sinks.push(sink),
+                Err(payload) => {
+                    degraded.push(PipelineError {
+                        worker: format!("shard {shard}"),
+                        message: panic_message(payload),
+                    });
+                    degraded_shards.push(shard as u64);
+                }
+            }
+        }
+        // The fallback is last: merge contracts order parts by shard,
+        // and the fallback holds (partial) streams of dead-lane keys —
+        // key sets disjoint from every surviving part.
+        sinks.extend(t.fallback);
+        let merge_start = std::time::Instant::now();
+        let merged = S::merge(sinks);
+        let merge_nanos = u64::try_from(merge_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut cdc = Cdc::from_parts(
+            t.omc,
+            merged,
+            Timestamp(t.time),
+            t.untracked,
+            t.probe_anomalies,
+        );
+        ProbeSink::finish(&mut cdc);
+        Ok(SalvagedJoin {
+            cdc,
+            stats: PipelineStats {
+                shards: t.lane_stats,
+                merge_nanos,
+                degraded_shards,
+            },
+            degraded,
+        })
     }
 
     /// [`ShardedCdc::try_join`], panicking on pipeline errors.
@@ -552,16 +726,29 @@ impl<S: ShardableSink> ShardedCdc<S> {
     }
 }
 
+/// Diverts a batch a dead worker could not accept into the salvage
+/// fallback sink, or drops it when salvage mode is off.
+fn salvage_batch<S: ShardableSink>(
+    fallback: &mut Option<S>,
+    stats: &mut ShardStats,
+    batch: &[OrTuple],
+) {
+    if let Some(sink) = fallback {
+        sink.tuple_batch(batch);
+        stats.salvaged += batch.len() as u64;
+    }
+}
+
 /// The translator thread: replicates [`Cdc`] event handling (fast-path
 /// translation, time-stamping, anomaly counting) and routes tuples to
 /// shard lanes by `S::shard_key`.
 fn translate_loop<S: ShardableSink>(
-    init: Translated,
+    init: Translated<S>,
     seeded_keys: &[u64],
     probe_rx: &Receiver<Vec<ProbeEvent>>,
     probe_recycle_tx: &SyncSender<Vec<ProbeEvent>>,
     lanes: &mut [Lane],
-) -> Translated {
+) -> Translated<S> {
     let shards = lanes.len();
     let Translated {
         mut omc,
@@ -569,6 +756,7 @@ fn translate_loop<S: ShardableSink>(
         mut untracked,
         mut probe_anomalies,
         lane_stats: _,
+        mut fallback,
     } = init;
     // First-seen round-robin key→shard assignment: deterministic for a
     // given event stream, and balance never affects the merged result
@@ -618,7 +806,10 @@ fn translate_loop<S: ShardableSink>(
                                 s
                             }
                         };
-                        lanes[shard].push(tuple);
+                        let lane = &mut lanes[shard];
+                        if let Some(batch) = lane.push(tuple) {
+                            salvage_batch(&mut fallback, &mut lane.stats, &batch);
+                        }
                     }
                     None => untracked += 1,
                 },
@@ -639,7 +830,9 @@ fn translate_loop<S: ShardableSink>(
         let _ = probe_recycle_tx.try_send(spent);
     }
     for lane in lanes.iter_mut() {
-        lane.flush();
+        if let Some(batch) = lane.flush() {
+            salvage_batch(&mut fallback, &mut lane.stats, &batch);
+        }
     }
     Translated {
         omc,
@@ -647,6 +840,7 @@ fn translate_loop<S: ShardableSink>(
         untracked,
         probe_anomalies,
         lane_stats: lanes.iter().map(|lane| lane.stats).collect(),
+        fallback,
     }
 }
 
@@ -783,6 +977,128 @@ mod tests {
         assert_eq!(err.worker, "shard 0");
         assert!(err.message.contains("sink exploded"), "{err}");
         assert!(err.to_string().contains("shard 0"));
+    }
+
+    /// A sink that panics on its first tuple when armed, recording
+    /// into a [`VecOrSink`] otherwise. Deterministic: shard 1's worker
+    /// always dies on its first delivered batch.
+    #[derive(Debug)]
+    struct FusedVec {
+        armed: bool,
+        inner: VecOrSink,
+    }
+    impl OrSink for FusedVec {
+        fn tuple(&mut self, t: &OrTuple) {
+            assert!(!self.armed, "armed sink detonated");
+            self.inner.tuple(t);
+        }
+    }
+    impl ShardableSink for FusedVec {
+        fn shard_key(t: &OrTuple) -> u64 {
+            u64::from(t.instr.0)
+        }
+        fn merge(parts: Vec<Self>) -> Self {
+            FusedVec {
+                armed: false,
+                inner: VecOrSink::merge(parts.into_iter().map(|p| p.inner).collect()),
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_mode_survives_a_dead_worker_and_keeps_surviving_lanes_exact() {
+        // Reference: the same stream collected inline.
+        let mut inline = Cdc::new(Omc::new(), VecOrSink::new());
+        // Two keys with 2 shards: instr 0 is first-seen → shard 0
+        // (survives), instr 1 → shard 1 (armed sink, dies on its first
+        // batch).
+        let alloc = AllocEvent {
+            site: AllocSiteId(0),
+            base: RawAddress(0x1000),
+            size: 64,
+        };
+        let wave = |sink: &mut dyn ProbeSink| {
+            for i in 0..(TUPLE_BATCH as u64 + 256) {
+                sink.access(AccessEvent::load(
+                    InstrId(0),
+                    RawAddress(0x1000 + i % 64),
+                    1,
+                ));
+                sink.access(AccessEvent::load(
+                    InstrId(1),
+                    RawAddress(0x1000 + i % 64),
+                    1,
+                ));
+            }
+        };
+        inline.alloc(alloc);
+        wave(&mut inline);
+        wave(&mut inline);
+        inline.finish();
+
+        let mut sharded = ShardedCdc::spawn_salvaging(Omc::new(), 2, |i| FusedVec {
+            armed: i == 1,
+            inner: VecOrSink::new(),
+        });
+        sharded.alloc(alloc);
+        wave(&mut sharded);
+        // Ship wave 1 to the translator, then give shard 1's worker time to
+        // receive its first batch, die, and drop its receiver, so wave 2's
+        // flushes bounce.
+        sharded.finish();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        wave(&mut sharded);
+        let join = sharded.try_join_salvage().expect("translator survived");
+
+        assert!(!join.is_clean());
+        assert_eq!(join.degraded.len(), 1);
+        assert_eq!(join.degraded[0].worker, "shard 1");
+        assert!(join.degraded[0].message.contains("detonated"));
+        assert_eq!(join.stats.degraded_shards, vec![1]);
+
+        // The surviving lane's key is byte-identical to the inline run.
+        let survived: Vec<&OrTuple> = join
+            .cdc
+            .sink()
+            .inner
+            .tuples()
+            .iter()
+            .filter(|t| t.instr == InstrId(0))
+            .collect();
+        let reference: Vec<&OrTuple> = inline
+            .sink()
+            .tuples()
+            .iter()
+            .filter(|t| t.instr == InstrId(0))
+            .collect();
+        assert_eq!(survived, reference, "surviving lane degraded");
+
+        // Everything else in the profile came through the fallback, and
+        // the stats account for exactly those tuples.
+        let salvaged_in_profile = join.cdc.sink().inner.len() - survived.len();
+        assert_eq!(join.stats.salvaged_tuples(), salvaged_in_profile as u64);
+        assert_eq!(join.stats.shards[1].salvaged, salvaged_in_profile as u64);
+        assert_eq!(join.stats.shards[0].salvaged, 0);
+        assert!(
+            salvaged_in_profile > 0,
+            "wave 2 should have bounced off the dead lane into the fallback"
+        );
+    }
+
+    #[test]
+    fn salvage_mode_clean_run_matches_strict_join() {
+        let mut strict = ShardedCdc::spawn(Omc::new(), 3, |_| VecOrSink::new());
+        churn_run(&mut strict, 50, 40);
+        let reference = strict.try_join().expect("pipeline healthy");
+
+        let mut salvaging = ShardedCdc::spawn_salvaging(Omc::new(), 3, |_| VecOrSink::new());
+        churn_run(&mut salvaging, 50, 40);
+        let join = salvaging.try_join_salvage().expect("pipeline healthy");
+        assert!(join.is_clean());
+        assert!(join.stats.degraded_shards.is_empty());
+        assert_eq!(join.stats.salvaged_tuples(), 0);
+        assert_eq!(join.cdc.sink().tuples(), reference.sink().tuples());
+        assert_eq!(join.cdc.time(), reference.time());
     }
 
     #[test]

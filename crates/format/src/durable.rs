@@ -1,0 +1,888 @@
+//! Crash-safe durable writes and deterministic fault injection.
+//!
+//! Profiles are reproducible artifacts; a crash or full disk mid-write
+//! must never destroy the only copy. This module is the durability
+//! contract every `.orp`/report producer writes through:
+//!
+//! * [`AtomicFile`] — write to a sibling temp file, flush, fsync,
+//!   atomically rename over the destination, fsync the parent
+//!   directory. A reader always sees the old-complete or new-complete
+//!   file, never a torn one.
+//! * [`FaultPlan`] — a deterministic injection spec
+//!   (`io-error@n=37`, `short-write@n=12`, `interrupt@n=5`,
+//!   `would-block@n=5`, `crash@byte=4096`) taken from the
+//!   `ORP_FAULT_PLAN` environment variable or a CLI flag, honored by
+//!   [`FailingWrite`]/[`FailingRead`] and by [`AtomicFile`] itself, so
+//!   every I/O failure mode is reproducible on demand.
+//! * [`RetryWrite`]/[`RetryRead`] — bounded retry with capped
+//!   exponential backoff for the transient error kinds
+//!   (`Interrupted`, `WouldBlock`); retries are counted so callers can
+//!   surface them as `io.retries` observability counters.
+//!
+//! The fault plan counts *I/O operations* (each underlying
+//! write/read/sync/rename call is one op) and *bytes* independently:
+//! `…@n=K` arms on the K-th op, `crash@byte=B` cuts the stream after
+//! exactly `B` bytes have reached the wrapped writer — modeling a
+//! power cut mid-file. Once a persistent fault (an injected I/O error
+//! or a crash) trips, every later operation on the same plan fails
+//! too: a dead disk does not come back between two writes.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Environment variable consulted by [`FaultPlan::from_env`].
+pub const FAULT_PLAN_ENV: &str = "ORP_FAULT_PLAN";
+
+/// Marker substring present in every injected failure's message, so
+/// harnesses can tell an injected fault from a real one.
+pub const INJECTED_MARKER: &str = "injected";
+
+/// The failure mode a [`FaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// The `op`-th I/O operation fails persistently with an I/O error.
+    IoError { op: u64 },
+    /// The `op`-th write delivers only half its buffer (at least one
+    /// byte); a correct `write_all` caller absorbs it.
+    ShortWrite { op: u64 },
+    /// Operations `op .. op + times` fail with `ErrorKind::Interrupted`
+    /// (transient; a bounded retry loop absorbs them).
+    Interrupt { op: u64, times: u64 },
+    /// Operations `op .. op + times` fail with `ErrorKind::WouldBlock`.
+    WouldBlock { op: u64, times: u64 },
+    /// After exactly `byte` bytes have been written through the plan,
+    /// every further operation fails persistently — a power cut.
+    Crash { byte: u64 },
+}
+
+#[derive(Debug)]
+struct PlanState {
+    fault: Fault,
+    /// I/O operations gated so far (shared by every wrapper cloned
+    /// from the same plan, so one spec addresses a whole command).
+    ops: AtomicU64,
+    /// Bytes successfully written through the plan.
+    bytes: AtomicU64,
+    /// A persistent fault has tripped; everything fails from here on.
+    dead: AtomicBool,
+    /// The fault fired at least once (even if absorbed by a retry).
+    triggered: AtomicBool,
+}
+
+/// A deterministic, shareable fault-injection plan.
+///
+/// Cloning shares the op/byte counters: every wrapper constructed from
+/// clones of one plan draws op indices from the same sequence, so a
+/// spec like `io-error@n=37` addresses the 37th I/O operation of the
+/// whole command, wherever it lands.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    state: Arc<PlanState>,
+}
+
+/// What a gated write is allowed to do.
+enum WriteGate {
+    /// Write up to this many bytes (short writes truncate it).
+    Allow(usize),
+    /// Fail with this error.
+    Fail(io::Error),
+}
+
+impl FaultPlan {
+    /// Parses a spec: `io-error@n=K`, `short-write@n=K`,
+    /// `interrupt@n=K` / `interrupt@n=KxT`, `would-block@n=K` /
+    /// `would-block@n=KxT`, or `crash@byte=B`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultSpecError`] naming the malformed spec.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let bad = |reason: &'static str| FaultSpecError {
+            spec: spec.to_owned(),
+            reason,
+        };
+        let (kind, param) = spec
+            .split_once('@')
+            .ok_or_else(|| bad("expected '<kind>@<param>=<value>'"))?;
+        let (param_name, value) = param
+            .split_once('=')
+            .ok_or_else(|| bad("expected '<param>=<value>' after '@'"))?;
+        let parse_n = |value: &str| -> Result<(u64, u64), FaultSpecError> {
+            let (n, times) = match value.split_once('x') {
+                Some((n, t)) => (
+                    n.parse().map_err(|_| bad("op index is not a number"))?,
+                    t.parse().map_err(|_| bad("repeat count is not a number"))?,
+                ),
+                None => (
+                    value.parse().map_err(|_| bad("op index is not a number"))?,
+                    1,
+                ),
+            };
+            if n == 0 {
+                return Err(bad("op indices are 1-based; n=0 never fires"));
+            }
+            Ok((n, times))
+        };
+        let fault = match (kind, param_name) {
+            ("io-error", "n") => {
+                let (op, _) = parse_n(value)?;
+                Fault::IoError { op }
+            }
+            ("short-write", "n") => {
+                let (op, _) = parse_n(value)?;
+                Fault::ShortWrite { op }
+            }
+            ("interrupt", "n") => {
+                let (op, times) = parse_n(value)?;
+                Fault::Interrupt { op, times }
+            }
+            ("would-block", "n") => {
+                let (op, times) = parse_n(value)?;
+                Fault::WouldBlock { op, times }
+            }
+            ("crash", "byte") => Fault::Crash {
+                byte: value
+                    .parse()
+                    .map_err(|_| bad("byte offset is not a number"))?,
+            },
+            _ => {
+                return Err(bad(
+                    "unknown fault (know: io-error@n, short-write@n, interrupt@n, \
+                     would-block@n, crash@byte)",
+                ))
+            }
+        };
+        Ok(FaultPlan {
+            state: Arc::new(PlanState {
+                fault,
+                ops: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+                triggered: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// Reads [`FAULT_PLAN_ENV`]; `Ok(None)` when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultSpecError`] when the variable is set but malformed — a
+    /// typo must not silently disable the torture run.
+    pub fn from_env() -> Result<Option<FaultPlan>, FaultSpecError> {
+        match std::env::var(FAULT_PLAN_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(spec.trim()).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// True once the fault has fired at least once (even when the
+    /// caller absorbed it via retry or `write_all`).
+    #[must_use]
+    pub fn triggered(&self) -> bool {
+        self.state.triggered.load(Ordering::Relaxed)
+    }
+
+    /// I/O operations gated so far across every wrapper of this plan.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::Relaxed)
+    }
+
+    fn injected(&self, kind: io::ErrorKind, what: &str, op: u64) -> io::Error {
+        self.state.triggered.store(true, Ordering::Relaxed);
+        io::Error::new(kind, format!("{INJECTED_MARKER} {what} (op {op})"))
+    }
+
+    /// Gates one write of `len` bytes.
+    fn gate_write(&self, len: usize) -> WriteGate {
+        let op = self.state.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.state.dead.load(Ordering::Relaxed) {
+            return WriteGate::Fail(self.injected(io::ErrorKind::Other, "fault is sticky", op));
+        }
+        match self.state.fault {
+            Fault::IoError { op: at } if op == at => {
+                self.state.dead.store(true, Ordering::Relaxed);
+                WriteGate::Fail(self.injected(io::ErrorKind::Other, "i/o error", op))
+            }
+            Fault::ShortWrite { op: at } if op == at && len > 1 => {
+                self.state.triggered.store(true, Ordering::Relaxed);
+                WriteGate::Allow((len / 2).max(1))
+            }
+            Fault::Interrupt { op: at, times } if op >= at && op < at + times => {
+                WriteGate::Fail(self.injected(io::ErrorKind::Interrupted, "interrupt", op))
+            }
+            Fault::WouldBlock { op: at, times } if op >= at && op < at + times => {
+                WriteGate::Fail(self.injected(io::ErrorKind::WouldBlock, "would-block", op))
+            }
+            Fault::Crash { byte } => {
+                let written = self.state.bytes.load(Ordering::Relaxed);
+                let room = byte.saturating_sub(written);
+                if room == 0 {
+                    self.state.dead.store(true, Ordering::Relaxed);
+                    WriteGate::Fail(self.injected(io::ErrorKind::Other, "crash", op))
+                } else {
+                    WriteGate::Allow(usize::try_from(room.min(len as u64)).unwrap_or(len))
+                }
+            }
+            _ => WriteGate::Allow(len),
+        }
+    }
+
+    /// Records `n` bytes as successfully written.
+    fn wrote(&self, n: usize) {
+        self.state.bytes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Gates one non-write operation (read, flush, sync, rename).
+    fn gate_op(&self, what: &str) -> io::Result<()> {
+        let op = self.state.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.state.dead.load(Ordering::Relaxed) {
+            return Err(self.injected(io::ErrorKind::Other, "fault is sticky", op));
+        }
+        match self.state.fault {
+            Fault::IoError { op: at } if op == at => {
+                self.state.dead.store(true, Ordering::Relaxed);
+                Err(self.injected(io::ErrorKind::Other, "i/o error", op))
+            }
+            Fault::Interrupt { op: at, times } if op >= at && op < at + times => {
+                Err(self.injected(io::ErrorKind::Interrupted, "interrupt", op))
+            }
+            Fault::WouldBlock { op: at, times } if op >= at && op < at + times => {
+                Err(self.injected(io::ErrorKind::WouldBlock, "would-block", op))
+            }
+            Fault::Crash { byte } => {
+                if self.state.bytes.load(Ordering::Relaxed) >= byte {
+                    self.state.dead.store(true, Ordering::Relaxed);
+                    Err(self.injected(
+                        io::ErrorKind::Other,
+                        format!("crash at {what}").as_str(),
+                        op,
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// True when the plan's persistent fault has tripped (the crash or
+    /// sticky I/O error fired).
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.state.dead.load(Ordering::Relaxed)
+    }
+}
+
+/// A malformed fault-plan spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The offending spec text.
+    pub spec: String,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault plan '{}': {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A [`Write`] that injects the plan's faults into every operation.
+#[derive(Debug)]
+pub struct FailingWrite<W: Write> {
+    inner: W,
+    plan: FaultPlan,
+}
+
+impl<W: Write> FailingWrite<W> {
+    /// Wraps `inner`, gating every write/flush through `plan`.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        FailingWrite { inner, plan }
+    }
+
+    /// The wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailingWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        match self.plan.gate_write(buf.len()) {
+            WriteGate::Fail(e) => Err(e),
+            WriteGate::Allow(len) => {
+                let len = len.min(buf.len());
+                let take = buf.get(..len).unwrap_or(buf);
+                let n = self.inner.write(take)?;
+                self.plan.wrote(n);
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.plan.gate_op("flush")?;
+        self.inner.flush()
+    }
+}
+
+/// A [`Read`] that injects the plan's faults into every read.
+#[derive(Debug)]
+pub struct FailingRead<R: Read> {
+    inner: R,
+    plan: FaultPlan,
+}
+
+impl<R: Read> FailingRead<R> {
+    /// Wraps `inner`, gating every read through `plan`.
+    pub fn new(inner: R, plan: FaultPlan) -> Self {
+        FailingRead { inner, plan }
+    }
+
+    /// The wrapped reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for FailingRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.plan.gate_op("read")?;
+        self.inner.read(buf)
+    }
+}
+
+/// Retry attempts allowed per operation before the transient error
+/// surfaces. Bounded: an endlessly `Interrupted` descriptor must not
+/// hang the collector.
+const MAX_RETRIES: u32 = 16;
+/// First backoff delay; doubles per retry up to [`MAX_BACKOFF`].
+const BASE_BACKOFF: Duration = Duration::from_micros(50);
+/// Backoff ceiling.
+const MAX_BACKOFF: Duration = Duration::from_millis(5);
+
+fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock)
+}
+
+fn backoff(attempt: u32) -> Duration {
+    let exp = BASE_BACKOFF.saturating_mul(1u32 << attempt.min(16));
+    exp.min(MAX_BACKOFF)
+}
+
+/// Runs `op`, retrying transient failures with capped exponential
+/// backoff; bumps `retries` once per retried attempt.
+fn with_retry<T>(retries: &mut u64, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(e.kind()) && attempt < MAX_RETRIES => {
+                *retries += 1;
+                std::thread::sleep(backoff(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A [`Write`] with bounded retry on transient errors
+/// (`Interrupted`/`WouldBlock`), counting retries for observability.
+#[derive(Debug)]
+pub struct RetryWrite<W: Write> {
+    inner: W,
+    retries: u64,
+}
+
+impl<W: Write> RetryWrite<W> {
+    /// Wraps `inner`.
+    pub fn new(inner: W) -> Self {
+        RetryWrite { inner, retries: 0 }
+    }
+
+    /// Retried attempts so far (surface as the `io.retries` counter).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for RetryWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let inner = &mut self.inner;
+        with_retry(&mut self.retries, || inner.write(buf))
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let inner = &mut self.inner;
+        with_retry(&mut self.retries, || inner.flush())
+    }
+}
+
+/// A [`Read`] with bounded retry on transient errors, counting
+/// retries for observability.
+#[derive(Debug)]
+pub struct RetryRead<R: Read> {
+    inner: R,
+    retries: u64,
+}
+
+impl<R: Read> RetryRead<R> {
+    /// Wraps `inner`.
+    pub fn new(inner: R) -> Self {
+        RetryRead { inner, retries: 0 }
+    }
+
+    /// Retried attempts so far (surface as the `io.retries` counter).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The wrapped reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for RetryRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let inner = &mut self.inner;
+        with_retry(&mut self.retries, || inner.read(buf))
+    }
+}
+
+/// A durably, atomically written file.
+///
+/// Bytes go to a sibling temp file; [`AtomicFile::commit`] flushes,
+/// fsyncs, renames over the destination, and fsyncs the parent
+/// directory. Until the rename lands, the destination is untouched —
+/// a crash at any point leaves it absent or old-complete, and after
+/// commit returns the new contents are on disk, not just in a cache.
+///
+/// An [`AtomicFile`] dropped without commit removes its temp file —
+/// unless its fault plan's crash tripped, in which case the temp file
+/// is deliberately left behind, exactly as a killed process would
+/// leave it.
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::io::Write;
+/// use orp_format::AtomicFile;
+///
+/// let mut f = AtomicFile::create("profile.orp")?;
+/// f.write_all(b"bytes")?;
+/// f.commit()?; // old-complete before this line, new-complete after
+/// # std::io::Result::Ok(())
+/// ```
+#[derive(Debug)]
+pub struct AtomicFile {
+    file: Option<File>,
+    tmp: PathBuf,
+    dest: PathBuf,
+    plan: Option<FaultPlan>,
+    committed: bool,
+}
+
+impl AtomicFile {
+    /// Opens a temp file next to `dest` for writing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure (missing parent directory,
+    /// permissions).
+    pub fn create(dest: impl AsRef<Path>) -> io::Result<AtomicFile> {
+        Self::create_with_plan(dest, None)
+    }
+
+    /// [`AtomicFile::create`] with a fault-injection plan gating every
+    /// write, sync and rename.
+    ///
+    /// # Errors
+    ///
+    /// As [`AtomicFile::create`].
+    pub fn create_with_plan(
+        dest: impl AsRef<Path>,
+        plan: Option<FaultPlan>,
+    ) -> io::Result<AtomicFile> {
+        let dest = dest.as_ref().to_path_buf();
+        let name = dest
+            .file_name()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{} has no file name to write next to", dest.display()),
+                )
+            })?
+            .to_owned();
+        let mut tmp_name = std::ffi::OsString::from(".");
+        tmp_name.push(&name);
+        tmp_name.push(format!(".tmp-{}", std::process::id()));
+        let tmp = dest.with_file_name(tmp_name);
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        Ok(AtomicFile {
+            file: Some(file),
+            tmp,
+            dest,
+            plan,
+            committed: false,
+        })
+    }
+
+    /// The destination this file will atomically replace on commit.
+    #[must_use]
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    fn file(&mut self) -> io::Result<&mut File> {
+        self.file
+            .as_mut()
+            .ok_or_else(|| io::Error::other("atomic file was already committed"))
+    }
+
+    /// Makes the written bytes durable and visible: flush, fsync the
+    /// temp file, rename it over the destination, fsync the parent
+    /// directory (so the rename itself survives a power cut).
+    ///
+    /// Transient failures (`Interrupted`/`WouldBlock` — fsync can hit
+    /// `EINTR` too) are retried with the same bounded backoff as the
+    /// read/write wrappers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any step's failure. On failure before the rename the
+    /// destination is untouched; a failure after the rename (the
+    /// directory fsync) leaves the new file visible, so the
+    /// old-complete-or-new-complete invariant holds on every path.
+    pub fn commit(mut self) -> io::Result<()> {
+        let file = self
+            .file
+            .take()
+            .ok_or_else(|| io::Error::other("atomic file was already committed"))?;
+        let plan = self.plan.clone();
+        let gate = |what: &str| match &plan {
+            Some(p) => p.gate_op(what),
+            None => Ok(()),
+        };
+        let mut retries = 0u64;
+        with_retry(&mut retries, || {
+            gate("fsync")?;
+            file.sync_all()
+        })?;
+        drop(file);
+        with_retry(&mut retries, || {
+            gate("rename")?;
+            fs::rename(&self.tmp, &self.dest)
+        })?;
+        self.committed = true;
+        // Failure to fsync the directory is reported (the rename may
+        // not be durable yet) but the new file is already visible.
+        with_retry(&mut retries, || {
+            gate("dir-fsync")?;
+            sync_parent_dir(&self.dest)
+        })
+    }
+}
+
+/// Fsyncs `path`'s parent directory so a just-renamed entry survives
+/// power loss. Platforms that cannot open directories for syncing
+/// (non-Unix) skip silently — the rename is still atomic there.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    match File::open(parent) {
+        Ok(dir) => dir.sync_all(),
+        // Directories are not openable on every platform/filesystem;
+        // the write itself already succeeded.
+        Err(_) => Ok(()),
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let gate = match &self.plan {
+            Some(plan) => plan.gate_write(buf.len()),
+            None => WriteGate::Allow(buf.len()),
+        };
+        match gate {
+            WriteGate::Fail(e) => Err(e),
+            WriteGate::Allow(len) => {
+                let len = len.min(buf.len());
+                let take = buf.get(..len).unwrap_or(buf);
+                let n = self.file()?.write(take)?;
+                if let Some(plan) = &self.plan {
+                    plan.wrote(n);
+                }
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(plan) = &self.plan {
+            plan.gate_op("flush")?;
+        }
+        self.file()?.flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.committed {
+            return;
+        }
+        // A tripped crash plan models a killed process: it would not
+        // have cleaned up, so neither do we — torture harnesses can
+        // then inspect the torn temp file. Every other abandon path
+        // tidies up like a well-behaved program.
+        let crashed = self.plan.as_ref().is_some_and(FaultPlan::is_dead);
+        drop(self.file.take());
+        if !crashed {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Writes `bytes` to `dest` through the full durable path: temp file,
+/// fsync, rename, directory fsync.
+///
+/// # Errors
+///
+/// Propagates any step's failure; the destination is old-complete or
+/// new-complete regardless.
+pub fn write_bytes_atomic(
+    dest: impl AsRef<Path>,
+    bytes: &[u8],
+    plan: Option<FaultPlan>,
+) -> io::Result<()> {
+    let mut file = AtomicFile::create_with_plan(dest, plan)?;
+    file.write_all(bytes)?;
+    file.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("orp-durable-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "exercises the real filesystem (fsync/rename)")]
+    fn atomic_write_replaces_old_contents_and_cleans_temp() {
+        let dir = tmp_dir("replace");
+        let dest = dir.join("out.orp");
+        fs::write(&dest, b"old").unwrap();
+        write_bytes_atomic(&dest, b"new contents", None).unwrap();
+        assert_eq!(fs::read(&dest).unwrap(), b"new contents");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.file_name()))
+            .filter(|n| n.to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "exercises the real filesystem (fsync/rename)")]
+    fn abandoned_atomic_file_leaves_destination_untouched() {
+        let dir = tmp_dir("abandon");
+        let dest = dir.join("out.orp");
+        fs::write(&dest, b"old").unwrap();
+        {
+            let mut f = AtomicFile::create(&dest).unwrap();
+            f.write_all(b"half a new fi").unwrap();
+            // dropped without commit
+        }
+        assert_eq!(fs::read(&dest).unwrap(), b"old");
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "exercises the real filesystem (fsync/rename)")]
+    fn io_error_sweep_preserves_old_or_new() {
+        let dir = tmp_dir("sweep");
+        let dest = dir.join("out.orp");
+        let payload = vec![0xABu8; 300];
+        // Find the op count on a clean run, then fail each op in turn.
+        let probe = FaultPlan::parse("io-error@n=1000000").unwrap();
+        write_bytes_atomic(&dest, &payload, Some(probe.clone())).unwrap();
+        let total_ops = probe.ops();
+        assert!(total_ops >= 3, "write + fsync + rename at minimum");
+        for k in 1..=total_ops {
+            fs::write(&dest, b"old").unwrap();
+            let plan = FaultPlan::parse(&format!("io-error@n={k}")).unwrap();
+            let result = write_bytes_atomic(&dest, &payload, Some(plan.clone()));
+            assert!(plan.triggered(), "op {k} never fired");
+            let on_disk = fs::read(&dest).unwrap();
+            assert!(
+                on_disk == b"old" || on_disk == payload,
+                "op {k}: torn file ({} bytes)",
+                on_disk.len()
+            );
+            // Anything failing before the rename leaves the old file.
+            if on_disk == b"old" {
+                assert!(result.is_err(), "op {k}: old file but reported success");
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "exercises the real filesystem (fsync/rename)")]
+    fn crash_sweep_never_tears_the_destination() {
+        let dir = tmp_dir("crash");
+        let dest = dir.join("out.orp");
+        let payload: Vec<u8> = (0..997u32).map(|i| (i % 251) as u8).collect();
+        for byte in (0..payload.len() as u64 + 2).step_by(13) {
+            fs::write(&dest, b"old").unwrap();
+            let plan = FaultPlan::parse(&format!("crash@byte={byte}")).unwrap();
+            let result = write_bytes_atomic(&dest, &payload, Some(plan));
+            let on_disk = fs::read(&dest).unwrap();
+            assert!(
+                on_disk == b"old" || on_disk == payload,
+                "crash at byte {byte}: torn file"
+            );
+            if byte < payload.len() as u64 {
+                assert!(result.is_err(), "crash at byte {byte} reported success");
+                assert_eq!(on_disk, b"old");
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "exercises the real filesystem (fsync/rename)")]
+    fn crash_leaves_the_torn_temp_file_behind() {
+        let dir = tmp_dir("crash-temp");
+        let dest = dir.join("out.orp");
+        let plan = FaultPlan::parse("crash@byte=5").unwrap();
+        let mut f = AtomicFile::create_with_plan(&dest, Some(plan)).unwrap();
+        let err = f.write_all(&[1u8; 64]).unwrap_err();
+        assert!(err.to_string().contains(INJECTED_MARKER));
+        drop(f);
+        let torn: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert_eq!(torn.len(), 1, "killed process leaves its temp file");
+        assert_eq!(fs::metadata(torn[0].path()).unwrap().len(), 5);
+        assert!(!dest.exists());
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "exercises the real filesystem (fsync/rename)")]
+    fn short_write_is_absorbed_by_write_all() {
+        let dir = tmp_dir("short");
+        let dest = dir.join("out.orp");
+        let payload = vec![7u8; 128];
+        let plan = FaultPlan::parse("short-write@n=1").unwrap();
+        write_bytes_atomic(&dest, &payload, Some(plan.clone())).unwrap();
+        assert!(plan.triggered());
+        assert_eq!(fs::read(&dest).unwrap(), payload);
+    }
+
+    #[test]
+    fn interrupts_are_retried_and_counted() {
+        let plan = FaultPlan::parse("interrupt@n=1x3").unwrap();
+        let mut w = RetryWrite::new(FailingWrite::new(Vec::new(), plan));
+        w.write_all(b"payload").unwrap();
+        assert_eq!(w.retries(), 3);
+        assert_eq!(w.into_inner().into_inner(), b"payload");
+    }
+
+    #[test]
+    fn would_block_reads_are_retried_and_counted() {
+        let plan = FaultPlan::parse("would-block@n=1x2").unwrap();
+        let mut r = RetryRead::new(FailingRead::new(&b"payload"[..], plan));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"payload");
+        assert_eq!(r.retries(), 2);
+    }
+
+    #[test]
+    fn retry_is_bounded() {
+        let times = u64::from(MAX_RETRIES) + 10;
+        let plan = FaultPlan::parse(&format!("interrupt@n=1x{times}")).unwrap();
+        let mut w = RetryWrite::new(FailingWrite::new(Vec::new(), plan));
+        // `write` (not `write_all`: std's write_all retries Interrupted
+        // itself, which would mask the bound).
+        let err = w.write(b"payload").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(w.retries(), u64::from(MAX_RETRIES));
+    }
+
+    #[test]
+    fn fault_specs_parse_and_reject() {
+        for good in [
+            "io-error@n=37",
+            "short-write@n=12",
+            "interrupt@n=5",
+            "interrupt@n=5x9",
+            "would-block@n=2",
+            "crash@byte=4096",
+            "crash@byte=0",
+        ] {
+            FaultPlan::parse(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "io-error",
+            "io-error@n",
+            "io-error@n=x",
+            "io-error@n=0",
+            "io-error@byte=3",
+            "crash@n=3",
+            "melt@n=1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn shared_plan_counts_ops_across_wrappers() {
+        let plan = FaultPlan::parse("io-error@n=3").unwrap();
+        let mut a = FailingWrite::new(Vec::new(), plan.clone());
+        let mut b = FailingWrite::new(Vec::new(), plan.clone());
+        a.write_all(b"x").unwrap(); // op 1
+        b.write_all(b"y").unwrap(); // op 2
+        assert!(a.write_all(b"z").is_err()); // op 3 fires
+        assert!(plan.triggered());
+        // Sticky: the next op on any wrapper of the plan fails too.
+        assert!(b.write_all(b"w").is_err());
+    }
+}

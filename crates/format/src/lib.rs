@@ -49,6 +49,7 @@
 mod chunk;
 mod container;
 mod crc;
+pub mod durable;
 mod error;
 pub mod varint;
 
@@ -58,6 +59,10 @@ pub use container::{
     FORMAT_VERSION, MAGIC, MAX_CHUNK_LEN,
 };
 pub use crc::{crc32, Crc32};
+pub use durable::{
+    write_bytes_atomic, AtomicFile, FailingRead, FailingWrite, FaultPlan, FaultSpecError,
+    RetryRead, RetryWrite, FAULT_PLAN_ENV, INJECTED_MARKER,
+};
 pub use error::FormatError;
 pub use varint::{
     read_i64_le, read_u32_le, read_u64_le, read_varint, read_zigzag, varint_len, write_i64_le,

@@ -273,6 +273,9 @@ pub struct ShardCount {
     pub batches: u64,
     /// Flushes that found the queue full and had to block.
     pub stalls: u64,
+    /// Tuples diverted to the salvage fallback after this shard's
+    /// worker died (zero on a healthy run).
+    pub salvaged: u64,
 }
 
 /// The machine-readable product of one CLI run.
@@ -403,8 +406,9 @@ impl RunReport {
             let sep = if i == 0 { "\n" } else { ",\n" };
             let _ = write!(
                 out,
-                "{sep}    {{\"shard\": {}, \"tuples\": {}, \"batches\": {}, \"stalls\": {}}}",
-                s.shard, s.tuples, s.batches, s.stalls
+                "{sep}    {{\"shard\": {}, \"tuples\": {}, \"batches\": {}, \"stalls\": {}, \
+                 \"salvaged\": {}}}",
+                s.shard, s.tuples, s.batches, s.stalls, s.salvaged
             );
         }
         out.push_str(if self.shard_counts.is_empty() {
@@ -462,8 +466,16 @@ impl RunReport {
             for s in &self.shard_counts {
                 let _ = writeln!(
                     out,
-                    "  shard {:<3} tuples {:<12} batches {:<8} stalls {}",
-                    s.shard, s.tuples, s.batches, s.stalls
+                    "  shard {:<3} tuples {:<12} batches {:<8} stalls {}{}",
+                    s.shard,
+                    s.tuples,
+                    s.batches,
+                    s.stalls,
+                    if s.salvaged > 0 {
+                        format!("  salvaged {}", s.salvaged)
+                    } else {
+                        String::new()
+                    }
                 );
             }
         }
@@ -667,6 +679,7 @@ mod tests {
             tuples: 9,
             batches: 2,
             stalls: 0,
+            salvaged: 0,
         });
         let table = report.render_table();
         for needle in [

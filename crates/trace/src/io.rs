@@ -46,12 +46,21 @@ const BATCH_EVENTS: u64 = 4096;
 /// batch and the container terminator. A dropped writer leaves a
 /// truncated container, which readers reject — by design, since the
 /// trace would be incomplete.
+///
+/// [`ProbeSink`] methods are infallible, so a mid-stream write failure
+/// cannot surface where it happens. Instead the first error is
+/// *latched*: recording stops (events are counted but no further bytes
+/// move), and the error resurfaces from [`TraceWriter::into_inner`] —
+/// the probe side never panics inside a workload, and the failure is
+/// reported exactly once, where the caller can handle it.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
     container: ContainerWriter<W>,
     batch: Vec<u8>,
     batch_events: u64,
     events: u64,
+    /// First write failure, held until `into_inner`.
+    error: Option<io::Error>,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -69,6 +78,7 @@ impl<W: Write> TraceWriter<W> {
             batch: Vec::new(),
             batch_events: 0,
             events: 0,
+            error: None,
         })
     }
 
@@ -85,13 +95,24 @@ impl<W: Write> TraceWriter<W> {
         self.container.io_stats()
     }
 
+    /// The first write failure, if recording has latched one; the
+    /// writer is inert from that point on.
+    #[must_use]
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
     /// Writes the final batch and the container terminator, returning
     /// the underlying writer.
     ///
     /// # Errors
     ///
-    /// Propagates the final writes' errors.
+    /// Surfaces a latched mid-stream failure first, then any error
+    /// from the final writes.
     pub fn into_inner(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
         self.flush_batch()?;
         self.container.finish()
     }
@@ -110,15 +131,23 @@ impl<W: Write> TraceWriter<W> {
     }
 
     fn record(&mut self, encode: impl FnOnce(&mut Vec<u8>) -> io::Result<()>) {
-        // analyze: allow(no-panic): encoding into a Vec<u8> cannot fail
-        encode(&mut self.batch).expect("in-memory record encode");
-        self.batch_events += 1;
         self.events += 1;
+        if self.error.is_some() {
+            // A previous write failed; stop moving bytes and let the
+            // latched error surface at `into_inner`.
+            return;
+        }
+        if let Err(e) = encode(&mut self.batch) {
+            // Encoding into a Vec cannot fail in practice; latch it
+            // anyway rather than panicking inside a workload.
+            self.error = Some(e);
+            return;
+        }
+        self.batch_events += 1;
         if self.batch_events >= BATCH_EVENTS {
-            // ProbeSink methods are infallible; surface I/O failure
-            // loudly rather than silently truncating a trace.
-            // analyze: allow(no-panic): writer path, not a decode of untrusted input
-            self.flush_batch().expect("trace write failed");
+            if let Err(e) = self.flush_batch() {
+                self.error = Some(e);
+            }
         }
     }
 }
@@ -151,8 +180,12 @@ impl<W: Write> ProbeSink for TraceWriter<W> {
     }
 
     fn finish(&mut self) {
-        // analyze: allow(no-panic): writer path, not a decode of untrusted input
-        self.flush_batch().expect("trace flush failed");
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.flush_batch() {
+            self.error = Some(e);
+        }
     }
 }
 
@@ -392,6 +425,42 @@ mod tests {
             replay(&mut buf.as_slice(), &mut sink),
             Err(FormatError::WrongKind { .. })
         ));
+    }
+
+    #[test]
+    fn write_failure_is_latched_and_surfaces_at_into_inner() {
+        use orp_format::{FailingWrite, FaultPlan};
+        // Count the header's write ops, then arrange for the first
+        // batch flush to be the failing op.
+        let probe = FaultPlan::parse("io-error@n=1000000").unwrap();
+        let w = TraceWriter::new(FailingWrite::new(Vec::new(), probe.clone())).unwrap();
+        drop(w);
+        let header_ops = probe.ops();
+
+        let plan = FaultPlan::parse(&format!("io-error@n={}", header_ops + 1)).unwrap();
+        let mut w = TraceWriter::new(FailingWrite::new(Vec::new(), plan)).unwrap();
+        assert!(w.error().is_none());
+        for i in 0..(2 * BATCH_EVENTS) {
+            w.event(ProbeEvent::Access(AccessEvent::load(
+                InstrId(i as u32),
+                RawAddress(0x1000),
+                8,
+            )));
+        }
+        // The first flush failed and latched; later events were counted
+        // but not written, and no panic escaped into the probe side.
+        assert!(w.error().is_some());
+        assert_eq!(w.events(), 2 * BATCH_EVENTS);
+        w.finish();
+        let err = w.into_inner().expect_err("latched error must surface");
+        assert!(err.to_string().contains("injected"), "{err}");
+    }
+
+    #[test]
+    fn header_write_failure_surfaces_at_construction() {
+        use orp_format::{FailingWrite, FaultPlan};
+        let plan = FaultPlan::parse("io-error@n=1").unwrap();
+        assert!(TraceWriter::new(FailingWrite::new(Vec::new(), plan)).is_err());
     }
 
     #[test]

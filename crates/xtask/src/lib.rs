@@ -1,6 +1,6 @@
 //! The `cargo xtask analyze` static-verification pass.
 //!
-//! Six repo-specific invariants that `rustc`/`clippy` cannot express,
+//! Seven repo-specific invariants that `rustc`/`clippy` cannot express,
 //! checked at token level (see [`lexer`]) so they hold across
 //! formatting and never match inside strings or comments:
 //!
@@ -24,6 +24,11 @@
 //!   no recorder ident (`orp_obs`, `Recorder`, `StatsRecorder`,
 //!   `NoopRecorder`) may appear in its decode paths. I/O accounting is
 //!   plain integers (`IoStats`); publication happens in the caller.
+//! * **atomic-artifact-writes** — artifact producers must not
+//!   `File::create`/`fs::write` outputs directly: a crash mid-write
+//!   leaves a torn file. Writes go through `orp_format::AtomicFile` /
+//!   `write_bytes_atomic` (the primitive's own crate and this tooling
+//!   crate are exempt).
 //!
 //! Inline exemptions: `// analyze: allow(<rule>): <reason>` on the
 //! violating line or the line above. File-level exemptions live in

@@ -14,6 +14,7 @@ const RULES: &[&str] = &[
     "chunk-registry",
     "forbid-unsafe",
     "no-metrics-in-decode",
+    "atomic-artifact-writes",
 ];
 
 /// File-level exemptions from `analyze.allow` at the repo root.
@@ -374,6 +375,14 @@ pub fn check_file(rel: &Path, src: &str, allowlist: &Allowlist) -> Vec<Diagnosti
     {
         no_metrics_in_decode(&mut cx);
     }
+    if is_first_party(&rel_s)
+        && !rel_s.starts_with("crates/format/src/")
+        && !rel_s.starts_with("crates/xtask/")
+        && !is_test_tree(&rel_s)
+        && !allowlist.exempts("atomic-artifact-writes", rel)
+    {
+        atomic_artifact_writes(&mut cx);
+    }
     cx.diags
 }
 
@@ -724,6 +733,50 @@ fn no_metrics_in_decode(cx: &mut FileCx<'_>) {
     }
     for (line, message) in hits {
         cx.report("no-metrics-in-decode", line, message);
+    }
+}
+
+/// `atomic-artifact-writes`: artifacts reach disk only through the
+/// durable path.
+///
+/// A direct `File::create` or `fs::write` truncates the destination
+/// before the new bytes are durable, so a crash mid-write leaves a
+/// torn artifact where a reader expects old-complete or new-complete.
+/// Producers go through `orp_format::AtomicFile` /
+/// `write_bytes_atomic` (temp sibling, fsync, rename, directory
+/// fsync) — which is why the primitive's own crate is exempt.
+fn atomic_artifact_writes(cx: &mut FileCx<'_>) {
+    let mut hits = Vec::new();
+    for i in 0..cx.sig.len().saturating_sub(3) {
+        let t = cx.s(i);
+        if t.kind != Kind::Ident
+            || cx.in_test_span(t.line)
+            || cx.stext(i + 1) != ":"
+            || cx.stext(i + 2) != ":"
+        {
+            continue;
+        }
+        let callee = cx.stext(i + 3);
+        let torn = match t.text.as_str() {
+            "File" => matches!(callee, "create" | "create_new"),
+            "fs" => callee == "write",
+            _ => false,
+        };
+        if torn {
+            hits.push((
+                t.line,
+                format!(
+                    "{}::{callee} truncates the destination before the new \
+                     bytes are durable — write artifacts through \
+                     orp_format::AtomicFile / write_bytes_atomic, or mark \
+                     `// analyze: allow(atomic-artifact-writes): <why>`",
+                    t.text
+                ),
+            ));
+        }
+    }
+    for (line, message) in hits {
+        cx.report("atomic-artifact-writes", line, message);
     }
 }
 

@@ -164,6 +164,29 @@ fn no_metrics_in_decode_only_polices_orp_format() {
 }
 
 #[test]
+fn atomic_artifact_writes_flags_direct_truncating_writes() {
+    let diags = run("crates/report/src/seeded.rs", "atomic_writes.rs");
+    assert_eq!(
+        lines_of(&diags, "atomic-artifact-writes"),
+        vec![5, 6, 8],
+        "File::create, fs::write, and File::create_new — not comments, \
+         reads, the exempted probe, or test spans: {diags:#?}"
+    );
+}
+
+#[test]
+fn atomic_artifact_writes_exempts_the_durable_primitive_and_tooling() {
+    // orp-format hosts AtomicFile itself; xtask is build tooling.
+    for pretend in ["crates/format/src/durable.rs", "crates/xtask/src/main.rs"] {
+        let diags = run(pretend, "atomic_writes.rs");
+        assert!(
+            lines_of(&diags, "atomic-artifact-writes").is_empty(),
+            "{pretend}: {diags:#?}"
+        );
+    }
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()

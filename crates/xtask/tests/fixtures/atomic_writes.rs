@@ -1,0 +1,21 @@
+//! Seeded violations for the atomic-artifact-writes rule.
+use std::fs::File;
+
+fn seeded(json: &str) -> std::io::Result<()> {
+    let _f = File::create("results/out.json")?;
+    std::fs::write("BENCH_seeded.json", json)?;
+    // A comment mentioning File::create or fs::write must not match.
+    let _g = std::fs::File::create_new("profile.orp")?;
+    // analyze: allow(atomic-artifact-writes): probe file removed before exit
+    let _h = File::create("probe.tmp")?;
+    let _input = std::fs::read_to_string("in.json")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_writes_in_tests_are_out_of_scope() {
+        std::fs::write("scratch.json", "{}").unwrap();
+    }
+}

@@ -29,12 +29,15 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Read};
 use std::process::ExitCode;
 
 use orprof::allocsim::AllocatorKind;
 use orprof::core::{Omc, PipelineStats, Session, SessionSink, ShardableSink, ShardedCdc};
-use orprof::format::{read_varint, ChunkTag, ContainerReader, IoStats, ProfileKind};
+use orprof::format::{
+    read_varint, AtomicFile, ChunkTag, ContainerReader, FailingRead, FaultPlan, IoStats,
+    ProfileKind, RetryRead, RetryWrite,
+};
 use orprof::leap::strides::{stride_stats, STRONG_STRIDE_THRESHOLD};
 use orprof::leap::{mdf, LeapProfile, LeapProfiler};
 use orprof::obs::{Recorder, RunReport, ShardCount, StatsRecorder, Stopwatch};
@@ -47,12 +50,14 @@ use orprof::workloads::{micro_suite, spec_suite, RunConfig, Tracer, Workload};
 fn usage() -> &'static str {
     "usage:\n  orprof-cli list\n  orprof-cli run (--workload <name> | --from-trace <file>) \
      --profiler <whomp|rasg|leap|hybrid> [--out <file>] [--scale <n>] \
-     [--allocator <bump|free-list|buddy|randomizing>] [--seed <n>] [--shards <n>] \
+     [--allocator <bump|free-list|buddy|randomizing>] [--seed <n>] [--shards <n>] [--salvage] \
      [--resume <checkpoint.orp>] [--checkpoint <file>] \
-     [--stats] [--metrics-out <file.json>] [--embed-report]\n  \
+     [--stats] [--metrics-out <file.json>] [--embed-report] [--fault-plan <spec>]\n  \
      orprof-cli record --workload <name> --out <file> [--scale <n>] [--allocator ..] [--seed <n>] \
-     [--stats] [--metrics-out <file.json>]\n  \
-     orprof-cli inspect <file>\n  orprof-cli report <file>"
+     [--stats] [--metrics-out <file.json>] [--fault-plan <spec>]\n  \
+     orprof-cli inspect <file>\n  orprof-cli report <file>\n\n\
+     fault plans (also via ORP_FAULT_PLAN): io-error@n=K, short-write@n=K, \
+     interrupt@n=K[xT], would-block@n=K[xT], crash@byte=B"
 }
 
 fn workloads(scale: u32) -> Vec<Box<dyn Workload>> {
@@ -133,8 +138,9 @@ const RUN_FLAGS: FlagSpec = FlagSpec {
         "--resume",
         "--checkpoint",
         "--metrics-out",
+        "--fault-plan",
     ],
-    switches: &["--stats", "--embed-report"],
+    switches: &["--stats", "--embed-report", "--salvage"],
     positionals: 0,
 };
 
@@ -147,6 +153,7 @@ const RECORD_FLAGS: FlagSpec = FlagSpec {
         "--allocator",
         "--seed",
         "--metrics-out",
+        "--fault-plan",
     ],
     switches: &["--stats"],
     positionals: 0,
@@ -233,6 +240,83 @@ struct DriveOutcome {
     trace_io: Option<IoStats>,
 }
 
+/// Per-command I/O context: the fault-injection plan — parsed exactly
+/// once, so its op counter spans every read and write the whole
+/// command performs — plus the transient-error retry total surfaced as
+/// the `io.retries` counter.
+struct IoCtx {
+    plan: Option<FaultPlan>,
+    retries: u64,
+}
+
+/// A fault-gated, retry-wrapped reader (see [`IoCtx::open_reader`]).
+type FaultReader = BufReader<RetryRead<Box<dyn Read>>>;
+
+impl IoCtx {
+    /// Builds the context from `--fault-plan`, falling back to the
+    /// `ORP_FAULT_PLAN` environment variable; a malformed spec is an
+    /// error, never silently ignored.
+    fn from_flags(parsed: &Parsed) -> Result<IoCtx, String> {
+        let plan = match parsed.value("--fault-plan") {
+            Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| e.to_string())?),
+            None => FaultPlan::from_env().map_err(|e| e.to_string())?,
+        };
+        Ok(IoCtx { plan, retries: 0 })
+    }
+
+    /// Opens `path` for reading through the fault plan and the bounded
+    /// retry layer. Call [`IoCtx::harvest_reader`] when done with it.
+    fn open_reader(&self, path: &str) -> Result<FaultReader, String> {
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let raw: Box<dyn Read> = match &self.plan {
+            Some(plan) => Box::new(FailingRead::new(file, plan.clone())),
+            None => Box::new(file),
+        };
+        Ok(BufReader::new(RetryRead::new(raw)))
+    }
+
+    /// Accumulates a reader's transient-retry count into `io.retries`.
+    fn harvest_reader(&mut self, reader: &FaultReader) {
+        self.retries += reader.get_ref().retries();
+    }
+
+    /// Opens a durable atomic writer for `dest`: bytes land in a
+    /// sibling temp file and only replace `dest` at
+    /// [`IoCtx::commit_writer`].
+    fn create_writer(&self, dest: &str) -> Result<BufWriter<RetryWrite<AtomicFile>>, String> {
+        let file = AtomicFile::create_with_plan(dest, self.plan.clone())
+            .map_err(|e| format!("create {dest}: {e}"))?;
+        Ok(BufWriter::new(RetryWrite::new(file)))
+    }
+
+    /// Flushes, fsyncs, and atomically publishes a writer built by
+    /// [`IoCtx::create_writer`], accumulating its retries. Until this
+    /// returns `Ok`, the old contents of `dest` are untouched.
+    fn commit_writer(
+        &mut self,
+        w: BufWriter<RetryWrite<AtomicFile>>,
+        dest: &str,
+    ) -> Result<(), String> {
+        let rw = w
+            .into_inner()
+            .map_err(|e| format!("flush {dest}: {}", e.into_error()))?;
+        self.retries += rw.retries();
+        rw.into_inner()
+            .commit()
+            .map_err(|e| format!("write {dest}: {e}"))
+    }
+
+    /// Writes `bytes` to `dest` through the full durable path:
+    /// temp sibling, bounded retry, fsync, atomic rename, parent-dir
+    /// fsync. A reader of `dest` sees the old or the new contents,
+    /// never a torn mix.
+    fn write_atomic(&mut self, dest: &str, bytes: &[u8]) -> Result<(), String> {
+        let mut w = self.create_writer(dest)?;
+        std::io::Write::write_all(&mut w, bytes).map_err(|e| format!("write {dest}: {e}"))?;
+        self.commit_writer(w, dest)
+    }
+}
+
 /// Counts events on their way into the real sink so every drive path
 /// reports the same number.
 struct CountingProbe<'a> {
@@ -263,11 +347,16 @@ impl ProbeSink for CountingProbe<'_> {
 
 /// Feeds probe events into `sink`, either live from a workload run or
 /// by replaying a recorded trace file.
-fn drive(parsed: &Parsed, sink: &mut dyn ProbeSink) -> Result<DriveOutcome, String> {
+fn drive(
+    parsed: &Parsed,
+    ctx: &mut IoCtx,
+    sink: &mut dyn ProbeSink,
+) -> Result<DriveOutcome, String> {
     if let Some(path) = parsed.value("--from-trace") {
-        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-        let (events, io) = orprof::trace::replay_counted(&mut BufReader::new(file), sink)
+        let mut reader = ctx.open_reader(path)?;
+        let (events, io) = orprof::trace::replay_counted(&mut reader, sink)
             .map_err(|e| format!("replay {path}: {e}"))?;
+        ctx.harvest_reader(&reader);
         println!("replayed {events} events from {path}");
         return Ok(DriveOutcome {
             events,
@@ -298,19 +387,23 @@ fn drive(parsed: &Parsed, sink: &mut dyn ProbeSink) -> Result<DriveOutcome, Stri
 fn cmd_record(args: &[String]) -> Result<(), String> {
     let parsed = parse_flags(args, &RECORD_FLAGS)?;
     let clock = Stopwatch::start();
+    let mut ctx = IoCtx::from_flags(&parsed)?;
     let out = parsed.value("--out").ok_or("missing --out")?.to_owned();
-    let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
-    let mut writer = orprof::trace::TraceWriter::new(BufWriter::new(file))
+    let mut writer = orprof::trace::TraceWriter::new(ctx.create_writer(&out)?)
         .map_err(|e| format!("write {out}: {e}"))?;
-    let outcome = drive(&parsed, &mut writer)?;
+    let outcome = drive(&parsed, &mut ctx, &mut writer)?;
     // `drive` finished the writer, so every batch chunk is counted; the
     // container terminator lands with `into_inner` below.
     let write_io = writer.io_stats();
-    println!("recorded {} events to {out}", writer.events());
-    writer
+    let events = writer.events();
+    let w = writer
         .into_inner()
-        .and_then(|mut w| std::io::Write::flush(&mut w))
-        .map_err(|e| format!("flush {out}: {e}"))?;
+        .map_err(|e| format!("write {out}: {e}"))?;
+    ctx.commit_writer(w, &out)?;
+    // Success is announced only now — after the fsync and the atomic
+    // rename — so "recorded" means the bytes are durably on disk, not
+    // sitting in a userspace buffer.
+    println!("recorded {events} events to {out}");
 
     let mut rec = StatsRecorder::default();
     rec.counter("trace.write_chunks", write_io.chunks);
@@ -319,81 +412,112 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
         rec.counter("trace.file_bytes", meta.len());
     }
     absorb_trace_io(&mut rec, &outcome);
+    rec.counter("io.retries", ctx.retries);
     let mut report = RunReport::new("record");
     report.workload = parsed.value("--workload").map(str::to_owned);
     report.shards = 1;
     report.events = outcome.events;
     report.wall_nanos = clock.elapsed_nanos();
     report.absorb(&rec);
-    emit_report(&parsed, &report)
+    emit_report(&parsed, &mut ctx, &report)
 }
 
 /// Opens a profiling session — fresh, or restored from a `--resume`
 /// checkpoint container — drives it, and honors `--checkpoint`.
 fn run_session<S: SessionSink>(
     parsed: &Parsed,
+    ctx: &mut IoCtx,
     fresh: impl FnOnce() -> S,
 ) -> Result<(Session<S>, DriveOutcome), String> {
     let mut session = match parsed.value("--resume") {
         Some(path) => {
-            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            let session = Session::<S>::resume(&mut BufReader::new(file))
-                .map_err(|e| format!("resume {path}: {e}"))?;
+            let mut reader = ctx.open_reader(path)?;
+            let session =
+                Session::<S>::resume(&mut reader).map_err(|e| format!("resume {path}: {e}"))?;
+            ctx.harvest_reader(&reader);
             println!("resumed from checkpoint {path}");
             session
         }
         None => Session::new(fresh()),
     };
-    let outcome = drive(parsed, &mut session)?;
+    let outcome = drive(parsed, ctx, &mut session)?;
     if let Some(path) = parsed.value("--checkpoint") {
-        let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-        let mut w = BufWriter::new(file);
+        // The checkpoint replaces its predecessor only at commit: a
+        // crash mid-write leaves the old checkpoint intact and
+        // resumable — the existing state is never truncated first.
+        let mut w = ctx.create_writer(path)?;
         session
             .checkpoint(&mut w)
-            .and_then(|()| std::io::Write::flush(&mut w))
             .map_err(|e| format!("checkpoint {path}: {e}"))?;
+        ctx.commit_writer(w, path)?;
         println!("checkpoint written to {path}");
     }
     Ok((session, outcome))
 }
 
-/// Runs a shardable profiler on the parallel collection pipeline.
+/// Runs a shardable profiler on the parallel collection pipeline. With
+/// `--salvage`, a dead shard worker degrades the run (its later tuples
+/// divert to a fallback sink) instead of failing it.
 fn run_sharded<S: SessionSink + ShardableSink>(
     parsed: &Parsed,
+    ctx: &mut IoCtx,
     shards: usize,
     mut fresh: impl FnMut(usize) -> S,
 ) -> Result<(Session<S>, DriveOutcome, PipelineStats), String> {
     if parsed.value("--checkpoint").is_some() {
         // The merged session restarts its event counter, so a
         // checkpoint taken here could not resume seamlessly.
-        return Err("--checkpoint requires a single-shard run (omit --shards)".to_owned());
+        return Err(
+            "--checkpoint requires a single-shard run (omit --shards/--salvage)".to_owned(),
+        );
+    }
+    let salvage = parsed.has("--salvage");
+    if salvage && parsed.value("--resume").is_some() {
+        // A degraded run's keys are partial; resuming into salvage
+        // would compound best-effort state into a checkpointed one.
+        return Err("--salvage cannot be combined with --resume".to_owned());
     }
     let mut pipe = match parsed.value("--resume") {
         Some(path) => {
-            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            let pipe = Session::<S>::resume_sharded(&mut BufReader::new(file), shards, &mut fresh)
+            let mut reader = ctx.open_reader(path)?;
+            let pipe = Session::<S>::resume_sharded(&mut reader, shards, &mut fresh)
                 .map_err(|e| format!("resume {path}: {e}"))?;
+            ctx.harvest_reader(&reader);
             println!("resumed from checkpoint {path}");
             pipe
         }
+        None if salvage => ShardedCdc::spawn_salvaging(Omc::new(), shards, &mut fresh),
         None => ShardedCdc::spawn(Omc::new(), shards, &mut fresh),
     };
-    let outcome = drive(parsed, &mut pipe)?;
+    let outcome = drive(parsed, ctx, &mut pipe)?;
+    if salvage {
+        let join = pipe.try_join_salvage().map_err(|e| e.to_string())?;
+        for err in &join.degraded {
+            eprintln!(
+                "warning: {err}; continuing degraded (salvaged {} tuples)",
+                join.stats.salvaged_tuples()
+            );
+        }
+        return Ok((Session::from_cdc(join.cdc), outcome, join.stats));
+    }
     let (cdc, stats) = pipe.try_join_stats().map_err(|e| e.to_string())?;
     Ok((Session::from_cdc(cdc), outcome, stats))
 }
 
-/// [`run_session`] or [`run_sharded`], depending on `shards`.
+/// [`run_session`] or [`run_sharded`], depending on `shards` (a
+/// `--salvage` run always uses the sharded pipeline — salvage lives in
+/// its translator).
 fn run_maybe_sharded<S: SessionSink + ShardableSink>(
     parsed: &Parsed,
+    ctx: &mut IoCtx,
     shards: usize,
     mut fresh: impl FnMut(usize) -> S,
 ) -> Result<(Session<S>, DriveOutcome, Option<PipelineStats>), String> {
-    if shards == 1 {
-        let (session, outcome) = run_session(parsed, || fresh(0))?;
+    if shards == 1 && !parsed.has("--salvage") {
+        let (session, outcome) = run_session(parsed, ctx, || fresh(0))?;
         Ok((session, outcome, None))
     } else {
-        run_sharded(parsed, shards, fresh).map(|(s, o, p)| (s, o, Some(p)))
+        run_sharded(parsed, ctx, shards, fresh).map(|(s, o, p)| (s, o, Some(p)))
     }
 }
 
@@ -414,6 +538,7 @@ fn absorb_pipeline(rec: &mut StatsRecorder, report: &mut RunReport, stats: &Pipe
             tuples: s.tuples,
             batches: s.batches,
             stalls: s.stalls,
+            salvaged: s.salvaged,
         })
         .collect();
 }
@@ -426,12 +551,12 @@ fn serialize_profile(
     Ok(bytes)
 }
 
-fn emit_report(parsed: &Parsed, report: &RunReport) -> Result<(), String> {
+fn emit_report(parsed: &Parsed, ctx: &mut IoCtx, report: &RunReport) -> Result<(), String> {
     if parsed.has("--stats") {
         eprint!("{}", report.render_table());
     }
     if let Some(path) = parsed.value("--metrics-out") {
-        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        ctx.write_atomic(path, report.to_json().as_bytes())?;
         println!("run report written to {path}");
     }
     Ok(())
@@ -451,6 +576,7 @@ fn derive_ratios(report: &mut RunReport) {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let parsed = parse_flags(args, &RUN_FLAGS)?;
     let clock = Stopwatch::start();
+    let mut ctx = IoCtx::from_flags(&parsed)?;
     let profiler = parsed.value("--profiler").unwrap_or("leap").to_owned();
     let out = parsed.value("--out").map(str::to_owned);
     if parsed.has("--embed-report") && out.is_none() {
@@ -484,7 +610,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let profile_bytes = match profiler.as_str() {
         "leap" => {
             let (session, outcome, pstats) =
-                run_maybe_sharded(&parsed, shards, |_| LeapProfiler::new())?;
+                run_maybe_sharded(&parsed, &mut ctx, shards, |_| LeapProfiler::new())?;
             session.record_metrics(&mut rec);
             report.events = outcome.events;
             absorb_trace_io(&mut rec, &outcome);
@@ -510,7 +636,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         "whomp" => {
             no_shards("whomp's global grammars")?;
-            let (session, outcome) = run_session(&parsed, WhompProfiler::new)?;
+            let (session, outcome) = run_session(&parsed, &mut ctx, WhompProfiler::new)?;
             session.record_metrics(&mut rec);
             report.events = outcome.events;
             absorb_trace_io(&mut rec, &outcome);
@@ -526,7 +652,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         "hybrid" => {
             let (session, outcome, pstats) =
-                run_maybe_sharded(&parsed, shards, |_| HybridProfiler::new())?;
+                run_maybe_sharded(&parsed, &mut ctx, shards, |_| HybridProfiler::new())?;
             session.record_metrics(&mut rec);
             report.events = outcome.events;
             absorb_trace_io(&mut rec, &outcome);
@@ -551,7 +677,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     .to_owned());
             }
             let mut p = RasgProfiler::new();
-            let outcome = drive(&parsed, &mut p)?;
+            let outcome = drive(&parsed, &mut ctx, &mut p)?;
             report.events = outcome.events;
             absorb_trace_io(&mut rec, &outcome);
             let rasg = p.into_rasg();
@@ -569,20 +695,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     rec.counter("profile.bytes", profile_bytes.len() as u64);
     if let Some(path) = &out {
-        std::fs::write(path, &profile_bytes).map_err(|e| format!("write {path}: {e}"))?;
+        // Durable atomic publish: a crash mid-write leaves the old
+        // profile (or no file), never a torn container.
+        ctx.write_atomic(path, &profile_bytes)?;
         println!("profile written to {path}");
     }
+    rec.counter("io.retries", ctx.retries);
 
     report.wall_nanos = clock.elapsed_nanos();
     report.absorb(&rec);
     derive_ratios(&mut report);
-    emit_report(&parsed, &report)?;
+    emit_report(&parsed, &mut ctx, &report)?;
 
     if parsed.has("--embed-report") {
         let path = out.as_deref().unwrap_or_default();
         let embedded = orprof::obs::embed_report(&profile_bytes, &report.to_json())
             .map_err(|e| format!("embed report into {path}: {e}"))?;
-        std::fs::write(path, embedded).map_err(|e| format!("write {path}: {e}"))?;
+        ctx.write_atomic(path, &embedded)?;
         println!("run report embedded into {path}");
     }
     Ok(())

@@ -1,0 +1,452 @@
+//! Crash-torture suite: drives the CLI's write paths with injected
+//! faults (see `orp_format::FaultPlan`) and asserts the durability
+//! contract — a reader of any artifact sees the old contents or the
+//! new contents, never a torn mix, and a crashed checkpoint overwrite
+//! never costs the session its last durable checkpoint.
+//!
+//! Injected failures are told apart from real I/O problems by the
+//! "injected" marker every planned fault carries in its message.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Upper bound on the per-command I/O op sweep: the small profiles and
+/// traces used here take far fewer gated operations than this, so a
+/// sweep that is still failing at the cap means the op counter leaks.
+const OP_SWEEP_CAP: u64 = 64;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_orprof-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("orprof-torture-{}-{name}", std::process::id()));
+    p
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Runs `run --workload <w> --profiler leap --out <dest>`, optionally
+/// under a fault plan.
+fn profile_run(workload: &str, dest: &Path, plan: Option<&str>) -> Output {
+    let mut cmd = cli();
+    cmd.args([
+        "run",
+        "--workload",
+        workload,
+        "--profiler",
+        "leap",
+        "--out",
+        dest.to_str().unwrap(),
+    ]);
+    if let Some(spec) = plan {
+        cmd.args(["--fault-plan", spec]);
+    }
+    cmd.output().expect("spawn")
+}
+
+fn assert_inspects(path: &Path) {
+    let out = cli()
+        .args(["inspect", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "inspect {}: {}",
+        path.display(),
+        stderr_of(&out)
+    );
+}
+
+/// Removes `path` and any `.{name}.tmp-*` sibling a simulated crash
+/// left behind (the temp file models a killed process's debris).
+fn cleanup(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    for sibling in temp_siblings(path) {
+        let _ = std::fs::remove_file(sibling);
+    }
+}
+
+fn temp_siblings(path: &Path) -> Vec<PathBuf> {
+    let (Some(dir), Some(name)) = (path.parent(), path.file_name()) else {
+        return Vec::new();
+    };
+    let prefix = format!(".{}", name.to_string_lossy());
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    entries
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+        .map(|e| e.path())
+        .collect()
+}
+
+#[test]
+fn benign_plans_leave_the_profile_byte_identical() {
+    let reference = tmp("benign-ref.orp");
+    let out = profile_run("micro.matrix", &reference, None);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let expected = std::fs::read(&reference).unwrap();
+
+    // A clean re-run, an absorbed short write, a retried interrupt
+    // burst, and a retried would-block must all produce the exact same
+    // bytes and report success.
+    for plan in [
+        None,
+        Some("short-write@n=3"),
+        Some("interrupt@n=2x3"),
+        Some("would-block@n=2"),
+    ] {
+        let dest = tmp("benign.orp");
+        let out = profile_run("micro.matrix", &dest, plan);
+        assert!(out.status.success(), "plan {plan:?}: {}", stderr_of(&out));
+        assert_eq!(
+            std::fs::read(&dest).unwrap(),
+            expected,
+            "plan {plan:?} changed the profile bytes"
+        );
+        cleanup(&dest);
+    }
+    cleanup(&reference);
+}
+
+#[test]
+fn io_error_sweep_leaves_the_destination_old_or_new() {
+    // OLD: a valid profile from a *different* workload, so old and new
+    // contents are distinguishable; both always pass `inspect`.
+    let old_src = tmp("sweep-old-src.orp");
+    let out = profile_run("micro.btree", &old_src, None);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let old = std::fs::read(&old_src).unwrap();
+    cleanup(&old_src);
+
+    let new_src = tmp("sweep-new-src.orp");
+    let out = profile_run("micro.matrix", &new_src, None);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let new = std::fs::read(&new_src).unwrap();
+    cleanup(&new_src);
+    assert_ne!(old, new, "workloads must produce distinct profiles");
+
+    let dest = tmp("sweep.orp");
+    let mut failures = 0u64;
+    let mut completed = false;
+    for k in 1..=OP_SWEEP_CAP {
+        std::fs::write(&dest, &old).unwrap();
+        let plan = format!("io-error@n={k}");
+        let out = profile_run("micro.matrix", &dest, Some(&plan));
+        let err = stderr_of(&out);
+        if out.status.success() {
+            // The fault index lies beyond the command's op count: the
+            // run is clean and the destination carries the new bytes.
+            assert!(!err.contains("injected"), "{plan}: {err}");
+            assert_eq!(std::fs::read(&dest).unwrap(), new, "{plan}");
+            completed = true;
+            break;
+        }
+        assert!(err.contains("injected"), "{plan} failed for real: {err}");
+        let now = std::fs::read(&dest).unwrap();
+        assert!(
+            now == old || now == new,
+            "{plan}: destination is torn ({} bytes)",
+            now.len()
+        );
+        assert_inspects(&dest);
+        failures += 1;
+    }
+    assert!(failures > 0, "the sweep never hit a gated operation");
+    assert!(
+        completed,
+        "still failing at op {OP_SWEEP_CAP}; op counting is broken"
+    );
+    cleanup(&dest);
+}
+
+#[test]
+fn crash_sweep_never_tears_the_destination() {
+    let old_src = tmp("crash-old-src.orp");
+    let out = profile_run("micro.btree", &old_src, None);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let old = std::fs::read(&old_src).unwrap();
+    cleanup(&old_src);
+
+    let new_src = tmp("crash-new-src.orp");
+    let out = profile_run("micro.matrix", &new_src, None);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let new = std::fs::read(&new_src).unwrap();
+    cleanup(&new_src);
+
+    let dest = tmp("crash.orp");
+    let len = new.len() as u64;
+    let offsets = [1, 2, 8, len / 4, len / 2, len - 1];
+    for byte in offsets {
+        std::fs::write(&dest, &old).unwrap();
+        let plan = format!("crash@byte={byte}");
+        let out = profile_run("micro.matrix", &dest, Some(&plan));
+        assert!(!out.status.success(), "{plan} did not fail");
+        assert!(stderr_of(&out).contains("injected"), "{plan}");
+        // The stream was cut before the rename: the old profile is
+        // untouched and still inspectable...
+        assert_eq!(std::fs::read(&dest).unwrap(), old, "{plan} tore the file");
+        assert_inspects(&dest);
+        // ...while the torn temp sibling survives, exactly like a
+        // process killed mid-write would leave it.
+        assert!(
+            !temp_siblings(&dest).is_empty(),
+            "{plan}: crash should leave its temp file behind"
+        );
+        cleanup(&dest);
+    }
+
+    // A crash cut past the full stream never fires: clean success.
+    let plan = format!("crash@byte={}", len * 4);
+    let out = profile_run("micro.matrix", &dest, Some(&plan));
+    assert!(out.status.success(), "{plan}: {}", stderr_of(&out));
+    assert_eq!(std::fs::read(&dest).unwrap(), new, "{plan}");
+    cleanup(&dest);
+
+    // With no previous profile, a crashed write leaves no destination
+    // at all — never a partial file.
+    let absent = tmp("crash-absent.orp");
+    let out = profile_run("micro.matrix", &absent, Some("crash@byte=1"));
+    assert!(!out.status.success());
+    assert!(!absent.exists(), "crash materialized a torn destination");
+    cleanup(&absent);
+}
+
+#[test]
+fn crashed_checkpoint_overwrite_preserves_the_old_checkpoint() {
+    // Regression: the checkpoint path used to truncate the destination
+    // in place, so a crash mid-write destroyed the only resume point.
+    let ckpt = tmp("ckpt.orp");
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.btree",
+            "--profiler",
+            "leap",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let old = std::fs::read(&ckpt).unwrap();
+
+    for byte in [1u64, 64, 256] {
+        let plan = format!("crash@byte={byte}");
+        let out = cli()
+            .args([
+                "run",
+                "--workload",
+                "micro.matrix",
+                "--profiler",
+                "leap",
+                "--checkpoint",
+                ckpt.to_str().unwrap(),
+                "--fault-plan",
+                &plan,
+            ])
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "{plan} did not fail");
+        assert!(stderr_of(&out).contains("injected"), "{plan}");
+        assert_eq!(
+            std::fs::read(&ckpt).unwrap(),
+            old,
+            "{plan} corrupted the last durable checkpoint"
+        );
+    }
+
+    // The preserved checkpoint still resumes a fresh session.
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.matrix",
+            "--profiler",
+            "leap",
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(
+        stdout_of(&out).contains("resumed from checkpoint"),
+        "{}",
+        stdout_of(&out)
+    );
+    cleanup(&ckpt);
+}
+
+#[test]
+fn record_faults_never_announce_success_or_leave_a_torn_trace() {
+    let reference = tmp("rec-ref.orpt");
+    let out = cli()
+        .args([
+            "record",
+            "--workload",
+            "micro.matrix",
+            "--out",
+            reference.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let expected = std::fs::read(&reference).unwrap();
+
+    let dest = tmp("rec.orpt");
+    let mut failures = 0u64;
+    let mut completed = false;
+    for k in 1..=OP_SWEEP_CAP {
+        let plan = format!("io-error@n={k}");
+        let out = cli()
+            .args([
+                "record",
+                "--workload",
+                "micro.matrix",
+                "--out",
+                dest.to_str().unwrap(),
+                "--fault-plan",
+                &plan,
+            ])
+            .output()
+            .expect("spawn");
+        let text = stdout_of(&out);
+        if out.status.success() {
+            assert!(text.contains("recorded"), "{plan}: {text}");
+            assert_eq!(std::fs::read(&dest).unwrap(), expected, "{plan}");
+            completed = true;
+            break;
+        }
+        // "recorded" is the durability receipt: it must never print
+        // when the bytes did not survive the fsync + rename.
+        assert!(!text.contains("recorded"), "{plan}: {text}");
+        assert!(stderr_of(&out).contains("injected"), "{plan}");
+        let state = std::fs::read(&dest).ok();
+        assert!(
+            state.is_none() || state.as_deref() == Some(&expected[..]),
+            "{plan}: torn trace on disk"
+        );
+        cleanup(&dest);
+        failures += 1;
+    }
+    assert!(failures > 0, "the sweep never hit a gated operation");
+    assert!(
+        completed,
+        "still failing at op {OP_SWEEP_CAP}; op counting is broken"
+    );
+    cleanup(&dest);
+    cleanup(&reference);
+}
+
+#[test]
+fn transient_read_faults_do_not_change_a_replayed_profile() {
+    let trace = tmp("replay.orpt");
+    let out = cli()
+        .args([
+            "record",
+            "--workload",
+            "micro.matrix",
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+
+    let clean = tmp("replay-clean.orp");
+    let out = cli()
+        .args([
+            "run",
+            "--from-trace",
+            trace.to_str().unwrap(),
+            "--profiler",
+            "leap",
+            "--out",
+            clean.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let expected = std::fs::read(&clean).unwrap();
+
+    // Interrupted / would-block reads are retried inside the I/O layer
+    // and never surface; the profile comes out identical.
+    for plan in ["interrupt@n=2x4", "would-block@n=3"] {
+        let dest = tmp("replay-faulted.orp");
+        let out = cli()
+            .args([
+                "run",
+                "--from-trace",
+                trace.to_str().unwrap(),
+                "--profiler",
+                "leap",
+                "--out",
+                dest.to_str().unwrap(),
+                "--fault-plan",
+                plan,
+            ])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{plan}: {}", stderr_of(&out));
+        assert_eq!(std::fs::read(&dest).unwrap(), expected, "{plan}");
+        cleanup(&dest);
+    }
+    cleanup(&clean);
+    cleanup(&trace);
+}
+
+#[test]
+fn fault_plan_env_var_is_honored_and_validated() {
+    let dest = tmp("env.orp");
+
+    // A plan arriving through ORP_FAULT_PLAN gates the run exactly
+    // like the flag.
+    let mut cmd = cli();
+    cmd.args([
+        "run",
+        "--workload",
+        "micro.matrix",
+        "--profiler",
+        "leap",
+        "--out",
+        dest.to_str().unwrap(),
+    ]);
+    cmd.env("ORP_FAULT_PLAN", "io-error@n=1");
+    let out = cmd.output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("injected"), "{}", stderr_of(&out));
+    assert!(!dest.exists());
+
+    // A malformed spec is a hard error, never a silently disabled
+    // torture run.
+    let mut cmd = cli();
+    cmd.args([
+        "run",
+        "--workload",
+        "micro.matrix",
+        "--profiler",
+        "leap",
+        "--out",
+        dest.to_str().unwrap(),
+    ]);
+    cmd.env("ORP_FAULT_PLAN", "meteor@n=1");
+    let out = cmd.output().expect("spawn");
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("bad fault plan") && err.contains("meteor"),
+        "{err}"
+    );
+    cleanup(&dest);
+}

@@ -17,9 +17,9 @@ use orp_core::{Cdc, Omc, Timestamp};
 use orp_leap::LeapProfiler;
 use orp_lmad::LinearCompressor;
 use orp_obs::NoopRecorder;
-use orp_sequitur::Sequitur;
+use orp_sequitur::{FxBuildHasher, Sequitur};
 use orp_trace::{AllocSiteId, InstrId, NullSink, ProbeSink};
-use orp_whomp::{HybridProfiler, RasgProfiler, WhompProfiler};
+use orp_whomp::{HybridProfiler, PipelinedWhomp, RasgProfiler, WhompProfiler};
 use orp_workloads::{micro, spec, RunConfig, Tracer, Workload};
 
 fn bench_sequitur(c: &mut Criterion) {
@@ -287,6 +287,93 @@ fn bench_threaded_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sequitur_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequitur_push");
+    let n = 50_000u64;
+    group.throughput(Throughput::Elements(n));
+    let input: Vec<u64> = (0..n).map(|i| i % 16).collect();
+
+    group.bench_function("push_per_symbol", |b| {
+        b.iter(|| {
+            let mut seq = Sequitur::new();
+            for &t in &input {
+                seq.push(t);
+            }
+            black_box(seq.size())
+        });
+    });
+    group.bench_function("push_batch", |b| {
+        b.iter(|| {
+            let mut seq = Sequitur::new();
+            seq.push_batch(&input);
+            black_box(seq.size())
+        });
+    });
+
+    // The digram-index workload in isolation: the same insert/lookup/
+    // remove mix Sequitur drives, on the default SipHash map vs the
+    // hand-rolled Fx map. (`Sym` is crate-private, so the key is the
+    // equivalent two-word tuple.)
+    let keys: Vec<(u64, u64)> = (0..n).map(|i| (i % 251, i % 241)).collect();
+    group.bench_function("digram_map_siphash", |b| {
+        b.iter(|| {
+            let mut map: std::collections::HashMap<(u64, u64), u32> =
+                std::collections::HashMap::new();
+            for (i, &k) in keys.iter().enumerate() {
+                if map.insert(k, i as u32).is_some() {
+                    map.remove(&k);
+                }
+            }
+            black_box(map.len())
+        });
+    });
+    group.bench_function("digram_map_fx", |b| {
+        b.iter(|| {
+            let mut map: std::collections::HashMap<(u64, u64), u32, FxBuildHasher> =
+                std::collections::HashMap::default();
+            for (i, &k) in keys.iter().enumerate() {
+                if map.insert(k, i as u32).is_some() {
+                    map.remove(&k);
+                }
+            }
+            black_box(map.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_grammar_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grammar_pipeline");
+    group.sample_size(10);
+    let cfg = RunConfig::default();
+    let workload = micro::LinkedList::new(2048, 4);
+
+    fn drive(workload: &dyn Workload, cfg: &RunConfig, sink: &mut dyn ProbeSink) {
+        let mut tracer = Tracer::new(cfg, sink);
+        workload.run(&mut tracer);
+        tracer.finish();
+    }
+
+    group.bench_function("whomp_inline", |b| {
+        b.iter(|| {
+            let mut cdc = Cdc::new(Omc::new(), WhompProfiler::new());
+            drive(&workload, &cfg, &mut cdc);
+            black_box(cdc.sink().total_size())
+        });
+    });
+    for workers in [1usize, 4] {
+        group.bench_function(format!("whomp_pipelined_{workers}"), |b| {
+            b.iter(|| {
+                let mut cdc = Cdc::new(Omc::new(), PipelinedWhomp::spawn(workers));
+                drive(&workload, &cfg, &mut cdc);
+                let (profiler, _) = cdc.into_parts().1.try_join().expect("pipeline healthy");
+                black_box(profiler.total_size())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sequitur,
@@ -294,6 +381,8 @@ criterion_group!(
     bench_omc,
     bench_collection,
     bench_omc_translate,
-    bench_threaded_pipeline
+    bench_threaded_pipeline,
+    bench_sequitur_push,
+    bench_grammar_pipeline
 );
 criterion_main!(benches);

@@ -63,7 +63,7 @@ mod omc;
 mod session;
 pub mod sharded;
 mod sink;
-pub(crate) mod sync;
+pub mod sync;
 pub mod threaded;
 
 pub use cdc::Cdc;

@@ -171,8 +171,10 @@ impl std::fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {}
 
 /// Renders a panic payload as text (panics carry `&str` or `String`
-/// payloads in practice).
-pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// payloads in practice). Public so sibling pipelines built on the
+/// same worker contract (e.g. `orp-whomp`'s grammar workers) report
+/// dead workers the same way.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

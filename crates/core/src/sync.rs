@@ -2,18 +2,20 @@
 //! `--cfg loom`.
 //!
 //! The collection pipelines ([`threaded`](crate::threaded),
-//! [`sharded`](crate::sharded)) import channels and threads from here
-//! instead of `std` directly, so the model-checking build
-//! (`RUSTFLAGS="--cfg loom" cargo test -p orp-core --test
-//! loom_pipeline`) can substitute loom's instrumented primitives and
-//! exhaustively explore thread interleavings. See DESIGN.md §10.
+//! [`sharded`](crate::sharded)) — and sibling crates building their
+//! own pipelines on the same contract, like `orp-whomp`'s grammar
+//! workers — import channels and threads from here instead of `std`
+//! directly, so the model-checking build (`RUSTFLAGS="--cfg loom"
+//! cargo test --release --test <loom test>`) can substitute loom's
+//! instrumented primitives and exhaustively explore thread
+//! interleavings. See DESIGN.md §10 and §13.
 //!
 //! Only the surface the pipelines use is re-exported; new
-//! synchronization in this crate must route through this module or the
-//! loom build stops covering it.
+//! synchronization in this workspace must route through this module or
+//! the loom build stops covering it.
 
 #[cfg(loom)]
-pub(crate) use loom::{sync::mpsc, thread};
+pub use loom::{sync::mpsc, thread};
 
 #[cfg(not(loom))]
-pub(crate) use std::{sync::mpsc, thread};
+pub use std::{sync::mpsc, thread};

@@ -128,35 +128,47 @@ impl Grammar {
     }
 }
 
-/// Stable sort/serialization key for a [`Sym`]: `(tag, value)`.
-fn sym_key(s: Sym) -> (u8, u64) {
-    match s {
-        Sym::Terminal(t) => (0, t),
-        Sym::Rule(r) => (1, u64::from(r)),
-        Sym::Guard(r) => (2, u64::from(r)),
-        Sym::Free => (3, 0),
+impl Sequitur {
+    /// Stable sort/serialization key for a [`Sym`]: `(tag, value)`,
+    /// where terminals carry their *raw* value (resolving the intern
+    /// table for large ones) so the on-disk format is independent of
+    /// the packed in-memory representation.
+    fn sym_key(&self, s: Sym) -> (u8, u64) {
+        if let Some(t) = self.terminal_value(s) {
+            (0, t)
+        } else if let Some(r) = s.as_rule() {
+            (1, u64::from(r))
+        } else if let Some(r) = s.as_guard() {
+            (2, u64::from(r))
+        } else {
+            (3, 0)
+        }
     }
-}
 
-fn write_sym(w: &mut impl Write, s: Sym) -> io::Result<()> {
-    let (tag, value) = sym_key(s);
-    w.write_all(&[tag])?;
-    write_varint(w, value)
-}
+    fn write_sym(&self, w: &mut impl Write, s: Sym) -> io::Result<()> {
+        let (tag, value) = self.sym_key(s);
+        w.write_all(&[tag])?;
+        write_varint(w, value)
+    }
 
-fn read_sym(r: &mut impl Read) -> io::Result<Sym> {
-    let mut tag = [0u8; 1];
-    r.read_exact(&mut tag)?;
-    let [tag] = tag;
-    let value = read_varint(r)?;
-    let as_u32 = |v: u64| u32::try_from(v).map_err(|_| bad_data("symbol index exceeds u32 range"));
-    Ok(match tag {
-        0 => Sym::Terminal(value),
-        1 => Sym::Rule(as_u32(value)?),
-        2 => Sym::Guard(as_u32(value)?),
-        3 => Sym::Free,
-        _ => return Err(bad_data("unknown symbol tag")),
-    })
+    /// Reads one symbol, interning large terminals into this
+    /// compressor's tables (interning dedups, so the ids a restore
+    /// assigns are consistent across every occurrence of a value).
+    fn read_sym(&mut self, r: &mut impl Read) -> io::Result<Sym> {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let [tag] = tag;
+        let value = read_varint(r)?;
+        let as_u32 =
+            |v: u64| u32::try_from(v).map_err(|_| bad_data("symbol index exceeds u32 range"));
+        Ok(match tag {
+            0 => self.intern(value),
+            1 => Sym::rule(as_u32(value)?),
+            2 => Sym::guard(as_u32(value)?),
+            3 => Sym::FREE,
+            _ => return Err(bad_data("unknown symbol tag")),
+        })
+    }
 }
 
 /// Reads a node/rule index that may be the `NIL` sentinel; anything
@@ -183,7 +195,7 @@ impl Sequitur {
         write_varint(w, self.input_len)?;
         write_varint(w, self.nodes.len() as u64)?;
         for node in &self.nodes {
-            write_sym(w, node.sym)?;
+            self.write_sym(w, node.sym)?;
             write_varint(w, u64::from(node.prev))?;
             write_varint(w, u64::from(node.next))?;
         }
@@ -201,11 +213,11 @@ impl Sequitur {
             write_varint(w, u64::from(idx))?;
         }
         let mut digrams: Vec<(&(Sym, Sym), &u32)> = self.digrams.iter().collect();
-        digrams.sort_by_key(|((a, b), _)| (sym_key(*a), sym_key(*b)));
+        digrams.sort_by_key(|((a, b), _)| (self.sym_key(*a), self.sym_key(*b)));
         write_varint(w, digrams.len() as u64)?;
         for ((a, b), &node) in digrams {
-            write_sym(w, *a)?;
-            write_sym(w, *b)?;
+            self.write_sym(w, *a)?;
+            self.write_sym(w, *b)?;
             write_varint(w, u64::from(node))?;
         }
         Ok(())
@@ -222,83 +234,77 @@ impl Sequitur {
     /// Propagates reader errors; rejects out-of-range indices and
     /// unknown symbol tags.
     pub fn restore_state(r: &mut impl Read) -> io::Result<Self> {
-        let input_len = read_varint(r)?;
+        let mut seq = Sequitur::blank();
+        seq.input_len = read_varint(r)?;
         let node_count =
             usize::try_from(read_varint(r)?).map_err(|_| bad_data("node count exceeds usize"))?;
         if node_count >= NIL as usize {
             return Err(bad_data("node count exceeds u32 arena"));
         }
-        let mut nodes = Vec::with_capacity(node_count.min(1 << 20));
+        seq.nodes.reserve(node_count.min(1 << 20));
         for _ in 0..node_count {
-            let sym = read_sym(r)?;
+            let sym = seq.read_sym(r)?;
             let prev = read_index(r, node_count)?;
             let next = read_index(r, node_count)?;
-            nodes.push(Node { sym, prev, next });
+            seq.nodes.push(Node { sym, prev, next });
         }
         let free_count = usize::try_from(read_varint(r)?)
             .map_err(|_| bad_data("free-node count exceeds usize"))?;
         if free_count > node_count {
             return Err(bad_data("more free nodes than nodes"));
         }
-        let mut free_nodes = Vec::with_capacity(free_count);
+        seq.free_nodes.reserve(free_count);
         for _ in 0..free_count {
             let idx = read_index(r, node_count)?;
             if idx == NIL {
                 return Err(bad_data("NIL on the free-node list"));
             }
-            free_nodes.push(idx);
+            seq.free_nodes.push(idx);
         }
         let rule_count =
             usize::try_from(read_varint(r)?).map_err(|_| bad_data("rule count exceeds usize"))?;
         if rule_count == 0 || rule_count >= NIL as usize {
             return Err(bad_data("rule table must hold the start rule"));
         }
-        let mut rules = Vec::with_capacity(rule_count.min(1 << 20));
+        seq.rules.reserve(rule_count.min(1 << 20));
         for _ in 0..rule_count {
             let guard = read_index(r, node_count)?;
             let uses = read_index(r, usize::MAX)?;
-            rules.push(RuleSlot { guard, uses });
+            seq.rules.push(RuleSlot { guard, uses });
         }
         let free_rule_count = usize::try_from(read_varint(r)?)
             .map_err(|_| bad_data("free-rule count exceeds usize"))?;
         if free_rule_count > rule_count {
             return Err(bad_data("more free rules than rules"));
         }
-        let mut free_rules = Vec::with_capacity(free_rule_count);
+        seq.free_rules.reserve(free_rule_count);
         for _ in 0..free_rule_count {
             let idx = read_index(r, rule_count)?;
             if idx == NIL {
                 return Err(bad_data("NIL on the free-rule list"));
             }
-            free_rules.push(idx);
+            seq.free_rules.push(idx);
         }
         let digram_count =
             usize::try_from(read_varint(r)?).map_err(|_| bad_data("digram count exceeds usize"))?;
         if digram_count > node_count {
             return Err(bad_data("more digrams than nodes"));
         }
-        let mut digrams = std::collections::HashMap::with_capacity(digram_count);
+        seq.digrams.reserve(digram_count);
         for _ in 0..digram_count {
-            let a = read_sym(r)?;
-            let b = read_sym(r)?;
+            let a = seq.read_sym(r)?;
+            let b = seq.read_sym(r)?;
             let node = read_index(r, node_count)?;
             if node == NIL {
                 return Err(bad_data("NIL digram node"));
             }
-            digrams.insert((a, b), node);
+            seq.digrams.insert((a, b), node);
         }
-        let start_guard = rules.first().map_or(NIL, |start| start.guard);
+        let start_guard = seq.rules.first().map_or(NIL, |start| start.guard);
         if start_guard == NIL || (start_guard as usize) >= node_count {
             return Err(bad_data("start rule has no guard node"));
         }
-        Ok(Sequitur {
-            nodes,
-            free_nodes,
-            rules,
-            free_rules,
-            digrams,
-            input_len,
-        })
+        Ok(seq)
     }
 }
 

@@ -37,35 +37,97 @@
 
 #![forbid(unsafe_code)]
 
+mod fxhash;
 mod grammar;
 mod io;
 
+pub use fxhash::{FxBuildHasher, FxHasher64};
 pub use grammar::{Grammar, GrammarSymbol, RuleId};
 // The integer codecs live in `orp-format` now (shared by every payload
 // encoding in the workspace); re-exported here for source compatibility.
 pub use orp_format::{read_varint, varint_len, write_varint};
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+/// The digram index: symbol pair → the node where that digram occurs.
+/// Keyed by trusted internal ids, hence the fast non-keyed hasher (see
+/// [`fxhash`](FxBuildHasher)); only ever read via point lookups, so the
+/// hasher cannot influence the constructed grammar.
+pub(crate) type DigramMap = HashMap<(Sym, Sym), u32, FxBuildHasher>;
 
 /// Sentinel index meaning "no node".
 const NIL: u32 = u32::MAX;
 
-/// Internal symbol stored on linked-list nodes.
+/// Internal symbol stored on linked-list nodes, packed into one word:
+/// the top two bits are a tag, the low 62 a payload.
+///
+/// The packing is the hot-path representation the whole compressor
+/// runs on: it halves [`Node`] to 16 bytes, shrinks a digram key to
+/// two words, and makes symbol equality and hashing single-word
+/// operations — digram-index probes and node-list walks dominate
+/// per-push cost, and all of them touch symbols.
+///
+/// | tag | meaning            | payload                          |
+/// |----:|--------------------|----------------------------------|
+/// |   0 | terminal `< 2^62`  | the terminal value itself        |
+/// |   1 | large terminal     | index into the intern table      |
+/// |   2 | rule use           | rule slot                        |
+/// |   3 | guard              | rule slot (`u64::MAX` = free)    |
+///
+/// Terminals that do not fit 62 bits (RASG's fused records can use the
+/// full width) are interned: `big_terms[payload]` holds the raw value,
+/// and interning dedups, so packed equality coincides with terminal
+/// equality exactly as it did for the previous boxed-enum
+/// representation. The free-list sentinel [`Sym::FREE`] borrows the
+/// guard tag with an all-ones payload no real guard can carry (rule
+/// slots are `u32`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Sym {
-    /// A terminal from the input alphabet.
-    Terminal(u64),
-    /// A use of rule `r`.
-    Rule(u32),
-    /// The guard node of rule `r`'s circular body list.
-    Guard(u32),
-    /// A node on the free list (never matches anything).
-    Free,
-}
+struct Sym(u64);
 
 impl Sym {
+    const TAG_SHIFT: u32 = 62;
+    const PAYLOAD_MASK: u64 = (1 << Self::TAG_SHIFT) - 1;
+    const TAG_SMALL: u64 = 0;
+    const TAG_BIG: u64 = 1;
+    const TAG_RULE: u64 = 2;
+    const TAG_GUARD: u64 = 3;
+    /// Free-list sentinel (never matches any live symbol).
+    const FREE: Sym = Sym(u64::MAX);
+
+    #[inline]
+    fn rule(r: u32) -> Sym {
+        Sym(Self::TAG_RULE << Self::TAG_SHIFT | u64::from(r))
+    }
+
+    #[inline]
+    fn guard(r: u32) -> Sym {
+        Sym(Self::TAG_GUARD << Self::TAG_SHIFT | u64::from(r))
+    }
+
+    #[inline]
+    fn tag(self) -> u64 {
+        self.0 >> Self::TAG_SHIFT
+    }
+
+    #[inline]
+    fn payload(self) -> u64 {
+        self.0 & Self::PAYLOAD_MASK
+    }
+
+    #[inline]
     fn is_guard(self) -> bool {
-        matches!(self, Sym::Guard(_))
+        self.tag() == Self::TAG_GUARD && self != Self::FREE
+    }
+
+    #[inline]
+    fn as_rule(self) -> Option<u32> {
+        (self.tag() == Self::TAG_RULE).then(|| self.payload() as u32)
+    }
+
+    #[inline]
+    fn as_guard(self) -> Option<u32> {
+        (self.is_guard()).then(|| self.payload() as u32)
     }
 }
 
@@ -97,7 +159,12 @@ pub struct Sequitur {
     free_nodes: Vec<u32>,
     rules: Vec<RuleSlot>,
     free_rules: Vec<u32>,
-    digrams: HashMap<(Sym, Sym), u32>,
+    digrams: DigramMap,
+    /// Raw values of interned large terminals (tag [`Sym::TAG_BIG`]),
+    /// indexed by symbol payload.
+    big_terms: Vec<u64>,
+    /// Reverse intern map: raw value → index into `big_terms`.
+    big_ids: HashMap<u64, u32, FxBuildHasher>,
     input_len: u64,
 }
 
@@ -105,17 +172,25 @@ impl Sequitur {
     /// Creates a compressor with an empty start rule.
     #[must_use]
     pub fn new() -> Self {
-        let mut seq = Sequitur {
+        let mut seq = Sequitur::blank();
+        let start = seq.new_rule();
+        debug_assert_eq!(start, 0, "start rule occupies slot 0");
+        seq
+    }
+
+    /// A completely empty shell — no start rule — for deserialization
+    /// to fill field by field.
+    pub(crate) fn blank() -> Self {
+        Sequitur {
             nodes: Vec::new(),
             free_nodes: Vec::new(),
             rules: Vec::new(),
             free_rules: Vec::new(),
-            digrams: HashMap::new(),
+            digrams: DigramMap::default(),
+            big_terms: Vec::new(),
+            big_ids: HashMap::default(),
             input_len: 0,
-        };
-        let start = seq.new_rule();
-        debug_assert_eq!(start, 0, "start rule occupies slot 0");
-        seq
+        }
     }
 
     /// Number of input symbols consumed so far.
@@ -125,15 +200,93 @@ impl Sequitur {
     }
 
     /// Appends one terminal to the input sequence.
+    ///
+    /// The tail append is hand-specialized instead of going through
+    /// [`Sequitur::insert_after`]: a fresh node has no links, and the
+    /// previous tail's outgoing digram ends at the start rule's guard,
+    /// so the digram-unindexing and run-restoration work the generic
+    /// [`Sequitur::join`] performs is statically a no-op here. Linking
+    /// directly removes a dozen branchy loads from the single hottest
+    /// call in grammar construction.
+    #[inline]
     pub fn push(&mut self, terminal: u64) {
         self.input_len += 1;
+        let sym = self.intern(terminal);
         let guard = self.rules[0].guard;
-        let node = self.new_node(Sym::Terminal(terminal));
+        let node = self.new_node(sym);
         let last = self.nodes[guard as usize].prev;
-        self.insert_after(last, node);
-        let prev = self.nodes[node as usize].prev;
-        if !self.sym(prev).is_guard() {
-            self.check(prev);
+        self.nodes[node as usize].prev = last;
+        self.nodes[node as usize].next = guard;
+        self.nodes[guard as usize].prev = node;
+        self.nodes[last as usize].next = node;
+        if !self.sym(last).is_guard() {
+            self.check(last);
+        }
+    }
+
+    /// Packs a raw terminal into a [`Sym`]: direct for values that fit
+    /// the 62-bit payload (every value the profilers emit in practice),
+    /// through the intern table otherwise.
+    #[inline]
+    fn intern(&mut self, terminal: u64) -> Sym {
+        if terminal <= Sym::PAYLOAD_MASK {
+            Sym(terminal)
+        } else {
+            self.intern_big(terminal)
+        }
+    }
+
+    #[cold]
+    fn intern_big(&mut self, terminal: u64) -> Sym {
+        let id = match self.big_ids.entry(terminal) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(v) => {
+                let id =
+                    u32::try_from(self.big_terms.len()).expect("intern table exceeds u32 entries");
+                self.big_terms.push(terminal);
+                *v.insert(id)
+            }
+        };
+        Sym(Sym::TAG_BIG << Sym::TAG_SHIFT | u64::from(id))
+    }
+
+    /// The raw terminal a symbol denotes, if it is a terminal.
+    #[inline]
+    fn terminal_value(&self, s: Sym) -> Option<u64> {
+        match s.tag() {
+            Sym::TAG_SMALL => Some(s.payload()),
+            Sym::TAG_BIG => Some(self.big_terms[s.payload() as usize]),
+            _ => None,
+        }
+    }
+
+    /// Appends a slice of terminals, amortizing per-symbol overhead.
+    ///
+    /// Semantically identical to pushing each terminal with
+    /// [`Sequitur::push`] — the grammar (and any later checkpoint)
+    /// comes out byte-for-byte the same, which the differential tests
+    /// pin down. The batch entry point only front-loads capacity
+    /// management: the node arena and the digram index grow once per
+    /// batch instead of rehashing/reallocating mid-stream, which is
+    /// where a per-symbol call spends much of its time on grammar-heavy
+    /// workloads.
+    pub fn push_batch(&mut self, terminals: &[u64]) {
+        // Each pushed terminal appends one node; rule formation adds
+        // three more (guard + two body symbols) but unlinks two, so
+        // `len` is a tight bound on net arena growth for the batch.
+        let spare = self.free_nodes.len();
+        if terminals.len() > spare {
+            self.nodes.reserve(terminals.len() - spare);
+        }
+        // The digram index is deliberately NOT pre-reserved for the
+        // whole batch: on compressible streams the live digram count
+        // stays tiny, and inflating the table to batch size spreads the
+        // hot probes across a cold multi-megabyte allocation — measured
+        // as a ~15% slowdown on small-alphabet dimension streams. Growth
+        // on incompressible streams is already amortized by the map's
+        // doubling rehash.
+        for &t in terminals {
+            self.push(t);
         }
     }
 
@@ -193,9 +346,14 @@ impl Sequitur {
             let mut cur = self.nodes[slot.guard as usize].next;
             while cur != slot.guard {
                 body.push(match self.nodes[cur as usize].sym {
-                    Sym::Terminal(t) => GrammarSymbol::Terminal(t),
-                    Sym::Rule(r) => GrammarSymbol::Rule(RuleId(dense[r as usize])),
-                    Sym::Guard(_) | Sym::Free => unreachable!("guard/free inside a rule body"),
+                    s if self.terminal_value(s).is_some() => {
+                        GrammarSymbol::Terminal(self.terminal_value(s).expect("checked terminal"))
+                    }
+                    s if s.as_rule().is_some() => {
+                        let r = s.as_rule().expect("checked rule");
+                        GrammarSymbol::Rule(RuleId(dense[r as usize]))
+                    }
+                    _ => unreachable!("guard/free inside a rule body"),
                 });
                 cur = self.nodes[cur as usize].next;
             }
@@ -214,8 +372,9 @@ impl Sequitur {
     /// disagrees with the actual number of uses.
     pub fn assert_invariants(&self) {
         // Count rule uses and collect digram occurrences.
-        let mut uses: HashMap<u32, u32> = HashMap::new();
-        let mut digram_sites: HashMap<(Sym, Sym), Vec<(usize, usize)>> = HashMap::new();
+        let mut uses: HashMap<u32, u32, FxBuildHasher> = HashMap::default();
+        let mut digram_sites: HashMap<(Sym, Sym), Vec<(usize, usize)>, FxBuildHasher> =
+            HashMap::default();
         for (slot_idx, slot) in self.rules.iter().enumerate() {
             if slot.guard == NIL {
                 continue;
@@ -224,7 +383,7 @@ impl Sequitur {
             let mut cur = self.nodes[slot.guard as usize].next;
             while cur != slot.guard {
                 body.push(self.nodes[cur as usize].sym);
-                if let Sym::Rule(r) = self.nodes[cur as usize].sym {
+                if let Some(r) = self.nodes[cur as usize].sym.as_rule() {
                     *uses.entry(r).or_insert(0) += 1;
                 }
                 cur = self.nodes[cur as usize].next;
@@ -268,8 +427,9 @@ impl Sequitur {
     // Arena plumbing
     // ------------------------------------------------------------------
 
+    #[inline]
     fn new_node(&mut self, sym: Sym) -> u32 {
-        if let Sym::Rule(r) = sym {
+        if let Some(r) = sym.as_rule() {
             self.rules[r as usize].uses += 1;
         }
         if let Some(idx) = self.free_nodes.pop() {
@@ -290,9 +450,10 @@ impl Sequitur {
         }
     }
 
+    #[inline]
     fn free_node(&mut self, idx: u32) {
         self.nodes[idx as usize] = Node {
-            sym: Sym::Free,
+            sym: Sym::FREE,
             prev: NIL,
             next: NIL,
         };
@@ -310,18 +471,20 @@ impl Sequitur {
             });
             r
         };
-        let guard = self.new_node(Sym::Guard(r));
+        let guard = self.new_node(Sym::guard(r));
         self.nodes[guard as usize].prev = guard;
         self.nodes[guard as usize].next = guard;
         self.rules[r as usize] = RuleSlot { guard, uses: 0 };
         r
     }
 
+    #[inline]
     fn sym(&self, n: u32) -> Sym {
         self.nodes[n as usize].sym
     }
 
     /// The digram starting at `n`, unless `n` or its successor is a guard.
+    #[inline]
     fn digram_at(&self, n: u32) -> Option<(Sym, Sym)> {
         let next = self.nodes[n as usize].next;
         if next == NIL {
@@ -336,10 +499,15 @@ impl Sequitur {
         }
     }
 
+    #[inline]
     fn delete_digram(&mut self, n: u32) {
         if let Some(d) = self.digram_at(n) {
-            if self.digrams.get(&d) == Some(&n) {
-                self.digrams.remove(&d);
+            // Single-probe conditional removal: `get` + `remove` would
+            // walk the probe sequence twice.
+            if let Entry::Occupied(e) = self.digrams.entry(d) {
+                if *e.get() == n {
+                    e.remove();
+                }
             }
         }
     }
@@ -383,6 +551,7 @@ impl Sequitur {
         self.nodes[right as usize].prev = left;
     }
 
+    #[inline]
     fn insert_after(&mut self, pos: u32, node: u32) {
         let next = self.nodes[pos as usize].next;
         self.join(node, next);
@@ -395,7 +564,7 @@ impl Sequitur {
         let (p, nx) = (self.nodes[n as usize].prev, self.nodes[n as usize].next);
         self.join(p, nx);
         self.delete_digram(n);
-        if let Sym::Rule(r) = self.sym(n) {
+        if let Some(r) = self.sym(n).as_rule() {
             self.rules[r as usize].uses -= 1;
         }
         self.free_node(n);
@@ -407,27 +576,30 @@ impl Sequitur {
 
     /// Enforces digram uniqueness for the digram starting at `first`.
     /// Returns `true` when the grammar changed.
+    #[inline]
     fn check(&mut self, first: u32) -> bool {
         let Some(d) = self.digram_at(first) else {
             return false;
         };
-        match self.digrams.get(&d).copied() {
-            None => {
-                self.digrams.insert(d, first);
-                false
+        // One probe covers both the miss (index the new digram at the
+        // already-located vacant slot) and the hit; the dominant
+        // new-digram path previously paid a `get` and then an `insert`.
+        let m = match self.digrams.entry(d) {
+            Entry::Vacant(slot) => {
+                slot.insert(first);
+                return false;
             }
-            Some(m) if m == first => false,
-            // Overlapping occurrence (e.g. `aaa`): no rule is formed.
-            Some(m)
-                if self.nodes[m as usize].next == first || self.nodes[first as usize].next == m =>
-            {
-                false
-            }
-            Some(m) => {
-                self.match_found(first, m);
-                true
-            }
+            Entry::Occupied(slot) => *slot.get(),
+        };
+        if m == first {
+            return false;
         }
+        // Overlapping occurrence (e.g. `aaa`): no rule is formed.
+        if self.nodes[m as usize].next == first || self.nodes[first as usize].next == m {
+            return false;
+        }
+        self.match_found(first, m);
+        true
     }
 
     /// Handles a repeated digram: `first` is the new occurrence, `m` the
@@ -440,7 +612,7 @@ impl Sequitur {
         let r = if self.sym(m_prev).is_guard() && self.sym(m_next_next).is_guard() {
             // The matched occurrence is exactly an existing rule's body:
             // reuse that rule.
-            let Sym::Guard(r) = self.sym(m_prev) else {
+            let Some(r) = self.sym(m_prev).as_guard() else {
                 unreachable!()
             };
             self.substitute(first, r);
@@ -470,7 +642,7 @@ impl Sequitur {
         let mut cur = self.nodes[guard as usize].next;
         while cur != guard {
             let nxt = self.nodes[cur as usize].next;
-            if let Sym::Rule(r2) = self.sym(cur) {
+            if let Some(r2) = self.sym(cur).as_rule() {
                 if self.rules[r2 as usize].uses == 1 {
                     self.expand(cur);
                 }
@@ -485,7 +657,7 @@ impl Sequitur {
         let second = self.nodes[first as usize].next;
         self.delete_node(second);
         self.delete_node(first);
-        let node = self.new_node(Sym::Rule(r));
+        let node = self.new_node(Sym::rule(r));
         self.insert_after(q, node);
         if !self.check(q) {
             let qn = self.nodes[q as usize].next;
@@ -498,7 +670,7 @@ impl Sequitur {
     fn expand(&mut self, node: u32) {
         let left = self.nodes[node as usize].prev;
         let right = self.nodes[node as usize].next;
-        let Sym::Rule(r) = self.sym(node) else {
+        let Some(r) = self.sym(node).as_rule() else {
             unreachable!("expand on non-rule symbol")
         };
         debug_assert_eq!(self.rules[r as usize].uses, 1);
@@ -661,6 +833,33 @@ mod tests {
         let mut seq = Sequitur::new();
         seq.extend(input.iter().copied());
         assert_eq!(seq.size(), seq.grammar().size());
+    }
+
+    #[test]
+    fn push_batch_matches_per_symbol_push_exactly() {
+        // Same grammar bytes AND same checkpoint bytes: batching is
+        // purely a capacity optimization, never a semantic one.
+        let input: Vec<u64> = "aaaabaaaabxyxyxyabcbcabcbcaaa"
+            .bytes()
+            .map(u64::from)
+            .collect();
+        for chunk in [1, 2, 3, 7, input.len()] {
+            let mut reference = Sequitur::new();
+            for &t in &input {
+                reference.push(t);
+            }
+            let mut batched = Sequitur::new();
+            for piece in input.chunks(chunk) {
+                batched.push_batch(piece);
+            }
+            batched.assert_invariants();
+            assert_eq!(batched.grammar(), reference.grammar(), "chunk {chunk}");
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            reference.save_state(&mut a).unwrap();
+            batched.save_state(&mut b).unwrap();
+            assert_eq!(a, b, "checkpoint drift at chunk {chunk}");
+        }
     }
 
     #[test]

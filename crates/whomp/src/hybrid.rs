@@ -63,6 +63,23 @@ impl HybridProfiler {
         rec.counter("hybrid.instructions", self.streams.len() as u64);
     }
 
+    /// Publishes the grammar stage's shape (`grammar.*`) onto `rec`:
+    /// rules and right-hand-side symbols totalled across every
+    /// per-instruction grammar, including the time streams the hybrid
+    /// carries for global ordering.
+    pub fn record_grammar_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        let mut rules = 0u64;
+        let mut symbols = 0u64;
+        for s in self.streams.values() {
+            for seq in [&s.group, &s.object, &s.offset, &s.time] {
+                rules += seq.rule_count() as u64;
+                symbols += seq.size();
+            }
+        }
+        rec.counter("grammar.rules.instructions", rules);
+        rec.counter("grammar.symbols.instructions", symbols);
+    }
+
     /// Finalizes into per-instruction grammars.
     #[must_use]
     pub fn into_profile(self) -> HybridProfile {

@@ -40,9 +40,13 @@
 
 mod hybrid;
 mod io;
+mod pipeline;
 mod session;
 
 pub use hybrid::{HybridProfile, HybridProfiler, InstrGrammars};
+pub use pipeline::{
+    GrammarPipelineStats, GrammarStreamStats, PipelinedHybrid, PipelinedRasg, PipelinedWhomp,
+};
 
 use orp_core::{OrSink, OrTuple};
 use orp_sequitur::{Grammar, Sequitur};
@@ -90,6 +94,22 @@ impl WhompProfiler {
         rec.counter("whomp.grammar_symbols.group", self.group.size());
         rec.counter("whomp.grammar_symbols.object", self.object.size());
         rec.counter("whomp.grammar_symbols.offset", self.offset.size());
+    }
+
+    /// Publishes the grammar stage's per-dimension shape (`grammar.*`)
+    /// onto `rec`: live rules and right-hand-side symbols per
+    /// dimension. Works identically in sequential and pipelined runs —
+    /// worker timings come separately from
+    /// [`GrammarPipelineStats::record_metrics`].
+    pub fn record_grammar_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("grammar.rules.instruction", self.instr.rule_count() as u64);
+        rec.counter("grammar.rules.group", self.group.rule_count() as u64);
+        rec.counter("grammar.rules.object", self.object.rule_count() as u64);
+        rec.counter("grammar.rules.offset", self.offset.rule_count() as u64);
+        rec.counter("grammar.symbols.instruction", self.instr.size());
+        rec.counter("grammar.symbols.group", self.group.size());
+        rec.counter("grammar.symbols.object", self.object.size());
+        rec.counter("grammar.symbols.offset", self.offset.size());
     }
 
     /// Finalizes the profile into an [`Omsg`].
@@ -267,6 +287,13 @@ impl RasgProfiler {
     pub fn record_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
         rec.counter("rasg.accesses", self.accesses);
         rec.counter("rasg.grammar_symbols", self.total_size());
+    }
+
+    /// Publishes the grammar stage's shape (`grammar.*`) onto `rec` —
+    /// the RASG baseline has a single record stream.
+    pub fn record_grammar_metrics(&self, rec: &mut dyn orp_obs::Recorder) {
+        rec.counter("grammar.rules.records", self.records.rule_count() as u64);
+        rec.counter("grammar.symbols.records", self.records.size());
     }
 
     /// Finalizes the profile into a [`Rasg`].

@@ -1,0 +1,805 @@
+//! Parallel pipelined grammar construction.
+//!
+//! `BENCH_throughput.json` put raw collection near 29 MEPS while every
+//! grammar-backed mode sat at ~0.44 MEPS: single-threaded Sequitur
+//! construction was the wall, and sharding the *collection* side could
+//! not move it. This module parallelizes the grammar stage itself,
+//! exploiting the decomposition structure the paper already gives us:
+//!
+//! * WHOMP's OMSG keeps one **independent** Sequitur per horizontal
+//!   dimension (instruction/group/object/offset) — four embarrassingly
+//!   parallel consumers ([`PipelinedWhomp`]);
+//! * RASG keeps a single record grammar, which still overlaps with the
+//!   probe side when moved off-thread ([`PipelinedRasg`]);
+//! * the hybrid profiler is partitioned by instruction, so tuple
+//!   batches route to workers by the same vertical-decomposition key
+//!   the sharded pipeline uses, and the existing
+//!   [`ShardableSink::merge`](orp_core::ShardableSink) reassembles the
+//!   result ([`PipelinedHybrid`]).
+//!
+//! # Batching contract
+//!
+//! The feed side buffers per-stream symbol vectors and ships them as
+//! batches over **bounded** channels (back-pressure, not unbounded
+//! memory), recycling spent buffers through return channels exactly
+//! like [`orp_core::sharded`]. A stream's symbols reach exactly one
+//! worker, in collection order, whatever the batch size — so batch
+//! boundaries and thread scheduling are unobservable in the output.
+//!
+//! # Determinism argument
+//!
+//! Sequitur is a deterministic function of its input stream. Each
+//! dimension's stream arrives at one worker complete and in order, so
+//! every per-dimension grammar — and therefore the OMSG/RASG/hybrid
+//! container bytes — is byte-identical to sequential construction.
+//! The differential tests and golden fixtures pin this down.
+//!
+//! # Degraded shutdown
+//!
+//! A grammar worker's death cannot be salvaged the way a dead *shard*
+//! lane can (PR 5): the in-progress grammar state dies with the
+//! worker's thread, and a replacement could not re-derive it without
+//! the already-consumed prefix. The pipeline therefore reuses the
+//! salvage path's *containment* contract instead: the feed side keeps
+//! accepting (and dropping) symbols after a worker dies — no deadlock,
+//! no cascading panic mid-collection — and the failure surfaces as a
+//! [`PipelineError`] naming the worker at join, exactly like
+//! [`ShardedCdc::try_join`](orp_core::ShardedCdc::try_join).
+
+use std::time::Instant;
+
+use orp_core::sharded::panic_message;
+use orp_core::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use orp_core::sync::thread::{self, JoinHandle};
+use orp_core::{OrSink, OrTuple, PipelineError, ShardableSink};
+use orp_obs::Recorder;
+use orp_sequitur::Sequitur;
+use orp_trace::{AccessEvent, ProbeSink};
+
+use crate::{fuse, HybridProfiler, RasgProfiler, WhompProfiler};
+
+/// Symbols per batch shipped to a grammar worker.
+#[cfg(not(loom))]
+const SYMBOL_BATCH: usize = 8192;
+/// Model-checking build: tiny batches so a handful of symbols crosses
+/// several channel transitions without exploding the schedule space.
+#[cfg(loom)]
+const SYMBOL_BATCH: usize = 2;
+
+/// Bounded queue depth, in batches, of every grammar-worker channel.
+#[cfg(not(loom))]
+const QUEUE_BATCHES: usize = 32;
+/// Model-checking build: depth 1 makes back-pressure reachable.
+#[cfg(loom)]
+const QUEUE_BATCHES: usize = 1;
+
+/// The OMSG dimension names, in stream order.
+const DIMS: [&str; 4] = ["instruction", "group", "object", "offset"];
+
+/// One symbol stream's feed-side totals, counted on the collection
+/// thread; plain integers bumped inline, published only at join.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GrammarStreamStats {
+    /// Stream name: an OMSG dimension, `"records"` (RASG), or
+    /// `"instructions"` (hybrid, aggregated over workers).
+    pub stream: &'static str,
+    /// Symbols shipped into this stream's grammar.
+    pub symbols: u64,
+    /// Batches flushed onto the worker's queue.
+    pub batches: u64,
+    /// Flushes that found the queue full and had to block (collection
+    /// out-ran grammar construction).
+    pub stalls: u64,
+    /// Wall-clock nanoseconds the worker spent inside `push_batch` for
+    /// this stream.
+    pub busy_ns: u64,
+}
+
+/// Per-stream grammar-worker totals harvested at join.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct GrammarPipelineStats {
+    /// Number of grammar workers the pipeline ran.
+    pub workers: u64,
+    /// One entry per symbol stream.
+    pub streams: Vec<GrammarStreamStats>,
+}
+
+/// The `(busy, batches, stalls)` counter names for one stream — the
+/// [`Recorder`] interface wants `&'static str`, so the known streams
+/// are enumerated instead of formatted.
+fn stream_counter_names(stream: &str) -> Option<(&'static str, &'static str, &'static str)> {
+    match stream {
+        "instruction" => Some((
+            "grammar.worker_busy_ns.instruction",
+            "grammar.batches.instruction",
+            "grammar.stalls.instruction",
+        )),
+        "group" => Some((
+            "grammar.worker_busy_ns.group",
+            "grammar.batches.group",
+            "grammar.stalls.group",
+        )),
+        "object" => Some((
+            "grammar.worker_busy_ns.object",
+            "grammar.batches.object",
+            "grammar.stalls.object",
+        )),
+        "offset" => Some((
+            "grammar.worker_busy_ns.offset",
+            "grammar.batches.offset",
+            "grammar.stalls.offset",
+        )),
+        "records" => Some((
+            "grammar.worker_busy_ns.records",
+            "grammar.batches.records",
+            "grammar.stalls.records",
+        )),
+        "instructions" => Some((
+            "grammar.worker_busy_ns.instructions",
+            "grammar.batches.instructions",
+            "grammar.stalls.instructions",
+        )),
+        _ => None,
+    }
+}
+
+impl GrammarPipelineStats {
+    /// Publishes the pipeline's totals (`grammar.*`) onto `rec`. Call
+    /// at a phase boundary, after join.
+    pub fn record_metrics(&self, rec: &mut dyn Recorder) {
+        rec.counter("grammar.workers", self.workers);
+        for s in &self.streams {
+            if let Some((busy, batches, stalls)) = stream_counter_names(s.stream) {
+                rec.span(busy, s.busy_ns);
+                rec.counter(batches, s.batches);
+                rec.counter(stalls, s.stalls);
+            }
+        }
+    }
+
+    /// Total worker-busy nanoseconds across all streams.
+    #[must_use]
+    pub fn total_busy_ns(&self) -> u64 {
+        self.streams.iter().map(|s| s.busy_ns).sum()
+    }
+}
+
+/// What a grammar worker hands back at shutdown: each stream it owned,
+/// with the grammar state and the time spent growing it.
+#[derive(Debug)]
+struct WorkerStream {
+    stream: u8,
+    seq: Sequitur,
+    busy_ns: u64,
+}
+
+/// One worker's inbound lane: its symbol channel, the buffer-recycling
+/// return channel, and the hung-up flag.
+#[derive(Debug)]
+struct SymbolLane {
+    tx: Option<SyncSender<(u8, Vec<u64>)>>,
+    recycled: Receiver<Vec<u64>>,
+}
+
+impl SymbolLane {
+    /// Ships `batch` for stream `stream`, returning a fresh (recycled
+    /// or new) buffer. Stall and batch totals land in `stats`; a dead
+    /// worker marks the lane and the batch is dropped — the panic
+    /// surfaces at join.
+    fn ship(&mut self, stream: u8, batch: Vec<u64>, stats: &mut GrammarStreamStats) -> Vec<u64> {
+        let fresh = self
+            .recycled
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(SYMBOL_BATCH));
+        let Some(tx) = &self.tx else {
+            return fresh;
+        };
+        // Non-blocking first, so a full queue — the worker
+        // back-pressuring collection — is observable as a stall before
+        // the blocking send parks this thread.
+        match tx.try_send((stream, batch)) {
+            Ok(()) => stats.batches += 1,
+            Err(TrySendError::Full(batch)) => {
+                stats.stalls += 1;
+                match tx.send(batch) {
+                    Ok(()) => stats.batches += 1,
+                    Err(mpsc::SendError(_)) => self.tx = None,
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => self.tx = None,
+        }
+        fresh
+    }
+}
+
+/// Spawns one grammar worker owning the given `(stream, Sequitur)`
+/// pairs; it drains its lane, feeds each batch to the right grammar
+/// with [`Sequitur::push_batch`], and returns the streams at shutdown.
+fn spawn_grammar_worker(
+    index: usize,
+    streams: Vec<(u8, Sequitur)>,
+) -> (SymbolLane, JoinHandle<Vec<WorkerStream>>) {
+    let (tx, rx) = mpsc::sync_channel::<(u8, Vec<u64>)>(QUEUE_BATCHES);
+    let (recycle_tx, recycle_rx) = mpsc::sync_channel::<Vec<u64>>(QUEUE_BATCHES);
+    let handle = thread::Builder::new()
+        .name(format!("orp-grammar-{index}"))
+        .spawn(move || {
+            let mut streams: Vec<WorkerStream> = streams
+                .into_iter()
+                .map(|(stream, seq)| WorkerStream {
+                    stream,
+                    seq,
+                    busy_ns: 0,
+                })
+                .collect();
+            while let Ok((stream, batch)) = rx.recv() {
+                let slot = streams
+                    .iter_mut()
+                    .find(|s| s.stream == stream)
+                    .expect("batch routed to a worker that does not own its stream");
+                let start = Instant::now();
+                slot.seq.push_batch(&batch);
+                slot.busy_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let mut spent = batch;
+                spent.clear();
+                let _ = recycle_tx.try_send(spent);
+            }
+            streams
+        })
+        .expect("spawn grammar worker");
+    (
+        SymbolLane {
+            tx: Some(tx),
+            recycled: recycle_rx,
+        },
+        handle,
+    )
+}
+
+/// Joins grammar workers, reporting the first panic as a
+/// [`PipelineError`] named `grammar worker <i>`.
+fn join_grammar_workers(
+    workers: Vec<JoinHandle<Vec<WorkerStream>>>,
+) -> Result<Vec<WorkerStream>, PipelineError> {
+    let mut streams = Vec::new();
+    let mut first_error: Option<PipelineError> = None;
+    for (i, handle) in workers.into_iter().enumerate() {
+        match handle.join() {
+            Ok(mut s) => streams.append(&mut s),
+            Err(payload) => {
+                let err = PipelineError {
+                    worker: format!("grammar worker {i}"),
+                    message: panic_message(payload),
+                };
+                first_error.get_or_insert(err);
+            }
+        }
+    }
+    match first_error {
+        Some(err) => Err(err),
+        None => Ok(streams),
+    }
+}
+
+/// [`WhompProfiler`] with grammar construction moved onto worker
+/// threads: an [`OrSink`] whose four dimension streams feed
+/// per-dimension Sequitur workers over bounded channels.
+///
+/// Output is byte-identical to the sequential profiler (see the
+/// [module docs](self)); [`PipelinedWhomp::try_join`] hands the
+/// reassembled [`WhompProfiler`] back, so checkpointing and
+/// finalization reuse the sequential paths unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use orp_core::{Cdc, Omc};
+/// use orp_trace::{AccessEvent, AllocEvent, AllocSiteId, InstrId, ProbeSink, RawAddress};
+/// use orp_whomp::PipelinedWhomp;
+///
+/// let mut cdc = Cdc::new(Omc::new(), PipelinedWhomp::spawn(4));
+/// cdc.alloc(AllocEvent { site: AllocSiteId(0), base: RawAddress(0x100), size: 16 });
+/// cdc.access(AccessEvent::load(InstrId(0), RawAddress(0x108), 8));
+/// cdc.finish();
+/// let (profiler, stats) = cdc.into_parts().1.try_join().unwrap();
+/// assert_eq!(profiler.tuples(), 1);
+/// assert_eq!(stats.streams.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct PipelinedWhomp {
+    /// Per-dimension batch under construction; all four grow in
+    /// lockstep (one symbol per dimension per tuple).
+    pending: [Vec<u64>; 4],
+    /// Per-dimension feed totals.
+    stats: [GrammarStreamStats; 4],
+    /// Which lane each dimension routes to (`dim % workers`).
+    route: [usize; 4],
+    lanes: Vec<SymbolLane>,
+    workers: Vec<JoinHandle<Vec<WorkerStream>>>,
+    tuples: u64,
+}
+
+impl PipelinedWhomp {
+    /// Spawns an empty pipelined profiler with `workers` grammar
+    /// workers (clamped to the four dimensions; at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or a thread cannot be spawned.
+    #[must_use]
+    pub fn spawn(workers: usize) -> Self {
+        Self::from_profiler(WhompProfiler::new(), workers)
+    }
+
+    /// Continues a (possibly restored) [`WhompProfiler`] on `workers`
+    /// grammar workers — the resume half of checkpointing through a
+    /// grammar-worker boundary. Dimension `d` routes to worker
+    /// `d % workers`, which owns that dimension's Sequitur.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or a thread cannot be spawned.
+    #[must_use]
+    pub fn from_profiler(profiler: WhompProfiler, workers: usize) -> Self {
+        assert!(workers > 0, "at least one grammar worker is required");
+        let workers = workers.min(DIMS.len());
+        let WhompProfiler {
+            instr,
+            group,
+            object,
+            offset,
+            tuples,
+        } = profiler;
+        let mut per_worker: Vec<Vec<(u8, Sequitur)>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut route = [0usize; 4];
+        for (dim, seq) in [instr, group, object, offset].into_iter().enumerate() {
+            route[dim] = dim % workers;
+            per_worker[dim % workers].push((dim as u8, seq));
+        }
+        let mut lanes = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for (i, streams) in per_worker.into_iter().enumerate() {
+            let (lane, handle) = spawn_grammar_worker(i, streams);
+            lanes.push(lane);
+            handles.push(handle);
+        }
+        let mut stats = [GrammarStreamStats::default(); 4];
+        for (dim, s) in stats.iter_mut().enumerate() {
+            s.stream = DIMS[dim];
+        }
+        PipelinedWhomp {
+            pending: std::array::from_fn(|_| Vec::with_capacity(SYMBOL_BATCH)),
+            stats,
+            route,
+            lanes,
+            workers: handles,
+            tuples,
+        }
+    }
+
+    /// Tuples consumed so far (including any restored prefix).
+    #[must_use]
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    fn flush(&mut self) {
+        for dim in 0..4 {
+            if self.pending[dim].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.pending[dim]);
+            self.pending[dim] =
+                self.lanes[self.route[dim]].ship(dim as u8, batch, &mut self.stats[dim]);
+        }
+    }
+
+    /// Flushes remaining symbols, shuts the workers down and
+    /// reassembles the sequential [`WhompProfiler`] plus the worker
+    /// totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] naming the worker when a grammar
+    /// worker panicked (see the module docs on degraded shutdown).
+    pub fn try_join(mut self) -> Result<(WhompProfiler, GrammarPipelineStats), PipelineError> {
+        self.flush();
+        for lane in &mut self.lanes {
+            drop(lane.tx.take());
+        }
+        let streams = join_grammar_workers(std::mem::take(&mut self.workers))?;
+        let mut stats = GrammarPipelineStats {
+            workers: self.lanes.len() as u64,
+            streams: self.stats.to_vec(),
+        };
+        let mut dims: [Option<Sequitur>; 4] = [None, None, None, None];
+        for ws in streams {
+            stats.streams[ws.stream as usize].busy_ns = ws.busy_ns;
+            dims[ws.stream as usize] = Some(ws.seq);
+        }
+        let [Some(instr), Some(group), Some(object), Some(offset)] = dims else {
+            unreachable!("every dimension has exactly one worker stream");
+        };
+        Ok((
+            WhompProfiler {
+                instr,
+                group,
+                object,
+                offset,
+                tuples: self.tuples,
+            },
+            stats,
+        ))
+    }
+}
+
+impl OrSink for PipelinedWhomp {
+    fn tuple(&mut self, t: &OrTuple) {
+        self.pending[0].push(u64::from(t.instr.0));
+        self.pending[1].push(u64::from(t.group.0));
+        self.pending[2].push(t.object.0);
+        self.pending[3].push(t.offset);
+        self.tuples += 1;
+        for s in &mut self.stats {
+            s.symbols += 1;
+        }
+        if self.pending[0].len() >= SYMBOL_BATCH {
+            self.flush();
+        }
+    }
+
+    fn finish(&mut self) {
+        self.flush();
+    }
+}
+
+impl Drop for PipelinedWhomp {
+    fn drop(&mut self) {
+        // Unblock and reap the workers if `try_join` was never called.
+        for lane in &mut self.lanes {
+            drop(lane.tx.take());
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// [`RasgProfiler`] with grammar construction moved onto one worker
+/// thread, overlapping record-grammar growth with the probe side.
+///
+/// Implements [`ProbeSink`] directly, like the sequential RASG
+/// baseline — no object translation is involved.
+#[derive(Debug)]
+pub struct PipelinedRasg {
+    pending: Vec<u64>,
+    stats: GrammarStreamStats,
+    lane: SymbolLane,
+    worker: Option<JoinHandle<Vec<WorkerStream>>>,
+    accesses: u64,
+}
+
+impl PipelinedRasg {
+    /// Spawns an empty pipelined RASG profiler (always one worker —
+    /// there is a single record stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread cannot be spawned.
+    #[must_use]
+    pub fn spawn() -> Self {
+        let (lane, handle) = spawn_grammar_worker(0, vec![(0, Sequitur::new())]);
+        PipelinedRasg {
+            pending: Vec::with_capacity(SYMBOL_BATCH),
+            stats: GrammarStreamStats {
+                stream: "records",
+                ..GrammarStreamStats::default()
+            },
+            lane,
+            worker: Some(handle),
+            accesses: 0,
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        self.pending = self.lane.ship(0, batch, &mut self.stats);
+    }
+
+    /// Flushes remaining records, shuts the worker down and returns
+    /// the sequential [`RasgProfiler`] plus the worker totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] when the grammar worker panicked.
+    pub fn try_join(mut self) -> Result<(RasgProfiler, GrammarPipelineStats), PipelineError> {
+        self.flush();
+        drop(self.lane.tx.take());
+        let mut streams = join_grammar_workers(self.worker.take().into_iter().collect())?;
+        let ws = streams.pop().expect("the RASG worker owns one stream");
+        let mut stats = self.stats;
+        stats.busy_ns = ws.busy_ns;
+        Ok((
+            RasgProfiler {
+                records: ws.seq,
+                accesses: self.accesses,
+            },
+            GrammarPipelineStats {
+                workers: 1,
+                streams: vec![stats],
+            },
+        ))
+    }
+}
+
+impl ProbeSink for PipelinedRasg {
+    fn access(&mut self, ev: AccessEvent) {
+        self.pending.push(fuse(ev.instr.0, ev.addr.0));
+        self.accesses += 1;
+        self.stats.symbols += 1;
+        if self.pending.len() >= SYMBOL_BATCH {
+            self.flush();
+        }
+    }
+
+    fn finish(&mut self) {
+        self.flush();
+    }
+}
+
+impl Drop for PipelinedRasg {
+    fn drop(&mut self) {
+        drop(self.lane.tx.take());
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One hybrid worker's inbound lane: tuple batches instead of symbol
+/// batches (each tuple fans into four grammars *inside* the worker).
+#[derive(Debug)]
+struct TupleLane {
+    tx: Option<SyncSender<Vec<OrTuple>>>,
+    recycled: Receiver<Vec<OrTuple>>,
+    pending: Vec<OrTuple>,
+    batches: u64,
+    stalls: u64,
+    tuples: u64,
+}
+
+/// [`HybridProfiler`] with grammar construction spread over `workers`
+/// threads, partitioned by the profiler's own vertical-decomposition
+/// key (the instruction). Each instruction's sub-stream reaches one
+/// worker complete and in order, so the
+/// [`ShardableSink::merge`] at join reassembles state byte-identical
+/// to sequential construction — the same argument as the sharded
+/// collection pipeline, applied to the grammar stage.
+#[derive(Debug)]
+pub struct PipelinedHybrid {
+    lanes: Vec<TupleLane>,
+    workers: Vec<JoinHandle<(HybridProfiler, u64)>>,
+}
+
+impl PipelinedHybrid {
+    /// Spawns `workers` hybrid grammar workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or a thread cannot be spawned.
+    #[must_use]
+    pub fn spawn(workers: usize) -> Self {
+        assert!(workers > 0, "at least one grammar worker is required");
+        let mut lanes = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = mpsc::sync_channel::<Vec<OrTuple>>(QUEUE_BATCHES);
+            let (recycle_tx, recycle_rx) = mpsc::sync_channel::<Vec<OrTuple>>(QUEUE_BATCHES);
+            let handle = thread::Builder::new()
+                .name(format!("orp-grammar-{i}"))
+                .spawn(move || {
+                    let mut sink = HybridProfiler::new();
+                    let mut busy_ns = 0u64;
+                    while let Ok(batch) = rx.recv() {
+                        let start = Instant::now();
+                        sink.tuple_batch(&batch);
+                        busy_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        let mut spent = batch;
+                        spent.clear();
+                        let _ = recycle_tx.try_send(spent);
+                    }
+                    (sink, busy_ns)
+                })
+                .expect("spawn grammar worker");
+            lanes.push(TupleLane {
+                tx: Some(tx),
+                recycled: recycle_rx,
+                pending: Vec::with_capacity(SYMBOL_BATCH),
+                batches: 0,
+                stalls: 0,
+                tuples: 0,
+            });
+            handles.push(handle);
+        }
+        PipelinedHybrid {
+            lanes,
+            workers: handles,
+        }
+    }
+
+    fn flush_lane(lane: &mut TupleLane) {
+        if lane.pending.is_empty() {
+            return;
+        }
+        let fresh = lane
+            .recycled
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(SYMBOL_BATCH));
+        let batch = std::mem::replace(&mut lane.pending, fresh);
+        let Some(tx) = &lane.tx else {
+            return;
+        };
+        match tx.try_send(batch) {
+            Ok(()) => lane.batches += 1,
+            Err(TrySendError::Full(batch)) => {
+                lane.stalls += 1;
+                match tx.send(batch) {
+                    Ok(()) => lane.batches += 1,
+                    Err(mpsc::SendError(_)) => lane.tx = None,
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => lane.tx = None,
+        }
+    }
+
+    /// Flushes remaining tuples, shuts the workers down and merges the
+    /// per-worker profilers into the sequential-equivalent
+    /// [`HybridProfiler`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] naming the worker when a grammar
+    /// worker panicked.
+    pub fn try_join(mut self) -> Result<(HybridProfiler, GrammarPipelineStats), PipelineError> {
+        for lane in &mut self.lanes {
+            Self::flush_lane(lane);
+            drop(lane.tx.take());
+        }
+        let mut parts = Vec::with_capacity(self.workers.len());
+        let mut busy_ns = 0u64;
+        let mut first_error: Option<PipelineError> = None;
+        for (i, handle) in self.workers.drain(..).enumerate() {
+            match handle.join() {
+                Ok((sink, busy)) => {
+                    parts.push(sink);
+                    busy_ns += busy;
+                }
+                Err(payload) => {
+                    let err = PipelineError {
+                        worker: format!("grammar worker {i}"),
+                        message: panic_message(payload),
+                    };
+                    first_error.get_or_insert(err);
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        let stats = GrammarPipelineStats {
+            workers: self.lanes.len() as u64,
+            streams: vec![GrammarStreamStats {
+                stream: "instructions",
+                symbols: self.lanes.iter().map(|l| l.tuples).sum(),
+                batches: self.lanes.iter().map(|l| l.batches).sum(),
+                stalls: self.lanes.iter().map(|l| l.stalls).sum(),
+                busy_ns,
+            }],
+        };
+        Ok((HybridProfiler::merge(parts), stats))
+    }
+}
+
+impl OrSink for PipelinedHybrid {
+    fn tuple(&mut self, t: &OrTuple) {
+        let lane_idx = (HybridProfiler::shard_key(t) % self.lanes.len() as u64) as usize;
+        let lane = &mut self.lanes[lane_idx];
+        lane.tuples += 1;
+        lane.pending.push(*t);
+        if lane.pending.len() >= SYMBOL_BATCH {
+            Self::flush_lane(lane);
+        }
+    }
+
+    fn finish(&mut self) {
+        for lane in &mut self.lanes {
+            Self::flush_lane(lane);
+        }
+    }
+}
+
+impl Drop for PipelinedHybrid {
+    fn drop(&mut self) {
+        for lane in &mut self.lanes {
+            drop(lane.tx.take());
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dead grammar worker must not take the feed side with it: the
+    /// lane goes quiet (batches drop), later ships stay panic-free, and
+    /// the panic surfaces at join as a named [`PipelineError`]. This is
+    /// the same containment contract the sharded pipeline's salvage
+    /// path provides — see the module docs for why the grammar itself
+    /// is not salvageable.
+    #[test]
+    fn dead_worker_is_contained_and_named_at_join() {
+        let (mut lane, handle) = spawn_grammar_worker(0, vec![(0, Sequitur::new())]);
+        let mut stats = GrammarStreamStats {
+            stream: "records",
+            ..GrammarStreamStats::default()
+        };
+
+        // Stream 7 is not owned by this worker: the routing `expect`
+        // inside the worker loop panics it.
+        lane.ship(7, vec![1, 2, 3], &mut stats);
+
+        // The feed side keeps shipping into the dying lane without
+        // panicking or deadlocking; once the hangup is observed the
+        // lane is marked dead and batches are dropped.
+        for _ in 0..64 {
+            lane.ship(0, vec![4, 5], &mut stats);
+        }
+
+        drop(lane.tx.take());
+        let err = join_grammar_workers(vec![handle]).expect_err("worker panicked");
+        assert_eq!(err.worker, "grammar worker 0");
+        assert!(
+            err.message.contains("does not own its stream"),
+            "panic payload lost: {}",
+            err.message
+        );
+    }
+
+    /// Healthy path through the raw worker primitives: everything
+    /// shipped arrives, buffers recycle, and join returns the grammar.
+    #[test]
+    fn worker_builds_the_same_grammar_as_inline_push() {
+        let symbols: Vec<u64> = (0..200u64).map(|i| i % 7).collect();
+        let mut reference = Sequitur::new();
+        reference.push_batch(&symbols);
+
+        let (mut lane, handle) = spawn_grammar_worker(0, vec![(3, Sequitur::new())]);
+        let mut stats = GrammarStreamStats {
+            stream: "records",
+            ..GrammarStreamStats::default()
+        };
+        let mut buf = Vec::new();
+        for chunk in symbols.chunks(9) {
+            buf.clear();
+            buf.extend_from_slice(chunk);
+            buf = lane.ship(3, std::mem::take(&mut buf), &mut stats);
+        }
+        drop(lane.tx.take());
+        let streams = join_grammar_workers(vec![handle]).expect("healthy worker");
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].stream, 3);
+        assert_eq!(stats.batches, symbols.chunks(9).len() as u64);
+
+        let mut got = Vec::new();
+        streams[0].seq.save_state(&mut got).unwrap();
+        let mut want = Vec::new();
+        reference.save_state(&mut want).unwrap();
+        assert_eq!(got, want);
+    }
+}

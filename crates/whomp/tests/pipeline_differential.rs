@@ -1,0 +1,234 @@
+//! Differential tests: the pipelined grammar profilers must produce
+//! byte-identical output to sequential construction — container bytes,
+//! checkpoint state, and across a checkpoint/resume that crosses the
+//! grammar-worker boundary.
+
+use orp_core::{Cdc, GroupId, ObjectSerial, Omc, OrSink, OrTuple, Session, SessionSink, Timestamp};
+use orp_trace::{
+    AccessEvent, AccessKind, AllocEvent, AllocSiteId, InstrId, ProbeEvent, ProbeSink, RawAddress,
+};
+use orp_whomp::{
+    HybridProfiler, PipelinedHybrid, PipelinedRasg, PipelinedWhomp, RasgProfiler, WhompProfiler,
+};
+use proptest::prelude::*;
+
+/// A probe script long enough to cross several symbol-batch boundaries
+/// (the non-loom batch is 8192 symbols) with repetitive structure the
+/// grammars actually compress.
+fn probe_events() -> Vec<ProbeEvent> {
+    let mut events = Vec::new();
+    for k in 0..64u64 {
+        events.push(ProbeEvent::Alloc(AllocEvent {
+            site: AllocSiteId((k % 4) as u32),
+            base: RawAddress(0x8000 + k * 256),
+            size: 192,
+        }));
+    }
+    for p in 0..400u64 {
+        for k in 0..64u64 {
+            events.push(ProbeEvent::Access(AccessEvent::load(
+                InstrId(((k + p) % 9) as u32),
+                RawAddress(0x8000 + k * 256 + 8 * (p % 24)),
+                8,
+            )));
+        }
+    }
+    events
+}
+
+fn drive(sink: &mut impl ProbeSink, events: &[ProbeEvent]) {
+    for &ev in events {
+        sink.event(ev);
+    }
+    sink.finish();
+}
+
+#[test]
+fn pipelined_whomp_omsg_bytes_match_sequential() {
+    let events = probe_events();
+
+    let mut inline = Cdc::new(Omc::new(), WhompProfiler::new());
+    drive(&mut inline, &events);
+    let mut reference = Vec::new();
+    let (_, profiler) = inline.into_parts();
+    profiler.into_omsg().write_to(&mut reference).unwrap();
+
+    for workers in [1, 2, 3, 4, 8] {
+        let mut cdc = Cdc::new(Omc::new(), PipelinedWhomp::spawn(workers));
+        drive(&mut cdc, &events);
+        let (_, pipe) = cdc.into_parts();
+        let (profiler, stats) = pipe.try_join().expect("pipeline healthy");
+        let mut produced = Vec::new();
+        profiler.into_omsg().write_to(&mut produced).unwrap();
+        assert_eq!(produced, reference, "{workers} workers");
+
+        assert_eq!(stats.workers, workers.min(4) as u64);
+        assert_eq!(stats.streams.len(), 4, "one stream per OMSG dimension");
+        for s in &stats.streams {
+            assert_eq!(
+                s.symbols, 25_600,
+                "stream {} must count every collected tuple",
+                s.stream
+            );
+            assert!(s.batches > 0, "stream {} never flushed", s.stream);
+        }
+    }
+}
+
+#[test]
+fn pipelined_rasg_bytes_match_sequential() {
+    let events = probe_events();
+
+    let mut inline = RasgProfiler::new();
+    drive(&mut inline, &events);
+    let mut reference = Vec::new();
+    inline.into_rasg().write_to(&mut reference).unwrap();
+
+    let mut pipe = PipelinedRasg::spawn();
+    drive(&mut pipe, &events);
+    let (profiler, stats) = pipe.try_join().expect("pipeline healthy");
+    let mut produced = Vec::new();
+    profiler.into_rasg().write_to(&mut produced).unwrap();
+    assert_eq!(produced, reference);
+
+    assert_eq!(stats.workers, 1);
+    assert_eq!(stats.streams[0].stream, "records");
+    assert_eq!(stats.streams[0].symbols, 25_600);
+}
+
+#[test]
+fn pipelined_hybrid_bytes_match_sequential() {
+    let events = probe_events();
+
+    let mut inline = Cdc::new(Omc::new(), HybridProfiler::new());
+    drive(&mut inline, &events);
+    let mut reference = Vec::new();
+    inline
+        .into_parts()
+        .1
+        .into_profile()
+        .write_to(&mut reference)
+        .unwrap();
+
+    for workers in [1, 2, 3] {
+        let mut cdc = Cdc::new(Omc::new(), PipelinedHybrid::spawn(workers));
+        drive(&mut cdc, &events);
+        let (profiler, stats) = cdc.into_parts().1.try_join().expect("pipeline healthy");
+        let mut produced = Vec::new();
+        profiler.into_profile().write_to(&mut produced).unwrap();
+        assert_eq!(produced, reference, "{workers} workers");
+        assert_eq!(stats.streams[0].symbols, 25_600);
+    }
+}
+
+/// The satellite case: checkpoint a sequential run, resume it *onto*
+/// grammar workers, and the rejoined profiler must be state- and
+/// container-identical to an uninterrupted (and to a sequentially
+/// resumed) run.
+#[test]
+fn checkpoint_resume_crosses_the_grammar_worker_boundary() {
+    let events = probe_events();
+    let cut = events.len() / 2;
+
+    let mut uninterrupted = Session::new(WhompProfiler::new());
+    uninterrupted.feed(&events);
+    let mut reference = Vec::new();
+    uninterrupted.finalize(&mut reference).unwrap();
+
+    let mut first = Session::new(WhompProfiler::new());
+    first.feed(&events[..cut]);
+    let mut snapshot = Vec::new();
+    first.checkpoint(&mut snapshot).unwrap();
+
+    // Sequential resume: the state-level reference for the tail.
+    let mut resumed = Session::<WhompProfiler>::resume(&mut snapshot.as_slice()).unwrap();
+    resumed.feed(&events[cut..]);
+    let mut sequential_state = Vec::new();
+    resumed
+        .into_cdc()
+        .sink()
+        .save_state(&mut sequential_state)
+        .unwrap();
+
+    // Pipelined resume: unpack the restored session, wrap the profiler
+    // in grammar workers, drive the tail, rejoin — the same dance the
+    // CLI performs for `run --resume --grammar-workers N`.
+    for workers in [1, 2, 4] {
+        let session = Session::<WhompProfiler>::resume(&mut snapshot.as_slice()).unwrap();
+        let cdc = session.into_cdc();
+        let (time, untracked, anomalies) = (cdc.time(), cdc.untracked(), cdc.probe_anomalies());
+        let (omc, profiler) = cdc.into_parts();
+        let mut cdc = Cdc::from_parts(
+            omc,
+            PipelinedWhomp::from_profiler(profiler, workers),
+            time,
+            untracked,
+            anomalies,
+        );
+        drive(&mut cdc, &events[cut..]);
+        let (time, untracked, anomalies) = (cdc.time(), cdc.untracked(), cdc.probe_anomalies());
+        let (omc, pipe) = cdc.into_parts();
+        let (profiler, _) = pipe.try_join().expect("pipeline healthy");
+
+        let mut state = Vec::new();
+        profiler.save_state(&mut state).unwrap();
+        assert_eq!(state, sequential_state, "state drift at {workers} workers");
+
+        let rebuilt = Cdc::from_parts(omc, profiler, time, untracked, anomalies);
+        let mut produced = Vec::new();
+        Session::from_cdc(rebuilt).finalize(&mut produced).unwrap();
+        assert_eq!(produced, reference, "container drift at {workers} workers");
+    }
+}
+
+fn arb_tuple_parts() -> impl Strategy<Value = (u8, u8, u8, u8)> {
+    (0u8..8, 0u8..3, 0u8..10, 0u8..6)
+}
+
+fn stream(parts: &[(u8, u8, u8, u8)]) -> Vec<OrTuple> {
+    parts
+        .iter()
+        .enumerate()
+        .map(|(t, &(instr, group, object, offset))| OrTuple {
+            instr: InstrId(u32::from(instr)),
+            kind: AccessKind::Load,
+            group: GroupId(u32::from(group)),
+            object: ObjectSerial(u64::from(object)),
+            offset: u64::from(offset) * 4,
+            time: Timestamp(t as u64),
+            size: 4,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary tuple streams: the pipelined profiler's full internal
+    /// state (not just the finished grammar) must match sequential
+    /// construction byte for byte.
+    #[test]
+    fn pipelined_whomp_state_matches_sequential_on_arbitrary_streams(
+        parts in proptest::collection::vec(arb_tuple_parts(), 0..300)
+    ) {
+        let tuples = stream(&parts);
+
+        let mut sequential = WhompProfiler::new();
+        for t in &tuples {
+            sequential.tuple(t);
+        }
+        let mut reference = Vec::new();
+        sequential.save_state(&mut reference).unwrap();
+
+        let mut pipe = PipelinedWhomp::spawn(3);
+        for t in &tuples {
+            pipe.tuple(t);
+        }
+        pipe.finish();
+        let (profiler, stats) = pipe.try_join().expect("pipeline healthy");
+        let mut produced = Vec::new();
+        profiler.save_state(&mut produced).unwrap();
+        prop_assert_eq!(produced, reference);
+        prop_assert_eq!(stats.streams.iter().map(|s| s.symbols).sum::<u64>(), 4 * tuples.len() as u64);
+    }
+}

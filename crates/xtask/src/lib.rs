@@ -1,6 +1,6 @@
 //! The `cargo xtask analyze` static-verification pass.
 //!
-//! Seven repo-specific invariants that `rustc`/`clippy` cannot express,
+//! Eight repo-specific invariants that `rustc`/`clippy` cannot express,
 //! checked at token level (see [`lexer`]) so they hold across
 //! formatting and never match inside strings or comments:
 //!
@@ -29,6 +29,11 @@
 //!   leaves a torn file. Writes go through `orp_format::AtomicFile` /
 //!   `write_bytes_atomic` (the primitive's own crate and this tooling
 //!   crate are exempt).
+//! * **no-siphash-in-hot-paths** — the grammar crates
+//!   (`crates/sequitur/src/**`, `crates/whomp/src/**`) must not build
+//!   `HashMap`/`HashSet` with the default SipHash hasher
+//!   (`::new`/`::with_capacity`): hot-path maps annotate
+//!   `FxBuildHasher` and construct through `::default()`.
 //!
 //! Inline exemptions: `// analyze: allow(<rule>): <reason>` on the
 //! violating line or the line above. File-level exemptions live in
@@ -151,6 +156,7 @@ pub fn validate_report(report: &Path, schema: &Path) -> Result<String, Vec<Strin
             }
         }
     }
+    check_grammar_metric_names(fields, &mut problems);
     if problems.is_empty() {
         Ok(format!(
             "validate-report: {} ok ({checked} required fields present and typed)",
@@ -158,6 +164,66 @@ pub fn validate_report(report: &Path, schema: &Path) -> Result<String, Vec<Strin
         ))
     } else {
         Err(problems)
+    }
+}
+
+/// The per-dimension grammar streams a `grammar.*` metric may name:
+/// the four OMSG dimensions, RASG's single record stream, and the
+/// hybrid profiler's per-instruction aggregate.
+const GRAMMAR_STREAMS: &[&str] = &[
+    "instruction",
+    "group",
+    "object",
+    "offset",
+    "records",
+    "instructions",
+];
+
+/// Supplemental check beyond the line schema: `grammar.*` keys are an
+/// enumerated namespace, not free-form. A typo'd stream name (or a new
+/// family added without updating this list) would silently vanish from
+/// dashboards keyed on the known names, so it fails validation here.
+fn check_grammar_metric_names(
+    fields: &std::collections::BTreeMap<String, json::Value>,
+    problems: &mut Vec<String>,
+) {
+    let streamed = |key: &str, family: &str| {
+        key.strip_prefix(family)
+            .and_then(|s| s.strip_prefix('.'))
+            .is_some_and(|stream| GRAMMAR_STREAMS.contains(&stream))
+    };
+    if let Some(json::Value::Object(counters)) = fields.get("counters") {
+        for key in counters.keys() {
+            let known = !key.starts_with("grammar.")
+                || key == "grammar.workers"
+                || [
+                    "grammar.rules",
+                    "grammar.symbols",
+                    "grammar.batches",
+                    "grammar.stalls",
+                ]
+                .iter()
+                .any(|family| streamed(key, family));
+            if !known {
+                problems.push(format!(
+                    "counter \"{key}\" is not a known grammar.* family \
+                     (grammar.workers, or grammar.rules/symbols/batches/stalls.<stream> \
+                     with <stream> one of {})",
+                    GRAMMAR_STREAMS.join("/")
+                ));
+            }
+        }
+    }
+    if let Some(json::Value::Object(spans)) = fields.get("spans") {
+        for key in spans.keys() {
+            if key.starts_with("grammar.") && !streamed(key, "grammar.worker_busy_ns") {
+                problems.push(format!(
+                    "span \"{key}\" is not a known grammar.* family \
+                     (grammar.worker_busy_ns.<stream> with <stream> one of {})",
+                    GRAMMAR_STREAMS.join("/")
+                ));
+            }
+        }
     }
 }
 

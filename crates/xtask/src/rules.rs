@@ -15,6 +15,7 @@ const RULES: &[&str] = &[
     "forbid-unsafe",
     "no-metrics-in-decode",
     "atomic-artifact-writes",
+    "no-siphash-in-hot-paths",
 ];
 
 /// File-level exemptions from `analyze.allow` at the repo root.
@@ -104,6 +105,13 @@ fn is_first_party(rel: &str) -> bool {
 /// shipped decode paths.
 fn is_test_tree(rel: &str) -> bool {
     rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/")
+}
+
+/// Grammar-construction hot paths: every push runs one to three digram
+/// map operations, so these crates must not construct maps with the
+/// default (SipHash) hasher.
+fn is_grammar_hot_path(rel: &str) -> bool {
+    rel.starts_with("crates/sequitur/src/") || rel.starts_with("crates/whomp/src/")
 }
 
 /// Crate roots that must carry `#![forbid(unsafe_code)]`: `lib.rs` /
@@ -382,6 +390,12 @@ pub fn check_file(rel: &Path, src: &str, allowlist: &Allowlist) -> Vec<Diagnosti
         && !allowlist.exempts("atomic-artifact-writes", rel)
     {
         atomic_artifact_writes(&mut cx);
+    }
+    if is_grammar_hot_path(&rel_s)
+        && !is_test_tree(&rel_s)
+        && !allowlist.exempts("no-siphash-in-hot-paths", rel)
+    {
+        no_siphash_in_hot_paths(&mut cx);
     }
     cx.diags
 }
@@ -777,6 +791,50 @@ fn atomic_artifact_writes(cx: &mut FileCx<'_>) {
     }
     for (line, message) in hits {
         cx.report("atomic-artifact-writes", line, message);
+    }
+}
+
+/// `no-siphash-in-hot-paths`: grammar crates must not build hash maps
+/// with the default hasher.
+///
+/// `HashMap::new()` / `with_capacity()` are only defined for
+/// `RandomState` (SipHash-1-3), which profiling showed dominating the
+/// per-symbol cost of grammar construction (DESIGN.md §13). Hot-path
+/// maps spell an explicit hasher in the type and construct through
+/// `HashMap::default()` — like `sequitur`'s `DigramMap` with
+/// `FxBuildHasher` — so the fast hasher cannot silently regress back
+/// to SipHash. The same applies to `HashSet`. Test code is exempt:
+/// differential tests deliberately build SipHash maps to compare
+/// against.
+fn no_siphash_in_hot_paths(cx: &mut FileCx<'_>) {
+    let mut hits = Vec::new();
+    for i in 0..cx.sig.len().saturating_sub(3) {
+        let t = cx.s(i);
+        if t.kind != Kind::Ident
+            || !matches!(t.text.as_str(), "HashMap" | "HashSet")
+            || cx.in_test_span(t.line)
+            || cx.stext(i + 1) != ":"
+            || cx.stext(i + 2) != ":"
+        {
+            continue;
+        }
+        let callee = cx.stext(i + 3);
+        if matches!(callee, "new" | "with_capacity") {
+            hits.push((
+                t.line,
+                format!(
+                    "{}::{callee} pins the default SipHash hasher in a \
+                     grammar hot path — annotate the map type with \
+                     FxBuildHasher (see orp_sequitur::FxBuildHasher) and \
+                     construct with ::default(), or mark \
+                     `// analyze: allow(no-siphash-in-hot-paths): <why>`",
+                    t.text
+                ),
+            ));
+        }
+    }
+    for (line, message) in hits {
+        cx.report("no-siphash-in-hot-paths", line, message);
     }
 }
 

@@ -187,6 +187,41 @@ fn atomic_artifact_writes_exempts_the_durable_primitive_and_tooling() {
 }
 
 #[test]
+fn no_siphash_flags_default_hasher_maps_in_grammar_crates() {
+    for pretend in [
+        "crates/sequitur/src/seeded_siphash.rs",
+        "crates/whomp/src/seeded_siphash.rs",
+    ] {
+        let diags = run(pretend, "siphash.rs");
+        assert_eq!(
+            lines_of(&diags, "no-siphash-in-hot-paths"),
+            vec![9, 13, 17],
+            "HashMap::new, HashMap::with_capacity, and HashSet::new — \
+             not ::default(), comments, the exempted line, or test \
+             spans ({pretend}): {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn no_siphash_only_polices_grammar_hot_paths() {
+    // The same source elsewhere (the CLI builds plenty of SipHash maps
+    // off the hot path) is out of scope; so are the grammar crates'
+    // own integration tests.
+    for pretend in [
+        "src/bin/orprof-cli.rs",
+        "crates/core/src/omc.rs",
+        "crates/sequitur/tests/seeded_siphash.rs",
+    ] {
+        let diags = run(pretend, "siphash.rs");
+        assert!(
+            lines_of(&diags, "no-siphash-in-hot-paths").is_empty(),
+            "{pretend}: {diags:#?}"
+        );
+    }
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()

@@ -1,0 +1,40 @@
+//! Seeded no-siphash-in-hot-paths violations: default-hasher map
+//! construction in a grammar hot path, plus the exemptions the rule
+//! must honor. Checked by `tests/analyze_detects.rs` under the pretend
+//! path `crates/sequitur/src/seeded_siphash.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn digram_index() -> HashMap<(u64, u64), u32> {
+    HashMap::new() // line 9: HashMap::new
+}
+
+pub fn preallocated(n: usize) -> HashMap<(u64, u64), u32> {
+    HashMap::with_capacity(n) // line 13: HashMap::with_capacity
+}
+
+pub fn symbol_set() -> HashSet<u64> {
+    HashSet::new() // line 17: HashSet::new
+}
+
+pub fn explicit_hasher_is_fine() -> HashMap<(u64, u64), u32, crate::FxBuildHasher> {
+    // `default()` works with any hasher annotation, so it can't pin
+    // SipHash; HashMap::new in a comment must not be flagged either.
+    HashMap::default()
+}
+
+pub fn exempted_cold_path() -> HashMap<String, u64> {
+    // analyze: allow(no-siphash-in-hot-paths): one-shot report table, not per-symbol
+    HashMap::new() // exempted by the marker above
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_build_siphash_maps() {
+        // Differential tests compare against the default hasher.
+        let _: HashMap<u64, u64> = HashMap::new();
+    }
+}

@@ -80,3 +80,71 @@ fn wrong_schema_version_and_garbage_are_rejected() {
     assert!(problems[0].contains("not valid JSON"), "{problems:#?}");
     let _ = std::fs::remove_file(file);
 }
+
+#[test]
+fn grammar_counters_in_known_families_validate() {
+    let good = GOOD.replace(
+        "    \"omc.memo_hits\": 40\n",
+        concat!(
+            "    \"grammar.workers\": 4,\n",
+            "    \"grammar.rules.offset\": 5,\n",
+            "    \"grammar.symbols.records\": 120,\n",
+            "    \"grammar.batches.instruction\": 9,\n",
+            "    \"grammar.stalls.instructions\": 0,\n",
+            "    \"omc.memo_hits\": 40\n"
+        ),
+    );
+    let with_span = good.replace(
+        "    \"pipeline.merge\": {\"count\": 1, \"total_nanos\": 10, \"max_nanos\": 10}\n",
+        concat!(
+            "    \"grammar.worker_busy_ns.group\": ",
+            "{\"count\": 1, \"total_nanos\": 10, \"max_nanos\": 10}\n"
+        ),
+    );
+    let file = temp_file("grammar-good.json", &with_span);
+    let summary = xtask::validate_report(&file, &repo_schema()).expect("valid report");
+    assert!(summary.contains("ok"), "{summary}");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn unknown_grammar_metric_names_are_rejected() {
+    // A typo'd stream and an unknown family must both fail — these keys
+    // feed dashboards by exact name.
+    let bad_counter = GOOD.replace(
+        "    \"omc.memo_hits\": 40\n",
+        "    \"grammar.rules.offsets\": 5,\n    \"grammar.latency.group\": 1\n",
+    );
+    let file = temp_file("grammar-bad-counter.json", &bad_counter);
+    let problems = xtask::validate_report(&file, &repo_schema()).expect_err("must fail");
+    assert!(
+        problems
+            .iter()
+            .any(|p| p.contains("\"grammar.rules.offsets\"")),
+        "{problems:#?}"
+    );
+    assert!(
+        problems
+            .iter()
+            .any(|p| p.contains("\"grammar.latency.group\"")),
+        "{problems:#?}"
+    );
+    let _ = std::fs::remove_file(file);
+
+    let bad_span = GOOD.replace(
+        "    \"pipeline.merge\": {\"count\": 1, \"total_nanos\": 10, \"max_nanos\": 10}\n",
+        concat!(
+            "    \"grammar.worker_busy_ns.threads\": ",
+            "{\"count\": 1, \"total_nanos\": 10, \"max_nanos\": 10}\n"
+        ),
+    );
+    let file = temp_file("grammar-bad-span.json", &bad_span);
+    let problems = xtask::validate_report(&file, &repo_schema()).expect_err("must fail");
+    assert!(
+        problems
+            .iter()
+            .any(|p| p.contains("\"grammar.worker_busy_ns.threads\"")),
+        "{problems:#?}"
+    );
+    let _ = std::fs::remove_file(file);
+}

@@ -8,6 +8,7 @@
 //! orprof-cli run --from-trace gzip.orpt --profiler leap --out gzip.orp
 //! orprof-cli run --from-trace rest.orpt --resume ckpt.orp --profiler leap
 //! orprof-cli run --workload micro.matrix --profiler leap --shards 4
+//! orprof-cli run --workload micro.matrix --profiler whomp --grammar-workers 4
 //! orprof-cli run --workload micro.matrix --profiler whomp --stats --metrics-out m.json
 //! orprof-cli record --workload 164.gzip --out gzip.orpt
 //! orprof-cli inspect gzip.orp
@@ -33,7 +34,7 @@ use std::io::{BufReader, BufWriter, Read};
 use std::process::ExitCode;
 
 use orprof::allocsim::AllocatorKind;
-use orprof::core::{Omc, PipelineStats, Session, SessionSink, ShardableSink, ShardedCdc};
+use orprof::core::{Cdc, Omc, PipelineStats, Session, SessionSink, ShardableSink, ShardedCdc};
 use orprof::format::{
     read_varint, AtomicFile, ChunkTag, ContainerReader, FailingRead, FaultPlan, IoStats,
     ProfileKind, RetryRead, RetryWrite,
@@ -44,14 +45,17 @@ use orprof::obs::{Recorder, RunReport, ShardCount, StatsRecorder, Stopwatch};
 use orprof::phase::PhaseDetector;
 use orprof::sequitur::Grammar;
 use orprof::trace::{AccessEvent, AllocEvent, CountingSink, FreeEvent, ProbeSink};
-use orprof::whomp::{HybridProfile, HybridProfiler, Omsg, Rasg, RasgProfiler, WhompProfiler};
+use orprof::whomp::{
+    HybridProfile, HybridProfiler, Omsg, PipelinedHybrid, PipelinedRasg, PipelinedWhomp, Rasg,
+    RasgProfiler, WhompProfiler,
+};
 use orprof::workloads::{micro_suite, spec_suite, RunConfig, Tracer, Workload};
 
 fn usage() -> &'static str {
     "usage:\n  orprof-cli list\n  orprof-cli run (--workload <name> | --from-trace <file>) \
      --profiler <whomp|rasg|leap|hybrid> [--out <file>] [--scale <n>] \
      [--allocator <bump|free-list|buddy|randomizing>] [--seed <n>] [--shards <n>] [--salvage] \
-     [--resume <checkpoint.orp>] [--checkpoint <file>] \
+     [--grammar-workers <n>] [--resume <checkpoint.orp>] [--checkpoint <file>] \
      [--stats] [--metrics-out <file.json>] [--embed-report] [--fault-plan <spec>]\n  \
      orprof-cli record --workload <name> --out <file> [--scale <n>] [--allocator ..] [--seed <n>] \
      [--stats] [--metrics-out <file.json>] [--fault-plan <spec>]\n  \
@@ -135,6 +139,7 @@ const RUN_FLAGS: FlagSpec = FlagSpec {
         "--allocator",
         "--seed",
         "--shards",
+        "--grammar-workers",
         "--resume",
         "--checkpoint",
         "--metrics-out",
@@ -521,6 +526,47 @@ fn run_maybe_sharded<S: SessionSink + ShardableSink>(
     }
 }
 
+/// Runs WHOMP with grammar construction on `workers` pipelined grammar
+/// workers: collection and translation stay on this thread while the
+/// four dimension grammars grow concurrently. `--resume` unpacks the
+/// checkpointed profiler onto the workers; `--checkpoint` is rejected
+/// because the profiler is split across threads mid-run.
+fn run_whomp_pipelined(
+    parsed: &Parsed,
+    ctx: &mut IoCtx,
+    workers: usize,
+    rec: &mut StatsRecorder,
+) -> Result<(WhompProfiler, DriveOutcome), String> {
+    if parsed.value("--checkpoint").is_some() {
+        return Err("--checkpoint requires an inline grammar (omit --grammar-workers)".to_owned());
+    }
+    let mut cdc = match parsed.value("--resume") {
+        Some(path) => {
+            let mut reader = ctx.open_reader(path)?;
+            let session = Session::<WhompProfiler>::resume(&mut reader)
+                .map_err(|e| format!("resume {path}: {e}"))?;
+            ctx.harvest_reader(&reader);
+            println!("resumed from checkpoint {path}");
+            let cdc = session.into_cdc();
+            let (time, untracked, anomalies) = (cdc.time(), cdc.untracked(), cdc.probe_anomalies());
+            let (omc, profiler) = cdc.into_parts();
+            Cdc::from_parts(
+                omc,
+                PipelinedWhomp::from_profiler(profiler, workers),
+                time,
+                untracked,
+                anomalies,
+            )
+        }
+        None => Cdc::new(Omc::new(), PipelinedWhomp::spawn(workers)),
+    };
+    let outcome = drive(parsed, ctx, &mut cdc)?;
+    cdc.record_metrics(rec);
+    let (profiler, gstats) = cdc.into_parts().1.try_join().map_err(|e| e.to_string())?;
+    gstats.record_metrics(rec);
+    Ok((profiler, outcome))
+}
+
 fn absorb_trace_io(rec: &mut StatsRecorder, outcome: &DriveOutcome) {
     if let Some(io) = outcome.trace_io {
         rec.counter("trace.read_chunks", io.chunks);
@@ -600,6 +646,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         Ok(())
     };
+    // 0 = build grammars inline on the collection thread (the
+    // sequential default); N > 0 moves construction onto N pipelined
+    // grammar workers (see DESIGN.md §13).
+    let grammar_workers: usize = match parsed.value("--grammar-workers") {
+        Some(s) => s.parse().map_err(|_| "bad --grammar-workers")?,
+        None => 0,
+    };
 
     let mut rec = StatsRecorder::default();
     let mut report = RunReport::new("run");
@@ -609,6 +662,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let profile_bytes = match profiler.as_str() {
         "leap" => {
+            if grammar_workers > 0 {
+                return Err("--grammar-workers applies to the grammar profilers \
+                            (whomp, rasg, hybrid); leap builds no grammars"
+                    .to_owned());
+            }
             let (session, outcome, pstats) =
                 run_maybe_sharded(&parsed, &mut ctx, shards, |_| LeapProfiler::new())?;
             session.record_metrics(&mut rec);
@@ -636,11 +694,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         "whomp" => {
             no_shards("whomp's global grammars")?;
-            let (session, outcome) = run_session(&parsed, &mut ctx, WhompProfiler::new)?;
-            session.record_metrics(&mut rec);
-            report.events = outcome.events;
-            absorb_trace_io(&mut rec, &outcome);
-            let omsg = session.into_cdc().into_parts().1.into_omsg();
+            let profiler = if grammar_workers > 0 {
+                let (p, outcome) =
+                    run_whomp_pipelined(&parsed, &mut ctx, grammar_workers, &mut rec)?;
+                report.events = outcome.events;
+                absorb_trace_io(&mut rec, &outcome);
+                p
+            } else {
+                let (session, outcome) = run_session(&parsed, &mut ctx, WhompProfiler::new)?;
+                session.record_metrics(&mut rec);
+                report.events = outcome.events;
+                absorb_trace_io(&mut rec, &outcome);
+                session.into_cdc().into_parts().1
+            };
+            profiler.record_grammar_metrics(&mut rec);
+            let omsg = profiler.into_omsg();
             println!(
                 "whomp: {} tuples, grammar size {} symbols, {} bytes",
                 omsg.tuples(),
@@ -651,15 +719,39 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             serialize_profile(|w| omsg.write_to(w))?
         }
         "hybrid" => {
-            let (session, outcome, pstats) =
-                run_maybe_sharded(&parsed, &mut ctx, shards, |_| HybridProfiler::new())?;
-            session.record_metrics(&mut rec);
-            report.events = outcome.events;
-            absorb_trace_io(&mut rec, &outcome);
-            if let Some(p) = &pstats {
-                absorb_pipeline(&mut rec, &mut report, p);
-            }
-            let profile = session.into_cdc().into_parts().1.into_profile();
+            let profiler = if grammar_workers > 0 {
+                if shards > 1 || parsed.has("--salvage") {
+                    return Err("--grammar-workers and --shards/--salvage both thread the \
+                                hybrid profiler; pick one pipeline"
+                        .to_owned());
+                }
+                if parsed.value("--resume").is_some() || parsed.value("--checkpoint").is_some() {
+                    return Err("hybrid --grammar-workers cannot checkpoint or resume; \
+                                use a sequential run for checkpointed sessions"
+                        .to_owned());
+                }
+                let mut cdc = Cdc::new(Omc::new(), PipelinedHybrid::spawn(grammar_workers));
+                let outcome = drive(&parsed, &mut ctx, &mut cdc)?;
+                cdc.record_metrics(&mut rec);
+                report.events = outcome.events;
+                absorb_trace_io(&mut rec, &outcome);
+                let (profiler, gstats) =
+                    cdc.into_parts().1.try_join().map_err(|e| e.to_string())?;
+                gstats.record_metrics(&mut rec);
+                profiler
+            } else {
+                let (session, outcome, pstats) =
+                    run_maybe_sharded(&parsed, &mut ctx, shards, |_| HybridProfiler::new())?;
+                session.record_metrics(&mut rec);
+                report.events = outcome.events;
+                absorb_trace_io(&mut rec, &outcome);
+                if let Some(p) = &pstats {
+                    absorb_pipeline(&mut rec, &mut report, p);
+                }
+                session.into_cdc().into_parts().1
+            };
+            profiler.record_grammar_metrics(&mut rec);
+            let profile = profiler.into_profile();
             println!(
                 "hybrid: {} tuples, {} instructions, grammar size {} symbols",
                 profile.tuples(),
@@ -676,11 +768,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                             object-relative profilers (leap, whomp, hybrid)"
                     .to_owned());
             }
-            let mut p = RasgProfiler::new();
-            let outcome = drive(&parsed, &mut ctx, &mut p)?;
-            report.events = outcome.events;
-            absorb_trace_io(&mut rec, &outcome);
-            let rasg = p.into_rasg();
+            let profiler = if grammar_workers > 0 {
+                // The RASG record stream is one grammar; extra workers
+                // would idle, so the pipeline always spawns exactly one.
+                let mut pipe = PipelinedRasg::spawn();
+                let outcome = drive(&parsed, &mut ctx, &mut pipe)?;
+                report.events = outcome.events;
+                absorb_trace_io(&mut rec, &outcome);
+                let (profiler, gstats) = pipe.try_join().map_err(|e| e.to_string())?;
+                gstats.record_metrics(&mut rec);
+                profiler
+            } else {
+                let mut p = RasgProfiler::new();
+                let outcome = drive(&parsed, &mut ctx, &mut p)?;
+                report.events = outcome.events;
+                absorb_trace_io(&mut rec, &outcome);
+                p
+            };
+            profiler.record_grammar_metrics(&mut rec);
+            let rasg = profiler.into_rasg();
             println!(
                 "rasg: {} records, grammar size {} symbols, {} bytes",
                 rasg.accesses(),

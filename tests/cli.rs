@@ -553,3 +553,115 @@ fn inspect_rejects_garbage_files() {
     assert!(!out.status.success());
     let _ = std::fs::remove_file(garbage);
 }
+
+#[test]
+fn grammar_workers_run_is_byte_identical_and_reports_worker_metrics() {
+    let seq = tmp("grammar-seq.orp");
+    let pipe = tmp("grammar-pipe.orp");
+    let json = tmp("grammar-pipe.json");
+    for (out_path, extra) in [(&seq, &[][..]), (&pipe, &["--grammar-workers", "4"][..])] {
+        let out = cli()
+            .args([
+                "run",
+                "--workload",
+                "micro.matrix",
+                "--profiler",
+                "whomp",
+                "--out",
+                out_path.to_str().unwrap(),
+                "--metrics-out",
+                json.to_str().unwrap(),
+            ])
+            .args(extra)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        std::fs::read(&seq).unwrap(),
+        std::fs::read(&pipe).unwrap(),
+        "pipelined grammar construction must not change the profile"
+    );
+    let doc = std::fs::read_to_string(&json).unwrap();
+    assert!(doc.contains("grammar.workers"), "{doc}");
+    assert!(doc.contains("grammar.rules.offset"), "{doc}");
+    assert!(doc.contains("grammar.symbols.instruction"), "{doc}");
+    assert!(doc.contains("grammar.batches.object"), "{doc}");
+    assert!(doc.contains("grammar.worker_busy_ns.group"), "{doc}");
+    for p in [&seq, &pipe, &json] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn grammar_workers_rejects_incompatible_flag_combinations() {
+    for args in [
+        &["--profiler", "leap", "--grammar-workers", "2"][..],
+        &[
+            "--profiler",
+            "whomp",
+            "--grammar-workers",
+            "2",
+            "--checkpoint",
+            "x.orp",
+        ][..],
+        &[
+            "--profiler",
+            "hybrid",
+            "--grammar-workers",
+            "2",
+            "--shards",
+            "2",
+        ][..],
+        &[
+            "--profiler",
+            "hybrid",
+            "--grammar-workers",
+            "2",
+            "--resume",
+            "x.orp",
+        ][..],
+    ] {
+        let out = cli()
+            .args(["run", "--workload", "micro.matrix"])
+            .args(args)
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "should reject: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "{err}");
+    }
+}
+
+#[test]
+fn sequential_grammar_runs_also_report_grammar_shape() {
+    // The grammar.rules/grammar.symbols families are profiler facts,
+    // not pipeline facts: they must appear without --grammar-workers.
+    let json = tmp("grammar-shape.json");
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.linked_list",
+            "--profiler",
+            "rasg",
+            "--metrics-out",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&json).unwrap();
+    assert!(doc.contains("grammar.rules.records"), "{doc}");
+    assert!(doc.contains("grammar.symbols.records"), "{doc}");
+    assert!(!doc.contains("grammar.workers"), "{doc}");
+    let _ = std::fs::remove_file(json);
+}

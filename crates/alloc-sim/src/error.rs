@@ -14,6 +14,12 @@ pub enum AllocError {
         /// The offending address.
         addr: u64,
     },
+    /// A pooled allocation referenced a pool id this heap never
+    /// reserved.
+    InvalidPool {
+        /// The offending pool id.
+        pool: usize,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -24,6 +30,9 @@ impl std::fmt::Display for AllocError {
             }
             AllocError::InvalidFree { addr } => {
                 write!(f, "free of {addr:#x} which is not a live block base")
+            }
+            AllocError::InvalidPool { pool } => {
+                write!(f, "pool id {pool} was never reserved on this heap")
             }
         }
     }

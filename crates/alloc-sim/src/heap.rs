@@ -60,16 +60,42 @@ pub struct HeapStats {
     pub peak_live_bytes: u64,
 }
 
+/// Handle to a pool reserved with [`SimHeap::reserve_pool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolId(usize);
+
+/// A carved-out arena region serving one co-location group, pool, or
+/// tier. Blocks inside it are bump-placed (arena semantics): freeing a
+/// pooled block releases no bytes until the whole pool would be.
+#[derive(Debug, Clone, Copy)]
+struct Pool {
+    base: u64,
+    capacity: u64,
+    cursor: u64,
+}
+
 /// A simulated heap: a placement strategy plus live-block bookkeeping.
 ///
 /// The heap validates frees (detecting double frees and wild pointers)
 /// and remembers each live block's size so workloads only have to carry
 /// base addresses around, like real programs do.
+///
+/// Layout plans are honored through *pools*: [`SimHeap::reserve_pool`]
+/// carves a contiguous region out of the arena via the underlying
+/// placement strategy, and [`SimHeap::alloc_pooled`] places blocks
+/// densely inside it in call order — which is how co-location groups,
+/// site pools, and hot/cold tier regions all get their contiguity
+/// while unplanned allocations keep flowing through the baseline
+/// strategy.
 #[derive(Debug)]
 pub struct SimHeap {
     kind: AllocatorKind,
     strategy: Box<dyn PlacementStrategy + Send>,
     live: HashMap<u64, u64>,
+    /// Bases of live blocks that came from a pool (their bytes belong
+    /// to the pool, not the strategy).
+    pooled: std::collections::HashSet<u64>,
+    pools: Vec<Pool>,
     stats: HeapStats,
 }
 
@@ -103,6 +129,8 @@ impl SimHeap {
             kind,
             strategy,
             live: HashMap::new(),
+            pooled: std::collections::HashSet::new(),
+            pools: Vec::new(),
             stats: HeapStats::default(),
         }
     }
@@ -133,6 +161,63 @@ impl SimHeap {
         Ok(base)
     }
 
+    /// Carves a dedicated pool of at least `capacity` bytes out of the
+    /// arena. The region comes from the placement strategy (so it can
+    /// never overlap ordinary allocations) and subsequent
+    /// [`SimHeap::alloc_pooled`] calls fill it densely in call order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfMemory`] when the arena cannot fit
+    /// the pool.
+    pub fn reserve_pool(&mut self, capacity: u64) -> Result<PoolId, AllocError> {
+        let capacity = align_up(capacity);
+        let base = self.strategy.place(capacity)?;
+        let id = PoolId(self.pools.len());
+        self.pools.push(Pool {
+            base,
+            capacity,
+            cursor: base,
+        });
+        Ok(id)
+    }
+
+    /// Allocates `size` bytes (rounded up to the minimum alignment)
+    /// inside a reserved pool, at the pool's next free offset.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidPool`] for an unknown pool id;
+    /// [`AllocError::OutOfMemory`] when the pool is full.
+    pub fn alloc_pooled(&mut self, pool: PoolId, size: u64) -> Result<u64, AllocError> {
+        let size = align_up(size);
+        let p = self
+            .pools
+            .get_mut(pool.0)
+            .ok_or(AllocError::InvalidPool { pool: pool.0 })?;
+        if p.cursor + size > p.base + p.capacity {
+            return Err(AllocError::OutOfMemory { requested: size });
+        }
+        let base = p.cursor;
+        p.cursor += size;
+        debug_assert!(
+            !self.live.contains_key(&base),
+            "pool cursor hit a live base"
+        );
+        self.live.insert(base, size);
+        self.pooled.insert(base);
+        self.stats.allocs += 1;
+        self.stats.live_bytes += size;
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        Ok(base)
+    }
+
+    /// Base address and capacity of a reserved pool.
+    #[must_use]
+    pub fn pool_extent(&self, pool: PoolId) -> Option<(u64, u64)> {
+        self.pools.get(pool.0).map(|p| (p.base, p.capacity))
+    }
+
     /// Frees the block based at `base`.
     ///
     /// # Errors
@@ -144,7 +229,11 @@ impl SimHeap {
             .live
             .remove(&base)
             .ok_or(AllocError::InvalidFree { addr: base })?;
-        self.strategy.unplace(base, size);
+        if !self.pooled.remove(&base) {
+            // Pooled bytes stay with their pool (arena semantics); only
+            // strategy-placed blocks return to the strategy.
+            self.strategy.unplace(base, size);
+        }
         self.stats.frees += 1;
         self.stats.live_bytes -= size;
         Ok(())
@@ -231,6 +320,61 @@ mod tests {
         let bump = place(AllocatorKind::Bump);
         let freelist = place(AllocatorKind::FreeList);
         assert_ne!(bump, freelist, "bump never reuses, free-list does");
+    }
+
+    #[test]
+    fn pooled_blocks_are_dense_and_disjoint_from_the_arena() {
+        for kind in AllocatorKind::ALL {
+            let mut heap = SimHeap::new(kind, 3);
+            let outside = heap.alloc(64).unwrap();
+            let pool = heap.reserve_pool(256).unwrap();
+            let a = heap.alloc_pooled(pool, 16).unwrap();
+            let b = heap.alloc_pooled(pool, 16).unwrap();
+            assert_eq!(b, a + 16, "{kind}: pool placement is dense");
+            let (base, cap) = heap.pool_extent(pool).unwrap();
+            assert!(a >= base && b + 16 <= base + cap, "{kind}");
+            assert!(
+                outside + 64 <= base || base + cap <= outside,
+                "{kind}: pool overlaps an ordinary block"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_exhaustion_is_oom() {
+        let mut heap = SimHeap::new(AllocatorKind::FreeList, 0);
+        let pool = heap.reserve_pool(32).unwrap();
+        heap.alloc_pooled(pool, 32).unwrap();
+        assert!(matches!(
+            heap.alloc_pooled(pool, 16),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_pool_is_rejected() {
+        let mut heap = SimHeap::new(AllocatorKind::Bump, 0);
+        assert_eq!(
+            heap.alloc_pooled(PoolId(7), 16),
+            Err(AllocError::InvalidPool { pool: 7 })
+        );
+    }
+
+    #[test]
+    fn freeing_a_pooled_block_keeps_the_pool_region() {
+        // Free a pooled block, then allocate normally: the strategy must
+        // not hand the pool's bytes back out.
+        let mut heap = SimHeap::new(AllocatorKind::FreeList, 0);
+        let pool = heap.reserve_pool(64).unwrap();
+        let a = heap.alloc_pooled(pool, 64).unwrap();
+        heap.free(a).unwrap();
+        let (base, cap) = heap.pool_extent(pool).unwrap();
+        let fresh = heap.alloc(64).unwrap();
+        assert!(
+            fresh + 64 <= base || base + cap <= fresh,
+            "strategy reused pooled bytes"
+        );
+        assert_eq!(heap.stats().frees, 1);
     }
 
     #[test]

@@ -48,14 +48,16 @@ mod error;
 mod freelist;
 mod heap;
 mod linker;
+mod plan;
 mod random;
 
 pub use buddy::BuddyAllocator;
 pub use bump::BumpAllocator;
 pub use error::AllocError;
 pub use freelist::FreeListAllocator;
-pub use heap::{AllocatorKind, HeapStats, SimHeap};
+pub use heap::{AllocatorKind, HeapStats, PoolId, SimHeap};
 pub use linker::{LinkerLayout, StaticObject};
+pub use plan::{apply_plan, ObjectExtent, PlannedPlacement, PlannedRegion, Segment};
 pub use random::RandomizingAllocator;
 
 /// Base virtual address of the simulated heap segment.
@@ -69,6 +71,36 @@ pub const STATIC_BASE: u64 = 0x1000_0000;
 
 /// Minimum alignment (in bytes) of every simulated allocation.
 pub const MIN_ALIGN: u64 = 16;
+
+/// Simulated cache-line size, the natural alignment for co-location
+/// regions.
+pub const LINE_ALIGN: u64 = 64;
+
+/// Simulated page size, the natural alignment for pools and tier
+/// regions.
+pub const PAGE_ALIGN: u64 = 4096;
+
+/// Rounds `value` up to the next multiple of `align`.
+///
+/// The single alignment primitive every placement path — heap blocks,
+/// pool carving, and linker cursors — goes through, so heap and static
+/// layouts can never disagree about rounding.
+///
+/// ```
+/// use orp_allocsim::align_up_to;
+/// assert_eq!(align_up_to(17, 16), 32);
+/// assert_eq!(align_up_to(4096, 4096), 4096);
+/// assert_eq!(align_up_to(0, 64), 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `align` is zero.
+#[must_use]
+pub fn align_up_to(value: u64, align: u64) -> u64 {
+    assert!(align > 0, "alignment must be nonzero");
+    value.div_ceil(align) * align
+}
 
 /// Rounds `size` up to the allocator's minimum alignment.
 ///
@@ -84,8 +116,7 @@ pub const MIN_ALIGN: u64 = 16;
 /// ```
 #[must_use]
 pub fn align_up(size: u64) -> u64 {
-    let size = size.max(1);
-    size.div_ceil(MIN_ALIGN) * MIN_ALIGN
+    align_up_to(size.max(1), MIN_ALIGN)
 }
 
 /// The placement-strategy interface shared by all simulated allocators.

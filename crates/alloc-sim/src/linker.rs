@@ -53,10 +53,13 @@ impl LinkerLayout {
 
     /// Places a static object of `size` bytes and returns its record.
     ///
-    /// Objects are placed in call order, each aligned to the minimum
-    /// alignment — the deterministic-but-arbitrary behavior of a real
-    /// linker processing symbols in definition order.
+    /// Objects are placed in call order; both the base (real linkers
+    /// align every symbol, whatever the segment start) and the size
+    /// are rounded to the minimum alignment — the deterministic-but-
+    /// arbitrary behavior of a real linker processing symbols in
+    /// definition order.
     pub fn place(&mut self, name: &str, size: u64) -> StaticObject {
+        self.next = crate::align_up_to(self.next, crate::MIN_ALIGN);
         let size = align_up(size);
         let obj = StaticObject {
             name: name.to_owned(),
@@ -66,6 +69,19 @@ impl LinkerLayout {
         self.next += size;
         self.objects.push(obj.clone());
         obj
+    }
+
+    /// Advances the placement cursor to the next multiple of `align` —
+    /// how a layout plan starts a fresh region (e.g. a page-aligned
+    /// hot tier) inside the static segment. Uses the same
+    /// [`align_up_to`](crate::align_up_to) primitive as the heap's
+    /// pool carving, so the two segments can never round differently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero.
+    pub fn align_cursor(&mut self, align: u64) {
+        self.next = crate::align_up_to(self.next, align);
     }
 
     /// All placed objects, in placement order.

@@ -1,0 +1,415 @@
+//! Applying a [`LayoutPlan`]: typed transforms to concrete addresses.
+//!
+//! The applier is the "apply" stage of the optimize pipeline: it takes
+//! the profiled object inventory (one [`ObjectExtent`] per object) and
+//! a plan, and drives [`SimHeap`] / [`LinkerLayout`] so that
+//!
+//! * every `Colocate` chain occupies a dense region in member order,
+//! * every `PoolGroup`'s objects share a dedicated pool,
+//! * every `HotColdSplit` places its hot set in one dense region and
+//!   the group's remaining objects in a separate cold region,
+//! * everything not claimed by any transform flows through the
+//!   baseline placement paths unchanged.
+//!
+//! Transforms claim objects in plan order (descending expected
+//! benefit); the first claim wins, so a high-benefit co-location chain
+//! cannot be broken up by a lower-benefit pool over the same group.
+//! `FieldReorder` transforms do not move objects — they remap offsets
+//! inside them, which the cache-side evaluator applies at replay time.
+//!
+//! Placement is total and non-overlapping by construction: pools are
+//! carved from the heap arena through the placement strategy (disjoint
+//! from ordinary blocks), members are bump-placed densely inside them,
+//! and the static segment advances a monotone cursor.
+
+use std::collections::BTreeMap;
+
+use orp_core::{GroupId, ObjectSerial};
+use orp_opt::{LayoutPlan, ObjectKey, TransformKind};
+
+use crate::{align_up, AllocError, LinkerLayout, SimHeap, PAGE_ALIGN};
+
+/// Which simulated segment an object lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// Statically allocated (linker-placed).
+    Static,
+    /// Heap allocated.
+    Heap,
+}
+
+/// One profiled object, as the applier needs to see it.
+#[derive(Debug, Clone)]
+pub struct ObjectExtent {
+    /// Allocation-site group.
+    pub group: GroupId,
+    /// Per-group serial.
+    pub serial: ObjectSerial,
+    /// Object size in bytes (pre-alignment).
+    pub size: u64,
+    /// Segment the object originally lived in.
+    pub segment: Segment,
+}
+
+impl ObjectExtent {
+    fn key(&self) -> ObjectKey {
+        (self.group, self.serial)
+    }
+}
+
+/// One contiguous region a transform produced, for reporting.
+#[derive(Debug, Clone)]
+pub struct PlannedRegion {
+    /// Metric-safe label (`colocate.g3`, `hot-cold-split.g1.hot`, …).
+    pub label: String,
+    /// Region base address.
+    pub base: u64,
+    /// Region extent in bytes (aligned member sizes summed).
+    pub bytes: u64,
+    /// Objects placed inside.
+    pub members: usize,
+}
+
+/// The applied layout: every object's planned base address.
+#[derive(Debug, Clone, Default)]
+pub struct PlannedPlacement {
+    bases: BTreeMap<ObjectKey, u64>,
+    /// Regions the plan's transforms produced, in application order.
+    pub regions: Vec<PlannedRegion>,
+}
+
+impl PlannedPlacement {
+    /// The planned base address of one object.
+    #[must_use]
+    pub fn address_of(&self, key: ObjectKey) -> Option<u64> {
+        self.bases.get(&key).copied()
+    }
+
+    /// All placements, keyed by object.
+    pub fn bases(&self) -> impl Iterator<Item = (ObjectKey, u64)> + '_ {
+        self.bases.iter().map(|(&k, &b)| (k, b))
+    }
+
+    /// Number of placed objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// True when nothing was placed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+}
+
+/// A run of objects one transform claimed, to be placed contiguously.
+struct Directive {
+    label: String,
+    members: Vec<usize>, // indices into `objects`
+}
+
+/// Applies `plan` to the profiled `objects`, placing planned regions
+/// and unclaimed objects through `heap` (heap segment) and `layout`
+/// (static segment).
+///
+/// Objects must be unique by `(group, serial)`; duplicates beyond the
+/// first are ignored. Every object ends up with exactly one address.
+///
+/// # Errors
+///
+/// Returns [`AllocError::OutOfMemory`] when the heap arena cannot hold
+/// the planned regions plus the unclaimed objects.
+pub fn apply_plan(
+    plan: &LayoutPlan,
+    objects: &[ObjectExtent],
+    heap: &mut SimHeap,
+    layout: &mut LinkerLayout,
+) -> Result<PlannedPlacement, AllocError> {
+    // First-seen extent per key, preserving input order.
+    let mut index: BTreeMap<ObjectKey, usize> = BTreeMap::new();
+    let mut order: Vec<usize> = Vec::with_capacity(objects.len());
+    for (i, o) in objects.iter().enumerate() {
+        if let std::collections::btree_map::Entry::Vacant(e) = index.entry(o.key()) {
+            e.insert(i);
+            order.push(i);
+        }
+    }
+    // Objects of one group in input order, for group-scoped claims.
+    let mut by_group: BTreeMap<GroupId, Vec<usize>> = BTreeMap::new();
+    for &i in &order {
+        by_group.entry(objects[i].group).or_default().push(i);
+    }
+
+    let mut claimed = vec![false; objects.len()];
+    let claim = |idxs: &[usize], claimed: &mut Vec<bool>| -> Vec<usize> {
+        idxs.iter()
+            .copied()
+            .filter(|&i| !std::mem::replace(&mut claimed[i], true))
+            .collect()
+    };
+
+    let labels = plan.labels();
+    let mut directives: Vec<Directive> = Vec::new();
+    for (t, label) in plan.transforms().iter().zip(labels) {
+        match &t.kind {
+            TransformKind::FieldReorder { .. } => {}
+            TransformKind::Colocate { objects: members } => {
+                let idxs: Vec<usize> = members
+                    .iter()
+                    .filter_map(|k| index.get(k).copied())
+                    .collect();
+                let taken = claim(&idxs, &mut claimed);
+                if !taken.is_empty() {
+                    directives.push(Directive {
+                        label,
+                        members: taken,
+                    });
+                }
+            }
+            TransformKind::PoolGroup { group } => {
+                let idxs = by_group.get(group).cloned().unwrap_or_default();
+                let taken = claim(&idxs, &mut claimed);
+                if !taken.is_empty() {
+                    directives.push(Directive {
+                        label,
+                        members: taken,
+                    });
+                }
+            }
+            TransformKind::HotColdSplit { group, hot } => {
+                let hot_idxs: Vec<usize> = hot
+                    .iter()
+                    .filter_map(|&s| index.get(&(*group, s)).copied())
+                    .collect();
+                let taken_hot = claim(&hot_idxs, &mut claimed);
+                let rest = by_group.get(group).cloned().unwrap_or_default();
+                let taken_cold = claim(&rest, &mut claimed);
+                if !taken_hot.is_empty() {
+                    directives.push(Directive {
+                        label: format!("{label}.hot"),
+                        members: taken_hot,
+                    });
+                }
+                if !taken_cold.is_empty() {
+                    directives.push(Directive {
+                        label: format!("{label}.cold"),
+                        members: taken_cold,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut placement = PlannedPlacement::default();
+
+    // Planned regions first: they get the dense, low addresses.
+    for d in &directives {
+        // A directive can span segments (a cross-group colocate from
+        // the remap adviser may mix statics and heap objects); each
+        // segment gets its own contiguous run.
+        for segment in [Segment::Heap, Segment::Static] {
+            let members: Vec<usize> = d
+                .members
+                .iter()
+                .copied()
+                .filter(|&i| objects[i].segment == segment)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let bytes: u64 = members.iter().map(|&i| align_up(objects[i].size)).sum();
+            let base = match segment {
+                Segment::Heap => {
+                    let pool = heap.reserve_pool(bytes)?;
+                    for &i in &members {
+                        let addr = heap.alloc_pooled(pool, objects[i].size)?;
+                        placement.bases.insert(objects[i].key(), addr);
+                    }
+                    heap.pool_extent(pool).map_or(0, |(b, _)| b)
+                }
+                Segment::Static => {
+                    layout.align_cursor(PAGE_ALIGN);
+                    let mut first = None;
+                    for &i in &members {
+                        let name = format!("g{}.s{}", objects[i].group.0, objects[i].serial.0);
+                        let obj = layout.place(&name, objects[i].size);
+                        first.get_or_insert(obj.base);
+                        placement.bases.insert(objects[i].key(), obj.base);
+                    }
+                    first.unwrap_or(0)
+                }
+            };
+            placement.regions.push(PlannedRegion {
+                label: d.label.clone(),
+                base,
+                bytes,
+                members: members.len(),
+            });
+        }
+    }
+
+    // Everything unclaimed flows through the baseline paths in input
+    // order, exactly as an unplanned run would place it.
+    for &i in &order {
+        if claimed[i] {
+            continue;
+        }
+        let o = &objects[i];
+        let addr = match o.segment {
+            Segment::Heap => heap.alloc(o.size)?,
+            Segment::Static => {
+                let name = format!("g{}.s{}", o.group.0, o.serial.0);
+                layout.place(&name, o.size).base
+            }
+        };
+        placement.bases.insert(o.key(), addr);
+    }
+
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocatorKind;
+    use orp_opt::Transform;
+
+    fn heap_obj(group: u32, serial: u64, size: u64) -> ObjectExtent {
+        ObjectExtent {
+            group: GroupId(group),
+            serial: ObjectSerial(serial),
+            size,
+            segment: Segment::Heap,
+        }
+    }
+
+    fn static_obj(group: u32, serial: u64, size: u64) -> ObjectExtent {
+        ObjectExtent {
+            group: GroupId(group),
+            serial: ObjectSerial(serial),
+            size,
+            segment: Segment::Static,
+        }
+    }
+
+    fn apply(plan: &LayoutPlan, objects: &[ObjectExtent]) -> PlannedPlacement {
+        let mut heap = SimHeap::new(AllocatorKind::FreeList, 1);
+        let mut layout = LinkerLayout::new(0);
+        apply_plan(plan, objects, &mut heap, &mut layout).unwrap()
+    }
+
+    #[test]
+    fn colocated_objects_are_contiguous_in_chain_order() {
+        let objects: Vec<ObjectExtent> = (0..6).map(|s| heap_obj(0, s, 32)).collect();
+        let plan = LayoutPlan::from_transforms(vec![Transform {
+            kind: TransformKind::Colocate {
+                objects: vec![
+                    (GroupId(0), ObjectSerial(4)),
+                    (GroupId(0), ObjectSerial(1)),
+                    (GroupId(0), ObjectSerial(5)),
+                ],
+            },
+            advisor: "cluster".to_string(),
+            benefit: 10,
+        }]);
+        let placed = apply(&plan, &objects);
+        let a = placed.address_of((GroupId(0), ObjectSerial(4))).unwrap();
+        let b = placed.address_of((GroupId(0), ObjectSerial(1))).unwrap();
+        let c = placed.address_of((GroupId(0), ObjectSerial(5))).unwrap();
+        assert_eq!(b, a + 32, "chain order, dense");
+        assert_eq!(c, b + 32);
+        assert_eq!(placed.len(), 6, "unclaimed objects placed too");
+        assert_eq!(placed.regions.len(), 1);
+        assert_eq!(placed.regions[0].members, 3);
+    }
+
+    #[test]
+    fn hot_cold_split_separates_tiers() {
+        let objects: Vec<ObjectExtent> = (0..8).map(|s| heap_obj(2, s, 64)).collect();
+        let plan = LayoutPlan::from_transforms(vec![Transform {
+            kind: TransformKind::HotColdSplit {
+                group: GroupId(2),
+                hot: vec![ObjectSerial(1), ObjectSerial(3)],
+            },
+            advisor: "tier".to_string(),
+            benefit: 5,
+        }]);
+        let placed = apply(&plan, &objects);
+        assert_eq!(placed.regions.len(), 2);
+        let hot = &placed.regions[0];
+        let cold = &placed.regions[1];
+        assert!(hot.label.ends_with(".hot"));
+        assert!(cold.label.ends_with(".cold"));
+        assert_eq!(hot.members, 2);
+        assert_eq!(cold.members, 6);
+        // The two tiers do not interleave.
+        assert!(
+            hot.base + hot.bytes <= cold.base || cold.base + cold.bytes <= hot.base,
+            "tier regions overlap"
+        );
+    }
+
+    #[test]
+    fn higher_benefit_transform_claims_first() {
+        let objects: Vec<ObjectExtent> = (0..4).map(|s| heap_obj(1, s, 16)).collect();
+        let plan = LayoutPlan::from_transforms(vec![
+            Transform {
+                kind: TransformKind::PoolGroup { group: GroupId(1) },
+                advisor: "cluster".to_string(),
+                benefit: 1,
+            },
+            Transform {
+                kind: TransformKind::Colocate {
+                    objects: vec![(GroupId(1), ObjectSerial(2)), (GroupId(1), ObjectSerial(0))],
+                },
+                advisor: "cluster".to_string(),
+                benefit: 100,
+            },
+        ]);
+        let placed = apply(&plan, &objects);
+        // The colocate (benefit 100) runs first and owns serials 2 and
+        // 0; the pool gets the rest.
+        assert_eq!(placed.regions[0].members, 2);
+        assert!(placed.regions[0].label.starts_with("colocate"));
+        assert_eq!(placed.regions[1].members, 2);
+        assert!(placed.regions[1].label.starts_with("pool-group"));
+    }
+
+    #[test]
+    fn static_objects_go_through_the_linker() {
+        let objects = vec![static_obj(10, 0, 100), static_obj(11, 0, 100)];
+        let plan = LayoutPlan::from_transforms(vec![Transform {
+            kind: TransformKind::Colocate {
+                objects: vec![
+                    (GroupId(11), ObjectSerial(0)),
+                    (GroupId(10), ObjectSerial(0)),
+                ],
+            },
+            advisor: "remap".to_string(),
+            benefit: 3,
+        }]);
+        let mut heap = SimHeap::new(AllocatorKind::Bump, 0);
+        let mut layout = LinkerLayout::new(0);
+        let placed = apply_plan(&plan, &objects, &mut heap, &mut layout).unwrap();
+        let a = placed.address_of((GroupId(11), ObjectSerial(0))).unwrap();
+        let b = placed.address_of((GroupId(10), ObjectSerial(0))).unwrap();
+        assert_eq!(b, a + align_up(100), "remap order, dense");
+        assert_eq!(heap.stats().allocs, 0, "no heap traffic for statics");
+        assert_eq!(layout.objects().len(), 2);
+    }
+
+    #[test]
+    fn empty_plan_degenerates_to_baseline_placement() {
+        let objects: Vec<ObjectExtent> = (0..5).map(|s| heap_obj(0, s, 48)).collect();
+        let placed = apply(&LayoutPlan::default(), &objects);
+        assert_eq!(placed.len(), 5);
+        assert!(placed.regions.is_empty());
+        // Baseline = the heap's own strategy, in input order.
+        let mut heap = SimHeap::new(AllocatorKind::FreeList, 1);
+        for o in &objects {
+            let expect = heap.alloc(o.size).unwrap();
+            assert_eq!(placed.address_of(o.key()), Some(expect));
+        }
+    }
+}

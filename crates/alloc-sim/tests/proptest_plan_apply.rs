@@ -1,0 +1,115 @@
+//! Property test for plan application: whatever the plan and object
+//! inventory, the applied layout places every object exactly once, at
+//! a minimum-aligned base, with no two extents overlapping — across
+//! every allocator strategy.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use orp_allocsim::{
+    align_up, apply_plan, AllocatorKind, LinkerLayout, ObjectExtent, Segment, SimHeap, MIN_ALIGN,
+};
+use orp_core::{GroupId, ObjectSerial};
+use orp_opt::{LayoutPlan, Transform, TransformKind};
+
+fn arb_objects() -> impl Strategy<Value = Vec<ObjectExtent>> {
+    vec((0u32..6, 0u64..40, 1u64..256, 0u8..4), 1..60).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(g, s, size, seg)| ObjectExtent {
+                group: GroupId(g),
+                serial: ObjectSerial(s),
+                size,
+                // Static objects are rarer, like real programs.
+                segment: if seg == 0 {
+                    Segment::Static
+                } else {
+                    Segment::Heap
+                },
+            })
+            .collect()
+    })
+}
+
+/// Transforms referencing the same (group, serial) space as the
+/// objects — some members will exist, some will not, both must be
+/// handled.
+fn arb_transform() -> impl Strategy<Value = Transform> {
+    let colocate = vec((0u32..6, 0u64..40), 2..10).prop_map(|objs| {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut members: Vec<(GroupId, ObjectSerial)> = objs
+            .into_iter()
+            .filter(|o| seen.insert(*o))
+            .map(|(g, s)| (GroupId(g), ObjectSerial(s)))
+            .collect();
+        if members.len() < 2 {
+            members.push((GroupId(63), ObjectSerial(u64::MAX)));
+        }
+        TransformKind::Colocate { objects: members }
+    });
+    let pool = (0u32..6).prop_map(|g| TransformKind::PoolGroup { group: GroupId(g) });
+    let split = (0u32..6, vec(0u64..40, 1..12)).prop_map(|(g, hot)| {
+        let hot: std::collections::BTreeSet<u64> = hot.into_iter().collect();
+        TransformKind::HotColdSplit {
+            group: GroupId(g),
+            hot: hot.into_iter().map(ObjectSerial).collect(),
+        }
+    });
+    let reorder = (0u32..6).prop_map(|g| TransformKind::FieldReorder {
+        group: GroupId(g),
+        order: vec![0, 16, 8],
+    });
+    (prop_oneof![colocate, pool, split, reorder], 0u64..10_000).prop_map(|(kind, benefit)| {
+        Transform {
+            kind,
+            advisor: "prop".to_string(),
+            benefit,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn planned_layouts_never_overlap_or_misalign(
+        objects in arb_objects(),
+        transforms in vec(arb_transform(), 0..8),
+        kind_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let plan = LayoutPlan::from_transforms(transforms);
+        let kind = AllocatorKind::ALL[kind_idx];
+        let mut heap = SimHeap::new(kind, seed);
+        let mut layout = LinkerLayout::new(seed % 0x1000);
+        let placed = apply_plan(&plan, &objects, &mut heap, &mut layout).unwrap();
+
+        // Exactly one address per distinct object.
+        let mut distinct = std::collections::BTreeSet::new();
+        for o in &objects {
+            distinct.insert((o.group, o.serial));
+        }
+        prop_assert_eq!(placed.len(), distinct.len());
+
+        // Sizes by key (first occurrence wins, as documented).
+        let mut sizes = std::collections::BTreeMap::new();
+        for o in &objects {
+            sizes.entry((o.group, o.serial)).or_insert(o.size);
+        }
+
+        // Every base aligned; every extent disjoint.
+        let mut extents: Vec<(u64, u64)> = Vec::new();
+        for (key, base) in placed.bases() {
+            prop_assert_eq!(base % MIN_ALIGN, 0, "misaligned base {:#x}", base);
+            let len = align_up(sizes[&key]);
+            extents.push((base, len));
+        }
+        extents.sort_unstable();
+        for w in extents.windows(2) {
+            let (a_base, a_len) = w[0];
+            let (b_base, _) = w[1];
+            prop_assert!(
+                a_base + a_len <= b_base,
+                "extents overlap: [{:#x};{}) and [{:#x};..)",
+                a_base, a_len, b_base
+            );
+        }
+    }
+}

@@ -2,42 +2,43 @@
 //!
 //! The paper's profiles exist to feed layout optimizations whose value
 //! is cache misses. This harness runs a pointer-chasing workload whose
-//! traversal order is decoupled from its allocation order, derives a
-//! placement from the object-relative profile (first-touch order, the
-//! cache-conscious placement the paper cites via Calder et al.), and
-//! measures L1/L2 miss rates under a simulated hierarchy:
+//! traversal order is decoupled from its allocation order and measures
+//! L1/L2 miss rates under a simulated hierarchy for:
 //!
 //! * the original allocator-scattered layout,
 //! * a compacted allocation-order layout (what a compacting allocator
 //!   with no profile could do),
-//! * the profile-guided access-order layout,
-//! * access order plus field compaction of the hot fields.
+//! * the profile-guided access-order packing (first-touch order over
+//!   the steady state, the cache-conscious placement the paper cites
+//!   via Calder et al.),
+//! * the unified plan pipeline: every adviser's typed transforms in
+//!   one `LayoutPlan`, applied through the simulated heap and linker.
 
 #![forbid(unsafe_code)]
 
-use orp_bench::run;
-use orp_cache::layout::{access_order, LayoutPlan};
-use orp_cache::{CacheConfig, Hierarchy};
+use orp_cache::evaluate::{extents_from_records, layout_under, replay_layout, EvalConfig};
+use orp_cache::layout::{access_order, AppliedLayout};
+use orp_cache::CacheConfig;
 use orp_core::OrSink;
-use orp_core::{Cdc, Omc, VecOrSink};
-use orp_opt::FieldReorderAnalysis;
+use orp_opt::AdvisorSet;
 use orp_report::Table;
-use orp_workloads::{micro, RunConfig};
+use orp_workloads::{micro, profile, RunConfig, Workload};
 
-fn hierarchy() -> Hierarchy {
-    Hierarchy::new(
+fn eval_cfg() -> EvalConfig {
+    EvalConfig {
         // Deliberately small L1 so layout effects show at harness scale.
-        CacheConfig {
+        l1: CacheConfig {
             sets: 32,
             ways: 4,
             line_bytes: 64,
         }, // 8 KiB
-        CacheConfig {
+        l2: CacheConfig {
             sets: 256,
             ways: 8,
             line_bytes: 64,
         }, // 128 KiB
-    )
+        ..EvalConfig::default()
+    }
 }
 
 fn main() {
@@ -45,80 +46,62 @@ fn main() {
     // A shuffled list: traversal order is unrelated to allocation order.
     let workload = micro::LinkedList::new_shuffled(4096, 12);
 
-    // One profiling run: the tuple stream, the object table, and the
-    // field advice.
-    struct Collector {
-        tuples: VecOrSink,
-        fields: FieldReorderAnalysis,
+    // One profiling run yields the tuple stream and the object table;
+    // the advisers consume the same stream to emit one typed plan.
+    let run = profile(&workload as &dyn Workload, &cfg);
+    let mut advisors = AdvisorSet::new();
+    for t in &run.tuples {
+        advisors.tuple(t);
     }
-    impl OrSink for Collector {
-        fn tuple(&mut self, t: &orp_core::OrTuple) {
-            self.tuples.tuple(t);
-            self.fields.tuple(t);
-        }
-    }
-    let mut cdc = Cdc::new(
-        Omc::new(),
-        Collector {
-            tuples: VecOrSink::new(),
-            fields: FieldReorderAnalysis::new(),
-        },
-    );
-    run(&workload, &cfg, &mut cdc);
-    let (omc, collector) = cdc.into_parts();
-    let tuples = collector.tuples.into_tuples();
-    let mut objects = omc.live_records();
-    objects.extend(omc.archive().iter().cloned());
+    let plan = advisors.plan();
+    let objects = &run.records;
 
     // The four layouts.
-    let original = LayoutPlan::original(&objects);
+    let original = AppliedLayout::original(objects);
     let mut alloc_order: Vec<_> = objects.iter().map(|o| (o.group, o.serial)).collect();
     alloc_order.sort_by_key(|&(g, s)| (g, s));
-    let compacted = LayoutPlan::packed(&objects, &alloc_order, 0x10_0000);
+    let compacted = AppliedLayout::packed(objects, &alloc_order, 0x10_0000);
     // First-touch over the whole stream would just replay allocation
     // order (the build phase touches every node first); profile-guided
-    // placement uses the steady-state traversal order instead.
-    let guided_order = access_order(&tuples[tuples.len() / 2..]);
-    let guided = LayoutPlan::packed(&objects, &guided_order, 0x10_0000);
-    let mut guided_fields = LayoutPlan::packed(&objects, &guided_order, 0x10_0000);
-    for group in collector.fields.groups() {
-        let order = collector.fields.suggest_layout(group);
-        if order.len() >= 2 {
-            guided_fields.set_field_order(group, &order);
-        }
-    }
+    // packing uses the steady-state traversal order instead.
+    let guided_order = access_order(&run.tuples[run.tuples.len() / 2..]);
+    let guided = AppliedLayout::packed(objects, &guided_order, 0x10_0000);
+    let ecfg = eval_cfg();
+    let planned = layout_under(&plan, &extents_from_records(objects), &ecfg)
+        .expect("plan must apply within the simulated arena");
 
     let mut table = Table::new(["layout", "L1 miss rate", "L2 miss rate", "L1 misses"]);
     let mut results = Vec::new();
-    for (name, plan) in [
+    for (name, layout) in [
         ("original (allocator-scattered)", &original),
         ("compacted, allocation order", &compacted),
         ("profile-guided, access order", &guided),
-        ("access order + field compaction", &guided_fields),
+        ("layout plan (all advisers)", &planned),
     ] {
-        let mut h = hierarchy();
-        let skipped = plan.replay(&tuples, &mut h);
-        assert_eq!(skipped, 0, "{name}: every object must be placed");
-        let stats = h.stats();
+        let outcome = replay_layout(name, layout, &run.tuples, &ecfg);
+        assert_eq!(outcome.skipped, 0, "{name}: every object must be placed");
         table.row_vec(vec![
             name.to_owned(),
-            format!("{:.1}%", stats.l1.miss_rate() * 100.0),
-            format!("{:.1}%", stats.l2.miss_rate() * 100.0),
-            stats.l1.misses.to_string(),
+            format!("{:.1}%", outcome.l1_miss_rate() * 100.0),
+            format!("{:.1}%", outcome.l2_miss_rate() * 100.0),
+            outcome.l1.misses.to_string(),
         ]);
-        results.push((name, stats.l1.misses));
+        results.push((name, outcome.l1.misses));
     }
 
     println!("== Extension: profile-guided layout vs cache misses ==\n");
     println!(
-        "workload: shuffled linked list, {} accesses\n",
-        tuples.len()
+        "workload: shuffled linked list, {} accesses; plan: {} transforms\n",
+        run.tuples.len(),
+        plan.len()
     );
     println!("{}", table.render());
-    let (base, best) = (results[0].1, results[2].1);
+    let (base, packed, planned_misses) = (results[0].1, results[2].1, results[3].1);
     println!(
-        "profile-guided placement removes {:.0}% of L1 misses vs the original layout.",
-        (1.0 - best as f64 / base as f64) * 100.0
+        "access-order packing removes {:.0}% of L1 misses vs the original layout;\n\
+         the typed layout plan removes {:.0}%.",
+        (1.0 - packed as f64 / base as f64) * 100.0,
+        (1.0 - planned_misses as f64 / base as f64) * 100.0
     );
     println!("\n-- CSV --\n{}", table.to_csv());
 }

@@ -1,15 +1,23 @@
 //! Applying profile-guided layout advice and measuring it.
 //!
-//! A [`LayoutPlan`] assigns every profiled object a (new) base address
-//! and optionally remaps field offsets within a group. Replaying an
-//! object-relative stream through a cache under different plans turns
-//! layout advice — clustering orders from
-//! [`orp-opt`](../../orp_opt/index.html), field orders, or plain
-//! allocation order — into measured miss rates.
+//! An [`AppliedLayout`] is a concrete address map: it assigns every
+//! profiled object a (new) base address and optionally remaps field
+//! offsets within a group. It is the replay-side counterpart of the
+//! `orp-opt` [`LayoutPlan`](orp_opt::LayoutPlan) IR — the plan states
+//! *intent* (typed transforms), the applied layout states *addresses*.
+//! Replaying an object-relative stream through a cache under different
+//! layouts turns layout advice — clustering orders, field orders, or
+//! plain allocation order — into measured miss rates.
+//!
+//! Build one from recorded addresses ([`AppliedLayout::original`]), a
+//! packing order ([`AppliedLayout::packed`]), or a plan applied by the
+//! allocator simulator ([`AppliedLayout::from_placement`]).
 
 use std::collections::{BTreeSet, HashMap};
 
+use orp_allocsim::{ObjectExtent, PlannedPlacement};
 use orp_core::{GroupId, ObjectRecord, ObjectSerial, OrTuple};
+use orp_opt::TransformKind;
 
 use crate::Hierarchy;
 
@@ -22,7 +30,7 @@ pub type ObjectKey = (GroupId, ObjectSerial);
 /// # Examples
 ///
 /// ```
-/// use orp_cache::layout::LayoutPlan;
+/// use orp_cache::layout::AppliedLayout;
 /// use orp_core::{GroupId, ObjectRecord, ObjectSerial, Timestamp};
 ///
 /// let objects = vec![ObjectRecord {
@@ -34,22 +42,22 @@ pub type ObjectKey = (GroupId, ObjectSerial);
 ///     free_time: None,
 /// }];
 /// // Pack the object at a fresh base, ignoring where the allocator put it.
-/// let plan = LayoutPlan::packed(&objects, &[(GroupId(0), ObjectSerial(0))], 0x1000);
+/// let plan = AppliedLayout::packed(&objects, &[(GroupId(0), ObjectSerial(0))], 0x1000);
 /// assert_eq!(plan.placed(), 1);
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct LayoutPlan {
+pub struct AppliedLayout {
     bases: HashMap<ObjectKey, u64>,
     sizes: HashMap<ObjectKey, u64>,
     field_maps: HashMap<GroupId, HashMap<u64, u64>>,
 }
 
-impl LayoutPlan {
+impl AppliedLayout {
     /// The layout the program actually had: every object at its
     /// recorded base address.
     #[must_use]
     pub fn original(objects: &[ObjectRecord]) -> Self {
-        let mut plan = LayoutPlan::default();
+        let mut plan = AppliedLayout::default();
         for o in objects {
             plan.bases.insert((o.group, o.serial), o.base);
             plan.sizes.insert((o.group, o.serial), o.size);
@@ -66,7 +74,7 @@ impl LayoutPlan {
     /// traversal order for cache-conscious placement.
     #[must_use]
     pub fn packed(objects: &[ObjectRecord], order: &[ObjectKey], base: u64) -> Self {
-        let mut plan = LayoutPlan::default();
+        let mut plan = AppliedLayout::default();
         let sizes: HashMap<ObjectKey, u64> = objects
             .iter()
             .map(|o| ((o.group, o.serial), o.size))
@@ -75,7 +83,7 @@ impl LayoutPlan {
         let mut placed: BTreeSet<ObjectKey> = BTreeSet::new();
         let place = |key: ObjectKey,
                      cursor: &mut u64,
-                     plan: &mut LayoutPlan,
+                     plan: &mut AppliedLayout,
                      placed: &mut BTreeSet<ObjectKey>| {
             if placed.contains(&key) {
                 return;
@@ -93,6 +101,44 @@ impl LayoutPlan {
             place((o.group, o.serial), &mut cursor, &mut plan, &mut placed);
         }
         plan
+    }
+
+    /// Builds the layout a [`LayoutPlan`](orp_opt::LayoutPlan)
+    /// produced: object bases come from the applier's
+    /// [`PlannedPlacement`], sizes from the profiled `objects`, and the
+    /// plan's `FieldReorder` transforms become field remaps.
+    ///
+    /// This is the bridge between the plan pipeline's apply stage
+    /// ([`orp_allocsim::apply_plan`]) and its re-simulate stage
+    /// ([`replay`](AppliedLayout::replay)).
+    #[must_use]
+    pub fn from_placement(
+        placement: &PlannedPlacement,
+        objects: &[ObjectExtent],
+        plan: &orp_opt::LayoutPlan,
+    ) -> Self {
+        let mut layout = AppliedLayout::default();
+        for o in objects {
+            let key = (o.group, o.serial);
+            if let Some(base) = placement.address_of(key) {
+                layout.bases.insert(key, base);
+                layout.sizes.entry(key).or_insert(o.size);
+            }
+        }
+        let reordered: BTreeSet<GroupId> = plan
+            .transforms()
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TransformKind::FieldReorder { group, .. } => Some(*group),
+                _ => None,
+            })
+            .collect();
+        for group in reordered {
+            if let Some(order) = plan.field_order(group) {
+                layout.set_field_order(group, order);
+            }
+        }
+        layout
     }
 
     /// Adds a field remap for `group`: the offsets in `hot_order` are
@@ -190,7 +236,7 @@ mod tests {
     #[test]
     fn original_plan_reproduces_recorded_addresses() {
         let objects = vec![record(0, 0, 0x1000, 16), record(0, 1, 0x2000, 16)];
-        let plan = LayoutPlan::original(&objects);
+        let plan = AppliedLayout::original(&objects);
         assert_eq!(plan.address_of(&tuple(0, 0, 8, 0)), Some(0x1008));
         assert_eq!(plan.address_of(&tuple(0, 1, 0, 1)), Some(0x2000));
         assert_eq!(plan.address_of(&tuple(0, 9, 0, 2)), None);
@@ -205,7 +251,7 @@ mod tests {
             record(0, 2, 0x5550, 24),
         ];
         let order = vec![(GroupId(0), ObjectSerial(2)), (GroupId(0), ObjectSerial(0))];
-        let plan = LayoutPlan::packed(&objects, &order, 0x100);
+        let plan = AppliedLayout::packed(&objects, &order, 0x100);
         assert_eq!(plan.address_of(&tuple(0, 2, 0, 0)), Some(0x100));
         assert_eq!(
             plan.address_of(&tuple(0, 0, 0, 1)),
@@ -219,7 +265,7 @@ mod tests {
     #[test]
     fn field_order_compacts_hot_fields() {
         let objects = vec![record(0, 0, 0x1000, 64)];
-        let mut plan = LayoutPlan::original(&objects);
+        let mut plan = AppliedLayout::original(&objects);
         plan.set_field_order(GroupId(0), &[36, 0]);
         assert_eq!(plan.address_of(&tuple(0, 0, 36, 0)), Some(0x1000));
         assert_eq!(plan.address_of(&tuple(0, 0, 0, 1)), Some(0x1008));
@@ -234,6 +280,53 @@ mod tests {
             access_order(&tuples),
             vec![(GroupId(0), ObjectSerial(5)), (GroupId(0), ObjectSerial(1))]
         );
+    }
+
+    #[test]
+    fn from_placement_carries_bases_and_field_orders() {
+        use orp_allocsim::{
+            apply_plan, AllocatorKind, LinkerLayout, ObjectExtent, Segment, SimHeap,
+        };
+        use orp_opt::{LayoutPlan, Transform, TransformKind};
+
+        let objects: Vec<ObjectExtent> = (0..4)
+            .map(|k| ObjectExtent {
+                group: GroupId(0),
+                serial: ObjectSerial(k),
+                size: 32,
+                segment: Segment::Heap,
+            })
+            .collect();
+        let plan = LayoutPlan::from_transforms(vec![
+            Transform {
+                kind: TransformKind::Colocate {
+                    objects: vec![(GroupId(0), ObjectSerial(3)), (GroupId(0), ObjectSerial(1))],
+                },
+                advisor: "cluster".to_string(),
+                benefit: 10,
+            },
+            Transform {
+                kind: TransformKind::FieldReorder {
+                    group: GroupId(0),
+                    order: vec![24, 0],
+                },
+                advisor: "field-reorder".to_string(),
+                benefit: 5,
+            },
+        ]);
+        let mut heap = SimHeap::new(AllocatorKind::Bump, 0);
+        let mut linker = LinkerLayout::new(0);
+        let placement = apply_plan(&plan, &objects, &mut heap, &mut linker).unwrap();
+        let layout = AppliedLayout::from_placement(&placement, &objects, &plan);
+
+        assert_eq!(layout.placed(), 4);
+        // Bases agree with the placement; the colocated pair is dense.
+        let b3 = placement.address_of((GroupId(0), ObjectSerial(3))).unwrap();
+        let b1 = placement.address_of((GroupId(0), ObjectSerial(1))).unwrap();
+        assert_eq!(b1, b3 + 32);
+        // Hot field 24 is remapped to the front; base comes from the plan.
+        assert_eq!(layout.address_of(&tuple(0, 3, 24, 0)), Some(b3));
+        assert_eq!(layout.address_of(&tuple(0, 3, 0, 1)), Some(b3 + 8));
     }
 
     #[test]
@@ -269,12 +362,12 @@ mod tests {
         };
 
         let mut scattered_cache = tiny();
-        let skipped = LayoutPlan::original(&objects).replay(&tuples, &mut scattered_cache);
+        let skipped = AppliedLayout::original(&objects).replay(&tuples, &mut scattered_cache);
         assert_eq!(skipped, 0);
 
         let mut packed_cache = tiny();
         let order = access_order(&tuples);
-        LayoutPlan::packed(&objects, &order, 0x100).replay(&tuples, &mut packed_cache);
+        AppliedLayout::packed(&objects, &order, 0x100).replay(&tuples, &mut packed_cache);
 
         let (s, p) = (
             scattered_cache.stats().l1.misses,

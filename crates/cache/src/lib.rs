@@ -5,10 +5,12 @@
 //! conscious placement, clustering, field reordering — whose payoff is
 //! fewer cache misses. This crate closes that loop: a classic
 //! LRU set-associative [`Cache`] (and two-level [`Hierarchy`]), a
-//! [`CacheSink`] that replays probe-event traces through it, and a
+//! [`CacheSink`] that replays probe-event traces through it, a
 //! [`layout`] module that *applies* `orp-opt` advice by re-addressing
-//! an object-relative stream under a new data layout, so the advice's
-//! effect on miss rates can be measured instead of asserted.
+//! an object-relative stream under a new data layout, and an
+//! [`evaluate`] module that replays one stream under baseline,
+//! planned, and per-transform layouts so a `LayoutPlan`'s effect on
+//! miss rates is measured instead of asserted.
 //!
 //! # Examples
 //!
@@ -23,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod evaluate;
 pub mod layout;
 
 mod sim;

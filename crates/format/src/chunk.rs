@@ -40,6 +40,8 @@ impl ChunkTag {
     pub const SINK_STATE: ChunkTag = ChunkTag(*b"SNKS");
     /// An embedded run report (`orp-obs` `RunReport` JSON).
     pub const METRICS: ChunkTag = ChunkTag(*b"MREP");
+    /// A layout-optimization plan (`orp-opt` `LayoutPlan` transforms).
+    pub const PLAN: ChunkTag = ChunkTag(*b"PLAN");
     /// Empty terminator; every container ends with it.
     pub const END: ChunkTag = ChunkTag(*b"END ");
 
@@ -65,6 +67,10 @@ impl ChunkTag {
         (ChunkTag::CDC_STATE, "CDC checkpoint (stream counters)"),
         (ChunkTag::SINK_STATE, "profiler sink checkpoint"),
         (ChunkTag::METRICS, "embedded run report (JSON)"),
+        (
+            ChunkTag::PLAN,
+            "layout-optimization plan (typed transforms)",
+        ),
         (ChunkTag::END, "container terminator"),
     ];
 
@@ -115,6 +121,8 @@ pub enum ProfileKind {
     Checkpoint,
     /// A hybrid-decomposition (per-instruction grammars) profile.
     Hybrid,
+    /// A layout-optimization plan (typed transforms + provenance).
+    LayoutPlan,
 }
 
 impl ProfileKind {
@@ -131,6 +139,7 @@ impl ProfileKind {
             ProfileKind::PhaseSignatures => 7,
             ProfileKind::Checkpoint => 8,
             ProfileKind::Hybrid => 9,
+            ProfileKind::LayoutPlan => 10,
         }
     }
 
@@ -151,6 +160,7 @@ impl ProfileKind {
             7 => ProfileKind::PhaseSignatures,
             8 => ProfileKind::Checkpoint,
             9 => ProfileKind::Hybrid,
+            10 => ProfileKind::LayoutPlan,
             found => return Err(FormatError::WrongKind { found }),
         })
     }
@@ -168,6 +178,7 @@ impl ProfileKind {
             ProfileKind::PhaseSignatures => "phase-signatures",
             ProfileKind::Checkpoint => "checkpoint",
             ProfileKind::Hybrid => "hybrid",
+            ProfileKind::LayoutPlan => "layout-plan",
         }
     }
 
@@ -184,6 +195,7 @@ impl ProfileKind {
             ProfileKind::PhaseSignatures => ChunkTag::PHASE_SIG,
             ProfileKind::Checkpoint => ChunkTag::SINK_STATE,
             ProfileKind::Hybrid => ChunkTag::HYBRID,
+            ProfileKind::LayoutPlan => ChunkTag::PLAN,
         }
     }
 }
@@ -210,6 +222,7 @@ mod tests {
             ProfileKind::PhaseSignatures,
             ProfileKind::Checkpoint,
             ProfileKind::Hybrid,
+            ProfileKind::LayoutPlan,
         ] {
             assert_eq!(ProfileKind::from_code(kind.code()).unwrap(), kind);
             assert!(kind.primary_chunk().describe().is_some());

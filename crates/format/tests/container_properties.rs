@@ -25,6 +25,7 @@ const BODY_TAGS: &[ChunkTag] = &[
     ChunkTag::OMC_STATE,
     ChunkTag::CDC_STATE,
     ChunkTag::SINK_STATE,
+    ChunkTag::PLAN,
 ];
 
 const ALL_KINDS: &[ProfileKind] = &[
@@ -37,6 +38,7 @@ const ALL_KINDS: &[ProfileKind] = &[
     ProfileKind::PhaseSignatures,
     ProfileKind::Checkpoint,
     ProfileKind::Hybrid,
+    ProfileKind::LayoutPlan,
 ];
 
 fn kind_strategy() -> impl Strategy<Value = ProfileKind> {

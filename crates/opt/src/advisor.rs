@@ -1,0 +1,274 @@
+//! The [`LayoutAdvisor`] trait: every analysis speaks [`Transform`]s.
+//!
+//! Each adviser consumes the object-relative stream (they all
+//! implement [`OrSink`]) and, when asked, emits typed transforms with
+//! provenance (its [`LayoutAdvisor::name`]) and an expected-benefit
+//! score in accesses covered. [`AdvisorSet`] bundles the four built-in
+//! advisers behind one sink and merges their output into a single
+//! canonical [`LayoutPlan`] — the entry point the `orprof optimize`
+//! pipeline, examples, and benches all use.
+
+use orp_core::{OrSink, OrTuple};
+
+use crate::cluster::ClusterAnalysis;
+use crate::field_reorder::FieldReorderAnalysis;
+use crate::plan::{LayoutPlan, Transform, TransformKind};
+use crate::remap::RemapAnalysis;
+use crate::tier::TieringAdvisor;
+
+/// Objects per co-location cluster the cluster adviser suggests by
+/// default: generous, because affinity chains (e.g. a list traversal)
+/// benefit from staying whole.
+pub const DEFAULT_CLUSTER_OBJECTS: usize = 1024;
+
+/// An analysis that can propose layout transforms.
+pub trait LayoutAdvisor {
+    /// Stable adviser name, recorded as each transform's provenance.
+    fn name(&self) -> &'static str;
+
+    /// Proposes transforms from the profile accumulated so far.
+    /// Order and scoring are adviser-specific; [`LayoutPlan`]
+    /// canonicalizes.
+    fn advise(&self) -> Vec<Transform>;
+}
+
+impl LayoutAdvisor for ClusterAnalysis {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    /// Per group: the ordered affinity chains become `Colocate`
+    /// transforms; transition weight not covered by any chain becomes
+    /// a residual `PoolGroup` (keep the group's stragglers on shared
+    /// pages even where no fine order is known).
+    fn advise(&self) -> Vec<Transform> {
+        let mut out = Vec::new();
+        for group in self.groups() {
+            let total = self.total_affinity(group);
+            if total == 0 {
+                continue;
+            }
+            let mut covered = 0u64;
+            for (members, weight) in self.suggest_ordered_clusters(group, DEFAULT_CLUSTER_OBJECTS) {
+                if members.len() < 2 || weight == 0 {
+                    continue;
+                }
+                covered += weight;
+                out.push(Transform {
+                    kind: TransformKind::Colocate {
+                        objects: members.into_iter().map(|s| (group, s)).collect(),
+                    },
+                    advisor: self.name().to_string(),
+                    benefit: weight,
+                });
+            }
+            let residual = total.saturating_sub(covered);
+            if residual > 0 {
+                out.push(Transform {
+                    kind: TransformKind::PoolGroup { group },
+                    advisor: self.name().to_string(),
+                    benefit: residual,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl LayoutAdvisor for FieldReorderAnalysis {
+    fn name(&self) -> &'static str {
+        "field-reorder"
+    }
+
+    /// One `FieldReorder` per group with at least two observed offsets
+    /// and nonzero offset affinity; benefit is the group's total
+    /// offset-transition weight.
+    fn advise(&self) -> Vec<Transform> {
+        let mut out = Vec::new();
+        for group in self.groups() {
+            let weight = self.total_affinity(group);
+            if weight == 0 {
+                continue;
+            }
+            let order = self.suggest_layout(group);
+            if order.len() < 2 {
+                continue;
+            }
+            out.push(Transform {
+                kind: TransformKind::FieldReorder { group, order },
+                advisor: self.name().to_string(),
+                benefit: weight,
+            });
+        }
+        out
+    }
+}
+
+impl LayoutAdvisor for RemapAnalysis {
+    fn name(&self) -> &'static str {
+        "remap"
+    }
+
+    /// One cross-group `Colocate` over the suggested placement order
+    /// (global-variable re-mapping); benefit is the total cross-object
+    /// transition weight.
+    fn advise(&self) -> Vec<Transform> {
+        let weight = self.total_affinity();
+        if weight == 0 {
+            return Vec::new();
+        }
+        let objects = self.suggest_order();
+        if objects.len() < 2 {
+            return Vec::new();
+        }
+        vec![Transform {
+            kind: TransformKind::Colocate { objects },
+            advisor: self.name().to_string(),
+            benefit: weight,
+        }]
+    }
+}
+
+/// The four built-in advisers behind one [`OrSink`].
+///
+/// Feed it the object-relative stream once; [`AdvisorSet::plan`]
+/// merges everything they propose into one canonical [`LayoutPlan`].
+#[derive(Debug, Default)]
+pub struct AdvisorSet {
+    /// Object co-location / pooling.
+    pub cluster: ClusterAnalysis,
+    /// Intra-object field reordering.
+    pub reorder: FieldReorderAnalysis,
+    /// Cross-group placement (global re-mapping).
+    pub remap: RemapAnalysis,
+    /// Hot/cold tiering from grammar hot streams.
+    pub tier: TieringAdvisor,
+}
+
+impl AdvisorSet {
+    /// Creates an empty adviser set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The advisers, as trait objects.
+    #[must_use]
+    pub fn advisors(&self) -> [&dyn LayoutAdvisor; 4] {
+        [&self.cluster, &self.reorder, &self.remap, &self.tier]
+    }
+
+    /// Runs every adviser and canonicalizes the union of their
+    /// proposals.
+    #[must_use]
+    pub fn plan(&self) -> LayoutPlan {
+        let mut transforms = Vec::new();
+        for advisor in self.advisors() {
+            transforms.extend(advisor.advise());
+        }
+        LayoutPlan::from_transforms(transforms)
+    }
+}
+
+impl OrSink for AdvisorSet {
+    fn tuple(&mut self, t: &OrTuple) {
+        self.cluster.tuple(t);
+        self.reorder.tuple(t);
+        self.remap.tuple(t);
+        self.tier.tuple(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_core::{GroupId, ObjectSerial, Timestamp};
+    use orp_trace::{AccessKind, InstrId};
+
+    fn t(group: u32, object: u64, offset: u64, time: u64) -> OrTuple {
+        OrTuple {
+            instr: InstrId(0),
+            kind: AccessKind::Load,
+            group: GroupId(group),
+            object: ObjectSerial(object),
+            offset,
+            time: Timestamp(time),
+            size: 8,
+        }
+    }
+
+    /// A traversal over objects 0..8 of group 0, touching offsets 0
+    /// then 32 of each, repeated — every adviser has something to say.
+    fn feed_traversal(sink: &mut AdvisorSet) {
+        let mut time = 0;
+        for _ in 0..50 {
+            for obj in 0..8u64 {
+                sink.tuple(&t(0, obj, 0, time));
+                sink.tuple(&t(0, obj, 32, time + 1));
+                time += 2;
+            }
+        }
+    }
+
+    #[test]
+    fn advisor_set_produces_a_multi_kind_plan() {
+        let mut set = AdvisorSet::new();
+        feed_traversal(&mut set);
+        let plan = set.plan();
+        assert!(!plan.is_empty());
+        let codes: std::collections::BTreeSet<u64> =
+            plan.transforms().iter().map(|t| t.kind.code()).collect();
+        assert!(codes.contains(&1), "field reorder present: {plan:?}");
+        assert!(codes.contains(&2), "colocate present: {plan:?}");
+        for tr in plan.transforms() {
+            assert!(tr.benefit > 0);
+            assert!(!tr.advisor.is_empty());
+        }
+    }
+
+    #[test]
+    fn colocate_members_follow_traversal_order() {
+        let mut set = AdvisorSet::new();
+        feed_traversal(&mut set);
+        let plan = set.plan();
+        let chain = plan
+            .transforms()
+            .iter()
+            .find_map(|tr| match &tr.kind {
+                TransformKind::Colocate { objects } if tr.advisor == "cluster" => Some(objects),
+                _ => None,
+            })
+            .expect("cluster colocate present");
+        // The traversal visits serials in order; the chain must be that
+        // order or its reverse.
+        let serials: Vec<u64> = chain.iter().map(|(_, s)| s.0).collect();
+        let mut rev = serials.clone();
+        rev.reverse();
+        let sorted: Vec<u64> = {
+            let mut v = serials.clone();
+            v.sort_unstable();
+            v
+        };
+        assert!(
+            serials == sorted || rev == sorted,
+            "chain is traversal-ordered: {serials:?}"
+        );
+        assert_eq!(serials.len(), 8);
+    }
+
+    #[test]
+    fn quiet_stream_produces_an_empty_plan() {
+        let set = AdvisorSet::new();
+        assert!(set.plan().is_empty());
+    }
+
+    #[test]
+    fn plan_is_deterministic_across_identical_feeds() {
+        let mk = || {
+            let mut set = AdvisorSet::new();
+            feed_traversal(&mut set);
+            set.plan()
+        };
+        assert_eq!(mk().to_bytes(), mk().to_bytes());
+    }
+}

@@ -59,6 +59,121 @@ impl ClusterAnalysis {
         pairs
     }
 
+    /// Groups with at least one observed access.
+    #[must_use]
+    pub fn groups(&self) -> Vec<GroupId> {
+        let mut gs: Vec<GroupId> = self.heat.keys().map(|&(g, _)| g).collect();
+        gs.dedup(); // heat is sorted by (group, serial)
+        gs
+    }
+
+    /// Total intra-group transition weight — the affinity a perfect
+    /// co-location of the whole group could exploit.
+    #[must_use]
+    pub fn total_affinity(&self, group: GroupId) -> u64 {
+        self.affinity
+            .range((group, 0, 0)..=(group, u64::MAX, u64::MAX))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Like [`ClusterAnalysis::suggest_clusters`], but each cluster's
+    /// members come back in *placement order* (the affinity chain they
+    /// were merged along) together with the transition weight the
+    /// cluster covers. Edges are accepted strongest-first only while
+    /// both endpoints have fewer than two neighbors, so every cluster
+    /// is a path — exactly the order a co-locating allocator should lay
+    /// the objects out in. Isolated objects are not emitted.
+    #[must_use]
+    pub fn suggest_ordered_clusters(
+        &self,
+        group: GroupId,
+        cluster_size: usize,
+    ) -> Vec<(Vec<ObjectSerial>, u64)> {
+        assert!(cluster_size >= 2, "ordered clusters pair objects");
+        let mut degree: HashMap<u64, usize> = HashMap::new();
+        let mut parent: HashMap<u64, u64> = HashMap::new();
+        let mut size: HashMap<u64, usize> = HashMap::new();
+        let mut weight: HashMap<u64, u64> = HashMap::new();
+        let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+        fn find(parent: &mut HashMap<u64, u64>, x: u64) -> u64 {
+            let p = *parent.entry(x).or_insert(x);
+            if p == x {
+                x
+            } else {
+                let root = find(parent, p);
+                parent.insert(x, root);
+                root
+            }
+        }
+        for (a, b, w) in self.top_pairs(group, usize::MAX) {
+            if w == 0 {
+                continue;
+            }
+            let (da, db) = (
+                degree.get(&a.0).copied().unwrap_or(0),
+                degree.get(&b.0).copied().unwrap_or(0),
+            );
+            if da >= 2 || db >= 2 {
+                continue;
+            }
+            let (ra, rb) = (find(&mut parent, a.0), find(&mut parent, b.0));
+            if ra == rb {
+                continue;
+            }
+            let (sa, sb) = (
+                size.get(&ra).copied().unwrap_or(1),
+                size.get(&rb).copied().unwrap_or(1),
+            );
+            if sa + sb > cluster_size {
+                continue;
+            }
+            let merged_weight =
+                weight.get(&ra).copied().unwrap_or(0) + weight.get(&rb).copied().unwrap_or(0) + w;
+            parent.insert(ra, rb);
+            size.insert(rb, sa + sb);
+            weight.insert(rb, merged_weight);
+            *degree.entry(a.0).or_default() += 1;
+            *degree.entry(b.0).or_default() += 1;
+            adj.entry(a.0).or_default().push(b.0);
+            adj.entry(b.0).or_default().push(a.0);
+        }
+
+        // Every component is a path: walk each from its
+        // lowest-numbered endpoint.
+        let mut out: Vec<(Vec<ObjectSerial>, u64)> = Vec::new();
+        let mut visited: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut starts: Vec<u64> = degree
+            .iter()
+            .filter(|&(_, &d)| d == 1)
+            .map(|(&o, _)| o)
+            .collect();
+        starts.sort_unstable();
+        for start in starts {
+            if visited.contains(&start) {
+                continue;
+            }
+            let mut chain = Vec::new();
+            let mut cur = start;
+            loop {
+                visited.insert(cur);
+                chain.push(ObjectSerial(cur));
+                match adj
+                    .get(&cur)
+                    .and_then(|ns| ns.iter().find(|n| !visited.contains(n)))
+                    .copied()
+                {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+            let w = weight.get(&find(&mut parent, start)).copied().unwrap_or(0);
+            out.push((chain, w));
+        }
+        out.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        out
+    }
+
     /// Greedily partitions a group's objects into clusters of at most
     /// `cluster_size`, merging along the strongest affinities first —
     /// the allocation-order hint a cache-conscious allocator would

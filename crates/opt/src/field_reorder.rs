@@ -82,6 +82,16 @@ impl FieldReorderAnalysis {
         self.offsets.keys().copied().collect()
     }
 
+    /// Total offset-transition weight of a group — how much temporal
+    /// field adjacency a reordering could exploit.
+    #[must_use]
+    pub fn total_affinity(&self, group: GroupId) -> u64 {
+        self.affinity
+            .range((group, 0, 0)..=(group, u64::MAX, u64::MAX))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
     /// Suggests a field order for `group`: a greedy chain through the
     /// affinity graph, strongest edges first — fields that are accessed
     /// together end up adjacent, so they share cache lines after

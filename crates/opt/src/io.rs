@@ -1,0 +1,364 @@
+//! Binary serialization for [`LayoutPlan`]s.
+//!
+//! A plan lives in a `.orp` container ([`orp_format`]) of kind
+//! `LayoutPlan` (primary chunk `PLAN`). The payload is varint-coded:
+//!
+//! ```text
+//! transform_count { kind:varint benefit:varint advisor:(len bytes) body }*
+//!
+//! body(1 field-reorder) = group:varint n:varint offset:varint*n
+//! body(2 colocate)      = n:varint (group:varint serial:varint)*n
+//! body(3 pool-group)    = group:varint
+//! body(4 hot-cold)      = group:varint n:varint serial:varint*n (ascending)
+//! ```
+//!
+//! Decoding is panic-free: damage the CRC envelope misses (impossible
+//! counts, unknown kind codes, non-canonical orderings, bad UTF-8)
+//! surfaces as [`FormatError::Malformed`].
+
+use std::collections::BTreeSet;
+use std::io::{self, Read, Write};
+
+use orp_core::{GroupId, ObjectSerial};
+use orp_format::{
+    read_single_chunk, read_varint, write_single_chunk, write_varint, FormatError, ProfileKind,
+};
+
+use crate::plan::{LayoutPlan, ObjectKey, Transform, TransformKind};
+
+/// Longest adviser name the decoder accepts (sanity bound; real names
+/// are single words).
+const MAX_ADVISOR_LEN: u64 = 256;
+
+fn read_group(r: &mut impl Read) -> Result<GroupId, FormatError> {
+    let v = read_varint(r)?;
+    u32::try_from(v)
+        .map(GroupId)
+        .map_err(|_| FormatError::Malformed("group id exceeds u32"))
+}
+
+/// Reads an element count that must be plausible for `remaining`
+/// payload bytes (every element costs at least one byte), so corrupt
+/// counts cannot provoke huge allocations.
+fn read_count(r: &mut &[u8]) -> Result<usize, FormatError> {
+    let n = read_varint(r)?;
+    if n > r.len() as u64 {
+        return Err(FormatError::Malformed("element count exceeds payload"));
+    }
+    Ok(n as usize)
+}
+
+impl LayoutPlan {
+    /// Serializes the plan payload (no container framing —
+    /// [`LayoutPlan::write_to`] adds that).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
+        write_varint(w, self.transforms().len() as u64)?;
+        for t in self.transforms() {
+            write_varint(w, t.kind.code())?;
+            write_varint(w, t.benefit)?;
+            write_varint(w, t.advisor.len() as u64)?;
+            w.write_all(t.advisor.as_bytes())?;
+            match &t.kind {
+                TransformKind::FieldReorder { group, order } => {
+                    write_varint(w, u64::from(group.0))?;
+                    write_varint(w, order.len() as u64)?;
+                    for &off in order {
+                        write_varint(w, off)?;
+                    }
+                }
+                TransformKind::Colocate { objects } => {
+                    write_varint(w, objects.len() as u64)?;
+                    for (g, s) in objects {
+                        write_varint(w, u64::from(g.0))?;
+                        write_varint(w, s.0)?;
+                    }
+                }
+                TransformKind::PoolGroup { group } => {
+                    write_varint(w, u64::from(group.0))?;
+                }
+                TransformKind::HotColdSplit { group, hot } => {
+                    write_varint(w, u64::from(group.0))?;
+                    write_varint(w, hot.len() as u64)?;
+                    for s in hot {
+                        write_varint(w, s.0)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a payload written by [`LayoutPlan::write_payload`].
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::Malformed`] on unknown kind codes, implausible
+    /// counts, duplicate members, or non-ascending hot sets;
+    /// [`FormatError::Truncated`] when the payload ends early.
+    pub fn read_payload(r: &mut &[u8]) -> Result<Self, FormatError> {
+        let count = read_count(r)?;
+        let mut transforms = Vec::with_capacity(count);
+        for _ in 0..count {
+            let code = read_varint(r)?;
+            let benefit = read_varint(r)?;
+            let name_len = read_varint(r)?;
+            if name_len > MAX_ADVISOR_LEN {
+                return Err(FormatError::Malformed("adviser name too long"));
+            }
+            let mut name = vec![0u8; name_len as usize];
+            r.read_exact(&mut name)?;
+            let advisor = String::from_utf8(name)
+                .map_err(|_| FormatError::Malformed("adviser name is not UTF-8"))?;
+            let kind = match code {
+                1 => {
+                    let group = read_group(r)?;
+                    let n = read_count(r)?;
+                    if n == 0 {
+                        return Err(FormatError::Malformed("field-reorder with no offsets"));
+                    }
+                    let mut order = Vec::with_capacity(n);
+                    let mut seen = BTreeSet::new();
+                    for _ in 0..n {
+                        let off = read_varint(r)?;
+                        if !seen.insert(off) {
+                            return Err(FormatError::Malformed("duplicate offset in reorder"));
+                        }
+                        order.push(off);
+                    }
+                    TransformKind::FieldReorder { group, order }
+                }
+                2 => {
+                    let n = read_count(r)?;
+                    if n < 2 {
+                        return Err(FormatError::Malformed("colocate needs two objects"));
+                    }
+                    let mut objects: Vec<ObjectKey> = Vec::with_capacity(n);
+                    let mut seen = BTreeSet::new();
+                    for _ in 0..n {
+                        let group = read_group(r)?;
+                        let serial = ObjectSerial(read_varint(r)?);
+                        if !seen.insert((group, serial)) {
+                            return Err(FormatError::Malformed("duplicate object in colocate"));
+                        }
+                        objects.push((group, serial));
+                    }
+                    TransformKind::Colocate { objects }
+                }
+                3 => TransformKind::PoolGroup {
+                    group: read_group(r)?,
+                },
+                4 => {
+                    let group = read_group(r)?;
+                    let n = read_count(r)?;
+                    if n == 0 {
+                        return Err(FormatError::Malformed("hot/cold split with empty hot set"));
+                    }
+                    let mut hot = Vec::with_capacity(n);
+                    let mut prev: Option<u64> = None;
+                    for _ in 0..n {
+                        let s = read_varint(r)?;
+                        if prev.is_some_and(|p| p >= s) {
+                            return Err(FormatError::Malformed("hot set is not ascending"));
+                        }
+                        prev = Some(s);
+                        hot.push(ObjectSerial(s));
+                    }
+                    TransformKind::HotColdSplit { group, hot }
+                }
+                _ => return Err(FormatError::Malformed("unknown transform kind")),
+            };
+            transforms.push(Transform {
+                kind,
+                advisor,
+                benefit,
+            });
+        }
+        // Preserve the stored order verbatim: the writer canonicalized
+        // it, and re-sorting here would mask writer bugs.
+        let mut plan = LayoutPlan::default();
+        for t in transforms {
+            plan.push_unchecked(t);
+        }
+        Ok(plan)
+    }
+
+    /// Writes the plan as a `.orp` container of kind `LayoutPlan`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut payload = Vec::new();
+        self.write_payload(&mut payload)?;
+        write_single_chunk(w, ProfileKind::LayoutPlan, &payload)
+    }
+
+    /// The full serialized container as bytes (convenient for
+    /// byte-identity comparisons).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        // Writing to a Vec cannot fail.
+        let _ = self.write_to(&mut buf);
+        buf
+    }
+
+    /// Reads a container written by [`LayoutPlan::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FormatError`]s for envelope damage (wrong kind, bad
+    /// checksum, truncation) and payload invariant violations.
+    pub fn read_from(r: &mut impl Read) -> Result<Self, FormatError> {
+        let payload = read_single_chunk(r, ProfileKind::LayoutPlan)?;
+        let mut cursor = payload.as_slice();
+        let plan = LayoutPlan::read_payload(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(FormatError::Malformed("trailing bytes after PLAN payload"));
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> LayoutPlan {
+        LayoutPlan::from_transforms(vec![
+            Transform {
+                kind: TransformKind::FieldReorder {
+                    group: GroupId(3),
+                    order: vec![0, 36, 8],
+                },
+                advisor: "field-reorder".to_string(),
+                benefit: 120,
+            },
+            Transform {
+                kind: TransformKind::Colocate {
+                    objects: vec![
+                        (GroupId(1), ObjectSerial(9)),
+                        (GroupId(1), ObjectSerial(2)),
+                        (GroupId(2), ObjectSerial(0)),
+                    ],
+                },
+                advisor: "cluster".to_string(),
+                benefit: 300,
+            },
+            Transform {
+                kind: TransformKind::PoolGroup { group: GroupId(7) },
+                advisor: "cluster".to_string(),
+                benefit: 10,
+            },
+            Transform {
+                kind: TransformKind::HotColdSplit {
+                    group: GroupId(1),
+                    hot: vec![ObjectSerial(2), ObjectSerial(5), ObjectSerial(11)],
+                },
+                advisor: "tier".to_string(),
+                benefit: 77,
+            },
+        ])
+    }
+
+    #[test]
+    fn plan_roundtrips() {
+        let plan = sample_plan();
+        let mut buf = Vec::new();
+        plan.write_to(&mut buf).unwrap();
+        let back = LayoutPlan::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn empty_plan_roundtrips() {
+        let plan = LayoutPlan::default();
+        let back = LayoutPlan::read_from(&mut plan.to_bytes().as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let mut buf = Vec::new();
+        orp_format::write_single_chunk(&mut buf, ProfileKind::Trace, &[]).unwrap();
+        assert!(matches!(
+            LayoutPlan::read_from(&mut buf.as_slice()),
+            Err(FormatError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_cut() {
+        let buf = sample_plan().to_bytes();
+        for cut in 0..buf.len() {
+            assert!(
+                LayoutPlan::read_from(&mut &buf[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let buf = sample_plan().to_bytes();
+        for i in 0..buf.len() {
+            for bit in [0x01u8, 0x10, 0x80] {
+                let mut bad = buf.clone();
+                if let Some(b) = bad.get_mut(i) {
+                    *b ^= bit;
+                }
+                let _ = LayoutPlan::read_from(&mut bad.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        // Unknown transform kind code straight through the envelope.
+        let mut payload = Vec::new();
+        write_varint(&mut payload, 1).unwrap(); // one transform
+        write_varint(&mut payload, 99).unwrap(); // bogus kind
+        write_varint(&mut payload, 0).unwrap(); // benefit
+        write_varint(&mut payload, 0).unwrap(); // empty adviser name
+        let mut buf = Vec::new();
+        write_single_chunk(&mut buf, ProfileKind::LayoutPlan, &payload).unwrap();
+        assert!(matches!(
+            LayoutPlan::read_from(&mut buf.as_slice()),
+            Err(FormatError::Malformed(_))
+        ));
+
+        // Hot set out of order.
+        let plan = LayoutPlan::from_transforms(vec![Transform {
+            kind: TransformKind::HotColdSplit {
+                group: GroupId(0),
+                hot: vec![ObjectSerial(5), ObjectSerial(2)],
+            },
+            advisor: "tier".to_string(),
+            benefit: 1,
+        }]);
+        let mut payload = Vec::new();
+        plan.write_payload(&mut payload).unwrap();
+        let mut buf = Vec::new();
+        write_single_chunk(&mut buf, ProfileKind::LayoutPlan, &payload).unwrap();
+        assert!(matches!(
+            LayoutPlan::read_from(&mut buf.as_slice()),
+            Err(FormatError::Malformed("hot set is not ascending"))
+        ));
+    }
+
+    #[test]
+    fn implausible_count_is_rejected_without_allocating() {
+        let mut payload = Vec::new();
+        write_varint(&mut payload, u64::MAX).unwrap();
+        let mut buf = Vec::new();
+        write_single_chunk(&mut buf, ProfileKind::LayoutPlan, &payload).unwrap();
+        assert!(matches!(
+            LayoutPlan::read_from(&mut buf.as_slice()),
+            Err(FormatError::Malformed("element count exceeds payload"))
+        ));
+    }
+}

@@ -19,19 +19,35 @@
 //!   Sequitur rule's dynamic frequency times its expansion length is
 //!   its prefetch value, following Chilimbi-style stream prefetching.
 //!
-//! All three consume the object-relative stream (or WHOMP's lossless
+//! All of them consume the object-relative stream (or WHOMP's lossless
 //! grammars, which expand back to it); none of them would work on raw
 //! addresses, where field offsets and object identities are fused into
 //! meaningless absolutes — which is the paper's point.
+//!
+//! Since the pipeline refactor the analyses are no longer endpoints:
+//! each implements [`LayoutAdvisor`] and emits typed, scored
+//! [`Transform`]s into a shared [`LayoutPlan`] IR ([`plan`]), which
+//! serializes as a CRC-checked `PLAN` chunk ([`io`]), is applied by
+//! `orp-allocsim`, and is measured by `orp-cache` — the full
+//! profile → advise → plan → apply → re-simulate → report loop.
+//! [`tier`] adds the fourth adviser: OBASE-style hot/cold object
+//! tiering fed by [`hot_streams`].
 
 #![forbid(unsafe_code)]
 
+pub mod advisor;
 pub mod cluster;
 pub mod field_reorder;
 pub mod hot_streams;
+pub mod io;
+pub mod plan;
 pub mod remap;
+pub mod tier;
 
+pub use advisor::{AdvisorSet, LayoutAdvisor, DEFAULT_CLUSTER_OBJECTS};
 pub use cluster::ClusterAnalysis;
 pub use field_reorder::FieldReorderAnalysis;
 pub use hot_streams::{hot_streams, HotStream};
+pub use plan::{LayoutPlan, ObjectKey, Transform, TransformKind};
 pub use remap::RemapAnalysis;
+pub use tier::TieringAdvisor;

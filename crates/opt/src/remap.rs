@@ -11,11 +11,11 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use orp_core::{GroupId, ObjectSerial, OrSink, OrTuple};
+use orp_core::{OrSink, OrTuple};
 
 /// A whole-object identity (group + serial), the granularity of
-/// re-mapping.
-pub type ObjectKey = (GroupId, ObjectSerial);
+/// re-mapping (re-exported from the plan IR).
+pub use crate::plan::ObjectKey;
 
 /// Cross-group object-transition counts and placement suggestions.
 #[derive(Debug, Clone, Default)]
@@ -46,6 +46,13 @@ impl RemapAnalysis {
     #[must_use]
     pub fn objects(&self) -> Vec<ObjectKey> {
         self.objects.iter().copied().collect()
+    }
+
+    /// Total cross-object transition weight — the upper bound on what
+    /// a re-mapping can exploit.
+    #[must_use]
+    pub fn total_affinity(&self) -> u64 {
+        self.affinity.values().sum()
     }
 
     /// Suggests a placement order: a greedy affinity chain (strongest
@@ -151,7 +158,7 @@ impl OrSink for RemapAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orp_core::Timestamp;
+    use orp_core::{GroupId, ObjectSerial, Timestamp};
     use orp_trace::{AccessKind, InstrId};
 
     fn t(group: u32, time: u64) -> OrTuple {

@@ -35,9 +35,11 @@
 #![forbid(unsafe_code)]
 
 pub mod micro;
+mod profile;
 pub mod spec;
 mod tracer;
 
+pub use profile::{profile, ProfiledRun};
 pub use tracer::Tracer;
 
 use orp_allocsim::AllocatorKind;

@@ -1,0 +1,114 @@
+//! Capturing one workload run as optimize-pipeline input.
+//!
+//! The pipeline's later stages — advisers, the plan applier, the cache
+//! evaluator — all consume the same three things: the object-relative
+//! tuple stream, the object inventory, and the site names for
+//! reporting. [`profile`] produces all of them from a single
+//! instrumented run, wiring [`Tracer`] through the CDC/OMC translation
+//! machinery so every caller (CLI, benches, tests) gets an identical
+//! capture for identical inputs.
+
+use orp_core::{Cdc, ObjectRecord, Omc, OrTuple, VecOrSink};
+use orp_trace::SiteRegistry;
+
+use crate::{RunConfig, Tracer, Workload};
+
+/// Everything one profiling run yields for the optimize pipeline.
+#[derive(Debug)]
+pub struct ProfiledRun {
+    /// The object-relative access stream, in program order.
+    pub tuples: Vec<OrTuple>,
+    /// Every profiled object (freed and still-live), in allocation
+    /// order — the order baseline placement replays.
+    pub records: Vec<ObjectRecord>,
+    /// The object-mapping cache after the run (group↔site mapping,
+    /// translation stats).
+    pub omc: Omc,
+    /// Allocation-site names registered by the workload.
+    pub sites: SiteRegistry,
+}
+
+impl ProfiledRun {
+    /// The allocation-site name behind `group`, if the run registered
+    /// one — for labeling advice in reports.
+    #[must_use]
+    pub fn site_name(&self, group: orp_core::GroupId) -> Option<String> {
+        self.omc
+            .site_of_group(group)
+            .map(|site| self.sites.name(site))
+    }
+}
+
+/// Runs `workload` once under `cfg` and captures the full
+/// object-relative profile.
+///
+/// The capture is deterministic per `(workload, cfg)`, and the
+/// object-relative parts (`tuples`, record identities and sizes) are
+/// invariant across allocator, seed, and linker shift — the paper's
+/// core regularity, which makes plans derived from one run apply to
+/// any other configuration of the same program.
+#[must_use]
+pub fn profile(workload: &dyn Workload, cfg: &RunConfig) -> ProfiledRun {
+    let mut cdc = Cdc::new(Omc::new(), VecOrSink::new());
+    let mut tracer = Tracer::new(cfg, &mut cdc);
+    workload.run(&mut tracer);
+    let sites = tracer.site_registry().clone();
+    tracer.finish();
+    let (omc, sink) = cdc.into_parts();
+    let mut records = omc.archive().to_vec();
+    records.extend(omc.live_records());
+    records.sort_by_key(|r| (r.alloc_time, r.group, r.serial));
+    ProfiledRun {
+        tuples: sink.into_tuples(),
+        records,
+        omc,
+        sites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro;
+    use orp_allocsim::AllocatorKind;
+
+    #[test]
+    fn profile_captures_tuples_and_every_object() {
+        let w = micro::LinkedList::new(64, 4);
+        let run = profile(&w, &RunConfig::default());
+        assert!(!run.tuples.is_empty());
+        assert!(!run.records.is_empty());
+        // Every accessed object appears in the inventory.
+        let keys: std::collections::BTreeSet<_> =
+            run.records.iter().map(|r| (r.group, r.serial)).collect();
+        for t in &run.tuples {
+            assert!(keys.contains(&(t.group, t.object)), "untracked tuple {t:?}");
+        }
+        // Inventory is in allocation order.
+        for w in run.records.windows(2) {
+            assert!(w[0].alloc_time <= w[1].alloc_time);
+        }
+    }
+
+    #[test]
+    fn object_relative_capture_is_config_invariant() {
+        let w = micro::Matrix::new(16, 2);
+        let a = profile(&w, &RunConfig::default());
+        let b = profile(
+            &w,
+            &RunConfig {
+                allocator: AllocatorKind::Randomizing,
+                heap_seed: 1234,
+                linker_shift: 0x2400,
+            },
+        );
+        assert_eq!(a.tuples, b.tuples);
+        let ids = |run: &ProfiledRun| {
+            run.records
+                .iter()
+                .map(|r| (r.group, r.serial, r.size))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&a), ids(&b));
+    }
+}

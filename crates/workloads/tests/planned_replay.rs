@@ -1,0 +1,68 @@
+//! The paper's invariance property, extended through the whole
+//! optimize pipeline: because plans are derived from the
+//! object-relative stream, runs that differ only in allocator, seed,
+//! or linker shift yield byte-identical plans — and replaying the
+//! same stream under those plans yields identical measured outcomes.
+
+use orp_allocsim::AllocatorKind;
+use orp_cache::evaluate::{evaluate_plan, extents_from_records, EvalConfig};
+use orp_core::OrSink;
+use orp_opt::{AdvisorSet, LayoutPlan};
+use orp_workloads::{micro, profile, ProfiledRun, RunConfig};
+
+fn plan_of(run: &ProfiledRun) -> LayoutPlan {
+    let mut advisors = AdvisorSet::new();
+    for t in &run.tuples {
+        advisors.tuple(t);
+    }
+    advisors.plan()
+}
+
+fn shifted_config() -> RunConfig {
+    RunConfig {
+        allocator: AllocatorKind::Randomizing,
+        heap_seed: 99,
+        linker_shift: 0x2400,
+    }
+}
+
+#[test]
+fn plans_are_invariant_across_run_configs() {
+    let w = micro::LinkedList::new(128, 6);
+    let a = profile(&w, &RunConfig::default());
+    let b = profile(&w, &shifted_config());
+
+    assert_eq!(a.tuples, b.tuples, "object-relative stream must not move");
+    let (pa, pb) = (plan_of(&a), plan_of(&b));
+    assert_eq!(pa, pb, "advice must be allocator-independent");
+    assert_eq!(
+        pa.to_bytes(),
+        pb.to_bytes(),
+        "serialized plans must be byte-identical"
+    );
+    assert!(!pa.is_empty(), "linked-list workload should yield advice");
+}
+
+#[test]
+fn planned_replay_measures_identically_whichever_run_produced_the_profile() {
+    let w = micro::LinkedList::new(128, 6);
+    let a = profile(&w, &RunConfig::default());
+    let b = profile(&w, &shifted_config());
+    let plan = plan_of(&a);
+
+    let cfg = EvalConfig::default();
+    let ea = evaluate_plan(&plan, &extents_from_records(&a.records), &a.tuples, &cfg).unwrap();
+    let eb = evaluate_plan(&plan, &extents_from_records(&b.records), &b.tuples, &cfg).unwrap();
+
+    // Both replays place every access.
+    assert_eq!(ea.baseline.skipped, 0);
+    assert_eq!(ea.planned.skipped, 0);
+    // The measurement itself is run-config independent.
+    assert_eq!(ea.baseline.l1, eb.baseline.l1);
+    assert_eq!(ea.planned.l1, eb.planned.l1);
+    assert_eq!(ea.metrics().len(), eb.metrics().len());
+    for ((ka, va), (kb, vb)) in ea.metrics().iter().zip(eb.metrics().iter()) {
+        assert_eq!(ka, kb);
+        assert!((va - vb).abs() < 1e-12, "{ka}: {va} vs {vb}");
+    }
+}

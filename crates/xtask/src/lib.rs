@@ -157,6 +157,7 @@ pub fn validate_report(report: &Path, schema: &Path) -> Result<String, Vec<Strin
         }
     }
     check_grammar_metric_names(fields, &mut problems);
+    check_opt_metric_names(fields, &mut problems);
     if problems.is_empty() {
         Ok(format!(
             "validate-report: {} ok ({checked} required fields present and typed)",
@@ -223,6 +224,52 @@ fn check_grammar_metric_names(
                     GRAMMAR_STREAMS.join("/")
                 ));
             }
+        }
+    }
+}
+
+/// The transform families a layout plan can contain — the `<subject>`
+/// part of an `opt.<subject>.<metric>` ratio is `baseline`, `planned`,
+/// or a transform label built from one of these (e.g. `colocate`,
+/// `pool-group.g3`, `hot-cold-split.g1.2`).
+const OPT_TRANSFORM_FAMILIES: &[&str] =
+    &["field-reorder", "colocate", "pool-group", "hot-cold-split"];
+
+/// The per-replay measurements `orprof-cli optimize` emits.
+const OPT_METRICS: &[&str] = &["l1_miss_rate", "l2_miss_rate", "l1_delta"];
+
+/// Supplemental check: `opt.*` ratios are the optimize pipeline's
+/// stable vocabulary (`opt.baseline.l1_miss_rate`,
+/// `opt.planned.l1_delta`, `opt.<transform-label>.l1_delta`, …). A
+/// renamed transform family or measurement would silently detach the
+/// layout-gains dashboards, so unknown shapes fail validation.
+fn check_opt_metric_names(
+    fields: &std::collections::BTreeMap<String, json::Value>,
+    problems: &mut Vec<String>,
+) {
+    let Some(json::Value::Object(ratios)) = fields.get("ratios") else {
+        return;
+    };
+    for key in ratios.keys() {
+        let Some(rest) = key.strip_prefix("opt.") else {
+            continue;
+        };
+        let known = rest.rsplit_once('.').is_some_and(|(subject, metric)| {
+            let subject_known = subject == "baseline"
+                || subject == "planned"
+                || OPT_TRANSFORM_FAMILIES
+                    .iter()
+                    .any(|f| subject == *f || subject.starts_with(&format!("{f}.")));
+            subject_known && OPT_METRICS.contains(&metric)
+        });
+        if !known {
+            problems.push(format!(
+                "ratio \"{key}\" is not a known opt.* metric \
+                 (opt.<baseline|planned|transform-label>.<{}>, with transform labels \
+                 built from {})",
+                OPT_METRICS.join("|"),
+                OPT_TRANSFORM_FAMILIES.join("/")
+            ));
         }
     }
 }

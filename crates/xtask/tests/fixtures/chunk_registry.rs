@@ -1,13 +1,13 @@
 //! Seeded chunk-registry violation: a declared tag missing from the
-//! KNOWN registry. Checked under the pretend path
-//! `crates/format/src/chunk.rs`.
+//! KNOWN registry (PLAN is registered, ORPHAN is not). Checked under
+//! the pretend path `crates/format/src/chunk.rs`.
 
 pub struct ChunkTag(pub u32);
 
 impl ChunkTag {
     pub const META: ChunkTag = ChunkTag(1);
-    pub const TRACE: ChunkTag = ChunkTag(2);
+    pub const PLAN: ChunkTag = ChunkTag(9);
     pub const ORPHAN: ChunkTag = ChunkTag(3); // line 10: not registered
 
-    pub const KNOWN: &'static [ChunkTag] = &[ChunkTag::META, ChunkTag::TRACE];
+    pub const KNOWN: &'static [ChunkTag] = &[ChunkTag::META, ChunkTag::PLAN];
 }

@@ -108,6 +108,52 @@ fn grammar_counters_in_known_families_validate() {
 }
 
 #[test]
+fn opt_ratios_in_known_shapes_validate() {
+    let good = GOOD.replace(
+        "    \"omc.memo_hit_rate\": 0.952381\n",
+        concat!(
+            "    \"opt.baseline.l1_miss_rate\": 0.034,\n",
+            "    \"opt.planned.l1_delta\": 0.012,\n",
+            "    \"opt.colocate.l1_miss_rate\": 0.022,\n",
+            "    \"opt.colocate.g2.l1_delta\": 0.011,\n",
+            "    \"opt.hot-cold-split.g1.2.l1_delta\": 0.001,\n",
+            "    \"omc.memo_hit_rate\": 0.952381\n"
+        ),
+    );
+    let file = temp_file("opt-good.json", &good);
+    let summary = xtask::validate_report(&file, &repo_schema()).expect("valid report");
+    assert!(summary.contains("ok"), "{summary}");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn unknown_opt_ratio_names_are_rejected() {
+    // A typo'd transform family and an unknown measurement must both
+    // fail — dashboards key on these exact shapes.
+    let bad = GOOD.replace(
+        "    \"omc.memo_hit_rate\": 0.952381\n",
+        concat!(
+            "    \"opt.cołocate.l1_miss_rate\": 0.022,\n",
+            "    \"opt.planned.miss_rate\": 0.01,\n",
+            "    \"opt.pooled.g1.l1_delta\": 0.0\n"
+        ),
+    );
+    let file = temp_file("opt-bad.json", &bad);
+    let problems = xtask::validate_report(&file, &repo_schema()).expect_err("must fail");
+    for key in [
+        "opt.cołocate.l1_miss_rate",
+        "opt.planned.miss_rate",
+        "opt.pooled.g1.l1_delta",
+    ] {
+        assert!(
+            problems.iter().any(|p| p.contains(key)),
+            "{key}: {problems:#?}"
+        );
+    }
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
 fn unknown_grammar_metric_names_are_rejected() {
     // A typo'd stream and an unknown family must both fail — these keys
     // feed dashboards by exact name.

@@ -1,90 +1,72 @@
 //! Feedback-directed memory optimization, end to end: run a workload,
-//! collect the object-relative stream once, and emit three kinds of
-//! layout advice from it — field reordering, object clustering, and
-//! hot data streams (the consumers the paper's §3.2 motivates).
+//! collect the object-relative stream once, and let every layout
+//! adviser — field reordering, object clustering, global remapping,
+//! hot/cold tiering — emit typed transforms into one `LayoutPlan`
+//! (the consumers the paper's §3.2 motivates). The plan is then
+//! applied on a simulated heap and the same stream replayed to price
+//! each transform in cache misses.
 //!
 //! Run with: `cargo run --release --example fdmo_advisor`
 
-use orprof::core::{Cdc, Omc, OrSink, OrTuple};
-use orprof::opt::{hot_streams, ClusterAnalysis, FieldReorderAnalysis};
-use orprof::sequitur::Sequitur;
-use orprof::workloads::{spec, RunConfig, Tracer, Workload};
-
-/// One pass over the stream feeding all three analyses.
-#[derive(Default)]
-struct Advisor {
-    fields: FieldReorderAnalysis,
-    clusters: ClusterAnalysis,
-    object_stream: Sequitur,
-}
-
-impl OrSink for Advisor {
-    fn tuple(&mut self, t: &OrTuple) {
-        self.fields.tuple(t);
-        self.clusters.tuple(t);
-        self.object_stream.push(t.object.0);
-    }
-}
+use orprof::cache::evaluate::{evaluate_plan, extents_from_records, EvalConfig};
+use orprof::core::OrSink;
+use orprof::opt::{AdvisorSet, TransformKind};
+use orprof::workloads::{profile, spec, RunConfig, Workload};
 
 fn main() {
     let cfg = RunConfig::default();
     let workload = spec::Twolf::new(1);
 
-    let mut cdc = Cdc::new(Omc::new(), Advisor::default());
-    let mut tracer = Tracer::new(&cfg, &mut cdc);
-    workload.run(&mut tracer);
-    let sites = tracer.site_registry().clone();
-    tracer.finish();
-    let (omc, advisor) = cdc.into_parts();
+    // One profiling run: the tuple stream plus the object table.
+    let run = profile(&workload as &dyn Workload, &cfg);
 
-    println!("== field reordering advice (per group) ==");
-    for group in advisor.fields.groups() {
-        let layout = advisor.fields.suggest_layout(group);
-        if layout.len() < 2 {
-            continue;
-        }
-        let site = omc
-            .site_of_group(group)
-            .map(|s| sites.name(s))
-            .unwrap_or_default();
-        println!("  {site:24} access-affinity field order: {layout:?}");
+    // One pass over the stream feeds every adviser; `plan()` collects
+    // their typed transforms, canonically ordered by benefit.
+    let mut advisors = AdvisorSet::new();
+    for t in &run.tuples {
+        advisors.tuple(t);
+    }
+    let plan = advisors.plan();
+
+    println!("== layout plan ({} transforms) ==", plan.len());
+    for (t, label) in plan.transforms().iter().zip(plan.labels()) {
+        let group = match &t.kind {
+            TransformKind::FieldReorder { group, .. }
+            | TransformKind::PoolGroup { group }
+            | TransformKind::HotColdSplit { group, .. } => Some(*group),
+            TransformKind::Colocate { objects } => objects.first().map(|k| k.0),
+        };
+        let site = group.and_then(|g| run.site_name(g)).unwrap_or_default();
+        println!("  {label:<24} {site:<24} {t}");
     }
 
-    println!("\n== object clustering advice (hottest co-access pairs) ==");
-    for group in advisor.fields.groups() {
-        let pairs = advisor.clusters.top_pairs(group, 3);
-        if pairs.is_empty() {
-            continue;
-        }
-        let site = omc
-            .site_of_group(group)
-            .map(|s| sites.name(s))
-            .unwrap_or_default();
-        for (a, b, w) in pairs {
-            if w < 10 {
-                continue;
-            }
-            println!("  {site:24} co-allocate objects {a} and {b} ({w} transitions)");
-        }
-    }
-
-    println!("\n== hot data streams (object dimension) ==");
-    let grammar = advisor.object_stream.grammar();
-    for stream in hot_streams(&grammar, 3, 5) {
-        let preview: Vec<u64> = stream.expansion.iter().take(8).copied().collect();
+    // Close the loop: apply the plan on a simulated heap/linker and
+    // replay the identical stream under baseline and planned layouts.
+    let objects = extents_from_records(&run.records);
+    let eval = evaluate_plan(&plan, &objects, &run.tuples, &EvalConfig::default())
+        .expect("plan applies within the simulated arena");
+    println!(
+        "\n== re-simulated cost ==\n  baseline L1 miss rate {:.2}%, planned {:.2}% ({:+.2} pp)",
+        eval.baseline.l1_miss_rate() * 100.0,
+        eval.planned.l1_miss_rate() * 100.0,
+        -eval.l1_improvement() * 100.0
+    );
+    for t in &eval.transforms {
         println!(
-            "  {} occurrences x {} objects (heat {}): {preview:?}{}",
-            stream.occurrences,
-            stream.expansion.len(),
-            stream.heat,
-            if stream.expansion.len() > 8 {
-                " ..."
-            } else {
-                ""
-            }
+            "  {:<24} alone: L1 {:>6.2}%  ({:+.2} pp)",
+            t.label,
+            t.replay.l1_miss_rate() * 100.0,
+            -t.l1_delta * 100.0
         );
     }
-    println!("\nEvery line above came from a single profiling run — and none of");
-    println!("it is derivable from raw addresses, where fields, objects and");
-    println!("groups are fused into allocator-dependent numbers.");
+
+    let bytes = plan.to_bytes();
+    println!(
+        "\nThe whole plan serializes to {} bytes (a CRC-checked PLAN chunk;\n\
+         `orprof-cli optimize --plan-out` writes the same container). Every\n\
+         transform above came from a single profiling run — and none of it is\n\
+         derivable from raw addresses, where fields, objects and groups are\n\
+         fused into allocator-dependent numbers.",
+        bytes.len()
+    );
 }

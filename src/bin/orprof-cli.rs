@@ -11,6 +11,8 @@
 //! orprof-cli run --workload micro.matrix --profiler whomp --grammar-workers 4
 //! orprof-cli run --workload micro.matrix --profiler whomp --stats --metrics-out m.json
 //! orprof-cli record --workload 164.gzip --out gzip.orpt
+//! orprof-cli optimize --workload micro.linked-list --plan-out ll.plan.orp --stats
+//! orprof-cli optimize --from-trace gzip.orpt --metrics-out opt.json
 //! orprof-cli inspect gzip.orp
 //! orprof-cli report gzip.orp           # dependence + stride advice
 //! ```
@@ -18,6 +20,14 @@
 //! Every artifact — traces, profiles, checkpoints — is a `.orp`
 //! container; `inspect` dispatches on the container's `META` chunk, so
 //! it works uniformly on any of them.
+//!
+//! `optimize` closes the paper's feedback loop: it profiles a workload
+//! (or replays a recorded trace), derives a [`LayoutPlan`] from every
+//! adviser, applies it on the simulated heap/linker, and replays the
+//! same object-relative stream through a cache hierarchy under the
+//! baseline and planned layouts — reporting per-transform miss-rate
+//! deltas as `opt.*` metrics and optionally writing the plan as a
+//! `PLAN`-chunk `.orp` container.
 //!
 //! `--stats` prints a human-readable run report to stderr and
 //! `--metrics-out` writes the same report as stable-schema JSON; both
@@ -34,7 +44,10 @@ use std::io::{BufReader, BufWriter, Read};
 use std::process::ExitCode;
 
 use orprof::allocsim::AllocatorKind;
-use orprof::core::{Cdc, Omc, PipelineStats, Session, SessionSink, ShardableSink, ShardedCdc};
+use orprof::cache::evaluate::{evaluate_plan, extents_from_records, EvalConfig};
+use orprof::core::{
+    Cdc, Omc, OrSink, OrTuple, PipelineStats, Session, SessionSink, ShardableSink, ShardedCdc,
+};
 use orprof::format::{
     read_varint, AtomicFile, ChunkTag, ContainerReader, FailingRead, FaultPlan, IoStats,
     ProfileKind, RetryRead, RetryWrite,
@@ -42,6 +55,7 @@ use orprof::format::{
 use orprof::leap::strides::{stride_stats, STRONG_STRIDE_THRESHOLD};
 use orprof::leap::{mdf, LeapProfile, LeapProfiler};
 use orprof::obs::{Recorder, RunReport, ShardCount, StatsRecorder, Stopwatch};
+use orprof::opt::{AdvisorSet, LayoutPlan};
 use orprof::phase::PhaseDetector;
 use orprof::sequitur::Grammar;
 use orprof::trace::{AccessEvent, AllocEvent, CountingSink, FreeEvent, ProbeSink};
@@ -58,6 +72,9 @@ fn usage() -> &'static str {
      [--grammar-workers <n>] [--resume <checkpoint.orp>] [--checkpoint <file>] \
      [--stats] [--metrics-out <file.json>] [--embed-report] [--fault-plan <spec>]\n  \
      orprof-cli record --workload <name> --out <file> [--scale <n>] [--allocator ..] [--seed <n>] \
+     [--stats] [--metrics-out <file.json>] [--fault-plan <spec>]\n  \
+     orprof-cli optimize (--workload <name> | --from-trace <file>) [--scale <n>] \
+     [--allocator ..] [--seed <n>] [--plan-out <file>] [--top <n>] \
      [--stats] [--metrics-out <file.json>] [--fault-plan <spec>]\n  \
      orprof-cli inspect <file>\n  orprof-cli report <file>\n\n\
      fault plans (also via ORP_FAULT_PLAN): io-error@n=K, short-write@n=K, \
@@ -86,6 +103,7 @@ fn main() -> ExitCode {
         Some("list") => parse_flags(&args[1..], &LIST_FLAGS).map(|_| cmd_list()),
         Some("run") => cmd_run(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
+        Some("optimize") => cmd_optimize(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         _ => {
@@ -157,6 +175,22 @@ const RECORD_FLAGS: FlagSpec = FlagSpec {
         "--scale",
         "--allocator",
         "--seed",
+        "--metrics-out",
+        "--fault-plan",
+    ],
+    switches: &["--stats"],
+    positionals: 0,
+};
+
+const OPTIMIZE_FLAGS: FlagSpec = FlagSpec {
+    values: &[
+        "--workload",
+        "--from-trace",
+        "--scale",
+        "--allocator",
+        "--seed",
+        "--plan-out",
+        "--top",
         "--metrics-out",
         "--fault-plan",
     ],
@@ -823,6 +857,104 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The optimize pipeline's collection sink: one pass over the
+/// object-relative stream feeds every adviser and keeps the tuples for
+/// the replay stage.
+#[derive(Default)]
+struct OptimizeCollector {
+    advisors: AdvisorSet,
+    tuples: Vec<OrTuple>,
+}
+
+impl OrSink for OptimizeCollector {
+    fn tuple(&mut self, t: &OrTuple) {
+        self.advisors.tuple(t);
+        self.tuples.push(*t);
+    }
+}
+
+/// The end-to-end loop the paper motivates: profile → advise → plan →
+/// apply → re-simulate → report.
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let parsed = parse_flags(args, &OPTIMIZE_FLAGS)?;
+    let clock = Stopwatch::start();
+    let mut ctx = IoCtx::from_flags(&parsed)?;
+    let cfg = parse_cfg(&parsed)?;
+
+    // Profile: one run (or trace replay) through the CDC/OMC pipeline.
+    let mut cdc = Cdc::new(Omc::new(), OptimizeCollector::default());
+    let outcome = drive(&parsed, &mut ctx, &mut cdc)?;
+    let mut rec = StatsRecorder::default();
+    cdc.record_metrics(&mut rec);
+    let (omc, collected) = cdc.into_parts();
+    let mut records = omc.archive().to_vec();
+    records.extend(omc.live_records());
+    records.sort_by_key(|r| (r.alloc_time, r.group, r.serial));
+
+    // Advise + plan: every adviser's transforms, canonically ordered.
+    let mut plan = collected.advisors.plan();
+    if let Some(top) = parsed.value("--top") {
+        plan.truncate(top.parse().map_err(|_| "bad --top")?);
+    }
+    println!(
+        "optimize: {} tuples over {} objects -> {} transforms",
+        collected.tuples.len(),
+        records.len(),
+        plan.len()
+    );
+
+    let plan_bytes = plan.to_bytes();
+    if let Some(path) = parsed.value("--plan-out") {
+        ctx.write_atomic(path, &plan_bytes)?;
+        println!("layout plan written to {path}");
+    }
+
+    // Apply + re-simulate: baseline, planned, and per-transform
+    // replays of the same stream through identical hierarchies.
+    let eval_cfg = EvalConfig {
+        allocator: cfg.allocator,
+        seed: cfg.heap_seed,
+        ..EvalConfig::default()
+    };
+    let objects = extents_from_records(&records);
+    let eval = evaluate_plan(&plan, &objects, &collected.tuples, &eval_cfg)
+        .map_err(|e| format!("apply plan: {e}"))?;
+    println!(
+        "baseline L1 miss rate {:.2}%, planned {:.2}% ({:+.2} pp)",
+        eval.baseline.l1_miss_rate() * 100.0,
+        eval.planned.l1_miss_rate() * 100.0,
+        -eval.l1_improvement() * 100.0
+    );
+    for t in &eval.transforms {
+        println!(
+            "  {:<28} via {:<13} benefit {:>8}  L1 delta {:+.2} pp",
+            t.label,
+            t.advisor,
+            t.benefit,
+            -t.l1_delta * 100.0
+        );
+    }
+
+    // Report: the evaluation flattened into the opt.* namespace.
+    rec.counter("opt.transforms", plan.len() as u64);
+    rec.counter("opt.objects", records.len() as u64);
+    rec.counter("opt.tuples", collected.tuples.len() as u64);
+    rec.counter("opt.plan_bytes", plan_bytes.len() as u64);
+    rec.counter("opt.replay_skipped", eval.planned.skipped);
+    absorb_trace_io(&mut rec, &outcome);
+    rec.counter("io.retries", ctx.retries);
+    let mut report = RunReport::new("optimize");
+    report.workload = parsed.value("--workload").map(str::to_owned);
+    report.shards = 1;
+    report.events = outcome.events;
+    report.wall_nanos = clock.elapsed_nanos();
+    report.absorb(&rec);
+    for (key, value) in eval.metrics() {
+        report.ratios.insert(key, value);
+    }
+    emit_report(&parsed, &mut ctx, &report)
+}
+
 /// Walks a container's chunks, printing the self-describing registry
 /// view, and returns the profile kind from the `META` chunk.
 fn print_container(path: &str) -> Result<ProfileKind, String> {
@@ -978,6 +1110,13 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         }
         ProfileKind::Checkpoint => {
             println!("checkpoint: resume with `orprof-cli run --resume {path} --profiler <name>`");
+        }
+        ProfileKind::LayoutPlan => {
+            let plan = LayoutPlan::read_from(&mut open(path)?).map_err(fail)?;
+            println!("layout plan: {} transforms", plan.len());
+            for (t, label) in plan.transforms().iter().zip(plan.labels()) {
+                println!("  {label:<28} {t}");
+            }
         }
     }
     Ok(())

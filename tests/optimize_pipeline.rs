@@ -1,0 +1,189 @@
+//! End-to-end subprocess tests for `orprof-cli optimize`: the closed
+//! loop from profile through plan to re-simulated miss rates, and the
+//! durability of the `PLAN` container it writes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_orprof-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("orprof-opt-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn optimize(args: &[&str]) -> std::process::Output {
+    let out = cli().arg("optimize").args(args).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "optimize {args:?}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn same_trace_yields_a_byte_identical_plan() {
+    let trace = tmp("det.orpt");
+    let first = tmp("det-a.orp");
+    let second = tmp("det-b.orp");
+
+    let out = cli()
+        .args([
+            "record",
+            "--workload",
+            "micro.linked_list",
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    for plan in [&first, &second] {
+        optimize(&[
+            "--from-trace",
+            trace.to_str().unwrap(),
+            "--plan-out",
+            plan.to_str().unwrap(),
+        ]);
+    }
+    let a = std::fs::read(&first).unwrap();
+    let b = std::fs::read(&second).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same trace must yield a byte-identical PLAN chunk");
+
+    for p in [&trace, &first, &second] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn live_run_and_trace_replay_agree_on_the_plan() {
+    // The plan is derived from the object-relative stream, which the
+    // trace preserves exactly: optimizing from a live run and from its
+    // recorded trace must agree byte for byte.
+    let trace = tmp("inv.orpt");
+    let live = tmp("inv-live.orp");
+    let replayed = tmp("inv-replay.orp");
+
+    let out = cli()
+        .args([
+            "record",
+            "--workload",
+            "micro.linked_list",
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = optimize(&[
+        "--workload",
+        "micro.linked_list",
+        "--plan-out",
+        live.to_str().unwrap(),
+    ]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("optimize:"), "{text}");
+    assert!(text.contains("baseline L1 miss rate"), "{text}");
+
+    optimize(&[
+        "--from-trace",
+        trace.to_str().unwrap(),
+        "--plan-out",
+        replayed.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        std::fs::read(&live).unwrap(),
+        std::fs::read(&replayed).unwrap(),
+        "live run and trace replay must derive the same plan"
+    );
+
+    for p in [&trace, &live, &replayed] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn plan_container_inspects_and_rejects_corruption() {
+    let plan = tmp("inspect.orp");
+    optimize(&[
+        "--workload",
+        "micro.linked_list",
+        "--plan-out",
+        plan.to_str().unwrap(),
+    ]);
+
+    let out = cli()
+        .args(["inspect", plan.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("PLAN"), "{text}");
+    assert!(text.contains("layout plan:"), "{text}");
+    assert!(text.contains("transforms"), "{text}");
+
+    // A flipped payload byte must fail the CRC, not decode garbage.
+    let mut bytes = std::fs::read(&plan).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&plan, &bytes).unwrap();
+    let out = cli()
+        .args(["inspect", plan.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "inspect accepted a corrupted plan");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error:"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+
+    let _ = std::fs::remove_file(plan);
+}
+
+#[test]
+fn optimize_reports_opt_metrics_and_honors_top() {
+    let json = tmp("metrics.json");
+    let out = optimize(&[
+        "--workload",
+        "micro.linked_list",
+        "--top",
+        "2",
+        "--metrics-out",
+        json.to_str().unwrap(),
+    ]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("-> 2 transforms"), "{text}");
+
+    let doc = std::fs::read_to_string(&json).unwrap();
+    for needle in [
+        "\"command\": \"optimize\"",
+        "\"workload\": \"micro.linked_list\"",
+        "\"opt.transforms\": 2",
+        "\"opt.replay_skipped\": 0",
+        "\"opt.plan_bytes\"",
+        "\"opt.baseline.l1_miss_rate\"",
+        "\"opt.planned.l1_miss_rate\"",
+        "\"opt.planned.l1_delta\"",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+    }
+    let _ = std::fs::remove_file(json);
+}

@@ -43,6 +43,7 @@ impl ChunkTag {
     /// A layout-optimization plan (`orp-opt` `LayoutPlan` transforms).
     pub const PLAN: ChunkTag = ChunkTag(*b"PLAN");
     /// Empty terminator; every container ends with it.
+    // analyze: allow(codec-pair): END is the zero-payload terminator — ContainerReader::next_chunk consumes it inline and `orprof inspect` never surfaces it as a chunk
     pub const END: ChunkTag = ChunkTag(*b"END ");
 
     /// Every tag this workspace writes, with a one-line description —

@@ -156,6 +156,7 @@ impl Grammar {
                     .map(|sym| match sym {
                         GrammarSymbol::Terminal(_) => 1,
                         GrammarSymbol::Rule(RuleId(r)) => {
+                            // analyze: allow(panic-reachability): post-order DFS resolves every child before its parent, and Grammar::read_from rejects cyclic rule references at the decode boundary
                             len[*r as usize].expect("children resolved before parent")
                         }
                     })
@@ -172,6 +173,7 @@ impl Grammar {
                 }
             }
         }
+        // analyze: allow(panic-reachability): the DFS starts at rule 0 and always resolves it; decoded grammars are acyclic (read_from rejects cycles)
         len[0].expect("start rule resolved")
     }
 

@@ -29,6 +29,56 @@ fn bad_data(msg: &'static str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Whether any rule (not just the start rule) participates in a
+/// reference cycle. Sequitur never produces one, but a crafted payload
+/// can — and the expansion walks (`expanded_len`, `expand`) rely on
+/// acyclicity, so a cyclic grammar must be rejected at the decode
+/// boundary. Iterative tri-color DFS; runs in time linear in the
+/// grammar size.
+fn has_cycle(rules: &[Vec<GrammarSymbol>]) -> bool {
+    const ON_STACK: u8 = 1;
+    const DONE: u8 = 2;
+    let mut state = vec![0u8; rules.len()];
+    for start in 0..rules.len() {
+        if state.get(start).copied() != Some(0) {
+            continue;
+        }
+        // A frame is (rule, next symbol offset in its body).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        if let Some(s) = state.get_mut(start) {
+            *s = ON_STACK;
+        }
+        while let Some((rule, idx)) = stack.pop() {
+            let Some(body) = rules.get(rule) else {
+                continue;
+            };
+            match body.get(idx) {
+                None => {
+                    if let Some(s) = state.get_mut(rule) {
+                        *s = DONE;
+                    }
+                }
+                Some(GrammarSymbol::Terminal(_)) => stack.push((rule, idx + 1)),
+                Some(GrammarSymbol::Rule(RuleId(r))) => {
+                    let child = *r as usize;
+                    stack.push((rule, idx + 1));
+                    match state.get(child).copied() {
+                        Some(0) => {
+                            if let Some(s) = state.get_mut(child) {
+                                *s = ON_STACK;
+                            }
+                            stack.push((child, 0));
+                        }
+                        Some(ON_STACK) => return true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
 impl Grammar {
     /// Serializes the grammar payload.
     ///
@@ -88,6 +138,9 @@ impl Grammar {
                 });
             }
             rules.push(body);
+        }
+        if has_cycle(&rules) {
+            return Err(bad_data("cyclic rule reference"));
         }
         Ok(Grammar::from_rules(rules))
     }
@@ -253,7 +306,7 @@ impl Sequitur {
         if free_count > node_count {
             return Err(bad_data("more free nodes than nodes"));
         }
-        seq.free_nodes.reserve(free_count);
+        seq.free_nodes.reserve(free_count.min(1 << 20));
         for _ in 0..free_count {
             let idx = read_index(r, node_count)?;
             if idx == NIL {
@@ -277,7 +330,7 @@ impl Sequitur {
         if free_rule_count > rule_count {
             return Err(bad_data("more free rules than rules"));
         }
-        seq.free_rules.reserve(free_rule_count);
+        seq.free_rules.reserve(free_rule_count.min(1 << 20));
         for _ in 0..free_rule_count {
             let idx = read_index(r, rule_count)?;
             if idx == NIL {
@@ -290,7 +343,7 @@ impl Sequitur {
         if digram_count > node_count {
             return Err(bad_data("more digrams than nodes"));
         }
-        seq.digrams.reserve(digram_count);
+        seq.digrams.reserve(digram_count.min(1 << 20));
         for _ in 0..digram_count {
             let a = seq.read_sym(r)?;
             let b = seq.read_sym(r)?;
@@ -351,6 +404,42 @@ mod tests {
         write_varint(&mut buf, 1).unwrap(); // body length
         write_varint(&mut buf, 5 << 1).unwrap(); // rule ref 5
         assert!(Grammar::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn cyclic_rule_reference_is_rejected() {
+        // Sequitur never emits a cycle, but a crafted payload can:
+        // rule 1 referencing itself used to survive decoding and then
+        // hang/panic the expansion walks (`expanded_len`, `expand`).
+        let mut direct = Vec::new();
+        write_varint(&mut direct, 2).unwrap(); // rule count
+        write_varint(&mut direct, 1).unwrap(); // rule 0: body length
+        write_varint(&mut direct, 1 << 1).unwrap(); //   ref rule 1
+        write_varint(&mut direct, 1).unwrap(); // rule 1: body length
+        write_varint(&mut direct, 1 << 1).unwrap(); //   ref rule 1 (self)
+        let err = Grammar::read_from(&mut direct.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("cyclic"), "{err}");
+
+        // Mutual recursion two hops away from the start rule.
+        let mut mutual = Vec::new();
+        write_varint(&mut mutual, 3).unwrap();
+        for body_ref in [1u64, 2, 1] {
+            write_varint(&mut mutual, 1).unwrap();
+            write_varint(&mut mutual, body_ref << 1).unwrap();
+        }
+        let err = Grammar::read_from(&mut mutual.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("cyclic"), "{err}");
+    }
+
+    #[test]
+    fn cyclic_grammar_in_container_errors_not_panics() {
+        let mut payload = Vec::new();
+        write_varint(&mut payload, 1).unwrap();
+        write_varint(&mut payload, 1).unwrap();
+        write_varint(&mut payload, 0 << 1).unwrap(); // start rule refs itself
+        let mut container = Vec::new();
+        write_single_chunk(&mut container, ProfileKind::Grammar, &payload).unwrap();
+        assert!(Grammar::read_container(container.as_slice()).is_err());
     }
 
     #[test]
@@ -419,6 +508,22 @@ mod tests {
             resumed.save_state(&mut resumed_state).unwrap();
             assert_eq!(whole_state, resumed_state, "state drift at cut {cut}");
         }
+    }
+
+    #[test]
+    fn huge_declared_counts_error_without_huge_allocation() {
+        // A tiny file may declare near-u32::MAX element counts; every
+        // `reserve` on the decode path is clamped, so the parse must
+        // fail on the missing data instead of pre-allocating gigabytes.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 0).unwrap(); // input_len
+        write_varint(&mut buf, u64::from(NIL - 1)).unwrap(); // node count
+        assert!(Sequitur::restore_state(&mut buf.as_slice()).is_err());
+
+        // Same for a grammar payload declaring a huge rule count.
+        let mut grammar = Vec::new();
+        write_varint(&mut grammar, u64::MAX).unwrap();
+        assert!(Grammar::read_from(&mut grammar.as_slice()).is_err());
     }
 
     #[test]

@@ -242,6 +242,7 @@ impl Sequitur {
             Entry::Occupied(e) => *e.get(),
             Entry::Vacant(v) => {
                 let id =
+                    // analyze: allow(panic-reachability): arena-capacity invariant — overflowing u32 intern ids means >4G distinct terminals, far past any input this tool accepts
                     u32::try_from(self.big_terms.len()).expect("intern table exceeds u32 entries");
                 self.big_terms.push(terminal);
                 *v.insert(id)
@@ -440,6 +441,7 @@ impl Sequitur {
             };
             idx
         } else {
+            // analyze: allow(panic-reachability): arena-capacity invariant — u32 node ids cap the arena at 4G nodes; growth past that is a resource exhaustion, not a malformed-input path
             let idx = u32::try_from(self.nodes.len()).expect("grammar exceeds u32 nodes");
             self.nodes.push(Node {
                 sym,
@@ -464,6 +466,7 @@ impl Sequitur {
         let r = if let Some(r) = self.free_rules.pop() {
             r
         } else {
+            // analyze: allow(panic-reachability): arena-capacity invariant — u32 rule ids cap the arena at 4G rules, unreachable for any accepted input
             let r = u32::try_from(self.rules.len()).expect("grammar exceeds u32 rules");
             self.rules.push(RuleSlot {
                 guard: NIL,
@@ -613,6 +616,7 @@ impl Sequitur {
             // The matched occurrence is exactly an existing rule's body:
             // reuse that rule.
             let Some(r) = self.sym(m_prev).as_guard() else {
+                // analyze: allow(panic-reachability): the branch condition just checked is_guard(), so as_guard() cannot fail
                 unreachable!()
             };
             self.substitute(first, r);
@@ -671,6 +675,7 @@ impl Sequitur {
         let left = self.nodes[node as usize].prev;
         let right = self.nodes[node as usize].next;
         let Some(r) = self.sym(node).as_rule() else {
+            // analyze: allow(panic-reachability): callers only reach expand() through an as_rule() check on the same node (see match_found)
             unreachable!("expand on non-rule symbol")
         };
         debug_assert_eq!(self.rules[r as usize].uses, 1);

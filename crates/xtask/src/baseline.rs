@@ -1,0 +1,100 @@
+//! The committed findings baseline (`analyze.baseline` at the repo
+//! root): CI fails only on *new* findings, so a rule can be introduced
+//! (or tightened) before every historical violation is paid down.
+//!
+//! One line per accepted finding, tab-separated:
+//!
+//! ```text
+//! <rule>\t<file>\t<message>
+//! ```
+//!
+//! Line numbers are deliberately *not* part of the key — unrelated
+//! edits move code around, and a baseline that churns on every
+//! reflow teaches people to regenerate it blindly. `#` comments and
+//! blank lines are ignored.
+
+use std::collections::HashSet;
+
+use crate::Diagnostic;
+
+/// The baseline key for one diagnostic.
+fn key(d: &Diagnostic) -> String {
+    format!(
+        "{}\t{}\t{}",
+        d.rule,
+        d.file.display(),
+        d.message.replace(['\t', '\n'], " ")
+    )
+}
+
+/// Renders a findings list as baseline file contents (sorted,
+/// deduplicated, with a header comment).
+#[must_use]
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut lines: Vec<String> = diags.iter().map(key).collect();
+    lines.sort();
+    lines.dedup();
+    let mut out = String::from(
+        "# Accepted analyze findings: <rule>\\t<file>\\t<message> per line.\n\
+         # Regenerate with `cargo xtask analyze --write-baseline`; review the diff.\n",
+    );
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses baseline file contents into the accepted-findings set.
+#[must_use]
+pub fn parse(text: &str) -> HashSet<String> {
+    text.lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Splits findings into (new, baselined) against the accepted set.
+#[must_use]
+pub fn split<'a>(
+    diags: &'a [Diagnostic],
+    accepted: &HashSet<String>,
+) -> (Vec<&'a Diagnostic>, Vec<&'a Diagnostic>) {
+    diags.iter().partition(|d| !accepted.contains(&key(d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diag(rule: &'static str, file: &str, message: &str) -> Diagnostic {
+        Diagnostic {
+            file: PathBuf::from(file),
+            line: 3,
+            rule,
+            message: message.to_owned(),
+        }
+    }
+
+    #[test]
+    fn round_trip_suppresses_known_findings_regardless_of_line() {
+        let old = [diag("no-panic", "a.rs", "unwrap() somewhere")];
+        let accepted = parse(&render(&old));
+        let mut moved = old[0].clone();
+        moved.line = 99;
+        let fresh = diag("le-bytes", "b.rs", "from_le_bytes");
+        let diags = [moved, fresh];
+        let (new, known) = split(&diags, &accepted);
+        assert_eq!(known.len(), 1, "line moves must stay baselined");
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].rule, "le-bytes");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let accepted = parse("# header\n\nno-panic\ta.rs\tmsg\n");
+        assert_eq!(accepted.len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Stage 2: the cross-file linker — an approximate, name-based call
+//! graph over the workspace facts.
+//!
+//! Resolution is deliberately conservative: a call edge is added only
+//! when the callee can be pinned down with reasonable confidence —
+//! same-file definitions win, `Type::method` paths match the defining
+//! `impl` (or a file whose stem matches the qualifier), and bare or
+//! method calls resolve only when the workspace has few definitions of
+//! that name. Ambiguous names add *all* candidate edges (reachability
+//! over-approximates; the panic rule's findings stay reviewable via
+//! the reported call path), while names with many definitions are
+//! dropped entirely to keep the approximation honest.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::facts::{is_first_party, is_test_tree, WorkspaceFacts};
+
+/// A function node: `(file index, fn index within that file)`.
+pub type FnId = (usize, usize);
+
+/// Names so common that an unqualified call tells us nothing; edges
+/// through them would connect the whole workspace.
+const AMBIGUOUS_CAP: usize = 4;
+
+pub struct CallGraph {
+    /// Resolved call edges per function.
+    pub edges: HashMap<FnId, Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Links every in-scope file's calls against the workspace's
+    /// function definitions.
+    #[must_use]
+    pub fn build(ws: &WorkspaceFacts) -> Self {
+        // Index definitions by name. Only first-party, non-test-tree
+        // files participate — vendored stand-ins and test helpers are
+        // not decode-reachable surface.
+        let mut defs_by_name: HashMap<&str, Vec<FnId>> = HashMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            if !is_first_party(&file.rel_s)
+                || is_test_tree(&file.rel_s)
+                || file.rel_s.starts_with("crates/xtask/")
+            {
+                continue;
+            }
+            for (gi, f) in file.syntax.fns.iter().enumerate() {
+                if file.in_test_span(f.line) {
+                    continue;
+                }
+                defs_by_name.entry(&f.name).or_default().push((fi, gi));
+            }
+        }
+
+        let mut edges: HashMap<FnId, Vec<FnId>> = HashMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            if !is_first_party(&file.rel_s)
+                || is_test_tree(&file.rel_s)
+                || file.rel_s.starts_with("crates/xtask/")
+            {
+                continue;
+            }
+            for call in &file.syntax.calls {
+                let Some(enclosing) = call.enclosing else {
+                    continue;
+                };
+                if call.is_macro || file.in_test_span(call.line) {
+                    continue;
+                }
+                let Some(candidates) = defs_by_name.get(call.name.as_str()) else {
+                    continue;
+                };
+                let caller: FnId = (fi, enclosing);
+                let mut targets: Vec<FnId> = Vec::new();
+                // 1. Same-file definition: the strongest signal.
+                if let Some(&t) = candidates.iter().find(|(tfi, _)| *tfi == fi) {
+                    targets.push(t);
+                } else if let Some(q) = &call.qualifier {
+                    // 2. `Q::name(…)`: match the defining impl's self
+                    //    type, or a module file named like the
+                    //    qualifier.
+                    let ql = q.to_lowercase();
+                    for &(tfi, tgi) in candidates {
+                        let def_file = &ws.files[tfi];
+                        let def = &def_file.syntax.fns[tgi];
+                        let owner_matches = def.owner.as_deref() == Some(q.as_str());
+                        let stem_matches = def_file
+                            .rel
+                            .file_stem()
+                            .is_some_and(|s| s.to_string_lossy().to_lowercase() == ql);
+                        if owner_matches || stem_matches {
+                            targets.push((tfi, tgi));
+                        }
+                    }
+                } else if candidates.len() <= AMBIGUOUS_CAP {
+                    // 3. Bare/method call: accept only when the name is
+                    //    rare enough that the candidates are plausible.
+                    targets.extend(candidates.iter().copied());
+                }
+                if !targets.is_empty() {
+                    edges.entry(caller).or_default().extend(targets);
+                }
+            }
+        }
+        for list in edges.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        CallGraph { edges }
+    }
+
+    /// BFS closure from `entries`; the returned map's values are the
+    /// BFS parents, so a call path can be reconstructed for any
+    /// reached function (entries map to themselves).
+    #[must_use]
+    pub fn reachable_from(&self, entries: &[FnId]) -> HashMap<FnId, FnId> {
+        let mut parent: HashMap<FnId, FnId> = HashMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &e in entries {
+            if parent.insert(e, e).is_none() {
+                queue.push_back(e);
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            if let Some(nexts) = self.edges.get(&node) {
+                for &n in nexts {
+                    if parent.insert(n, node).is_none() {
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// Reconstructs the entry → … → `node` call path as fn names.
+    #[must_use]
+    pub fn path_to(
+        &self,
+        ws: &WorkspaceFacts,
+        parents: &HashMap<FnId, FnId>,
+        node: FnId,
+    ) -> Vec<String> {
+        let mut path = Vec::new();
+        let mut cur = node;
+        for _ in 0..64 {
+            let (fi, gi) = cur;
+            path.push(ws.files[fi].syntax.fns[gi].name.clone());
+            match parents.get(&cur) {
+                Some(&p) if p != cur => cur = p,
+                _ => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+}

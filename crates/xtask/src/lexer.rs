@@ -129,19 +129,27 @@ impl Lexer {
     }
 
     /// A `"…"` string body (the caller has classified it); escapes keep
-    /// `\"` from terminating early.
+    /// `\"` from terminating early. The payload is retained (quoted) so
+    /// the syntax pass can index string literals; escape sequences are
+    /// kept verbatim — rules that read payloads only deal in
+    /// identifier-like metric keys where escapes never appear.
     fn string(&mut self, line: u32) {
         self.bump(); // opening quote
+        let mut text = String::from("\"");
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    text.push(c);
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => text.push(c),
             }
         }
-        self.push(Kind::Literal, String::from("\"…\""), line);
+        text.push('"');
+        self.push(Kind::Literal, text, line);
     }
 
     /// Distinguishes `'a'` (char literal) from `'a` (lifetime): a

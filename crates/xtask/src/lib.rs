@@ -1,8 +1,20 @@
-//! The `cargo xtask analyze` static-verification pass.
+//! The `cargo xtask analyze` static-verification engine.
 //!
-//! Eight repo-specific invariants that `rustc`/`clippy` cannot express,
-//! checked at token level (see [`lexer`]) so they hold across
-//! formatting and never match inside strings or comments:
+//! Three stages (all self-contained — no external parser):
+//!
+//! 1. **Facts** ([`facts`], [`syntax`], [`lexer`]) — each file is
+//!    lexed once and a lightweight syntax pass extracts items, fn
+//!    signatures, calls, string literals, and `ChunkTag`/`ProfileKind`
+//!    path references into a per-file facts database shared by every
+//!    rule.
+//! 2. **Linking** ([`callgraph`], [`facts::WorkspaceFacts`]) — an
+//!    approximate name-based call graph plus the chunk-tag registry
+//!    and the metric-key vocabulary ([`vocab`]) tie the files
+//!    together.
+//! 3. **Rules** ([`rules`]) — the eight per-file token rules
+//!    re-expressed against the facts, plus five cross-file rules:
+//!
+//! Per-file rules:
 //!
 //! * **no-panic** — decode paths (`crates/format/src/**`, every
 //!   `crates/*/src/io.rs`, `crates/core/src/session.rs`) must not
@@ -35,17 +47,45 @@
 //!   (`::new`/`::with_capacity`): hot-path maps annotate
 //!   `FxBuildHasher` and construct through `::default()`.
 //!
+//! Cross-file rules:
+//!
+//! * **panic-reachability** — no fn transitively reachable from a
+//!   decode entry point (a `pub fn read_*`/`decode_*`/… in a decode
+//!   file) may `unwrap`/`expect`/`panic!`; findings carry the
+//!   reconstructed call path.
+//! * **untrusted-length** — a length decoded by
+//!   `read_varint`/`read_u32_le`/… must pass a bound (`.min(…)`,
+//!   `.clamp(…)`, or a comparison against a trusted value) before it
+//!   sizes a `with_capacity`/`reserve`/`vec![…; n]` allocation.
+//! * **metric-key** — every literal recorder key and every
+//!   `opt.*`/`grammar.*`/`io.*` label must be enumerated in the
+//!   `schemas/run_report.schema` vocabulary, and every vocabulary
+//!   entry must have a witnessing label in code.
+//! * **codec-pair** — every `ChunkTag` with an encoder must have a
+//!   decoder, an inspect arm under `src/bin/`, and a corruption test.
+//! * **error-type** — public decode-path fns return `Result` with a
+//!   `FormatError`-family error (or `io::Error` at the I/O boundary),
+//!   never `Option` and never nothing.
+//!
 //! Inline exemptions: `// analyze: allow(<rule>): <reason>` on the
 //! violating line or the line above. File-level exemptions live in
 //! `analyze.allow` at the repo root (`<rule> <path> <reason>` per
 //! line). Both require a non-empty reason; a bare marker is itself a
-//! violation.
+//! violation. Accepted historical findings live in `analyze.baseline`
+//! ([`baseline`]); machine-readable output (`--format json|sarif`) is
+//! in [`output`].
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod callgraph;
+pub mod facts;
 pub mod json;
 pub mod lexer;
+pub mod output;
 pub mod rules;
+pub mod syntax;
+pub mod vocab;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -75,40 +115,96 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// `analyze` could not run at all (as opposed to running and finding
+/// violations): the root is not a walkable directory.
+#[derive(Debug)]
+pub struct AnalyzeError {
+    pub root: PathBuf,
+    pub source: std::io::Error,
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "analyze: cannot walk '{}': {}",
+            self.root.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for AnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Runs every analyze rule over the workspace rooted at `root`.
 /// Returns the violations sorted by file then line.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `root` cannot be walked (not a readable directory).
-#[must_use]
-pub fn analyze(root: &Path) -> Vec<Diagnostic> {
+/// Returns [`AnalyzeError`] when `root` cannot be walked (not a
+/// readable directory). Unreadable *files* under a walkable root are
+/// skipped, as before.
+pub fn analyze(root: &Path) -> Result<Vec<Diagnostic>, AnalyzeError> {
+    std::fs::read_dir(root).map_err(|source| AnalyzeError {
+        root: root.to_path_buf(),
+        source,
+    })?;
     let allowlist = rules::Allowlist::load(root);
     let mut diags = allowlist.problems.clone();
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files);
     files.sort();
+    let mut all_facts = Vec::new();
     for rel in &files {
         // Unreadable/non-UTF-8 files are not source we lint.
         let Ok(src) = std::fs::read_to_string(root.join(rel)) else {
             continue;
         };
-        diags.extend(rules::check_file(rel, &src, &allowlist));
+        all_facts.push(facts::FileFacts::new(rel, &src));
     }
+    let ws = facts::WorkspaceFacts::build(all_facts);
+    for f in &ws.files {
+        diags.extend(rules::check_file_facts(f, &allowlist));
+    }
+    let schema_rel = Path::new("schemas/run_report.schema");
+    let vocab = match std::fs::read_to_string(root.join(schema_rel)) {
+        Ok(text) => {
+            let (vocab, problems) = vocab::Vocabulary::parse(&text);
+            for (line, message) in problems {
+                diags.push(Diagnostic {
+                    file: schema_rel.to_path_buf(),
+                    line,
+                    rule: "metric-key",
+                    message: format!("vocabulary line: {message}"),
+                });
+            }
+            vocab
+        }
+        // No schema at this root (fixture trees): the metric-key rule
+        // idles on an empty vocabulary.
+        Err(_) => vocab::Vocabulary::default(),
+    };
+    diags.extend(rules::check_workspace(&ws, &allowlist, &vocab, schema_rel));
     diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    diags
+    Ok(diags)
 }
 
 /// Validates a `RunReport` JSON document against the line-based schema
 /// at `schema` (see `schemas/run_report.schema`): the document must
-/// parse, be an object, and carry every listed field with the listed
-/// type. Returns a one-line summary on success, the full problem list
-/// on failure.
+/// parse, be an object, carry every listed field with the listed
+/// type, and use only metric keys enumerated in the schema's
+/// `set`/`key` vocabulary ([`vocab`]). Returns a one-line summary on
+/// success, the full problem list on failure.
 ///
 /// # Errors
 ///
 /// Returns every problem found — unreadable inputs, parse failures,
-/// malformed schema lines, missing fields, and type mismatches.
+/// malformed schema lines, missing fields, type mismatches, and
+/// unknown metric keys.
 pub fn validate_report(report: &Path, schema: &Path) -> Result<String, Vec<String>> {
     let schema_text = match std::fs::read_to_string(schema) {
         Ok(text) => text,
@@ -131,6 +227,10 @@ pub fn validate_report(report: &Path, schema: &Path) -> Result<String, Vec<Strin
     };
 
     let mut problems = Vec::new();
+    let (vocabulary, vocab_problems) = vocab::Vocabulary::parse(&schema_text);
+    for (line, message) in vocab_problems {
+        problems.push(format!("{}:{line}: {message}", schema.display()));
+    }
     let mut checked = 0usize;
     for (idx, line) in schema_text.lines().enumerate() {
         let line = line.trim();
@@ -138,6 +238,11 @@ pub fn validate_report(report: &Path, schema: &Path) -> Result<String, Vec<Strin
             continue;
         }
         let mut parts = line.split_whitespace();
+        let first = parts.clone().next();
+        // `set`/`key` lines are the metric vocabulary, parsed above.
+        if matches!(first, Some("set" | "key")) {
+            continue;
+        }
         let (Some(field), Some(spec), None) = (parts.next(), parts.next(), parts.next()) else {
             problems.push(format!(
                 "{}:{}: schema line must be '<field> <type>'",
@@ -156,8 +261,7 @@ pub fn validate_report(report: &Path, schema: &Path) -> Result<String, Vec<Strin
             }
         }
     }
-    check_grammar_metric_names(fields, &mut problems);
-    check_opt_metric_names(fields, &mut problems);
+    check_metric_vocabulary(fields, &vocabulary, &mut problems);
     if problems.is_empty() {
         Ok(format!(
             "validate-report: {} ok ({checked} required fields present and typed)",
@@ -168,108 +272,36 @@ pub fn validate_report(report: &Path, schema: &Path) -> Result<String, Vec<Strin
     }
 }
 
-/// The per-dimension grammar streams a `grammar.*` metric may name:
-/// the four OMSG dimensions, RASG's single record stream, and the
-/// hybrid profiler's per-instruction aggregate.
-const GRAMMAR_STREAMS: &[&str] = &[
-    "instruction",
-    "group",
-    "object",
-    "offset",
-    "records",
-    "instructions",
-];
-
-/// Supplemental check beyond the line schema: `grammar.*` keys are an
-/// enumerated namespace, not free-form. A typo'd stream name (or a new
-/// family added without updating this list) would silently vanish from
-/// dashboards keyed on the known names, so it fails validation here.
-fn check_grammar_metric_names(
+/// Checks every `counters`/`ratios`/`spans` key against the schema's
+/// `key` vocabulary: metric names feed dashboards by exact shape, so a
+/// typo'd stream or a renamed transform family must fail validation,
+/// not silently vanish. Skipped entirely when the schema declares no
+/// vocabulary.
+fn check_metric_vocabulary(
     fields: &std::collections::BTreeMap<String, json::Value>,
+    vocabulary: &vocab::Vocabulary,
     problems: &mut Vec<String>,
 ) {
-    let streamed = |key: &str, family: &str| {
-        key.strip_prefix(family)
-            .and_then(|s| s.strip_prefix('.'))
-            .is_some_and(|stream| GRAMMAR_STREAMS.contains(&stream))
-    };
-    if let Some(json::Value::Object(counters)) = fields.get("counters") {
-        for key in counters.keys() {
-            let known = !key.starts_with("grammar.")
-                || key == "grammar.workers"
-                || [
-                    "grammar.rules",
-                    "grammar.symbols",
-                    "grammar.batches",
-                    "grammar.stalls",
-                ]
-                .iter()
-                .any(|family| streamed(key, family));
-            if !known {
-                problems.push(format!(
-                    "counter \"{key}\" is not a known grammar.* family \
-                     (grammar.workers, or grammar.rules/symbols/batches/stalls.<stream> \
-                     with <stream> one of {})",
-                    GRAMMAR_STREAMS.join("/")
-                ));
-            }
-        }
-    }
-    if let Some(json::Value::Object(spans)) = fields.get("spans") {
-        for key in spans.keys() {
-            if key.starts_with("grammar.") && !streamed(key, "grammar.worker_busy_ns") {
-                problems.push(format!(
-                    "span \"{key}\" is not a known grammar.* family \
-                     (grammar.worker_busy_ns.<stream> with <stream> one of {})",
-                    GRAMMAR_STREAMS.join("/")
-                ));
-            }
-        }
-    }
-}
-
-/// The transform families a layout plan can contain — the `<subject>`
-/// part of an `opt.<subject>.<metric>` ratio is `baseline`, `planned`,
-/// or a transform label built from one of these (e.g. `colocate`,
-/// `pool-group.g3`, `hot-cold-split.g1.2`).
-const OPT_TRANSFORM_FAMILIES: &[&str] =
-    &["field-reorder", "colocate", "pool-group", "hot-cold-split"];
-
-/// The per-replay measurements `orprof-cli optimize` emits.
-const OPT_METRICS: &[&str] = &["l1_miss_rate", "l2_miss_rate", "l1_delta"];
-
-/// Supplemental check: `opt.*` ratios are the optimize pipeline's
-/// stable vocabulary (`opt.baseline.l1_miss_rate`,
-/// `opt.planned.l1_delta`, `opt.<transform-label>.l1_delta`, …). A
-/// renamed transform family or measurement would silently detach the
-/// layout-gains dashboards, so unknown shapes fail validation.
-fn check_opt_metric_names(
-    fields: &std::collections::BTreeMap<String, json::Value>,
-    problems: &mut Vec<String>,
-) {
-    let Some(json::Value::Object(ratios)) = fields.get("ratios") else {
+    if vocabulary.keys.is_empty() {
         return;
-    };
-    for key in ratios.keys() {
-        let Some(rest) = key.strip_prefix("opt.") else {
+    }
+    let surfaces: [(&str, vocab::KeyKind, &str); 3] = [
+        ("counters", vocab::KeyKind::Counter, "counter"),
+        ("ratios", vocab::KeyKind::Ratio, "ratio"),
+        ("spans", vocab::KeyKind::Span, "span"),
+    ];
+    for (field, kind, noun) in surfaces {
+        let Some(json::Value::Object(entries)) = fields.get(field) else {
             continue;
         };
-        let known = rest.rsplit_once('.').is_some_and(|(subject, metric)| {
-            let subject_known = subject == "baseline"
-                || subject == "planned"
-                || OPT_TRANSFORM_FAMILIES
-                    .iter()
-                    .any(|f| subject == *f || subject.starts_with(&format!("{f}.")));
-            subject_known && OPT_METRICS.contains(&metric)
-        });
-        if !known {
-            problems.push(format!(
-                "ratio \"{key}\" is not a known opt.* metric \
-                 (opt.<baseline|planned|transform-label>.<{}>, with transform labels \
-                 built from {})",
-                OPT_METRICS.join("|"),
-                OPT_TRANSFORM_FAMILIES.join("/")
-            ));
+        for key in entries.keys() {
+            if !vocabulary.matches(kind, key) {
+                problems.push(format!(
+                    "{noun} \"{key}\" is not in the schema vocabulary — no `key {noun}` \
+                     pattern in the schema matches it (see the set/key lines in \
+                     schemas/run_report.schema)"
+                ));
+            }
         }
     }
 }

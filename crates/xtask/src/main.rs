@@ -4,11 +4,12 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("analyze") => analyze(),
+        Some("analyze") => analyze(args),
         Some("validate-report") => validate_report(args),
         Some(other) => {
             eprintln!("unknown command '{other}'");
@@ -26,24 +27,105 @@ fn usage() {
     eprintln!("usage: cargo xtask <command>");
     eprintln!();
     eprintln!("commands:");
-    eprintln!("  analyze   run the repo-specific static-verification rules");
+    eprintln!("  analyze [--format text|json|sarif] [--check-baseline] [--write-baseline]");
+    eprintln!("            run the repo-specific static-verification rules;");
+    eprintln!("            --check-baseline fails only on findings missing from");
+    eprintln!("            analyze.baseline, --write-baseline regenerates that file");
     eprintln!("  validate-report <report.json> [--schema <path>]");
     eprintln!("            check a --metrics-out document against the RunReport schema");
 }
 
-fn analyze() -> ExitCode {
-    let root = workspace_root();
-    let diags = xtask::analyze(&root);
-    for d in &diags {
-        println!("{d}");
+fn analyze(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut format = Format::Text;
+    let mut check_baseline = false;
+    let mut write_baseline = false;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!(
+                        "--format expects text|json|sarif, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check-baseline" => check_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
     }
-    if diags.is_empty() {
-        println!("analyze: clean");
+    let root = workspace_root();
+    let started = Instant::now();
+    let diags = match xtask::analyze(&root) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if write_baseline {
+        let path = root.join("analyze.baseline");
+        if let Err(e) = std::fs::write(&path, xtask::baseline::render(&diags)) {
+            eprintln!("analyze: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "analyze: wrote {} finding(s) to {}",
+            diags.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let accepted = if check_baseline {
+        let text = std::fs::read_to_string(root.join("analyze.baseline")).unwrap_or_default();
+        xtask::baseline::parse(&text)
+    } else {
+        std::collections::HashSet::new()
+    };
+    let (new, baselined) = xtask::baseline::split(&diags, &accepted);
+    let shown: Vec<xtask::Diagnostic> = new.iter().map(|d| (*d).clone()).collect();
+    match format {
+        Format::Text => {
+            for d in &shown {
+                println!("{d}");
+            }
+            if shown.is_empty() {
+                println!("analyze: clean");
+            } else {
+                println!("analyze: {} violation(s)", shown.len());
+            }
+        }
+        Format::Json => print!("{}", xtask::output::to_json(&shown)),
+        Format::Sarif => print!("{}", xtask::output::to_sarif(&shown)),
+    }
+    // Timing and baseline accounting go to stderr so the stdout
+    // document stays machine-readable.
+    eprintln!(
+        "analyze: {} new finding(s), {} baselined, {:.2}s",
+        shown.len(),
+        baselined.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if shown.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!("analyze: {} violation(s)", diags.len());
         ExitCode::FAILURE
     }
+}
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
 }
 
 fn validate_report(mut args: impl Iterator<Item = String>) -> ExitCode {

@@ -1,0 +1,162 @@
+//! Machine-readable output for `cargo xtask analyze`: a compact JSON
+//! findings document and SARIF 2.1.0 (the format CI code-scanning
+//! surfaces ingest). Both are emitted with the crate's own writer —
+//! the workspace vendors no serialization crates.
+
+use crate::Diagnostic;
+
+/// Escapes a string for embedding in a JSON document.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// SARIF wants forward-slash artifact URIs regardless of host OS.
+fn uri(d: &Diagnostic) -> String {
+    d.file
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Renders the findings as a stable JSON document:
+/// `{"version":1,"findings":[{file,line,rule,message}…]}`.
+#[must_use]
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&uri(d)),
+            d.line,
+            escape(d.rule),
+            escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders the findings as a minimal SARIF 2.1.0 log: one run, one
+/// driver (`xtask-analyze`), one result per finding, rule metadata for
+/// every rule that fired.
+#[must_use]
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut rule_ids: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+    let rules = rule_ids
+        .iter()
+        .map(|id| format!("{{\"id\": \"{}\"}}", escape(id)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut results = String::new();
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        results.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]\n        }}",
+            escape(d.rule),
+            escape(&d.message),
+            escape(&uri(d)),
+            d.line.max(1)
+        ));
+    }
+    if !diags.is_empty() {
+        results.push_str("\n      ");
+    }
+    format!(
+        "{{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {{\n      \"tool\": {{\"driver\": {{\"name\": \"xtask-analyze\", \
+         \"informationUri\": \"https://example.invalid/xtask-analyze\", \"rules\": [{rules}]}}}},\n      \
+         \"results\": [{results}]\n    }}\n  ]\n}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            file: PathBuf::from("crates/format/src/io.rs"),
+            line: 7,
+            rule: "no-panic",
+            message: "a \"quoted\" message\nwith a newline".to_owned(),
+        }
+    }
+
+    #[test]
+    fn json_output_round_trips_through_the_crate_parser() {
+        let doc = to_json(&[diag()]);
+        let value = crate::json::parse(&doc).expect("valid JSON");
+        let findings = value
+            .as_object()
+            .and_then(|o| o.get("findings"))
+            .expect("findings array");
+        let crate::json::Value::Array(items) = findings else {
+            panic!("findings must be an array");
+        };
+        assert_eq!(items.len(), 1);
+        let f = items[0].as_object().expect("finding object");
+        assert_eq!(
+            f.get("file"),
+            Some(&crate::json::Value::String(
+                "crates/format/src/io.rs".to_owned()
+            ))
+        );
+        assert_eq!(f.get("line"), Some(&crate::json::Value::Number(7.0)));
+    }
+
+    #[test]
+    fn sarif_output_parses_and_carries_the_result() {
+        let doc = to_sarif(&[diag()]);
+        let value = crate::json::parse(&doc).expect("valid SARIF JSON");
+        let obj = value.as_object().expect("object");
+        assert_eq!(
+            obj.get("version"),
+            Some(&crate::json::Value::String("2.1.0".to_owned()))
+        );
+        let crate::json::Value::Array(runs) = obj.get("runs").expect("runs") else {
+            panic!("runs must be an array");
+        };
+        let run = runs[0].as_object().expect("run object");
+        let crate::json::Value::Array(results) = run.get("results").expect("results") else {
+            panic!("results must be an array");
+        };
+        assert_eq!(results.len(), 1);
+        let result = results[0].as_object().expect("result object");
+        assert_eq!(
+            result.get("ruleId"),
+            Some(&crate::json::Value::String("no-panic".to_owned()))
+        );
+    }
+
+    #[test]
+    fn empty_findings_are_valid_documents() {
+        assert!(crate::json::parse(&to_json(&[])).is_ok());
+        assert!(crate::json::parse(&to_sarif(&[])).is_ok());
+    }
+}

@@ -1,0 +1,468 @@
+//! The lightweight syntax pass: token stream → per-file item facts.
+//!
+//! Not a full parser — a single forward scan over the non-comment
+//! token stream that recovers exactly the shapes the rules need:
+//! function items (name, owning `impl` type, visibility, return-type
+//! tokens, body extent), call expressions (callee name, `::` qualifier,
+//! method/macro flavor, argument extent), and string literals with
+//! their payloads. Everything positional is an index into the file's
+//! significant-token list (`sig`), so rules can re-inspect surrounding
+//! tokens cheaply.
+
+use crate::lexer::{Kind, Token};
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    pub name: String,
+    /// The `impl` block's self type (the `for` type on trait impls),
+    /// when the function is an associated item.
+    pub owner: Option<String>,
+    /// `pub` in any spelling (`pub`, `pub(crate)`, …).
+    pub is_pub: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Sig-index range of the body `{ … }` (inclusive braces); `None`
+    /// for bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Return-type tokens between `->` and the body/`;`/`where`.
+    pub ret: Vec<String>,
+}
+
+/// One call expression (`name(…)`, `q::name(…)`, `.name(…)`,
+/// `name!(…)`).
+#[derive(Debug, Clone)]
+pub struct CallInfo {
+    pub name: String,
+    /// The path segment immediately before `::name(` — `Grammar` in
+    /// `Grammar::read_from(…)`.
+    pub qualifier: Option<String>,
+    /// Preceded by `.` — a method call on some receiver.
+    pub is_method: bool,
+    pub is_macro: bool,
+    pub line: u32,
+    /// Index into [`FileSyntax::fns`] of the innermost enclosing
+    /// function, when the call is inside one.
+    pub enclosing: Option<usize>,
+    /// Sig-index range of the argument tokens, exclusive of the
+    /// delimiters.
+    pub args: (usize, usize),
+}
+
+/// One string literal (plain/byte strings carry their payload; raw
+/// strings are opaque).
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// Payload without the surrounding quotes.
+    pub value: String,
+    pub line: u32,
+    pub sig_index: usize,
+    pub enclosing: Option<usize>,
+}
+
+/// A reference to a cross-file registry item: `ChunkTag::NAME` or
+/// `ProfileKind::Variant`.
+#[derive(Debug, Clone)]
+pub struct PathRef {
+    /// `ChunkTag` or `ProfileKind`.
+    pub qualifier: String,
+    pub name: String,
+    pub line: u32,
+    pub enclosing: Option<usize>,
+}
+
+/// Everything the syntax pass recovers from one file.
+#[derive(Debug, Default)]
+pub struct FileSyntax {
+    pub fns: Vec<FnInfo>,
+    pub calls: Vec<CallInfo>,
+    pub strings: Vec<StrLit>,
+    pub path_refs: Vec<PathRef>,
+}
+
+/// Rust keywords that can precede `(`/`[` without forming a call.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "mut", "ref", "in", "as", "impl",
+    "dyn", "where", "move", "box", "break", "continue", "else", "use", "pub", "crate", "super",
+    "self", "Self", "mod", "struct", "enum", "union", "trait", "type", "const", "static", "unsafe",
+    "extern", "async", "await",
+];
+
+/// Runs the syntax pass over the significant tokens of a file.
+/// `tokens` is the full lex; `sig` indexes its non-comment tokens.
+#[must_use]
+pub fn parse(tokens: &[Token], sig: &[usize]) -> FileSyntax {
+    let t = |i: usize| -> &Token { &tokens[sig[i]] };
+    let text = |i: usize| -> &str { &tokens[sig[i]].text };
+    let n = sig.len();
+    let mut out = FileSyntax::default();
+
+    // Pass 1: function items. Tracks an impl-owner stack keyed on brace
+    // depth so associated fns know their self type.
+    let mut depth = 0i32;
+    let mut impl_stack: Vec<(i32, Option<String>)> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        match text(i) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                while impl_stack.last().is_some_and(|(d, _)| *d > depth) {
+                    impl_stack.pop();
+                }
+            }
+            "impl" => {
+                // impl [<…>] Type [<…>] [for Type2 [<…>]] {
+                let (owner, open) = impl_owner(tokens, sig, i);
+                if let Some(open) = open {
+                    // Owner becomes active at the block's inner depth.
+                    impl_stack.push((depth + 1, owner));
+                    i = open; // the `{` is re-seen next iteration
+                    continue;
+                }
+            }
+            "fn" => {
+                if let Some(info) = fn_item(tokens, sig, i, &impl_stack) {
+                    // Skip ahead past the signature so nested closures
+                    // don't re-trigger; the body braces still pass
+                    // through the depth tracking above.
+                    out.fns.push(info);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Pass 2: calls, string literals, and registry path refs, with
+    // enclosing-fn attribution against the pass-1 body ranges.
+    let enclosing = |idx: usize| -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (f, info) in out.fns.iter().enumerate() {
+            if let Some((lo, hi)) = info.body {
+                if lo <= idx && idx <= hi {
+                    // Innermost wins: later fns with containing bodies
+                    // start later.
+                    let better =
+                        best.is_none_or(|b| out.fns[b].body.is_some_and(|(blo, _)| blo <= lo));
+                    if better {
+                        best = Some(f);
+                    }
+                }
+            }
+        }
+        best
+    };
+    for i in 0..n {
+        let tok = t(i);
+        if tok.kind == Kind::Literal && tok.text.starts_with('"') && tok.text.len() >= 2 {
+            out.strings.push(StrLit {
+                value: tok.text[1..tok.text.len() - 1].to_owned(),
+                line: tok.line,
+                sig_index: i,
+                enclosing: enclosing(i),
+            });
+            continue;
+        }
+        if tok.kind != Kind::Ident || KEYWORDS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        // `Qualifier::Name` registry references.
+        if matches!(tok.text.as_str(), "ChunkTag" | "ProfileKind")
+            && i + 3 < n
+            && text(i + 1) == ":"
+            && text(i + 2) == ":"
+            && tokens[sig[i + 3]].kind == Kind::Ident
+        {
+            out.path_refs.push(PathRef {
+                qualifier: tok.text.clone(),
+                name: text(i + 3).to_owned(),
+                line: tok.line,
+                enclosing: enclosing(i),
+            });
+        }
+        // Calls: `name (`, `name ! (`/`[`.
+        let (is_macro, open_at) = if i + 1 < n && text(i + 1) == "(" {
+            (false, i + 1)
+        } else if i + 2 < n && text(i + 1) == "!" && matches!(text(i + 2), "(" | "[") {
+            (true, i + 2)
+        } else {
+            continue;
+        };
+        // `fn name(` is a definition, not a call.
+        if i > 0 && text(i - 1) == "fn" {
+            continue;
+        }
+        let close = matching_close(tokens, sig, open_at);
+        let is_method = i > 0 && text(i - 1) == ".";
+        let qualifier = if !is_method
+            && i >= 3
+            && text(i - 1) == ":"
+            && text(i - 2) == ":"
+            && tokens[sig[i - 3]].kind == Kind::Ident
+        {
+            Some(text(i - 3).to_owned())
+        } else {
+            None
+        };
+        out.calls.push(CallInfo {
+            name: tok.text.clone(),
+            qualifier,
+            is_method,
+            is_macro,
+            line: tok.line,
+            enclosing: enclosing(i),
+            args: (open_at + 1, close),
+        });
+    }
+    out
+}
+
+/// Finds the sig index of the delimiter matching the one at `open`
+/// (exclusive upper bound when the file is truncated).
+fn matching_close(tokens: &[Token], sig: &[usize], open: usize) -> usize {
+    let close_of = |s: &str| match s {
+        "(" => ")",
+        "[" => "]",
+        _ => "}",
+    };
+    let open_text = tokens[sig[open]].text.clone();
+    let want = close_of(&open_text);
+    let mut depth = 0i32;
+    for (j, &si) in sig.iter().enumerate().skip(open) {
+        match tokens[si].text.as_str() {
+            t if t == open_text => depth += 1,
+            t if t == want => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    sig.len()
+}
+
+/// Parses the head of an `impl` block at sig index `i`; returns the
+/// owner type name and the sig index of the opening `{`.
+fn impl_owner(tokens: &[Token], sig: &[usize], i: usize) -> (Option<String>, Option<usize>) {
+    let text = |j: usize| -> &str { &tokens[sig[j]].text };
+    let n = sig.len();
+    let mut j = i + 1;
+    // Skip generic parameters on the impl itself.
+    j = skip_generics(tokens, sig, j);
+    let mut first_type: Option<String> = None;
+    let mut for_type: Option<String> = None;
+    let mut after_for = false;
+    let mut angle = 0i32;
+    while j < n {
+        match text(j) {
+            "{" if angle == 0 => {
+                return (for_type.or(first_type), Some(j));
+            }
+            ";" if angle == 0 => return (None, None),
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "for" if angle == 0 => after_for = true,
+            t if tokens[sig[j]].kind == Kind::Ident && angle == 0 => {
+                // Path segments: remember the last ident before `{`,
+                // so `crate::module::Type` resolves to `Type`.
+                if after_for {
+                    for_type = Some(t.to_owned());
+                } else if first_type.is_none() || (j > 0 && text(j - 1) == ":") {
+                    first_type = Some(t.to_owned());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, None)
+}
+
+/// Skips a `<…>` group starting at `j`, if present.
+fn skip_generics(tokens: &[Token], sig: &[usize], j: usize) -> usize {
+    if j >= sig.len() || tokens[sig[j]].text != "<" {
+        return j;
+    }
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < sig.len() {
+        match tokens[sig[k]].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    sig.len()
+}
+
+/// Parses one `fn` item whose `fn` keyword sits at sig index `i`.
+fn fn_item(
+    tokens: &[Token],
+    sig: &[usize],
+    i: usize,
+    impl_stack: &[(i32, Option<String>)],
+) -> Option<FnInfo> {
+    let text = |j: usize| -> &str { &tokens[sig[j]].text };
+    let n = sig.len();
+    let name_at = i + 1;
+    if name_at >= n || tokens[sig[name_at]].kind != Kind::Ident {
+        return None; // `fn(` pointer type, or truncated input
+    }
+    let name = text(name_at).to_owned();
+    let line = tokens[sig[i]].line;
+
+    // Visibility: walk back over qualifiers to a possible `pub`.
+    let mut back = i;
+    let mut is_pub = false;
+    while back > 0 {
+        back -= 1;
+        match text(back) {
+            "const" | "unsafe" | "async" | "extern" => {}
+            t if t.starts_with('"') => {} // extern "C"
+            ")" => {
+                // `pub(crate)` / `pub(in …)` group: walk to its `(`.
+                let mut depth = 1i32;
+                while back > 0 && depth > 0 {
+                    back -= 1;
+                    match text(back) {
+                        ")" => depth += 1,
+                        "(" => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            "pub" => {
+                is_pub = true;
+                break;
+            }
+            _ => break,
+        }
+    }
+
+    // Parameters: `(…)` after the name (generics may intervene).
+    let mut j = skip_generics(tokens, sig, name_at + 1);
+    if j >= n || text(j) != "(" {
+        return None;
+    }
+    let params_close = matching_close(tokens, sig, j);
+    j = params_close + 1;
+
+    // Return type: tokens between `->` and `{`/`;`/`where`.
+    let mut ret = Vec::new();
+    if j + 1 < n && text(j) == "-" && text(j + 1) == ">" {
+        j += 2;
+        let mut angle = 0i32;
+        while j < n {
+            match text(j) {
+                "{" | ";" if angle == 0 => break,
+                "where" if angle == 0 => break,
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                _ => {}
+            }
+            ret.push(text(j).to_owned());
+            j += 1;
+        }
+    }
+    // Skip a where clause to the body.
+    while j < n && !matches!(text(j), "{" | ";") {
+        j += 1;
+    }
+    let body = if j < n && text(j) == "{" {
+        Some((j, matching_close(tokens, sig, j)))
+    } else {
+        None
+    };
+
+    let owner = impl_stack.last().and_then(|(_, o)| o.clone());
+    Some(FnInfo {
+        name,
+        owner,
+        is_pub,
+        line,
+        body,
+        ret,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileSyntax {
+        let tokens = lex(src);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != Kind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        parse(&tokens, &sig)
+    }
+
+    #[test]
+    fn fn_items_carry_owner_visibility_and_return() {
+        let s = parse_src(
+            "impl Foo {\n  pub fn read_from(r: &mut R) -> Result<Self, FormatError> { body() }\n  fn helper(&self) {}\n}\npub(crate) fn free() -> Option<u32> { None }\n",
+        );
+        assert_eq!(s.fns.len(), 3);
+        assert_eq!(s.fns[0].name, "read_from");
+        assert_eq!(s.fns[0].owner.as_deref(), Some("Foo"));
+        assert!(s.fns[0].is_pub);
+        assert!(s.fns[0].ret.contains(&"FormatError".to_owned()));
+        assert!(!s.fns[1].is_pub);
+        assert_eq!(s.fns[1].owner.as_deref(), Some("Foo"));
+        assert_eq!(s.fns[2].name, "free");
+        assert!(s.fns[2].is_pub);
+        assert_eq!(s.fns[2].owner, None);
+        assert_eq!(s.fns[2].ret, vec!["Option", "<", "u32", ">"]);
+    }
+
+    #[test]
+    fn trait_impls_use_the_for_type() {
+        let s = parse_src("impl<T> Advisor for Tiering<T> { fn advise(&self) {} }");
+        assert_eq!(s.fns[0].owner.as_deref(), Some("Tiering"));
+    }
+
+    #[test]
+    fn calls_record_flavor_and_enclosing_fn() {
+        let s = parse_src(
+            "fn outer() {\n  let v = Grammar::read_from(r);\n  x.unwrap();\n  vec![0u8; n];\n  plain(1);\n}\n",
+        );
+        let by_name = |n: &str| s.calls.iter().find(|c| c.name == n).expect(n);
+        let g = by_name("read_from");
+        assert_eq!(g.qualifier.as_deref(), Some("Grammar"));
+        assert!(!g.is_method);
+        let u = by_name("unwrap");
+        assert!(u.is_method);
+        let v = by_name("vec");
+        assert!(v.is_macro);
+        let p = by_name("plain");
+        assert_eq!(p.enclosing, Some(0));
+        assert!(s.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn string_payloads_and_registry_refs_are_indexed() {
+        let s = parse_src(
+            "fn f(rec: &mut dyn Recorder) {\n  rec.counter(\"omc.memo_hits\", 1);\n  let t = ChunkTag::METRICS;\n}\n",
+        );
+        assert!(s.strings.iter().any(|l| l.value == "omc.memo_hits"));
+        let r = &s.path_refs[0];
+        assert_eq!(
+            (r.qualifier.as_str(), r.name.as_str()),
+            ("ChunkTag", "METRICS")
+        );
+        assert_eq!(r.enclosing, Some(0));
+    }
+}

@@ -1,0 +1,325 @@
+//! The metric-key vocabulary: one source of truth shared by
+//! `cargo xtask validate-report` (report keys must be enumerated) and
+//! the `metric-key` analyze rule (code literals and the vocabulary
+//! must agree in both directions).
+//!
+//! The vocabulary lives in `schemas/run_report.schema` alongside the
+//! field lines:
+//!
+//! ```text
+//! set stream instruction group object offset records instructions
+//! key counter grammar.batches.<stream>
+//! key span    grammar.worker_busy_ns.<stream>
+//! key ratio   opt.<opt-subject...>.l1_delta
+//! ```
+//!
+//! A `<name>` placeholder matches exactly one dot-separated segment
+//! drawn from `set name`; `<name...>` matches one member segment plus
+//! any trailing segments (transform labels like `colocate.g2`).
+//! Histogram keys (`key observe x`) additionally match their folded
+//! counter forms `x.count`/`x.min`/`x.max`/`x.sum` (see
+//! `orp_obs::RunReport::absorb`).
+
+use std::collections::BTreeMap;
+
+/// Which recorder surface a key pattern belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyKind {
+    Counter,
+    Observe,
+    Span,
+    Ratio,
+}
+
+impl KeyKind {
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "counter" => KeyKind::Counter,
+            "observe" => KeyKind::Observe,
+            "span" => KeyKind::Span,
+            "ratio" => KeyKind::Ratio,
+            _ => None?,
+        })
+    }
+}
+
+/// One `key` line: a kind plus a dot-segmented pattern.
+#[derive(Debug, Clone)]
+pub struct KeyPattern {
+    pub kind: KeyKind,
+    pub pattern: String,
+    /// 1-based line in the schema file (diagnostic anchor).
+    pub line: u32,
+}
+
+/// The parsed vocabulary.
+#[derive(Debug, Default)]
+pub struct Vocabulary {
+    pub sets: BTreeMap<String, Vec<String>>,
+    pub keys: Vec<KeyPattern>,
+}
+
+/// One pattern segment after parsing.
+enum Seg<'a> {
+    /// A literal segment.
+    Lit(&'a str),
+    /// `<set>` — exactly one segment, constrained to the set (or any
+    /// single segment when the set name is unknown).
+    One(&'a str),
+    /// `<set...>` — one constrained segment plus any trailing ones.
+    Tail(&'a str),
+}
+
+impl Vocabulary {
+    /// Parses `set`/`key` lines out of a schema document; other lines
+    /// are left to the field-schema parser. Malformed vocabulary lines
+    /// are reported as `(line, problem)` pairs.
+    #[must_use]
+    pub fn parse(schema_text: &str) -> (Self, Vec<(u32, String)>) {
+        let mut vocab = Vocabulary::default();
+        let mut problems = Vec::new();
+        for (idx, raw) in schema_text.lines().enumerate() {
+            let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+            let line = raw.trim();
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("set") => {
+                    let Some(name) = parts.next() else {
+                        problems.push((line_no, "set line needs a name".to_owned()));
+                        continue;
+                    };
+                    let members: Vec<String> = parts.map(str::to_owned).collect();
+                    if members.is_empty() {
+                        problems.push((line_no, format!("set '{name}' has no members")));
+                        continue;
+                    }
+                    vocab.sets.insert(name.to_owned(), members);
+                }
+                Some("key") => {
+                    let (Some(kind), Some(pattern), None) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        problems.push((
+                            line_no,
+                            "key line must be 'key <kind> <pattern>'".to_owned(),
+                        ));
+                        continue;
+                    };
+                    let Some(kind) = KeyKind::parse(kind) else {
+                        problems.push((
+                            line_no,
+                            format!("unknown key kind '{kind}' (counter/observe/span/ratio)"),
+                        ));
+                        continue;
+                    };
+                    vocab.keys.push(KeyPattern {
+                        kind,
+                        pattern: pattern.to_owned(),
+                        line: line_no,
+                    });
+                }
+                _ => {}
+            }
+        }
+        (vocab, problems)
+    }
+
+    /// Whether `key` (a concrete report key) is enumerated for `kind`.
+    /// Counter keys also match `observe` patterns through their folded
+    /// `.count`/`.min`/`.max`/`.sum` forms.
+    #[must_use]
+    pub fn matches(&self, kind: KeyKind, key: &str) -> bool {
+        for kp in &self.keys {
+            if kp.kind == kind && self.pattern_matches(&kp.pattern, key) {
+                return true;
+            }
+            if kind == KeyKind::Counter && kp.kind == KeyKind::Observe {
+                if let Some(base) = key
+                    .strip_suffix(".count")
+                    .or_else(|| key.strip_suffix(".min"))
+                    .or_else(|| key.strip_suffix(".max"))
+                    .or_else(|| key.strip_suffix(".sum"))
+                {
+                    if self.pattern_matches(&kp.pattern, base) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether a concrete key matches a pattern.
+    #[must_use]
+    pub fn pattern_matches(&self, pattern: &str, key: &str) -> bool {
+        let psegs: Vec<Seg<'_>> = split_pattern(pattern).into_iter().map(parse_seg).collect();
+        let ksegs: Vec<&str> = key.split('.').collect();
+        self.match_at(&psegs, &ksegs)
+    }
+
+    /// Whether a code-side *template* key (segments may be `{}` holes
+    /// from `format!` literals, matching one or more segments) is
+    /// covered by a pattern of the given kind. `kind` of `None` means
+    /// any kind.
+    #[must_use]
+    pub fn template_matches(&self, kind: Option<KeyKind>, template: &str) -> bool {
+        self.keys.iter().any(|kp| {
+            kind.is_none_or(|k| k == kp.kind)
+                && template_matches_pattern(&kp.pattern, template, self)
+        })
+    }
+
+    /// Whether one code-side template witnesses one pattern (the
+    /// backward direction of the `metric-key` rule: a vocabulary entry
+    /// nobody emits is dead weight).
+    #[must_use]
+    pub fn witnesses(&self, pattern: &str, template: &str) -> bool {
+        template_matches_pattern(pattern, template, self)
+    }
+
+    fn match_at(&self, psegs: &[Seg<'_>], ksegs: &[&str]) -> bool {
+        match (psegs.first(), ksegs.first()) {
+            (None, None) => true,
+            (None, Some(_)) | (Some(_), None) => false,
+            (Some(seg), Some(&k)) => match seg {
+                Seg::Lit(lit) => *lit == k && self.match_at(&psegs[1..], &ksegs[1..]),
+                Seg::One(set) => self.in_set(set, k) && self.match_at(&psegs[1..], &ksegs[1..]),
+                Seg::Tail(set) => {
+                    if !self.in_set(set, k) {
+                        return false;
+                    }
+                    // Consume 1..=n segments for the tail.
+                    (1..=ksegs.len()).any(|take| self.match_at(&psegs[1..], &ksegs[take..]))
+                }
+            },
+        }
+    }
+
+    fn in_set(&self, set: &str, segment: &str) -> bool {
+        match self.sets.get(set) {
+            Some(members) => members.iter().any(|m| m == segment),
+            // Unknown set name: any single segment (an escape hatch,
+            // but `set` lines are expected for every placeholder).
+            None => !segment.is_empty(),
+        }
+    }
+}
+
+/// Splits a pattern on `.` — but not on the dots inside a `<name...>`
+/// placeholder.
+fn split_pattern(pattern: &str) -> Vec<&str> {
+    let mut segs = Vec::new();
+    let mut start = 0;
+    let mut in_angle = false;
+    for (i, c) in pattern.char_indices() {
+        match c {
+            '<' => in_angle = true,
+            '>' => in_angle = false,
+            '.' if !in_angle => {
+                segs.push(&pattern[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    segs.push(&pattern[start..]);
+    segs
+}
+
+fn parse_seg(s: &str) -> Seg<'_> {
+    s.strip_prefix('<')
+        .and_then(|rest| rest.strip_suffix('>'))
+        .map_or(Seg::Lit(s), |inner| {
+            inner.strip_suffix("...").map_or(Seg::One(inner), Seg::Tail)
+        })
+}
+
+/// Matches a code-side template (with `{}` holes standing for one or
+/// more segments) against a vocabulary pattern. A hole is compatible
+/// with any run of pattern segments of length ≥ 1.
+fn template_matches_pattern(pattern: &str, template: &str, vocab: &Vocabulary) -> bool {
+    let psegs: Vec<Seg<'_>> = split_pattern(pattern).into_iter().map(parse_seg).collect();
+    let tsegs: Vec<&str> = template.split('.').collect();
+    fn go(psegs: &[Seg<'_>], tsegs: &[&str], vocab: &Vocabulary) -> bool {
+        match (psegs.first(), tsegs.first()) {
+            (None, None) => true,
+            (None, Some(_)) | (Some(_), None) => false,
+            (Some(seg), Some(&t)) => {
+                if t == "{}" {
+                    // The hole absorbs 1..=n pattern segments.
+                    return (1..=psegs.len()).any(|take| go(&psegs[take..], &tsegs[1..], vocab));
+                }
+                match seg {
+                    Seg::Lit(lit) => *lit == t && go(&psegs[1..], &tsegs[1..], vocab),
+                    Seg::One(set) => vocab.in_set(set, t) && go(&psegs[1..], &tsegs[1..], vocab),
+                    Seg::Tail(set) => {
+                        vocab.in_set(set, t)
+                            && (1..=tsegs.len()).any(|take| go(&psegs[1..], &tsegs[take..], vocab))
+                    }
+                }
+            }
+        }
+    }
+    go(&psegs, &tsegs, vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocabulary {
+        let (v, problems) = Vocabulary::parse(
+            "set stream instruction group object offset records instructions\n\
+             set opt-subject baseline planned field-reorder colocate pool-group hot-cold-split\n\
+             key counter grammar.batches.<stream>\n\
+             key span grammar.worker_busy_ns.<stream>\n\
+             key ratio opt.<opt-subject...>.l1_delta\n\
+             key observe leap.streams_per_group\n\
+             key counter omc.memo_hits\n",
+        );
+        assert!(problems.is_empty(), "{problems:?}");
+        v
+    }
+
+    #[test]
+    fn placeholders_constrain_to_set_members() {
+        let v = vocab();
+        assert!(v.matches(KeyKind::Counter, "grammar.batches.object"));
+        assert!(!v.matches(KeyKind::Counter, "grammar.batches.threads"));
+        assert!(!v.matches(KeyKind::Span, "grammar.worker_busy_ns.offsets"));
+        assert!(v.matches(KeyKind::Span, "grammar.worker_busy_ns.records"));
+    }
+
+    #[test]
+    fn tail_placeholders_allow_label_suffixes() {
+        let v = vocab();
+        assert!(v.matches(KeyKind::Ratio, "opt.planned.l1_delta"));
+        assert!(v.matches(KeyKind::Ratio, "opt.colocate.g2.l1_delta"));
+        assert!(v.matches(KeyKind::Ratio, "opt.hot-cold-split.g1.2.l1_delta"));
+        assert!(!v.matches(KeyKind::Ratio, "opt.pooled.g1.l1_delta"));
+        assert!(!v.matches(KeyKind::Ratio, "opt.planned.miss_rate"));
+    }
+
+    #[test]
+    fn observe_patterns_cover_their_folded_counters() {
+        let v = vocab();
+        assert!(v.matches(KeyKind::Counter, "leap.streams_per_group.count"));
+        assert!(v.matches(KeyKind::Counter, "leap.streams_per_group.max"));
+        assert!(!v.matches(KeyKind::Counter, "leap.streams_per_group.p99"));
+        assert!(v.matches(KeyKind::Observe, "leap.streams_per_group"));
+    }
+
+    #[test]
+    fn format_holes_match_placeholder_runs() {
+        let v = vocab();
+        assert!(v.template_matches(None, "opt.{}.l1_delta"));
+        assert!(v.template_matches(Some(KeyKind::Counter), "omc.memo_hits"));
+        assert!(!v.template_matches(None, "opt.{}.l9_delta"));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        let (_, problems) = Vocabulary::parse("key bogus x\nset lonely\nkey counter\n");
+        assert_eq!(problems.len(), 3);
+    }
+}

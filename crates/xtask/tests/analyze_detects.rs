@@ -227,7 +227,7 @@ fn workspace_is_clean() {
         .parent()
         .and_then(Path::parent)
         .expect("workspace root");
-    let diags = xtask::analyze(root);
+    let diags = xtask::analyze(root).expect("workspace root is walkable");
     assert!(
         diags.is_empty(),
         "the workspace must satisfy its own rules:\n{}",
@@ -236,5 +236,20 @@ fn workspace_is_clean() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+#[test]
+fn unwalkable_root_is_a_typed_error_not_a_panic() {
+    let missing =
+        std::env::temp_dir().join(format!("xtask-analyze-no-such-root-{}", std::process::id()));
+    let err = xtask::analyze(&missing).expect_err("missing root must error");
+    assert!(
+        err.to_string().contains("cannot walk"),
+        "unexpected message: {err}"
+    );
+    assert!(
+        std::error::Error::source(&err).is_some(),
+        "the io::Error cause must be preserved"
     );
 }

@@ -1,0 +1,132 @@
+//! The cross-file rules must fire on seeded mini-workspace fixtures,
+//! stay quiet on their negative cases, honor reasoned allow markers,
+//! and agree with the committed baseline.
+
+use std::path::{Path, PathBuf};
+
+use xtask::Diagnostic;
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn analyze(name: &str) -> Vec<Diagnostic> {
+    xtask::analyze(&fixture_root(name)).expect("fixture root is walkable")
+}
+
+fn by_rule<'a>(diags: &'a [Diagnostic], rule: &str) -> Vec<&'a Diagnostic> {
+    diags.iter().filter(|d| d.rule == rule).collect()
+}
+
+#[test]
+fn panic_reachability_reports_the_call_path() {
+    let diags = analyze("ws_panic_reach");
+    let hits = by_rule(&diags, "panic-reachability");
+    assert_eq!(hits.len(), 1, "{diags:#?}");
+    let d = hits[0];
+    assert_eq!(d.file, Path::new("crates/util/src/math.rs"));
+    assert!(
+        d.message
+            .contains("call path: read_profile -> total_len -> checked_sum"),
+        "{d}"
+    );
+    // The marker-waived helper and the unreachable `orphan` stay quiet.
+    assert!(!d.message.contains("capped"), "{d}");
+    assert!(
+        diags.iter().all(|d| !d.message.contains("orphan")),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn untrusted_length_flags_only_the_unclamped_allocation() {
+    let diags = analyze("ws_untrusted_len");
+    let hits = by_rule(&diags, "untrusted-length");
+    assert_eq!(hits.len(), 1, "{diags:#?}");
+    let d = hits[0];
+    assert_eq!(d.file, Path::new("crates/format/src/read.rs"));
+    assert_eq!(d.line, 5, "the sink in `read_block`: {d}");
+    assert!(d.message.contains("decoded length `n`"), "{d}");
+}
+
+#[test]
+fn metric_key_checks_both_directions() {
+    let diags = analyze("ws_metric_key");
+    let hits = by_rule(&diags, "metric-key");
+    assert_eq!(hits.len(), 2, "{diags:#?}");
+    // Forward: a code label missing from the vocabulary.
+    assert!(
+        hits.iter().any(|d| {
+            d.file == Path::new("crates/core/src/stats.rs") && d.message.contains("\"stats.bad\"")
+        }),
+        "{diags:#?}"
+    );
+    // Backward: a vocabulary entry nobody emits, anchored at its line.
+    assert!(
+        hits.iter().any(|d| {
+            d.file == Path::new("schemas/run_report.schema")
+                && d.line == 3
+                && d.message.contains("`stats.dead`")
+        }),
+        "{diags:#?}"
+    );
+    // The in-vocabulary and marker-waived keys stay quiet.
+    assert!(
+        hits.iter()
+            .all(|d| !d.message.contains("stats.good") && !d.message.contains("stats.waived")),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn codec_pair_demands_decoder_inspect_and_corruption_support() {
+    let diags = analyze("ws_codec_pair");
+    let hits = by_rule(&diags, "codec-pair");
+    assert_eq!(hits.len(), 1, "{diags:#?}");
+    let d = hits[0];
+    assert_eq!(d.file, Path::new("crates/format/src/chunk.rs"));
+    assert!(d.message.contains("ChunkTag::BARE"), "{d}");
+    for missing in ["a decoder", "an inspect arm", "a corruption test"] {
+        assert!(d.message.contains(missing), "{d}");
+    }
+}
+
+#[test]
+fn error_type_flags_option_returning_decode_fns() {
+    let diags = analyze("ws_error_type");
+    let hits = by_rule(&diags, "error-type");
+    assert_eq!(hits.len(), 1, "{diags:#?}");
+    let d = hits[0];
+    assert_eq!(d.file, Path::new("crates/format/src/read.rs"));
+    assert!(d.message.contains("`read_header`"), "{d}");
+    assert!(d.message.contains("returns Option"), "{d}");
+}
+
+#[test]
+fn committed_baseline_has_no_stale_entries() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let diags = xtask::analyze(root).expect("workspace root is walkable");
+    let text =
+        std::fs::read_to_string(root.join("analyze.baseline")).expect("analyze.baseline exists");
+    let accepted = xtask::baseline::parse(&text);
+    let (new, baselined) = xtask::baseline::split(&diags, &accepted);
+    assert!(
+        new.is_empty(),
+        "new findings missing from the baseline:\n{}",
+        new.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(
+        baselined.len(),
+        accepted.len(),
+        "baseline entries no current finding matches — regenerate with \
+         `cargo xtask analyze --write-baseline`"
+    );
+}

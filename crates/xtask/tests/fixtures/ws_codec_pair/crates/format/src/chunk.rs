@@ -1,0 +1,15 @@
+//! Fixture: chunk tags with varying levels of codec support.
+
+pub struct ChunkTag(pub u32);
+
+impl ChunkTag {
+    /// Full support: encoder, decoder, inspect arm, corruption test.
+    pub const FULL: ChunkTag = ChunkTag(1);
+    /// Encoder only — the codec-pair violation.
+    pub const BARE: ChunkTag = ChunkTag(2);
+    /// Encoder only, but waived with a reasoned marker.
+    // analyze: allow(codec-pair): fixture — consumed inline by the reader
+    pub const WAIV: ChunkTag = ChunkTag(3);
+
+    pub const KNOWN: &'static [ChunkTag] = &[ChunkTag::FULL, ChunkTag::BARE, ChunkTag::WAIV];
+}

@@ -1,0 +1,19 @@
+//! Fixture: encoders and decoders referencing the chunk tags.
+
+use crate::chunk::ChunkTag;
+
+pub fn write_full(out: &mut Vec<u32>) {
+    out.push(ChunkTag::FULL.0);
+}
+
+pub fn read_full(data: &[u32]) -> bool {
+    data.first() == Some(&ChunkTag::FULL.0)
+}
+
+pub fn write_bare(out: &mut Vec<u32>) {
+    out.push(ChunkTag::BARE.0);
+}
+
+pub fn write_waiv(out: &mut Vec<u32>) {
+    out.push(ChunkTag::WAIV.0);
+}

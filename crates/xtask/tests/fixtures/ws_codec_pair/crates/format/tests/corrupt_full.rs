@@ -1,0 +1,7 @@
+//! Fixture corruption test: truncated FULL chunks must be rejected.
+
+#[test]
+fn corrupt_full_chunk_is_rejected() {
+    let data = [ChunkTag::FULL.0];
+    assert!(!data.is_empty(), "truncated chunk fixture");
+}

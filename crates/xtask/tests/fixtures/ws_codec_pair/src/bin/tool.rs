@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Fixture inspect arm: the CLI names the fully-supported tag.
+
+fn main() {
+    println!("{}", ChunkTag::FULL.0);
+}

@@ -1,0 +1,22 @@
+//! Fixture: decode entry points must surface failures as
+//! FormatError-family Results.
+
+pub fn read_header(bytes: &[u8]) -> Option<u32> {
+    bytes.first().map(|&b| u32::from(b))
+}
+
+pub fn read_version(bytes: &[u8]) -> Result<u32, FormatError> {
+    bytes
+        .first()
+        .map(|&b| u32::from(b))
+        .ok_or(FormatError::Truncated)
+}
+
+// analyze: allow(error-type): fixture — absence is not corruption here
+pub fn read_flags(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}
+
+pub enum FormatError {
+    Truncated,
+}

@@ -1,0 +1,8 @@
+//! Fixture: recorder keys checked against the vocabulary.
+
+pub fn publish(rec: &mut Recorder) {
+    rec.counter("stats.good", 1);
+    rec.counter("stats.bad", 2);
+    // analyze: allow(metric-key): fixture — key validated elsewhere
+    rec.counter("stats.waived", 3);
+}

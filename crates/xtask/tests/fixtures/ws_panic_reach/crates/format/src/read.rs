@@ -1,0 +1,6 @@
+//! Fixture: a decode entry point whose helper chain (outside the
+//! decode tree) reaches a panic.
+
+pub fn read_profile(bytes: &[u8]) -> std::io::Result<u64> {
+    Ok(total_len(bytes))
+}

@@ -1,0 +1,22 @@
+//! Fixture helpers outside the decode tree.
+
+pub fn total_len(bytes: &[u8]) -> u64 {
+    checked_sum(bytes) + capped(bytes)
+}
+
+fn checked_sum(bytes: &[u8]) -> u64 {
+    let mut total = 0u64;
+    for &b in bytes {
+        total = total.checked_add(u64::from(b)).expect("sum fits u64");
+    }
+    total
+}
+
+fn capped(bytes: &[u8]) -> u64 {
+    // analyze: allow(panic-reachability): fixture — bounded by construction
+    u64::try_from(bytes.len()).expect("len fits u64")
+}
+
+pub fn orphan(bytes: &[u8]) -> u64 {
+    u64::try_from(bytes.len()).expect("never called from a decode entry")
+}

@@ -11,7 +11,7 @@
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use orp_core::{Cdc, Omc};
+use orp_core::{Cdc, Omc, SampleStats, Sampler};
 use orp_trace::{CountingSink, NullSink, ProbeSink, TeeSink};
 use orp_whomp::{Omsg, Rasg, RasgProfiler, WhompProfiler};
 use orp_workloads::{RunConfig, Workload};
@@ -165,6 +165,28 @@ pub fn collect_leap(
     (cdc.into_parts().1.into_profile(), elapsed)
 }
 
+/// Collects a LEAP profile through the sampling front-end, timing the
+/// instrumented execution and returning the sampler's admission totals
+/// alongside the profile.
+#[must_use]
+pub fn collect_leap_sampled(
+    workload: &dyn Workload,
+    cfg: &RunConfig,
+    budget: usize,
+    sampler: Sampler,
+) -> (orp_leap::LeapProfile, Duration, SampleStats) {
+    let mut cdc = Cdc::with_sampler(
+        Omc::new(),
+        orp_leap::LeapProfiler::with_budget(budget),
+        sampler,
+    );
+    let t0 = Instant::now();
+    run(workload, cfg, &mut cdc);
+    let elapsed = t0.elapsed();
+    let stats = cdc.sampler().stats();
+    (cdc.into_parts().1.into_profile(), elapsed, stats)
+}
+
 /// Collects the lossless ground-truth dependence profile.
 #[must_use]
 pub fn collect_lossless_dependences(
@@ -260,14 +282,19 @@ fn repo_root() -> Result<&'static Path, BenchIoError> {
     })
 }
 
-/// Durably writes one benchmark's result JSON to
-/// `results/BENCH_<name>.json` under the invocation directory and
-/// mirrors it to the tracked trajectory copy at the repo root.
+/// Durably writes one benchmark's result JSON.
+///
+/// The single durable writer for all benchmark artifacts: the
+/// canonical copy lives at `<repo root>/results/BENCH_<name>.json`
+/// (anchored to the repo root, *not* the invocation directory, so a
+/// bench run from any working directory updates the same file), and
+/// the tracked trajectory copy at `<repo root>/BENCH_<name>.json` is
+/// derived by copying the canonical bytes — the two can never drift.
 ///
 /// Parent directories are created as needed and both copies go through
 /// the atomic temp-file/rename path, so a crash or a full disk never
 /// leaves a torn artifact where the trajectory tooling would read one.
-/// Returns the paths written, in order.
+/// Returns the paths written, canonical first.
 ///
 /// # Errors
 ///
@@ -275,23 +302,35 @@ fn repo_root() -> Result<&'static Path, BenchIoError> {
 /// created or written.
 pub fn write_result_artifacts(name: &str, json: &str) -> Result<[PathBuf; 2], BenchIoError> {
     let file = format!("BENCH_{name}.json");
-    let local = Path::new("results").join(&file);
-    let root_copy = repo_root()?.join(&file);
-    for path in [&local, &root_copy] {
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            std::fs::create_dir_all(parent).map_err(|source| BenchIoError {
-                path: parent.to_path_buf(),
-                source,
-            })?;
-        }
-        orp_format::write_bytes_atomic(path, json.as_bytes(), None).map_err(|source| {
-            BenchIoError {
-                path: (*path).clone(),
-                source,
-            }
+    let root = repo_root()?;
+    let canonical = root.join("results").join(&file);
+    if let Some(parent) = canonical.parent() {
+        std::fs::create_dir_all(parent).map_err(|source| BenchIoError {
+            path: parent.to_path_buf(),
+            source,
         })?;
     }
-    Ok([local, root_copy])
+    orp_format::write_bytes_atomic(&canonical, json.as_bytes(), None).map_err(|source| {
+        BenchIoError {
+            path: canonical.clone(),
+            source,
+        }
+    })?;
+    // Derive the root copy from what actually landed in the canonical
+    // file, not from the argument: if these ever disagree, something
+    // is interleaving writers and the canonical file is the truth.
+    let canonical_bytes = std::fs::read(&canonical).map_err(|source| BenchIoError {
+        path: canonical.clone(),
+        source,
+    })?;
+    let root_copy = root.join(&file);
+    orp_format::write_bytes_atomic(&root_copy, &canonical_bytes, None).map_err(|source| {
+        BenchIoError {
+            path: root_copy.clone(),
+            source,
+        }
+    })?;
+    Ok([canonical, root_copy])
 }
 
 #[cfg(test)]
@@ -327,6 +366,28 @@ mod tests {
     fn repo_root_resolves_to_the_workspace() {
         let root = repo_root().expect("bench crate sits two levels below the repo root");
         assert!(root.join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn result_artifacts_are_root_anchored_and_never_drift() {
+        let payload = "{\"marker\": \"writer-selftest\"}\n";
+        let [canonical, root_copy] =
+            write_result_artifacts("writer_selftest", payload).expect("artifact write");
+        // Root-anchored: the canonical copy is under <repo>/results/
+        // regardless of the invocation directory, and the tracked copy
+        // is derived from the canonical bytes.
+        let root = repo_root().unwrap();
+        assert_eq!(
+            canonical,
+            root.join("results").join("BENCH_writer_selftest.json")
+        );
+        assert_eq!(root_copy, root.join("BENCH_writer_selftest.json"));
+        let a = std::fs::read(&canonical).unwrap();
+        let b = std::fs::read(&root_copy).unwrap();
+        assert_eq!(a, payload.as_bytes());
+        assert_eq!(a, b, "derived copy must be byte-identical");
+        let _ = std::fs::remove_file(canonical);
+        let _ = std::fs::remove_file(root_copy);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use orp_trace::{AccessEvent, AllocEvent, FreeEvent, ProbeSink};
 
-use crate::{Omc, OrSink, OrTuple, Timestamp};
+use crate::{Omc, OrSink, OrTuple, Sampler, Timestamp};
 
 /// The hub of the profiling pipeline: receives probe events, queries the
 /// [`Omc`] to make accesses object-relative, stamps them with the time
@@ -18,22 +18,37 @@ use crate::{Omc, OrSink, OrTuple, Timestamp};
 /// addresses) are tolerated and counted in [`Cdc::probe_anomalies`]
 /// rather than escalated: a profiler must survive an imperfectly
 /// instrumented program.
+///
+/// An optional [`Sampler`] sits between translation and collection:
+/// accesses it drops neither advance the time-stamp counter nor reach
+/// the sink, so sampled profiles keep dense time-stamps and every
+/// downstream consumer works unchanged (see the [`sample`](crate::sample)
+/// module).
 #[derive(Debug, Clone)]
 pub struct Cdc<S> {
     omc: Omc,
     sink: S,
+    sampler: Sampler,
     time: u64,
     untracked: u64,
     probe_anomalies: u64,
 }
 
 impl<S: OrSink> Cdc<S> {
-    /// Creates a CDC translating through `omc` into `sink`.
+    /// Creates a CDC translating through `omc` into `sink`, collecting
+    /// every access.
     #[must_use]
     pub fn new(omc: Omc, sink: S) -> Self {
+        Cdc::with_sampler(omc, sink, Sampler::off())
+    }
+
+    /// Creates a CDC whose collection is filtered by `sampler`.
+    #[must_use]
+    pub fn with_sampler(omc: Omc, sink: S, sampler: Sampler) -> Self {
         Cdc {
             omc,
             sink,
+            sampler,
             time: 0,
             untracked: 0,
             probe_anomalies: 0,
@@ -54,10 +69,30 @@ impl<S: OrSink> Cdc<S> {
         Cdc {
             omc,
             sink,
+            sampler: Sampler::off(),
             time: time.0,
             untracked,
             probe_anomalies,
         }
+    }
+
+    /// The sampling front-end.
+    #[must_use]
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// Mutable access to the sampling front-end (rate retargeting by
+    /// the controller).
+    pub fn sampler_mut(&mut self) -> &mut Sampler {
+        &mut self.sampler
+    }
+
+    /// Replaces the sampling front-end — used when reassembling a CDC
+    /// from parts (sharded merge, checkpoint resume) to carry the
+    /// admission state forward.
+    pub fn set_sampler(&mut self, sampler: Sampler) {
+        self.sampler = sampler;
     }
 
     /// The object management component.
@@ -114,6 +149,7 @@ impl<S: OrSink> Cdc<S> {
         rec.counter("cdc.accesses", self.time);
         rec.counter("cdc.untracked", self.untracked);
         rec.counter("cdc.probe_anomalies", self.probe_anomalies);
+        self.sampler.record_metrics(rec);
         self.omc.record_metrics(rec);
     }
 }
@@ -122,6 +158,13 @@ impl<S: OrSink> ProbeSink for Cdc<S> {
     fn access(&mut self, ev: AccessEvent) {
         match self.omc.translate_cached(ev.instr, ev.addr.0) {
             Some((group, object, offset)) => {
+                if !self.sampler.is_off()
+                    && !self
+                        .sampler
+                        .admit(crate::sharded::instr_group_key(ev.instr, group))
+                {
+                    return;
+                }
                 let tuple = OrTuple {
                     instr: ev.instr,
                     kind: ev.kind,

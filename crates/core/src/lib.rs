@@ -60,6 +60,7 @@
 mod cdc;
 pub mod decompose;
 mod omc;
+pub mod sample;
 mod session;
 pub mod sharded;
 mod sink;
@@ -68,6 +69,7 @@ pub mod threaded;
 
 pub use cdc::Cdc;
 pub use omc::{ObjectRecord, Omc, OmcError, TranslateStats};
+pub use sample::{RateController, SampleStats, Sampler, SamplingPolicy};
 pub use session::{ResumeError, ResumeLedger, Session, SessionSink, SessionStats};
 pub use sharded::{PipelineError, PipelineStats, ShardStats, ShardableSink, ShardedCdc};
 pub use sink::{NullOrSink, OrSink, VecOrSink};

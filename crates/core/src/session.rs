@@ -9,12 +9,17 @@
 //! # Checkpoint containers
 //!
 //! A checkpoint is an ordinary `.orp` container of kind
-//! [`ProfileKind::Checkpoint`] holding three chunks:
+//! [`ProfileKind::Checkpoint`] holding three chunks (four when the run
+//! is sampled):
 //!
 //! ```text
 //! META  kind = checkpoint
 //! OMCK  canonical OMC state (groups, site map, live set, archive)
 //! CDCK  collection counters (time, untracked, probe anomalies, events)
+//! SMPK  sampling front-end state (policy, totals, per-key admission) —
+//!       written only when the sampler is on, so pre-sampling
+//!       checkpoints remain readable and unsampled checkpoints are
+//!       byte-identical to what earlier writers produced
 //! SNKS  sink name + profiler state (as defined by SessionSink)
 //! END
 //! ```
@@ -35,7 +40,7 @@ use orp_obs::{CountingWrite, Recorder, Stopwatch};
 use orp_trace::{ProbeEvent, ProbeSink};
 
 use crate::sharded::ShardableSink;
-use crate::{Cdc, Omc, OrSink, ShardedCdc, Timestamp};
+use crate::{Cdc, Omc, OrSink, Sampler, ShardedCdc, Timestamp};
 
 /// A profiler whose in-progress state can be checkpointed and restored,
 /// making it usable behind a [`Session`].
@@ -200,6 +205,11 @@ impl<S: SessionSink> Session<S> {
         write_varint(&mut cdck, self.cdc.probe_anomalies())?;
         write_varint(&mut cdck, self.events)?;
         container.chunk(ChunkTag::CDC_STATE, &cdck)?;
+        if !self.cdc.sampler().is_off() {
+            let mut smpk = Vec::new();
+            self.cdc.sampler().save_state(&mut smpk)?;
+            container.chunk(ChunkTag::SAMPLER_STATE, &smpk)?;
+        }
         let mut snks = Vec::new();
         write_varint(&mut snks, S::STATE_NAME.len() as u64)?;
         snks.extend_from_slice(S::STATE_NAME.as_bytes());
@@ -239,9 +249,12 @@ impl<S: SessionSink> Session<S> {
     /// checkpoint belongs to a different profiler type or its state
     /// fails validation.
     pub fn resume(r: &mut impl Read) -> Result<Self, FormatError> {
-        let (omc, time, untracked, probe_anomalies, events, sink) = read_checkpoint::<S, _>(r)?;
+        let (omc, time, untracked, probe_anomalies, events, sampler, sink) =
+            read_checkpoint::<S, _>(r)?;
+        let mut cdc = Cdc::from_parts(omc, sink, time, untracked, probe_anomalies);
+        cdc.set_sampler(sampler);
         Ok(Session {
-            cdc: Cdc::from_parts(omc, sink, time, untracked, probe_anomalies),
+            cdc,
             events,
             stats: SessionStats::default(),
         })
@@ -273,7 +286,8 @@ impl<S: SessionSink> Session<S> {
     where
         S: ShardableSink,
     {
-        let (omc, time, untracked, probe_anomalies, _events, sink) = read_checkpoint::<S, _>(r)?;
+        let (omc, time, untracked, probe_anomalies, _events, sampler, sink) =
+            read_checkpoint::<S, _>(r)?;
         let stem_keys = sink.state_keys();
         Ok(ShardedCdc::resume(
             crate::sharded::ResumeState {
@@ -283,6 +297,7 @@ impl<S: SessionSink> Session<S> {
                 probe_anomalies,
                 stem: sink,
                 stem_keys,
+                sampler,
             },
             shards,
             make_sink,
@@ -439,12 +454,14 @@ impl From<FormatError> for ResumeError {
     }
 }
 
-/// Reads a checkpoint container's three chunks, verifying the sink
-/// name.
+/// Reads a checkpoint container's chunks, verifying the sink name. The
+/// `SMPK` chunk is optional (absent means an unsampled run, restored as
+/// a pass-through sampler), so checkpoints written before sampling
+/// existed resume unchanged.
 #[allow(clippy::type_complexity)]
 fn read_checkpoint<S: SessionSink, R: Read>(
     r: &mut R,
-) -> Result<(Omc, Timestamp, u64, u64, u64, S), FormatError> {
+) -> Result<(Omc, Timestamp, u64, u64, u64, Sampler, S), FormatError> {
     let mut container = ContainerReader::new(r)?;
     let kind = container.read_meta()?;
     if kind != ProfileKind::Checkpoint {
@@ -465,7 +482,26 @@ fn read_checkpoint<S: SessionSink, R: Read>(
     if !cursor.is_empty() {
         return Err(FormatError::Malformed("trailing bytes in CDC state"));
     }
-    let snks = container.expect_chunk(ChunkTag::SINK_STATE)?;
+    let chunk = container
+        .next_chunk()?
+        .ok_or(FormatError::MissingChunk(ChunkTag::SINK_STATE))?;
+    let (sampler, snks) = match chunk.tag {
+        ChunkTag::SAMPLER_STATE => {
+            let mut cursor = chunk.payload.as_slice();
+            let sampler = Sampler::restore_state(&mut cursor)?;
+            if !cursor.is_empty() {
+                return Err(FormatError::Malformed("trailing bytes in sampler state"));
+            }
+            (sampler, container.expect_chunk(ChunkTag::SINK_STATE)?)
+        }
+        ChunkTag::SINK_STATE => (Sampler::off(), chunk.payload),
+        other => {
+            return Err(FormatError::UnexpectedChunk {
+                expected: ChunkTag::SINK_STATE,
+                found: other,
+            })
+        }
+    };
     let mut cursor = snks.as_slice();
     let name_len = usize::try_from(read_varint(&mut cursor)?)
         .map_err(|_| FormatError::Malformed("sink name length does not fit"))?;
@@ -484,7 +520,7 @@ fn read_checkpoint<S: SessionSink, R: Read>(
         return Err(FormatError::Malformed("trailing bytes in sink state"));
     }
     container.drain()?;
-    Ok((omc, time, untracked, probe_anomalies, events, sink))
+    Ok((omc, time, untracked, probe_anomalies, events, sampler, sink))
 }
 
 impl<S: SessionSink> ProbeSink for Session<S> {
@@ -680,6 +716,84 @@ mod tests {
             assert_eq!(cdc.untracked(), reference.untracked());
             assert_eq!(cdc.probe_anomalies(), reference.probe_anomalies());
         }
+    }
+
+    #[test]
+    fn sampled_checkpoint_carries_and_restores_the_sampler() {
+        let events = churn_events(8, 6);
+        let mut uninterrupted = Session::from_cdc(Cdc::with_sampler(
+            Omc::new(),
+            VecOrSink::new(),
+            Sampler::periodic(3),
+        ));
+        uninterrupted.feed(&events);
+        let mut reference = Vec::new();
+        uninterrupted.checkpoint(&mut reference).unwrap();
+
+        for cut in (0..=events.len()).step_by(11) {
+            let mut first = Session::from_cdc(Cdc::with_sampler(
+                Omc::new(),
+                VecOrSink::new(),
+                Sampler::periodic(3),
+            ));
+            first.feed(&events[..cut]);
+            let mut snapshot = Vec::new();
+            first.checkpoint(&mut snapshot).unwrap();
+
+            let mut resumed = Session::<VecOrSink>::resume(&mut snapshot.as_slice())
+                .unwrap_or_else(|e| panic!("resume at {cut}: {e}"));
+            assert_eq!(
+                resumed.cdc().sampler().policy(),
+                crate::SamplingPolicy::Periodic { rate: 3 },
+                "cut at {cut}"
+            );
+            resumed.feed(&events[cut..]);
+            let mut replayed = Vec::new();
+            resumed.checkpoint(&mut replayed).unwrap();
+            assert_eq!(replayed, reference, "cut at event {cut}");
+        }
+    }
+
+    #[test]
+    fn unsampled_checkpoints_have_no_sampler_chunk() {
+        let mut session = Session::new(VecOrSink::new());
+        session.feed(&churn_events(4, 3));
+        let mut snapshot = Vec::new();
+        session.checkpoint(&mut snapshot).unwrap();
+        let mut cursor = snapshot.as_slice();
+        let mut container = ContainerReader::new(&mut cursor).unwrap();
+        container.read_meta().unwrap();
+        let mut tags = Vec::new();
+        while let Some(chunk) = container.next_chunk().unwrap() {
+            tags.push(chunk.tag);
+        }
+        assert!(
+            !tags.contains(&ChunkTag::SAMPLER_STATE),
+            "pass-through sampler must keep the pre-sampling layout: {tags:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_sampler_chunk_yields_typed_errors() {
+        let mut session = Session::from_cdc(Cdc::with_sampler(
+            Omc::new(),
+            VecOrSink::new(),
+            Sampler::reservoir(4),
+        ));
+        session.feed(&churn_events(4, 3));
+        let mut snapshot = Vec::new();
+        session.checkpoint(&mut snapshot).unwrap();
+
+        for cut in 0..snapshot.len() {
+            assert!(
+                Session::<VecOrSink>::resume(&mut &snapshot[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+        let mut bent = snapshot.clone();
+        let mid = bent.len() / 2;
+        bent[mid] ^= 0x10;
+        assert!(Session::<VecOrSink>::resume(&mut bent.as_slice()).is_err());
     }
 
     #[test]

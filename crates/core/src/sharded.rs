@@ -36,7 +36,7 @@ use orp_obs::Recorder;
 use crate::omc::FastU64Map;
 use crate::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use crate::sync::thread::{self, JoinHandle};
-use crate::{Cdc, GroupId, Omc, OrSink, OrTuple, Timestamp};
+use crate::{Cdc, GroupId, Omc, OrSink, OrTuple, Sampler, Timestamp};
 
 /// Probe events per batch shipped to the translator.
 #[cfg(not(loom))]
@@ -248,6 +248,7 @@ impl PipelineStats {
 /// that absorbed tuples for dead lanes.
 struct Translated<S> {
     omc: Omc,
+    sampler: Sampler,
     time: u64,
     untracked: u64,
     probe_anomalies: u64,
@@ -297,6 +298,9 @@ pub struct ResumeState<S> {
     pub stem: S,
     /// Shard keys present in `stem`, pre-routed to shard 0.
     pub stem_keys: Vec<u64>,
+    /// The restored sampling front-end (pass-through for checkpoints
+    /// of unsampled runs).
+    pub sampler: Sampler,
 }
 
 /// One shard's outbound lane: its tuple channel, the buffer-recycling
@@ -403,12 +407,31 @@ impl<S: ShardableSink> ShardedCdc<S> {
     ///
     /// Panics if `shards` is zero or a thread cannot be spawned.
     #[must_use]
-    pub fn spawn(omc: Omc, shards: usize, mut make_sink: impl FnMut(usize) -> S) -> Self {
+    pub fn spawn(omc: Omc, shards: usize, make_sink: impl FnMut(usize) -> S) -> Self {
+        Self::spawn_with_sampler(omc, Sampler::off(), shards, make_sink)
+    }
+
+    /// [`ShardedCdc::spawn`] with a sampling front-end: the translator
+    /// consults `sampler` after each successful translation, exactly as
+    /// an inline [`Cdc`] would, so a fixed-rate sampled sharded run is
+    /// byte-identical to the sampled single-threaded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or a thread cannot be spawned.
+    #[must_use]
+    pub fn spawn_with_sampler(
+        omc: Omc,
+        sampler: Sampler,
+        shards: usize,
+        mut make_sink: impl FnMut(usize) -> S,
+    ) -> Self {
         assert!(shards > 0, "at least one shard worker is required");
         let sinks = (0..shards).map(&mut make_sink).collect();
         Self::launch(
             Translated {
                 omc,
+                sampler,
                 time: 0,
                 untracked: 0,
                 probe_anomalies: 0,
@@ -438,12 +461,29 @@ impl<S: ShardableSink> ShardedCdc<S> {
     ///
     /// Panics if `shards` is zero or a thread cannot be spawned.
     #[must_use]
-    pub fn spawn_salvaging(omc: Omc, shards: usize, mut make_sink: impl FnMut(usize) -> S) -> Self {
+    pub fn spawn_salvaging(omc: Omc, shards: usize, make_sink: impl FnMut(usize) -> S) -> Self {
+        Self::spawn_salvaging_with_sampler(omc, Sampler::off(), shards, make_sink)
+    }
+
+    /// [`ShardedCdc::spawn_salvaging`] with a sampling front-end (see
+    /// [`ShardedCdc::spawn_with_sampler`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or a thread cannot be spawned.
+    #[must_use]
+    pub fn spawn_salvaging_with_sampler(
+        omc: Omc,
+        sampler: Sampler,
+        shards: usize,
+        mut make_sink: impl FnMut(usize) -> S,
+    ) -> Self {
         assert!(shards > 0, "at least one shard worker is required");
         let sinks = (0..shards).map(&mut make_sink).collect();
         Self::launch(
             Translated {
                 omc,
+                sampler,
                 time: 0,
                 untracked: 0,
                 probe_anomalies: 0,
@@ -483,6 +523,7 @@ impl<S: ShardableSink> ShardedCdc<S> {
         Self::launch(
             Translated {
                 omc: state.omc,
+                sampler: state.sampler,
                 time: state.time.0,
                 untracked: state.untracked,
                 probe_anomalies: state.probe_anomalies,
@@ -632,6 +673,7 @@ impl<S: ShardableSink> ShardedCdc<S> {
             t.untracked,
             t.probe_anomalies,
         );
+        cdc.set_sampler(t.sampler);
         ProbeSink::finish(&mut cdc);
         Ok((
             cdc,
@@ -701,6 +743,7 @@ impl<S: ShardableSink> ShardedCdc<S> {
             t.untracked,
             t.probe_anomalies,
         );
+        cdc.set_sampler(t.sampler);
         ProbeSink::finish(&mut cdc);
         Ok(SalvagedJoin {
             cdc,
@@ -754,6 +797,7 @@ fn translate_loop<S: ShardableSink>(
     let shards = lanes.len();
     let Translated {
         mut omc,
+        mut sampler,
         mut time,
         mut untracked,
         mut probe_anomalies,
@@ -784,6 +828,12 @@ fn translate_loop<S: ShardableSink>(
                     size,
                 }) => match omc.translate_cached(instr, addr.0) {
                     Some((group, object, offset)) => {
+                        // Same admission decision, in the same event
+                        // order, as the inline Cdc: sampled sharded
+                        // collection stays byte-identical.
+                        if !sampler.is_off() && !sampler.admit(instr_group_key(instr, group)) {
+                            continue;
+                        }
                         let tuple = OrTuple {
                             instr,
                             kind,
@@ -838,6 +888,7 @@ fn translate_loop<S: ShardableSink>(
     }
     Translated {
         omc,
+        sampler,
         time,
         untracked,
         probe_anomalies,

@@ -79,12 +79,21 @@ impl<S: OrSink + Send + 'static> ThreadedCdc<S> {
     /// Spawns the collection thread around a fresh [`Cdc`].
     #[must_use]
     pub fn spawn(omc: crate::Omc, sink: S) -> Self {
+        Self::spawn_sampled(omc, sink, crate::Sampler::off())
+    }
+
+    /// Spawns the collection thread around a [`Cdc`] whose collection
+    /// is filtered by `sampler`. The sampler runs on the worker — the
+    /// probe side's cost is unchanged — and sees events in feed order,
+    /// so the sampled threaded run matches the sampled inline run.
+    #[must_use]
+    pub fn spawn_sampled(omc: crate::Omc, sink: S, sampler: crate::Sampler) -> Self {
         let (sender, receiver) = mpsc::sync_channel::<Vec<ProbeEvent>>(QUEUE_BATCHES);
         let (recycle_tx, recycle_rx) = mpsc::sync_channel::<Vec<ProbeEvent>>(QUEUE_BATCHES);
         let worker = thread::Builder::new()
             .name("orp-cdc".to_owned())
             .spawn(move || {
-                let mut cdc = Cdc::new(omc, sink);
+                let mut cdc = Cdc::with_sampler(omc, sink, sampler);
                 while let Ok(batch) = receiver.recv() {
                     for ev in &batch {
                         cdc.event(*ev);

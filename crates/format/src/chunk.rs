@@ -38,6 +38,10 @@ impl ChunkTag {
     pub const CDC_STATE: ChunkTag = ChunkTag(*b"CDCK");
     /// Mid-run profiler sink state (grammar/compressor internals).
     pub const SINK_STATE: ChunkTag = ChunkTag(*b"SNKS");
+    /// Sampling front-end checkpoint (policy + per-key admission state).
+    /// Optional: present only in checkpoints of sampled runs, so
+    /// pre-sampling checkpoints stay readable.
+    pub const SAMPLER_STATE: ChunkTag = ChunkTag(*b"SMPK");
     /// An embedded run report (`orp-obs` `RunReport` JSON).
     pub const METRICS: ChunkTag = ChunkTag(*b"MREP");
     /// A layout-optimization plan (`orp-opt` `LayoutPlan` transforms).
@@ -67,6 +71,10 @@ impl ChunkTag {
         ),
         (ChunkTag::CDC_STATE, "CDC checkpoint (stream counters)"),
         (ChunkTag::SINK_STATE, "profiler sink checkpoint"),
+        (
+            ChunkTag::SAMPLER_STATE,
+            "sampling front-end checkpoint (policy, per-key state)",
+        ),
         (ChunkTag::METRICS, "embedded run report (JSON)"),
         (
             ChunkTag::PLAN,

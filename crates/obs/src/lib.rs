@@ -123,6 +123,36 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64; 65] {
         &self.buckets
     }
+
+    /// Estimated `p`-th percentile (0–100) from the power-of-two
+    /// buckets: the upper bound of the bucket holding the rank-`p`
+    /// observation, clamped into `[min, max]` so the estimate never
+    /// leaves the observed range. `None` when no observations were
+    /// recorded — an empty histogram has no percentiles, and callers
+    /// must not mistake the absence of data for a zero.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the percentile observation, 1-based (nearest-rank).
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                // Bucket 0 holds zeros; bucket k holds [2^(k-1), 2^k).
+                let upper = match idx {
+                    0 => 0,
+                    64 => u64::MAX,
+                    k => (1u64 << k) - 1,
+                };
+                return Some(upper.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
 }
 
 /// Aggregate of the timed spans recorded under one name.
@@ -188,7 +218,7 @@ impl Recorder for StatsRecorder {
 
     fn span(&mut self, name: &'static str, nanos: u64) {
         let s = self.spans.entry(name).or_default();
-        s.count += 1;
+        s.count = s.count.saturating_add(1);
         s.total_nanos = s.total_nanos.saturating_add(nanos);
         s.max_nanos = s.max_nanos.max(nanos);
     }
@@ -334,7 +364,7 @@ impl RunReport {
         }
         for (name, span) in rec.spans() {
             let s = self.spans.entry((*name).to_owned()).or_default();
-            s.count += span.count;
+            s.count = s.count.saturating_add(span.count);
             s.total_nanos = s.total_nanos.saturating_add(span.total_nanos);
             s.max_nanos = s.max_nanos.max(span.max_nanos);
         }
@@ -497,6 +527,15 @@ fn fmt_nanos(nanos: u64) -> String {
 }
 
 /// JSON string literal with escaping.
+///
+/// Beyond the RFC 8259 requirements (quote, backslash, C0 controls),
+/// defensively `\u`-escapes DEL, the C1 control block, and the
+/// U+2028/U+2029 line separators: all are *legal* raw in JSON, but DEL
+/// and C1 render invisibly in terminals and logs, and U+2028/29
+/// terminate lines in JavaScript string literals — a report consumed by
+/// a dashboard must not smuggle either. Everything else (other
+/// non-ASCII included) passes through verbatim, keeping labels
+/// readable.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -507,9 +546,11 @@ fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20 || (0x7f..=0x9f).contains(&(c as u32)) => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
+            '\u{2028}' => out.push_str("\\u2028"),
+            '\u{2029}' => out.push_str("\\u2029"),
             c => out.push(c),
         }
     }
@@ -596,6 +637,77 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_has_no_percentiles_and_zero_extremes() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.sum(), 0);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), None, "p{p} of nothing must be None");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_the_observed_range() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((32..=64).contains(&p50), "bucket upper bound, got {p50}");
+        assert_eq!(h.percentile(100.0), Some(100), "clamped to max");
+        assert_eq!(h.percentile(0.0), Some(1), "clamped to min");
+        // Out-of-range p is clamped, not panicked on.
+        assert_eq!(h.percentile(250.0), Some(100));
+        assert_eq!(h.percentile(-3.0), Some(1));
+
+        let mut ones = Histogram::default();
+        ones.record(7);
+        assert_eq!(ones.percentile(50.0), Some(7));
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(3);
+        assert_eq!(h.sum(), u64::MAX, "no wraparound");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.percentile(99.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn span_and_absorb_counts_saturate() {
+        let mut rec = StatsRecorder::new();
+        rec.span("s", u64::MAX);
+        rec.span("s", u64::MAX);
+        let s = rec.spans()["s"];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_nanos, u64::MAX, "no wraparound");
+
+        // Absorbing reports whose span counts are already at the
+        // ceiling must saturate, not wrap to small numbers.
+        let mut report = RunReport::new("run");
+        report.spans.insert(
+            "s".to_owned(),
+            SpanStats {
+                count: u64::MAX,
+                total_nanos: u64::MAX,
+                max_nanos: 1,
+            },
+        );
+        report.absorb(&rec);
+        let merged = report.spans["s"];
+        assert_eq!(merged.count, u64::MAX);
+        assert_eq!(merged.total_nanos, u64::MAX);
+        assert_eq!(merged.max_nanos, u64::MAX);
+    }
+
+    #[test]
     fn stats_recorder_aggregates_deterministically() {
         let mut rec = StatsRecorder::new();
         rec.counter("b.second", 2);
@@ -658,6 +770,32 @@ mod tests {
         let json = evil.to_json();
         assert!(json.contains("\"command\": \"run \\\"quoted\\\"\\n\""));
         assert!(json.contains("\"workload\": null"));
+    }
+
+    #[test]
+    fn hostile_strings_escape_to_safe_json_literals() {
+        let cases: &[(&str, &str)] = &[
+            ("del\u{7f}", "\"del\\u007f\""),
+            ("c1\u{85}next", "\"c1\\u0085next\""),
+            ("ls\u{2028}ps\u{2029}", "\"ls\\u2028ps\\u2029\""),
+            ("bell\u{07}", "\"bell\\u0007\""),
+            ("nul\u{0}", "\"nul\\u0000\""),
+            ("path\\to\\\"x\"", "\"path\\\\to\\\\\\\"x\\\"\""),
+            // Ordinary non-ASCII stays readable, not escaped.
+            ("grüße-日本", "\"grüße-日本\""),
+        ];
+        for (raw, expected) in cases {
+            assert_eq!(&json_string(raw), expected);
+        }
+        // A report carrying every hostile shape is line-clean: no raw
+        // control characters survive into the document.
+        let mut report = RunReport::new("run \u{7f}\u{85}\u{2028}\u{0}");
+        report.workload = Some("w\u{9f}\u{2029}\"\\".to_owned());
+        let json = report.to_json();
+        assert!(json
+            .chars()
+            .all(|c| c == '\n' || (!c.is_control() && c != '\u{2028}' && c != '\u{2029}')));
+        assert_eq!(json, report.to_json());
     }
 
     #[test]

@@ -63,6 +63,22 @@ fn schema_drift_is_reported_per_field() {
 }
 
 #[test]
+fn hostile_workload_labels_validate_after_escaping() {
+    // A workload label carrying quotes, backslashes, and control
+    // characters — escaped exactly the way orp_obs::json_string emits
+    // them — must round-trip through the validator as an ordinary
+    // string, not break the parse or leak into adjacent fields.
+    let hostile = GOOD.replace(
+        "\"workload\": \"micro.matrix\"",
+        "\"workload\": \"quote\\\" back\\\\ tab\\t nl\\n ctl\\u0001 del\\u007f\"",
+    );
+    let file = temp_file("hostile.json", &hostile);
+    let summary = xtask::validate_report(&file, &repo_schema()).expect("hostile label validates");
+    assert!(summary.contains("ok"), "{summary}");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
 fn wrong_schema_version_and_garbage_are_rejected() {
     let file = temp_file(
         "v2.json",

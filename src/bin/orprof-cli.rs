@@ -46,7 +46,8 @@ use std::process::ExitCode;
 use orprof::allocsim::AllocatorKind;
 use orprof::cache::evaluate::{evaluate_plan, extents_from_records, EvalConfig};
 use orprof::core::{
-    Cdc, Omc, OrSink, OrTuple, PipelineStats, Session, SessionSink, ShardableSink, ShardedCdc,
+    Cdc, Omc, OrSink, OrTuple, PipelineStats, RateController, Sampler, Session, SessionSink,
+    ShardableSink, ShardedCdc,
 };
 use orprof::format::{
     read_varint, AtomicFile, ChunkTag, ContainerReader, FailingRead, FaultPlan, IoStats,
@@ -70,6 +71,7 @@ fn usage() -> &'static str {
      --profiler <whomp|rasg|leap|hybrid> [--out <file>] [--scale <n>] \
      [--allocator <bump|free-list|buddy|randomizing>] [--seed <n>] [--shards <n>] [--salvage] \
      [--grammar-workers <n>] [--resume <checkpoint.orp>] [--checkpoint <file>] \
+     [--sample rate=<n>|budget=<p>%] \
      [--stats] [--metrics-out <file.json>] [--embed-report] [--fault-plan <spec>]\n  \
      orprof-cli record --workload <name> --out <file> [--scale <n>] [--allocator ..] [--seed <n>] \
      [--stats] [--metrics-out <file.json>] [--fault-plan <spec>]\n  \
@@ -160,6 +162,7 @@ const RUN_FLAGS: FlagSpec = FlagSpec {
         "--grammar-workers",
         "--resume",
         "--checkpoint",
+        "--sample",
         "--metrics-out",
         "--fault-plan",
     ],
@@ -384,6 +387,162 @@ impl ProbeSink for CountingProbe<'_> {
     }
 }
 
+/// What a `run` driver hands back: the finished session, how the drive
+/// went, pipeline stats when sharded, and the controller when
+/// `--sample budget=` was active.
+type RunOutput<S> = (
+    Session<S>,
+    DriveOutcome,
+    Option<PipelineStats>,
+    Option<RateController>,
+);
+
+/// A parsed `--sample` argument: a fixed periodic rate, or an adaptive
+/// overhead budget the [`RateController`] holds at run time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SampleSpec {
+    /// `rate=N` — keep 1-in-N accesses per (instruction, group) key.
+    Rate(u64),
+    /// `budget=P%` — start lossless, back the rate off until profiling
+    /// overhead fits within P percent of native run time.
+    Budget(f64),
+}
+
+fn parse_sample(parsed: &Parsed) -> Result<Option<SampleSpec>, String> {
+    let Some(spec) = parsed.value("--sample") else {
+        return Ok(None);
+    };
+    if let Some(n) = spec.strip_prefix("rate=") {
+        let rate: u64 = n.parse().map_err(|_| "bad --sample rate")?;
+        if rate == 0 {
+            return Err("--sample rate must be at least 1".to_owned());
+        }
+        return Ok(Some(SampleSpec::Rate(rate)));
+    }
+    if let Some(p) = spec.strip_prefix("budget=") {
+        let pct: f64 = p
+            .strip_suffix('%')
+            .unwrap_or(p)
+            .parse()
+            .map_err(|_| "bad --sample budget")?;
+        if !pct.is_finite() || pct <= 0.0 {
+            return Err("--sample budget must be a positive percentage".to_owned());
+        }
+        return Ok(Some(SampleSpec::Budget(pct)));
+    }
+    Err(format!(
+        "--sample expects rate=<n> or budget=<p>%, got {spec}"
+    ))
+}
+
+/// The sampler a spec opens with: budget mode starts lossless and lets
+/// the controller back the rate off.
+fn sampler_for(sample: Option<SampleSpec>) -> Sampler {
+    match sample {
+        None => Sampler::off(),
+        Some(SampleSpec::Rate(rate)) => Sampler::periodic(rate),
+        Some(SampleSpec::Budget(_)) => Sampler::periodic(1),
+    }
+}
+
+/// Measures the workload's native per-event cost: the same drive, fed
+/// into a do-nothing sink. The budget controller needs this baseline —
+/// overhead is profiling cost *relative to the uninstrumented run*.
+fn baseline_event_nanos(parsed: &Parsed, ctx: &mut IoCtx) -> Result<f64, String> {
+    struct NullProbe;
+    impl ProbeSink for NullProbe {
+        fn access(&mut self, _: AccessEvent) {}
+        fn alloc(&mut self, _: AllocEvent) {}
+        fn free(&mut self, _: FreeEvent) {}
+        fn finish(&mut self) {}
+    }
+    let clock = Stopwatch::start();
+    let outcome = drive(parsed, ctx, &mut NullProbe)?;
+    let nanos = clock.elapsed_nanos();
+    if outcome.events == 0 {
+        return Err("--sample budget=: the workload produced no events to calibrate on".to_owned());
+    }
+    Ok(nanos as f64 / outcome.events as f64)
+}
+
+/// Feeds a session while closing the control loop: every
+/// [`RateController::CONTROL_INTERVAL`] events the measured overhead is
+/// compared against the budget and the sampler's rate retargeted.
+struct BudgetedProbe<'a, S: SessionSink> {
+    session: &'a mut Session<S>,
+    controller: &'a mut RateController,
+    clock: &'a Stopwatch,
+    events: u64,
+}
+
+impl<S: SessionSink> BudgetedProbe<'_, S> {
+    fn tick(&mut self) {
+        self.events += 1;
+        if self.controller.due(self.events) {
+            let current = self.session.cdc().sampler().current_rate();
+            if let Some(rate) =
+                self.controller
+                    .control(self.events, self.clock.elapsed_nanos(), current)
+            {
+                self.session.cdc_mut().sampler_mut().set_rate(rate);
+            }
+        }
+    }
+}
+
+impl<S: SessionSink> ProbeSink for BudgetedProbe<'_, S> {
+    fn access(&mut self, ev: AccessEvent) {
+        self.session.access(ev);
+        self.tick();
+    }
+
+    fn alloc(&mut self, ev: AllocEvent) {
+        self.session.alloc(ev);
+        self.tick();
+    }
+
+    fn free(&mut self, ev: FreeEvent) {
+        self.session.free(ev);
+        self.tick();
+    }
+
+    fn finish(&mut self) {
+        self.session.finish();
+    }
+}
+
+/// Runs a fresh single-shard session in budget mode: a native pre-pass
+/// calibrates per-event cost, then the profiled run re-tunes the
+/// sampling rate at every control interval to hold the overhead budget.
+fn run_budgeted<S: SessionSink>(
+    parsed: &Parsed,
+    ctx: &mut IoCtx,
+    budget_percent: f64,
+    fresh: impl FnOnce() -> S,
+) -> Result<(Session<S>, DriveOutcome, RateController), String> {
+    let baseline = baseline_event_nanos(parsed, ctx)?;
+    println!("sample budget {budget_percent}%: native baseline {baseline:.1} ns/event");
+    let mut session =
+        Session::from_cdc(Cdc::with_sampler(Omc::new(), fresh(), Sampler::periodic(1)));
+    let mut controller = RateController::new(budget_percent, baseline);
+    let clock = Stopwatch::start();
+    let mut probe = BudgetedProbe {
+        session: &mut session,
+        controller: &mut controller,
+        clock: &clock,
+        events: 0,
+    };
+    let outcome = drive(parsed, ctx, &mut probe)?;
+    let final_rate = session.cdc().sampler().current_rate();
+    println!(
+        "sample budget settled at rate {final_rate} \
+         ({:.1}% measured overhead, {} adjustments)",
+        controller.last_overhead() * 100.0,
+        controller.adjustments()
+    );
+    Ok((session, outcome, controller))
+}
+
 /// Feeds probe events into `sink`, either live from a workload run or
 /// by replaying a recorded trace file.
 fn drive(
@@ -462,12 +621,21 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
 }
 
 /// Opens a profiling session — fresh, or restored from a `--resume`
-/// checkpoint container — drives it, and honors `--checkpoint`.
+/// checkpoint container — drives it, and honors `--checkpoint`. A
+/// budget spec routes through [`run_budgeted`] (its controller comes
+/// back for metrics); a rate spec opens the session sampled. On resume
+/// the checkpoint's own sampler state governs (`--sample` + `--resume`
+/// is rejected before this runs).
 fn run_session<S: SessionSink>(
     parsed: &Parsed,
     ctx: &mut IoCtx,
+    sample: Option<SampleSpec>,
     fresh: impl FnOnce() -> S,
-) -> Result<(Session<S>, DriveOutcome), String> {
+) -> Result<(Session<S>, DriveOutcome, Option<RateController>), String> {
+    if let Some(SampleSpec::Budget(pct)) = sample {
+        let (session, outcome, controller) = run_budgeted(parsed, ctx, pct, fresh)?;
+        return Ok((session, outcome, Some(controller)));
+    }
     let mut session = match parsed.value("--resume") {
         Some(path) => {
             let mut reader = ctx.open_reader(path)?;
@@ -477,7 +645,7 @@ fn run_session<S: SessionSink>(
             println!("resumed from checkpoint {path}");
             session
         }
-        None => Session::new(fresh()),
+        None => Session::from_cdc(Cdc::with_sampler(Omc::new(), fresh(), sampler_for(sample))),
     };
     let outcome = drive(parsed, ctx, &mut session)?;
     if let Some(path) = parsed.value("--checkpoint") {
@@ -491,7 +659,7 @@ fn run_session<S: SessionSink>(
         ctx.commit_writer(w, path)?;
         println!("checkpoint written to {path}");
     }
-    Ok((session, outcome))
+    Ok((session, outcome, None))
 }
 
 /// Runs a shardable profiler on the parallel collection pipeline. With
@@ -501,6 +669,7 @@ fn run_sharded<S: SessionSink + ShardableSink>(
     parsed: &Parsed,
     ctx: &mut IoCtx,
     shards: usize,
+    sampler: Sampler,
     mut fresh: impl FnMut(usize) -> S,
 ) -> Result<(Session<S>, DriveOutcome, PipelineStats), String> {
     if parsed.value("--checkpoint").is_some() {
@@ -525,8 +694,10 @@ fn run_sharded<S: SessionSink + ShardableSink>(
             println!("resumed from checkpoint {path}");
             pipe
         }
-        None if salvage => ShardedCdc::spawn_salvaging(Omc::new(), shards, &mut fresh),
-        None => ShardedCdc::spawn(Omc::new(), shards, &mut fresh),
+        None if salvage => {
+            ShardedCdc::spawn_salvaging_with_sampler(Omc::new(), sampler, shards, &mut fresh)
+        }
+        None => ShardedCdc::spawn_with_sampler(Omc::new(), sampler, shards, &mut fresh),
     };
     let outcome = drive(parsed, ctx, &mut pipe)?;
     if salvage {
@@ -550,13 +721,17 @@ fn run_maybe_sharded<S: SessionSink + ShardableSink>(
     parsed: &Parsed,
     ctx: &mut IoCtx,
     shards: usize,
+    sample: Option<SampleSpec>,
     mut fresh: impl FnMut(usize) -> S,
-) -> Result<(Session<S>, DriveOutcome, Option<PipelineStats>), String> {
+) -> Result<RunOutput<S>, String> {
     if shards == 1 && !parsed.has("--salvage") {
-        let (session, outcome) = run_session(parsed, ctx, || fresh(0))?;
-        Ok((session, outcome, None))
+        let (session, outcome, controller) = run_session(parsed, ctx, sample, || fresh(0))?;
+        Ok((session, outcome, None, controller))
     } else {
-        run_sharded(parsed, ctx, shards, fresh).map(|(s, o, p)| (s, o, Some(p)))
+        // Budget mode is single-shard only (rejected in `cmd_run`), so
+        // the sharded pipeline only ever sees off/fixed-rate samplers.
+        run_sharded(parsed, ctx, shards, sampler_for(sample), fresh)
+            .map(|(s, o, p)| (s, o, Some(p), None))
     }
 }
 
@@ -569,6 +744,7 @@ fn run_whomp_pipelined(
     parsed: &Parsed,
     ctx: &mut IoCtx,
     workers: usize,
+    sampler: Sampler,
     rec: &mut StatsRecorder,
 ) -> Result<(WhompProfiler, DriveOutcome), String> {
     if parsed.value("--checkpoint").is_some() {
@@ -583,16 +759,22 @@ fn run_whomp_pipelined(
             println!("resumed from checkpoint {path}");
             let cdc = session.into_cdc();
             let (time, untracked, anomalies) = (cdc.time(), cdc.untracked(), cdc.probe_anomalies());
+            // A sampled checkpoint's admission state must survive the
+            // profiler swap, or the resumed half would silently revert
+            // to full collection.
+            let restored = cdc.sampler().clone();
             let (omc, profiler) = cdc.into_parts();
-            Cdc::from_parts(
+            let mut cdc = Cdc::from_parts(
                 omc,
                 PipelinedWhomp::from_profiler(profiler, workers),
                 time,
                 untracked,
                 anomalies,
-            )
+            );
+            cdc.set_sampler(restored);
+            cdc
         }
-        None => Cdc::new(Omc::new(), PipelinedWhomp::spawn(workers)),
+        None => Cdc::with_sampler(Omc::new(), PipelinedWhomp::spawn(workers), sampler),
     };
     let outcome = drive(parsed, ctx, &mut cdc)?;
     cdc.record_metrics(rec);
@@ -687,6 +869,42 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Some(s) => s.parse().map_err(|_| "bad --grammar-workers")?,
         None => 0,
     };
+    let sample = parse_sample(&parsed)?;
+    if sample.is_some() && parsed.value("--resume").is_some() {
+        // A sampled checkpoint carries its own admission state; letting
+        // a fresh flag override it would fork the admission sequence.
+        return Err(
+            "--sample cannot be combined with --resume; the checkpoint's \
+                    sampler state governs a resumed run"
+                .to_owned(),
+        );
+    }
+    if matches!(sample, Some(SampleSpec::Budget(_))) {
+        // The controller calibrates against a native re-run of the
+        // workload and steers one inline sampler; every multi-threaded
+        // or replayed configuration breaks one of those assumptions.
+        if parsed.value("--workload").is_none() {
+            return Err("--sample budget= requires a live --workload run \
+                        (the native baseline pre-pass re-runs it)"
+                .to_owned());
+        }
+        if shards > 1 || parsed.has("--salvage") {
+            return Err("--sample budget= requires a single-shard run \
+                        (omit --shards/--salvage, or use rate=)"
+                .to_owned());
+        }
+        if grammar_workers > 0 {
+            return Err("--sample budget= requires inline grammar construction \
+                        (omit --grammar-workers, or use rate=)"
+                .to_owned());
+        }
+        if parsed.value("--checkpoint").is_some() {
+            return Err("--sample budget= cannot checkpoint: the controller's \
+                        calibration is not resumable (use rate=)"
+                .to_owned());
+        }
+    }
+    let mut controller: Option<RateController> = None;
 
     let mut rec = StatsRecorder::default();
     let mut report = RunReport::new("run");
@@ -701,8 +919,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                             (whomp, rasg, hybrid); leap builds no grammars"
                     .to_owned());
             }
-            let (session, outcome, pstats) =
-                run_maybe_sharded(&parsed, &mut ctx, shards, |_| LeapProfiler::new())?;
+            let (session, outcome, pstats, ctrl) =
+                run_maybe_sharded(&parsed, &mut ctx, shards, sample, |_| LeapProfiler::new())?;
+            controller = ctrl;
             session.record_metrics(&mut rec);
             report.events = outcome.events;
             absorb_trace_io(&mut rec, &outcome);
@@ -729,13 +948,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "whomp" => {
             no_shards("whomp's global grammars")?;
             let profiler = if grammar_workers > 0 {
-                let (p, outcome) =
-                    run_whomp_pipelined(&parsed, &mut ctx, grammar_workers, &mut rec)?;
+                let (p, outcome) = run_whomp_pipelined(
+                    &parsed,
+                    &mut ctx,
+                    grammar_workers,
+                    sampler_for(sample),
+                    &mut rec,
+                )?;
                 report.events = outcome.events;
                 absorb_trace_io(&mut rec, &outcome);
                 p
             } else {
-                let (session, outcome) = run_session(&parsed, &mut ctx, WhompProfiler::new)?;
+                let (session, outcome, ctrl) =
+                    run_session(&parsed, &mut ctx, sample, WhompProfiler::new)?;
+                controller = ctrl;
                 session.record_metrics(&mut rec);
                 report.events = outcome.events;
                 absorb_trace_io(&mut rec, &outcome);
@@ -764,7 +990,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                                 use a sequential run for checkpointed sessions"
                         .to_owned());
                 }
-                let mut cdc = Cdc::new(Omc::new(), PipelinedHybrid::spawn(grammar_workers));
+                let mut cdc = Cdc::with_sampler(
+                    Omc::new(),
+                    PipelinedHybrid::spawn(grammar_workers),
+                    sampler_for(sample),
+                );
                 let outcome = drive(&parsed, &mut ctx, &mut cdc)?;
                 cdc.record_metrics(&mut rec);
                 report.events = outcome.events;
@@ -774,8 +1004,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 gstats.record_metrics(&mut rec);
                 profiler
             } else {
-                let (session, outcome, pstats) =
-                    run_maybe_sharded(&parsed, &mut ctx, shards, |_| HybridProfiler::new())?;
+                let (session, outcome, pstats, ctrl) =
+                    run_maybe_sharded(&parsed, &mut ctx, shards, sample, |_| {
+                        HybridProfiler::new()
+                    })?;
+                controller = ctrl;
                 session.record_metrics(&mut rec);
                 report.events = outcome.events;
                 absorb_trace_io(&mut rec, &outcome);
@@ -797,6 +1030,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         "rasg" => {
             no_shards("rasg profiles raw addresses and")?;
+            if sample.is_some() {
+                return Err("rasg profiles raw addresses before translation; --sample \
+                            filters translated accesses and applies to leap, whomp, hybrid"
+                    .to_owned());
+            }
             if parsed.value("--resume").is_some() || parsed.value("--checkpoint").is_some() {
                 return Err("rasg profiles raw addresses; checkpoints apply to the \
                             object-relative profilers (leap, whomp, hybrid)"
@@ -841,10 +1079,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("profile written to {path}");
     }
     rec.counter("io.retries", ctx.retries);
+    if let Some(c) = &controller {
+        c.record_metrics(&mut rec);
+    }
 
     report.wall_nanos = clock.elapsed_nanos();
     report.absorb(&rec);
     derive_ratios(&mut report);
+    if let Some(c) = &controller {
+        report
+            .ratios
+            .insert("sample.overhead".to_owned(), c.last_overhead());
+    }
     emit_report(&parsed, &mut ctx, &report)?;
 
     if parsed.has("--embed-report") {
@@ -985,6 +1231,22 @@ fn print_container(path: &str) -> Result<ProfileKind, String> {
                         "       time {time}, {events} events fed, {untracked} untracked, \
                          {anomalies} probe anomalies"
                     );
+                }
+            }
+            ChunkTag::SAMPLER_STATE => {
+                if let (Ok(tag), Ok(param), Ok(considered), Ok(kept)) = (
+                    read_varint(&mut cursor),
+                    read_varint(&mut cursor),
+                    read_varint(&mut cursor),
+                    read_varint(&mut cursor),
+                ) {
+                    let policy = match tag {
+                        0 => "off".to_owned(),
+                        1 => format!("periodic 1-in-{param}"),
+                        2 => format!("reservoir capacity {param}"),
+                        other => format!("unknown policy {other}"),
+                    };
+                    println!("       sampling {policy}: kept {kept} of {considered} considered");
                 }
             }
             ChunkTag::SINK_STATE => {

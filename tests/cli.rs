@@ -665,3 +665,115 @@ fn sequential_grammar_runs_also_report_grammar_shape() {
     assert!(!doc.contains("grammar.workers"), "{doc}");
     let _ = std::fs::remove_file(json);
 }
+
+#[test]
+fn sampled_runs_are_byte_identical_across_inline_and_sharded() {
+    let inline = tmp("sampled-inline.orpl");
+    let sharded = tmp("sampled-sharded.orpl");
+    let json = tmp("sampled.json");
+    for (path, shards) in [(&inline, "1"), (&sharded, "3")] {
+        let out = cli()
+            .args([
+                "run",
+                "--workload",
+                "micro.matrix",
+                "--profiler",
+                "leap",
+                "--sample",
+                "rate=4",
+                "--shards",
+                shards,
+                "--out",
+                path.to_str().unwrap(),
+                "--metrics-out",
+                json.to_str().unwrap(),
+            ])
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        std::fs::read(&inline).unwrap(),
+        std::fs::read(&sharded).unwrap(),
+        "fixed-rate sampling must not depend on the collection path"
+    );
+    let doc = std::fs::read_to_string(&json).unwrap();
+    for key in [
+        "sample.kept",
+        "sample.dropped",
+        "sample.rate",
+        "sample.scaled_accesses",
+    ] {
+        assert!(doc.contains(key), "missing {key} in:\n{doc}");
+    }
+    for p in [inline, sharded, json] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn budget_mode_reports_controller_metrics() {
+    let json = tmp("budget.json");
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.matrix",
+            "--profiler",
+            "leap",
+            "--sample",
+            "budget=50%",
+            "--metrics-out",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&json).unwrap();
+    for key in ["sample.adjustments", "sample.overhead", "sample.kept"] {
+        assert!(doc.contains(key), "missing {key} in:\n{doc}");
+    }
+    let _ = std::fs::remove_file(json);
+}
+
+#[test]
+fn sample_flag_rejects_incoherent_combinations() {
+    for args in [
+        ["--profiler", "leap", "--sample", "rate=0"].as_slice(),
+        &["--profiler", "leap", "--sample", "sideways"],
+        &["--profiler", "rasg", "--sample", "rate=4"],
+        &[
+            "--profiler",
+            "leap",
+            "--sample",
+            "budget=10%",
+            "--shards",
+            "2",
+        ],
+        &[
+            "--profiler",
+            "leap",
+            "--sample",
+            "rate=4",
+            "--resume",
+            "nonexistent.orp",
+        ],
+    ] {
+        let out = cli()
+            .args(["run", "--workload", "micro.matrix"])
+            .args(args)
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "should reject: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "{err}");
+    }
+}

@@ -54,7 +54,7 @@
 
 use std::io::{self, Read, Write};
 
-use orp_format::{read_varint, write_varint};
+use orp_format::{read_u64_le, read_varint, write_u64_le, write_varint};
 use orp_obs::Recorder;
 
 use crate::omc::FastU64Map;
@@ -457,6 +457,75 @@ impl RateController {
             rec.observe("sample.rate_trajectory", rate);
         }
     }
+
+    /// Serializes the complete controller state — calibration (budget,
+    /// native baseline) plus the loop state (next check point,
+    /// adjustment history) — so a budget run can checkpoint and the
+    /// resumed process continues against the same calibration instead
+    /// of refusing or re-measuring. Deterministic:
+    /// save → restore → save is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn save_state(&self, w: &mut impl Write) -> io::Result<()> {
+        write_u64_le(w, self.budget.to_bits())?;
+        write_u64_le(w, self.baseline_event_nanos.to_bits())?;
+        write_varint(w, self.next_check)?;
+        write_varint(w, self.adjustments)?;
+        write_varint(w, self.trajectory.len() as u64)?;
+        for &rate in &self.trajectory {
+            write_varint(w, rate)?;
+        }
+        write_u64_le(w, self.last_overhead.to_bits())?;
+        Ok(())
+    }
+
+    /// Rebuilds a controller from [`RateController::save_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; rejects non-finite or negative budgets
+    /// and baselines (the calibration must be a real measurement).
+    pub fn restore_state(r: &mut impl Read) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+        let budget = f64::from_bits(read_u64_le(r)?);
+        let baseline_event_nanos = f64::from_bits(read_u64_le(r)?);
+        if !budget.is_finite() || budget < 0.0 {
+            return Err(bad("controller state has a malformed budget"));
+        }
+        if !baseline_event_nanos.is_finite() || baseline_event_nanos < 0.0 {
+            return Err(bad("controller state has a malformed baseline"));
+        }
+        let next_check = read_varint(r)?;
+        let adjustments = read_varint(r)?;
+        let count = read_varint(r)?;
+        let mut trajectory = Vec::new();
+        for _ in 0..count {
+            trajectory.push(read_varint(r)?);
+        }
+        let last_overhead = f64::from_bits(read_u64_le(r)?);
+        if !last_overhead.is_finite() {
+            return Err(bad("controller state has a malformed overhead"));
+        }
+        Ok(RateController {
+            budget,
+            baseline_event_nanos,
+            next_check,
+            adjustments,
+            trajectory,
+            last_overhead,
+        })
+    }
+
+    /// Re-anchors the next control step relative to `events` already
+    /// fed. A resumed process restarts its wall clock at zero while the
+    /// session's event count carries over, so the first post-resume
+    /// control step must wait a full interval of *fresh* events before
+    /// trusting a fresh elapsed measurement.
+    pub fn rebase(&mut self, events: u64) {
+        self.next_check = events.saturating_add(Self::CONTROL_INTERVAL);
+    }
 }
 
 #[cfg(test)]
@@ -611,6 +680,70 @@ mod tests {
         assert_eq!(c.control(events, events * 125, lowered), None);
         assert_eq!(c.adjustments(), 2);
         assert_eq!(c.trajectory(), [raised, lowered]);
+    }
+
+    #[test]
+    fn controller_state_roundtrips_byte_identically() {
+        let mut c = RateController::new(25.0, 100.0);
+        let events = RateController::CONTROL_INTERVAL;
+        c.control(events, events * 200, 1).expect("adjust");
+        c.control(events * 2, events * 2 * 100, 8);
+        let mut bytes = Vec::new();
+        c.save_state(&mut bytes).unwrap();
+        let restored = RateController::restore_state(&mut bytes.as_slice()).unwrap();
+        assert_eq!(restored.adjustments(), c.adjustments());
+        assert_eq!(restored.trajectory(), c.trajectory());
+        assert!((restored.last_overhead() - c.last_overhead()).abs() < 1e-12);
+        let mut again = Vec::new();
+        restored.save_state(&mut again).unwrap();
+        assert_eq!(again, bytes, "save → restore → save is byte-identical");
+
+        // The restored controller makes the same decision the original
+        // would: same calibration, same deadband, same step clamp.
+        let mut a = c.clone();
+        let mut b = restored;
+        let events = events * 4;
+        assert_eq!(
+            a.control(events, events * 300, 4),
+            b.control(events, events * 300, 4)
+        );
+    }
+
+    #[test]
+    fn corrupted_controller_state_is_rejected_not_panicked() {
+        // Non-finite budget.
+        let mut bytes = Vec::new();
+        write_u64_le(&mut bytes, f64::NAN.to_bits()).unwrap();
+        write_u64_le(&mut bytes, 100.0f64.to_bits()).unwrap();
+        assert!(RateController::restore_state(&mut bytes.as_slice()).is_err());
+        // Negative baseline.
+        let mut bytes = Vec::new();
+        write_u64_le(&mut bytes, 0.25f64.to_bits()).unwrap();
+        write_u64_le(&mut bytes, (-1.0f64).to_bits()).unwrap();
+        assert!(RateController::restore_state(&mut bytes.as_slice()).is_err());
+        // Truncation at every prefix of a valid state.
+        let mut c = RateController::new(10.0, 50.0);
+        let events = RateController::CONTROL_INTERVAL;
+        c.control(events, events * 500, 1);
+        let mut full = Vec::new();
+        c.save_state(&mut full).unwrap();
+        for cut in 0..full.len() {
+            assert!(
+                RateController::restore_state(&mut &full[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rebase_defers_the_first_post_resume_control_step() {
+        let mut c = RateController::new(25.0, 100.0);
+        let resumed = 10 * RateController::CONTROL_INTERVAL;
+        assert!(c.due(resumed), "stale next_check fires immediately");
+        c.rebase(resumed);
+        assert!(!c.due(resumed));
+        assert!(!c.due(resumed + RateController::CONTROL_INTERVAL - 1));
+        assert!(c.due(resumed + RateController::CONTROL_INTERVAL));
     }
 
     #[test]

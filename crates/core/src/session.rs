@@ -40,7 +40,7 @@ use orp_obs::{CountingWrite, Recorder, Stopwatch};
 use orp_trace::{ProbeEvent, ProbeSink};
 
 use crate::sharded::ShardableSink;
-use crate::{Cdc, Omc, OrSink, Sampler, ShardedCdc, Timestamp};
+use crate::{Cdc, Omc, OrSink, RateController, Sampler, ShardedCdc, Timestamp};
 
 /// A profiler whose in-progress state can be checkpointed and restored,
 /// making it usable behind a [`Session`].
@@ -192,6 +192,23 @@ impl<S: SessionSink> Session<S> {
     ///
     /// Propagates writer errors.
     pub fn checkpoint(&mut self, w: &mut impl Write) -> io::Result<()> {
+        self.checkpoint_with(w, None)
+    }
+
+    /// [`Session::checkpoint`], additionally persisting a
+    /// [`RateController`]'s calibration into the `SMPK` chunk so a
+    /// budget-mode run can resume with its native baseline and control
+    /// history intact. Without a controller the chunk layout is
+    /// byte-identical to [`Session::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn checkpoint_with(
+        &mut self,
+        w: &mut impl Write,
+        controller: Option<&RateController>,
+    ) -> io::Result<()> {
         let clock = Stopwatch::start();
         let mut counted = CountingWrite::new(w);
         let mut container = ContainerWriter::new(&mut counted)?;
@@ -208,6 +225,10 @@ impl<S: SessionSink> Session<S> {
         if !self.cdc.sampler().is_off() {
             let mut smpk = Vec::new();
             self.cdc.sampler().save_state(&mut smpk)?;
+            if let Some(controller) = controller {
+                write_varint(&mut smpk, 1)?;
+                controller.save_state(&mut smpk)?;
+            }
             container.chunk(ChunkTag::SAMPLER_STATE, &smpk)?;
         }
         let mut snks = Vec::new();
@@ -249,15 +270,33 @@ impl<S: SessionSink> Session<S> {
     /// checkpoint belongs to a different profiler type or its state
     /// fails validation.
     pub fn resume(r: &mut impl Read) -> Result<Self, FormatError> {
-        let (omc, time, untracked, probe_anomalies, events, sampler, sink) =
+        Ok(Self::resume_with_controller(r)?.0)
+    }
+
+    /// [`Session::resume`], also surfacing the [`RateController`] state
+    /// a budget-mode checkpoint carried (written by
+    /// [`Session::checkpoint_with`]). `None` for checkpoints written
+    /// without a controller — unsampled, fixed-rate, or pre-controller
+    /// ones — so every old checkpoint still resumes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::resume`].
+    pub fn resume_with_controller(
+        r: &mut impl Read,
+    ) -> Result<(Self, Option<RateController>), FormatError> {
+        let (omc, time, untracked, probe_anomalies, events, sampler, controller, sink) =
             read_checkpoint::<S, _>(r)?;
         let mut cdc = Cdc::from_parts(omc, sink, time, untracked, probe_anomalies);
         cdc.set_sampler(sampler);
-        Ok(Session {
-            cdc,
-            events,
-            stats: SessionStats::default(),
-        })
+        Ok((
+            Session {
+                cdc,
+                events,
+                stats: SessionStats::default(),
+            },
+            controller,
+        ))
     }
 
     /// Reopens a checkpoint onto the sharded collection pipeline: the
@@ -286,7 +325,7 @@ impl<S: SessionSink> Session<S> {
     where
         S: ShardableSink,
     {
-        let (omc, time, untracked, probe_anomalies, _events, sampler, sink) =
+        let (omc, time, untracked, probe_anomalies, _events, sampler, _controller, sink) =
             read_checkpoint::<S, _>(r)?;
         let stem_keys = sink.state_keys();
         Ok(ShardedCdc::resume(
@@ -457,11 +496,26 @@ impl From<FormatError> for ResumeError {
 /// Reads a checkpoint container's chunks, verifying the sink name. The
 /// `SMPK` chunk is optional (absent means an unsampled run, restored as
 /// a pass-through sampler), so checkpoints written before sampling
-/// existed resume unchanged.
+/// existed resume unchanged. After the sampler state the chunk may
+/// carry a flagged [`RateController`] state (budget-mode checkpoints);
+/// an empty remainder means no controller, so pre-controller sampled
+/// checkpoints also resume unchanged.
 #[allow(clippy::type_complexity)]
 fn read_checkpoint<S: SessionSink, R: Read>(
     r: &mut R,
-) -> Result<(Omc, Timestamp, u64, u64, u64, Sampler, S), FormatError> {
+) -> Result<
+    (
+        Omc,
+        Timestamp,
+        u64,
+        u64,
+        u64,
+        Sampler,
+        Option<RateController>,
+        S,
+    ),
+    FormatError,
+> {
     let mut container = ContainerReader::new(r)?;
     let kind = container.read_meta()?;
     if kind != ProfileKind::Checkpoint {
@@ -485,16 +539,32 @@ fn read_checkpoint<S: SessionSink, R: Read>(
     let chunk = container
         .next_chunk()?
         .ok_or(FormatError::MissingChunk(ChunkTag::SINK_STATE))?;
-    let (sampler, snks) = match chunk.tag {
+    let (sampler, controller, snks) = match chunk.tag {
         ChunkTag::SAMPLER_STATE => {
             let mut cursor = chunk.payload.as_slice();
             let sampler = Sampler::restore_state(&mut cursor)?;
+            let controller = if cursor.is_empty() {
+                None
+            } else {
+                match read_varint(&mut cursor)? {
+                    1 => Some(RateController::restore_state(&mut cursor)?),
+                    _ => {
+                        return Err(FormatError::Malformed(
+                            "unknown extension flag in sampler state",
+                        ))
+                    }
+                }
+            };
             if !cursor.is_empty() {
                 return Err(FormatError::Malformed("trailing bytes in sampler state"));
             }
-            (sampler, container.expect_chunk(ChunkTag::SINK_STATE)?)
+            (
+                sampler,
+                controller,
+                container.expect_chunk(ChunkTag::SINK_STATE)?,
+            )
         }
-        ChunkTag::SINK_STATE => (Sampler::off(), chunk.payload),
+        ChunkTag::SINK_STATE => (Sampler::off(), None, chunk.payload),
         other => {
             return Err(FormatError::UnexpectedChunk {
                 expected: ChunkTag::SINK_STATE,
@@ -520,7 +590,16 @@ fn read_checkpoint<S: SessionSink, R: Read>(
         return Err(FormatError::Malformed("trailing bytes in sink state"));
     }
     container.drain()?;
-    Ok((omc, time, untracked, probe_anomalies, events, sampler, sink))
+    Ok((
+        omc,
+        time,
+        untracked,
+        probe_anomalies,
+        events,
+        sampler,
+        controller,
+        sink,
+    ))
 }
 
 impl<S: SessionSink> ProbeSink for Session<S> {
@@ -752,6 +831,79 @@ mod tests {
             resumed.checkpoint(&mut replayed).unwrap();
             assert_eq!(replayed, reference, "cut at event {cut}");
         }
+    }
+
+    #[test]
+    fn budget_checkpoint_carries_and_restores_the_controller() {
+        let mut session = Session::from_cdc(Cdc::with_sampler(
+            Omc::new(),
+            VecOrSink::new(),
+            Sampler::periodic(2),
+        ));
+        session.feed(&churn_events(6, 4));
+        let mut controller = RateController::new(25.0, 100.0);
+        let events = RateController::CONTROL_INTERVAL;
+        controller.control(events, events * 200, 1).expect("adjust");
+
+        let mut snapshot = Vec::new();
+        session
+            .checkpoint_with(&mut snapshot, Some(&controller))
+            .unwrap();
+        let (resumed, restored) =
+            Session::<VecOrSink>::resume_with_controller(&mut snapshot.as_slice()).unwrap();
+        let restored = restored.expect("controller must survive the checkpoint");
+        assert_eq!(resumed.events(), session.events());
+        assert_eq!(restored.adjustments(), controller.adjustments());
+        assert_eq!(restored.trajectory(), controller.trajectory());
+
+        // Without a controller the chunk layout (and the whole
+        // container) is byte-identical to the plain checkpoint, and
+        // resume reports no controller.
+        let mut plain = Vec::new();
+        session.checkpoint(&mut plain).unwrap();
+        let mut with_none = Vec::new();
+        session.checkpoint_with(&mut with_none, None).unwrap();
+        assert_eq!(plain, with_none);
+        let (_, none) =
+            Session::<VecOrSink>::resume_with_controller(&mut plain.as_slice()).unwrap();
+        assert!(none.is_none(), "plain checkpoints carry no controller");
+
+        // An unknown extension flag after the sampler state is a typed
+        // error, not a panic or a silent skip.
+        let mut bent = Vec::new();
+        session.checkpoint(&mut bent).unwrap();
+        // Rewrite the SMPK chunk with a bogus extension flag appended.
+        let mut cursor = bent.as_slice();
+        let mut container = ContainerReader::new(&mut cursor).unwrap();
+        container.read_meta().unwrap();
+        let mut smpk = None;
+        while let Some(chunk) = container.next_chunk().unwrap() {
+            if chunk.tag == ChunkTag::SAMPLER_STATE {
+                smpk = Some(chunk.payload);
+            }
+        }
+        let mut extended = smpk.expect("sampled checkpoint has SMPK");
+        orp_format::write_varint(&mut extended, 7).unwrap();
+        let mut rebuilt = Vec::new();
+        {
+            let mut w = ContainerWriter::new(&mut rebuilt).unwrap();
+            w.meta(ProfileKind::Checkpoint).unwrap();
+            let mut cursor = bent.as_slice();
+            let mut container = ContainerReader::new(&mut cursor).unwrap();
+            container.read_meta().unwrap();
+            while let Some(chunk) = container.next_chunk().unwrap() {
+                if chunk.tag == ChunkTag::SAMPLER_STATE {
+                    w.chunk(chunk.tag, &extended).unwrap();
+                } else {
+                    w.chunk(chunk.tag, &chunk.payload).unwrap();
+                }
+            }
+            w.finish().unwrap();
+        }
+        assert!(matches!(
+            Session::<VecOrSink>::resume(&mut rebuilt.as_slice()),
+            Err(FormatError::Malformed(_))
+        ));
     }
 
     #[test]

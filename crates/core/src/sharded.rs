@@ -773,14 +773,28 @@ impl<S: ShardableSink> ShardedCdc<S> {
 
 /// Diverts a batch a dead worker could not accept into the salvage
 /// fallback sink, or drops it when salvage mode is off.
+///
+/// The fallback is the pipeline's last line of defense, so it gets one
+/// of its own: if the fallback sink itself panics, the translator — and
+/// with it every lane's routing totals, including the salvaged count
+/// accumulated so far — must survive to the join. The panic is caught,
+/// the fallback is retired, and later diverted batches are dropped
+/// (exactly what non-salvage mode does). `salvaged` counts only tuples
+/// the fallback actually accepted.
 fn salvage_batch<S: ShardableSink>(
     fallback: &mut Option<S>,
     stats: &mut ShardStats,
     batch: &[OrTuple],
 ) {
-    if let Some(sink) = fallback {
-        sink.tuple_batch(batch);
-        stats.salvaged += batch.len() as u64;
+    if let Some(sink) = fallback.as_mut() {
+        let fed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sink.tuple_batch(batch);
+        }));
+        if fed.is_ok() {
+            stats.salvaged += batch.len() as u64;
+        } else {
+            *fallback = None;
+        }
     }
 }
 

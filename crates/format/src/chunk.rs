@@ -42,6 +42,9 @@ impl ChunkTag {
     /// Optional: present only in checkpoints of sampled runs, so
     /// pre-sampling checkpoints stay readable.
     pub const SAMPLER_STATE: ChunkTag = ChunkTag(*b"SMPK");
+    /// A daemon-session handshake (protocol version, tenant, flags):
+    /// the first chunk on an `orpd` client stream.
+    pub const HELLO: ChunkTag = ChunkTag(*b"HELO");
     /// An embedded run report (`orp-obs` `RunReport` JSON).
     pub const METRICS: ChunkTag = ChunkTag(*b"MREP");
     /// A layout-optimization plan (`orp-opt` `LayoutPlan` transforms).
@@ -75,6 +78,7 @@ impl ChunkTag {
             ChunkTag::SAMPLER_STATE,
             "sampling front-end checkpoint (policy, per-key state)",
         ),
+        (ChunkTag::HELLO, "daemon-session handshake (tenant, flags)"),
         (ChunkTag::METRICS, "embedded run report (JSON)"),
         (
             ChunkTag::PLAN,

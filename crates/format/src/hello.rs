@@ -1,0 +1,257 @@
+//! The `HELO` handshake chunk: the first chunk on an `orpd` client
+//! stream.
+//!
+//! A daemon connection is an ordinary `.orp` container streamed over a
+//! socket: magic + version header, then a `HELO` chunk naming the
+//! tenant, then `TRCE` probe-event batches, then `END `. The handshake
+//! payload is deliberately tiny and versioned independently of the
+//! container format so the wire protocol can grow flags without
+//! touching on-disk profiles.
+
+use std::io::{self, Write};
+
+use crate::chunk::ChunkTag;
+use crate::container::{Chunk, ContainerWriter};
+use crate::error::FormatError;
+use crate::varint::{read_varint, write_varint};
+
+/// Version of the handshake payload this build speaks.
+pub const HELLO_PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on a tenant name, checked *before* the name bytes are
+/// trusted — the length field arrives from the network.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Flag bits a version-1 handshake may carry.
+const KNOWN_FLAGS: u64 = 0b11;
+
+/// A parsed `HELO` chunk: who is connecting and what they want.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Tenant identity; becomes the checkpoint file stem, so it is
+    /// restricted to `[A-Za-z0-9._-]` with an alphanumeric first byte.
+    pub tenant: String,
+    /// Ask the daemon to resume from the tenant's existing checkpoint
+    /// (the ack reports how many events are already durable).
+    pub resume: bool,
+    /// Control stream: ask the daemon to finish all sessions and exit
+    /// once this connection closes.
+    pub shutdown: bool,
+}
+
+impl Hello {
+    /// A plain data-stream handshake for `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Malformed`] when the tenant name is
+    /// empty, too long, or uses characters outside `[A-Za-z0-9._-]`.
+    pub fn new(tenant: &str) -> Result<Self, FormatError> {
+        if !Self::valid_tenant(tenant) {
+            return Err(FormatError::Malformed(
+                "tenant name must be 1..=64 chars of [A-Za-z0-9._-] starting alphanumeric",
+            ));
+        }
+        Ok(Hello {
+            tenant: tenant.to_owned(),
+            resume: false,
+            shutdown: false,
+        })
+    }
+
+    /// Whether `name` is a usable tenant identity: non-empty, at most
+    /// [`MAX_TENANT_LEN`] bytes, `[A-Za-z0-9._-]` only, and starting
+    /// with an alphanumeric (so it can never alias a dotfile or an
+    /// option-looking name).
+    #[must_use]
+    pub fn valid_tenant(name: &str) -> bool {
+        let bytes = name.as_bytes();
+        bytes.first().is_some_and(u8::is_ascii_alphanumeric)
+            && bytes.len() <= MAX_TENANT_LEN
+            && bytes
+                .iter()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+    }
+
+    /// Writes this handshake as a `HELO` chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn encode(&self, w: &mut ContainerWriter<impl Write>) -> io::Result<()> {
+        let mut payload = Vec::new();
+        write_varint(&mut payload, HELLO_PROTOCOL_VERSION)?;
+        let flags = u64::from(self.resume) | (u64::from(self.shutdown) << 1);
+        write_varint(&mut payload, flags)?;
+        write_varint(&mut payload, self.tenant.len() as u64)?;
+        payload.extend_from_slice(self.tenant.as_bytes());
+        w.chunk(ChunkTag::HELLO, &payload)
+    }
+
+    /// Parses a `HELO` chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::UnexpectedChunk`] when `chunk` is not a
+    /// `HELO` chunk, and [`FormatError::Malformed`] for an unknown
+    /// protocol version, unknown flag bits, or a hostile tenant name
+    /// (overlong, length/payload disagreement, non-UTF-8, or characters
+    /// outside the allowed set).
+    pub fn decode(chunk: &Chunk) -> Result<Self, FormatError> {
+        if chunk.tag != ChunkTag::HELLO {
+            return Err(FormatError::UnexpectedChunk {
+                expected: ChunkTag::HELLO,
+                found: chunk.tag,
+            });
+        }
+        let mut cursor = chunk.payload.as_slice();
+        let version = read_varint(&mut cursor)?;
+        if version != HELLO_PROTOCOL_VERSION {
+            return Err(FormatError::Malformed(
+                "unsupported handshake protocol version",
+            ));
+        }
+        let flags = read_varint(&mut cursor)?;
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(FormatError::Malformed("unknown handshake flag bits"));
+        }
+        let len = read_varint(&mut cursor)?;
+        // The declared length is untrusted: bound it before comparing
+        // against (or reading) the remaining payload.
+        if len > MAX_TENANT_LEN as u64 {
+            return Err(FormatError::Malformed("tenant name too long"));
+        }
+        if cursor.len() as u64 != len {
+            return Err(FormatError::Malformed(
+                "tenant length disagrees with handshake payload",
+            ));
+        }
+        let tenant = std::str::from_utf8(cursor)
+            .map_err(|_| FormatError::Malformed("tenant name is not UTF-8"))?;
+        if !Self::valid_tenant(tenant) {
+            return Err(FormatError::Malformed(
+                "tenant name must be 1..=64 chars of [A-Za-z0-9._-] starting alphanumeric",
+            ));
+        }
+        Ok(Hello {
+            tenant: tenant.to_owned(),
+            resume: flags & 0b01 != 0,
+            shutdown: flags & 0b10 != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::ContainerReader;
+
+    fn through_container(hello: &Hello) -> Chunk {
+        let mut w = ContainerWriter::new(Vec::new()).unwrap();
+        hello.encode(&mut w).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = ContainerReader::new(bytes.as_slice()).unwrap();
+        r.next_chunk().unwrap().expect("one chunk")
+    }
+
+    #[test]
+    fn handshake_roundtrips_through_a_container() {
+        for (resume, shutdown) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut hello = Hello::new("tenant-7.worker_a").unwrap();
+            hello.resume = resume;
+            hello.shutdown = shutdown;
+            let chunk = through_container(&hello);
+            assert_eq!(chunk.tag, ChunkTag::HELLO);
+            assert_eq!(Hello::decode(&chunk).unwrap(), hello);
+        }
+    }
+
+    #[test]
+    fn hostile_tenant_names_are_rejected() {
+        for bad in [
+            "",
+            ".hidden",
+            "-flag",
+            "a/b",
+            "a b",
+            "../../etc/passwd",
+            &"x".repeat(MAX_TENANT_LEN + 1),
+        ] {
+            assert!(!Hello::valid_tenant(bad), "{bad:?}");
+            assert!(Hello::new(bad).is_err(), "{bad:?}");
+        }
+        assert!(Hello::valid_tenant(&"x".repeat(MAX_TENANT_LEN)));
+    }
+
+    #[test]
+    fn truncated_or_corrupted_handshake_is_rejected_not_panicked() {
+        let hello = Hello::new("tenant").unwrap();
+        let good = through_container(&hello);
+
+        // Truncation at every payload prefix.
+        for cut in 0..good.payload.len() {
+            let chunk = Chunk {
+                tag: ChunkTag::HELLO,
+                payload: good.payload[..cut].to_vec(),
+            };
+            assert!(Hello::decode(&chunk).is_err(), "cut at {cut}");
+        }
+
+        // A corrupted length that points past the payload, and one far
+        // beyond MAX_TENANT_LEN (must fail before any allocation).
+        for bogus_len in [7u64, 1 << 40] {
+            let mut payload = Vec::new();
+            write_varint(&mut payload, HELLO_PROTOCOL_VERSION).unwrap();
+            write_varint(&mut payload, 0).unwrap();
+            write_varint(&mut payload, bogus_len).unwrap();
+            payload.extend_from_slice(b"abc");
+            let chunk = Chunk {
+                tag: ChunkTag::HELLO,
+                payload,
+            };
+            assert!(matches!(
+                Hello::decode(&chunk),
+                Err(FormatError::Malformed(_))
+            ));
+        }
+
+        // Unknown protocol version and unknown flag bits.
+        for (version, flags) in [(2u64, 0u64), (HELLO_PROTOCOL_VERSION, 0b100)] {
+            let mut payload = Vec::new();
+            write_varint(&mut payload, version).unwrap();
+            write_varint(&mut payload, flags).unwrap();
+            write_varint(&mut payload, 1).unwrap();
+            payload.push(b'a');
+            let chunk = Chunk {
+                tag: ChunkTag::HELLO,
+                payload,
+            };
+            assert!(matches!(
+                Hello::decode(&chunk),
+                Err(FormatError::Malformed(_))
+            ));
+        }
+
+        // Non-UTF-8 tenant bytes.
+        let mut payload = Vec::new();
+        write_varint(&mut payload, HELLO_PROTOCOL_VERSION).unwrap();
+        write_varint(&mut payload, 0).unwrap();
+        write_varint(&mut payload, 2).unwrap();
+        payload.extend_from_slice(&[b'a', 0xFF]);
+        let chunk = Chunk {
+            tag: ChunkTag::HELLO,
+            payload,
+        };
+        assert!(Hello::decode(&chunk).is_err());
+
+        // Wrong tag entirely.
+        let chunk = Chunk {
+            tag: ChunkTag::META,
+            payload: good.payload,
+        };
+        assert!(matches!(
+            Hello::decode(&chunk),
+            Err(FormatError::UnexpectedChunk { .. })
+        ));
+    }
+}

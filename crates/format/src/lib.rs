@@ -51,6 +51,7 @@ mod container;
 mod crc;
 pub mod durable;
 mod error;
+mod hello;
 pub mod varint;
 
 pub use chunk::{ChunkTag, ProfileKind};
@@ -64,6 +65,7 @@ pub use durable::{
     RetryRead, RetryWrite, FAULT_PLAN_ENV, INJECTED_MARKER,
 };
 pub use error::FormatError;
+pub use hello::{Hello, HELLO_PROTOCOL_VERSION, MAX_TENANT_LEN};
 pub use varint::{
     read_i64_le, read_u32_le, read_u64_le, read_varint, read_zigzag, varint_len, write_i64_le,
     write_u32_le, write_u64_le, write_varint, write_zigzag, zigzag_decode, zigzag_encode,

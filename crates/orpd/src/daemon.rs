@@ -1,0 +1,450 @@
+//! The daemon: accept loop, per-connection readers, per-tenant workers.
+//!
+//! Thread shape: one accept thread; per connection, a reader thread
+//! (the connection handler) and a worker thread joined by a bounded
+//! channel whose capacity *is* the tenant's credit window. The reader
+//! never profiles and the worker never touches the socket, so a wedged
+//! or dying worker cannot corrupt the wire protocol, and a slow wire
+//! cannot stall profiling of other tenants.
+
+use std::collections::BTreeSet;
+use std::io::{self, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use orp_core::Session;
+use orp_format::{write_varint, AtomicFile, ChunkTag, ContainerReader, FormatError, Hello};
+use orp_leap::LeapProfiler;
+use orp_obs::Stopwatch;
+use orp_trace::{decode_batch, ProbeEvent, VecSink};
+
+use crate::stats::OrpdStats;
+use crate::{DONE_CLEAN, DONE_DEGRADED, STATUS_BUSY, STATUS_OK, STATUS_SHUTDOWN};
+
+/// How a daemon instance behaves: where it listens, where tenant
+/// artifacts live, and how aggressively it checkpoints.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix-domain socket path to listen on (replaced if stale).
+    pub socket: PathBuf,
+    /// Directory for per-tenant artifacts: `<dir>/<tenant>.orp` holds
+    /// the tenant's latest checkpoint while streaming and its final
+    /// profile after a clean finish.
+    pub dir: PathBuf,
+    /// Write a durable checkpoint every this many events per tenant
+    /// (0 disables periodic checkpoints; a disconnect still persists
+    /// one).
+    pub checkpoint_events: u64,
+    /// Frames a tenant may hold in flight — the bounded channel
+    /// capacity between its reader and worker, and the credit window
+    /// granted at handshake. Bounds per-tenant daemon memory at
+    /// roughly `credit_frames x FRAME_EVENTS` decoded events.
+    pub credit_frames: usize,
+    /// Test hook: the named tenant's worker panics on its second
+    /// frame, exercising the salvage path.
+    #[doc(hidden)]
+    pub poison_tenant: Option<String>,
+}
+
+impl DaemonConfig {
+    /// A config with production defaults: checkpoint every 64Ki events,
+    /// credit window of 8 frames.
+    #[must_use]
+    pub fn new(socket: impl Into<PathBuf>, dir: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            socket: socket.into(),
+            dir: dir.into(),
+            checkpoint_events: 1 << 16,
+            credit_frames: 8,
+            poison_tenant: None,
+        }
+    }
+}
+
+/// Everything the connection threads share.
+struct Shared {
+    config: DaemonConfig,
+    stats: Arc<OrpdStats>,
+    shutdown: AtomicBool,
+    /// Tenants currently mid-stream; a second connection for the same
+    /// tenant is refused (`STATUS_BUSY`) so two writers can never race
+    /// on one profile.
+    active: Mutex<BTreeSet<String>>,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Locks a mutex, surviving poisoning — a panicking connection thread
+/// must not take the registry (and with it every future handshake)
+/// down with it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A running daemon. Dropping the handle does *not* stop the daemon;
+/// use [`Daemon::stop`] (or send a shutdown handshake) then
+/// [`Daemon::join`].
+pub struct Daemon {
+    accept: JoinHandle<io::Result<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// Binds the socket and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and artifact-directory creation failures.
+    pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
+        std::fs::create_dir_all(&config.dir)?;
+        match std::fs::remove_file(&config.socket) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let listener = UnixListener::bind(&config.socket)?;
+        let shared = Arc::new(Shared {
+            config,
+            stats: Arc::new(OrpdStats::default()),
+            shutdown: AtomicBool::new(false),
+            active: Mutex::new(BTreeSet::new()),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = std::thread::spawn({
+            let shared = Arc::clone(&shared);
+            move || accept_loop(&listener, &shared)
+        });
+        Ok(Daemon { accept, shared })
+    }
+
+    /// The daemon's lifetime totals (live; atomically updated).
+    #[must_use]
+    pub fn stats(&self) -> &OrpdStats {
+        &self.shared.stats
+    }
+
+    /// A handle to the totals that outlives [`Daemon::join`] (which
+    /// consumes the daemon).
+    #[must_use]
+    pub fn stats_handle(&self) -> Arc<OrpdStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// The socket the daemon listens on.
+    #[must_use]
+    pub fn socket(&self) -> &Path {
+        &self.shared.config.socket
+    }
+
+    /// Waits for the accept loop to exit (a shutdown handshake) and for
+    /// every connection to drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an accept-loop socket failure.
+    pub fn join(self) -> io::Result<()> {
+        let result = match self.accept.join() {
+            Ok(r) => r,
+            Err(_) => Err(io::Error::other("accept thread panicked")),
+        };
+        loop {
+            let handle = lock(&self.shared.conns).pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        result
+    }
+
+    /// Sends the daemon its own shutdown handshake, then joins.
+    ///
+    /// # Errors
+    ///
+    /// As [`Daemon::join`]; a failed shutdown connection is reported
+    /// before joining is attempted.
+    pub fn stop(self) -> io::Result<()> {
+        crate::client::shutdown_daemon(self.socket())
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        self.join()
+    }
+}
+
+fn accept_loop(listener: &UnixListener, shared: &Arc<Shared>) -> io::Result<()> {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        let handle = std::thread::spawn({
+            let shared = Arc::clone(shared);
+            move || serve_connection(stream, &shared)
+        });
+        lock(&shared.conns).push(handle);
+    }
+    Ok(())
+}
+
+fn write_ack(out: &mut UnixStream, status: u64, resumed: u64, credits: u64) -> io::Result<()> {
+    write_varint(&mut *out, status)?;
+    write_varint(&mut *out, resumed)?;
+    write_varint(&mut *out, credits)?;
+    out.flush()
+}
+
+fn serve_connection(stream: UnixStream, shared: &Arc<Shared>) {
+    let Ok(mut out) = stream.try_clone() else {
+        return;
+    };
+    let disconnected = || OrpdStats::add(&shared.stats.sessions_disconnected, 1);
+    let Ok(mut container) = ContainerReader::new(BufReader::new(stream)) else {
+        disconnected();
+        return;
+    };
+    let hello = match container.next_chunk() {
+        Ok(Some(chunk)) => match Hello::decode(&chunk) {
+            Ok(h) => h,
+            Err(_) => {
+                disconnected();
+                return;
+            }
+        },
+        Ok(None) | Err(_) => {
+            disconnected();
+            return;
+        }
+    };
+    if hello.shutdown {
+        let _ = write_ack(&mut out, STATUS_SHUTDOWN, 0, 0);
+        shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag; the extra
+        // connection is reaped unserved.
+        let _ = UnixStream::connect(&shared.config.socket);
+        return;
+    }
+    if !lock(&shared.active).insert(hello.tenant.clone()) {
+        OrpdStats::add(&shared.stats.sessions_rejected, 1);
+        let _ = write_ack(&mut out, STATUS_BUSY, 0, 0);
+        return;
+    }
+    let result = serve_tenant(&mut container, &mut out, &hello, shared);
+    lock(&shared.active).remove(&hello.tenant);
+    if result.is_err() {
+        disconnected();
+    }
+}
+
+enum WorkItem {
+    Batch(Vec<ProbeEvent>),
+    Finish,
+}
+
+struct WorkerReport {
+    degraded: bool,
+    events: u64,
+    salvaged: u64,
+}
+
+fn serve_tenant(
+    container: &mut ContainerReader<BufReader<UnixStream>>,
+    out: &mut UnixStream,
+    hello: &Hello,
+    shared: &Arc<Shared>,
+) -> Result<(), FormatError> {
+    let path = shared.config.dir.join(format!("{}.orp", hello.tenant));
+    let (session, resumed_events) = open_session(&path, hello.resume, shared);
+    write_ack(
+        out,
+        STATUS_OK,
+        resumed_events,
+        shared.config.credit_frames.max(1) as u64,
+    )?;
+    OrpdStats::add(&shared.stats.sessions_started, 1);
+
+    let (tx, rx) = sync_channel::<WorkItem>(shared.config.credit_frames.max(1));
+    let poison = shared.config.poison_tenant.as_deref() == Some(hello.tenant.as_str());
+    let worker = std::thread::spawn({
+        let shared = Arc::clone(shared);
+        let path = path.clone();
+        move || tenant_worker(session, &rx, &path, &shared, poison)
+    });
+
+    let streamed = loop {
+        match container.next_chunk() {
+            Ok(Some(chunk)) => match chunk.tag {
+                ChunkTag::TRACE => {
+                    let mut sink = VecSink::new();
+                    match decode_batch(&chunk.payload, &mut sink) {
+                        Ok(n) => {
+                            OrpdStats::add(&shared.stats.frames, 1);
+                            OrpdStats::add(&shared.stats.events, n);
+                            match tx.try_send(WorkItem::Batch(sink.into_events())) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(item)) => {
+                                    // The tenant's queue is full: this
+                                    // blocking send is the backpressure
+                                    // stall — the grant below is delayed
+                                    // until the worker catches up.
+                                    OrpdStats::add(&shared.stats.stalls, 1);
+                                    let _ = tx.send(item);
+                                }
+                                Err(TrySendError::Disconnected(_)) => {}
+                            }
+                            // No `?` past this point: an error must
+                            // break into the join path below, or the
+                            // tenant would be released while its
+                            // worker still runs (and checkpoints).
+                            if let Err(e) = write_varint(&mut *out, 1).and_then(|()| out.flush()) {
+                                break Err(FormatError::from(e));
+                            }
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+                // Anything but probe-event frames after the handshake
+                // is a protocol violation; the connection ends unclean
+                // and the tenant's durable state stays as-is.
+                other => break Err(FormatError::UnknownChunk(other)),
+            },
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
+    if streamed.is_ok() {
+        let _ = tx.send(WorkItem::Finish);
+    }
+    drop(tx);
+    let report = worker.join().unwrap_or(WorkerReport {
+        degraded: true,
+        events: 0,
+        salvaged: 0,
+    });
+    streamed.and_then(|()| {
+        let status = if report.degraded {
+            OrpdStats::add(&shared.stats.sessions_degraded, 1);
+            DONE_DEGRADED
+        } else {
+            OrpdStats::add(&shared.stats.sessions_finished, 1);
+            DONE_CLEAN
+        };
+        write_varint(&mut *out, status)?;
+        write_varint(&mut *out, report.events)?;
+        write_varint(&mut *out, report.salvaged)?;
+        out.flush()?;
+        Ok(())
+    })
+}
+
+/// Opens the tenant's session: resumed from its durable checkpoint when
+/// asked and possible, fresh otherwise. A file that is not a resumable
+/// checkpoint (missing, torn, or already a finished profile) falls back
+/// to a fresh session with zero resumed events — the client then
+/// replays from the start.
+fn open_session(path: &Path, resume: bool, shared: &Arc<Shared>) -> (Session<LeapProfiler>, u64) {
+    if resume {
+        if let Ok(file) = std::fs::File::open(path) {
+            let mut reader = BufReader::new(file);
+            if let Ok(session) = Session::<LeapProfiler>::resume(&mut reader) {
+                OrpdStats::add(&shared.stats.sessions_resumed, 1);
+                let events = session.events();
+                return (session, events);
+            }
+        }
+    }
+    (Session::new(LeapProfiler::new()), 0)
+}
+
+fn tenant_worker(
+    mut session: Session<LeapProfiler>,
+    rx: &Receiver<WorkItem>,
+    path: &Path,
+    shared: &Arc<Shared>,
+    poison: bool,
+) -> WorkerReport {
+    let mut degraded = false;
+    let mut salvaged = 0u64;
+    let mut batches = 0u64;
+    let mut last_checkpoint = session.events();
+    let mut clean = false;
+    while let Ok(item) = rx.recv() {
+        let batch = match item {
+            WorkItem::Finish => {
+                clean = true;
+                break;
+            }
+            WorkItem::Batch(b) => b,
+        };
+        if degraded {
+            // Keep draining so the tenant's stream terminates; the
+            // events are counted, not profiled.
+            salvaged += batch.len() as u64;
+            OrpdStats::add(&shared.stats.salvaged_events, batch.len() as u64);
+        } else {
+            batches += 1;
+            let fed = catch_unwind(AssertUnwindSafe(|| {
+                assert!(
+                    !(poison && batches > 1),
+                    "injected tenant worker fault (poison_tenant)"
+                );
+                session.feed(&batch);
+            }));
+            if fed.is_err() {
+                degraded = true;
+                salvaged += batch.len() as u64;
+                OrpdStats::add(&shared.stats.salvaged_events, batch.len() as u64);
+            } else if shared.config.checkpoint_events > 0
+                && session.events() - last_checkpoint >= shared.config.checkpoint_events
+            {
+                last_checkpoint = session.events();
+                checkpoint_tenant(&mut session, path, shared);
+            }
+        }
+    }
+    let events = session.events();
+    if degraded {
+        // The in-memory profile is suspect; the tenant's last durable
+        // checkpoint stays untouched as its artifact.
+    } else if clean {
+        let _ = finalize_tenant(session, path);
+        return WorkerReport {
+            degraded,
+            events,
+            salvaged,
+        };
+    } else if events > 0 {
+        // Disconnect: persist progress so a reconnect can resume. A
+        // zero-event session skips this — it must not clobber whatever
+        // artifact an earlier incarnation of the tenant left behind.
+        checkpoint_tenant(&mut session, path, shared);
+    }
+    WorkerReport {
+        degraded,
+        events,
+        salvaged,
+    }
+}
+
+fn checkpoint_tenant(session: &mut Session<LeapProfiler>, path: &Path, shared: &Arc<Shared>) {
+    let clock = Stopwatch::start();
+    let wrote = (|| -> io::Result<()> {
+        let mut af = AtomicFile::create(path)?;
+        session.checkpoint(&mut af)?;
+        af.commit()
+    })();
+    if wrote.is_ok() {
+        OrpdStats::add(&shared.stats.checkpoints, 1);
+        OrpdStats::add(&shared.stats.checkpoint_nanos, clock.elapsed_nanos());
+    }
+}
+
+fn finalize_tenant(session: Session<LeapProfiler>, path: &Path) -> io::Result<()> {
+    let mut af = AtomicFile::create(path)?;
+    session.finalize(&mut af)?;
+    af.commit()
+}

@@ -1,0 +1,74 @@
+//! Daemon-wide counters, shared across connection and worker threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use orp_obs::Recorder;
+
+/// Totals the daemon accumulates over its lifetime. All fields are
+/// plain atomics bumped from connection threads; [`OrpdStats::record_metrics`]
+/// publishes them through the standard [`Recorder`] vocabulary so a
+/// `serve` run's report carries the same schema as every other command.
+#[derive(Debug, Default)]
+pub struct OrpdStats {
+    /// Handshakes accepted into a live session.
+    pub sessions_started: AtomicU64,
+    /// Sessions that reached a clean `END ` and were finalized.
+    pub sessions_finished: AtomicU64,
+    /// Sessions whose worker died; their stream kept draining.
+    pub sessions_degraded: AtomicU64,
+    /// Handshakes refused (tenant already streaming).
+    pub sessions_rejected: AtomicU64,
+    /// Sessions restored from a durable checkpoint at handshake.
+    pub sessions_resumed: AtomicU64,
+    /// Sessions that vanished mid-stream (socket error or truncation).
+    pub sessions_disconnected: AtomicU64,
+    /// Probe-event frames ingested.
+    pub frames: AtomicU64,
+    /// Probe events decoded out of those frames.
+    pub events: AtomicU64,
+    /// Frames that found the tenant's queue full — each one is a
+    /// backpressure stall that blocked the reader until the worker
+    /// caught up.
+    pub stalls: AtomicU64,
+    /// Durable checkpoints written.
+    pub checkpoints: AtomicU64,
+    /// Wall-clock nanoseconds spent writing those checkpoints.
+    pub checkpoint_nanos: AtomicU64,
+    /// Events accepted on behalf of a dead worker: counted and drained
+    /// so the tenant's stream finishes, but not profiled.
+    pub salvaged_events: AtomicU64,
+}
+
+impl OrpdStats {
+    /// Adds `delta` to one counter.
+    pub fn add(counter: &AtomicU64, delta: u64) {
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// One counter's current value.
+    #[must_use]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Publishes every total onto `rec`.
+    pub fn record_metrics(&self, rec: &mut dyn Recorder) {
+        rec.counter("orpd.sessions.started", Self::get(&self.sessions_started));
+        rec.counter("orpd.sessions.finished", Self::get(&self.sessions_finished));
+        rec.counter("orpd.sessions.degraded", Self::get(&self.sessions_degraded));
+        rec.counter("orpd.sessions.rejected", Self::get(&self.sessions_rejected));
+        rec.counter("orpd.sessions.resumed", Self::get(&self.sessions_resumed));
+        rec.counter(
+            "orpd.sessions.disconnected",
+            Self::get(&self.sessions_disconnected),
+        );
+        rec.counter("orpd.frames", Self::get(&self.frames));
+        rec.counter("orpd.events", Self::get(&self.events));
+        rec.counter("orpd.stalls", Self::get(&self.stalls));
+        rec.counter("orpd.checkpoints", Self::get(&self.checkpoints));
+        rec.counter("orpd.salvaged_events", Self::get(&self.salvaged_events));
+        if Self::get(&self.checkpoints) > 0 {
+            rec.span("orpd.checkpoint", Self::get(&self.checkpoint_nanos));
+        }
+    }
+}

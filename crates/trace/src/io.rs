@@ -154,29 +154,15 @@ impl<W: Write> TraceWriter<W> {
 
 impl<W: Write> ProbeSink for TraceWriter<W> {
     fn access(&mut self, ev: AccessEvent) {
-        self.record(|b| {
-            b.push(TAG_ACCESS);
-            write_u32_le(b, ev.instr.0)?;
-            b.push(u8::from(ev.kind.is_store()));
-            b.push(ev.size);
-            write_u64_le(b, ev.addr.0)
-        });
+        self.record(|b| encode_record(b, &ProbeEvent::Access(ev)));
     }
 
     fn alloc(&mut self, ev: AllocEvent) {
-        self.record(|b| {
-            b.push(TAG_ALLOC);
-            write_u32_le(b, ev.site.0)?;
-            write_u64_le(b, ev.base.0)?;
-            write_u64_le(b, ev.size)
-        });
+        self.record(|b| encode_record(b, &ProbeEvent::Alloc(ev)));
     }
 
     fn free(&mut self, ev: FreeEvent) {
-        self.record(|b| {
-            b.push(TAG_FREE);
-            write_u64_le(b, ev.base.0)
-        });
+        self.record(|b| encode_record(b, &ProbeEvent::Free(ev)));
     }
 
     fn finish(&mut self) {
@@ -189,7 +175,53 @@ impl<W: Write> ProbeSink for TraceWriter<W> {
     }
 }
 
-fn decode_batch(payload: &[u8], sink: &mut dyn ProbeSink) -> Result<u64, FormatError> {
+/// Encodes one fixed-width trace record.
+fn encode_record(b: &mut Vec<u8>, ev: &ProbeEvent) -> io::Result<()> {
+    match *ev {
+        ProbeEvent::Access(ev) => {
+            b.push(TAG_ACCESS);
+            write_u32_le(b, ev.instr.0)?;
+            b.push(u8::from(ev.kind.is_store()));
+            b.push(ev.size);
+            write_u64_le(b, ev.addr.0)
+        }
+        ProbeEvent::Alloc(ev) => {
+            b.push(TAG_ALLOC);
+            write_u32_le(b, ev.site.0)?;
+            write_u64_le(b, ev.base.0)?;
+            write_u64_le(b, ev.size)
+        }
+        ProbeEvent::Free(ev) => {
+            b.push(TAG_FREE);
+            write_u64_le(b, ev.base.0)
+        }
+    }
+}
+
+/// Encodes a batch of probe events as one `TRCE` chunk payload —
+/// the same record format [`TraceWriter`] emits, exposed so streaming
+/// transports (the `orpd` wire protocol) can frame event batches
+/// without owning a whole container.
+///
+/// # Errors
+///
+/// Propagates writer errors (none in practice for an in-memory buffer).
+pub fn encode_batch(events: &[ProbeEvent]) -> io::Result<Vec<u8>> {
+    let mut payload = Vec::new();
+    write_varint(&mut payload, events.len() as u64)?;
+    for ev in events {
+        encode_record(&mut payload, ev)?;
+    }
+    Ok(payload)
+}
+
+/// Decodes one `TRCE` chunk payload into `sink`, returning the record
+/// count. Inverse of [`encode_batch`]; [`replay`] uses it per chunk.
+///
+/// # Errors
+///
+/// Typed [`FormatError`]s for malformed or trailing bytes.
+pub fn decode_batch(payload: &[u8], sink: &mut dyn ProbeSink) -> Result<u64, FormatError> {
     let mut r = payload;
     let count = read_varint(&mut r)?;
     for _ in 0..count {

@@ -50,13 +50,14 @@ use orprof::core::{
     ShardableSink, ShardedCdc,
 };
 use orprof::format::{
-    read_varint, AtomicFile, ChunkTag, ContainerReader, FailingRead, FaultPlan, IoStats,
+    read_varint, AtomicFile, ChunkTag, ContainerReader, FailingRead, FaultPlan, Hello, IoStats,
     ProfileKind, RetryRead, RetryWrite,
 };
 use orprof::leap::strides::{stride_stats, STRONG_STRIDE_THRESHOLD};
 use orprof::leap::{mdf, LeapProfile, LeapProfiler};
 use orprof::obs::{Recorder, RunReport, ShardCount, StatsRecorder, Stopwatch};
 use orprof::opt::{AdvisorSet, LayoutPlan};
+use orprof::orpd::{Daemon, DaemonConfig, OrpdStats};
 use orprof::phase::PhaseDetector;
 use orprof::sequitur::Grammar;
 use orprof::trace::{AccessEvent, AllocEvent, CountingSink, FreeEvent, ProbeSink};
@@ -71,12 +72,14 @@ fn usage() -> &'static str {
      --profiler <whomp|rasg|leap|hybrid> [--out <file>] [--scale <n>] \
      [--allocator <bump|free-list|buddy|randomizing>] [--seed <n>] [--shards <n>] [--salvage] \
      [--grammar-workers <n>] [--resume <checkpoint.orp>] [--checkpoint <file>] \
-     [--sample rate=<n>|budget=<p>%] \
+     [--sample rate=<n>|budget=<p>%|reservoir=<k>] \
      [--stats] [--metrics-out <file.json>] [--embed-report] [--fault-plan <spec>]\n  \
      orprof-cli record --workload <name> --out <file> [--scale <n>] [--allocator ..] [--seed <n>] \
      [--stats] [--metrics-out <file.json>] [--fault-plan <spec>]\n  \
      orprof-cli optimize (--workload <name> | --from-trace <file>) [--scale <n>] \
      [--allocator ..] [--seed <n>] [--plan-out <file>] [--top <n>] \
+     [--stats] [--metrics-out <file.json>] [--fault-plan <spec>]\n  \
+     orprof-cli serve --socket <path> --dir <path> [--checkpoint-events <n>] [--credits <n>] \
      [--stats] [--metrics-out <file.json>] [--fault-plan <spec>]\n  \
      orprof-cli inspect <file>\n  orprof-cli report <file>\n\n\
      fault plans (also via ORP_FAULT_PLAN): io-error@n=K, short-write@n=K, \
@@ -106,6 +109,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("optimize") => cmd_optimize(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         _ => {
@@ -194,6 +198,19 @@ const OPTIMIZE_FLAGS: FlagSpec = FlagSpec {
         "--seed",
         "--plan-out",
         "--top",
+        "--metrics-out",
+        "--fault-plan",
+    ],
+    switches: &["--stats"],
+    positionals: 0,
+};
+
+const SERVE_FLAGS: FlagSpec = FlagSpec {
+    values: &[
+        "--socket",
+        "--dir",
+        "--checkpoint-events",
+        "--credits",
         "--metrics-out",
         "--fault-plan",
     ],
@@ -406,6 +423,9 @@ enum SampleSpec {
     /// `budget=P%` — start lossless, back the rate off until profiling
     /// overhead fits within P percent of native run time.
     Budget(f64),
+    /// `reservoir=K` — keep a uniform K-sample reservoir per
+    /// (instruction, group) key, weighted back up on read.
+    Reservoir(u64),
 }
 
 fn parse_sample(parsed: &Parsed) -> Result<Option<SampleSpec>, String> {
@@ -430,8 +450,15 @@ fn parse_sample(parsed: &Parsed) -> Result<Option<SampleSpec>, String> {
         }
         return Ok(Some(SampleSpec::Budget(pct)));
     }
+    if let Some(k) = spec.strip_prefix("reservoir=") {
+        let capacity: u64 = k.parse().map_err(|_| "bad --sample reservoir")?;
+        if capacity == 0 {
+            return Err("--sample reservoir must be at least 1".to_owned());
+        }
+        return Ok(Some(SampleSpec::Reservoir(capacity)));
+    }
     Err(format!(
-        "--sample expects rate=<n> or budget=<p>%, got {spec}"
+        "--sample expects rate=<n>, budget=<p>%, or reservoir=<k>, got {spec}"
     ))
 }
 
@@ -442,6 +469,7 @@ fn sampler_for(sample: Option<SampleSpec>) -> Sampler {
         None => Sampler::off(),
         Some(SampleSpec::Rate(rate)) => Sampler::periodic(rate),
         Some(SampleSpec::Budget(_)) => Sampler::periodic(1),
+        Some(SampleSpec::Reservoir(capacity)) => Sampler::reservoir(capacity),
     }
 }
 
@@ -540,7 +568,29 @@ fn run_budgeted<S: SessionSink>(
         controller.last_overhead() * 100.0,
         controller.adjustments()
     );
+    write_checkpoint(parsed, ctx, &mut session, Some(&controller))?;
     Ok((session, outcome, controller))
+}
+
+/// Honors `--checkpoint`: the session (and, for budget runs, the
+/// controller's calibration) lands durably via the atomic-rename path —
+/// a crash mid-write leaves the predecessor checkpoint intact.
+fn write_checkpoint<S: SessionSink>(
+    parsed: &Parsed,
+    ctx: &mut IoCtx,
+    session: &mut Session<S>,
+    controller: Option<&RateController>,
+) -> Result<(), String> {
+    let Some(path) = parsed.value("--checkpoint") else {
+        return Ok(());
+    };
+    let mut w = ctx.create_writer(path)?;
+    session
+        .checkpoint_with(&mut w, controller)
+        .map_err(|e| format!("checkpoint {path}: {e}"))?;
+    ctx.commit_writer(w, path)?;
+    println!("checkpoint written to {path}");
+    Ok(())
 }
 
 /// Feeds probe events into `sink`, either live from a workload run or
@@ -625,7 +675,8 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
 /// budget spec routes through [`run_budgeted`] (its controller comes
 /// back for metrics); a rate spec opens the session sampled. On resume
 /// the checkpoint's own sampler state governs (`--sample` + `--resume`
-/// is rejected before this runs).
+/// is rejected before this runs), and a budget checkpoint also restores
+/// its controller so the resumed run keeps holding the budget.
 fn run_session<S: SessionSink>(
     parsed: &Parsed,
     ctx: &mut IoCtx,
@@ -636,30 +687,49 @@ fn run_session<S: SessionSink>(
         let (session, outcome, controller) = run_budgeted(parsed, ctx, pct, fresh)?;
         return Ok((session, outcome, Some(controller)));
     }
-    let mut session = match parsed.value("--resume") {
+    let (mut session, restored) = match parsed.value("--resume") {
         Some(path) => {
             let mut reader = ctx.open_reader(path)?;
-            let session =
-                Session::<S>::resume(&mut reader).map_err(|e| format!("resume {path}: {e}"))?;
+            let pair = Session::<S>::resume_with_controller(&mut reader)
+                .map_err(|e| format!("resume {path}: {e}"))?;
             ctx.harvest_reader(&reader);
             println!("resumed from checkpoint {path}");
-            session
+            pair
         }
-        None => Session::from_cdc(Cdc::with_sampler(Omc::new(), fresh(), sampler_for(sample))),
+        None => (
+            Session::from_cdc(Cdc::with_sampler(Omc::new(), fresh(), sampler_for(sample))),
+            None,
+        ),
     };
-    let outcome = drive(parsed, ctx, &mut session)?;
-    if let Some(path) = parsed.value("--checkpoint") {
-        // The checkpoint replaces its predecessor only at commit: a
-        // crash mid-write leaves the old checkpoint intact and
-        // resumable — the existing state is never truncated first.
-        let mut w = ctx.create_writer(path)?;
-        session
-            .checkpoint(&mut w)
-            .map_err(|e| format!("checkpoint {path}: {e}"))?;
-        ctx.commit_writer(w, path)?;
-        println!("checkpoint written to {path}");
-    }
-    Ok((session, outcome, None))
+    let (outcome, controller) = match restored {
+        Some(mut controller) => {
+            // A budget checkpoint: keep closing the control loop against
+            // the persisted calibration. Overhead is measured per
+            // process — fresh clock, fresh event count — so the
+            // controller's `events x baseline` math stays consistent,
+            // and the first control step is deferred one full interval.
+            controller.rebase(0);
+            let clock = Stopwatch::start();
+            let mut probe = BudgetedProbe {
+                session: &mut session,
+                controller: &mut controller,
+                clock: &clock,
+                events: 0,
+            };
+            let outcome = drive(parsed, ctx, &mut probe)?;
+            let rate = session.cdc().sampler().current_rate();
+            println!(
+                "sample budget resumed at rate {rate} \
+                 ({:.1}% measured overhead, {} adjustments)",
+                controller.last_overhead() * 100.0,
+                controller.adjustments()
+            );
+            (outcome, Some(controller))
+        }
+        None => (drive(parsed, ctx, &mut session)?, None),
+    };
+    write_checkpoint(parsed, ctx, &mut session, controller.as_ref())?;
+    Ok((session, outcome, controller))
 }
 
 /// Runs a shardable profiler on the parallel collection pipeline. With
@@ -824,6 +894,53 @@ fn emit_report(parsed: &Parsed, ctx: &mut IoCtx, report: &RunReport) -> Result<(
     Ok(())
 }
 
+/// `orprof-cli serve`: runs the multi-tenant profiling daemon until a
+/// shutdown handshake arrives, then reports its lifetime totals through
+/// the standard run-report vocabulary.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let parsed = parse_flags(args, &SERVE_FLAGS)?;
+    let clock = Stopwatch::start();
+    let mut ctx = IoCtx::from_flags(&parsed)?;
+    let socket = parsed
+        .value("--socket")
+        .ok_or("missing --socket")?
+        .to_owned();
+    let dir = parsed.value("--dir").ok_or("missing --dir")?.to_owned();
+    let mut config = DaemonConfig::new(&socket, &dir);
+    if let Some(n) = parsed.value("--checkpoint-events") {
+        config.checkpoint_events = n.parse().map_err(|_| "bad --checkpoint-events")?;
+    }
+    if let Some(n) = parsed.value("--credits") {
+        let credits: usize = n.parse().map_err(|_| "bad --credits")?;
+        if credits == 0 {
+            return Err("--credits must be at least 1".to_owned());
+        }
+        config.credit_frames = credits;
+    }
+    let daemon = Daemon::start(config).map_err(|e| format!("serve on {socket}: {e}"))?;
+    println!("orpd listening on {socket}, tenant artifacts in {dir}");
+    let stats = daemon.stats_handle();
+    daemon.join().map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "orpd drained: {} sessions ({} finished, {} degraded, {} disconnected), {} events",
+        OrpdStats::get(&stats.sessions_started),
+        OrpdStats::get(&stats.sessions_finished),
+        OrpdStats::get(&stats.sessions_degraded),
+        OrpdStats::get(&stats.sessions_disconnected),
+        OrpdStats::get(&stats.events),
+    );
+
+    let mut rec = StatsRecorder::default();
+    stats.record_metrics(&mut rec);
+    rec.counter("io.retries", ctx.retries);
+    let mut report = RunReport::new("serve");
+    report.shards = 1;
+    report.events = OrpdStats::get(&stats.events);
+    report.wall_nanos = clock.elapsed_nanos();
+    report.absorb(&rec);
+    emit_report(&parsed, &mut ctx, &report)
+}
+
 fn derive_ratios(report: &mut RunReport) {
     let hits = report.counters.get("omc.memo_hits").copied().unwrap_or(0);
     let misses = report.counters.get("omc.memo_misses").copied().unwrap_or(0);
@@ -896,11 +1013,6 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         if grammar_workers > 0 {
             return Err("--sample budget= requires inline grammar construction \
                         (omit --grammar-workers, or use rate=)"
-                .to_owned());
-        }
-        if parsed.value("--checkpoint").is_some() {
-            return Err("--sample budget= cannot checkpoint: the controller's \
-                        calibration is not resumable (use rate=)"
                 .to_owned());
         }
     }
@@ -1249,6 +1361,24 @@ fn print_container(path: &str) -> Result<ProfileKind, String> {
                     println!("       sampling {policy}: kept {kept} of {considered} considered");
                 }
             }
+            ChunkTag::HELLO => match Hello::decode(&chunk) {
+                Ok(hello) => {
+                    let mut notes = Vec::new();
+                    if hello.resume {
+                        notes.push("resume");
+                    }
+                    if hello.shutdown {
+                        notes.push("shutdown");
+                    }
+                    let notes = if notes.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" ({})", notes.join(", "))
+                    };
+                    println!("       tenant {}{notes}", hello.tenant);
+                }
+                Err(e) => println!("       (malformed handshake: {e})"),
+            },
             ChunkTag::SINK_STATE => {
                 if let Ok(len) = read_varint(&mut cursor) {
                     let len = usize::try_from(len).unwrap_or(0);

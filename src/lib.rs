@@ -22,6 +22,7 @@ pub use orp_leap as leap;
 pub use orp_lmad as lmad;
 pub use orp_obs as obs;
 pub use orp_opt as opt;
+pub use orp_orpd as orpd;
 pub use orp_phase as phase;
 pub use orp_report as report;
 pub use orp_sequitur as sequitur;

@@ -744,11 +744,120 @@ fn budget_mode_reports_controller_metrics() {
     let _ = std::fs::remove_file(json);
 }
 
+/// Regression (issue 10): `SamplingPolicy::Reservoir` existed in the
+/// library but no CLI flag reached it — `--sample reservoir=<k>` must
+/// open a reservoir-sampled session whose checkpoint inspects as one.
+#[test]
+fn reservoir_sampling_is_reachable_from_the_cli() {
+    let ckpt = tmp("reservoir.orp");
+    let json = tmp("reservoir.json");
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.matrix",
+            "--profiler",
+            "leap",
+            "--sample",
+            "reservoir=8",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--metrics-out",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&json).unwrap();
+    for key in ["sample.kept", "sample.dropped", "sample.scaled_accesses"] {
+        assert!(doc.contains(key), "missing {key} in:\n{doc}");
+    }
+
+    let out = cli()
+        .args(["inspect", ckpt.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("reservoir capacity 8"), "{text}");
+    for p in [ckpt, json] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Regression (issue 10): budget runs used to reject `--checkpoint`
+/// because the controller's calibration wasn't serializable. Now the
+/// checkpoint carries the controller and a plain `--resume` keeps
+/// holding the budget.
+#[test]
+fn budget_checkpoint_resumes_with_its_controller() {
+    let ckpt = tmp("budget-resume.orp");
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.matrix",
+            "--profiler",
+            "leap",
+            "--sample",
+            "budget=50%",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let json = tmp("budget-resume.json");
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "micro.matrix",
+            "--profiler",
+            "leap",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--metrics-out",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("sample budget resumed at rate"), "{text}");
+    let doc = std::fs::read_to_string(&json).unwrap();
+    for key in ["sample.adjustments", "sample.overhead"] {
+        assert!(doc.contains(key), "missing {key} in:\n{doc}");
+    }
+    for p in [ckpt, json] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 #[test]
 fn sample_flag_rejects_incoherent_combinations() {
     for args in [
         ["--profiler", "leap", "--sample", "rate=0"].as_slice(),
         &["--profiler", "leap", "--sample", "sideways"],
+        &["--profiler", "leap", "--sample", "reservoir=0"],
+        &["--profiler", "rasg", "--sample", "reservoir=8"],
         &["--profiler", "rasg", "--sample", "rate=4"],
         &[
             "--profiler",
@@ -776,4 +885,95 @@ fn sample_flag_rejects_incoherent_combinations() {
         let err = String::from_utf8_lossy(&out.stderr);
         assert!(err.contains("error:"), "{err}");
     }
+}
+
+#[test]
+fn serve_streams_a_tenant_and_reports_orpd_metrics() {
+    use orprof::format::Hello;
+    use orprof::orpd::{shutdown_daemon, TenantClient, DONE_CLEAN};
+    use orprof::trace::VecSink;
+    use orprof::workloads::{micro, RunConfig, Workload};
+
+    let dir = tmp("serve");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("orpd.sock");
+    let json = dir.join("serve.json");
+
+    let child = cli()
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--dir",
+            dir.to_str().unwrap(),
+            "--stats",
+            "--metrics-out",
+            json.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    for _ in 0..500 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(socket.exists(), "daemon socket never appeared");
+
+    // Stream one tenant through the daemon, then the inline oracle.
+    let mut sink = VecSink::new();
+    micro::Matrix::new(48, 4).run_with(&RunConfig::default(), &mut sink);
+    let events = sink.into_events();
+    let hello = Hello::new("cli-tenant").expect("tenant name");
+    let mut client = TenantClient::connect(&socket, &hello).expect("connect");
+    for &ev in &events {
+        client.event(ev).expect("event");
+    }
+    let done = client.finish().expect("finish");
+    assert_eq!(done.status, DONE_CLEAN);
+    assert_eq!(done.events, events.len() as u64);
+
+    shutdown_daemon(&socket).expect("shutdown handshake");
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("orpd listening"), "{text}");
+    assert!(
+        text.contains("orpd drained: 1 sessions (1 finished"),
+        "{text}"
+    );
+    // --stats renders the human table on stderr.
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("run report: serve"), "{err}");
+    assert!(err.contains("orpd.sessions.finished"), "{err}");
+
+    // The served artifact is byte-identical to the inline session path.
+    let mut session = orprof::core::Session::new(orprof::leap::LeapProfiler::new());
+    session.feed(&events);
+    let mut expected = Vec::new();
+    session.finalize(&mut expected).expect("inline finalize");
+    let served = std::fs::read(dir.join("cli-tenant.orp")).expect("artifact");
+    assert_eq!(served, expected, "served profile differs from inline path");
+
+    // The JSON report carries the serve command and orpd.* vocabulary.
+    let doc = std::fs::read_to_string(&json).unwrap();
+    for needle in [
+        "\"schema_version\": 1",
+        "\"command\": \"serve\"",
+        "\"orpd.sessions.started\"",
+        "\"orpd.sessions.finished\"",
+        "\"orpd.frames\"",
+        "\"orpd.events\"",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -406,6 +406,161 @@ fn transient_read_faults_do_not_change_a_replayed_profile() {
     cleanup(&trace);
 }
 
+/// SIGKILLing the daemon mid-checkpoint must leave every tenant's
+/// `.orp` old-or-new and inspectable — the same contract the fault
+/// sweeps above enforce for the inline CLI, now across many concurrent
+/// sessions with a real (not simulated) kill.
+#[test]
+fn sigkilled_daemon_leaves_every_tenant_artifact_old_or_new() {
+    use orprof::format::Hello;
+    use orprof::orpd::TenantClient;
+    use orprof::trace::ProbeEvent;
+    use orprof::workloads::{micro, RunConfig, Workload};
+
+    const TENANTS: usize = 6;
+
+    let dir = tmp("orpd");
+    let _ = std::fs::remove_dir_all(&dir);
+    let socket = dir.join("orpd.sock");
+    let spawn_daemon = || {
+        cli()
+            .args([
+                "serve",
+                "--socket",
+                socket.to_str().unwrap(),
+                "--dir",
+                dir.to_str().unwrap(),
+                // Tiny interval: checkpoints overwrite each tenant's
+                // artifact constantly, so the kill lands mid-cycle.
+                "--checkpoint-events",
+                "128",
+            ])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn orprof-cli serve")
+    };
+    let wait_for_socket = |sock: &Path| {
+        for _ in 0..500 {
+            if sock.exists() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("daemon socket never appeared");
+    };
+    fn events_of<W: Workload>(w: &W) -> Vec<ProbeEvent> {
+        let mut sink = orprof::trace::VecSink::new();
+        w.run_with(&RunConfig::default(), &mut sink);
+        sink.into_events()
+    }
+    let tenant = |t: usize| format!("tenant-{t}");
+
+    // Phase 1: every tenant completes a clean session, so each has a
+    // durable "old" artifact worth preserving.
+    let mut child = spawn_daemon();
+    wait_for_socket(&socket);
+    let old_events = events_of(&micro::Btree::new(128, 400));
+    for t in 0..TENANTS {
+        let hello = Hello::new(&tenant(t)).unwrap();
+        let mut client = TenantClient::connect(&socket, &hello).expect("phase-1 connect");
+        for &ev in &old_events {
+            client.event(ev).expect("phase-1 event");
+        }
+        client.finish().expect("phase-1 finish");
+    }
+    let old: Vec<Vec<u8>> = (0..TENANTS)
+        .map(|t| std::fs::read(dir.join(format!("{}.orp", tenant(t)))).expect("old artifact"))
+        .collect();
+
+    // Phase 2, twice with different kill delays: all tenants stream a
+    // different workload while the daemon is SIGKILLed under them.
+    let new_events: Vec<ProbeEvent> = {
+        let one = events_of(&micro::Matrix::new(48, 6));
+        let mut all = Vec::new();
+        for _ in 0..10 {
+            all.extend_from_slice(&one);
+        }
+        all
+    };
+    for kill_after_ms in [10u64, 40] {
+        let workers: Vec<_> = (0..TENANTS)
+            .map(|t| {
+                let socket = socket.clone();
+                let events = new_events.clone();
+                let name = tenant(t);
+                std::thread::spawn(move || {
+                    // Every error here is expected — the daemon dies
+                    // under the stream; the invariant lives on disk.
+                    let Ok(hello) = Hello::new(&name) else { return };
+                    let Ok(mut client) = TenantClient::connect(&socket, &hello) else {
+                        return;
+                    };
+                    for chunk in events.chunks(96) {
+                        for &ev in chunk {
+                            if client.event(ev).is_err() {
+                                return;
+                            }
+                        }
+                        if client.flush_frame().is_err() {
+                            return;
+                        }
+                    }
+                    let _ = client.finish();
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(kill_after_ms));
+        child.kill().expect("SIGKILL daemon");
+        let _ = child.wait();
+        for w in workers {
+            let _ = w.join();
+        }
+
+        for (t, old_bytes) in old.iter().enumerate() {
+            let path = dir.join(format!("{}.orp", tenant(t)));
+            let now = std::fs::read(&path).expect("artifact survives the kill");
+            // Old-or-new: either the phase-1 profile is untouched, or a
+            // whole checkpoint replaced it. Never a torn mix — and
+            // either way the container walks cleanly.
+            if now != *old_bytes {
+                assert!(
+                    !now.is_empty(),
+                    "kill@{kill_after_ms}ms truncated {}",
+                    path.display()
+                );
+            }
+            assert_inspects(&path);
+        }
+
+        // A restarted daemon accepts every tenant again — a resume
+        // handshake succeeds whether the survivor is a resumable
+        // checkpoint or a finished profile (then served fresh). The
+        // kill leaves a stale socket file behind, so connects are
+        // retried until the new daemon has re-bound it.
+        child = spawn_daemon();
+        wait_for_socket(&socket);
+        for t in 0..TENANTS {
+            let mut hello = Hello::new(&tenant(t)).unwrap();
+            hello.resume = true;
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            let client = loop {
+                match TenantClient::connect(&socket, &hello) {
+                    Ok(c) => break c,
+                    Err(e) if std::time::Instant::now() >= deadline => {
+                        panic!("post-kill resume for {}: {e}", tenant(t))
+                    }
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+                }
+            };
+            drop(client);
+        }
+    }
+    child.kill().expect("final kill");
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn fault_plan_env_var_is_honored_and_validated() {
     let dest = tmp("env.orp");

@@ -138,6 +138,92 @@ fn sampled_checkpoint_resume_is_byte_identical_to_a_straight_run() {
     }
 }
 
+/// Regression (issue 10): the budget controller's calibration now rides
+/// in the checkpoint (an extension of the sampler-state chunk), so a
+/// budget run cut at a checkpoint and resumed makes the same rate
+/// decisions — and admits the same accesses — as a straight-through
+/// run, given the same deterministic control inputs.
+#[test]
+fn budget_checkpoint_resume_is_byte_identical_to_a_straight_run() {
+    use orprof::core::RateController;
+
+    let events = recorded_events(&micro::HashChurn::new(96, 4));
+    assert!(events.len() > 64, "workload too small to cut");
+
+    // Deterministic stand-in for wall-clock: profiling pretends to run
+    // at 3x native, so every control step is over budget and keeps
+    // backing the rate off.
+    const BASELINE: f64 = 100.0;
+    const STEP: usize = 32;
+    let elapsed = |fed: u64| fed * 300;
+
+    let budget_session = || {
+        Session::from_cdc(Cdc::with_sampler(
+            Omc::new(),
+            LeapProfiler::new(),
+            Sampler::periodic(1),
+        ))
+    };
+    // Feeds events[range] while running a control step at every
+    // absolute STEP boundary, exactly as a budgeted run would.
+    let drive = |session: &mut Session<LeapProfiler>,
+                 controller: &mut RateController,
+                 range: std::ops::Range<usize>| {
+        for i in range {
+            match events[i] {
+                ProbeEvent::Access(e) => session.access(e),
+                ProbeEvent::Alloc(e) => session.alloc(e),
+                ProbeEvent::Free(e) => session.free(e),
+            }
+            let fed = (i + 1) as u64;
+            if (i + 1) % STEP == 0 {
+                let current = session.cdc().sampler().current_rate();
+                if let Some(rate) = controller.control(fed, elapsed(fed), current) {
+                    session.cdc_mut().sampler_mut().set_rate(rate);
+                }
+            }
+        }
+    };
+
+    let mut straight = budget_session();
+    let mut straight_ctrl = RateController::new(10.0, BASELINE);
+    drive(&mut straight, &mut straight_ctrl, 0..events.len());
+    straight.finish();
+    assert!(
+        straight_ctrl.adjustments() > 0,
+        "the synthetic overhead must force rate adjustments"
+    );
+    let reference = leap_bytes(straight.into_cdc());
+
+    for cut in [STEP - 1, STEP, events.len() / 3, events.len() / 2] {
+        let mut first = budget_session();
+        let mut ctrl = RateController::new(10.0, BASELINE);
+        drive(&mut first, &mut ctrl, 0..cut);
+        let mut checkpoint = Vec::new();
+        first
+            .checkpoint_with(&mut checkpoint, Some(&ctrl))
+            .expect("checkpoint");
+
+        let (mut resumed, restored) =
+            Session::<LeapProfiler>::resume_with_controller(&mut checkpoint.as_slice())
+                .expect("resume");
+        let mut restored = restored.expect("checkpoint must carry the controller");
+        drive(&mut resumed, &mut restored, cut..events.len());
+        resumed.finish();
+        assert_eq!(
+            restored.adjustments(),
+            straight_ctrl.adjustments(),
+            "resume at event {cut} lost controller history"
+        );
+        assert_eq!(restored.trajectory(), straight_ctrl.trajectory());
+        assert_eq!(
+            leap_bytes(resumed.into_cdc()),
+            reference,
+            "budget resume at event {cut} diverged from the straight-through run"
+        );
+    }
+}
+
 #[test]
 fn reservoir_sampling_is_deterministic_across_paths() {
     let events = recorded_events(&micro::LinkedList::new(128, 4));

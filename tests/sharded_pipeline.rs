@@ -3,9 +3,9 @@
 //! contract that makes sharding a pure throughput change.
 
 use orprof::core::sharded::ShardedCdc;
-use orprof::core::{Cdc, Omc, VecOrSink};
+use orprof::core::{Cdc, Omc, OrSink, OrTuple, ShardableSink, VecOrSink};
 use orprof::leap::LeapProfiler;
-use orprof::trace::ProbeSink;
+use orprof::trace::{AccessEvent, AllocEvent, AllocSiteId, InstrId, ProbeSink, RawAddress};
 use orprof::whomp::HybridProfiler;
 use orprof::workloads::{micro, RunConfig, Tracer, Workload};
 
@@ -75,6 +75,133 @@ fn sharded_leap_profile_serializes_to_identical_bytes() {
         profile.write_to(&mut bytes).expect("serialize profile");
         assert_eq!(bytes, reference, "{shards}-shard LEAP bytes diverged");
     }
+}
+
+/// A sink that plays three roles in the salvage chain, selected at
+/// construction: `armed` dies on its first tuple (the dead shard
+/// worker), a `Some(fuse)` accepts that many tuples and then dies (the
+/// failing fallback), and the default records quietly.
+#[derive(Debug)]
+struct SalvageChain {
+    armed: bool,
+    fuse: Option<usize>,
+    inner: VecOrSink,
+}
+
+impl OrSink for SalvageChain {
+    fn tuple(&mut self, t: &OrTuple) {
+        assert!(!self.armed, "armed sink detonated");
+        if let Some(fuse) = &mut self.fuse {
+            assert!(*fuse > 0, "fallback sink detonated");
+            *fuse -= 1;
+        }
+        self.inner.tuple(t);
+    }
+}
+
+impl ShardableSink for SalvageChain {
+    fn shard_key(t: &OrTuple) -> u64 {
+        u64::from(t.instr.0)
+    }
+    fn merge(parts: Vec<Self>) -> Self {
+        SalvageChain {
+            armed: false,
+            fuse: None,
+            inner: VecOrSink::merge(parts.into_iter().map(|p| p.inner).collect()),
+        }
+    }
+}
+
+/// Regression (issue 10): when the salvage *fallback* sink itself dies,
+/// the translator must survive to the join and
+/// `PipelineStats.salvaged` must still report the tuples the fallback
+/// accepted before dying — previously the fallback's panic took the
+/// translator (and every lane's counters) down with it.
+#[test]
+fn salvaged_counter_survives_a_dying_fallback_sink() {
+    // Tuples ship to workers (and to the fallback) in batches of 8192;
+    // the fuse admits one full batch and trips inside the second.
+    const BATCH: usize = 8192;
+
+    let alloc = AllocEvent {
+        site: AllocSiteId(0),
+        base: RawAddress(0x1000),
+        size: 64,
+    };
+    // Two keys on two shards: instr 0 is first-seen → shard 0
+    // (survives), instr 1 → shard 1 (armed, dies on its first batch).
+    let wave = |sink: &mut dyn ProbeSink| {
+        for i in 0..(BATCH as u64 + 256) {
+            sink.access(AccessEvent::load(
+                InstrId(0),
+                RawAddress(0x1000 + i % 64),
+                1,
+            ));
+            sink.access(AccessEvent::load(
+                InstrId(1),
+                RawAddress(0x1000 + i % 64),
+                1,
+            ));
+        }
+    };
+
+    // Reference: the same stream collected inline.
+    let mut inline = Cdc::new(Omc::new(), VecOrSink::new());
+    inline.alloc(alloc);
+    for _ in 0..4 {
+        wave(&mut inline);
+    }
+    inline.finish();
+
+    let shards = 2;
+    let mut sharded = ShardedCdc::spawn_salvaging(Omc::new(), shards, |i| SalvageChain {
+        armed: i == 1,
+        fuse: (i == shards).then_some(BATCH + BATCH / 2),
+        inner: VecOrSink::new(),
+    });
+    sharded.alloc(alloc);
+    wave(&mut sharded);
+    // Ship wave 1, then give shard 1's worker time to receive its first
+    // batch, die, and drop its receiver, so later flushes bounce into
+    // the fallback — which itself dies partway through the second
+    // diverted batch.
+    sharded.finish();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    for _ in 0..3 {
+        wave(&mut sharded);
+    }
+
+    let join = sharded
+        .try_join_salvage()
+        .expect("translator must outlive the fallback sink");
+    assert!(!join.is_clean());
+    assert_eq!(join.degraded.len(), 1);
+    assert_eq!(join.degraded[0].worker, "shard 1");
+    assert_eq!(join.stats.degraded_shards, vec![1]);
+
+    // The fallback accepted exactly one full diverted batch before its
+    // fuse tripped; that batch must be reported even though the
+    // fallback died afterwards.
+    assert_eq!(join.stats.shards[1].salvaged, BATCH as u64);
+    assert_eq!(join.stats.salvaged_tuples(), BATCH as u64);
+    assert_eq!(join.stats.shards[0].salvaged, 0);
+
+    // The surviving lane stays byte-identical to the inline run.
+    let survived: Vec<&OrTuple> = join
+        .cdc
+        .sink()
+        .inner
+        .tuples()
+        .iter()
+        .filter(|t| t.instr == InstrId(0))
+        .collect();
+    let reference: Vec<&OrTuple> = inline
+        .sink()
+        .tuples()
+        .iter()
+        .filter(|t| t.instr == InstrId(0))
+        .collect();
+    assert_eq!(survived, reference, "surviving lane degraded");
 }
 
 #[test]
